@@ -1,0 +1,43 @@
+//! Ablation (DESIGN.md §7.2): the validator computes the schema index
+//! (subtype closures, constraint maps) once and shares it across all nine
+//! patterns. The alternative recomputes it inside every pattern, as the
+//! paper's per-pattern appendix algorithms would.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orm_core::paper_patterns;
+use orm_gen::{generate_clean, GenConfig};
+use std::hint::black_box;
+
+fn bench_closure(c: &mut Criterion) {
+    for size in [100usize, 1000] {
+        let schema = generate_clean(&GenConfig::sized(42, size));
+        let mut group = c.benchmark_group(format!("ablation_closure/{size}"));
+
+        group.bench_function(BenchmarkId::from_parameter("shared_index"), |b| {
+            b.iter(|| {
+                let idx = schema.index();
+                let mut findings = Vec::new();
+                for check in paper_patterns() {
+                    check.run(&schema, &idx, &mut findings);
+                }
+                black_box(findings)
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("index_per_pattern"), |b| {
+            b.iter(|| {
+                let mut findings = Vec::new();
+                for check in paper_patterns() {
+                    let idx = schema.index();
+                    check.run(&schema, &idx, &mut findings);
+                }
+                black_box(findings)
+            })
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_closure);
+criterion_main!(benches);

@@ -1,0 +1,58 @@
+//! Ablation (DESIGN.md §7.3): interactive re-validation after an edit —
+//! the full re-run versus the trigger-filtered incremental mode. This is
+//! the DogmaModeler loop: the modeler adds one constraint and the tool
+//! revalidates on the spot.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orm_core::{EditHint, Validator};
+use orm_gen::{generate_clean, GenConfig};
+use orm_model::{Constraint, ConstraintKind, Frequency};
+use std::hint::black_box;
+
+fn bench_incremental(c: &mut Criterion) {
+    for size in [100usize, 1000] {
+        let base = generate_clean(&GenConfig::sized(42, size));
+        let some_role = base.roles().next().map(|(id, _)| id).expect("has roles");
+        let mut group = c.benchmark_group(format!("ablation_incremental/{size}"));
+
+        group.bench_function(BenchmarkId::from_parameter("full_revalidation"), |b| {
+            b.iter(|| {
+                let mut schema = base.clone();
+                let validator = Validator::new();
+                validator.validate(&schema); // initial validation
+                let cid = schema.add_constraint(Constraint::Frequency(Frequency {
+                    roles: vec![some_role],
+                    min: 1,
+                    max: Some(5),
+                }));
+                let report = validator.validate(&schema);
+                schema.remove_constraint(cid);
+                black_box(report)
+            })
+        });
+
+        group.bench_function(BenchmarkId::from_parameter("incremental"), |b| {
+            b.iter(|| {
+                let mut schema = base.clone();
+                let validator = Validator::new();
+                validator.validate(&schema); // prime the cache
+                let cid = schema.add_constraint(Constraint::Frequency(Frequency {
+                    roles: vec![some_role],
+                    min: 1,
+                    max: Some(5),
+                }));
+                let report = validator.validate_incremental(
+                    &schema,
+                    &EditHint::Constraint(ConstraintKind::Frequency),
+                );
+                schema.remove_constraint(cid);
+                black_box(report)
+            })
+        });
+
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_incremental);
+criterion_main!(benches);

@@ -1,0 +1,70 @@
+//! Ablation (DESIGN.md §7.1): Pattern 6 builds one set-path graph per
+//! validation run and reuses it across every exclusion pair. The naive
+//! alternative rebuilds the graph per query, as the paper's appendix
+//! pseudocode (`GetSetPathsBetween`) suggests.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orm_core::setpath::{Node, SetPathGraph};
+use orm_model::{RoleSeq, Schema, SchemaBuilder};
+use std::hint::black_box;
+
+/// A subset chain f0 ⊆ f1 ⊆ … ⊆ fn over single roles plus exclusions
+/// between the chain ends — a set-path-heavy workload.
+fn chain_schema(n: usize) -> (Schema, Vec<(Node, Node)>) {
+    let mut b = SchemaBuilder::new("chain");
+    let a = b.entity_type("A").expect("fresh");
+    let x = b.entity_type("X").expect("fresh");
+    let mut firsts = Vec::new();
+    for i in 0..n {
+        let f = b.fact_type(&format!("f{i}"), a, x).expect("fresh");
+        firsts.push(b.schema().fact_type(f).first());
+    }
+    for w in firsts.windows(2) {
+        b.subset(RoleSeq::single(w[0]), RoleSeq::single(w[1])).expect("valid");
+    }
+    let mut queries: Vec<(Node, Node)> = Vec::new();
+    for i in 0..n {
+        for j in 0..n {
+            if i != j {
+                queries.push((Node::Role(firsts[i]), Node::Role(firsts[j])));
+            }
+        }
+    }
+    (b.finish(), queries)
+}
+
+fn bench_setpath(c: &mut Criterion) {
+    for n in [8usize, 16, 32] {
+        let (schema, queries) = chain_schema(n);
+
+        let mut group = c.benchmark_group(format!("ablation_setpath/{n}"));
+        group.bench_function(BenchmarkId::from_parameter("shared_graph"), |b| {
+            b.iter(|| {
+                let graph = SetPathGraph::build(&schema, None);
+                let mut hits = 0usize;
+                for (from, to) in &queries {
+                    if graph.path(black_box(from), black_box(to)).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.bench_function(BenchmarkId::from_parameter("rebuild_per_query"), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for (from, to) in &queries {
+                    let graph = SetPathGraph::build(&schema, None);
+                    if graph.path(black_box(from), black_box(to)).is_some() {
+                        hits += 1;
+                    }
+                }
+                black_box(hits)
+            })
+        });
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_setpath);
+criterion_main!(benches);

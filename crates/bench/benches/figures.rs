@@ -1,0 +1,25 @@
+//! FIG1–FIG14: validation cost of every paper figure. The paper's
+//! motivation for the patterns is interactive-speed checking; each figure
+//! must validate in microseconds.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orm_core::{fixtures, Validator};
+use std::hint::black_box;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    for fixture in fixtures::all() {
+        group.bench_function(fixture.id, |b| {
+            b.iter(|| {
+                // A fresh validator per iteration defeats the revision
+                // cache: we measure the actual pattern scan.
+                let validator = Validator::new();
+                black_box(validator.validate(black_box(&fixture.schema)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_figures);
+criterion_main!(benches);

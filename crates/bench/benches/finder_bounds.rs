@@ -1,0 +1,30 @@
+//! Ablation (DESIGN.md §7.4): the bounded model finder's cost as a
+//! function of its domain bounds — the concrete face of "a complete
+//! procedure typically is exponential" (§4). Strong satisfiability of one
+//! small satisfiable schema, swept over extent/tuple bounds.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orm_gen::{generate_clean, GenConfig};
+use orm_reasoner::{strong_satisfiability, Bounds};
+use std::hint::black_box;
+
+fn bench_bounds(c: &mut Criterion) {
+    let schema = generate_clean(&GenConfig::sized(5, 9));
+    let mut group = c.benchmark_group("finder_bounds");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(500));
+    group.measurement_time(std::time::Duration::from_secs(5));
+    for (label, bounds) in [
+        ("extent2_tuples3", Bounds { max_extent: 2, fresh_per_component: 2, max_tuples: 3, max_nodes: 5_000_000 }),
+        ("extent3_tuples4", Bounds { max_extent: 3, fresh_per_component: 3, max_tuples: 4, max_nodes: 5_000_000 }),
+        ("extent4_tuples5", Bounds { max_extent: 4, fresh_per_component: 4, max_tuples: 5, max_nodes: 5_000_000 }),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            b.iter(|| black_box(strong_satisfiability(black_box(&schema), bounds)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_bounds);
+criterion_main!(benches);

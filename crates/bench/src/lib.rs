@@ -1,0 +1,22 @@
+//! Shared helpers for the benchmark suite and the `experiments` binary.
+
+#![forbid(unsafe_code)]
+
+use orm_gen::{generate_clean, GenConfig};
+use orm_model::Schema;
+
+/// Clean schemas of increasing size for the scaling benchmarks.
+pub fn scaling_schemas() -> Vec<(usize, Schema)> {
+    [100usize, 300, 1000, 3000]
+        .into_iter()
+        .map(|n| (n, generate_clean(&GenConfig::sized(42, n))))
+        .collect()
+}
+
+/// A clean schema plus a variant with one fault of every pattern kind, for
+/// detection benchmarks.
+pub fn faulty_pair(size: usize) -> (Schema, Schema) {
+    let clean = generate_clean(&GenConfig::sized(7, size));
+    let faulty = orm_gen::faults::inject_all(&clean, &orm_gen::faults::FaultKind::ALL);
+    (clean, faulty)
+}

@@ -1,0 +1,373 @@
+//! Diagnostic vocabulary: check codes, severities, findings and reports.
+//!
+//! The paper's DogmaModeler implementation "does not only detect
+//! unsatisfiable ORM models, but also gives details about the detected
+//! problems, such as which constraints cause the unsatisfiability" (§4).
+//! [`Finding`] carries exactly that: the check that fired, the roles/types
+//! proven unpopulatable, and the *culprit* elements whose interaction causes
+//! the contradiction.
+
+use orm_model::{Element, ObjectTypeId, RoleId, Schema};
+use std::collections::BTreeSet;
+use std::fmt;
+
+/// Identifies one of the implemented checks.
+///
+/// * `P1`–`P9` — the paper's nine unsatisfiability patterns (§2).
+/// * `Fr1`–`Fr7` — Halpin's formation rules [H89] as discussed in §3.
+/// * `V1`–`V3` — representative RIDL-A validity-analysis lints (§3; the RIDL
+///   report is not publicly available, so these reconstruct the *kind* of
+///   rule the paper describes as "not relevant for unsatisfiability").
+/// * `S1`–`S4` — RIDL-A set-constraint analysis rules (§3).
+/// * `E1`–`E5` — extensions in the spirit of the paper's conclusion (§5):
+///   empty value constraints, ring constraints needing a minimum number of
+///   values, unsatisfiability propagation, and set comparisons between
+///   roles whose players can never share instances, and mandatory roles on
+///   acyclic ring facts (an infinity-axiom contradiction under ORM's finite
+///   population semantics). `E4` and `E5` were discovered by this
+///   reproduction's own cross-validation: the complete reasoners refuted
+///   schemas that pass all nine patterns (see EXPERIMENTS.md).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+#[allow(missing_docs)]
+pub enum CheckCode {
+    P1, P2, P3, P4, P5, P6, P7, P8, P9,
+    Fr1, Fr2, Fr3, Fr4, Fr5, Fr6, Fr7,
+    V1, V2, V3,
+    S1, S2, S3, S4,
+    E1, E2, E3, E4, E5,
+}
+
+impl CheckCode {
+    /// The nine patterns of the paper, in order.
+    pub const PATTERNS: [CheckCode; 9] = [
+        CheckCode::P1,
+        CheckCode::P2,
+        CheckCode::P3,
+        CheckCode::P4,
+        CheckCode::P5,
+        CheckCode::P6,
+        CheckCode::P7,
+        CheckCode::P8,
+        CheckCode::P9,
+    ];
+
+    /// Halpin's formation rules.
+    pub const FORMATION_RULES: [CheckCode; 7] = [
+        CheckCode::Fr1,
+        CheckCode::Fr2,
+        CheckCode::Fr3,
+        CheckCode::Fr4,
+        CheckCode::Fr5,
+        CheckCode::Fr6,
+        CheckCode::Fr7,
+    ];
+
+    /// RIDL-A rules (validity + set-constraint analysis).
+    pub const RIDL_RULES: [CheckCode; 7] = [
+        CheckCode::V1,
+        CheckCode::V2,
+        CheckCode::V3,
+        CheckCode::S1,
+        CheckCode::S2,
+        CheckCode::S3,
+        CheckCode::S4,
+    ];
+
+    /// Extension checks from the paper's future-work discussion.
+    pub const EXTENSIONS: [CheckCode; 5] =
+        [CheckCode::E1, CheckCode::E2, CheckCode::E3, CheckCode::E4, CheckCode::E5];
+
+    /// All check codes.
+    pub fn all() -> impl Iterator<Item = CheckCode> {
+        Self::PATTERNS
+            .into_iter()
+            .chain(Self::FORMATION_RULES)
+            .chain(Self::RIDL_RULES)
+            .chain(Self::EXTENSIONS)
+    }
+
+    /// Whether this check, when it fires, proves that some role or object
+    /// type can never be populated (§3's notion of a *relevant* rule).
+    pub fn is_unsat_relevant(self) -> bool {
+        matches!(
+            self,
+            CheckCode::P1
+                | CheckCode::P2
+                | CheckCode::P3
+                | CheckCode::P4
+                | CheckCode::P5
+                | CheckCode::P6
+                | CheckCode::P7
+                | CheckCode::P8
+                | CheckCode::P9
+                | CheckCode::Fr5
+                | CheckCode::S4
+                | CheckCode::E1
+                | CheckCode::E2
+                | CheckCode::E3
+                | CheckCode::E4
+                | CheckCode::E5
+        )
+    }
+
+    /// Short display label (`"Pattern 3"`, `"Formation rule 6"`, …).
+    pub fn label(self) -> &'static str {
+        match self {
+            CheckCode::P1 => "Pattern 1 (top common supertype)",
+            CheckCode::P2 => "Pattern 2 (exclusive constraint between types)",
+            CheckCode::P3 => "Pattern 3 (exclusion-mandatory)",
+            CheckCode::P4 => "Pattern 4 (frequency-value)",
+            CheckCode::P5 => "Pattern 5 (value-exclusion-frequency)",
+            CheckCode::P6 => "Pattern 6 (set-comparison constraints)",
+            CheckCode::P7 => "Pattern 7 (uniqueness-frequency)",
+            CheckCode::P8 => "Pattern 8 (ring constraints)",
+            CheckCode::P9 => "Pattern 9 (loops in subtypes)",
+            CheckCode::Fr1 => "Formation rule 1 (no FC(1-1); use uniqueness)",
+            CheckCode::Fr2 => "Formation rule 2 (no FC spanning a predicate)",
+            CheckCode::Fr3 => "Formation rule 3 (no FC on a UC-spanned sequence)",
+            CheckCode::Fr4 => "Formation rule 4 (no UC spanned by a longer UC)",
+            CheckCode::Fr5 => "Formation rule 5 (no exclusion on mandatory roles)",
+            CheckCode::Fr6 => "Formation rule 6 (no exclusion across subtype-related players)",
+            CheckCode::Fr7 => "Formation rule 7 (FC bound vs other-role cardinalities)",
+            CheckCode::V1 => "RIDL V1 (isolated object type)",
+            CheckCode::V2 => "RIDL V2 (fact type without uniqueness)",
+            CheckCode::V3 => "RIDL V3 (value type playing no role)",
+            CheckCode::S1 => "RIDL S1 (superfluous subset constraint)",
+            CheckCode::S2 => "RIDL S2 (loop in subset constraints)",
+            CheckCode::S3 => "RIDL S3 (superfluous equality constraint)",
+            CheckCode::S4 => "RIDL S4 (common subset of exclusion arguments)",
+            CheckCode::E1 => "Extension 1 (empty value constraint)",
+            CheckCode::E2 => "Extension 2 (irreflexive ring needs two values)",
+            CheckCode::E3 => "Extension 3 (unsatisfiability propagation)",
+            CheckCode::E4 => "Extension 4 (set comparison across incompatible players)",
+            CheckCode::E5 => "Extension 5 (mandatory role on an acyclic ring fact)",
+        }
+    }
+}
+
+impl fmt::Display for CheckCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// How serious a finding is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Some role or object type provably has an empty population in every
+    /// model of the schema.
+    Unsatisfiable,
+    /// Legal but poor modeling style (the paper's "guidelines for good
+    /// modeling").
+    Guideline,
+    /// A constraint implied by others ("superfluous" in RIDL terms).
+    Redundancy,
+    /// Informational note.
+    Info,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Unsatisfiable => write!(f, "UNSATISFIABLE"),
+            Severity::Guideline => write!(f, "guideline"),
+            Severity::Redundancy => write!(f, "redundancy"),
+            Severity::Info => write!(f, "info"),
+        }
+    }
+}
+
+/// One detected problem.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Finding {
+    /// The check that fired.
+    pub code: CheckCode,
+    /// How serious the problem is.
+    pub severity: Severity,
+    /// Roles proven unpopulatable by this finding — **each** of these is
+    /// empty in every model of the schema.
+    pub unsat_roles: Vec<RoleId>,
+    /// Roles that can never **all** be populated in one model, although
+    /// each may be populatable on its own. Pattern 5 produces these (the
+    /// paper: "some roles in R cannot be satisfied"); strong satisfiability
+    /// fails either way.
+    pub joint_unsat_roles: Vec<RoleId>,
+    /// Object types proven unpopulatable by this finding.
+    pub unsat_types: Vec<ObjectTypeId>,
+    /// The schema elements whose interaction causes the problem.
+    pub culprits: Vec<Element>,
+    /// DogmaModeler-style explanation message.
+    pub message: String,
+}
+
+impl Finding {
+    /// Render with the check label prefixed.
+    pub fn render(&self) -> String {
+        format!("[{}] {}: {}", self.severity, self.code.label(), self.message)
+    }
+}
+
+/// The outcome of a validation run.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Report {
+    /// All findings, in check order.
+    pub findings: Vec<Finding>,
+    /// The schema revision the report was computed for.
+    pub schema_revision: u64,
+}
+
+impl Report {
+    /// Whether any unsatisfiability was detected.
+    pub fn has_unsat(&self) -> bool {
+        self.findings.iter().any(|f| f.severity == Severity::Unsatisfiable)
+    }
+
+    /// All roles proven unpopulatable, across findings.
+    pub fn unsat_roles(&self) -> BTreeSet<RoleId> {
+        self.findings.iter().flat_map(|f| f.unsat_roles.iter().copied()).collect()
+    }
+
+    /// All object types proven unpopulatable, across findings.
+    pub fn unsat_types(&self) -> BTreeSet<ObjectTypeId> {
+        self.findings.iter().flat_map(|f| f.unsat_types.iter().copied()).collect()
+    }
+
+    /// Groups of roles that can never be populated simultaneously
+    /// (Pattern 5's verdicts).
+    pub fn joint_unsat_groups(&self) -> Vec<&[RoleId]> {
+        self.findings
+            .iter()
+            .filter(|f| !f.joint_unsat_roles.is_empty())
+            .map(|f| f.joint_unsat_roles.as_slice())
+            .collect()
+    }
+
+    /// Findings produced by a particular check.
+    pub fn by_code(&self, code: CheckCode) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.code == code)
+    }
+
+    /// Findings of a particular severity.
+    pub fn by_severity(&self, severity: Severity) -> impl Iterator<Item = &Finding> {
+        self.findings.iter().filter(move |f| f.severity == severity)
+    }
+
+    /// Whether the run found nothing at all.
+    pub fn is_clean(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Human-readable multi-line rendering with element names resolved
+    /// against `schema`.
+    pub fn render(&self, schema: &Schema) -> String {
+        if self.findings.is_empty() {
+            return format!(
+                "schema `{}`: no problems detected by the enabled checks\n",
+                schema.name()
+            );
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "schema `{}`: {} finding(s)\n",
+            schema.name(),
+            self.findings.len()
+        ));
+        for f in &self.findings {
+            out.push_str(&format!("  {}\n", f.render()));
+            if !f.unsat_roles.is_empty() {
+                let names: Vec<&str> =
+                    f.unsat_roles.iter().map(|r| schema.role_label(*r)).collect();
+                out.push_str(&format!("    unsatisfiable roles: {}\n", names.join(", ")));
+            }
+            if !f.joint_unsat_roles.is_empty() {
+                let names: Vec<&str> =
+                    f.joint_unsat_roles.iter().map(|r| schema.role_label(*r)).collect();
+                out.push_str(&format!(
+                    "    jointly unsatisfiable roles (cannot all be populated): {}\n",
+                    names.join(", ")
+                ));
+            }
+            if !f.unsat_types.is_empty() {
+                let names: Vec<&str> =
+                    f.unsat_types.iter().map(|t| schema.object_type(*t).name()).collect();
+                out.push_str(&format!("    unsatisfiable types: {}\n", names.join(", ")));
+            }
+            if !f.culprits.is_empty() {
+                let names: Vec<String> =
+                    f.culprits.iter().map(|e| schema.element_label(*e)).collect();
+                out.push_str(&format!("    caused by: {}\n", names.join(" + ")));
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pattern_codes_are_unsat_relevant() {
+        for code in CheckCode::PATTERNS {
+            assert!(code.is_unsat_relevant(), "{code} must be unsat-relevant");
+        }
+    }
+
+    #[test]
+    fn formation_rules_relevance_matches_paper_section_3() {
+        // §3: only rule 5 is "exactly pattern 3"; rules 1, 3, 4, 6 are not
+        // relevant; rule 2's unsat case and rule 7 are covered by patterns
+        // 7 and 4 respectively, so the rules themselves stay lints.
+        assert!(CheckCode::Fr5.is_unsat_relevant());
+        for code in [CheckCode::Fr1, CheckCode::Fr2, CheckCode::Fr3, CheckCode::Fr4,
+                     CheckCode::Fr6, CheckCode::Fr7] {
+            assert!(!code.is_unsat_relevant(), "{code} must not be unsat-relevant");
+        }
+    }
+
+    #[test]
+    fn ridl_relevance_matches_paper_section_3() {
+        // §3: S4 is "a valid condition for detecting inconsistency"; the
+        // validity rules and S1-S3 are not.
+        assert!(CheckCode::S4.is_unsat_relevant());
+        for code in [CheckCode::V1, CheckCode::V2, CheckCode::V3, CheckCode::S1,
+                     CheckCode::S2, CheckCode::S3] {
+            assert!(!code.is_unsat_relevant(), "{code} must not be unsat-relevant");
+        }
+    }
+
+    #[test]
+    fn all_codes_enumerated_once() {
+        let all: Vec<CheckCode> = CheckCode::all().collect();
+        assert_eq!(all.len(), 9 + 7 + 7 + 5);
+        let set: BTreeSet<CheckCode> = all.iter().copied().collect();
+        assert_eq!(set.len(), all.len());
+    }
+
+    #[test]
+    fn report_aggregations() {
+        let finding = Finding {
+            code: CheckCode::P7,
+            severity: Severity::Unsatisfiable,
+            unsat_roles: vec![RoleId::from_raw(0)],
+            joint_unsat_roles: Vec::new(),
+            unsat_types: vec![],
+            culprits: vec![],
+            message: "demo".into(),
+        };
+        let report = Report { findings: vec![finding], schema_revision: 0 };
+        assert!(report.has_unsat());
+        assert!(!report.is_clean());
+        assert_eq!(report.unsat_roles().len(), 1);
+        assert!(report.unsat_types().is_empty());
+        assert_eq!(report.by_code(CheckCode::P7).count(), 1);
+        assert_eq!(report.by_code(CheckCode::P1).count(), 0);
+        assert_eq!(report.by_severity(Severity::Unsatisfiable).count(), 1);
+    }
+
+    #[test]
+    fn labels_are_distinct() {
+        let labels: BTreeSet<&str> = CheckCode::all().map(CheckCode::label).collect();
+        assert_eq!(labels.len(), CheckCode::all().count());
+    }
+}

@@ -1,0 +1,461 @@
+//! The paper's figures as executable schema fixtures.
+//!
+//! Every worked example of §2/§3 is encoded once here and reused by unit
+//! tests, integration tests, the benchmark harness and the `experiments`
+//! binary. Each fixture records the *expected* validator outcome so that
+//! EXPERIMENTS.md can print paper-vs-measured rows mechanically.
+
+use crate::diagnostics::CheckCode;
+use orm_model::{RingKind, RoleSeq, Schema, SchemaBuilder, ValueConstraint};
+
+/// A paper figure with its expected validation outcome.
+pub struct Fixture {
+    /// Experiment id, e.g. `"FIG1"`.
+    pub id: &'static str,
+    /// What the paper claims about it.
+    pub paper_claim: &'static str,
+    /// The encoded schema.
+    pub schema: Schema,
+    /// Pattern codes expected to fire (empty = schema passes all patterns).
+    pub expect_codes: Vec<CheckCode>,
+    /// Role labels expected to be reported unsatisfiable (each provably
+    /// empty in every model).
+    pub expect_unsat_roles: Vec<&'static str>,
+    /// Role labels expected to be reported *jointly* unsatisfiable (cannot
+    /// all be populated in one model — Pattern 5's verdict).
+    pub expect_joint_unsat_roles: Vec<&'static str>,
+    /// Object type names expected to be reported unsatisfiable.
+    pub expect_unsat_types: Vec<&'static str>,
+}
+
+/// Fig. 1 — Person/Student/Employee/PhDStudent; PhDStudent dies by the
+/// exclusive constraint (Pattern 2), while the schema stays weakly
+/// satisfiable.
+pub fn fig1() -> Fixture {
+    let mut b = SchemaBuilder::new("fig1_phd_student");
+    let person = b.entity_type("Person").unwrap();
+    let student = b.entity_type("Student").unwrap();
+    let employee = b.entity_type("Employee").unwrap();
+    let phd = b.entity_type("PhdStudent").unwrap();
+    b.subtype(student, person).unwrap();
+    b.subtype(employee, person).unwrap();
+    b.subtype(phd, student).unwrap();
+    b.subtype(phd, employee).unwrap();
+    b.exclusive_types([student, employee]).unwrap();
+    Fixture {
+        id: "FIG1",
+        paper_claim: "PhDStudent cannot be populated; the global schema is satisfiable",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P2],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec!["PhdStudent"],
+    }
+}
+
+/// Fig. 2 — subtype without a top common supertype (Pattern 1).
+pub fn fig2() -> Fixture {
+    let mut b = SchemaBuilder::new("fig2_no_common_supertype");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.entity_type("B").unwrap();
+    let c = b.entity_type("C").unwrap();
+    b.subtype(c, a).unwrap();
+    b.subtype(c, bb).unwrap();
+    Fixture {
+        id: "FIG2",
+        paper_claim: "C cannot be satisfied: supertypes A and B are mutually exclusive",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P1],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec!["C"],
+    }
+}
+
+/// Fig. 3 — subtype of mutually exclusive supertypes (Pattern 2).
+pub fn fig3() -> Fixture {
+    let mut b = SchemaBuilder::new("fig3_exclusive_supertypes");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.entity_type("B").unwrap();
+    let c = b.entity_type("C").unwrap();
+    let d = b.entity_type("D").unwrap();
+    b.subtype(bb, a).unwrap();
+    b.subtype(c, a).unwrap();
+    b.subtype(d, bb).unwrap();
+    b.subtype(d, c).unwrap();
+    b.exclusive_types([bb, c]).unwrap();
+    Fixture {
+        id: "FIG3",
+        paper_claim: "D cannot be satisfied: its supertypes B and C are exclusive",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P2],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec!["D"],
+    }
+}
+
+/// Fig. 4a — mandatory r1, exclusion {r1, r3}: r3 dies (Pattern 3).
+pub fn fig4a() -> Fixture {
+    let mut b = SchemaBuilder::new("fig4a_exclusion_mandatory");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("B").unwrap();
+    let y = b.entity_type("C").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    b.mandatory(r1).unwrap();
+    b.exclusion_roles([r1, r3]).unwrap();
+    Fixture {
+        id: "FIG4a",
+        paper_claim: "r3 will never be played",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P3],
+        expect_unsat_roles: vec!["r3"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 4b — both r1 and r3 mandatory: both die, and A itself (Pattern 3).
+pub fn fig4b() -> Fixture {
+    let mut b = SchemaBuilder::new("fig4b_double_mandatory");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("B").unwrap();
+    let y = b.entity_type("C").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    b.mandatory(r1).unwrap();
+    b.mandatory(r3).unwrap();
+    b.exclusion_roles([r1, r3]).unwrap();
+    Fixture {
+        id: "FIG4b",
+        paper_claim: "both r1 and r3 will never be played",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P3],
+        expect_unsat_roles: vec!["r1", "r3"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec!["A"],
+    }
+}
+
+/// Fig. 4c — subtype B of A plays r5; mandatory r1; exclusion {r1, r3, r5}:
+/// r3 and r5 die (Pattern 3).
+pub fn fig4c() -> Fixture {
+    let mut b = SchemaBuilder::new("fig4c_subtype_exclusion");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.entity_type("B").unwrap();
+    b.subtype(bb, a).unwrap();
+    let x = b.entity_type("X").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (x, Some("r4")), None).unwrap();
+    let f3 = b.fact_type_full("f3", (bb, Some("r5")), (x, Some("r6")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    let r5 = b.schema().fact_type(f3).first();
+    b.mandatory(r1).unwrap();
+    b.exclusion_roles([r1, r3, r5]).unwrap();
+    Fixture {
+        id: "FIG4c",
+        paper_claim: "r3 and r5 will never be played",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P3],
+        expect_unsat_roles: vec!["r3", "r5"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 5 — FC(3-5) on r1 vs value constraint {'x1','x2'} on B (Pattern 4).
+pub fn fig5() -> Fixture {
+    let mut b = SchemaBuilder::new("fig5_frequency_value");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
+    let f = b.fact_type_full("f", (a, Some("r1")), (bb, Some("r2")), None).unwrap();
+    let r1 = b.schema().fact_type(f).first();
+    b.frequency([r1], 3, Some(5)).unwrap();
+    Fixture {
+        id: "FIG5",
+        paper_claim: "r1 cannot be populated: FC(3-5) needs 3 partners, only 2 values exist",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P4],
+        // The paper flags r1; an empty r1 projection means an empty fact
+        // table, so r2 is reported as collateral damage as well.
+        expect_unsat_roles: vec!["r1", "r2"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 6 — value + exclusion + frequency jointly contradictory
+/// (Pattern 5); any two of the three are consistent.
+pub fn fig6() -> Fixture {
+    let mut b = SchemaBuilder::new("fig6_value_exclusion_frequency");
+    let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+    let x = b.entity_type("B").unwrap();
+    let y = b.entity_type("C").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r2 = b.schema().fact_type(f1).second();
+    let r3 = b.schema().fact_type(f2).first();
+    b.frequency([r2], 2, None).unwrap();
+    b.exclusion_roles([r1, r3]).unwrap();
+    Fixture {
+        id: "FIG6",
+        paper_claim: "populating r1 and r3 needs 3 distinct A-values, only 2 exist",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P5],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec!["r1", "r3"],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 7 — the special case without frequency constraints: three exclusive
+/// roles over a two-value type (Pattern 5).
+pub fn fig7() -> Fixture {
+    let mut b = SchemaBuilder::new("fig7_value_exclusion");
+    let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+    let x = b.entity_type("X").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (x, Some("r4")), None).unwrap();
+    let f3 = b.fact_type_full("f3", (a, Some("r5")), (x, Some("r6")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    let r5 = b.schema().fact_type(f3).first();
+    b.exclusion_roles([r1, r3, r5]).unwrap();
+    Fixture {
+        id: "FIG7",
+        paper_claim: "r1, r3, r5 need 3 distinct values of A, only 2 exist",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P5],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec!["r1", "r3", "r5"],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 8 — exclusion between r1/r3 contradicting a subset between the
+/// predicates (Pattern 6).
+pub fn fig8() -> Fixture {
+    let mut b = SchemaBuilder::new("fig8_exclusion_subset");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("B").unwrap();
+    let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (a, Some("r3")), (x, Some("r4")), None).unwrap();
+    let [r1, r2] = b.schema().fact_type(f1).roles();
+    let [r3, r4] = b.schema().fact_type(f2).roles();
+    b.exclusion_roles([r1, r3]).unwrap();
+    b.subset(RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)).unwrap();
+    Fixture {
+        id: "FIG8",
+        paper_claim: "the exclusion and subset constraints contradict; f1 cannot be populated",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P6],
+        expect_unsat_roles: vec!["r1", "r2"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 10 — uniqueness vs FC(2-5) on the same role (Pattern 7).
+pub fn fig10() -> Fixture {
+    let mut b = SchemaBuilder::new("fig10_uniqueness_frequency");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("B").unwrap();
+    let f = b.fact_type_full("f", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+    let r1 = b.schema().fact_type(f).first();
+    b.unique([r1]).unwrap();
+    b.frequency([r1], 2, Some(5)).unwrap();
+    Fixture {
+        id: "FIG10",
+        paper_claim: "it is impossible to populate r1",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P7],
+        expect_unsat_roles: vec!["r1", "r2"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 11 — irreflexive SisterOf: a *satisfiable* ring use; no pattern may
+/// fire (no false positives).
+pub fn fig11() -> Fixture {
+    let mut b = SchemaBuilder::new("fig11_sister_of");
+    let woman = b.entity_type("Woman").unwrap();
+    let f = b
+        .fact_type_full("sister_of", (woman, Some("r1")), (woman, Some("r2")), Some("is sister of"))
+        .unwrap();
+    b.ring(f, [RingKind::Irreflexive]).unwrap();
+    Fixture {
+        id: "FIG11",
+        paper_claim: "no woman is her own sister; the schema is satisfiable",
+        schema: b.finish(),
+        expect_codes: vec![],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// An unsatisfiable ring combination (acyclic + symmetric), the Fig. 12 /
+/// Table 1 flagship clash (Pattern 8).
+pub fn fig12_incompatible() -> Fixture {
+    let mut b = SchemaBuilder::new("fig12_acyclic_symmetric");
+    let t = b.entity_type("T").unwrap();
+    let f = b.fact_type_full("rel", (t, Some("r1")), (t, Some("r2")), None).unwrap();
+    b.ring(f, [RingKind::Acyclic, RingKind::Symmetric]).unwrap();
+    Fixture {
+        id: "FIG12",
+        paper_claim: "acyclic and symmetric are incompatible (Euler diagram)",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P8],
+        expect_unsat_roles: vec!["r1", "r2"],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// Fig. 13 — loop in subtypes (Pattern 9).
+pub fn fig13() -> Fixture {
+    let mut b = SchemaBuilder::new("fig13_subtype_loop");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.entity_type("B").unwrap();
+    let c = b.entity_type("C").unwrap();
+    b.subtype(a, bb).unwrap();
+    b.subtype(bb, c).unwrap();
+    b.subtype(c, a).unwrap();
+    Fixture {
+        id: "FIG13",
+        paper_claim: "none of A, B, C can be satisfied",
+        schema: b.finish(),
+        expect_codes: vec![CheckCode::P9],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec!["A", "B", "C"],
+    }
+}
+
+/// Fig. 14 — violates formation rule 6 (exclusion across subtype-related
+/// players) yet all roles are satisfiable; no pattern may fire.
+pub fn fig14() -> Fixture {
+    let mut b = SchemaBuilder::new("fig14_rule6_satisfiable");
+    let a = b.entity_type("A").unwrap();
+    let bb = b.entity_type("B").unwrap();
+    let c = b.entity_type("C").unwrap();
+    b.subtype(bb, a).unwrap();
+    b.subtype(c, a).unwrap();
+    b.total_subtypes(a, [bb, c]).unwrap();
+    let x = b.entity_type("X").unwrap();
+    let f1 = b.fact_type_full("f1", (bb, Some("r1")), (x, Some("r2")), None).unwrap();
+    let f2 = b.fact_type_full("f2", (c, Some("r3")), (x, Some("r4")), None).unwrap();
+    let f3 = b.fact_type_full("f3", (a, Some("r5")), (x, Some("r6")), None).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    let r5 = b.schema().fact_type(f3).first();
+    b.mandatory(r1).unwrap();
+    b.mandatory(r3).unwrap();
+    b.exclusion_roles([r3, r5]).unwrap();
+    Fixture {
+        id: "FIG14",
+        paper_claim: "violates formation rule 6, but every role is satisfiable",
+        schema: b.finish(),
+        expect_codes: vec![],
+        expect_unsat_roles: vec![],
+        expect_joint_unsat_roles: vec![],
+        expect_unsat_types: vec![],
+    }
+}
+
+/// All figure fixtures, in paper order.
+pub fn all() -> Vec<Fixture> {
+    vec![
+        fig1(),
+        fig2(),
+        fig3(),
+        fig4a(),
+        fig4b(),
+        fig4c(),
+        fig5(),
+        fig6(),
+        fig7(),
+        fig8(),
+        fig10(),
+        fig11(),
+        fig12_incompatible(),
+        fig13(),
+        fig14(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::validator::validate;
+    use std::collections::BTreeSet;
+
+    /// Every fixture's expected outcome matches what the validator reports —
+    /// the headline reproduction result for §2 (each figure is flagged by
+    /// exactly the pattern the paper assigns it, and the satisfiable
+    /// figures produce no false positives).
+    #[test]
+    fn every_fixture_matches_its_expectation() {
+        for fixture in all() {
+            let report = validate(&fixture.schema);
+            let fired: BTreeSet<CheckCode> =
+                report.findings.iter().map(|f| f.code).collect();
+            let expected: BTreeSet<CheckCode> =
+                fixture.expect_codes.iter().copied().collect();
+            assert_eq!(
+                fired, expected,
+                "{}: expected {:?}, got {:?}",
+                fixture.id, expected, fired
+            );
+
+            let got_roles: BTreeSet<&str> = report
+                .unsat_roles()
+                .iter()
+                .map(|r| fixture.schema.role_label(*r))
+                .collect();
+            let want_roles: BTreeSet<&str> =
+                fixture.expect_unsat_roles.iter().copied().collect();
+            assert_eq!(got_roles, want_roles, "{}: unsat roles differ", fixture.id);
+
+            let got_joint: BTreeSet<&str> = report
+                .joint_unsat_groups()
+                .iter()
+                .flat_map(|g| g.iter().map(|r| fixture.schema.role_label(*r)))
+                .collect();
+            let want_joint: BTreeSet<&str> =
+                fixture.expect_joint_unsat_roles.iter().copied().collect();
+            assert_eq!(got_joint, want_joint, "{}: joint unsat roles differ", fixture.id);
+
+            let got_types: BTreeSet<&str> = report
+                .unsat_types()
+                .iter()
+                .map(|t| fixture.schema.object_type(*t).name())
+                .collect();
+            let want_types: BTreeSet<&str> =
+                fixture.expect_unsat_types.iter().copied().collect();
+            assert_eq!(got_types, want_types, "{}: unsat types differ", fixture.id);
+        }
+    }
+
+    #[test]
+    fn fixture_ids_are_unique() {
+        let ids: BTreeSet<&str> = all().iter().map(|f| f.id).collect();
+        assert_eq!(ids.len(), all().len());
+    }
+
+    #[test]
+    fn fig14_triggers_formation_rule_6_lint() {
+        let fixture = fig14();
+        let report = crate::validator::validate_all(&fixture.schema);
+        assert!(report.by_code(CheckCode::Fr6).count() >= 1);
+        assert!(!report.has_unsat(), "Fig. 14 must stay satisfiable");
+    }
+}

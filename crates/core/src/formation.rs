@@ -1,0 +1,480 @@
+//! Halpin's seven formation rules [H89] as lints (paper §3).
+//!
+//! The paper's related-work analysis classifies each rule by whether its
+//! violation implies an unsatisfiable role (*relevant*) or merely poor
+//! style/redundancy. The classification here mirrors §3 exactly:
+//!
+//! | rule | statement | relevance |
+//! |------|-----------|-----------|
+//! | 1 | never use `FC(1-1)` — use uniqueness | style |
+//! | 2 | no FC spanning a whole predicate | style (`min>1` case → Pattern 7) |
+//! | 3 | no FC on a sequence exactly spanned by a UC | style (`min>1` → Pattern 7) |
+//! | 4 | no UC spanned by a longer UC | redundancy |
+//! | 5 | no exclusion on roles one of which is mandatory | **= Pattern 3** |
+//! | 6 | no exclusion between roles of subtype-related players | style (Fig. 14 is satisfiable) |
+//! | 7 | FC lower bound vs other-role maximum cardinalities | covered by Pattern 4 |
+
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use crate::patterns::{effective_value_cardinality, Check, Trigger};
+use orm_model::{
+    Constraint, ConstraintKind, Element, Schema, SchemaIndex, SetComparisonKind,
+};
+use std::collections::BTreeSet;
+
+/// Formation rule 1: `FC(1-1)` should be a uniqueness constraint.
+pub struct Fr1;
+
+impl Check for Fr1 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr1
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::Frequency)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            if fc.min == 1 && fc.max == Some(1) {
+                out.push(Finding {
+                    code: CheckCode::Fr1,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid)],
+                    message: format!(
+                        "FC(1-1) on {} should be expressed as a uniqueness constraint",
+                        schema.seq_label(&orm_model::RoleSeq(fc.roles.clone()))
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Formation rule 2: a frequency constraint must not span a whole predicate.
+pub struct Fr2;
+
+impl Check for Fr2 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr2
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::Frequency)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            if fc.roles.len() == 2 {
+                out.push(Finding {
+                    code: CheckCode::Fr2,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid)],
+                    message: format!(
+                        "{} spans a whole predicate; predicates are sets, so the \
+                         constraint is {}",
+                        fc.notation(),
+                        if fc.min > 1 {
+                            "unsatisfiable (see Pattern 7)"
+                        } else {
+                            "redundant"
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Formation rule 3: no frequency constraint on a sequence exactly spanned
+/// by a uniqueness constraint.
+pub struct Fr3;
+
+impl Check for Fr3 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr3
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::Frequency),
+            Trigger::Constraint(ConstraintKind::Uniqueness),
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            for uc in idx.uniqueness_on(&fc.roles) {
+                out.push(Finding {
+                    code: CheckCode::Fr3,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid), Element::Constraint(uc)],
+                    message: format!(
+                        "{} coexists with a uniqueness constraint on the same role \
+                         sequence; {}",
+                        fc.notation(),
+                        if fc.min > 1 {
+                            "the combination is unsatisfiable (see Pattern 7)"
+                        } else {
+                            "prefer uniqueness (plus mandatory) alone"
+                        }
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// Formation rule 4: no uniqueness constraint spanned by a longer one — the
+/// longer constraint is implied.
+pub struct Fr4;
+
+impl Check for Fr4 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr4
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::Uniqueness)]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (long_id, long) in &idx.uniqueness {
+            let long_set: BTreeSet<_> = long.roles.iter().copied().collect();
+            for (short_id, short) in &idx.uniqueness {
+                if short_id == long_id {
+                    continue;
+                }
+                let short_set: BTreeSet<_> = short.roles.iter().copied().collect();
+                if short_set.is_subset(&long_set) && short_set.len() < long_set.len() {
+                    out.push(Finding {
+                        code: CheckCode::Fr4,
+                        severity: Severity::Redundancy,
+                        unsat_roles: vec![],
+                        joint_unsat_roles: Vec::new(),
+                        unsat_types: vec![],
+                        culprits: vec![Element::Constraint(*long_id), Element::Constraint(*short_id)],
+                        message: format!(
+                            "the uniqueness constraint on {} is implied by the shorter \
+                             uniqueness constraint on {}",
+                            schema.seq_label(&orm_model::RoleSeq(long.roles.clone())),
+                            schema.seq_label(&orm_model::RoleSeq(short.roles.clone()))
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Formation rule 5: no exclusion constraint over roles one of which is
+/// mandatory. This is the syntactic form of Pattern 3 (§3: "rule 5 is
+/// exactly pattern 3"), flagged as unsat-relevant.
+pub struct Fr5;
+
+impl Check for Fr5 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr5
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::SetComparison),
+            Trigger::Constraint(ConstraintKind::Mandatory),
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion || !sc.over_single_roles() {
+                continue;
+            }
+            for seq in &sc.args {
+                let role = seq.roles()[0];
+                if let Some(mand) = idx.mandatory_on(role) {
+                    out.push(Finding {
+                        code: CheckCode::Fr5,
+                        severity: Severity::Guideline,
+                        unsat_roles: vec![],
+                        joint_unsat_roles: Vec::new(),
+                        unsat_types: vec![],
+                        culprits: vec![Element::Constraint(cid), Element::Constraint(mand)],
+                        message: format!(
+                            "the exclusion constraint covers the mandatory role `{}`; \
+                             when the players are related this is Pattern 3's \
+                             unsatisfiability",
+                            schema.role_label(role)
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Formation rule 6: no exclusion between roles whose players are
+/// subtype-related. Not unsat-relevant — Fig. 14 violates it while all
+/// roles stay satisfiable.
+pub struct Fr6;
+
+impl Check for Fr6 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr6
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison), Trigger::Subtyping]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion || !sc.over_single_roles() {
+                continue;
+            }
+            let roles: Vec<_> = sc.args.iter().map(|s| s.roles()[0]).collect();
+            for (i, &ri) in roles.iter().enumerate() {
+                for &rj in roles.iter().skip(i + 1) {
+                    let (pi, pj) = (schema.player(ri), schema.player(rj));
+                    if pi != pj
+                        && (idx.is_subtype_of_or_eq(pi, pj) || idx.is_subtype_of_or_eq(pj, pi))
+                    {
+                        out.push(Finding {
+                            code: CheckCode::Fr6,
+                            severity: Severity::Guideline,
+                            unsat_roles: vec![],
+                            joint_unsat_roles: Vec::new(),
+                            unsat_types: vec![],
+                            culprits: vec![Element::Constraint(cid)],
+                            message: format!(
+                                "the exclusion constraint spans roles `{}` and `{}` whose \
+                                 players are subtype-related ({} / {}); legal but \
+                                 easily misread",
+                                schema.role_label(ri),
+                                schema.role_label(rj),
+                                schema.object_type(pi).name(),
+                                schema.object_type(pj).name()
+                            ),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Formation rule 7: a frequency constraint's lower bound must not exceed
+/// what the other role's population can supply. With binary predicates and
+/// maximum cardinalities read from value constraints (paper footnote 5),
+/// this coincides with Pattern 4; the lint fires alongside it for §3's
+/// bookkeeping.
+pub struct Fr7;
+
+impl Check for Fr7 {
+    fn code(&self) -> CheckCode {
+        CheckCode::Fr7
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::Frequency), Trigger::Values]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            let [role] = fc.roles[..] else { continue };
+            let co_player = schema.player(schema.co_role(role));
+            let Some((card, _)) = effective_value_cardinality(schema, idx, co_player) else {
+                continue;
+            };
+            if card < u64::from(fc.min) {
+                out.push(Finding {
+                    code: CheckCode::Fr7,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid)],
+                    message: format!(
+                        "{} demands more occurrences than the other role's maximum \
+                         cardinality {} allows (covered by Pattern 4)",
+                        fc.notation(),
+                        card
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// All seven formation-rule lints in order.
+pub fn formation_rules() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(Fr1),
+        Box::new(Fr2),
+        Box::new(Fr3),
+        Box::new(Fr4),
+        Box::new(Fr5),
+        Box::new(Fr6),
+        Box::new(Fr7),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RoleId, SchemaBuilder, ValueConstraint};
+
+    fn run_rule(check: &dyn Check, schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    fn one_fact() -> (SchemaBuilder, [RoleId; 2]) {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f = b.fact_type_full("f", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let roles = b.schema().fact_type(f).roles();
+        (b, roles)
+    }
+
+    #[test]
+    fn fr1_flags_fc_1_1() {
+        let (mut b, [r1, _]) = one_fact();
+        b.frequency([r1], 1, Some(1)).unwrap();
+        let s = b.finish();
+        let f = run_rule(&Fr1, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Guideline);
+        // FC(1-2) is fine.
+        let (mut b, [r1, _]) = one_fact();
+        b.frequency([r1], 1, Some(2)).unwrap();
+        assert!(run_rule(&Fr1, &b.finish()).is_empty());
+    }
+
+    #[test]
+    fn fr2_flags_spanning_fc() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.frequency([r1, r2], 1, Some(3)).unwrap();
+        let s = b.finish();
+        let f = run_rule(&Fr2, &s);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("redundant"));
+        // min > 1 notes the Pattern 7 connection.
+        let (mut b, [r1, r2]) = one_fact();
+        b.frequency([r1, r2], 2, None).unwrap();
+        let f = run_rule(&Fr2, &b.finish());
+        assert!(f[0].message.contains("unsatisfiable"));
+    }
+
+    #[test]
+    fn fr3_flags_fc_on_uc_sequence() {
+        let (mut b, [r1, _]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.frequency([r1], 1, Some(5)).unwrap();
+        let s = b.finish();
+        assert_eq!(run_rule(&Fr3, &s).len(), 1);
+        // UC on the other role: no overlap.
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r2]).unwrap();
+        b.frequency([r1], 1, Some(5)).unwrap();
+        assert!(run_rule(&Fr3, &b.finish()).is_empty());
+    }
+
+    #[test]
+    fn fr4_flags_spanned_uc() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.unique([r1, r2]).unwrap();
+        let s = b.finish();
+        let f = run_rule(&Fr4, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Redundancy);
+        // Two disjoint single-role UCs are fine.
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.unique([r2]).unwrap();
+        assert!(run_rule(&Fr4, &b.finish()).is_empty());
+    }
+
+    #[test]
+    fn fr5_flags_mandatory_in_exclusion() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert_eq!(run_rule(&Fr5, &s).len(), 1);
+    }
+
+    #[test]
+    fn fr6_flags_subtype_related_players() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(c, a).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", c, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r3 = b.schema().fact_type(f1).first();
+        let r5 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r3, r5]).unwrap();
+        let s = b.finish();
+        let f = run_rule(&Fr6, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Guideline);
+        assert!(f[0].unsat_roles.is_empty(), "rule 6 must not claim unsatisfiability");
+    }
+
+    #[test]
+    fn fr6_silent_on_same_player() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        assert!(run_rule(&Fr6, &b.finish()).is_empty());
+    }
+
+    #[test]
+    fn fr7_flags_excessive_min() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.value_type("X", Some(ValueConstraint::enumeration(["v"]))).unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 2, None).unwrap();
+        let s = b.finish();
+        assert_eq!(run_rule(&Fr7, &s).len(), 1);
+    }
+
+    #[test]
+    fn all_rules_enumerated() {
+        let rules = formation_rules();
+        assert_eq!(rules.len(), 7);
+        let codes: Vec<CheckCode> = rules.iter().map(|r| r.code()).collect();
+        assert_eq!(codes, CheckCode::FORMATION_RULES.to_vec());
+    }
+}

@@ -1,0 +1,154 @@
+//! The paper's nine unsatisfiability patterns (§2).
+//!
+//! Each pattern is a [`Check`]: a pure function from a schema (plus its
+//! precomputed [`SchemaIndex`]) to a list of [`Finding`]s. A pattern firing
+//! *proves* that the reported roles/types cannot be populated in any model
+//! of the schema (soundness — property-tested against the bounded model
+//! finder in `tests/`); the paper is explicit that the patterns are not
+//! complete.
+
+use crate::diagnostics::{CheckCode, Finding};
+use orm_model::{ConstraintKind, ObjectTypeId, Schema, SchemaIndex};
+
+pub mod p1_common_supertype;
+pub mod p2_exclusive_supertypes;
+pub mod p3_exclusion_mandatory;
+pub mod p4_frequency_value;
+pub mod p5_value_exclusion_frequency;
+pub mod p6_set_comparison;
+pub mod p7_uniqueness_frequency;
+pub mod p8_ring;
+pub mod p9_subtype_loop;
+
+/// What kind of schema edit can affect a check's verdict; used by the
+/// incremental validator to skip checks untouched by an edit.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Trigger {
+    /// A constraint of the given kind was added/removed.
+    Constraint(ConstraintKind),
+    /// A subtype link was added/removed.
+    Subtyping,
+    /// A value constraint changed.
+    Values,
+    /// An object or fact type was added.
+    Structure,
+}
+
+/// A single validation check (pattern, formation rule, lint or extension).
+pub trait Check: Send + Sync {
+    /// Stable identifier.
+    fn code(&self) -> CheckCode;
+
+    /// Edits that can change this check's findings.
+    fn triggers(&self) -> &'static [Trigger];
+
+    /// Run the check, appending findings.
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>);
+}
+
+/// The nine pattern checks, in paper order.
+pub fn paper_patterns() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(p1_common_supertype::P1),
+        Box::new(p2_exclusive_supertypes::P2),
+        Box::new(p3_exclusion_mandatory::P3),
+        Box::new(p4_frequency_value::P4),
+        Box::new(p5_value_exclusion_frequency::P5),
+        Box::new(p6_set_comparison::P6),
+        Box::new(p7_uniqueness_frequency::P7),
+        Box::new(p8_ring::P8),
+        Box::new(p9_subtype_loop::P9),
+    ]
+}
+
+/// The number of possible instances of `ty`, taking value constraints of
+/// **supertypes** into account: a subtype population is included in every
+/// supertype population, so the *intersection* of all value constraints
+/// along the (reflexive) supertype chain bounds it. Returns the
+/// intersection cardinality together with the object type holding the
+/// tightest individual constraint (for diagnostics), or `None` when the
+/// chain carries no value constraint at all.
+///
+/// The paper's Patterns 4 and 5 read the value constraint off one object
+/// type; consulting the chain is a strict refinement that only adds
+/// correct detections (see DESIGN.md §4, PERF notes). The intersection can
+/// be *empty* — disjoint value constraints along one chain — which dooms
+/// the type outright (extension check E1).
+pub fn effective_value_cardinality(
+    schema: &Schema,
+    idx: &SchemaIndex,
+    ty: ObjectTypeId,
+) -> Option<(u64, ObjectTypeId)> {
+    let mut merged: Option<orm_model::ValueConstraint> = None;
+    let mut tightest: Option<(u64, ObjectTypeId)> = None;
+    for t in idx.supers_refl(ty) {
+        let Some(vc) = schema.object_type(t).value_constraint() else { continue };
+        let card = vc.cardinality();
+        tightest = Some(match tightest {
+            Some(prev) if prev.0 <= card => prev,
+            _ => (card, t),
+        });
+        merged = Some(match merged {
+            None => vc.clone(),
+            Some(acc) => acc.intersect(vc),
+        });
+    }
+    match (merged, tightest) {
+        (Some(vc), Some((_, holder))) => Some((vc.cardinality(), holder)),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{SchemaBuilder, ValueConstraint};
+
+    #[test]
+    fn paper_patterns_are_nine_in_order() {
+        let patterns = paper_patterns();
+        assert_eq!(patterns.len(), 9);
+        let codes: Vec<CheckCode> = patterns.iter().map(|p| p.code()).collect();
+        assert_eq!(codes, CheckCode::PATTERNS.to_vec());
+    }
+
+    #[test]
+    fn effective_cardinality_uses_own_constraint() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["x", "y"]))).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert_eq!(effective_value_cardinality(&s, &idx, a), Some((2, a)));
+    }
+
+    #[test]
+    fn effective_cardinality_inherits_from_supertype() {
+        let mut b = SchemaBuilder::new("s");
+        let sup = b.value_type("Sup", Some(ValueConstraint::enumeration(["x", "y", "z"]))).unwrap();
+        let sub = b.entity_type("Sub").unwrap();
+        b.subtype(sub, sup).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert_eq!(effective_value_cardinality(&s, &idx, sub), Some((3, sup)));
+    }
+
+    #[test]
+    fn effective_cardinality_takes_tightest_bound() {
+        let mut b = SchemaBuilder::new("s");
+        let sup = b.value_type("Sup", Some(ValueConstraint::enumeration(["x", "y", "z"]))).unwrap();
+        let sub = b.value_type("Sub", Some(ValueConstraint::enumeration(["x", "y"]))).unwrap();
+        b.subtype(sub, sup).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert_eq!(effective_value_cardinality(&s, &idx, sub), Some((2, sub)));
+    }
+
+    #[test]
+    fn effective_cardinality_none_when_unbounded() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert_eq!(effective_value_cardinality(&s, &idx, a), None);
+    }
+}

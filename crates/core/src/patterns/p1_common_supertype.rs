@@ -1,0 +1,175 @@
+//! Pattern 1 — *Top common supertype* (paper §2, Fig. 2).
+//!
+//! ORM assumes object types to be mutually exclusive unless they share a
+//! common supertype. A type with several direct supertypes is the
+//! intersection of their populations; if those supertypes cannot overlap —
+//! no common (reflexive) supertype — the intersection is necessarily empty.
+//!
+//! The intersection is taken over the **reflexive** supertype closures: a
+//! direct supertype counts as its own ancestor. Without reflexivity the
+//! check would wrongly fire on `T <: A, T <: B, B <: A` (where `A`'s closure
+//! would be empty even though `T ⊆ B ⊆ A` is perfectly satisfiable), and
+//! would wrongly pass Fig. 2. The paper's appendix algorithm leaves this
+//! implicit; the population semantics force the reflexive reading.
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{Element, ObjectTypeId, Schema, SchemaIndex};
+use std::collections::BTreeSet;
+
+/// Pattern 1 check.
+pub struct P1;
+
+impl Check for P1 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P1
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Subtyping, Trigger::Structure]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (ty, _) in schema.object_types() {
+            let direct = idx.direct_supers(ty);
+            if direct.len() < 2 {
+                continue;
+            }
+            let mut common: Option<BTreeSet<ObjectTypeId>> = None;
+            for sup in direct {
+                let supers = idx.supers_refl(*sup);
+                common = Some(match common {
+                    None => supers,
+                    Some(acc) => acc.intersection(&supers).copied().collect(),
+                });
+            }
+            if common.is_some_and(|c| c.is_empty()) {
+                let culprits: Vec<Element> =
+                    direct.iter().map(|sup| Element::Subtype(ty, *sup)).collect();
+                let super_names: Vec<&str> =
+                    direct.iter().map(|s| schema.object_type(*s).name()).collect();
+                out.push(Finding {
+                    code: CheckCode::P1,
+                    severity: Severity::Unsatisfiable,
+                    unsat_roles: idx.roles_of_type[ty.index()].clone(),
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![ty],
+                    culprits,
+                    message: format!(
+                        "the subtype `{}` cannot be satisfied as its supertypes ({}) do \
+                         not have a top common supertype",
+                        schema.object_type(ty).name(),
+                        super_names.join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P1.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// The paper's Fig. 2: C <: A, C <: B with A, B unrelated tops.
+    #[test]
+    fn fig2_fires() {
+        let mut b = SchemaBuilder::new("fig2");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(c, a).unwrap();
+        b.subtype(c, bb).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![c]);
+        assert_eq!(findings[0].severity, Severity::Unsatisfiable);
+        assert!(findings[0].message.contains('C'));
+    }
+
+    /// Fig. 1's diamond: supertypes share `Person`, so Pattern 1 stays
+    /// silent (Pattern 2 handles the explicit exclusion).
+    #[test]
+    fn diamond_with_common_top_passes() {
+        let mut b = SchemaBuilder::new("diamond");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// One supertype being an ancestor of the other counts as common:
+    /// `T <: A, T <: B, B <: A` is satisfiable.
+    #[test]
+    fn ancestor_supertype_is_common() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let t = b.entity_type("T").unwrap();
+        b.subtype(bb, a).unwrap();
+        b.subtype(t, a).unwrap();
+        b.subtype(t, bb).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    #[test]
+    fn single_supertype_never_fires() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let t = b.entity_type("T").unwrap();
+        b.subtype(t, a).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Three direct supertypes where only two share a top: still empty
+    /// intersection overall.
+    #[test]
+    fn three_supertypes_partial_overlap_fires() {
+        let mut b = SchemaBuilder::new("s");
+        let root = b.entity_type("Root").unwrap();
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let lone = b.entity_type("Lone").unwrap();
+        let t = b.entity_type("T").unwrap();
+        b.subtype(a, root).unwrap();
+        b.subtype(c, root).unwrap();
+        b.subtype(t, a).unwrap();
+        b.subtype(t, c).unwrap();
+        b.subtype(t, lone).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![t]);
+    }
+
+    /// Roles played by the doomed subtype are reported unsatisfiable too.
+    #[test]
+    fn reports_roles_of_unsat_type() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(c, a).unwrap();
+        b.subtype(c, bb).unwrap();
+        let f = b.fact_type("f", c, a).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings[0].unsat_roles, vec![s.fact_type(f).first()]);
+    }
+}

@@ -1,0 +1,209 @@
+//! Pattern 2 — *Exclusive constraint between types* (paper §2, Figs. 1, 3).
+//!
+//! An exclusive constraint forces the populations of the listed types to be
+//! pairwise disjoint. Any common subtype of two of them is a subset of an
+//! empty intersection, hence unpopulatable. The check intersects the
+//! **reflexive** subtype closures, so it also catches an exclusion declared
+//! between a type and its own (transitive) subtype — the subtype itself is
+//! then the doomed member of the intersection.
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{
+    Constraint, ConstraintKind, Element, ObjectTypeId, RoleId, Schema, SchemaIndex,
+};
+use std::collections::BTreeSet;
+
+/// Pattern 2 check.
+pub struct P2;
+
+impl Check for P2 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P2
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::ExclusiveTypes),
+            Trigger::Subtyping,
+            Trigger::Structure,
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::ExclusiveTypes(excl) = c else { continue };
+            // Collect the doomed types across all pairs so one constraint
+            // yields one finding, like the appendix algorithm's message
+            // "all subtypes in <S> cannot be instantiated".
+            let mut doomed: BTreeSet<ObjectTypeId> = BTreeSet::new();
+            for (i, ti) in excl.types.iter().enumerate() {
+                for tj in excl.types.iter().skip(i + 1) {
+                    let si = idx.subs_refl(*ti);
+                    let sj = idx.subs_refl(*tj);
+                    doomed.extend(si.intersection(&sj).copied());
+                }
+            }
+            if doomed.is_empty() {
+                continue;
+            }
+            let unsat_roles: Vec<RoleId> = doomed
+                .iter()
+                .flat_map(|t| idx.roles_of_type[t.index()].iter().copied())
+                .collect();
+            let names: Vec<&str> =
+                doomed.iter().map(|t| schema.object_type(*t).name()).collect();
+            out.push(Finding {
+                code: CheckCode::P2,
+                severity: Severity::Unsatisfiable,
+                unsat_roles,
+                joint_unsat_roles: Vec::new(),
+                unsat_types: doomed.into_iter().collect(),
+                culprits: vec![Element::Constraint(cid)],
+                message: format!(
+                    "the type(s) {} cannot be instantiated because of the exclusive \
+                     constraint between {}",
+                    names.join(", "),
+                    excl.types
+                        .iter()
+                        .map(|t| schema.object_type(*t).name())
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P2.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Fig. 1: PhD student is a common subtype of the exclusive Student and
+    /// Employee.
+    #[test]
+    fn fig1_flags_phd_student() {
+        let mut b = SchemaBuilder::new("fig1");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("PhdStudent").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        b.exclusive_types([student, employee]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![phd]);
+        assert!(findings[0].message.contains("PhdStudent"));
+    }
+
+    /// Fig. 3: D <: B, D <: C with B ⊗ C.
+    #[test]
+    fn fig3_flags_d() {
+        let mut b = SchemaBuilder::new("fig3");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let d = b.entity_type("D").unwrap();
+        b.subtype(bb, a).unwrap();
+        b.subtype(c, a).unwrap();
+        b.subtype(d, bb).unwrap();
+        b.subtype(d, c).unwrap();
+        b.exclusive_types([bb, c]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![d]);
+    }
+
+    /// Indirect common subtypes are caught through the transitive closure.
+    #[test]
+    fn transitive_common_subtype_flagged() {
+        let mut b = SchemaBuilder::new("s");
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let mid = b.entity_type("Mid").unwrap();
+        let leaf = b.entity_type("Leaf").unwrap();
+        b.subtype(mid, x).unwrap();
+        b.subtype(mid, y).unwrap();
+        b.subtype(leaf, mid).unwrap();
+        b.exclusive_types([x, y]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![mid, leaf]);
+    }
+
+    /// Exclusion between a type and its own subtype dooms the subtype.
+    #[test]
+    fn exclusion_with_own_subtype() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        b.subtype(bb, a).unwrap();
+        b.exclusive_types([a, bb]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![bb]);
+    }
+
+    /// Disjoint subtrees: nothing fires.
+    #[test]
+    fn disjoint_subtrees_pass() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let d = b.entity_type("D").unwrap();
+        b.subtype(c, a).unwrap();
+        b.subtype(d, bb).unwrap();
+        b.exclusive_types([a, bb]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// A three-way exclusive constraint checks every pair.
+    #[test]
+    fn three_way_exclusion() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let d = b.entity_type("D").unwrap();
+        // D under B and C only; A unrelated.
+        b.subtype(d, bb).unwrap();
+        b.subtype(d, c).unwrap();
+        b.exclusive_types([a, bb, c]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![d]);
+    }
+
+    /// Roles played by doomed subtypes are reported.
+    #[test]
+    fn roles_of_doomed_types_reported() {
+        let mut b = SchemaBuilder::new("s");
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let d = b.entity_type("D").unwrap();
+        b.subtype(d, x).unwrap();
+        b.subtype(d, y).unwrap();
+        b.exclusive_types([x, y]).unwrap();
+        let f = b.fact_type("f", d, x).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings[0].unsat_roles, vec![s.fact_type(f).first()]);
+    }
+}

@@ -1,0 +1,273 @@
+//! Pattern 3 — *Exclusion-Mandatory* (paper §2, Fig. 4).
+//!
+//! Let `R` be the roles of an exclusion constraint over single roles, and let
+//! `Ri ∈ R` carry a simple mandatory constraint. Every instance of
+//! `player(Ri)` plays `Ri`, and by exclusion it then cannot play any other
+//! role in `R`. So every `Rj ∈ R` whose player equals `player(Ri)` — or is
+//! one of its subtypes, since subtypes inherit roles and constraints
+//! (Fig. 4c) — can never be played.
+//!
+//! When the conflicting `Rj` is itself mandatory, no instance of the more
+//! specific player can exist at all: the object type joins the
+//! unsatisfiable set (Fig. 4b).
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{
+    Constraint, ConstraintKind, Element, ObjectTypeId, RoleId, Schema, SchemaIndex,
+    SetComparisonKind,
+};
+use std::collections::BTreeSet;
+
+/// Pattern 3 check.
+pub struct P3;
+
+impl Check for P3 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P3
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::SetComparison),
+            Trigger::Constraint(ConstraintKind::Mandatory),
+            Trigger::Subtyping,
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion || !sc.over_single_roles() {
+                continue;
+            }
+            let roles: Vec<RoleId> = sc.args.iter().map(|seq| seq.roles()[0]).collect();
+
+            let mut unsat_roles: BTreeSet<RoleId> = BTreeSet::new();
+            let mut unsat_types: BTreeSet<ObjectTypeId> = BTreeSet::new();
+            let mut culprits: Vec<Element> = vec![Element::Constraint(cid)];
+
+            for &ri in &roles {
+                let Some(mand_i) = idx.mandatory_on(ri) else { continue };
+                let pi = schema.player(ri);
+                for &rj in &roles {
+                    if ri == rj {
+                        continue;
+                    }
+                    let pj = schema.player(rj);
+                    // player(Rj) = player(Ri) or player(Rj) ∈ Subs(player(Ri)).
+                    if pj == pi || idx.subs(pi).contains(&pj) {
+                        unsat_roles.insert(rj);
+                        let mand_elem = Element::Constraint(mand_i);
+                        if !culprits.contains(&mand_elem) {
+                            culprits.push(mand_elem);
+                        }
+                        // Fig. 4b: a second mandatory constraint on the
+                        // conflicting role dooms the (more specific) player.
+                        // Only with *identical* players does Ri itself die
+                        // too — when pj is a proper subtype, instances of
+                        // pi \ pj can still play Ri.
+                        if idx.mandatory_on(rj).is_some() {
+                            unsat_types.insert(pj);
+                            if pj == pi {
+                                unsat_roles.insert(ri);
+                            }
+                        }
+                    }
+                }
+            }
+
+            if unsat_roles.is_empty() {
+                continue;
+            }
+            // Roles played by a doomed type are doomed as well.
+            for t in &unsat_types {
+                unsat_roles.extend(idx.roles_of_type[t.index()].iter().copied());
+            }
+            let role_names: Vec<&str> =
+                unsat_roles.iter().map(|r| schema.role_label(*r)).collect();
+            out.push(Finding {
+                code: CheckCode::P3,
+                severity: Severity::Unsatisfiable,
+                unsat_roles: unsat_roles.into_iter().collect(),
+                joint_unsat_roles: Vec::new(),
+                unsat_types: unsat_types.into_iter().collect(),
+                culprits,
+                message: format!(
+                    "the role(s) {} cannot be populated: a mandatory role in the \
+                     exclusion constraint forces every instance of its player away \
+                     from them",
+                    role_names.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P3.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Fig. 4a: mandatory r1, exclusion {r1, r3}, both played by A.
+    /// Only r3 is doomed.
+    #[test]
+    fn fig4a() {
+        let mut b = SchemaBuilder::new("fig4a");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("B").unwrap();
+        let y = b.entity_type("C").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r3]);
+        assert!(findings[0].unsat_types.is_empty());
+    }
+
+    /// Fig. 4b: both r1 and r3 mandatory → both doomed, and A itself.
+    #[test]
+    fn fig4b() {
+        let mut b = SchemaBuilder::new("fig4b");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("B").unwrap();
+        let y = b.entity_type("C").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.mandatory(r3).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r1, r3]);
+        assert_eq!(findings[0].unsat_types, vec![a]);
+    }
+
+    /// Fig. 4c: B <: A plays r5; mandatory r1 on A; exclusion {r1, r3, r5}.
+    /// r3 (player A) and r5 (player B, inheriting A's constraints) die.
+    #[test]
+    fn fig4c() {
+        let mut b = SchemaBuilder::new("fig4c");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        b.subtype(bb, a).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (x, Some("r4")), None).unwrap();
+        let f3 = b.fact_type_full("f3", (bb, Some("r5")), (x, Some("r6")), None).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3, r5]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r3, r5]);
+        assert!(findings[0].unsat_types.is_empty());
+    }
+
+    /// Exclusion across unrelated players is implied by implicit type
+    /// exclusion but harms nothing: no finding.
+    #[test]
+    fn unrelated_players_pass() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", c, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// The inverted subtype direction (mandatory on the subtype's role,
+    /// other role on the supertype) must NOT fire — this is the Fig. 14
+    /// situation where the supertype instance can avoid the subtype.
+    #[test]
+    fn mandatory_on_subtype_role_does_not_doom_supertype_role() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(c, a).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type_full("f1", (c, Some("r3")), (x, Some("r4")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r5")), (x, Some("r6")), None).unwrap();
+        let r3 = b.schema().fact_type(f1).first();
+        let r5 = b.schema().fact_type(f2).first();
+        b.mandatory(r3).unwrap();
+        b.exclusion_roles([r3, r5]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// No mandatory role → no conflict.
+    #[test]
+    fn exclusion_without_mandatory_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// A disjunctive mandatory over the excluded roles is the classic
+    /// "exactly one" idiom and satisfiable — must not fire.
+    #[test]
+    fn disjunctive_mandatory_does_not_fire() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.disjunctive_mandatory([r1, r3]).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Exclusion between whole predicates is Pattern 6's business, not P3's.
+    #[test]
+    fn predicate_exclusion_ignored() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let [f10, f11] = b.schema().fact_type(f1).roles();
+        let [f20, f21] = b.schema().fact_type(f2).roles();
+        b.mandatory(f10).unwrap();
+        b.exclusion([
+            orm_model::RoleSeq::pair(f10, f11),
+            orm_model::RoleSeq::pair(f20, f21),
+        ])
+        .unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+}

@@ -1,0 +1,203 @@
+//! Pattern 4 — *Frequency-Value* (paper §2, Fig. 5).
+//!
+//! A frequency constraint `FC(min..max)` on a single role `r` of fact type
+//! `A r B` demands that every instance playing `r` occurs in at least `min`
+//! tuples. Tuples of a predicate are distinct (set semantics), so those
+//! `min` tuples need `min` **distinct** partners on the opposite role. If
+//! the co-role player's value constraint admits fewer than `min` values,
+//! `r` can never be populated.
+//!
+//! The cardinality is the *effective* one: value constraints on supertypes
+//! of the co-player bound its population as well
+//! (see [`super::effective_value_cardinality`]).
+
+use super::{effective_value_cardinality, Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{Constraint, ConstraintKind, Element, Schema, SchemaIndex};
+
+/// Pattern 4 check.
+pub struct P4;
+
+impl Check for P4 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P4
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::Frequency),
+            Trigger::Values,
+            Trigger::Subtyping,
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            let [role] = fc.roles[..] else { continue };
+            let co = schema.co_role(role);
+            let co_player = schema.player(co);
+            let Some((cardinality, vc_holder)) =
+                effective_value_cardinality(schema, idx, co_player)
+            else {
+                continue;
+            };
+            if cardinality >= u64::from(fc.min) {
+                continue;
+            }
+            out.push(Finding {
+                code: CheckCode::P4,
+                severity: Severity::Unsatisfiable,
+                // The whole fact type dies with the constrained role.
+                unsat_roles: vec![role, co],
+                joint_unsat_roles: Vec::new(),
+                unsat_types: vec![],
+                culprits: vec![Element::Constraint(cid), Element::ObjectType(vc_holder)],
+                message: format!(
+                    "the role `{}` cannot be instantiated: {} requires {} distinct \
+                     partners but the value constraint on `{}` admits only {} value(s)",
+                    schema.role_label(role),
+                    fc.notation(),
+                    fc.min,
+                    schema.object_type(vc_holder).name(),
+                    cardinality
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{SchemaBuilder, ValueConstraint};
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P4.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Fig. 5: FC(3-5) on r1, value constraint {'x1','x2'} on B.
+    #[test]
+    fn fig5_fires() {
+        let mut b = SchemaBuilder::new("fig5");
+        let a = b.entity_type("A").unwrap();
+        let bb = b
+            .value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"])))
+            .unwrap();
+        let f = b.fact_type_full("f", (a, Some("r1")), (bb, Some("r2")), None).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 3, Some(5)).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r1, s.co_role(r1)]);
+        assert!(findings[0].message.contains("FC(3-5)"));
+    }
+
+    /// Exactly enough values: FC(2-5) with two values is fine.
+    #[test]
+    fn boundary_equal_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b
+            .value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"])))
+            .unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 2, Some(5)).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// No value constraint → unbounded partners → no finding.
+    #[test]
+    fn unbounded_co_player_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 100, None).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// The value constraint on the constrained role's own player is
+    /// irrelevant; only the co-role's player bounds the partners.
+    #[test]
+    fn own_player_value_constraint_irrelevant() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["a1"]))).unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 3, None).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// FC on the second role looks at the first role's player.
+    #[test]
+    fn second_role_frequency() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["a1", "a2"]))).unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let r2 = b.schema().fact_type(f).second();
+        b.frequency([r2], 3, None).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].unsat_roles.contains(&r2));
+    }
+
+    /// Value constraint inherited from the co-player's supertype still
+    /// bounds the partners.
+    #[test]
+    fn inherited_value_constraint_detected() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let sup = b
+            .value_type("Sup", Some(ValueConstraint::enumeration(["x1", "x2"])))
+            .unwrap();
+        let sub = b.entity_type("Sub").unwrap();
+        b.subtype(sub, sup).unwrap();
+        let f = b.fact_type("f", a, sub).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 3, None).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].culprits.contains(&Element::ObjectType(sup)));
+    }
+
+    /// Integer-range value constraints count like enumerations.
+    #[test]
+    fn int_range_cardinality() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b
+            .value_type("B", Some(ValueConstraint::IntRange { min: 1, max: 2 }))
+            .unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.frequency([r1], 3, None).unwrap();
+        let s = b.finish();
+        assert_eq!(run(&s).len(), 1);
+    }
+
+    /// Spanning frequency constraints are Pattern 7's concern.
+    #[test]
+    fn spanning_frequency_ignored() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.value_type("B", Some(ValueConstraint::enumeration(["x"]))).unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let [r1, r2] = b.schema().fact_type(f).roles();
+        b.frequency([r1, r2], 3, None).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+}

@@ -1,0 +1,284 @@
+//! Pattern 5 — *Value-Exclusion-Frequency* (paper §2, Figs. 6 and 7).
+//!
+//! For an exclusion constraint over single roles `R = {R1..Rn}` all played
+//! by one object type `T`: populating `Ri` at all requires at least `fi`
+//! distinct instances of `T` in `Ri`'s column, where `fi` is the minimum of
+//! the frequency constraint on the *inverse* role `Si` (1 when absent) —
+//! one tuple of the fact needs an `Si`-player, and that player must occur
+//! `fi` times with distinct `Ri`-side partners. The exclusion makes the
+//! columns pairwise disjoint, so populating *all* roles needs
+//! `f1 + … + fn` distinct values. If `T`'s value constraint admits fewer,
+//! some role in `R` must stay empty — a strong-satisfiability failure.
+//!
+//! Fig. 7 is the special case with all `fi = 1`: `n` mutually exclusive
+//! roles over a type with fewer than `n` possible values.
+//!
+//! Going slightly beyond the paper's formalization (which requires a single
+//! common player `T`), the check also sums against any *common supertype*
+//! of the players, because all columns live inside that supertype's
+//! value-bounded population too.
+
+use super::{effective_value_cardinality, Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{
+    Constraint, ConstraintKind, Element, ObjectTypeId, RoleId, Schema, SchemaIndex,
+    SetComparisonKind,
+};
+use std::collections::BTreeSet;
+
+/// Pattern 5 check.
+pub struct P5;
+
+impl Check for P5 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P5
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::SetComparison),
+            Trigger::Constraint(ConstraintKind::Frequency),
+            Trigger::Values,
+            Trigger::Subtyping,
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion || !sc.over_single_roles() {
+                continue;
+            }
+            let roles: Vec<RoleId> = sc.args.iter().map(|seq| seq.roles()[0]).collect();
+
+            // Common (reflexive) supertypes of all players; the paper's
+            // formalization is the special case where the players coincide.
+            let mut common: Option<BTreeSet<ObjectTypeId>> = None;
+            for &r in &roles {
+                let supers = idx.supers_refl(schema.player(r));
+                common = Some(match common {
+                    None => supers,
+                    Some(acc) => acc.intersection(&supers).copied().collect(),
+                });
+            }
+            let common = common.unwrap_or_default();
+            if common.is_empty() {
+                continue;
+            }
+
+            // Required distinct values: Σ fi with fi = min FC on the inverse
+            // role Si (1 if absent).
+            let mut required: u64 = 0;
+            let mut culprits: Vec<Element> = vec![Element::Constraint(cid)];
+            for &r in &roles {
+                let inverse = schema.co_role(r);
+                let (fi, fc_id) = idx.min_frequency_of_role(inverse);
+                required += u64::from(fi);
+                if let Some(fc_id) = fc_id {
+                    culprits.push(Element::Constraint(fc_id));
+                }
+            }
+
+            // The tightest bound among the common supertypes decides.
+            let mut bound: Option<(u64, ObjectTypeId)> = None;
+            for t in common {
+                if let Some((card, holder)) = effective_value_cardinality(schema, idx, t) {
+                    bound = Some(match bound {
+                        Some((b, _)) if b <= card => bound.unwrap(),
+                        _ => (card, holder),
+                    });
+                }
+            }
+            let Some((cardinality, vc_holder)) = bound else { continue };
+            if cardinality >= required {
+                continue;
+            }
+            culprits.push(Element::ObjectType(vc_holder));
+            let role_names: Vec<&str> = roles.iter().map(|r| schema.role_label(*r)).collect();
+            out.push(Finding {
+                code: CheckCode::P5,
+                severity: Severity::Unsatisfiable,
+                // The paper: "SOME roles in R cannot be satisfied" — the
+                // contradiction is joint, not per-role: any |R|-1 of the
+                // roles may well be populatable together.
+                unsat_roles: Vec::new(),
+                joint_unsat_roles: roles,
+                unsat_types: vec![],
+                culprits,
+                message: format!(
+                    "the roles {} cannot all be populated: the exclusion constraint \
+                     needs {} distinct values of `{}` but its value constraint admits \
+                     only {}",
+                    role_names.join(", "),
+                    required,
+                    schema.object_type(vc_holder).name(),
+                    cardinality
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{SchemaBuilder, ValueConstraint};
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P5.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Fig. 6: A has 2 values; exclusion {r1, r3}; FC(2-) on r1's inverse.
+    /// Required 2 + 1 = 3 > 2.
+    #[test]
+    fn fig6_fires() {
+        let mut b = SchemaBuilder::new("fig6");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+        let x = b.entity_type("B").unwrap();
+        let y = b.entity_type("C").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (y, Some("r4")), None).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r2 = b.schema().fact_type(f1).second();
+        let r3 = b.schema().fact_type(f2).first();
+        b.frequency([r2], 2, None).unwrap(); // FC on the inverse role of r1
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].joint_unsat_roles, vec![r1, r3]);
+        assert!(findings[0].unsat_roles.is_empty());
+        assert!(findings[0].message.contains("3 distinct values"));
+    }
+
+    /// Fig. 6 without the frequency constraint: 1 + 1 = 2 ≤ 2 values — the
+    /// paper stresses that all three constraint kinds are needed.
+    #[test]
+    fn fig6_without_frequency_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+        let x = b.entity_type("B").unwrap();
+        let y = b.entity_type("C").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Fig. 6 without the value constraint: unbounded values, no finding.
+    #[test]
+    fn fig6_without_value_constraint_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("B").unwrap();
+        let y = b.entity_type("C").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r2 = b.schema().fact_type(f1).second();
+        let r3 = b.schema().fact_type(f2).first();
+        b.frequency([r2], 2, None).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Fig. 7: three mutually exclusive roles over a 2-value type, no
+    /// frequency constraints (all fi = 1): 3 > 2.
+    #[test]
+    fn fig7_fires() {
+        let mut b = SchemaBuilder::new("fig7");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (x, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (x, Some("r4")), None).unwrap();
+        let f3 = b.fact_type_full("f3", (a, Some("r5")), (x, Some("r6")), None).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        b.exclusion_roles([r1, r3, r5]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].joint_unsat_roles, vec![r1, r3, r5]);
+    }
+
+    /// Two exclusive roles over a 2-value type: exactly enough.
+    #[test]
+    fn boundary_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Players that are different subtypes of a value-bounded supertype are
+    /// still caught through the common-supertype refinement.
+    #[test]
+    fn common_supertype_bound_detected() {
+        let mut b = SchemaBuilder::new("s");
+        let sup = b.value_type("Sup", Some(ValueConstraint::enumeration(["v1", "v2"]))).unwrap();
+        let p = b.entity_type("P").unwrap();
+        let q = b.entity_type("Q").unwrap();
+        let rr = b.entity_type("R").unwrap();
+        b.subtype(p, sup).unwrap();
+        b.subtype(q, sup).unwrap();
+        b.subtype(rr, sup).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", p, x).unwrap();
+        let f2 = b.fact_type("f2", q, x).unwrap();
+        let f3 = b.fact_type("f3", rr, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        b.exclusion_roles([r1, r3, r5]).unwrap();
+        let s = b.finish();
+        assert_eq!(run(&s).len(), 1);
+    }
+
+    /// Unrelated players: no common bound, nothing to sum against.
+    #[test]
+    fn unrelated_players_pass() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1"]))).unwrap();
+        let c = b.value_type("C", Some(ValueConstraint::enumeration(["w1"]))).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", c, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Several frequency constraints on one inverse role: the strictest
+    /// minimum is the binding requirement.
+    #[test]
+    fn strictest_frequency_used() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.value_type("A", Some(ValueConstraint::enumeration(["v1", "v2", "v3"]))).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r2 = b.schema().fact_type(f1).second();
+        let r3 = b.schema().fact_type(f2).first();
+        b.frequency([r2], 2, None).unwrap();
+        b.frequency([r2], 3, None).unwrap(); // strictest: 3, so 3 + 1 > 3
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert_eq!(run(&s).len(), 1);
+    }
+}

@@ -1,0 +1,286 @@
+//! Pattern 6 — *Set-comparison constraints* (paper §2, Figs. 8 and 9).
+//!
+//! An exclusion constraint contradicts any direct or implied *SetPath*
+//! (chain of subset/equality constraints, including the Fig. 9 projections)
+//! between its arguments: `pop(X) ⊆ pop(Y)` together with
+//! `pop(X) ∩ pop(Y) = ∅` forces `pop(X) = ∅`.
+//!
+//! * For an exclusion between whole predicates, the SetPath is sought
+//!   between the predicates.
+//! * For an exclusion between single roles, it is sought between the roles
+//!   *or* between their predicates (an exclusion between roles implies an
+//!   exclusion between their predicates — Fig. 9).
+//!
+//! The ⊆-smaller side is provably empty; since the population of a role is
+//! the projection of its fact table, the whole fact type of that side dies
+//! (the paper: "the two predicates cannot be populated"). With an equality
+//! path both sides die.
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use crate::setpath::{Node, SetPathGraph};
+use orm_model::{
+    Constraint, ConstraintKind, Element, RoleId, RoleSeq, Schema, SchemaIndex,
+    SetComparisonKind,
+};
+use std::collections::BTreeSet;
+
+/// Pattern 6 check.
+pub struct P6;
+
+impl Check for P6 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P6
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        let graph = SetPathGraph::build(schema, None);
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion {
+                continue;
+            }
+            for (i, a) in sc.args.iter().enumerate() {
+                for b in sc.args.iter().skip(i + 1) {
+                    check_pair(schema, &graph, cid, a, b, out);
+                }
+            }
+        }
+    }
+}
+
+fn check_pair(
+    schema: &Schema,
+    graph: &SetPathGraph,
+    exclusion: orm_model::ConstraintId,
+    a: &RoleSeq,
+    b: &RoleSeq,
+    out: &mut Vec<Finding>,
+) {
+    let na = Node::from_seq(a);
+    let nb = Node::from_seq(b);
+
+    // SetPath between the arguments themselves.
+    let mut hit = graph.path_either(&na, &nb).map(|(fwd, chain)| (fwd, chain, na.clone(), nb.clone()));
+
+    // For single roles: also between their predicates (in fact order).
+    if hit.is_none() && a.is_single() && b.is_single() {
+        let pa = predicate_node(schema, a.roles()[0]);
+        let pb = predicate_node(schema, b.roles()[0]);
+        hit = graph.path_either(&pa, &pb).map(|(fwd, chain)| (fwd, chain, pa, pb));
+    }
+
+    let Some((forward, chain, from, to)) = hit else { return };
+    let (sub_node, _sup_node) = if forward { (from, to) } else { (to, from) };
+
+    // Does the chain also run backwards (equality somewhere)? Then both
+    // sides are empty.
+    let both = graph.path(&if forward { nb.clone() } else { na.clone() },
+                          &if forward { na.clone() } else { nb.clone() }).is_some();
+
+    let mut dead: BTreeSet<RoleId> = BTreeSet::new();
+    for r in sub_node.roles() {
+        extend_with_fact_roles(schema, r, &mut dead);
+    }
+    if both {
+        for seq in [a, b] {
+            for r in seq.roles() {
+                extend_with_fact_roles(schema, *r, &mut dead);
+            }
+        }
+    }
+
+    let mut culprits: Vec<Element> = vec![Element::Constraint(exclusion)];
+    culprits.extend(chain.iter().map(|c| Element::Constraint(*c)));
+
+    let names: Vec<&str> = dead.iter().map(|r| schema.role_label(*r)).collect();
+    out.push(Finding {
+        code: CheckCode::P6,
+        severity: Severity::Unsatisfiable,
+        unsat_roles: dead.into_iter().collect(),
+        joint_unsat_roles: Vec::new(),
+        unsat_types: vec![],
+        culprits,
+        message: format!(
+            "the exclusion constraint between {} and {} contradicts the subset/equality \
+             constraint path between them; the role(s) {} cannot be populated",
+            schema.seq_label(a),
+            schema.seq_label(b),
+            names.join(", ")
+        ),
+    });
+}
+
+/// Both roles of `role`'s fact type: an empty role projection means an empty
+/// fact table, killing the co-role too.
+fn extend_with_fact_roles(schema: &Schema, role: RoleId, into: &mut BTreeSet<RoleId>) {
+    let fact = schema.fact_type(schema.role(role).fact_type());
+    into.insert(fact.first());
+    into.insert(fact.second());
+}
+
+fn predicate_node(schema: &Schema, role: RoleId) -> Node {
+    let fact = schema.fact_type(schema.role(role).fact_type());
+    Node::Pair(fact.first(), fact.second())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P6.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Two facts over A×B with labelled roles.
+    fn two_facts() -> (SchemaBuilder, [RoleId; 4]) {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f1 = b.fact_type_full("f1", (a, Some("r1")), (bb, Some("r2")), None).unwrap();
+        let f2 = b.fact_type_full("f2", (a, Some("r3")), (bb, Some("r4")), None).unwrap();
+        let [r1, r2] = b.schema().fact_type(f1).roles();
+        let [r3, r4] = b.schema().fact_type(f2).roles();
+        (b, [r1, r2, r3, r4])
+    }
+
+    /// Fig. 8: exclusion between r1 and r3 plus subset (r1,r2) ⊆ (r3,r4).
+    #[test]
+    fn fig8_fires() {
+        let (mut b, [r1, r2, r3, r4]) = two_facts();
+        b.exclusion_roles([r1, r3]).unwrap();
+        b.subset(RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        // The subset's sub side (fact f1) is provably dead.
+        assert_eq!(findings[0].unsat_roles, vec![r1, r2]);
+        assert_eq!(findings[0].culprits.len(), 2);
+    }
+
+    /// Exclusion + subset between the same single roles.
+    #[test]
+    fn role_level_subset_conflicts() {
+        let (mut b, [r1, _, r3, _]) = two_facts();
+        b.exclusion_roles([r1, r3]).unwrap();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].unsat_roles.contains(&r1));
+    }
+
+    /// Subset in the opposite direction still conflicts (the other side
+    /// dies).
+    #[test]
+    fn reverse_subset_conflicts() {
+        let (mut b, [r1, _, r3, r4]) = two_facts();
+        b.exclusion_roles([r1, r3]).unwrap();
+        b.subset(RoleSeq::single(r3), RoleSeq::single(r1)).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].unsat_roles.contains(&r3));
+        assert!(findings[0].unsat_roles.contains(&r4));
+    }
+
+    /// Equality between excluded predicates kills both facts.
+    #[test]
+    fn equality_kills_both_sides() {
+        let (mut b, [r1, r2, r3, r4]) = two_facts();
+        b.exclusion([RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)]).unwrap();
+        b.equality([RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r1, r2, r3, r4]);
+    }
+
+    /// An implied (transitive) path is found, with the full chain reported.
+    #[test]
+    fn implied_path_detected() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let f3 = b.fact_type("f3", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        let c1 = b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        let c2 = b.subset(RoleSeq::single(r3), RoleSeq::single(r5)).unwrap();
+        let e = b.exclusion_roles([r1, r5]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(
+            findings[0].culprits,
+            vec![Element::Constraint(e), Element::Constraint(c1), Element::Constraint(c2)]
+        );
+    }
+
+    /// Fig. 9 projection: a predicate-level subset implies role-level
+    /// subsets, contradicting a role-level exclusion.
+    #[test]
+    fn projection_from_predicate_subset() {
+        let (mut b, [r1, r2, r3, r4]) = two_facts();
+        b.subset(RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)).unwrap();
+        b.exclusion_roles([r2, r4]).unwrap();
+        let s = b.finish();
+        // r2 ⊆ r4 via projection; exclusion {r2, r4} → f1 dies.
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].unsat_roles.contains(&r2));
+    }
+
+    /// Role-level subsets do NOT imply predicate-level subsets: exclusion
+    /// between predicates stays satisfiable.
+    #[test]
+    fn no_upward_projection() {
+        let (mut b, [r1, r2, r3, r4]) = two_facts();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        b.subset(RoleSeq::single(r2), RoleSeq::single(r4)).unwrap();
+        b.exclusion([RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Unrelated exclusion and subset constraints: silence.
+    #[test]
+    fn unrelated_constraints_pass() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let f3 = b.fact_type("f3", a, x).unwrap();
+        let f4 = b.fact_type("f4", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        let r7 = b.schema().fact_type(f4).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        b.subset(RoleSeq::single(r5), RoleSeq::single(r7)).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Cross-position subset ((r1,r2) ⊆ (r4,r3)) with exclusion between r1
+    /// and r3: positions do not align, no contradiction.
+    #[test]
+    fn cross_orientation_no_false_positive() {
+        let (mut b, [r1, r2, r3, r4]) = two_facts();
+        b.subset(RoleSeq::pair(r1, r2), RoleSeq::pair(r4, r3)).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+}

@@ -1,0 +1,175 @@
+//! Pattern 7 — *Uniqueness-Frequency* (paper §2, Fig. 10).
+//!
+//! A uniqueness constraint over a role sequence says each instance
+//! combination occurs at most once; a frequency constraint `FC(min..max)`
+//! with `min > 1` over the same (or a larger) sequence says every occurring
+//! combination occurs at least `min` times. Together nothing can occur at
+//! all.
+//!
+//! The paper's related discussion (§3, formation rule 2) notes that a
+//! predicate is implicitly spanned by a uniqueness constraint — predicates
+//! are sets — so a *spanning* frequency constraint with `min > 1` is
+//! unsatisfiable even without an explicit uniqueness constraint; this check
+//! covers that case too. `FC(1-max)` is merely redundant (formation rule 3
+//! loosened, as §3 explains) and is left to the formation-rule lints.
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{Constraint, ConstraintKind, Element, Schema, SchemaIndex};
+
+/// Pattern 7 check.
+pub struct P7;
+
+impl Check for P7 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P7
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[
+            Trigger::Constraint(ConstraintKind::Frequency),
+            Trigger::Constraint(ConstraintKind::Uniqueness),
+        ]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::Frequency(fc) = c else { continue };
+            if fc.min <= 1 {
+                continue;
+            }
+            let spans_fact = fc.roles.len() == 2;
+            let ucs = idx.uniqueness_within(&fc.roles);
+            if !spans_fact && ucs.is_empty() {
+                continue;
+            }
+            let mut culprits = vec![Element::Constraint(cid)];
+            culprits.extend(ucs.iter().map(|u| Element::Constraint(*u)));
+            let fact = schema.fact_type(schema.role(fc.roles[0]).fact_type());
+            let reason = if ucs.is_empty() {
+                "the implicit spanning uniqueness of set semantics".to_owned()
+            } else {
+                "a uniqueness constraint on the same roles".to_owned()
+            };
+            out.push(Finding {
+                code: CheckCode::P7,
+                severity: Severity::Unsatisfiable,
+                unsat_roles: vec![fact.first(), fact.second()],
+                joint_unsat_roles: Vec::new(),
+                unsat_types: vec![],
+                culprits,
+                message: format!(
+                    "the frequency constraint {} on {} cannot be satisfied: it \
+                     conflicts with {}",
+                    fc.notation(),
+                    schema.seq_label(&orm_model::RoleSeq(fc.roles.clone())),
+                    reason
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RoleId, SchemaBuilder};
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P7.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    fn one_fact() -> (SchemaBuilder, [RoleId; 2]) {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f = b.fact_type_full("f", (a, Some("r1")), (bb, Some("r2")), None).unwrap();
+        let roles = b.schema().fact_type(f).roles();
+        (b, roles)
+    }
+
+    /// Fig. 10: UC on r1 + FC(2-5) on r1.
+    #[test]
+    fn fig10_fires() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.frequency([r1], 2, Some(5)).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r1, r2]);
+        assert!(findings[0].message.contains("FC(2-5)"));
+        assert_eq!(findings[0].culprits.len(), 2);
+    }
+
+    /// FC(1-5) + UC is redundant but satisfiable (§3's loosening of
+    /// formation rule 3).
+    #[test]
+    fn fc_min_one_passes() {
+        let (mut b, [r1, _]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.frequency([r1], 1, Some(5)).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// FC(min>1) without any uniqueness on that role: satisfiable.
+    #[test]
+    fn fc_without_uc_passes() {
+        let (mut b, [r1, _]) = one_fact();
+        b.frequency([r1], 3, Some(5)).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// UC on the *other* role does not conflict.
+    #[test]
+    fn uc_on_other_role_passes() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r2]).unwrap();
+        b.frequency([r1], 2, None).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// A spanning UC does not conflict with a single-role FC: an instance
+    /// can still play r1 twice with different partners.
+    #[test]
+    fn spanning_uc_with_single_role_fc_passes() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r1, r2]).unwrap();
+        b.frequency([r1], 2, None).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// A spanning FC with min > 1 is unsatisfiable by set semantics alone
+    /// (formation rule 2's unsat case).
+    #[test]
+    fn spanning_fc_min_two_fires() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.frequency([r1, r2], 2, None).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles, vec![r1, r2]);
+        assert!(findings[0].message.contains("implicit spanning uniqueness"));
+    }
+
+    /// A single-role UC inside a spanning FC also conflicts (the UC bounds
+    /// the projection, the FC demands repetition).
+    #[test]
+    fn uc_within_spanning_fc_fires() {
+        let (mut b, [r1, r2]) = one_fact();
+        b.unique([r1]).unwrap();
+        b.frequency([r1, r2], 2, None).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        // Both the implicit-spanning argument and the explicit UC apply;
+        // the explicit UC is reported as a culprit.
+        assert_eq!(findings[0].culprits.len(), 2);
+    }
+}

@@ -1,0 +1,136 @@
+//! Pattern 8 — *Ring constraints* (paper §2, Figs. 11-12, Table 1).
+//!
+//! A fact type whose (merged) ring-constraint kinds form an incompatible
+//! combination — no non-empty relation can satisfy them all — can never be
+//! populated. Compatibility is decided by [`crate::ring::table::compatible`];
+//! the diagnostic names a *minimal* incompatible subset so the modeler sees
+//! the actual clash (e.g. "acyclic + symmetric") rather than the whole list.
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use crate::ring::table::{compatible, incompatible_culprit};
+use orm_model::{ConstraintKind, Element, Schema, SchemaIndex};
+
+/// Pattern 8 check.
+pub struct P8;
+
+impl Check for P8 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P8
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::Ring)]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (fact, kinds, cids) in idx.ring_kinds_by_fact(schema) {
+            if compatible(kinds) {
+                continue;
+            }
+            let culprit_kinds = incompatible_culprit(kinds)
+                .expect("incompatible combination has a minimal incompatible subset");
+            let ft = schema.fact_type(fact);
+            out.push(Finding {
+                code: CheckCode::P8,
+                severity: Severity::Unsatisfiable,
+                unsat_roles: vec![ft.first(), ft.second()],
+                joint_unsat_roles: Vec::new(),
+                unsat_types: vec![],
+                culprits: cids.iter().map(|c| Element::Constraint(*c)).collect(),
+                message: format!(
+                    "the ring constraints {kinds} on `{}` cannot be satisfied by any \
+                     non-empty relation (incompatible core: {culprit_kinds})",
+                    ft.name()
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RingKind, SchemaBuilder};
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P8.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    fn ring_schema(kinds: &[RingKind]) -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("Woman").unwrap();
+        let f = b.fact_type_full("sister_of", (w, Some("r1")), (w, Some("r2")), Some("is sister of")).unwrap();
+        b.ring(f, kinds.iter().copied()).unwrap();
+        b.finish()
+    }
+
+    /// Fig. 11: a single irreflexive ring constraint is fine.
+    #[test]
+    fn fig11_irreflexive_passes() {
+        let s = ring_schema(&[RingKind::Irreflexive]);
+        assert!(run(&s).is_empty());
+    }
+
+    /// Fig. 12's flagship incompatibility: acyclic + symmetric.
+    #[test]
+    fn acyclic_symmetric_fires() {
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_roles.len(), 2);
+        assert!(findings[0].message.contains("ac"));
+        assert!(findings[0].message.contains("sym"));
+    }
+
+    /// The paper's example incompatible union {sym, it} ∪ {ans}.
+    #[test]
+    fn sym_it_ans_fires() {
+        let s = ring_schema(&[RingKind::Symmetric, RingKind::Intransitive, RingKind::Antisymmetric]);
+        assert_eq!(run(&s).len(), 1);
+    }
+
+    /// Compatible multi-kind combinations stay silent.
+    #[test]
+    fn compatible_combinations_pass() {
+        for kinds in [
+            vec![RingKind::Acyclic, RingKind::Intransitive],
+            vec![RingKind::Symmetric, RingKind::Intransitive],
+            vec![RingKind::Asymmetric, RingKind::Intransitive],
+            vec![RingKind::Symmetric, RingKind::Irreflexive],
+        ] {
+            let s = ring_schema(&kinds);
+            assert!(run(&s).is_empty(), "{kinds:?} wrongly flagged");
+        }
+    }
+
+    /// Kinds split across several ring constraints on one fact type are
+    /// merged before the compatibility check.
+    #[test]
+    fn kinds_merged_across_constraints() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("f", w, w).unwrap();
+        b.ring(f, [RingKind::Acyclic]).unwrap();
+        b.ring(f, [RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].culprits.len(), 2);
+    }
+
+    /// Different fact types do not interfere.
+    #[test]
+    fn separate_facts_independent() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("f", w, w).unwrap();
+        let g = b.fact_type("g", w, w).unwrap();
+        b.ring(f, [RingKind::Acyclic]).unwrap();
+        b.ring(g, [RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+}

@@ -1,0 +1,166 @@
+//! Pattern 9 — *Loops in subtypes* (paper §2, Fig. 13).
+//!
+//! ORM subtype populations are **strict** subsets of their supertype
+//! populations ([H01]), so a loop in the subtype relation would make a
+//! population a strict subset of itself. Every type on a cycle — i.e. with
+//! `T ∈ T.Supers` — is unsatisfiable.
+//!
+//! One finding is emitted per strongly connected component, listing all
+//! member types, which matches how a modeler perceives the mistake (one
+//! loop, not N separate problems). The paper also notes there is *no*
+//! analogous pattern for subset constraints between roles, whose semantics
+//! are non-strict (see `ridl::S2`).
+
+use super::{Check, Trigger};
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use orm_model::{Element, ObjectTypeId, RoleId, Schema, SchemaIndex};
+use std::collections::BTreeSet;
+
+/// Pattern 9 check.
+pub struct P9;
+
+impl Check for P9 {
+    fn code(&self) -> CheckCode {
+        CheckCode::P9
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Subtyping]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        let mut reported: BTreeSet<ObjectTypeId> = BTreeSet::new();
+        for (ty, _) in schema.object_types() {
+            if reported.contains(&ty) || !idx.on_subtype_cycle(ty) {
+                continue;
+            }
+            // The SCC of `ty`: cyclic types reaching each other both ways.
+            let scc: BTreeSet<ObjectTypeId> = idx
+                .supers(ty)
+                .iter()
+                .copied()
+                .filter(|o| idx.supers(*o).contains(&ty))
+                .collect();
+            debug_assert!(scc.contains(&ty));
+            reported.extend(&scc);
+
+            let culprits: Vec<Element> = schema
+                .subtype_links()
+                .filter(|l| scc.contains(&l.sub) && scc.contains(&l.sup))
+                .map(|l| Element::Subtype(l.sub, l.sup))
+                .collect();
+            let unsat_roles: Vec<RoleId> = scc
+                .iter()
+                .flat_map(|t| idx.roles_of_type[t.index()].iter().copied())
+                .collect();
+            let names: Vec<&str> = scc.iter().map(|t| schema.object_type(*t).name()).collect();
+            out.push(Finding {
+                code: CheckCode::P9,
+                severity: Severity::Unsatisfiable,
+                unsat_roles,
+                joint_unsat_roles: Vec::new(),
+                unsat_types: scc.iter().copied().collect(),
+                culprits,
+                message: format!(
+                    "the subtypes {} form a loop in the subtype relation, so none of \
+                     them can be satisfied",
+                    names.join(", ")
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    fn run(schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        P9.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    /// Fig. 13: A <: B <: C <: A.
+    #[test]
+    fn fig13_three_cycle() {
+        let mut b = SchemaBuilder::new("fig13");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(a, bb).unwrap();
+        b.subtype(bb, c).unwrap();
+        b.subtype(c, a).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1, "one finding per loop");
+        assert_eq!(findings[0].unsat_types, vec![a, bb, c]);
+        assert_eq!(findings[0].culprits.len(), 3);
+    }
+
+    /// Two disjoint cycles produce two findings.
+    #[test]
+    fn two_cycles_two_findings() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let d = b.entity_type("D").unwrap();
+        b.subtype(a, bb).unwrap();
+        b.subtype(bb, a).unwrap();
+        b.subtype(c, d).unwrap();
+        b.subtype(d, c).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 2);
+    }
+
+    /// A DAG (the Fig. 1 diamond) has no loops.
+    #[test]
+    fn dag_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let p = b.entity_type("P").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let z = b.entity_type("Z").unwrap();
+        b.subtype(x, p).unwrap();
+        b.subtype(y, p).unwrap();
+        b.subtype(z, x).unwrap();
+        b.subtype(z, y).unwrap();
+        let s = b.finish();
+        assert!(run(&s).is_empty());
+    }
+
+    /// Types hanging off a cycle (but not on it) are not flagged by P9
+    /// itself — propagation (E3) handles the fallout.
+    #[test]
+    fn non_cycle_members_not_flagged() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let leaf = b.entity_type("Leaf").unwrap();
+        b.subtype(a, bb).unwrap();
+        b.subtype(bb, a).unwrap();
+        b.subtype(leaf, a).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].unsat_types, vec![a, bb]);
+    }
+
+    /// Roles played by loop members are reported unsatisfiable.
+    #[test]
+    fn roles_of_loop_members_reported() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let x = b.entity_type("X").unwrap();
+        b.subtype(a, bb).unwrap();
+        b.subtype(bb, a).unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let s = b.finish();
+        let findings = run(&s);
+        assert_eq!(findings[0].unsat_roles, vec![s.fact_type(f).first()]);
+    }
+}

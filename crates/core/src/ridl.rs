@@ -1,0 +1,512 @@
+//! RIDL-A rules from the RIDL* workbench [DMV] (paper §3).
+//!
+//! The paper examines RIDL-A's *Validity Analysis* (V1–V6) and *Set
+//! Constraint Analysis* (S1–S4) and concludes that only S4 can detect
+//! unsatisfiability. The original technical report is not publicly
+//! available, so V1–V3 here are representative reconstructions of the kind
+//! of well-formedness check the paper describes as "not relevant for
+//! unsatisfiability"; S1–S4 follow the paper's own statements of the rules.
+
+use crate::diagnostics::{CheckCode, Finding, Severity};
+use crate::patterns::{Check, Trigger};
+use crate::setpath::{Node, SetPathGraph};
+use orm_model::{
+    Constraint, ConstraintKind, Element, ObjectTypeKind, RoleId, Schema, SchemaIndex,
+    SetComparisonKind,
+};
+use std::collections::BTreeSet;
+
+/// V1 (reconstruction): an object type that plays no role, has no subtype
+/// connection and is never constrained is dead weight in the schema.
+pub struct V1;
+
+impl Check for V1 {
+    fn code(&self) -> CheckCode {
+        CheckCode::V1
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Structure, Trigger::Subtyping]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        let mut constrained: BTreeSet<orm_model::ObjectTypeId> = BTreeSet::new();
+        for (_, c) in schema.constraints() {
+            constrained.extend(c.mentioned_types());
+        }
+        for (ty, ot) in schema.object_types() {
+            let isolated = idx.roles_of_type[ty.index()].is_empty()
+                && idx.direct_supers(ty).is_empty()
+                && idx.subs_direct[ty.index()].is_empty()
+                && !constrained.contains(&ty);
+            if isolated {
+                out.push(Finding {
+                    code: CheckCode::V1,
+                    severity: Severity::Info,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::ObjectType(ty)],
+                    message: format!(
+                        "object type `{}` plays no role and is not connected to the \
+                         rest of the schema",
+                        ot.name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// V2 (reconstruction): every fact type should carry an internal uniqueness
+/// constraint (elementary-fact quality check in NIAM/ORM).
+pub struct V2;
+
+impl Check for V2 {
+    fn code(&self) -> CheckCode {
+        CheckCode::V2
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Structure, Trigger::Constraint(ConstraintKind::Uniqueness)]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (fid, ft) in schema.fact_types() {
+            let has_uc = idx
+                .uniqueness
+                .iter()
+                .any(|(_, u)| u.roles.iter().any(|r| schema.role(*r).fact_type() == fid));
+            if !has_uc {
+                out.push(Finding {
+                    code: CheckCode::V2,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::FactType(fid)],
+                    message: format!(
+                        "fact type `{}` has no internal uniqueness constraint",
+                        ft.name()
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// V3 (reconstruction): a value type that plays no role contributes nothing
+/// lexical to the schema.
+pub struct V3;
+
+impl Check for V3 {
+    fn code(&self) -> CheckCode {
+        CheckCode::V3
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Structure]
+    }
+
+    fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (ty, ot) in schema.object_types() {
+            if ot.kind() == ObjectTypeKind::Value && idx.roles_of_type[ty.index()].is_empty() {
+                out.push(Finding {
+                    code: CheckCode::V3,
+                    severity: Severity::Info,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::ObjectType(ty)],
+                    message: format!("value type `{}` plays no role", ot.name()),
+                });
+            }
+        }
+    }
+}
+
+/// S1: a subset constraint may not be superfluous — implied by the other
+/// subset/equality constraints.
+pub struct S1;
+
+impl Check for S1 {
+    fn code(&self) -> CheckCode {
+        CheckCode::S1
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Subset {
+                continue;
+            }
+            let graph = SetPathGraph::build(schema, Some(cid));
+            let sub = Node::from_seq(&sc.args[0]);
+            let sup = Node::from_seq(&sc.args[1]);
+            if let Some(chain) = graph.path(&sub, &sup) {
+                let mut culprits = vec![Element::Constraint(cid)];
+                culprits.extend(chain.into_iter().map(Element::Constraint));
+                out.push(Finding {
+                    code: CheckCode::S1,
+                    severity: Severity::Redundancy,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits,
+                    message: format!(
+                        "the subset constraint {} ⊆ {} is implied by other constraints",
+                        schema.seq_label(&sc.args[0]),
+                        schema.seq_label(&sc.args[1])
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// S2: a subset constraint may not contain loops. Role-subset loops only
+/// force the populations to be equal — "not relevant for unsatisfiability"
+/// (§3) — so this stays a guideline; the *subtype* analogue is Pattern 9.
+pub struct S2;
+
+impl Check for S2 {
+    fn code(&self) -> CheckCode {
+        CheckCode::S2
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        let graph = SetPathGraph::build(schema, None);
+        let mut reported: BTreeSet<Node> = BTreeSet::new();
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Subset {
+                continue;
+            }
+            let sub = Node::from_seq(&sc.args[0]);
+            if graph.on_cycle(&sub) && reported.insert(sub.clone()) {
+                out.push(Finding {
+                    code: CheckCode::S2,
+                    severity: Severity::Guideline,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid)],
+                    message: format!(
+                        "subset constraints form a loop through {}; the populations \
+                         are forced equal (use an equality constraint)",
+                        schema.seq_label(&sc.args[0])
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// S3: an equality constraint may not be superfluous.
+pub struct S3;
+
+impl Check for S3 {
+    fn code(&self) -> CheckCode {
+        CheckCode::S3
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Equality {
+                continue;
+            }
+            let graph = SetPathGraph::build(schema, Some(cid));
+            let implied = sc.args.iter().all(|a| {
+                sc.args.iter().all(|b| {
+                    a == b
+                        || graph
+                            .path(&Node::from_seq(a), &Node::from_seq(b))
+                            .is_some()
+                })
+            });
+            if implied {
+                out.push(Finding {
+                    code: CheckCode::S3,
+                    severity: Severity::Redundancy,
+                    unsat_roles: vec![],
+                    joint_unsat_roles: Vec::new(),
+                    unsat_types: vec![],
+                    culprits: vec![Element::Constraint(cid)],
+                    message: format!(
+                        "the equality constraint over {} is implied by other constraints",
+                        sc.args
+                            .iter()
+                            .map(|a| schema.seq_label(a))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                });
+            }
+        }
+    }
+}
+
+/// S4: the arguments of an exclusion constraint may not have a common
+/// subset. A role sequence with SetPaths into two mutually exclusive
+/// sequences is provably empty — the generalization of Pattern 6 to a
+/// *third* sequence (Pattern 6 is the special case where the common subset
+/// is one of the arguments).
+pub struct S4;
+
+impl Check for S4 {
+    fn code(&self) -> CheckCode {
+        CheckCode::S4
+    }
+
+    fn triggers(&self) -> &'static [Trigger] {
+        &[Trigger::Constraint(ConstraintKind::SetComparison)]
+    }
+
+    fn run(&self, schema: &Schema, _idx: &SchemaIndex, out: &mut Vec<Finding>) {
+        let graph = SetPathGraph::build(schema, None);
+        let nodes: Vec<Node> = graph.nodes().cloned().collect();
+        for (cid, c) in schema.constraints() {
+            let Constraint::SetComparison(sc) = c else { continue };
+            if sc.kind != SetComparisonKind::Exclusion {
+                continue;
+            }
+            let args: Vec<Node> = sc.args.iter().map(Node::from_seq).collect();
+            for node in &nodes {
+                if args.contains(node) {
+                    continue; // Pattern 6's case, reported there.
+                }
+                let mut reaching: Vec<(usize, Vec<orm_model::ConstraintId>)> = Vec::new();
+                for (i, arg) in args.iter().enumerate() {
+                    if let Some(chain) = graph.path(node, arg) {
+                        reaching.push((i, chain));
+                    }
+                }
+                if reaching.len() >= 2 {
+                    let mut dead: BTreeSet<RoleId> = BTreeSet::new();
+                    for r in node.roles() {
+                        let fact = schema.fact_type(schema.role(r).fact_type());
+                        dead.insert(fact.first());
+                        dead.insert(fact.second());
+                    }
+                    let mut culprits = vec![Element::Constraint(cid)];
+                    for (_, chain) in &reaching {
+                        for link in chain {
+                            let e = Element::Constraint(*link);
+                            if !culprits.contains(&e) {
+                                culprits.push(e);
+                            }
+                        }
+                    }
+                    let names: Vec<&str> =
+                        dead.iter().map(|r| schema.role_label(*r)).collect();
+                    out.push(Finding {
+                        code: CheckCode::S4,
+                        severity: Severity::Unsatisfiable,
+                        unsat_roles: dead.into_iter().collect(),
+                        joint_unsat_roles: Vec::new(),
+                        unsat_types: vec![],
+                        culprits,
+                        message: format!(
+                            "{} is a common subset of two mutually exclusive role \
+                             sequences, so the role(s) {} cannot be populated",
+                            match node {
+                                Node::Role(r) => format!("role `{}`", schema.role_label(*r)),
+                                Node::Pair(a, b) => format!(
+                                    "predicate ({}, {})",
+                                    schema.role_label(*a),
+                                    schema.role_label(*b)
+                                ),
+                            },
+                            names.join(", ")
+                        ),
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// All RIDL-A lints in order.
+pub fn ridl_rules() -> Vec<Box<dyn Check>> {
+    vec![
+        Box::new(V1),
+        Box::new(V2),
+        Box::new(V3),
+        Box::new(S1),
+        Box::new(S2),
+        Box::new(S3),
+        Box::new(S4),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RoleSeq, SchemaBuilder};
+
+    fn run_rule(check: &dyn Check, schema: &Schema) -> Vec<Finding> {
+        let mut out = Vec::new();
+        check.run(schema, &schema.index(), &mut out);
+        out
+    }
+
+    #[test]
+    fn v1_flags_isolated_type() {
+        let mut b = SchemaBuilder::new("s");
+        b.entity_type("Lonely").unwrap();
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        b.fact_type("f", a, x).unwrap();
+        let s = b.finish();
+        let f = run_rule(&V1, &s);
+        assert_eq!(f.len(), 1);
+        assert!(f[0].message.contains("Lonely"));
+    }
+
+    #[test]
+    fn v1_ignores_constrained_types() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.exclusive_types([a, c]).unwrap();
+        let s = b.finish();
+        assert!(run_rule(&V1, &s).is_empty());
+    }
+
+    #[test]
+    fn v2_flags_uc_less_fact() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        b.fact_type("g", a, a).unwrap();
+        let r = b.schema().fact_type(f).first();
+        b.unique([r]).unwrap();
+        let s = b.finish();
+        let findings = run_rule(&V2, &s);
+        assert_eq!(findings.len(), 1);
+        assert!(findings[0].message.contains('g'));
+    }
+
+    #[test]
+    fn v3_flags_unused_value_type() {
+        let mut b = SchemaBuilder::new("s");
+        b.value_type("Code", None).unwrap();
+        let s = b.finish();
+        assert_eq!(run_rule(&V3, &s).len(), 1);
+    }
+
+    fn three_role_schema() -> (SchemaBuilder, [orm_model::RoleId; 3]) {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let f3 = b.fact_type("f3", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        (b, [r1, r3, r5])
+    }
+
+    #[test]
+    fn s1_flags_implied_subset() {
+        let (mut b, [r1, r3, r5]) = three_role_schema();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        b.subset(RoleSeq::single(r3), RoleSeq::single(r5)).unwrap();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r5)).unwrap(); // implied
+        let s = b.finish();
+        let f = run_rule(&S1, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Redundancy);
+    }
+
+    #[test]
+    fn s1_silent_on_independent_subsets() {
+        let (mut b, [r1, r3, r5]) = three_role_schema();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        b.subset(RoleSeq::single(r3), RoleSeq::single(r5)).unwrap();
+        let s = b.finish();
+        assert!(run_rule(&S1, &s).is_empty());
+    }
+
+    #[test]
+    fn s2_flags_subset_loop_as_guideline_only() {
+        let (mut b, [r1, r3, r5]) = three_role_schema();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        b.subset(RoleSeq::single(r3), RoleSeq::single(r5)).unwrap();
+        b.subset(RoleSeq::single(r5), RoleSeq::single(r1)).unwrap();
+        let s = b.finish();
+        let f = run_rule(&S2, &s);
+        assert!(!f.is_empty());
+        // §3: subset loops do NOT make roles unsatisfiable.
+        for finding in &f {
+            assert_eq!(finding.severity, Severity::Guideline);
+            assert!(finding.unsat_roles.is_empty());
+        }
+    }
+
+    #[test]
+    fn s3_flags_equality_implied_by_subset_cycle() {
+        let (mut b, [r1, r3, _]) = three_role_schema();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        b.subset(RoleSeq::single(r3), RoleSeq::single(r1)).unwrap();
+        b.equality([RoleSeq::single(r1), RoleSeq::single(r3)]).unwrap();
+        let s = b.finish();
+        assert_eq!(run_rule(&S3, &s).len(), 1);
+    }
+
+    #[test]
+    fn s3_silent_on_unimplied_equality() {
+        let (mut b, [r1, r3, _]) = three_role_schema();
+        b.equality([RoleSeq::single(r1), RoleSeq::single(r3)]).unwrap();
+        let s = b.finish();
+        assert!(run_rule(&S3, &s).is_empty());
+    }
+
+    #[test]
+    fn s4_flags_common_subset_of_exclusion_args() {
+        let (mut b, [r1, r3, r5]) = three_role_schema();
+        // r5 ⊆ r1 and r5 ⊆ r3 with r1 ⊗ r3: r5 must be empty.
+        b.subset(RoleSeq::single(r5), RoleSeq::single(r1)).unwrap();
+        b.subset(RoleSeq::single(r5), RoleSeq::single(r3)).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let f = run_rule(&S4, &s);
+        assert_eq!(f.len(), 1);
+        assert_eq!(f[0].severity, Severity::Unsatisfiable);
+        assert!(f[0].unsat_roles.contains(&r5));
+        // r1 and r3 themselves are NOT flagged by S4.
+        assert!(!f[0].unsat_roles.contains(&r1));
+        assert!(!f[0].unsat_roles.contains(&r3));
+    }
+
+    #[test]
+    fn s4_silent_when_only_one_side_reached() {
+        let (mut b, [r1, r3, r5]) = three_role_schema();
+        b.subset(RoleSeq::single(r5), RoleSeq::single(r1)).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        assert!(run_rule(&S4, &s).is_empty());
+    }
+
+    #[test]
+    fn all_rules_enumerated() {
+        let rules = ridl_rules();
+        assert_eq!(rules.len(), 7);
+        let codes: Vec<CheckCode> = rules.iter().map(|r| r.code()).collect();
+        assert_eq!(codes, CheckCode::RIDL_RULES.to_vec());
+    }
+}

@@ -1,0 +1,299 @@
+//! Logical semantics of the six ring constraints and their implication
+//! lattice (the content of the paper's Fig. 12).
+
+use orm_model::{RingKind, RingKinds};
+
+/// A concrete binary relation over a small domain `{0, .., n-1}`, used to
+/// decide ring-kind semantics by enumeration.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Relation {
+    domain: usize,
+    pairs: Vec<(usize, usize)>,
+}
+
+impl Relation {
+    /// Create a relation over `domain` elements from explicit pairs.
+    ///
+    /// # Panics
+    /// Panics if a pair mentions an element outside the domain.
+    pub fn new(domain: usize, pairs: impl IntoIterator<Item = (usize, usize)>) -> Relation {
+        let pairs: Vec<(usize, usize)> = pairs.into_iter().collect();
+        for (x, y) in &pairs {
+            assert!(*x < domain && *y < domain, "pair ({x},{y}) outside domain {domain}");
+        }
+        Relation { domain, pairs }
+    }
+
+    /// Number of domain elements.
+    pub fn domain(&self) -> usize {
+        self.domain
+    }
+
+    /// Whether the relation holds on `(x, y)`.
+    pub fn holds(&self, x: usize, y: usize) -> bool {
+        self.pairs.contains(&(x, y))
+    }
+
+    /// Whether the relation has no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Enumerate every relation over a domain of `n` elements
+    /// (`2^(n*n)` relations — keep `n ≤ 3` in tests).
+    pub fn enumerate(n: usize) -> impl Iterator<Item = Relation> {
+        let cells: Vec<(usize, usize)> =
+            (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
+        let count = 1u64 << cells.len();
+        (0..count).map(move |mask| {
+            let pairs = cells
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, p)| *p)
+                .collect::<Vec<_>>();
+            Relation { domain: n, pairs }
+        })
+    }
+
+    /// Whether this relation satisfies a single ring kind.
+    pub fn satisfies(&self, kind: RingKind) -> bool {
+        let n = self.domain;
+        match kind {
+            RingKind::Irreflexive => (0..n).all(|x| !self.holds(x, x)),
+            RingKind::Antisymmetric => (0..n).all(|x| {
+                (0..n).all(|y| !(self.holds(x, y) && self.holds(y, x)) || x == y)
+            }),
+            RingKind::Asymmetric => {
+                self.pairs.iter().all(|(x, y)| !self.holds(*y, *x))
+            }
+            RingKind::Acyclic => !self.has_cycle(),
+            RingKind::Intransitive => (0..n).all(|x| {
+                (0..n).all(|y| {
+                    (0..n).all(|z| {
+                        !(self.holds(x, y) && self.holds(y, z) && self.holds(x, z))
+                    })
+                })
+            }),
+            RingKind::Symmetric => self.pairs.iter().all(|(x, y)| self.holds(*y, *x)),
+        }
+    }
+
+    /// Whether this relation satisfies every kind in `kinds`.
+    pub fn satisfies_all(&self, kinds: RingKinds) -> bool {
+        kinds.iter().all(|k| self.satisfies(k))
+    }
+
+    fn has_cycle(&self) -> bool {
+        // Colors: 0 = unvisited, 1 = on stack, 2 = done.
+        let n = self.domain;
+        let mut color = vec![0u8; n];
+        fn dfs(rel: &Relation, x: usize, color: &mut [u8]) -> bool {
+            color[x] = 1;
+            for y in 0..rel.domain {
+                if rel.holds(x, y) {
+                    if color[y] == 1 {
+                        return true;
+                    }
+                    if color[y] == 0 && dfs(rel, y, color) {
+                        return true;
+                    }
+                }
+            }
+            color[x] = 2;
+            false
+        }
+        (0..n).any(|x| color[x] == 0 && dfs(self, x, &mut color))
+    }
+}
+
+/// The implication lattice of Fig. 12:
+///
+/// * acyclic ⇒ asymmetric,
+/// * asymmetric ⇒ antisymmetric and irreflexive (and conversely,
+///   antisymmetric ∧ irreflexive = asymmetric),
+/// * intransitive ⇒ irreflexive.
+///
+/// Returns the set of kinds directly implied by `kind` (excluding `kind`
+/// itself).
+pub fn direct_implications(kind: RingKind) -> RingKinds {
+    match kind {
+        RingKind::Acyclic => RingKinds::only(RingKind::Asymmetric),
+        RingKind::Asymmetric => {
+            RingKinds::from_iter([RingKind::Antisymmetric, RingKind::Irreflexive])
+        }
+        RingKind::Intransitive => RingKinds::only(RingKind::Irreflexive),
+        RingKind::Antisymmetric | RingKind::Irreflexive | RingKind::Symmetric => {
+            RingKinds::EMPTY
+        }
+    }
+}
+
+/// Close a kind set under the implication lattice, including the combined
+/// rule *antisymmetric ∧ irreflexive ⇒ asymmetric*.
+pub fn implied_closure(kinds: RingKinds) -> RingKinds {
+    let mut cur = kinds;
+    loop {
+        let mut next = cur;
+        for k in cur.iter() {
+            next = next.union(direct_implications(k));
+        }
+        if next.contains(RingKind::Antisymmetric) && next.contains(RingKind::Irreflexive) {
+            next.insert(RingKind::Asymmetric);
+        }
+        if next == cur {
+            return cur;
+        }
+        cur = next;
+    }
+}
+
+/// Whether `premise` semantically implies `conclusion`: every relation
+/// (over domains up to `max_domain` elements) satisfying all of `premise`
+/// satisfies all of `conclusion`.
+///
+/// With `max_domain ≥ 3` this refutes all false implications between ring
+/// kinds — the counterexamples (e.g. symmetric-irreflexive vs intransitive)
+/// need three elements.
+pub fn implies(premise: RingKinds, conclusion: RingKinds, max_domain: usize) -> bool {
+    for n in 1..=max_domain {
+        for rel in Relation::enumerate(n) {
+            if rel.satisfies_all(premise) && !rel.satisfies_all(conclusion) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::RingKind::*;
+
+    #[test]
+    fn relation_basics() {
+        let r = Relation::new(2, [(0, 1)]);
+        assert!(r.holds(0, 1));
+        assert!(!r.holds(1, 0));
+        assert!(!r.is_empty());
+        assert!(Relation::new(2, []).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside domain")]
+    fn out_of_domain_pair_panics() {
+        Relation::new(1, [(0, 1)]);
+    }
+
+    #[test]
+    fn enumerate_counts() {
+        assert_eq!(Relation::enumerate(1).count(), 2);
+        assert_eq!(Relation::enumerate(2).count(), 16);
+    }
+
+    #[test]
+    fn kind_semantics_on_examples() {
+        let loop0 = Relation::new(1, [(0, 0)]);
+        assert!(!loop0.satisfies(Irreflexive));
+        assert!(loop0.satisfies(Antisymmetric));
+        assert!(!loop0.satisfies(Asymmetric));
+        assert!(!loop0.satisfies(Acyclic));
+        assert!(!loop0.satisfies(Intransitive)); // r(0,0)∧r(0,0) → ¬r(0,0)
+        assert!(loop0.satisfies(Symmetric));
+
+        let edge = Relation::new(2, [(0, 1)]);
+        assert!(edge.satisfies(Irreflexive));
+        assert!(edge.satisfies(Antisymmetric));
+        assert!(edge.satisfies(Asymmetric));
+        assert!(edge.satisfies(Acyclic));
+        assert!(edge.satisfies(Intransitive));
+        assert!(!edge.satisfies(Symmetric));
+
+        let two_cycle = Relation::new(2, [(0, 1), (1, 0)]);
+        assert!(two_cycle.satisfies(Irreflexive));
+        assert!(!two_cycle.satisfies(Antisymmetric));
+        assert!(!two_cycle.satisfies(Asymmetric));
+        assert!(!two_cycle.satisfies(Acyclic));
+        assert!(two_cycle.satisfies(Symmetric));
+
+        let chain = Relation::new(3, [(0, 1), (1, 2), (0, 2)]);
+        assert!(chain.satisfies(Acyclic));
+        assert!(!chain.satisfies(Intransitive)); // transitive edge present
+    }
+
+    #[test]
+    fn acyclic_detects_long_cycles() {
+        let r = Relation::new(3, [(0, 1), (1, 2), (2, 0)]);
+        assert!(!r.satisfies(Acyclic));
+        assert!(r.satisfies(Irreflexive));
+        assert!(r.satisfies(Asymmetric));
+    }
+
+    #[test]
+    fn implication_lattice_matches_semantics() {
+        // Every claim of the declarative lattice holds semantically.
+        for kind in RingKind::ALL {
+            let implied = direct_implications(kind);
+            assert!(
+                implies(RingKinds::only(kind), implied, 3),
+                "{kind} should imply {implied}"
+            );
+        }
+    }
+
+    #[test]
+    fn asymmetric_equals_antisymmetric_plus_irreflexive() {
+        // Fig. 12: "the combination between antisymmetric and irreflexivity
+        // is exactly asymmetric".
+        let as_ = RingKinds::only(Asymmetric);
+        let ans_ir = RingKinds::from_iter([Antisymmetric, Irreflexive]);
+        assert!(implies(as_, ans_ir, 3));
+        assert!(implies(ans_ir, as_, 3));
+    }
+
+    #[test]
+    fn intransitive_implies_irreflexive_semantically() {
+        assert!(implies(RingKinds::only(Intransitive), RingKinds::only(Irreflexive), 3));
+    }
+
+    #[test]
+    fn false_implications_are_refuted() {
+        // symmetric ∧ irreflexive does NOT imply intransitive — the
+        // counterexample needs three elements (triangle).
+        let sym_ir = RingKinds::from_iter([Symmetric, Irreflexive]);
+        assert!(!implies(sym_ir, RingKinds::only(Intransitive), 3));
+        // irreflexive does not imply antisymmetric.
+        assert!(!implies(RingKinds::only(Irreflexive), RingKinds::only(Antisymmetric), 2));
+        // antisymmetric does not imply irreflexive.
+        assert!(!implies(RingKinds::only(Antisymmetric), RingKinds::only(Irreflexive), 1));
+    }
+
+    #[test]
+    fn closure_is_idempotent_and_monotone() {
+        for kinds in RingKinds::all_subsets() {
+            let once = implied_closure(kinds);
+            assert!(kinds.is_subset(once));
+            assert_eq!(implied_closure(once), once);
+        }
+    }
+
+    #[test]
+    fn closure_examples() {
+        let ac = implied_closure(RingKinds::only(Acyclic));
+        assert!(ac.contains(Asymmetric));
+        assert!(ac.contains(Antisymmetric));
+        assert!(ac.contains(Irreflexive));
+        let ans_ir = implied_closure(RingKinds::from_iter([Antisymmetric, Irreflexive]));
+        assert!(ans_ir.contains(Asymmetric));
+    }
+
+    #[test]
+    fn closure_is_semantically_sound() {
+        // Whatever the closure adds is genuinely implied.
+        for kinds in RingKinds::all_subsets() {
+            let closed = implied_closure(kinds);
+            assert!(implies(kinds, closed, 3), "{kinds} should imply {closed}");
+        }
+    }
+}

@@ -1,0 +1,26 @@
+//! Ring-constraint semantics (paper §2 Pattern 8, Fig. 12 and Table 1).
+//!
+//! The paper formalizes the relationships between ORM's six ring constraints
+//! with an Euler diagram and derives a table of all compatible combinations.
+//! This module makes that content executable:
+//!
+//! * [`euler`] — the logical semantics of each kind, the implication lattice
+//!   (`acyclic ⇒ asymmetric ⇒ antisymmetric ∧ irreflexive`,
+//!   `intransitive ⇒ irreflexive`), and relation-level checking;
+//! * [`table`] — compatibility of kind sets, i.e. whether a **non-empty**
+//!   relation satisfying all kinds exists, and the regenerated Table 1.
+//!
+//! Compatibility is decided by brute force over two-element domains. This is
+//! *complete*, not an approximation: every ring kind is a universally
+//! quantified first-order property, and universal properties are preserved
+//! under induced substructures. So if any non-empty satisfying relation
+//! exists at all, restricting it to the two endpoints of one of its edges
+//! yields a non-empty satisfying relation over at most two elements.
+//! `table::tests` cross-check the two-element verdicts against domains of
+//! size three and four.
+
+pub mod euler;
+pub mod table;
+
+pub use euler::{implied_closure, implies, Relation};
+pub use table::{all_compatible, compatible, incompatible_culprit, maximal_compatible};

@@ -1,0 +1,253 @@
+//! Compatibility of ring-constraint combinations — the regenerated Table 1.
+//!
+//! A combination of ring kinds is *compatible* when a **non-empty** relation
+//! satisfying all of them exists; incompatible combinations force the
+//! constrained fact type to stay empty forever, which is exactly Pattern 8's
+//! unsatisfiability condition. (The empty relation satisfies every ring
+//! constraint, so incompatibility never makes the *schema* unsatisfiable —
+//! only the roles.)
+//!
+//! Deciding compatibility over two-element domains is complete; see the
+//! module docs of [`crate::ring`].
+
+use super::euler::Relation;
+use orm_model::{RingKind, RingKinds};
+use std::sync::OnceLock;
+
+fn lut() -> &'static [bool; 64] {
+    static LUT: OnceLock<[bool; 64]> = OnceLock::new();
+    LUT.get_or_init(|| {
+        let mut table = [false; 64];
+        let relations: Vec<Relation> =
+            Relation::enumerate(2).filter(|r| !r.is_empty()).collect();
+        for (i, kinds) in RingKinds::all_subsets().enumerate() {
+            table[i] = relations.iter().any(|r| r.satisfies_all(kinds));
+        }
+        table
+    })
+}
+
+fn lut_index(kinds: RingKinds) -> usize {
+    RingKinds::all_subsets().position(|k| k == kinds).expect("all 64 subsets enumerated")
+}
+
+/// Whether a combination of ring kinds admits a non-empty relation.
+pub fn compatible(kinds: RingKinds) -> bool {
+    lut()[lut_index(kinds)]
+}
+
+/// All compatible combinations (including the empty combination), in subset
+/// enumeration order. This is the raw content behind the paper's Table 1.
+pub fn all_compatible() -> Vec<RingKinds> {
+    RingKinds::all_subsets().filter(|k| compatible(*k)).collect()
+}
+
+/// The *maximal* compatible combinations: compatible sets such that adding
+/// any further kind makes them incompatible. These are the rows a compact
+/// rendering of Table 1 needs — every compatible combination is a subset of
+/// one of them.
+pub fn maximal_compatible() -> Vec<RingKinds> {
+    let compat = all_compatible();
+    compat
+        .iter()
+        .copied()
+        .filter(|k| {
+            RingKind::ALL.iter().all(|extra| {
+                if k.contains(*extra) {
+                    return true;
+                }
+                let mut bigger = *k;
+                bigger.insert(*extra);
+                !compatible(bigger)
+            })
+        })
+        .collect()
+}
+
+/// For an incompatible combination, identify a *minimal* incompatible subset
+/// — the smallest sub-combination that is already contradictory. Diagnostics
+/// report this as the culprit ("acyclic and symmetric are incompatible")
+/// instead of dumping the full kind set.
+///
+/// Returns `None` if `kinds` is in fact compatible.
+pub fn incompatible_culprit(kinds: RingKinds) -> Option<RingKinds> {
+    if compatible(kinds) {
+        return None;
+    }
+    let members: Vec<RingKind> = kinds.iter().collect();
+    // Subsets ordered by size so the first hit is minimal.
+    let mut subsets: Vec<RingKinds> = (0u32..(1 << members.len()))
+        .map(|mask| {
+            members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, k)| *k)
+                .collect()
+        })
+        .collect();
+    subsets.sort_by_key(|s| s.len());
+    subsets.into_iter().find(|s| !s.is_empty() && !compatible(*s))
+}
+
+/// Render the regenerated Table 1 as fixed-width text: one row per
+/// compatible combination, kinds marked by their abbreviation.
+pub fn render_table() -> String {
+    let mut out = String::new();
+    out.push_str("compatible ring-constraint combinations (regenerated Table 1)\n");
+    out.push_str(&format!(
+        "{:<6}{}\n",
+        "",
+        RingKind::ALL.map(|k| format!("{:<5}", k.abbrev())).concat()
+    ));
+    for (row, kinds) in all_compatible().iter().enumerate() {
+        if kinds.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("{:<6}", row));
+        for k in RingKind::ALL {
+            out.push_str(&format!("{:<5}", if kinds.contains(k) { "x" } else { "." }));
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ring::euler::implied_closure;
+    use orm_model::RingKind::*;
+
+    #[test]
+    fn empty_and_singletons_are_compatible() {
+        assert!(compatible(RingKinds::EMPTY));
+        for k in RingKind::ALL {
+            assert!(compatible(RingKinds::only(k)), "{k} alone must be compatible");
+        }
+    }
+
+    #[test]
+    fn paper_euler_incompatibilities() {
+        // Fig. 12: "acyclic and symmetric are incompatible".
+        assert!(!compatible(RingKinds::from_iter([Acyclic, Symmetric])));
+        // asymmetric + symmetric force emptiness.
+        assert!(!compatible(RingKinds::from_iter([Asymmetric, Symmetric])));
+    }
+
+    #[test]
+    fn paper_example_incompatible_combinations() {
+        // §2 Pattern 8 lists three example incompatible unions:
+        // {sym, it} ∪ {ans}, {sym, it} ∪ {it, ac}, {ans, it} ∪ {ir, sym}.
+        assert!(!compatible(RingKinds::from_iter([Symmetric, Intransitive, Antisymmetric])));
+        assert!(!compatible(RingKinds::from_iter([Symmetric, Intransitive, Acyclic])));
+        assert!(!compatible(RingKinds::from_iter([
+            Antisymmetric,
+            Intransitive,
+            Irreflexive,
+            Symmetric
+        ])));
+    }
+
+    #[test]
+    fn paper_example_compatible_combinations() {
+        // The unions above are incompatible, but their parts appear in
+        // Table 1 — they must be compatible on their own.
+        assert!(compatible(RingKinds::from_iter([Symmetric, Intransitive])));
+        assert!(compatible(RingKinds::from_iter([Antisymmetric])));
+        assert!(compatible(RingKinds::from_iter([Intransitive, Acyclic])));
+        assert!(compatible(RingKinds::from_iter([Antisymmetric, Intransitive])));
+        assert!(compatible(RingKinds::from_iter([Irreflexive, Symmetric])));
+    }
+
+    #[test]
+    fn symmetric_with_antisymmetric_needs_loops() {
+        // sym + ans admits only self-loops, so it is compatible…
+        assert!(compatible(RingKinds::from_iter([Symmetric, Antisymmetric])));
+        // …until irreflexivity forbids those too.
+        assert!(!compatible(RingKinds::from_iter([Symmetric, Antisymmetric, Irreflexive])));
+    }
+
+    #[test]
+    fn closure_preserves_compatibility() {
+        // Adding implied kinds never flips a combination's verdict.
+        for kinds in RingKinds::all_subsets() {
+            assert_eq!(
+                compatible(kinds),
+                compatible(implied_closure(kinds)),
+                "closure changed verdict for {kinds}"
+            );
+        }
+    }
+
+    #[test]
+    fn two_element_verdicts_agree_with_larger_domains() {
+        // Completeness of the two-element decision procedure, checked
+        // explicitly against domains of size 3: a combination compatible at
+        // size 2 stays compatible (the same relation embeds), and a
+        // combination incompatible at size 2 admits no non-empty relation at
+        // size 3 either.
+        for kinds in RingKinds::all_subsets() {
+            let at3 = Relation::enumerate(3)
+                .any(|r| !r.is_empty() && r.satisfies_all(kinds));
+            assert_eq!(compatible(kinds), at3, "domain-3 disagreement for {kinds}");
+        }
+    }
+
+    #[test]
+    fn compatibility_is_downward_closed() {
+        // Removing kinds from a compatible set keeps it compatible.
+        for kinds in all_compatible() {
+            for k in kinds.iter() {
+                let mut smaller = kinds;
+                smaller.remove(k);
+                assert!(compatible(smaller));
+            }
+        }
+    }
+
+    #[test]
+    fn maximal_sets_cover_all_compatible() {
+        let maximal = maximal_compatible();
+        for kinds in all_compatible() {
+            assert!(
+                maximal.iter().any(|m| kinds.is_subset(*m)),
+                "{kinds} not covered by any maximal combination"
+            );
+        }
+        // And maximal sets really are maximal.
+        for m in &maximal {
+            for extra in RingKind::ALL {
+                if !m.contains(extra) {
+                    let mut bigger = *m;
+                    bigger.insert(extra);
+                    assert!(!compatible(bigger));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn culprit_is_minimal_and_incompatible() {
+        let kinds = RingKinds::from_iter([Symmetric, Intransitive, Antisymmetric]);
+        let culprit = incompatible_culprit(kinds).unwrap();
+        assert!(!compatible(culprit));
+        assert!(culprit.is_subset(kinds));
+        // Minimality: every proper subset of the culprit is compatible.
+        for k in culprit.iter() {
+            let mut smaller = culprit;
+            smaller.remove(k);
+            assert!(compatible(smaller));
+        }
+        assert!(incompatible_culprit(RingKinds::only(Symmetric)).is_none());
+    }
+
+    #[test]
+    fn render_table_mentions_all_kinds() {
+        let table = render_table();
+        for k in RingKind::ALL {
+            assert!(table.contains(k.abbrev()));
+        }
+        assert!(table.lines().count() > 10);
+    }
+}

@@ -1,0 +1,304 @@
+//! Set-path reachability between role sequences (paper §2, Pattern 6 and
+//! Fig. 9).
+//!
+//! A *SetPath* from `X` to `Y` is a chain of subset and/or equality
+//! constraints implying `pop(X) ⊆ pop(Y)`. Pattern 6 looks for a SetPath
+//! between the arguments of an exclusion constraint; RIDL rules S1–S4 reuse
+//! the same graph.
+//!
+//! Fig. 9's implications are encoded structurally:
+//!
+//! * a subset/equality between whole predicates `(a,b) ⊆ (c,d)` **implies**
+//!   the positionwise role subsets `a ⊆ c` and `b ⊆ d` (projection);
+//! * an equality is two subsets (one in each direction);
+//! * an exclusion between single roles implies an exclusion between their
+//!   predicates — used directly by Pattern 6 rather than materialised here.
+//!
+//! Role-level subsets do **not** imply predicate-level subsets, so the graph
+//! keeps the two node levels separate and only projects downward.
+
+use orm_model::{
+    Constraint, ConstraintId, RoleId, RoleSeq, Schema, SetComparisonKind,
+};
+use std::collections::{HashMap, VecDeque};
+
+/// A node in the set-path graph: a single role or a whole predicate
+/// (ordered).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Node {
+    /// A single role.
+    Role(RoleId),
+    /// An ordered pair of roles spanning one fact type.
+    Pair(RoleId, RoleId),
+}
+
+impl Node {
+    /// Build a node from a role sequence (length 1 or 2).
+    pub fn from_seq(seq: &RoleSeq) -> Node {
+        match seq.roles() {
+            [r] => Node::Role(*r),
+            [a, b] => Node::Pair(*a, *b),
+            other => panic!("role sequences have length 1 or 2, got {}", other.len()),
+        }
+    }
+
+    /// The roles of the node.
+    pub fn roles(&self) -> Vec<RoleId> {
+        match self {
+            Node::Role(r) => vec![*r],
+            Node::Pair(a, b) => vec![*a, *b],
+        }
+    }
+}
+
+/// Directed graph of subset edges between role sequences, including the
+/// projections implied by Fig. 9.
+#[derive(Debug, Default)]
+pub struct SetPathGraph {
+    edges: HashMap<Node, Vec<(Node, ConstraintId)>>,
+    nodes: Vec<Node>,
+}
+
+impl SetPathGraph {
+    /// Build the graph from all live subset/equality constraints of
+    /// `schema`. The optional `skip` constraint is excluded — RIDL S1/S3 use
+    /// this to ask "is this constraint implied by the others?".
+    pub fn build(schema: &Schema, skip: Option<ConstraintId>) -> SetPathGraph {
+        let mut g = SetPathGraph::default();
+        for (cid, c) in schema.constraints() {
+            if Some(cid) == skip {
+                continue;
+            }
+            let Constraint::SetComparison(sc) = c else { continue };
+            match sc.kind {
+                SetComparisonKind::Subset => {
+                    let sub = Node::from_seq(&sc.args[0]);
+                    let sup = Node::from_seq(&sc.args[1]);
+                    g.add_edge(sub, sup, cid);
+                }
+                SetComparisonKind::Equality => {
+                    for i in 0..sc.args.len() {
+                        for j in 0..sc.args.len() {
+                            if i != j {
+                                g.add_edge(
+                                    Node::from_seq(&sc.args[i]),
+                                    Node::from_seq(&sc.args[j]),
+                                    cid,
+                                );
+                            }
+                        }
+                    }
+                }
+                SetComparisonKind::Exclusion => {}
+            }
+        }
+        g
+    }
+
+    fn add_edge(&mut self, from: Node, to: Node, via: ConstraintId) {
+        // Fig. 9 projection: predicate-level inclusion implies positionwise
+        // role-level inclusion.
+        if let (Node::Pair(a, b), Node::Pair(c, d)) = (&from, &to) {
+            let (a, b, c, d) = (*a, *b, *c, *d);
+            self.add_edge(Node::Role(a), Node::Role(c), via);
+            self.add_edge(Node::Role(b), Node::Role(d), via);
+        }
+        self.note_node(&from);
+        self.note_node(&to);
+        self.edges.entry(from).or_default().push((to, via));
+    }
+
+    fn note_node(&mut self, n: &Node) {
+        if !self.edges.contains_key(n) && !self.nodes.contains(n) {
+            self.nodes.push(n.clone());
+        }
+    }
+
+    /// All nodes mentioned by any edge.
+    pub fn nodes(&self) -> impl Iterator<Item = &Node> {
+        self.edges.keys().chain(self.nodes.iter().filter(|n| !self.edges.contains_key(n)))
+    }
+
+    /// Find a SetPath from `from` to `to`: the list of constraint ids along
+    /// one witnessing chain, or `None` if `pop(from) ⊆ pop(to)` is not
+    /// implied. A trivial query (`from == to`) returns `None`; reflexivity
+    /// carries no constraint information.
+    pub fn path(&self, from: &Node, to: &Node) -> Option<Vec<ConstraintId>> {
+        if from == to {
+            return None;
+        }
+        let mut prev: HashMap<Node, (Node, ConstraintId)> = HashMap::new();
+        let mut queue = VecDeque::new();
+        queue.push_back(from.clone());
+        while let Some(n) = queue.pop_front() {
+            if let Some(nexts) = self.edges.get(&n) {
+                for (next, via) in nexts {
+                    if next != from && !prev.contains_key(next) {
+                        prev.insert(next.clone(), (n.clone(), *via));
+                        if next == to {
+                            // Reconstruct the witnessing constraint chain.
+                            let mut chain = Vec::new();
+                            let mut cur = to.clone();
+                            while let Some((p, via)) = prev.get(&cur) {
+                                chain.push(*via);
+                                cur = p.clone();
+                            }
+                            chain.reverse();
+                            chain.dedup();
+                            return Some(chain);
+                        }
+                        queue.push_back(next.clone());
+                    }
+                }
+            }
+        }
+        None
+    }
+
+    /// Whether a SetPath exists in either direction between `a` and `b`,
+    /// returning the witnessing chain and its direction
+    /// (`true` = `a ⊆ b`, `false` = `b ⊆ a`).
+    pub fn path_either(&self, a: &Node, b: &Node) -> Option<(bool, Vec<ConstraintId>)> {
+        if let Some(chain) = self.path(a, b) {
+            return Some((true, chain));
+        }
+        self.path(b, a).map(|chain| (false, chain))
+    }
+
+    /// Whether `node` lies on a directed cycle (RIDL S2).
+    pub fn on_cycle(&self, node: &Node) -> bool {
+        let Some(nexts) = self.edges.get(node) else { return false };
+        for (next, _) in nexts {
+            if next == node || self.path(next, node).is_some() {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RoleSeq, SchemaBuilder};
+
+    /// Three facts f, g, h over A×B plus constraints wired by the caller.
+    fn three_facts() -> (SchemaBuilder, [RoleId; 6]) {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, bb).unwrap();
+        let g = b.fact_type("g", a, bb).unwrap();
+        let h = b.fact_type("h", a, bb).unwrap();
+        let [f0, f1] = b.schema().fact_type(f).roles();
+        let [g0, g1] = b.schema().fact_type(g).roles();
+        let [h0, h1] = b.schema().fact_type(h).roles();
+        (b, [f0, f1, g0, g1, h0, h1])
+    }
+
+    #[test]
+    fn direct_subset_is_a_path() {
+        let (mut b, [f0, _, g0, _, _, _]) = three_facts();
+        let c = b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(g0)), Some(vec![c]));
+        assert_eq!(g.path(&Node::Role(g0), &Node::Role(f0)), None);
+    }
+
+    #[test]
+    fn equality_gives_paths_both_ways() {
+        let (mut b, [f0, _, g0, _, _, _]) = three_facts();
+        let c = b.equality([RoleSeq::single(f0), RoleSeq::single(g0)]).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(g0)), Some(vec![c]));
+        assert_eq!(g.path(&Node::Role(g0), &Node::Role(f0)), Some(vec![c]));
+    }
+
+    #[test]
+    fn chains_compose() {
+        let (mut b, [f0, _, g0, _, h0, _]) = three_facts();
+        let c1 = b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        let c2 = b.subset(RoleSeq::single(g0), RoleSeq::single(h0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(h0)), Some(vec![c1, c2]));
+    }
+
+    #[test]
+    fn predicate_subset_projects_to_roles() {
+        // Fig. 9: (f0,f1) ⊆ (g0,g1) implies f0 ⊆ g0 and f1 ⊆ g1.
+        let (mut b, [f0, f1, g0, g1, _, _]) = three_facts();
+        let c = b.subset(RoleSeq::pair(f0, f1), RoleSeq::pair(g0, g1)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Pair(f0, f1), &Node::Pair(g0, g1)), Some(vec![c]));
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(g0)), Some(vec![c]));
+        assert_eq!(g.path(&Node::Role(f1), &Node::Role(g1)), Some(vec![c]));
+        // No cross-position projection.
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(g1)), None);
+    }
+
+    #[test]
+    fn role_subset_does_not_imply_predicate_subset() {
+        let (mut b, [f0, f1, g0, g1, _, _]) = three_facts();
+        b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        b.subset(RoleSeq::single(f1), RoleSeq::single(g1)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Pair(f0, f1), &Node::Pair(g0, g1)), None);
+    }
+
+    #[test]
+    fn skip_excludes_a_constraint() {
+        let (mut b, [f0, _, g0, _, _, _]) = three_facts();
+        let c = b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, Some(c));
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(g0)), None);
+    }
+
+    #[test]
+    fn path_either_reports_direction() {
+        let (mut b, [f0, _, g0, _, _, _]) = three_facts();
+        b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        let (forward, _) = g.path_either(&Node::Role(f0), &Node::Role(g0)).unwrap();
+        assert!(forward);
+        let (forward, _) = g.path_either(&Node::Role(g0), &Node::Role(f0)).unwrap();
+        assert!(!forward);
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let (mut b, [f0, _, g0, _, h0, _]) = three_facts();
+        b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        b.subset(RoleSeq::single(g0), RoleSeq::single(h0)).unwrap();
+        b.subset(RoleSeq::single(h0), RoleSeq::single(f0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        for r in [f0, g0, h0] {
+            assert!(g.on_cycle(&Node::Role(r)));
+        }
+    }
+
+    #[test]
+    fn no_false_cycles() {
+        let (mut b, [f0, _, g0, _, _, _]) = three_facts();
+        b.subset(RoleSeq::single(f0), RoleSeq::single(g0)).unwrap();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert!(!g.on_cycle(&Node::Role(f0)));
+        assert!(!g.on_cycle(&Node::Role(g0)));
+    }
+
+    #[test]
+    fn self_path_is_none() {
+        let (b, [f0, ..]) = three_facts();
+        let s = b.finish();
+        let g = SetPathGraph::build(&s, None);
+        assert_eq!(g.path(&Node::Role(f0), &Node::Role(f0)), None);
+    }
+}

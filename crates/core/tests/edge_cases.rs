@@ -1,0 +1,189 @@
+//! Edge-case suite: interactions between patterns and unusual-but-legal
+//! schema shapes that the per-pattern unit tests do not cover.
+
+use orm_core::{validate, validate_all, CheckCode, Validator, ValidatorSettings};
+use orm_model::{RingKind, RoleSeq, SchemaBuilder, ValueConstraint};
+
+/// A reflexive fact over a value-constrained type: Pattern 4 must use the
+/// co-player (the same type here) correctly.
+#[test]
+fn p4_on_reflexive_fact() {
+    let mut b = SchemaBuilder::new("s");
+    let v = b.value_type("V", Some(ValueConstraint::enumeration(["a", "b"]))).unwrap();
+    let f = b.fact_type("rel", v, v).unwrap();
+    let r = b.schema().fact_type(f).first();
+    b.frequency([r], 3, None).unwrap();
+    let s = b.finish();
+    let report = validate(&s);
+    assert_eq!(report.by_code(CheckCode::P4).count(), 1);
+}
+
+/// Pattern 2 and Pattern 9 interact: an exclusive constraint between two
+/// members of one subtype cycle dooms them twice over; both findings
+/// appear, with consistent role sets.
+#[test]
+fn p2_and_p9_on_cyclic_exclusive_types() {
+    let mut b = SchemaBuilder::new("s");
+    let a = b.entity_type("A").unwrap();
+    let c = b.entity_type("C").unwrap();
+    b.subtype(a, c).unwrap();
+    b.subtype(c, a).unwrap();
+    b.exclusive_types([a, c]).unwrap();
+    let s = b.finish();
+    let report = validate(&s);
+    assert_eq!(report.by_code(CheckCode::P9).count(), 1);
+    // On a cycle, each type is in the other's reflexive subtype closure,
+    // so Pattern 2's intersection contains both.
+    assert_eq!(report.by_code(CheckCode::P2).count(), 1);
+    let types = report.unsat_types();
+    assert!(types.contains(&a) && types.contains(&c));
+}
+
+/// An exclusion with three predicate arguments checks every pair against
+/// set paths (Pattern 6).
+#[test]
+fn p6_three_way_predicate_exclusion() {
+    let mut b = SchemaBuilder::new("s");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("X").unwrap();
+    let mut pairs = Vec::new();
+    for i in 0..3 {
+        let f = b.fact_type(&format!("f{i}"), a, x).unwrap();
+        let ft = b.schema().fact_type(f);
+        pairs.push(RoleSeq::pair(ft.first(), ft.second()));
+    }
+    b.exclusion(pairs.clone()).unwrap();
+    // Subset between the *second and third* arguments.
+    b.subset(pairs[1].clone(), pairs[2].clone()).unwrap();
+    let s = b.finish();
+    let report = validate(&s);
+    assert_eq!(report.by_code(CheckCode::P6).count(), 1);
+}
+
+/// Several independent contradictions in one schema produce findings for
+/// each, and propagation merges their consequences without duplication.
+#[test]
+fn multiple_contradictions_coexist() {
+    let mut b = SchemaBuilder::new("s");
+    // Contradiction 1: P7.
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("X").unwrap();
+    let f = b.fact_type("f", a, x).unwrap();
+    let r = b.schema().fact_type(f).first();
+    b.unique([r]).unwrap();
+    b.frequency([r], 2, None).unwrap();
+    // Contradiction 2: P9.
+    let p = b.entity_type("P").unwrap();
+    let q = b.entity_type("Q").unwrap();
+    b.subtype(p, q).unwrap();
+    b.subtype(q, p).unwrap();
+    // Contradiction 3: P8.
+    let w = b.entity_type("W").unwrap();
+    let g = b.fact_type("g", w, w).unwrap();
+    b.ring(g, [RingKind::Acyclic, RingKind::Symmetric]).unwrap();
+    let s = b.finish();
+    let report = validate(&s);
+    for code in [CheckCode::P7, CheckCode::P8, CheckCode::P9] {
+        assert_eq!(report.by_code(code).count(), 1, "{code:?}");
+    }
+    assert_eq!(report.unsat_types().len(), 2); // P, Q
+    assert_eq!(report.unsat_roles().len(), 4); // f + g roles
+}
+
+/// Disabling every check yields a clean report even on Fig. 1.
+#[test]
+fn empty_settings_are_silent() {
+    let fixture = orm_core::fixtures::fig1();
+    let validator = Validator::with_settings(ValidatorSettings::none());
+    let report = validator.validate(&fixture.schema);
+    assert!(report.is_clean());
+}
+
+/// A frequency constraint on the co-role side of a value-bounded type does
+/// NOT trigger Pattern 4 (the bound applies to the other column).
+#[test]
+fn p4_direction_sensitivity() {
+    let mut b = SchemaBuilder::new("s");
+    let a = b.entity_type("A").unwrap();
+    let v = b.value_type("V", Some(ValueConstraint::enumeration(["x"]))).unwrap();
+    let f = b.fact_type("f", a, v).unwrap();
+    let r2 = b.schema().fact_type(f).second(); // played by V
+    // Each V value relates to at least 3 As: fine, As are unbounded.
+    b.frequency([r2], 3, None).unwrap();
+    let s = b.finish();
+    assert!(validate(&s).is_clean());
+}
+
+/// Equality constraints participate in set paths for Pattern 6 in both
+/// directions even when chained through a middle sequence.
+#[test]
+fn p6_through_equality_chain() {
+    let mut b = SchemaBuilder::new("s");
+    let a = b.entity_type("A").unwrap();
+    let x = b.entity_type("X").unwrap();
+    let f1 = b.fact_type("f1", a, x).unwrap();
+    let f2 = b.fact_type("f2", a, x).unwrap();
+    let f3 = b.fact_type("f3", a, x).unwrap();
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    let r5 = b.schema().fact_type(f3).first();
+    b.equality([RoleSeq::single(r1), RoleSeq::single(r3)]).unwrap();
+    b.equality([RoleSeq::single(r3), RoleSeq::single(r5)]).unwrap();
+    b.exclusion_roles([r1, r5]).unwrap();
+    let s = b.finish();
+    let report = validate(&s);
+    assert_eq!(report.by_code(CheckCode::P6).count(), 1);
+    // Equality both ways: both fact types die.
+    assert_eq!(report.unsat_roles().len(), 4);
+}
+
+/// Tombstoned (removed) constraints are invisible to every check.
+#[test]
+fn removed_constraints_are_ignored() {
+    let fixture = orm_core::fixtures::fig10();
+    let mut schema = fixture.schema;
+    assert!(validate(&schema).has_unsat());
+    // Remove the frequency constraint (find it by kind).
+    let fc = schema
+        .constraints()
+        .find(|(_, c)| matches!(c, orm_model::Constraint::Frequency(_)))
+        .map(|(id, _)| id)
+        .expect("present");
+    schema.remove_constraint(fc);
+    assert!(!validate(&schema).has_unsat());
+}
+
+/// `validate_all` on every fixture never reports a *lint* (guideline /
+/// redundancy / info) as carrying unsat roles — severity discipline.
+#[test]
+fn lints_never_claim_unsatisfiability() {
+    use orm_core::Severity;
+    for fixture in orm_core::fixtures::all() {
+        let report = validate_all(&fixture.schema);
+        for finding in &report.findings {
+            if finding.severity != Severity::Unsatisfiable {
+                assert!(
+                    finding.unsat_roles.is_empty() && finding.unsat_types.is_empty(),
+                    "{}: lint {:?} claims unsatisfiability",
+                    fixture.id,
+                    finding.code
+                );
+            }
+        }
+    }
+}
+
+/// The E2 extension respects value bounds inherited through supertypes of
+/// ring players.
+#[test]
+fn e2_with_inherited_bound() {
+    let mut b = SchemaBuilder::new("s");
+    let base = b.value_type("Base", Some(ValueConstraint::enumeration(["only"]))).unwrap();
+    let sub = b.entity_type("Sub").unwrap();
+    b.subtype(sub, base).unwrap();
+    let f = b.fact_type("rel", sub, sub).unwrap();
+    b.ring(f, [RingKind::Irreflexive]).unwrap();
+    let s = b.finish();
+    let report = Validator::with_settings(ValidatorSettings::all()).validate(&s);
+    assert!(report.by_code(CheckCode::E2).count() >= 1);
+}

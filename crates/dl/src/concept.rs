@@ -1,0 +1,249 @@
+//! The concept language: `ALCNI` (ALC + unqualified number restrictions +
+//! inverse roles), in negation normal form.
+
+use std::fmt;
+
+/// Index of an atomic concept name in its [`crate::tbox::TBox`].
+pub type AtomId = u32;
+
+/// Index of a role name in its [`crate::tbox::TBox`].
+pub type RoleNameId = u32;
+
+/// A role or its inverse.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct RoleExpr {
+    /// The underlying role name.
+    pub name: RoleNameId,
+    /// Whether the role is inverted.
+    pub inverse: bool,
+}
+
+impl RoleExpr {
+    /// The role itself.
+    pub fn direct(name: RoleNameId) -> RoleExpr {
+        RoleExpr { name, inverse: false }
+    }
+
+    /// The inverse of the role.
+    pub fn inv_of(name: RoleNameId) -> RoleExpr {
+        RoleExpr { name, inverse: true }
+    }
+
+    /// Flip the direction.
+    pub fn inverse(self) -> RoleExpr {
+        RoleExpr { name: self.name, inverse: !self.inverse }
+    }
+}
+
+impl fmt::Display for RoleExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.inverse {
+            write!(f, "R{}⁻", self.name)
+        } else {
+            write!(f, "R{}", self.name)
+        }
+    }
+}
+
+/// A concept expression.
+///
+/// Number restrictions are unqualified (`≥n R`, `≤n R`); the existential and
+/// universal quantifiers are the qualified ALC forms. This is the fragment
+/// the binary ORM mapping produces.
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Concept {
+    /// ⊤
+    Top,
+    /// ⊥
+    Bottom,
+    /// Atomic concept.
+    Atomic(AtomId),
+    /// Negated atomic concept (NNF keeps negation at the leaves).
+    NotAtomic(AtomId),
+    /// Conjunction.
+    And(Vec<Concept>),
+    /// Disjunction.
+    Or(Vec<Concept>),
+    /// `∃R.C`
+    Exists(RoleExpr, Box<Concept>),
+    /// `∀R.C`
+    ForAll(RoleExpr, Box<Concept>),
+    /// `≥n R` (unqualified)
+    AtLeast(u32, RoleExpr),
+    /// `≤n R` (unqualified)
+    AtMost(u32, RoleExpr),
+}
+
+impl Concept {
+    /// Negation, pushed into negation normal form.
+    ///
+    /// An associated function by design (`Concept::not(c)` reads like the
+    /// DL constructor `¬C`), not the `Not` operator trait.
+    #[allow(clippy::should_implement_trait)]
+    pub fn not(c: Concept) -> Concept {
+        match c {
+            Concept::Top => Concept::Bottom,
+            Concept::Bottom => Concept::Top,
+            Concept::Atomic(a) => Concept::NotAtomic(a),
+            Concept::NotAtomic(a) => Concept::Atomic(a),
+            Concept::And(cs) => Concept::Or(cs.into_iter().map(Concept::not).collect()),
+            Concept::Or(cs) => Concept::And(cs.into_iter().map(Concept::not).collect()),
+            Concept::Exists(r, c) => Concept::ForAll(r, Box::new(Concept::not(*c))),
+            Concept::ForAll(r, c) => Concept::Exists(r, Box::new(Concept::not(*c))),
+            // ¬(≥n R) = ≤(n-1) R; ¬(≥0 R) = ⊥ is impossible since ≥0 = ⊤.
+            Concept::AtLeast(n, r) => {
+                if n == 0 {
+                    Concept::Bottom
+                } else {
+                    Concept::AtMost(n - 1, r)
+                }
+            }
+            // ¬(≤n R) = ≥(n+1) R.
+            Concept::AtMost(n, r) => Concept::AtLeast(n + 1, r),
+        }
+    }
+
+    /// N-ary conjunction with flattening and unit simplification.
+    pub fn and(cs: impl IntoIterator<Item = Concept>) -> Concept {
+        let mut out = Vec::new();
+        for c in cs {
+            match c {
+                Concept::Top => {}
+                Concept::And(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Concept::Top,
+            1 => out.pop().expect("len checked"),
+            _ => Concept::And(out),
+        }
+    }
+
+    /// N-ary disjunction with flattening and unit simplification.
+    pub fn or(cs: impl IntoIterator<Item = Concept>) -> Concept {
+        let mut out = Vec::new();
+        for c in cs {
+            match c {
+                Concept::Bottom => {}
+                Concept::Or(inner) => out.extend(inner),
+                other => out.push(other),
+            }
+        }
+        match out.len() {
+            0 => Concept::Bottom,
+            1 => out.pop().expect("len checked"),
+            _ => Concept::Or(out),
+        }
+    }
+
+    /// `∃R.⊤` — "plays role R", the workhorse of the ORM mapping.
+    pub fn some(role: RoleExpr) -> Concept {
+        Concept::Exists(role, Box::new(Concept::Top))
+    }
+
+    /// The implication `C ⊑ D` as the internalized disjunct `¬C ⊔ D`.
+    pub fn implies(c: Concept, d: Concept) -> Concept {
+        Concept::or([Concept::not(c), d])
+    }
+}
+
+impl fmt::Display for Concept {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Concept::Top => write!(f, "⊤"),
+            Concept::Bottom => write!(f, "⊥"),
+            Concept::Atomic(a) => write!(f, "A{a}"),
+            Concept::NotAtomic(a) => write!(f, "¬A{a}"),
+            Concept::And(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊓ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Concept::Or(cs) => {
+                write!(f, "(")?;
+                for (i, c) in cs.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, " ⊔ ")?;
+                    }
+                    write!(f, "{c}")?;
+                }
+                write!(f, ")")
+            }
+            Concept::Exists(r, c) => write!(f, "∃{r}.{c}"),
+            Concept::ForAll(r, c) => write!(f, "∀{r}.{c}"),
+            Concept::AtLeast(n, r) => write!(f, "≥{n} {r}"),
+            Concept::AtMost(n, r) => write!(f, "≤{n} {r}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn negation_is_involutive() {
+        let samples = [
+            Concept::Top,
+            Concept::Bottom,
+            Concept::Atomic(0),
+            Concept::some(RoleExpr::direct(0)),
+            Concept::AtMost(2, RoleExpr::inv_of(1)),
+            Concept::and([Concept::Atomic(0), Concept::NotAtomic(1)]),
+        ];
+        for c in samples {
+            assert_eq!(Concept::not(Concept::not(c.clone())), c);
+        }
+    }
+
+    #[test]
+    fn number_restriction_duality() {
+        let r = RoleExpr::direct(0);
+        assert_eq!(Concept::not(Concept::AtLeast(3, r)), Concept::AtMost(2, r));
+        assert_eq!(Concept::not(Concept::AtMost(2, r)), Concept::AtLeast(3, r));
+        assert_eq!(Concept::not(Concept::AtLeast(0, r)), Concept::Bottom);
+    }
+
+    #[test]
+    fn and_or_simplify() {
+        assert_eq!(Concept::and([]), Concept::Top);
+        assert_eq!(Concept::and([Concept::Atomic(1)]), Concept::Atomic(1));
+        assert_eq!(
+            Concept::and([Concept::Top, Concept::Atomic(1)]),
+            Concept::Atomic(1)
+        );
+        assert_eq!(Concept::or([]), Concept::Bottom);
+        assert_eq!(
+            Concept::or([Concept::Bottom, Concept::Atomic(1)]),
+            Concept::Atomic(1)
+        );
+        // Nested flattening.
+        assert_eq!(
+            Concept::and([
+                Concept::and([Concept::Atomic(0), Concept::Atomic(1)]),
+                Concept::Atomic(2)
+            ]),
+            Concept::And(vec![Concept::Atomic(0), Concept::Atomic(1), Concept::Atomic(2)])
+        );
+    }
+
+    #[test]
+    fn role_expr_inverse() {
+        let r = RoleExpr::direct(4);
+        assert_eq!(r.inverse(), RoleExpr::inv_of(4));
+        assert_eq!(r.inverse().inverse(), r);
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let c = Concept::Exists(RoleExpr::direct(1), Box::new(Concept::Atomic(2)));
+        assert_eq!(c.to_string(), "∃R1.A2");
+        assert_eq!(Concept::AtMost(1, RoleExpr::inv_of(0)).to_string(), "≤1 R0⁻");
+    }
+}

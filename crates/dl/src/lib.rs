@@ -1,0 +1,46 @@
+//! # orm-dl — a description-logic tableau reasoner and the ORM→DL mapping
+//!
+//! The paper's "complete procedure" maps ORM into the DLR description logic
+//! and calls the (closed-source) RACER reasoner [JF05]. This crate rebuilds
+//! that pipeline from scratch on an open footing:
+//!
+//! * [`concept`] — a DL concept language with inverse roles and
+//!   *unqualified* number restrictions (`ALCNI` plus a role hierarchy and
+//!   role disjointness — exactly what the binary-ORM mapping needs; DLR's
+//!   n-ary features degenerate to this fragment for binary predicates);
+//! * [`tbox`] — TBoxes of general concept inclusions, role inclusions and
+//!   role disjointness, with GCI internalization;
+//! * [`tableau`] — a sound and terminating tableau procedure with pairwise
+//!   blocking, successor merging and a node budget;
+//! * [`orm_to_dl`] — the schema translation. Ring constraints, value
+//!   constraints and spanning frequency constraints are reported as
+//!   *unmapped* — the same expressivity gap the paper concedes for DLR
+//!   (footnote 10); the bounded model finder (`orm-reasoner`) covers them.
+//!
+//! ```
+//! use orm_dl::concept::{Concept, RoleExpr};
+//! use orm_dl::tbox::TBox;
+//! use orm_dl::tableau::{satisfiable, DlOutcome};
+//!
+//! let mut tbox = TBox::new();
+//! let a = tbox.atom("A");
+//! let b = tbox.atom("B");
+//! // A ⊑ B and A ⊓ ¬B unsatisfiable.
+//! tbox.gci(Concept::Atomic(a), Concept::Atomic(b));
+//! let query = Concept::and([Concept::Atomic(a), Concept::not(Concept::Atomic(b))]);
+//! assert_eq!(satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
+//! let _ = RoleExpr::direct(0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod concept;
+pub mod orm_to_dl;
+pub mod tableau;
+pub mod tbox;
+
+pub use concept::{Concept, RoleExpr};
+pub use orm_to_dl::{translate, Translation};
+pub use tableau::{satisfiable, subsumes, DlOutcome};
+pub use tbox::TBox;

@@ -1,0 +1,531 @@
+//! Translation of ORM schemas into the DL fragment, following the shape of
+//! the DLR mapping of [JF05] specialized to binary predicates.
+//!
+//! | ORM construct | DL axiom(s) |
+//! |---|---|
+//! | object type `A` | atomic concept `CA` |
+//! | subtype `A <: B` | `CA ⊑ CB` (non-strict; see below) |
+//! | implicit type exclusion | `CA ⊓ CB ⊑ ⊥` for unrelated top families |
+//! | exclusive types | pairwise `CA ⊓ CB ⊑ ⊥` |
+//! | total subtypes | `CSup ⊑ C1 ⊔ … ⊔ Cn` |
+//! | fact `f(r1: A, r2: B)` | role `Rf`, `∃Rf.⊤ ⊑ CA`, `∃Rf⁻.⊤ ⊑ CB` |
+//! | mandatory `r` | `player(r) ⊑ ∃dir(r).⊤` (disjunctive: a ⊔ of those) |
+//! | uniqueness on role `r` | `⊤ ⊑ ≤1 dir(r)` |
+//! | frequency `FC(min..max)` on `r` | `∃dir(r).⊤ ⊑ ≥min dir(r) ⊓ ≤max dir(r)` |
+//! | exclusion of single roles | pairwise `∃dir(ri).⊤ ⊓ ∃dir(rj).⊤ ⊑ ⊥` |
+//! | subset of single roles | `∃dir(sub).⊤ ⊑ ∃dir(sup).⊤` |
+//! | subset of predicates | role inclusion `Rf ⊑ Rg` (inverted when cross-oriented) |
+//! | exclusion of predicates | role disjointness |
+//! | equality | both subset directions |
+//!
+//! `dir(r)` is `Rf` when `r` is the first role of its fact type and `Rf⁻`
+//! when it is the second.
+//!
+//! **Unmapped constructs** (collected in [`Translation::unmapped`], exactly
+//! the gaps the paper concedes for DLR in footnote 10): ring constraints,
+//! value constraints, spanning uniqueness (inherent in DL role semantics,
+//! harmless) and spanning frequency constraints. The *strictness* of
+//! subtype populations is also approximated as plain inclusion — a DL
+//! cannot see the difference, which is why Pattern 9's subtype loops are
+//! invisible to the DL comparator and need the patterns or the bounded
+//! model finder.
+
+use crate::concept::{Concept, RoleExpr};
+use crate::tableau::{satisfiable, DlOutcome};
+use crate::tbox::TBox;
+use orm_model::{
+    Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind,
+};
+use std::collections::HashMap;
+
+/// The result of translating an ORM schema.
+#[derive(Clone, Debug)]
+pub struct Translation {
+    /// The generated TBox.
+    pub tbox: TBox,
+    /// Concept id per object type.
+    pub concept_of_type: HashMap<ObjectTypeId, Concept>,
+    /// Role direction per ORM role: `Rf` or `Rf⁻`.
+    pub role_dir: HashMap<RoleId, RoleExpr>,
+    /// Human-readable notes about constructs the DL fragment cannot
+    /// express.
+    pub unmapped: Vec<String>,
+}
+
+impl Translation {
+    /// The concept "plays `role`" — `∃dir(role).⊤`.
+    pub fn role_concept(&self, role: RoleId) -> Concept {
+        Concept::some(self.role_dir[&role])
+    }
+
+    /// The concept of an object type.
+    pub fn type_concept(&self, ty: ObjectTypeId) -> Concept {
+        self.concept_of_type[&ty].clone()
+    }
+
+    /// Satisfiability of an object type under the translation.
+    pub fn type_satisfiable(&self, ty: ObjectTypeId, budget: u64) -> DlOutcome {
+        satisfiable(&self.tbox, &self.type_concept(ty), budget)
+    }
+
+    /// Satisfiability of a role under the translation.
+    pub fn role_satisfiable(&self, role: RoleId, budget: u64) -> DlOutcome {
+        satisfiable(&self.tbox, &self.role_concept(role), budget)
+    }
+
+    /// Whether the constraints force every `sub` instance to be a `sup`
+    /// instance — *derived* subsumption, beyond the declared subtype links.
+    /// `None` when the budget ran out.
+    pub fn type_subsumed_by(
+        &self,
+        sub: ObjectTypeId,
+        sup: ObjectTypeId,
+        budget: u64,
+    ) -> Option<bool> {
+        crate::tableau::subsumes(
+            &self.tbox,
+            &self.type_concept(sup),
+            &self.type_concept(sub),
+            budget,
+        )
+    }
+
+    /// Classify the schema's object types: all derived subsumption pairs
+    /// `(sub, sup)` with `sub ≠ sup`, including ones no subtype link
+    /// declares (e.g. forced by mandatory/typing interplay). Inconclusive
+    /// pairs (budget) are omitted.
+    pub fn classify(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, ObjectTypeId)> {
+        let types: Vec<ObjectTypeId> = schema.object_types().map(|(t, _)| t).collect();
+        let mut out = Vec::new();
+        for &sub in &types {
+            for &sup in &types {
+                if sub != sup && self.type_subsumed_by(sub, sup, budget) == Some(true) {
+                    out.push((sub, sup));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Translate `schema` into a DL TBox.
+pub fn translate(schema: &Schema) -> Translation {
+    let mut tbox = TBox::new();
+    let mut concept_of_type = HashMap::new();
+    let mut role_dir = HashMap::new();
+    let mut unmapped = Vec::new();
+    let idx = schema.index();
+
+    for (ty, ot) in schema.object_types() {
+        let atom = tbox.atom(ot.name());
+        concept_of_type.insert(ty, Concept::Atomic(atom));
+        if ot.value_constraint().is_some() {
+            unmapped.push(format!(
+                "value constraint on `{}` (DLR needs concrete domains)",
+                ot.name()
+            ));
+        }
+    }
+
+    // Subtyping (non-strict inclusion). Strictness is not expressible in a
+    // DL: a subtype loop merely forces concept equivalence here, while ORM
+    // semantics make loop members unsatisfiable (Pattern 9).
+    for link in schema.subtype_links() {
+        tbox.gci(concept_of_type[&link.sub].clone(), concept_of_type[&link.sup].clone());
+    }
+    if schema.object_types().any(|(ty, _)| idx.on_subtype_cycle(ty)) {
+        unmapped.push(
+            "subtype loop present: strict-subset subtype semantics is not expressible \
+             in the DL fragment"
+                .to_owned(),
+        );
+    }
+
+    // ORM's implicit mutual exclusion of types without a common supertype.
+    let types: Vec<ObjectTypeId> = schema.object_types().map(|(id, _)| id).collect();
+    for (i, &a) in types.iter().enumerate() {
+        for &b in types.iter().skip(i + 1) {
+            if !idx.may_overlap(a, b) {
+                tbox.gci(
+                    Concept::and([concept_of_type[&a].clone(), concept_of_type[&b].clone()]),
+                    Concept::Bottom,
+                );
+            }
+        }
+    }
+
+    // Fact types: roles + typing axioms.
+    for (fid, ft) in schema.fact_types() {
+        let role = tbox.role(ft.name());
+        let first = ft.first();
+        let second = ft.second();
+        role_dir.insert(first, RoleExpr::direct(role));
+        role_dir.insert(second, RoleExpr::inv_of(role));
+        let _ = fid;
+        tbox.gci(
+            Concept::some(RoleExpr::direct(role)),
+            concept_of_type[&schema.player(first)].clone(),
+        );
+        tbox.gci(
+            Concept::some(RoleExpr::inv_of(role)),
+            concept_of_type[&schema.player(second)].clone(),
+        );
+    }
+
+    for (_, c) in schema.constraints() {
+        match c {
+            Constraint::Mandatory(m) => {
+                let player = concept_of_type[&schema.player(m.roles[0])].clone();
+                let plays = Concept::or(
+                    m.roles.iter().map(|r| Concept::some(role_dir[r])).collect::<Vec<_>>(),
+                );
+                tbox.gci(player, plays);
+            }
+            Constraint::Uniqueness(u) => {
+                if u.roles.len() == 1 {
+                    tbox.gci(Concept::Top, Concept::AtMost(1, role_dir[&u.roles[0]]));
+                }
+                // A spanning uniqueness constraint is inherent: DL roles are
+                // sets of pairs. Nothing to emit.
+            }
+            Constraint::Frequency(f) => {
+                if f.roles.len() != 1 {
+                    unmapped.push(format!(
+                        "frequency constraint {} over several roles (DLR gap, paper \
+                         footnote 10)",
+                        f.notation()
+                    ));
+                    continue;
+                }
+                let dir = role_dir[&f.roles[0]];
+                let mut bounds = vec![Concept::AtLeast(f.min, dir)];
+                if let Some(max) = f.max {
+                    bounds.push(Concept::AtMost(max, dir));
+                }
+                tbox.gci(Concept::some(dir), Concept::and(bounds));
+            }
+            Constraint::SetComparison(sc) => {
+                translate_set_comparison(&mut tbox, &role_dir, sc)
+            }
+            Constraint::ExclusiveTypes(e) => {
+                for (i, &a) in e.types.iter().enumerate() {
+                    for &b in e.types.iter().skip(i + 1) {
+                        tbox.gci(
+                            Concept::and([
+                                concept_of_type[&a].clone(),
+                                concept_of_type[&b].clone(),
+                            ]),
+                            Concept::Bottom,
+                        );
+                    }
+                }
+            }
+            Constraint::TotalSubtypes(t) => {
+                tbox.gci(
+                    concept_of_type[&t.supertype].clone(),
+                    Concept::or(
+                        t.subtypes
+                            .iter()
+                            .map(|s| concept_of_type[s].clone())
+                            .collect::<Vec<_>>(),
+                    ),
+                );
+            }
+            Constraint::Ring(r) => {
+                unmapped.push(format!(
+                    "ring constraints {} on `{}` (DLR gap, paper footnote 10)",
+                    r.kinds,
+                    schema.fact_type(r.fact_type).name()
+                ));
+            }
+        }
+    }
+
+    Translation { tbox, concept_of_type, role_dir, unmapped }
+}
+
+fn translate_set_comparison(
+    tbox: &mut TBox,
+    role_dir: &HashMap<RoleId, RoleExpr>,
+    sc: &orm_model::SetComparison,
+) {
+    let single = sc.over_single_roles();
+    match sc.kind {
+        SetComparisonKind::Subset => {
+            if single {
+                let sub = role_dir[&sc.args[0].roles()[0]];
+                let sup = role_dir[&sc.args[1].roles()[0]];
+                tbox.gci(Concept::some(sub), Concept::some(sup));
+            } else {
+                emit_role_inclusion(tbox, role_dir, &sc.args[0], &sc.args[1]);
+            }
+        }
+        SetComparisonKind::Equality => {
+            for i in 0..sc.args.len() {
+                for j in 0..sc.args.len() {
+                    if i == j {
+                        continue;
+                    }
+                    if single {
+                        let a = role_dir[&sc.args[i].roles()[0]];
+                        let b = role_dir[&sc.args[j].roles()[0]];
+                        tbox.gci(Concept::some(a), Concept::some(b));
+                    } else {
+                        emit_role_inclusion(tbox, role_dir, &sc.args[i], &sc.args[j]);
+                    }
+                }
+            }
+        }
+        SetComparisonKind::Exclusion => {
+            for (i, a) in sc.args.iter().enumerate() {
+                for b in sc.args.iter().skip(i + 1) {
+                    if single {
+                        let ra = role_dir[&a.roles()[0]];
+                        let rb = role_dir[&b.roles()[0]];
+                        tbox.gci(
+                            Concept::and([Concept::some(ra), Concept::some(rb)]),
+                            Concept::Bottom,
+                        );
+                    } else {
+                        let (ra, rb) = (pair_expr(role_dir, a), pair_expr(role_dir, b));
+                        tbox.disjoint(ra, rb);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The role expression representing a whole-predicate sequence: `Rf` when
+/// the sequence lists the fact's roles in order, `Rf⁻` when reversed.
+fn pair_expr(role_dir: &HashMap<RoleId, RoleExpr>, seq: &orm_model::RoleSeq) -> RoleExpr {
+    let first = seq.roles()[0];
+    role_dir[&first]
+}
+
+fn emit_role_inclusion(
+    tbox: &mut TBox,
+    role_dir: &HashMap<RoleId, RoleExpr>,
+    sub: &orm_model::RoleSeq,
+    sup: &orm_model::RoleSeq,
+) {
+    // (a, b) ⊆ (c, d): tuples of the sub predicate, read in the sequence's
+    // orientation, are tuples of the super predicate in ITS orientation.
+    // dir(first role) gives exactly that orientation.
+    let sub_expr = pair_expr(role_dir, sub);
+    let sup_expr = pair_expr(role_dir, sup);
+    tbox.role_inclusion(sub_expr, sup_expr);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RingKind, RoleSeq, SchemaBuilder, ValueConstraint};
+
+    const BUDGET: u64 = 500_000;
+
+    #[test]
+    fn fig1_phd_student_unsat_in_dl() {
+        let mut b = SchemaBuilder::new("fig1");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("PhdStudent").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        b.exclusive_types([student, employee]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.type_satisfiable(phd, BUDGET), DlOutcome::Unsat);
+        for ty in [person, student, employee] {
+            assert_eq!(t.type_satisfiable(ty, BUDGET), DlOutcome::Sat);
+        }
+    }
+
+    #[test]
+    fn implicit_exclusion_translated() {
+        // Fig. 2: C under two unrelated tops.
+        let mut b = SchemaBuilder::new("fig2");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(c, a).unwrap();
+        b.subtype(c, bb).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.type_satisfiable(c, BUDGET), DlOutcome::Unsat);
+        assert_eq!(t.type_satisfiable(a, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn exclusion_mandatory_unsat_in_dl() {
+        // Fig. 4a: mandatory r1, exclusion {r1, r3}: r3 unsatisfiable.
+        let mut b = SchemaBuilder::new("fig4a");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.role_satisfiable(r3, BUDGET), DlOutcome::Unsat);
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn uniqueness_frequency_unsat_in_dl() {
+        // Fig. 10: UC + FC(2-5) on r1.
+        let mut b = SchemaBuilder::new("fig10");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.unique([r1]).unwrap();
+        b.frequency([r1], 2, Some(5)).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn subset_exclusion_conflict_in_dl() {
+        // Fig. 8 variant on single roles.
+        let mut b = SchemaBuilder::new("fig8");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Unsat);
+        assert_eq!(t.role_satisfiable(r3, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn predicate_subset_becomes_role_inclusion() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let [r1, r2] = b.schema().fact_type(f1).roles();
+        let [r3, r4] = b.schema().fact_type(f2).roles();
+        b.subset(RoleSeq::pair(r1, r2), RoleSeq::pair(r3, r4)).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        // Pattern 6's Fig. 8 through the DL: populating f1 forces an f2
+        // tuple with a shared r1/r3 player.
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Unsat);
+        let _ = r4;
+    }
+
+    #[test]
+    fn rings_and_values_reported_unmapped() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.value_type("W", Some(ValueConstraint::enumeration(["a"]))).unwrap();
+        let f = b.fact_type("rel", w, w).unwrap();
+        b.ring(f, [RingKind::Acyclic, RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.unmapped.len(), 2);
+        assert!(t.unmapped.iter().any(|m| m.contains("ring")));
+        assert!(t.unmapped.iter().any(|m| m.contains("value constraint")));
+        // And — illustrating the gap — the DL side considers the ring-doomed
+        // fact satisfiable.
+        let r = s.fact_type(f).first();
+        assert_eq!(t.role_satisfiable(r, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn satisfiable_schema_stays_satisfiable() {
+        // Fig. 14 (minus totality nuances): every role satisfiable in DL.
+        let mut b = SchemaBuilder::new("fig14");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(bb, a).unwrap();
+        b.subtype(c, a).unwrap();
+        b.total_subtypes(a, [bb, c]).unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", bb, x).unwrap();
+        let f2 = b.fact_type("f2", c, x).unwrap();
+        let f3 = b.fact_type("f3", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let r5 = b.schema().fact_type(f3).first();
+        b.mandatory(r1).unwrap();
+        b.mandatory(r3).unwrap();
+        b.exclusion_roles([r3, r5]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        for r in [r1, r3, r5] {
+            assert_eq!(t.role_satisfiable(r, BUDGET), DlOutcome::Sat, "role {r}");
+        }
+    }
+
+    #[test]
+    fn classification_recovers_declared_subtyping() {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        b.subtype(student, person).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.type_subsumed_by(student, person, BUDGET), Some(true));
+        assert_eq!(t.type_subsumed_by(person, student, BUDGET), Some(false));
+        assert_eq!(t.classify(&s, BUDGET), vec![(student, person)]);
+    }
+
+    #[test]
+    fn classification_finds_derived_subsumption() {
+        // An unsatisfiable type is subsumed by everything — derived, not
+        // declared: PhdStudent ⊑ Person but also ⊑ any other type.
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        b.exclusive_types([student, employee]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        // phd is unsatisfiable ⇒ subsumed by every type.
+        for sup in [person, student, employee] {
+            assert_eq!(t.type_subsumed_by(phd, sup, BUDGET), Some(true));
+        }
+        // But student is NOT subsumed by employee.
+        assert_eq!(t.type_subsumed_by(student, employee, BUDGET), Some(false));
+    }
+
+    #[test]
+    fn disjunctive_mandatory_translates_as_union() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.disjunctive_mandatory([r1, r3]).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        // "Exactly one of" is satisfiable (unlike double simple mandatory).
+        assert_eq!(t.type_satisfiable(a, BUDGET), DlOutcome::Sat);
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Sat);
+    }
+}

@@ -1,0 +1,724 @@
+//! Tableau-based concept satisfiability with respect to a TBox.
+//!
+//! The procedure is the standard completion-forest tableau for ALC with
+//! inverse roles, a role hierarchy and unqualified number restrictions:
+//!
+//! * GCIs are *internalized*: every node carries `⊓(¬Cᵢ ⊔ Dᵢ)`;
+//! * **pairwise (double) blocking** over ancestors guarantees termination
+//!   in the presence of inverse roles and GCIs;
+//! * the `≤`-rule merges mergeable neighbours (child into child, or child
+//!   into the parent when inverse edges make the parent a neighbour) and
+//!   clashes when more than `n` pairwise-distinct neighbours remain;
+//! * non-deterministic rules (`⊔`, the merge choice) branch by cloning the
+//!   completion forest — simple, and cheap at the sizes ORM schemas induce.
+//!
+//! A rule-application budget bounds runtime; exceeding it yields
+//! [`DlOutcome::ResourceLimit`] rather than a wrong verdict. The
+//! exponential behaviour this budget guards against is precisely the cost
+//! the paper attributes to complete DL reasoning (§4).
+
+use crate::concept::{Concept, RoleExpr};
+use crate::tbox::TBox;
+use std::collections::BTreeSet;
+
+/// Verdict of a satisfiability check.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DlOutcome {
+    /// A clash-free, fully expanded completion forest exists.
+    Sat,
+    /// Every branch clashes.
+    Unsat,
+    /// The rule budget was exhausted before an answer was certain.
+    ResourceLimit,
+}
+
+/// Whether `sub ⊑ sup` follows from the TBox: the standard reduction to
+/// unsatisfiability of `sub ⊓ ¬sup`.
+///
+/// Returns `Some(true/false)` on a definitive answer and `None` when the
+/// budget ran out.
+pub fn subsumes(tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Option<bool> {
+    let query = Concept::and([sub.clone(), Concept::not(sup.clone())]);
+    match satisfiable(tbox, &query, budget) {
+        DlOutcome::Unsat => Some(true),
+        DlOutcome::Sat => Some(false),
+        DlOutcome::ResourceLimit => None,
+    }
+}
+
+/// Check satisfiability of `query` with respect to `tbox`, spending at most
+/// `budget` rule applications.
+pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
+    let internal = tbox.internalized();
+    let mut root_label = BTreeSet::new();
+    add_concept(&mut root_label, query.clone());
+    add_concept(&mut root_label, internal.clone());
+    let graph = Forest {
+        nodes: vec![Node {
+            alive: true,
+            label: root_label,
+            parent: None,
+            edge: BTreeSet::new(),
+            children: Vec::new(),
+            distinct: BTreeSet::new(),
+        }],
+    };
+    let mut budget = budget;
+    expand(tbox, &internal, graph, &mut budget)
+}
+
+#[derive(Clone, Debug)]
+struct Node {
+    alive: bool,
+    label: BTreeSet<Concept>,
+    parent: Option<usize>,
+    /// Role labels of the edge from `parent` to this node.
+    edge: BTreeSet<RoleExpr>,
+    children: Vec<usize>,
+    /// Nodes asserted pairwise-distinct from this one.
+    distinct: BTreeSet<usize>,
+}
+
+#[derive(Clone, Debug)]
+struct Forest {
+    nodes: Vec<Node>,
+}
+
+/// Flatten conjunctions eagerly when inserting (the ⊓-rule, fused).
+fn add_concept(label: &mut BTreeSet<Concept>, c: Concept) {
+    match c {
+        Concept::Top => {}
+        Concept::And(cs) => {
+            for c in cs {
+                add_concept(label, c);
+            }
+        }
+        other => {
+            label.insert(other);
+        }
+    }
+}
+
+impl Forest {
+    fn alive(&self) -> impl Iterator<Item = usize> + '_ {
+        (0..self.nodes.len()).filter(|i| self.nodes[*i].alive)
+    }
+
+    /// R-neighbours of `x`: children via a sub-role edge, plus the parent
+    /// when the inverted edge label is a sub-role of `R`.
+    fn neighbors(&self, tbox: &TBox, x: usize, role: RoleExpr) -> Vec<usize> {
+        let mut out = Vec::new();
+        for &child in &self.nodes[x].children {
+            if !self.nodes[child].alive {
+                continue;
+            }
+            if self.nodes[child].edge.iter().any(|s| tbox.is_subrole(*s, role)) {
+                out.push(child);
+            }
+        }
+        if let Some(parent) = self.nodes[x].parent {
+            if self.nodes[parent].alive
+                && self.nodes[x].edge.iter().any(|s| tbox.is_subrole(s.inverse(), role))
+            {
+                out.push(parent);
+            }
+        }
+        out
+    }
+
+    fn has_clash(&self, tbox: &TBox) -> bool {
+        for i in self.alive() {
+            let node = &self.nodes[i];
+            if node.label.contains(&Concept::Bottom) {
+                return true;
+            }
+            for c in &node.label {
+                if let Concept::Atomic(a) = c {
+                    if node.label.contains(&Concept::NotAtomic(*a)) {
+                        return true;
+                    }
+                }
+            }
+            if !node.edge.is_empty() && tbox.edge_violates_disjointness(&node.edge) {
+                return true;
+            }
+            // ≤n R with > n pairwise-distinct R-neighbours.
+            for c in &node.label {
+                if let Concept::AtMost(n, r) = c {
+                    let neighbors = self.neighbors(tbox, i, *r);
+                    if neighbors.len() > *n as usize
+                        && all_pairwise_distinct(self, &neighbors)
+                    {
+                        return true;
+                    }
+                }
+            }
+        }
+        false
+    }
+
+    /// Ancestor chain of `x`, excluding `x`.
+    fn ancestors(&self, x: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        let mut cur = self.nodes[x].parent;
+        while let Some(p) = cur {
+            out.push(p);
+            cur = self.nodes[p].parent;
+        }
+        out
+    }
+
+    /// Pairwise blocking: `x` is blocked when some ancestor pair mirrors
+    /// `x` and its parent exactly.
+    fn blocked(&self, x: usize) -> bool {
+        let Some(xp) = self.nodes[x].parent else { return false };
+        for y in self.ancestors(x) {
+            let Some(yp) = self.nodes[y].parent else { continue };
+            if self.nodes[x].label == self.nodes[y].label
+                && self.nodes[xp].label == self.nodes[yp].label
+                && self.nodes[x].edge == self.nodes[y].edge
+            {
+                return true;
+            }
+            // A node below a blocked ancestor is indirectly blocked.
+            if self.blocked_directly(y) {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn blocked_directly(&self, x: usize) -> bool {
+        let Some(xp) = self.nodes[x].parent else { return false };
+        for y in self.ancestors(x) {
+            let Some(yp) = self.nodes[y].parent else { continue };
+            if self.nodes[x].label == self.nodes[y].label
+                && self.nodes[xp].label == self.nodes[yp].label
+                && self.nodes[x].edge == self.nodes[y].edge
+            {
+                return true;
+            }
+        }
+        false
+    }
+
+    fn add_child(
+        &mut self,
+        parent: usize,
+        edge: BTreeSet<RoleExpr>,
+        label: BTreeSet<Concept>,
+    ) -> usize {
+        let id = self.nodes.len();
+        self.nodes.push(Node {
+            alive: true,
+            label,
+            parent: Some(parent),
+            edge,
+            children: Vec::new(),
+            distinct: BTreeSet::new(),
+        });
+        self.nodes[parent].children.push(id);
+        id
+    }
+
+    /// Merge node `from` into node `to`; both must be R-neighbours of the
+    /// same node `via`, with `from` a child of `via`.
+    fn merge(&mut self, via: usize, from: usize, to: usize) {
+        debug_assert_eq!(self.nodes[from].parent, Some(via));
+        let from_node = std::mem::replace(
+            &mut self.nodes[from],
+            Node {
+                alive: false,
+                label: BTreeSet::new(),
+                parent: None,
+                edge: BTreeSet::new(),
+                children: Vec::new(),
+                distinct: BTreeSet::new(),
+            },
+        );
+        // Labels and distinctness accumulate on the survivor.
+        let label = from_node.label;
+        for c in label {
+            self.nodes[to].label.insert(c);
+        }
+        let distinct = from_node.distinct;
+        self.nodes[to].distinct.extend(distinct.iter().copied());
+        for d in distinct {
+            if self.nodes[d].alive {
+                self.nodes[d].distinct.insert(to);
+            }
+        }
+        // Edges: `from` was a child of `via`.
+        if self.nodes[to].parent == Some(via) {
+            // Sibling merge: fold edge labels.
+            let edge = from_node.edge;
+            for e in edge {
+                self.nodes[to].edge.insert(e);
+            }
+        } else if Some(to) == self.nodes[via].parent {
+            // Child-into-parent merge: `via —S→ from` becomes
+            // `to —S⁻→ via` folded into via's existing up-edge.
+            let inverted: Vec<RoleExpr> =
+                from_node.edge.iter().map(|s| s.inverse()).collect();
+            for e in inverted {
+                self.nodes[via].edge.insert(e);
+            }
+        }
+        // Reparent from's children under the survivor.
+        let children = from_node.children;
+        for child in &children {
+            self.nodes[*child].parent = Some(to);
+        }
+        self.nodes[to].children.extend(children);
+        self.nodes[via].children.retain(|c| *c != from);
+    }
+}
+
+fn all_pairwise_distinct(forest: &Forest, nodes: &[usize]) -> bool {
+    for (i, &a) in nodes.iter().enumerate() {
+        for &b in nodes.iter().skip(i + 1) {
+            if !forest.nodes[a].distinct.contains(&b) {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+fn expand(tbox: &TBox, internal: &Concept, mut forest: Forest, budget: &mut u64) -> DlOutcome {
+    loop {
+        if *budget == 0 {
+            return DlOutcome::ResourceLimit;
+        }
+        *budget -= 1;
+
+        if forest.has_clash(tbox) {
+            return DlOutcome::Unsat;
+        }
+
+        // Deterministic ∀-rule to fixpoint.
+        let mut changed = false;
+        let alive: Vec<usize> = forest.alive().collect();
+        for x in alive {
+            let foralls: Vec<(RoleExpr, Concept)> = forest.nodes[x]
+                .label
+                .iter()
+                .filter_map(|c| match c {
+                    Concept::ForAll(r, body) => Some((*r, (**body).clone())),
+                    _ => None,
+                })
+                .collect();
+            for (r, body) in foralls {
+                for y in forest.neighbors(tbox, x, r) {
+                    if !label_subsumes(&forest.nodes[y].label, &body) {
+                        add_concept(&mut forest.nodes[y].label, body.clone());
+                        changed = true;
+                    }
+                }
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        // ⊔-rule: first node with an unresolved disjunction.
+        let alive: Vec<usize> = forest.alive().collect();
+        for &x in &alive {
+            let disjunction = forest.nodes[x].label.iter().find_map(|c| match c {
+                Concept::Or(cs) if !cs.iter().any(|d| label_subsumes(&forest.nodes[x].label, d)) => {
+                    Some(cs.clone())
+                }
+                _ => None,
+            });
+            if let Some(cs) = disjunction {
+                let mut limited = false;
+                for d in cs {
+                    let mut branch = forest.clone();
+                    add_concept(&mut branch.nodes[x].label, d);
+                    match expand(tbox, internal, branch, budget) {
+                        DlOutcome::Sat => return DlOutcome::Sat,
+                        DlOutcome::Unsat => {}
+                        DlOutcome::ResourceLimit => limited = true,
+                    }
+                }
+                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+            }
+        }
+
+        // ≤-rule: merge surplus neighbours.
+        for &x in &alive {
+            let at_mosts: Vec<(u32, RoleExpr)> = forest.nodes[x]
+                .label
+                .iter()
+                .filter_map(|c| match c {
+                    Concept::AtMost(n, r) => Some((*n, *r)),
+                    _ => None,
+                })
+                .collect();
+            for (n, r) in at_mosts {
+                let neighbors = forest.neighbors(tbox, x, r);
+                if neighbors.len() <= n as usize {
+                    continue;
+                }
+                // Try every mergeable pair; merge the child of the pair.
+                // At least one pair is mergeable here: were all pairs
+                // asserted distinct, the clash check above would have
+                // fired.
+                let mut limited = false;
+                let mut tried = false;
+                for (i, &a) in neighbors.iter().enumerate() {
+                    for &b in neighbors.iter().skip(i + 1) {
+                        if forest.nodes[a].distinct.contains(&b) {
+                            continue;
+                        }
+                        // At most one of a, b is x's parent; merge the
+                        // child into the other node.
+                        let (from, to) = if forest.nodes[x].parent == Some(a) {
+                            (b, a)
+                        } else {
+                            (a, b)
+                        };
+                        tried = true;
+                        let mut branch = forest.clone();
+                        branch.merge(x, from, to);
+                        match expand(tbox, internal, branch, budget) {
+                            DlOutcome::Sat => return DlOutcome::Sat,
+                            DlOutcome::Unsat => {}
+                            DlOutcome::ResourceLimit => limited = true,
+                        }
+                    }
+                }
+                if !tried {
+                    // Defensive: all pairs distinct yet uncaught above.
+                    return DlOutcome::Unsat;
+                }
+                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+            }
+        }
+
+        // Generating rules on unblocked nodes.
+        let mut generated = false;
+        for &x in &alive {
+            if !forest.nodes[x].alive || forest.blocked(x) {
+                continue;
+            }
+            let label = forest.nodes[x].label.clone();
+            for c in &label {
+                match c {
+                    Concept::Exists(r, body) => {
+                        let satisfied = forest
+                            .neighbors(tbox, x, *r)
+                            .into_iter()
+                            .any(|y| label_subsumes(&forest.nodes[y].label, body));
+                        if !satisfied {
+                            let mut child_label = BTreeSet::new();
+                            add_concept(&mut child_label, (**body).clone());
+                            add_concept(&mut child_label, internal.clone());
+                            forest.add_child(x, BTreeSet::from([*r]), child_label);
+                            generated = true;
+                        }
+                    }
+                    Concept::AtLeast(n, r) => {
+                        let neighbors = forest.neighbors(tbox, x, *r);
+                        let enough = neighbors.len() >= *n as usize
+                            && has_n_pairwise_distinct(&forest, &neighbors, *n as usize);
+                        if !enough {
+                            let mut fresh = Vec::new();
+                            for _ in 0..*n {
+                                let mut child_label = BTreeSet::new();
+                                add_concept(&mut child_label, internal.clone());
+                                let id =
+                                    forest.add_child(x, BTreeSet::from([*r]), child_label);
+                                fresh.push(id);
+                            }
+                            for (i, &a) in fresh.iter().enumerate() {
+                                for &b in fresh.iter().skip(i + 1) {
+                                    forest.nodes[a].distinct.insert(b);
+                                    forest.nodes[b].distinct.insert(a);
+                                }
+                            }
+                            generated = true;
+                        }
+                    }
+                    _ => {}
+                }
+                if generated {
+                    break;
+                }
+            }
+            if generated {
+                break;
+            }
+        }
+        if generated {
+            continue;
+        }
+
+        // No rule applies: complete and clash-free.
+        return DlOutcome::Sat;
+    }
+}
+
+/// Whether `label` already makes `c` true syntactically (membership, with
+/// conjunctions split).
+fn label_subsumes(label: &BTreeSet<Concept>, c: &Concept) -> bool {
+    match c {
+        Concept::Top => true,
+        Concept::And(cs) => cs.iter().all(|d| label_subsumes(label, d)),
+        other => label.contains(other),
+    }
+}
+
+/// Whether `nodes` contains `n` mutually-distinct members.
+fn has_n_pairwise_distinct(forest: &Forest, nodes: &[usize], n: usize) -> bool {
+    if n <= 1 {
+        return !nodes.is_empty();
+    }
+    // Greedy clique search over the distinctness graph; n is tiny (≤ a few)
+    // in ORM-generated workloads, so exhaustive search over subsets is fine.
+    subsets_of_size(nodes, n).into_iter().any(|combo| {
+        combo.iter().enumerate().all(|(i, &a)| {
+            combo.iter().skip(i + 1).all(|&b| forest.nodes[a].distinct.contains(&b))
+        })
+    })
+}
+
+fn subsets_of_size(items: &[usize], k: usize) -> Vec<Vec<usize>> {
+    if k > items.len() {
+        return Vec::new();
+    }
+    if k == 0 {
+        return vec![Vec::new()];
+    }
+    let mut out = Vec::new();
+    for (i, &first) in items.iter().enumerate() {
+        for mut rest in subsets_of_size(&items[i + 1..], k - 1) {
+            rest.insert(0, first);
+            out.push(rest);
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::Concept as C;
+
+    const BUDGET: u64 = 500_000;
+
+    fn atom(t: &mut TBox, name: &str) -> C {
+        C::Atomic(t.atom(name))
+    }
+
+    #[test]
+    fn top_is_satisfiable_and_bottom_is_not() {
+        let t = TBox::new();
+        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
+        assert_eq!(satisfiable(&t, &C::Bottom, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn atomic_clash() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let query = C::and([a.clone(), C::not(a)]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn subsumption_via_tbox() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let b = atom(&mut t, "B");
+        t.gci(a.clone(), b.clone());
+        // A ⊓ ¬B unsatisfiable; A alone satisfiable.
+        assert_eq!(
+            satisfiable(&t, &C::and([a.clone(), C::not(b)]), BUDGET),
+            DlOutcome::Unsat
+        );
+        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn disjunction_branches() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let b = atom(&mut t, "B");
+        // (A ⊔ B) ⊓ ¬A is satisfiable through the B branch.
+        let query = C::and([C::or([a.clone(), b.clone()]), C::not(a.clone())]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
+        // (A ⊔ B) ⊓ ¬A ⊓ ¬B clashes on both branches.
+        let query = C::and([C::or([a.clone(), b.clone()]), C::not(a), C::not(b)]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn exists_and_forall_interact() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let r = RoleExpr::direct(t.role("R"));
+        // ∃R.A ⊓ ∀R.¬A is unsatisfiable.
+        let query = C::and([
+            C::Exists(r, Box::new(a.clone())),
+            C::ForAll(r, Box::new(C::not(a.clone()))),
+        ]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+        // ∃R.A ⊓ ∀R.A is fine.
+        let query = C::and([
+            C::Exists(r, Box::new(a.clone())),
+            C::ForAll(r, Box::new(a)),
+        ]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn inverse_roles_propagate_back() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let r = RoleExpr::direct(t.role("R"));
+        // ¬A ⊓ ∃R.(∀R⁻.A): the successor forces A back onto the root.
+        let query = C::and([
+            C::not(a.clone()),
+            C::Exists(r, Box::new(C::ForAll(r.inverse(), Box::new(a)))),
+        ]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn at_least_vs_at_most() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        // ≥2 R ⊓ ≤1 R unsatisfiable.
+        let query = C::and([C::AtLeast(2, r), C::AtMost(1, r)]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+        // ≥2 R ⊓ ≤2 R fine.
+        let query = C::and([C::AtLeast(2, r), C::AtMost(2, r)]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn merge_resolves_surplus_neighbors() {
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let b = atom(&mut t, "B");
+        let r = RoleExpr::direct(t.role("R"));
+        // ∃R.A ⊓ ∃R.B ⊓ ≤1 R: the two successors merge into one node that
+        // is both A and B — satisfiable.
+        let query = C::and([
+            C::Exists(r, Box::new(a.clone())),
+            C::Exists(r, Box::new(b.clone())),
+            C::AtMost(1, r),
+        ]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
+        // Making A and B disjoint turns the merge into a clash.
+        let mut t2 = TBox::new();
+        let a2 = atom(&mut t2, "A");
+        let b2 = atom(&mut t2, "B");
+        let r2 = RoleExpr::direct(t2.role("R"));
+        t2.gci(C::and([a2.clone(), b2.clone()]), C::Bottom);
+        let query = C::and([
+            C::Exists(r2, Box::new(a2)),
+            C::Exists(r2, Box::new(b2)),
+            C::AtMost(1, r2),
+        ]);
+        assert_eq!(satisfiable(&t2, &query, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn role_hierarchy_counts_subroles() {
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        t.role_inclusion(RoleExpr::direct(s), RoleExpr::direct(r));
+        // ∃S.⊤ ⊓ ≤0 R: the S-successor is also an R-neighbour.
+        let query = C::and([
+            C::some(RoleExpr::direct(s)),
+            C::AtMost(0, RoleExpr::direct(r)),
+        ]);
+        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn role_disjointness_clashes() {
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        t.disjoint(RoleExpr::direct(r), RoleExpr::direct(s));
+        // ∃R.⊤ ⊓ ∃S.⊤ ⊓ ≤1 R ⊓ ≤1 S — fine, two separate successors…
+        let fine = C::and([
+            C::some(RoleExpr::direct(r)),
+            C::some(RoleExpr::direct(s)),
+        ]);
+        assert_eq!(satisfiable(&t, &fine, BUDGET), DlOutcome::Sat);
+        // …but forcing them onto one successor clashes. With ≤1 over a
+        // common super-role Q of both R and S, the successors must merge.
+        let mut t2 = TBox::new();
+        let r2 = t2.role("R");
+        let s2 = t2.role("S");
+        let q2 = t2.role("Q");
+        t2.role_inclusion(RoleExpr::direct(r2), RoleExpr::direct(q2));
+        t2.role_inclusion(RoleExpr::direct(s2), RoleExpr::direct(q2));
+        t2.disjoint(RoleExpr::direct(r2), RoleExpr::direct(s2));
+        let clash = C::and([
+            C::some(RoleExpr::direct(r2)),
+            C::some(RoleExpr::direct(s2)),
+            C::AtMost(1, RoleExpr::direct(q2)),
+        ]);
+        assert_eq!(satisfiable(&t2, &clash, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn infinite_model_requires_blocking() {
+        // ⊤ ⊑ ∃R.⊤ has only infinite (or cyclic) models; blocking must
+        // terminate with Sat.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::Top, C::some(r));
+        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn blocking_with_inverse_cycles() {
+        // A ⊑ ∃R.A with ∀R⁻ constraints — classic pairwise-blocking
+        // exercise; must terminate.
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(a.clone(), C::Exists(r, Box::new(a.clone())));
+        t.gci(C::Top, C::ForAll(r.inverse(), Box::new(a.clone())));
+        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::Top, C::some(r));
+        assert_eq!(satisfiable(&t, &C::Top, 2), DlOutcome::ResourceLimit);
+    }
+
+    #[test]
+    fn functionality_with_inverse_mandatory() {
+        // The ORM idiom: ∃R.⊤ ⊑ A, A ⊑ ∃R.⊤, ⊤ ⊑ ≤1 R — satisfiable.
+        let mut t = TBox::new();
+        let a = atom(&mut t, "A");
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::some(r), a.clone());
+        t.gci(a.clone(), C::some(r));
+        t.gci(C::Top, C::AtMost(1, r));
+        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn frequency_style_contradiction() {
+        // ∃R.⊤ ⊑ ≥2 R and ⊤ ⊑ ≤1 R: playing R at all is impossible.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::some(r), C::AtLeast(2, r));
+        t.gci(C::Top, C::AtMost(1, r));
+        assert_eq!(satisfiable(&t, &C::some(r), BUDGET), DlOutcome::Unsat);
+        // But the TBox itself (⊤) is satisfiable — weak satisfiability.
+        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
+    }
+}

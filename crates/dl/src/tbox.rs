@@ -1,0 +1,226 @@
+//! TBoxes: concept axioms, role hierarchy and role disjointness.
+
+use crate::concept::{AtomId, Concept, RoleExpr, RoleNameId};
+use std::collections::BTreeSet;
+
+/// A terminology: named atoms/roles, general concept inclusions, role
+/// inclusions and role disjointness pairs.
+#[derive(Clone, Debug, Default)]
+pub struct TBox {
+    atom_names: Vec<String>,
+    role_names: Vec<String>,
+    gcis: Vec<(Concept, Concept)>,
+    /// Role inclusions `sub ⊑ sup` (over role expressions; closed under
+    /// inversion on query).
+    role_inclusions: Vec<(RoleExpr, RoleExpr)>,
+    /// Pairs of disjoint role expressions.
+    disjoint_roles: Vec<(RoleExpr, RoleExpr)>,
+}
+
+impl TBox {
+    /// Empty TBox.
+    pub fn new() -> TBox {
+        TBox::default()
+    }
+
+    /// Intern an atomic concept name.
+    pub fn atom(&mut self, name: impl Into<String>) -> AtomId {
+        let name = name.into();
+        if let Some(i) = self.atom_names.iter().position(|n| *n == name) {
+            return i as AtomId;
+        }
+        self.atom_names.push(name);
+        (self.atom_names.len() - 1) as AtomId
+    }
+
+    /// Intern a role name.
+    pub fn role(&mut self, name: impl Into<String>) -> RoleNameId {
+        let name = name.into();
+        if let Some(i) = self.role_names.iter().position(|n| *n == name) {
+            return i as RoleNameId;
+        }
+        self.role_names.push(name);
+        (self.role_names.len() - 1) as RoleNameId
+    }
+
+    /// Resolve an atom's name.
+    pub fn atom_name(&self, id: AtomId) -> &str {
+        &self.atom_names[id as usize]
+    }
+
+    /// Resolve a role's name.
+    pub fn role_name(&self, id: RoleNameId) -> &str {
+        &self.role_names[id as usize]
+    }
+
+    /// Add a general concept inclusion `c ⊑ d`.
+    pub fn gci(&mut self, c: Concept, d: Concept) {
+        self.gcis.push((c, d));
+    }
+
+    /// Add a role inclusion `sub ⊑ sup` (its inverse form `sub⁻ ⊑ sup⁻` is
+    /// implied automatically).
+    pub fn role_inclusion(&mut self, sub: RoleExpr, sup: RoleExpr) {
+        self.role_inclusions.push((sub, sup));
+    }
+
+    /// Declare two role expressions disjoint.
+    pub fn disjoint(&mut self, a: RoleExpr, b: RoleExpr) {
+        self.disjoint_roles.push((a, b));
+    }
+
+    /// The concept inclusions.
+    pub fn gcis(&self) -> &[(Concept, Concept)] {
+        &self.gcis
+    }
+
+    /// Number of interned atoms.
+    pub fn atom_count(&self) -> usize {
+        self.atom_names.len()
+    }
+
+    /// The internalized TBox concept `⊓ (¬Cᵢ ⊔ Dᵢ)`, which must hold at
+    /// every node of a tableau.
+    pub fn internalized(&self) -> Concept {
+        Concept::and(
+            self.gcis
+                .iter()
+                .map(|(c, d)| Concept::implies(c.clone(), d.clone()))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// All super-role expressions of `role`, reflexively and transitively,
+    /// closing inclusions under inversion.
+    pub fn super_roles(&self, role: RoleExpr) -> BTreeSet<RoleExpr> {
+        let mut out = BTreeSet::from([role]);
+        loop {
+            let mut grew = false;
+            for (sub, sup) in &self.role_inclusions {
+                for r in out.clone() {
+                    if r == *sub && out.insert(*sup) {
+                        grew = true;
+                    }
+                    if r == sub.inverse() && out.insert(sup.inverse()) {
+                        grew = true;
+                    }
+                }
+            }
+            if !grew {
+                return out;
+            }
+        }
+    }
+
+    /// Whether `sub ⊑* sup` holds in the role hierarchy.
+    pub fn is_subrole(&self, sub: RoleExpr, sup: RoleExpr) -> bool {
+        self.super_roles(sub).contains(&sup)
+    }
+
+    /// Whether a set of role expressions held by one edge violates a role
+    /// disjointness declaration (considering the hierarchy upward closure).
+    pub fn edge_violates_disjointness(&self, labels: &BTreeSet<RoleExpr>) -> bool {
+        let mut closure: BTreeSet<RoleExpr> = BTreeSet::new();
+        for l in labels {
+            closure.extend(self.super_roles(*l));
+        }
+        for (a, b) in &self.disjoint_roles {
+            let has = |r: RoleExpr| closure.contains(&r);
+            // Disjointness is direction-sensitive but closed under joint
+            // inversion: R ⊓ S = ∅ ⟺ R⁻ ⊓ S⁻ = ∅.
+            if (has(*a) && has(*b)) || (has(a.inverse()) && has(b.inverse())) {
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let mut t = TBox::new();
+        let a1 = t.atom("A");
+        let a2 = t.atom("A");
+        assert_eq!(a1, a2);
+        assert_eq!(t.atom_name(a1), "A");
+        let r1 = t.role("R");
+        let r2 = t.role("R");
+        assert_eq!(r1, r2);
+        assert_eq!(t.role_name(r1), "R");
+        assert_eq!(t.atom_count(), 1);
+    }
+
+    #[test]
+    fn internalization_shape() {
+        let mut t = TBox::new();
+        let a = t.atom("A");
+        let b = t.atom("B");
+        t.gci(Concept::Atomic(a), Concept::Atomic(b));
+        let internal = t.internalized();
+        assert_eq!(
+            internal,
+            Concept::Or(vec![Concept::NotAtomic(a), Concept::Atomic(b)])
+        );
+        assert_eq!(TBox::new().internalized(), Concept::Top);
+    }
+
+    #[test]
+    fn role_hierarchy_closure() {
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        let q = t.role("Q");
+        t.role_inclusion(RoleExpr::direct(r), RoleExpr::direct(s));
+        t.role_inclusion(RoleExpr::direct(s), RoleExpr::direct(q));
+        assert!(t.is_subrole(RoleExpr::direct(r), RoleExpr::direct(q)));
+        assert!(t.is_subrole(RoleExpr::direct(r), RoleExpr::direct(r)));
+        assert!(!t.is_subrole(RoleExpr::direct(q), RoleExpr::direct(r)));
+        // Closed under inversion.
+        assert!(t.is_subrole(RoleExpr::inv_of(r), RoleExpr::inv_of(q)));
+    }
+
+    #[test]
+    fn inverse_oriented_inclusion() {
+        // Rf ⊑ Rg⁻ (a cross-oriented predicate subset).
+        let mut t = TBox::new();
+        let f = t.role("F");
+        let g = t.role("G");
+        t.role_inclusion(RoleExpr::direct(f), RoleExpr::inv_of(g));
+        assert!(t.is_subrole(RoleExpr::direct(f), RoleExpr::inv_of(g)));
+        assert!(t.is_subrole(RoleExpr::inv_of(f), RoleExpr::direct(g)));
+    }
+
+    #[test]
+    fn disjointness_detection() {
+        let mut t = TBox::new();
+        let f = t.role("F");
+        let g = t.role("G");
+        t.disjoint(RoleExpr::direct(f), RoleExpr::direct(g));
+        let both: BTreeSet<RoleExpr> =
+            [RoleExpr::direct(f), RoleExpr::direct(g)].into_iter().collect();
+        assert!(t.edge_violates_disjointness(&both));
+        let inv_both: BTreeSet<RoleExpr> =
+            [RoleExpr::inv_of(f), RoleExpr::inv_of(g)].into_iter().collect();
+        assert!(t.edge_violates_disjointness(&inv_both));
+        let single: BTreeSet<RoleExpr> = [RoleExpr::direct(f)].into_iter().collect();
+        assert!(!t.edge_violates_disjointness(&single));
+    }
+
+    #[test]
+    fn disjointness_through_hierarchy() {
+        // H ⊑ F, F disjoint G ⇒ an edge with {H, G} clashes.
+        let mut t = TBox::new();
+        let f = t.role("F");
+        let g = t.role("G");
+        let h = t.role("H");
+        t.role_inclusion(RoleExpr::direct(h), RoleExpr::direct(f));
+        t.disjoint(RoleExpr::direct(f), RoleExpr::direct(g));
+        let labels: BTreeSet<RoleExpr> =
+            [RoleExpr::direct(h), RoleExpr::direct(g)].into_iter().collect();
+        assert!(t.edge_violates_disjointness(&labels));
+    }
+}

@@ -1,0 +1,406 @@
+//! # orm-gen — random schema generation and fault injection
+//!
+//! Workload generation for the benchmark harness and the property tests:
+//!
+//! * [`generate_clean`] — schemas constructed so that none of the paper's
+//!   nine patterns (nor the E1/E2 extensions) can fire: subtype *forests*,
+//!   exclusions kept away from mandatory roles and set-paths, only
+//!   compatible ring combinations, frequency minima of 1, generous value
+//!   constraints. These measure the pure scanning cost of validation.
+//! * [`generate`] — unrestricted schemas whose random constraint
+//!   interactions may or may not be contradictory; the cross-validation
+//!   property tests feed these to both the patterns and the bounded model
+//!   finder.
+//! * [`faults`] — nine injectors, one per pattern, that plant a *minimal*
+//!   instance of the pattern's contradiction into any schema. The paper's
+//!   CCFORM experience (§4) is simulated by seeding such faults into a
+//!   realistic ontology.
+//!
+//! All generation is deterministic in the seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod faults;
+
+use orm_model::{
+    ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SchemaBuilder, ValueConstraint,
+};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Generation parameters.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed; equal seeds give equal schemas.
+    pub seed: u64,
+    /// Number of object types.
+    pub n_types: usize,
+    /// Number of binary fact types.
+    pub n_facts: usize,
+    /// Probability that a non-root type gets a supertype.
+    pub subtype_density: f64,
+    /// Probability that a role is mandatory.
+    pub mandatory_density: f64,
+    /// Probability that a fact type gets a single-role uniqueness.
+    pub uniqueness_density: f64,
+    /// Probability that a role gets a frequency constraint.
+    pub frequency_density: f64,
+    /// Probability that a type gets a value constraint.
+    pub value_density: f64,
+    /// Probability of an exclusion constraint per fact-type pair budget.
+    pub exclusion_density: f64,
+    /// Probability of a subset constraint per fact-type pair budget.
+    pub subset_density: f64,
+    /// Probability that a reflexive fact type gets ring constraints.
+    pub ring_density: f64,
+}
+
+impl GenConfig {
+    /// A small schema (~15 elements).
+    pub fn small(seed: u64) -> Self {
+        GenConfig { seed, n_types: 4, n_facts: 3, ..GenConfig::base(seed) }
+    }
+
+    /// A medium schema (~80 elements).
+    pub fn medium(seed: u64) -> Self {
+        GenConfig { seed, n_types: 20, n_facts: 25, ..GenConfig::base(seed) }
+    }
+
+    /// A large schema (~800 elements).
+    pub fn large(seed: u64) -> Self {
+        GenConfig { seed, n_types: 200, n_facts: 250, ..GenConfig::base(seed) }
+    }
+
+    /// A schema scaled to roughly `n` elements, for scaling benches.
+    pub fn sized(seed: u64, n: usize) -> Self {
+        let n_types = (n / 3).max(2);
+        let n_facts = (n / 3).max(1);
+        GenConfig { seed, n_types, n_facts, ..GenConfig::base(seed) }
+    }
+
+    fn base(seed: u64) -> Self {
+        GenConfig {
+            seed,
+            n_types: 10,
+            n_facts: 10,
+            subtype_density: 0.5,
+            mandatory_density: 0.3,
+            uniqueness_density: 0.6,
+            frequency_density: 0.2,
+            value_density: 0.2,
+            exclusion_density: 0.2,
+            subset_density: 0.2,
+            ring_density: 0.3,
+        }
+    }
+}
+
+fn flip(rng: &mut StdRng, p: f64) -> bool {
+    rng.gen_bool(p.clamp(0.0, 1.0))
+}
+
+/// Ring combinations that are compatible (safe for clean schemas); a
+/// hard-coded subset of the regenerated Table 1.
+const SAFE_RING_COMBOS: &[&[RingKind]] = &[
+    &[RingKind::Irreflexive],
+    &[RingKind::Acyclic],
+    &[RingKind::Asymmetric],
+    &[RingKind::Symmetric],
+    &[RingKind::Intransitive],
+    &[RingKind::Symmetric, RingKind::Intransitive],
+    &[RingKind::Acyclic, RingKind::Intransitive],
+    &[RingKind::Symmetric, RingKind::Irreflexive],
+];
+
+/// Generate a schema on which no pattern fires (see module docs).
+pub fn generate_clean(config: &GenConfig) -> Schema {
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = SchemaBuilder::new(format!("clean_{}", config.seed));
+
+    // Subtype FOREST: each type at most one supertype among earlier types
+    // (no diamonds → P1 silent; no cycles → P9 silent). Chains are kept
+    // shallow (depth ≤ 2) so strict-subset semantics stays satisfiable
+    // within the small domains the bounded model finder explores.
+    let mut types: Vec<ObjectTypeId> = Vec::new();
+    let mut depth: Vec<usize> = Vec::new();
+    for i in 0..config.n_types {
+        let ty = if flip(&mut rng, config.value_density) {
+            // Generous value constraint: P4/P5/E1/E2 cannot bite with
+            // frequency minima of 1 and ≤2-ary exclusions.
+            let card = rng.gen_range(4..8);
+            let values: Vec<String> = (0..card).map(|j| format!("v{i}_{j}")).collect();
+            b.value_type(
+                &format!("T{i}"),
+                Some(ValueConstraint::enumeration(values.iter().map(String::as_str))),
+            )
+            .expect("fresh name")
+        } else {
+            b.entity_type(&format!("T{i}")).expect("fresh name")
+        };
+        let mut my_depth = 0;
+        let is_value_type = b.schema().object_type(ty).value_constraint().is_some();
+        // Value types stay out of subtyping in clean mode: stacked value
+        // constraints intersect, and a near-empty intersection is exactly
+        // the E1 contradiction a clean schema must not contain.
+        if !types.is_empty() && !is_value_type && flip(&mut rng, config.subtype_density) {
+            let roots: Vec<usize> = (0..types.len())
+                .filter(|j| {
+                    depth[*j] == 0
+                        && b.schema().object_type(types[*j]).value_constraint().is_none()
+                })
+                .collect();
+            if let Some(&j) = roots.as_slice().choose(&mut rng) {
+                b.subtype(ty, types[j]).expect("forest edge");
+                my_depth = depth[j] + 1;
+            }
+        }
+        types.push(ty);
+        depth.push(my_depth);
+    }
+
+    let mut roles: Vec<RoleId> = Vec::new();
+    let mut reflexive_facts = Vec::new();
+    for i in 0..config.n_facts {
+        let p0 = *types.choose(&mut rng).expect("non-empty");
+        // Bias towards reflexive facts now and then so rings have targets.
+        let p1 = if flip(&mut rng, 0.25) { p0 } else { *types.choose(&mut rng).expect("non-empty") };
+        let fid = b.fact_type(&format!("f{i}"), p0, p1).expect("fresh name");
+        let ft = b.schema().fact_type(fid);
+        let (r0, r1) = (ft.first(), ft.second());
+        roles.push(r0);
+        roles.push(r1);
+        if p0 == p1 {
+            reflexive_facts.push((fid, p0));
+        }
+
+        if flip(&mut rng, config.uniqueness_density) {
+            b.unique([r0]).expect("valid uc");
+        }
+        if flip(&mut rng, config.mandatory_density) {
+            b.mandatory(r0).expect("valid mandatory");
+        }
+        if flip(&mut rng, config.frequency_density) {
+            // min = 1 keeps P4/P7 silent regardless of UCs and values.
+            let max = rng.gen_range(2..6);
+            b.frequency([r1], 1, Some(max)).expect("valid fc");
+        }
+    }
+
+    // Subset chains over co-roles (second roles), disjoint from exclusions
+    // (first roles) so Pattern 6 and S4 stay silent. Only roles whose
+    // players can overlap are linked — a subset between roles of unrelated
+    // players is unsatisfiable under implicit type exclusion (extension
+    // check E4), which a clean schema must not contain.
+    for i in 1..config.n_facts {
+        if flip(&mut rng, config.subset_density) {
+            let sub = roles[2 * i + 1];
+            let sup = roles[2 * (i - 1) + 1];
+            let idx = b.schema().index();
+            if idx.may_overlap(b.schema().player(sub), b.schema().player(sup)) {
+                let _ = b.subset(RoleSeq::single(sub), RoleSeq::single(sup));
+            }
+        }
+    }
+
+    // Exclusions between first roles of distinct facts, only when neither
+    // is mandatory and the players carry no (inherited) value constraint.
+    let schema_snapshot_mandatory: Vec<RoleId> = {
+        let idx = b.schema().index();
+        idx.mandatory_roles.iter().map(|(r, _)| *r).collect()
+    };
+    for i in 1..config.n_facts {
+        if flip(&mut rng, config.exclusion_density) {
+            let a = roles[2 * i];
+            let c = roles[2 * (i - 1)];
+            if schema_snapshot_mandatory.contains(&a) || schema_snapshot_mandatory.contains(&c) {
+                continue;
+            }
+            let idx = b.schema().index();
+            let value_bounded = |r: RoleId| {
+                idx.supers_refl(b.schema().player(r))
+                    .iter()
+                    .any(|t| b.schema().object_type(*t).value_constraint().is_some())
+            };
+            if value_bounded(a) || value_bounded(c) {
+                continue;
+            }
+            let _ = b.exclusion_roles([a, c]);
+        }
+    }
+
+    // Compatible ring combinations on reflexive facts over value-free types.
+    for (fid, player) in reflexive_facts {
+        if !flip(&mut rng, config.ring_density) {
+            continue;
+        }
+        let idx = b.schema().index();
+        let value_bounded = idx
+            .supers_refl(player)
+            .iter()
+            .any(|t| b.schema().object_type(*t).value_constraint().is_some());
+        if value_bounded {
+            continue;
+        }
+        // Acyclicity on a fact with a mandatory role is the E5
+        // contradiction (finite populations force a cycle); keep clean
+        // schemas clear of it.
+        let has_mandatory = b
+            .schema()
+            .fact_type(fid)
+            .roles()
+            .iter()
+            .any(|r| idx.mandatory_on(*r).is_some());
+        let eligible: Vec<&&[RingKind]> = SAFE_RING_COMBOS
+            .iter()
+            .filter(|combo| !has_mandatory || !combo.contains(&RingKind::Acyclic))
+            .collect();
+        let combo = eligible.choose(&mut rng).expect("non-empty");
+        b.ring(fid, combo.iter().copied()).expect("compatible players");
+    }
+
+    b.finish()
+}
+
+/// Generate an unrestricted schema: constraints are combined freely, so the
+/// result may contain any of the paper's contradictions (or none).
+pub fn generate(config: &GenConfig) -> Schema {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0x5EED));
+    let mut b = SchemaBuilder::new(format!("rand_{}", config.seed));
+
+    let mut types: Vec<ObjectTypeId> = Vec::new();
+    for i in 0..config.n_types {
+        let ty = if flip(&mut rng, config.value_density) {
+            let card = rng.gen_range(1..4);
+            let values: Vec<String> = (0..card).map(|j| format!("v{i}_{j}")).collect();
+            b.value_type(
+                &format!("T{i}"),
+                Some(ValueConstraint::enumeration(values.iter().map(String::as_str))),
+            )
+            .expect("fresh name")
+        } else {
+            b.entity_type(&format!("T{i}")).expect("fresh name")
+        };
+        types.push(ty);
+    }
+    // Random subtype edges, any direction — diamonds and cycles allowed.
+    for _ in 0..(config.n_types as f64 * config.subtype_density) as usize {
+        let sub = *types.choose(&mut rng).expect("non-empty");
+        let sup = *types.choose(&mut rng).expect("non-empty");
+        if sub != sup {
+            let _ = b.subtype(sub, sup);
+        }
+    }
+
+    let mut roles: Vec<RoleId> = Vec::new();
+    for i in 0..config.n_facts {
+        let p0 = *types.choose(&mut rng).expect("non-empty");
+        let p1 = *types.choose(&mut rng).expect("non-empty");
+        let fid = b.fact_type(&format!("f{i}"), p0, p1).expect("fresh name");
+        let ft = b.schema().fact_type(fid);
+        roles.push(ft.first());
+        roles.push(ft.second());
+        let (r0, r1) = (ft.first(), ft.second());
+
+        if flip(&mut rng, config.uniqueness_density) {
+            let _ = b.unique([r0]);
+        }
+        if flip(&mut rng, config.mandatory_density) {
+            let _ = b.mandatory(r0);
+        }
+        if flip(&mut rng, config.frequency_density) {
+            let min = rng.gen_range(1..4);
+            let max = min + rng.gen_range(0..3);
+            let _ = b.frequency([if flip(&mut rng, 0.5) { r0 } else { r1 }], min, Some(max));
+        }
+        if p0 == p1 && flip(&mut rng, config.ring_density) {
+            let n_kinds = rng.gen_range(1..3);
+            let kinds: Vec<RingKind> = RingKind::ALL
+                .choose_multiple(&mut rng, n_kinds)
+                .copied()
+                .collect();
+            let _ = b.ring(fid, kinds);
+        }
+    }
+
+    for _ in 0..(config.n_facts as f64 * config.exclusion_density).ceil() as usize {
+        if roles.len() < 2 {
+            break;
+        }
+        let n_args = rng.gen_range(2..4);
+        let picked: Vec<RoleId> =
+            roles.choose_multiple(&mut rng, n_args).copied().collect();
+        let _ = b.exclusion_roles(picked);
+    }
+    for _ in 0..(config.n_facts as f64 * config.subset_density).ceil() as usize {
+        if roles.len() < 2 {
+            break;
+        }
+        let a = *roles.choose(&mut rng).expect("non-empty");
+        let c = *roles.choose(&mut rng).expect("non-empty");
+        if a != c {
+            let _ = b.subset(RoleSeq::single(a), RoleSeq::single(c));
+        }
+    }
+    if types.len() >= 2 && flip(&mut rng, 0.5) {
+        let picked: Vec<ObjectTypeId> =
+            types.choose_multiple(&mut rng, 2).copied().collect();
+        let _ = b.exclusive_types(picked);
+    }
+
+    b.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let a = generate(&GenConfig::small(7));
+        let c = generate(&GenConfig::small(7));
+        assert_eq!(a.object_type_count(), c.object_type_count());
+        assert_eq!(a.constraint_count(), c.constraint_count());
+        assert_eq!(
+            a.constraints().map(|(_, x)| format!("{x:?}")).collect::<Vec<_>>(),
+            c.constraints().map(|(_, x)| format!("{x:?}")).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let a = generate(&GenConfig::medium(1));
+        let c = generate(&GenConfig::medium(2));
+        // Sizes match but the constraint mix should differ.
+        let fmt = |s: &Schema| s.constraints().map(|(_, x)| format!("{x:?}")).collect::<Vec<_>>();
+        assert_ne!(fmt(&a), fmt(&c));
+    }
+
+    #[test]
+    fn sized_config_tracks_target() {
+        let s = generate_clean(&GenConfig::sized(3, 300));
+        assert!(s.size() >= 150, "got {}", s.size());
+    }
+
+    #[test]
+    fn clean_schemas_have_forest_subtyping() {
+        for seed in 0..10 {
+            let s = generate_clean(&GenConfig::medium(seed));
+            let idx = s.index();
+            for (ty, _) in s.object_types() {
+                assert!(idx.direct_supers(ty).len() <= 1, "seed {seed}: not a forest");
+                assert!(!idx.on_subtype_cycle(ty), "seed {seed}: cycle");
+            }
+        }
+    }
+
+    #[test]
+    fn clean_schema_constraints_are_structurally_valid() {
+        // The builder would have panicked on expect() otherwise; double
+        // check some global properties.
+        let s = generate_clean(&GenConfig::large(42));
+        assert!(s.constraint_count() > 0);
+        assert!(s.fact_type_count() == 250);
+    }
+}

@@ -1,0 +1,640 @@
+//! Checked construction of schemas.
+
+use crate::constraint::{
+    Constraint, ExclusiveTypes, Frequency, Mandatory, Ring, RingKind, RingKinds, RoleSeq,
+    SetComparison, SetComparisonKind, TotalSubtypes, Uniqueness,
+};
+use crate::error::ModelError;
+use crate::fact_type::{FactType, Role};
+use crate::ids::{ConstraintId, FactTypeId, ObjectTypeId, RoleId};
+use crate::object_type::{ObjectType, ObjectTypeKind};
+use crate::schema::Schema;
+use crate::value::ValueConstraint;
+use std::collections::{BTreeSet, HashMap};
+
+/// Fluent, checked builder for [`Schema`].
+///
+/// The builder enforces *structural* well-formedness only — see the crate
+/// docs for why semantic contradictions must remain constructible.
+#[derive(Debug)]
+pub struct SchemaBuilder {
+    schema: Schema,
+}
+
+impl SchemaBuilder {
+    /// Start a new schema with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        SchemaBuilder {
+            schema: Schema {
+                name: name.into(),
+                object_types: Vec::new(),
+                fact_types: Vec::new(),
+                roles: Vec::new(),
+                constraints: Vec::new(),
+                subtype_links: Vec::new(),
+                type_names: HashMap::new(),
+                fact_names: HashMap::new(),
+                revision: 0,
+            },
+        }
+    }
+
+    /// Re-open an existing schema for extension. Ids of existing elements
+    /// remain valid; used by interactive tools and fault injection.
+    pub fn from_schema(schema: Schema) -> Self {
+        SchemaBuilder { schema }
+    }
+
+    /// Read access to the schema under construction (useful for resolving
+    /// role ids mid-build).
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Finish building and return the schema.
+    pub fn finish(self) -> Schema {
+        self.schema
+    }
+
+    // ------------------------------------------------------------------
+    // Object types
+    // ------------------------------------------------------------------
+
+    fn add_object_type(
+        &mut self,
+        name: &str,
+        kind: ObjectTypeKind,
+        vc: Option<ValueConstraint>,
+    ) -> Result<ObjectTypeId, ModelError> {
+        if self.schema.type_names.contains_key(name) {
+            return Err(ModelError::DuplicateName { name: name.to_owned() });
+        }
+        let id = ObjectTypeId(self.schema.object_types.len() as u32);
+        self.schema.object_types.push(ObjectType {
+            name: name.to_owned(),
+            kind,
+            value_constraint: vc,
+        });
+        self.schema.type_names.insert(name.to_owned(), id);
+        Ok(id)
+    }
+
+    /// Declare an entity type.
+    pub fn entity_type(&mut self, name: &str) -> Result<ObjectTypeId, ModelError> {
+        self.add_object_type(name, ObjectTypeKind::Entity, None)
+    }
+
+    /// Declare a value type with an optional value constraint.
+    pub fn value_type(
+        &mut self,
+        name: &str,
+        vc: Option<ValueConstraint>,
+    ) -> Result<ObjectTypeId, ModelError> {
+        self.add_object_type(name, ObjectTypeKind::Value, vc)
+    }
+
+    /// Attach (or replace) a value constraint on an existing object type.
+    pub fn value_constraint(
+        &mut self,
+        ty: ObjectTypeId,
+        vc: ValueConstraint,
+    ) -> Result<(), ModelError> {
+        self.check_type(ty)?;
+        self.schema.object_types[ty.index()].value_constraint = Some(vc);
+        Ok(())
+    }
+
+    /// Declare `sub` as a subtype of `sup`.
+    pub fn subtype(&mut self, sub: ObjectTypeId, sup: ObjectTypeId) -> Result<(), ModelError> {
+        self.check_type(sub)?;
+        self.check_type(sup)?;
+        self.schema.add_subtype(sub, sup)
+    }
+
+    // ------------------------------------------------------------------
+    // Fact types
+    // ------------------------------------------------------------------
+
+    /// Declare a binary fact type with auto-named roles
+    /// (`<name>.0`, `<name>.1`).
+    pub fn fact_type(
+        &mut self,
+        name: &str,
+        first_player: ObjectTypeId,
+        second_player: ObjectTypeId,
+    ) -> Result<FactTypeId, ModelError> {
+        self.fact_type_full(name, (first_player, None), (second_player, None), None)
+    }
+
+    /// Declare a binary fact type with explicit role labels (`r1`, `r3`, …)
+    /// and an optional natural-language reading.
+    pub fn fact_type_full(
+        &mut self,
+        name: &str,
+        first: (ObjectTypeId, Option<&str>),
+        second: (ObjectTypeId, Option<&str>),
+        reading: Option<&str>,
+    ) -> Result<FactTypeId, ModelError> {
+        if self.schema.fact_names.contains_key(name) {
+            return Err(ModelError::DuplicateName { name: name.to_owned() });
+        }
+        self.check_type(first.0)?;
+        self.check_type(second.0)?;
+
+        let fact_id = FactTypeId(self.schema.fact_types.len() as u32);
+        let r0 = RoleId(self.schema.roles.len() as u32);
+        let r1 = RoleId(self.schema.roles.len() as u32 + 1);
+
+        for (pos, (player, label)) in [first, second].into_iter().enumerate() {
+            let label = match label {
+                Some(l) => {
+                    if self.schema.role_by_name(l).is_some() {
+                        return Err(ModelError::DuplicateName { name: l.to_owned() });
+                    }
+                    l.to_owned()
+                }
+                None => format!("{name}.{pos}"),
+            };
+            self.schema.roles.push(Role {
+                name: label,
+                fact_type: fact_id,
+                position: pos as u8,
+                player,
+            });
+        }
+
+        self.schema.fact_types.push(FactType {
+            name: name.to_owned(),
+            roles: [r0, r1],
+            reading: reading.map(str::to_owned),
+        });
+        self.schema.fact_names.insert(name.to_owned(), fact_id);
+        Ok(fact_id)
+    }
+
+    // ------------------------------------------------------------------
+    // Constraints
+    // ------------------------------------------------------------------
+
+    /// Mark a single role as mandatory.
+    pub fn mandatory(&mut self, role: RoleId) -> Result<ConstraintId, ModelError> {
+        self.check_role(role)?;
+        Ok(self.schema.push_constraint(Constraint::Mandatory(Mandatory { roles: vec![role] })))
+    }
+
+    /// Disjunctive mandatory constraint: every instance of the shared player
+    /// must play at least one of `roles`.
+    pub fn disjunctive_mandatory(
+        &mut self,
+        roles: impl IntoIterator<Item = RoleId>,
+    ) -> Result<ConstraintId, ModelError> {
+        let roles = self.distinct_roles(roles, "disjunctive mandatory constraint", 2)?;
+        let players: BTreeSet<ObjectTypeId> =
+            roles.iter().map(|r| self.schema.role(*r).player()).collect();
+        if players.len() > 1 {
+            return Err(ModelError::MandatoryPlayersDiffer {
+                players: players.into_iter().collect(),
+            });
+        }
+        Ok(self.schema.push_constraint(Constraint::Mandatory(Mandatory { roles })))
+    }
+
+    /// Internal uniqueness constraint over `roles` (one or both roles of a
+    /// single fact type).
+    pub fn unique(
+        &mut self,
+        roles: impl IntoIterator<Item = RoleId>,
+    ) -> Result<ConstraintId, ModelError> {
+        let roles = self.distinct_roles(roles, "uniqueness constraint", 1)?;
+        self.check_same_fact(&roles)?;
+        Ok(self.schema.push_constraint(Constraint::Uniqueness(Uniqueness { roles })))
+    }
+
+    /// Frequency constraint `FC(min..max)` over `roles` of a single fact
+    /// type. `max = None` means "min or more".
+    pub fn frequency(
+        &mut self,
+        roles: impl IntoIterator<Item = RoleId>,
+        min: u32,
+        max: Option<u32>,
+    ) -> Result<ConstraintId, ModelError> {
+        let roles = self.distinct_roles(roles, "frequency constraint", 1)?;
+        self.check_same_fact(&roles)?;
+        if min == 0 || max.is_some_and(|m| m < min) {
+            return Err(ModelError::InvalidFrequencyBounds { min, max });
+        }
+        Ok(self.schema.push_constraint(Constraint::Frequency(Frequency { roles, min, max })))
+    }
+
+    /// Subset constraint: population of `sub` ⊆ population of `sup`.
+    pub fn subset(&mut self, sub: RoleSeq, sup: RoleSeq) -> Result<ConstraintId, ModelError> {
+        self.set_comparison(SetComparisonKind::Subset, vec![sub, sup])
+    }
+
+    /// Equality constraint between two or more role sequences.
+    pub fn equality(
+        &mut self,
+        args: impl IntoIterator<Item = RoleSeq>,
+    ) -> Result<ConstraintId, ModelError> {
+        self.set_comparison(SetComparisonKind::Equality, args.into_iter().collect())
+    }
+
+    /// Exclusion constraint between two or more role sequences, in the
+    /// paper's "most compact form" (pairwise disjoint).
+    pub fn exclusion(
+        &mut self,
+        args: impl IntoIterator<Item = RoleSeq>,
+    ) -> Result<ConstraintId, ModelError> {
+        self.set_comparison(SetComparisonKind::Exclusion, args.into_iter().collect())
+    }
+
+    /// Exclusion constraint between single roles (convenience wrapper).
+    pub fn exclusion_roles(
+        &mut self,
+        roles: impl IntoIterator<Item = RoleId>,
+    ) -> Result<ConstraintId, ModelError> {
+        self.exclusion(roles.into_iter().map(RoleSeq::single))
+    }
+
+    fn set_comparison(
+        &mut self,
+        kind: SetComparisonKind,
+        args: Vec<RoleSeq>,
+    ) -> Result<ConstraintId, ModelError> {
+        let context: &'static str = match kind {
+            SetComparisonKind::Subset => "subset constraint",
+            SetComparisonKind::Equality => "equality constraint",
+            SetComparisonKind::Exclusion => "exclusion constraint",
+        };
+        if args.len() < 2 {
+            return Err(ModelError::NotEnoughArguments { context, got: args.len(), need: 2 });
+        }
+        let lengths: Vec<usize> = args.iter().map(RoleSeq::len).collect();
+        if lengths.iter().any(|l| *l != lengths[0]) || !(1..=2).contains(&lengths[0]) {
+            return Err(ModelError::SetComparisonArityMismatch { lengths });
+        }
+        let mut seen = BTreeSet::new();
+        for seq in &args {
+            for r in seq.roles() {
+                self.check_role(*r)?;
+            }
+            if seq.len() == 2 && !self.schema.seq_is_whole_predicate(seq) {
+                return Err(ModelError::InvalidPredicateSequence {
+                    roles: seq.roles().to_vec(),
+                });
+            }
+            if !seen.insert(seq.clone()) {
+                return Err(ModelError::DuplicateArgument {
+                    context,
+                    id: format!("{seq:?}"),
+                });
+            }
+        }
+        Ok(self
+            .schema
+            .push_constraint(Constraint::SetComparison(SetComparison { kind, args })))
+    }
+
+    /// Exclusive constraint between object types (pairwise-disjoint
+    /// populations).
+    pub fn exclusive_types(
+        &mut self,
+        types: impl IntoIterator<Item = ObjectTypeId>,
+    ) -> Result<ConstraintId, ModelError> {
+        let types = self.distinct_types(types, "exclusive-types constraint", 2)?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::ExclusiveTypes(ExclusiveTypes { types })))
+    }
+
+    /// Totality constraint: `supertype` is covered by the union of
+    /// `subtypes`.
+    pub fn total_subtypes(
+        &mut self,
+        supertype: ObjectTypeId,
+        subtypes: impl IntoIterator<Item = ObjectTypeId>,
+    ) -> Result<ConstraintId, ModelError> {
+        self.check_type(supertype)?;
+        let subtypes = self.distinct_types(subtypes, "total-subtypes constraint", 1)?;
+        Ok(self
+            .schema
+            .push_constraint(Constraint::TotalSubtypes(TotalSubtypes { supertype, subtypes })))
+    }
+
+    /// Ring constraint with one or more kinds on a fact type whose role
+    /// players are identical or connected via supertypes.
+    pub fn ring(
+        &mut self,
+        fact: FactTypeId,
+        kinds: impl IntoIterator<Item = RingKind>,
+    ) -> Result<ConstraintId, ModelError> {
+        self.check_fact(fact)?;
+        let kinds: RingKinds = kinds.into_iter().collect();
+        if kinds.is_empty() {
+            return Err(ModelError::EmptyRingConstraint { fact });
+        }
+        let ft = self.schema.fact_type(fact);
+        let p0 = self.schema.role(ft.first()).player();
+        let p1 = self.schema.role(ft.second()).player();
+        if !players_ring_compatible(&self.schema, p0, p1) {
+            return Err(ModelError::RingPlayersIncompatible { fact, first: p0, second: p1 });
+        }
+        Ok(self.schema.push_constraint(Constraint::Ring(Ring { fact_type: fact, kinds })))
+    }
+
+    // ------------------------------------------------------------------
+    // Checks
+    // ------------------------------------------------------------------
+
+    fn check_type(&self, id: ObjectTypeId) -> Result<(), ModelError> {
+        if id.index() < self.schema.object_types.len() {
+            Ok(())
+        } else {
+            Err(ModelError::UnknownId { id: id.to_string() })
+        }
+    }
+
+    fn check_fact(&self, id: FactTypeId) -> Result<(), ModelError> {
+        if id.index() < self.schema.fact_types.len() {
+            Ok(())
+        } else {
+            Err(ModelError::UnknownId { id: id.to_string() })
+        }
+    }
+
+    fn check_role(&self, id: RoleId) -> Result<(), ModelError> {
+        if id.index() < self.schema.roles.len() {
+            Ok(())
+        } else {
+            Err(ModelError::UnknownId { id: id.to_string() })
+        }
+    }
+
+    fn check_same_fact(&self, roles: &[RoleId]) -> Result<(), ModelError> {
+        let first_fact = self.schema.role(roles[0]).fact_type();
+        if roles.iter().any(|r| self.schema.role(*r).fact_type() != first_fact) {
+            return Err(ModelError::RolesNotInOneFact { roles: roles.to_vec() });
+        }
+        Ok(())
+    }
+
+    fn distinct_roles(
+        &self,
+        roles: impl IntoIterator<Item = RoleId>,
+        context: &'static str,
+        need: usize,
+    ) -> Result<Vec<RoleId>, ModelError> {
+        let roles: Vec<RoleId> = roles.into_iter().collect();
+        if roles.is_empty() {
+            return Err(ModelError::EmptyArgumentList { context });
+        }
+        if roles.len() < need {
+            return Err(ModelError::NotEnoughArguments { context, got: roles.len(), need });
+        }
+        let mut seen = BTreeSet::new();
+        for r in &roles {
+            self.check_role(*r)?;
+            if !seen.insert(*r) {
+                return Err(ModelError::DuplicateArgument { context, id: r.to_string() });
+            }
+        }
+        Ok(roles)
+    }
+
+    fn distinct_types(
+        &self,
+        types: impl IntoIterator<Item = ObjectTypeId>,
+        context: &'static str,
+        need: usize,
+    ) -> Result<Vec<ObjectTypeId>, ModelError> {
+        let types: Vec<ObjectTypeId> = types.into_iter().collect();
+        if types.is_empty() {
+            return Err(ModelError::EmptyArgumentList { context });
+        }
+        if types.len() < need {
+            return Err(ModelError::NotEnoughArguments { context, got: types.len(), need });
+        }
+        let mut seen = BTreeSet::new();
+        for t in &types {
+            self.check_type(*t)?;
+            if !seen.insert(*t) {
+                return Err(ModelError::DuplicateArgument { context, id: t.to_string() });
+            }
+        }
+        Ok(types)
+    }
+}
+
+/// Ring-compatibility of two role players: identical, or connected through
+/// the subtype graph (common supertype, reflexively).
+fn players_ring_compatible(schema: &Schema, a: ObjectTypeId, b: ObjectTypeId) -> bool {
+    if a == b {
+        return true;
+    }
+    schema.index().may_overlap(a, b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn duplicate_type_name_rejected() {
+        let mut b = SchemaBuilder::new("s");
+        b.entity_type("A").unwrap();
+        assert!(matches!(b.entity_type("A"), Err(ModelError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn duplicate_fact_name_rejected() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        b.fact_type("f", a, a).unwrap();
+        assert!(matches!(b.fact_type("f", a, a), Err(ModelError::DuplicateName { .. })));
+    }
+
+    #[test]
+    fn duplicate_role_label_rejected() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        b.fact_type_full("f", (a, Some("r1")), (a, Some("r2")), None).unwrap();
+        assert!(matches!(
+            b.fact_type_full("g", (a, Some("r1")), (a, None), None),
+            Err(ModelError::DuplicateName { .. })
+        ));
+    }
+
+    #[test]
+    fn value_type_with_constraint() {
+        let mut b = SchemaBuilder::new("s");
+        let v = b
+            .value_type("Code", Some(ValueConstraint::enumeration(["x1", "x2"])))
+            .unwrap();
+        let s = b.finish();
+        assert_eq!(s.object_type(v).value_cardinality(), Some(2));
+        assert!(s.object_type(v).value_constraint().unwrap().admits(&Value::str("x1")));
+    }
+
+    #[test]
+    fn frequency_bounds_validated() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        let r0 = b.schema().fact_type(f).first();
+        assert!(matches!(
+            b.frequency([r0], 0, None),
+            Err(ModelError::InvalidFrequencyBounds { .. })
+        ));
+        assert!(matches!(
+            b.frequency([r0], 5, Some(2)),
+            Err(ModelError::InvalidFrequencyBounds { .. })
+        ));
+        assert!(b.frequency([r0], 2, Some(5)).is_ok());
+        assert!(b.frequency([r0], 2, None).is_ok());
+    }
+
+    #[test]
+    fn uniqueness_requires_roles_of_one_fact() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        let g = b.fact_type("g", a, a).unwrap();
+        let rf = b.schema().fact_type(f).first();
+        let rg = b.schema().fact_type(g).first();
+        assert!(matches!(
+            b.unique([rf, rg]),
+            Err(ModelError::RolesNotInOneFact { .. })
+        ));
+        assert!(b.unique([rf]).is_ok());
+    }
+
+    #[test]
+    fn set_comparison_arity_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        let g = b.fact_type("g", a, a).unwrap();
+        let [f0, f1] = b.schema().fact_type(f).roles();
+        let [g0, _g1] = b.schema().fact_type(g).roles();
+        // Mixed single/pair arguments are rejected.
+        assert!(matches!(
+            b.subset(RoleSeq::single(f0), RoleSeq::pair(g0, b.schema().fact_type(g).second())),
+            Err(ModelError::SetComparisonArityMismatch { .. })
+        ));
+        // A pair that is not a whole predicate is rejected.
+        assert!(matches!(
+            b.subset(RoleSeq::pair(f0, g0), RoleSeq::pair(f0, f1)),
+            Err(ModelError::InvalidPredicateSequence { .. })
+        ));
+        // Need two distinct arguments.
+        assert!(matches!(
+            b.exclusion([RoleSeq::single(f0)]),
+            Err(ModelError::NotEnoughArguments { .. })
+        ));
+        assert!(matches!(
+            b.exclusion([RoleSeq::single(f0), RoleSeq::single(f0)]),
+            Err(ModelError::DuplicateArgument { .. })
+        ));
+        // Valid forms.
+        assert!(b.exclusion_roles([f0, g0]).is_ok());
+        let g1 = b.schema().fact_type(g).second();
+        assert!(b.subset(RoleSeq::pair(f0, f1), RoleSeq::pair(g0, g1)).is_ok());
+    }
+
+    #[test]
+    fn disjunctive_mandatory_needs_one_player() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let f = b.fact_type("f", a, c).unwrap();
+        let g = b.fact_type("g", c, a).unwrap();
+        let fa = b.schema().fact_type(f).first(); // played by A
+        let gc = b.schema().fact_type(g).first(); // played by C
+        assert!(matches!(
+            b.disjunctive_mandatory([fa, gc]),
+            Err(ModelError::MandatoryPlayersDiffer { .. })
+        ));
+        let ga = b.schema().fact_type(g).second(); // played by A
+        assert!(b.disjunctive_mandatory([fa, ga]).is_ok());
+    }
+
+    #[test]
+    fn ring_requires_compatible_players() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        let same = b.fact_type("same", a, a).unwrap();
+        let cross = b.fact_type("cross", a, c).unwrap();
+        assert!(b.ring(same, [RingKind::Irreflexive]).is_ok());
+        assert!(matches!(
+            b.ring(cross, [RingKind::Irreflexive]),
+            Err(ModelError::RingPlayersIncompatible { .. })
+        ));
+        assert!(matches!(
+            b.ring(same, std::iter::empty()),
+            Err(ModelError::EmptyRingConstraint { .. })
+        ));
+    }
+
+    #[test]
+    fn ring_allows_supertype_connected_players() {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let woman = b.entity_type("Woman").unwrap();
+        b.subtype(woman, person).unwrap();
+        let f = b.fact_type("sister_of", woman, person).unwrap();
+        assert!(b.ring(f, [RingKind::Irreflexive]).is_ok());
+    }
+
+    #[test]
+    fn unknown_ids_rejected() {
+        let mut b = SchemaBuilder::new("s");
+        let bogus_role = RoleId::from_raw(99);
+        assert!(matches!(b.mandatory(bogus_role), Err(ModelError::UnknownId { .. })));
+        let bogus_ty = ObjectTypeId::from_raw(99);
+        assert!(matches!(
+            b.subtype(bogus_ty, bogus_ty),
+            Err(ModelError::UnknownId { .. })
+        ));
+    }
+
+    #[test]
+    fn exclusive_types_need_two_distinct() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        assert!(matches!(
+            b.exclusive_types([a]),
+            Err(ModelError::NotEnoughArguments { .. })
+        ));
+        assert!(matches!(
+            b.exclusive_types([a, a]),
+            Err(ModelError::DuplicateArgument { .. })
+        ));
+    }
+
+    #[test]
+    fn roles_carry_labels_and_positions() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type_full("f", (a, Some("r1")), (a, Some("r2")), Some("likes")).unwrap();
+        let s = b.finish();
+        let ft = s.fact_type(f);
+        assert_eq!(s.role(ft.first()).name(), "r1");
+        assert_eq!(s.role(ft.second()).name(), "r2");
+        assert_eq!(s.role(ft.first()).position(), 0);
+        assert_eq!(s.role(ft.second()).position(), 1);
+        assert_eq!(ft.reading(), Some("likes"));
+        assert_eq!(s.role_by_name("r2"), Some(ft.second()));
+    }
+
+    #[test]
+    fn auto_role_names() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        let s = b.finish();
+        assert_eq!(s.role(s.fact_type(f).first()).name(), "f.0");
+        assert_eq!(s.role(s.fact_type(f).second()).name(), "f.1");
+    }
+}

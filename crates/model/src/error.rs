@@ -1,0 +1,186 @@
+//! Errors raised while *building* schemas.
+//!
+//! These are structural errors only. Semantic contradictions (the subject of
+//! the paper) are never builder errors — they are findings produced by the
+//! `orm-core` validator.
+
+use crate::ids::{FactTypeId, ObjectTypeId, RoleId};
+use std::fmt;
+
+/// A structural error encountered while constructing or mutating a schema.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ModelError {
+    /// An object type, fact type or role name was declared twice.
+    DuplicateName {
+        /// The offending name.
+        name: String,
+    },
+    /// A name lookup failed.
+    UnknownName {
+        /// The name that could not be resolved.
+        name: String,
+    },
+    /// An id does not belong to this schema (or was tombstoned).
+    UnknownId {
+        /// Rendered id, e.g. `"r7"`.
+        id: String,
+    },
+    /// A constraint argument list was empty where at least one element is
+    /// required.
+    EmptyArgumentList {
+        /// What was being built, e.g. `"uniqueness constraint"`.
+        context: &'static str,
+    },
+    /// A constraint needs at least two distinct arguments.
+    NotEnoughArguments {
+        /// What was being built.
+        context: &'static str,
+        /// How many arguments were supplied.
+        got: usize,
+        /// Minimum required.
+        need: usize,
+    },
+    /// The same element appeared twice in an argument list that requires
+    /// distinct elements.
+    DuplicateArgument {
+        /// What was being built.
+        context: &'static str,
+        /// Rendered offending id.
+        id: String,
+    },
+    /// Roles of a uniqueness/frequency constraint must belong to one fact
+    /// type.
+    RolesNotInOneFact {
+        /// The roles supplied.
+        roles: Vec<RoleId>,
+    },
+    /// Set-comparison arguments must all have the same length (1 or 2).
+    SetComparisonArityMismatch {
+        /// The argument lengths supplied.
+        lengths: Vec<usize>,
+    },
+    /// A two-role sequence must consist of both roles of a single fact type
+    /// in order.
+    InvalidPredicateSequence {
+        /// The roles supplied.
+        roles: Vec<RoleId>,
+    },
+    /// Frequency bounds must satisfy `1 ≤ min ≤ max`.
+    InvalidFrequencyBounds {
+        /// Supplied lower bound.
+        min: u32,
+        /// Supplied upper bound.
+        max: Option<u32>,
+    },
+    /// All roles of a (disjunctive) mandatory constraint must be played by
+    /// the same object type.
+    MandatoryPlayersDiffer {
+        /// The distinct players found.
+        players: Vec<ObjectTypeId>,
+    },
+    /// A ring constraint needs role players that are identical or connected
+    /// via supertypes.
+    RingPlayersIncompatible {
+        /// The constrained fact type.
+        fact: FactTypeId,
+        /// First role's player.
+        first: ObjectTypeId,
+        /// Second role's player.
+        second: ObjectTypeId,
+    },
+    /// A ring constraint with no kinds is meaningless.
+    EmptyRingConstraint {
+        /// The constrained fact type.
+        fact: FactTypeId,
+    },
+    /// The exact same subtype link already exists.
+    DuplicateSubtype {
+        /// The subtype.
+        sub: ObjectTypeId,
+        /// The supertype.
+        sup: ObjectTypeId,
+    },
+    /// An object type cannot be its own direct supertype.
+    ///
+    /// Longer subtype cycles are representable (Pattern 9 detects them); a
+    /// direct self-loop carries no information beyond its own contradiction
+    /// and is rejected as a structural slip.
+    SelfSubtype {
+        /// The offending object type.
+        ty: ObjectTypeId,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::DuplicateName { name } => {
+                write!(f, "the name `{name}` is already declared")
+            }
+            ModelError::UnknownName { name } => write!(f, "unknown name `{name}`"),
+            ModelError::UnknownId { id } => write!(f, "unknown or removed id `{id}`"),
+            ModelError::EmptyArgumentList { context } => {
+                write!(f, "{context} requires at least one argument")
+            }
+            ModelError::NotEnoughArguments { context, got, need } => {
+                write!(f, "{context} requires at least {need} distinct arguments, got {got}")
+            }
+            ModelError::DuplicateArgument { context, id } => {
+                write!(f, "duplicate argument `{id}` in {context}")
+            }
+            ModelError::RolesNotInOneFact { roles } => {
+                write!(f, "roles {roles:?} do not all belong to one fact type")
+            }
+            ModelError::SetComparisonArityMismatch { lengths } => {
+                write!(f, "set-comparison arguments have mismatched lengths {lengths:?}")
+            }
+            ModelError::InvalidPredicateSequence { roles } => {
+                write!(
+                    f,
+                    "role sequence {roles:?} is not a whole predicate (both roles of one \
+                     fact type, in order)"
+                )
+            }
+            ModelError::InvalidFrequencyBounds { min, max } => {
+                write!(f, "invalid frequency bounds: min={min}, max={max:?} (need 1 ≤ min ≤ max)")
+            }
+            ModelError::MandatoryPlayersDiffer { players } => {
+                write!(
+                    f,
+                    "disjunctive mandatory roles must share one player, found {players:?}"
+                )
+            }
+            ModelError::RingPlayersIncompatible { fact, first, second } => {
+                write!(
+                    f,
+                    "ring constraint on {fact} needs compatible role players, got {first} \
+                     and {second} with no common supertype"
+                )
+            }
+            ModelError::EmptyRingConstraint { fact } => {
+                write!(f, "ring constraint on {fact} has no kinds")
+            }
+            ModelError::DuplicateSubtype { sub, sup } => {
+                write!(f, "subtype link {sub} <: {sup} already exists")
+            }
+            ModelError::SelfSubtype { ty } => {
+                write!(f, "object type {ty} cannot be its own direct supertype")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_human_readable() {
+        let e = ModelError::DuplicateName { name: "Person".into() };
+        assert!(e.to_string().contains("Person"));
+        let e = ModelError::InvalidFrequencyBounds { min: 5, max: Some(2) };
+        assert!(e.to_string().contains("min=5"));
+    }
+}

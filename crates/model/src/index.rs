@@ -1,0 +1,366 @@
+//! Derived schema index: subtype closures and per-role constraint maps.
+//!
+//! The paper's pattern algorithms repeatedly need "the set of all supertypes
+//! of T", "all subtypes of T", "the mandatory roles of the schema", and so
+//! on. [`SchemaIndex`] precomputes these once per schema revision so a
+//! validation run does linear work overall instead of recomputing closures
+//! inside every pattern (an ablation benchmark quantifies the difference).
+
+use crate::constraint::{Constraint, Frequency, Uniqueness};
+use crate::ids::{ConstraintId, FactTypeId, ObjectTypeId, RoleId};
+use crate::schema::Schema;
+use std::collections::BTreeSet;
+
+/// Precomputed derived data for one schema revision.
+#[derive(Clone, Debug)]
+pub struct SchemaIndex {
+    /// The schema revision this index was computed for.
+    pub revision: u64,
+    /// Direct supertypes per object type.
+    pub supers_direct: Vec<Vec<ObjectTypeId>>,
+    /// Direct subtypes per object type.
+    pub subs_direct: Vec<Vec<ObjectTypeId>>,
+    /// All (proper, transitive) supertypes per object type. A type appears in
+    /// its own set exactly when it lies on a subtype cycle (Pattern 9).
+    pub supers_all: Vec<BTreeSet<ObjectTypeId>>,
+    /// All (proper, transitive) subtypes per object type; same cycle caveat.
+    pub subs_all: Vec<BTreeSet<ObjectTypeId>>,
+    /// Roles directly played by each object type.
+    pub roles_of_type: Vec<Vec<RoleId>>,
+    /// Roles covered by a *simple* mandatory constraint, with the
+    /// constraint's id.
+    pub mandatory_roles: Vec<(RoleId, ConstraintId)>,
+    /// Uniqueness constraints, flattened for quick scans.
+    pub uniqueness: Vec<(ConstraintId, Uniqueness)>,
+    /// Frequency constraints, flattened for quick scans.
+    pub frequencies: Vec<(ConstraintId, Frequency)>,
+}
+
+impl SchemaIndex {
+    /// Build the index for `schema`.
+    pub fn build(schema: &Schema) -> SchemaIndex {
+        let n = schema.object_type_count();
+        let mut supers_direct: Vec<Vec<ObjectTypeId>> = vec![Vec::new(); n];
+        let mut subs_direct: Vec<Vec<ObjectTypeId>> = vec![Vec::new(); n];
+        for link in schema.subtype_links() {
+            supers_direct[link.sub.index()].push(link.sup);
+            subs_direct[link.sup.index()].push(link.sub);
+        }
+
+        let supers_all = transitive_closure(n, &supers_direct);
+        let subs_all = transitive_closure(n, &subs_direct);
+
+        let mut roles_of_type: Vec<Vec<RoleId>> = vec![Vec::new(); n];
+        for (rid, role) in schema.roles() {
+            roles_of_type[role.player().index()].push(rid);
+        }
+
+        let mut mandatory_roles = Vec::new();
+        let mut uniqueness = Vec::new();
+        let mut frequencies = Vec::new();
+        for (cid, c) in schema.constraints() {
+            match c {
+                Constraint::Mandatory(m) if m.is_simple() => {
+                    mandatory_roles.push((m.roles[0], cid));
+                }
+                Constraint::Uniqueness(u) => uniqueness.push((cid, u.clone())),
+                Constraint::Frequency(f) => frequencies.push((cid, f.clone())),
+                _ => {}
+            }
+        }
+
+        SchemaIndex {
+            revision: schema.revision(),
+            supers_direct,
+            subs_direct,
+            supers_all,
+            subs_all,
+            roles_of_type,
+            mandatory_roles,
+            uniqueness,
+            frequencies,
+        }
+    }
+
+    /// Direct supertypes of `t`.
+    pub fn direct_supers(&self, t: ObjectTypeId) -> &[ObjectTypeId] {
+        &self.supers_direct[t.index()]
+    }
+
+    /// All proper supertypes of `t` (transitive; contains `t` iff `t` is on
+    /// a cycle).
+    pub fn supers(&self, t: ObjectTypeId) -> &BTreeSet<ObjectTypeId> {
+        &self.supers_all[t.index()]
+    }
+
+    /// All proper subtypes of `t` (transitive; contains `t` iff `t` is on a
+    /// cycle).
+    pub fn subs(&self, t: ObjectTypeId) -> &BTreeSet<ObjectTypeId> {
+        &self.subs_all[t.index()]
+    }
+
+    /// Reflexive supertype closure: `supers(t) ∪ {t}`.
+    pub fn supers_refl(&self, t: ObjectTypeId) -> BTreeSet<ObjectTypeId> {
+        let mut s = self.supers_all[t.index()].clone();
+        s.insert(t);
+        s
+    }
+
+    /// Reflexive subtype closure: `subs(t) ∪ {t}`.
+    pub fn subs_refl(&self, t: ObjectTypeId) -> BTreeSet<ObjectTypeId> {
+        let mut s = self.subs_all[t.index()].clone();
+        s.insert(t);
+        s
+    }
+
+    /// Whether `sub` is equal to `sup` or a proper subtype of it.
+    pub fn is_subtype_of_or_eq(&self, sub: ObjectTypeId, sup: ObjectTypeId) -> bool {
+        sub == sup || self.supers_all[sub.index()].contains(&sup)
+    }
+
+    /// Whether two object types may share instances under ORM's implicit
+    /// typing discipline: types are mutually exclusive **unless** they are
+    /// connected through the subtype graph — one is a (reflexive) ancestor
+    /// of the other, or they share a common supertype (paper, Pattern 1).
+    pub fn may_overlap(&self, a: ObjectTypeId, b: ObjectTypeId) -> bool {
+        if a == b {
+            return true;
+        }
+        let sa = self.supers_refl(a);
+        let sb = self.supers_refl(b);
+        sa.intersection(&sb).next().is_some()
+    }
+
+    /// Whether `t` lies on a subtype cycle (Pattern 9's condition
+    /// `T ∈ T.Supers`).
+    pub fn on_subtype_cycle(&self, t: ObjectTypeId) -> bool {
+        self.supers_all[t.index()].contains(&t)
+    }
+
+    /// Simple-mandatory constraint on `role`, if any.
+    pub fn mandatory_on(&self, role: RoleId) -> Option<ConstraintId> {
+        self.mandatory_roles.iter().find(|(r, _)| *r == role).map(|(_, c)| *c)
+    }
+
+    /// Uniqueness constraints whose role set equals `roles` (order
+    /// insensitive).
+    pub fn uniqueness_on(&self, roles: &[RoleId]) -> Vec<ConstraintId> {
+        let want: BTreeSet<_> = roles.iter().copied().collect();
+        self.uniqueness
+            .iter()
+            .filter(|(_, u)| u.roles.iter().copied().collect::<BTreeSet<_>>() == want)
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Uniqueness constraints whose role set is a (non-strict) subset of
+    /// `roles`.
+    pub fn uniqueness_within(&self, roles: &[RoleId]) -> Vec<ConstraintId> {
+        let sup: BTreeSet<_> = roles.iter().copied().collect();
+        self.uniqueness
+            .iter()
+            .filter(|(_, u)| u.roles.iter().all(|r| sup.contains(r)))
+            .map(|(c, _)| *c)
+            .collect()
+    }
+
+    /// Minimum frequency bound applying to exactly the single role `role`;
+    /// `1` if none (the paper's `fi` default in Pattern 5). Also returns the
+    /// constraint id when a frequency constraint is present.
+    pub fn min_frequency_of_role(&self, role: RoleId) -> (u32, Option<ConstraintId>) {
+        let mut best: Option<(u32, ConstraintId)> = None;
+        for (cid, f) in &self.frequencies {
+            if f.roles.len() == 1 && f.roles[0] == role {
+                // Several FCs on one role: the binding lower bound is the max.
+                let candidate = (f.min, *cid);
+                best = Some(match best {
+                    Some(prev) if prev.0 >= candidate.0 => prev,
+                    _ => candidate,
+                });
+            }
+        }
+        match best {
+            Some((min, cid)) => (min, Some(cid)),
+            None => (1, None),
+        }
+    }
+
+    /// All fact types, with their ring constraints merged per fact type.
+    pub fn ring_kinds_by_fact(&self, schema: &Schema) -> Vec<(FactTypeId, crate::RingKinds, Vec<ConstraintId>)> {
+        let mut out: Vec<(FactTypeId, crate::RingKinds, Vec<ConstraintId>)> = Vec::new();
+        for (cid, c) in schema.constraints() {
+            if let Constraint::Ring(r) = c {
+                if let Some(entry) = out.iter_mut().find(|(f, _, _)| *f == r.fact_type) {
+                    entry.1 = entry.1.union(r.kinds);
+                    entry.2.push(cid);
+                } else {
+                    out.push((r.fact_type, r.kinds, vec![cid]));
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Transitive (non-reflexive) closure over an adjacency list, tolerant of
+/// cycles: a node reaches itself exactly when it lies on a cycle.
+fn transitive_closure(n: usize, direct: &[Vec<ObjectTypeId>]) -> Vec<BTreeSet<ObjectTypeId>> {
+    let mut result = Vec::with_capacity(n);
+    for start in 0..n {
+        let mut seen: BTreeSet<ObjectTypeId> = BTreeSet::new();
+        let mut stack: Vec<ObjectTypeId> = direct[start].clone();
+        while let Some(node) = stack.pop() {
+            if seen.insert(node) {
+                stack.extend(direct[node.index()].iter().copied());
+            }
+        }
+        result.push(seen);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::SchemaBuilder;
+
+    /// person <- student <- phd, person <- employee <- phd
+    fn diamond() -> (Schema, [ObjectTypeId; 4]) {
+        let mut b = SchemaBuilder::new("diamond");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        (b.finish(), [person, student, employee, phd])
+    }
+
+    #[test]
+    fn closure_on_diamond() {
+        let (s, [person, student, employee, phd]) = diamond();
+        let idx = s.index();
+        assert!(idx.supers(phd).contains(&student));
+        assert!(idx.supers(phd).contains(&employee));
+        assert!(idx.supers(phd).contains(&person));
+        assert!(!idx.supers(phd).contains(&phd));
+        assert_eq!(idx.supers(person).len(), 0);
+        assert!(idx.subs(person).contains(&phd));
+        assert_eq!(idx.subs(phd).len(), 0);
+    }
+
+    #[test]
+    fn direct_relations() {
+        let (s, [person, student, _employee, phd]) = diamond();
+        let idx = s.index();
+        assert_eq!(idx.direct_supers(student), &[person]);
+        assert_eq!(idx.direct_supers(phd).len(), 2);
+    }
+
+    #[test]
+    fn reflexive_closures_include_self() {
+        let (s, [person, _, _, phd]) = diamond();
+        let idx = s.index();
+        assert!(idx.supers_refl(phd).contains(&phd));
+        assert!(idx.subs_refl(person).contains(&person));
+    }
+
+    #[test]
+    fn cycle_detection() {
+        let mut b = SchemaBuilder::new("cycle");
+        let a = b.entity_type("A").unwrap();
+        let bb = b.entity_type("B").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(a, bb).unwrap();
+        b.subtype(bb, c).unwrap();
+        b.subtype(c, a).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        for t in [a, bb, c] {
+            assert!(idx.on_subtype_cycle(t), "{t} should be on the cycle");
+            assert!(idx.supers(t).contains(&t));
+        }
+    }
+
+    #[test]
+    fn may_overlap_requires_common_supertype() {
+        let (s, [person, student, employee, phd]) = diamond();
+        let idx = s.index();
+        assert!(idx.may_overlap(student, employee)); // common supertype Person
+        assert!(idx.may_overlap(person, student)); // ancestor counts
+        assert!(idx.may_overlap(phd, person));
+
+        // An unrelated top-level type overlaps nothing else.
+        let mut b = SchemaBuilder::new("split");
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let s2 = b.finish();
+        let idx2 = s2.index();
+        assert!(!idx2.may_overlap(x, y));
+        assert!(idx2.may_overlap(x, x));
+    }
+
+    #[test]
+    fn is_subtype_of_or_eq() {
+        let (s, [person, student, _e, phd]) = diamond();
+        let idx = s.index();
+        assert!(idx.is_subtype_of_or_eq(phd, person));
+        assert!(idx.is_subtype_of_or_eq(student, student));
+        assert!(!idx.is_subtype_of_or_eq(person, phd));
+    }
+
+    #[test]
+    fn min_frequency_defaults_to_one() {
+        let mut b = SchemaBuilder::new("fc");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, c).unwrap();
+        let r0 = b.schema().fact_type(f).first();
+        let r1 = b.schema().fact_type(f).second();
+        b.frequency([r0], 3, Some(5)).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert_eq!(idx.min_frequency_of_role(r0).0, 3);
+        assert!(idx.min_frequency_of_role(r0).1.is_some());
+        assert_eq!(idx.min_frequency_of_role(r1), (1, None));
+    }
+
+    #[test]
+    fn several_frequency_constraints_take_strictest_min() {
+        let mut b = SchemaBuilder::new("fc2");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, c).unwrap();
+        let r0 = b.schema().fact_type(f).first();
+        b.frequency([r0], 2, Some(5)).unwrap();
+        b.frequency([r0], 4, None).unwrap();
+        let s = b.finish();
+        assert_eq!(s.index().min_frequency_of_role(r0).0, 4);
+    }
+
+    #[test]
+    fn mandatory_on_tracks_simple_only() {
+        let mut b = SchemaBuilder::new("m");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("B").unwrap();
+        let f = b.fact_type("f", a, c).unwrap();
+        let g = b.fact_type("g", a, c).unwrap();
+        let rf = b.schema().fact_type(f).first();
+        let rg = b.schema().fact_type(g).first();
+        b.mandatory(rf).unwrap();
+        b.disjunctive_mandatory([rf, rg]).unwrap();
+        let s = b.finish();
+        let idx = s.index();
+        assert!(idx.mandatory_on(rf).is_some());
+        // The disjunctive constraint does not make rg simple-mandatory.
+        assert!(idx.mandatory_on(rg).is_none());
+    }
+
+    #[test]
+    fn index_revision_matches_schema() {
+        let (s, _) = diamond();
+        assert_eq!(s.index().revision, s.revision());
+    }
+}

@@ -1,0 +1,781 @@
+//! # orm-population — model-theoretic semantics for ORM schemas
+//!
+//! A [`Population`] assigns a set of instances to every object type and a
+//! set of tuples to every (binary) fact type. [`check`] decides whether a
+//! population *satisfies* a schema — the formal semantics from
+//! [H89]/[BHW91] that the paper's satisfiability notions are defined
+//! against:
+//!
+//! * **weak (schema) satisfiability** — some population satisfies the
+//!   schema (the all-empty population always does for this constraint
+//!   language, as the paper's Fig. 1 discussion illustrates);
+//! * **concept satisfiability** — a satisfying population populates the
+//!   queried object types;
+//! * **strong (role) satisfiability** — a satisfying population populates
+//!   the queried roles.
+//!
+//! The checker reports precise [`Violation`]s, which makes it usable both
+//! as the ground truth for the pattern checkers (see the cross-validation
+//! tests) and as a data-validation utility in its own right.
+//!
+//! Two semantic switches from the paper are configurable via
+//! [`CheckOptions`]:
+//!
+//! * `proper_subtypes` — [H01]'s *strict* subset semantics for subtypes,
+//!   the premise of Pattern 9;
+//! * `implicit_type_exclusion` — ORM's convention that object types are
+//!   mutually exclusive unless connected through the subtype graph, the
+//!   premise of Pattern 1.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod population;
+mod violation;
+
+pub use population::Population;
+pub use violation::Violation;
+
+use orm_model::{
+    Constraint, ConstraintId, FactTypeId, ObjectTypeId, RingKind, RoleSeq, Schema, SchemaIndex,
+    Value,
+};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Semantic switches for [`check`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct CheckOptions {
+    /// Enforce strict (proper) subset semantics for subtypes: a non-empty
+    /// subtype population must differ from its supertype's ([H01]).
+    pub proper_subtypes: bool,
+    /// Enforce ORM's implicit mutual exclusion of object types that share
+    /// no common supertype.
+    pub implicit_type_exclusion: bool,
+}
+
+impl Default for CheckOptions {
+    fn default() -> Self {
+        CheckOptions { proper_subtypes: true, implicit_type_exclusion: true }
+    }
+}
+
+impl CheckOptions {
+    /// Plain subset semantics, no implicit exclusion — the permissive
+    /// reading some ORM dialects use.
+    pub fn permissive() -> Self {
+        CheckOptions { proper_subtypes: false, implicit_type_exclusion: false }
+    }
+}
+
+/// Check `pop` against every constraint of `schema`; returns all
+/// violations (empty = the population is a model of the schema).
+pub fn check(schema: &Schema, pop: &Population, options: CheckOptions) -> Vec<Violation> {
+    let idx = schema.index();
+    let mut out = Vec::new();
+    check_conformity(schema, pop, &mut out);
+    check_value_constraints(schema, pop, &mut out);
+    check_subtyping(schema, pop, options, &mut out);
+    if options.implicit_type_exclusion {
+        check_implicit_exclusion(schema, &idx, pop, &mut out);
+    }
+    for (cid, c) in schema.constraints() {
+        match c {
+            Constraint::Mandatory(m) => check_mandatory(schema, pop, cid, &m.roles, &mut out),
+            Constraint::Uniqueness(u) => {
+                check_counting(schema, pop, cid, &u.roles, 1, Some(1), true, &mut out)
+            }
+            Constraint::Frequency(f) => {
+                check_counting(schema, pop, cid, &f.roles, f.min, f.max, false, &mut out)
+            }
+            Constraint::SetComparison(sc) => {
+                check_set_comparison(schema, pop, cid, sc, &mut out)
+            }
+            Constraint::ExclusiveTypes(e) => {
+                check_exclusive_types(schema, pop, cid, &e.types, &mut out)
+            }
+            Constraint::TotalSubtypes(t) => {
+                check_totality(schema, pop, cid, t.supertype, &t.subtypes, &mut out)
+            }
+            Constraint::Ring(r) => check_ring(schema, pop, cid, r, &mut out),
+        }
+    }
+    out
+}
+
+/// Whether `pop` is a model of `schema` under `options`.
+pub fn satisfies(schema: &Schema, pop: &Population, options: CheckOptions) -> bool {
+    check(schema, pop, options).is_empty()
+}
+
+fn check_conformity(schema: &Schema, pop: &Population, out: &mut Vec<Violation>) {
+    for (fid, ft) in schema.fact_types() {
+        let players = [schema.player(ft.first()), schema.player(ft.second())];
+        for (a, b) in pop.tuples(fid) {
+            for (value, (role, player)) in
+                [a, b].iter().zip(ft.roles().into_iter().zip(players))
+            {
+                if !pop.extent(player).contains(value) {
+                    out.push(Violation::Conformity {
+                        role,
+                        value: (*value).clone(),
+                        player,
+                    });
+                }
+            }
+        }
+    }
+}
+
+fn check_value_constraints(schema: &Schema, pop: &Population, out: &mut Vec<Violation>) {
+    for (ty, ot) in schema.object_types() {
+        let Some(vc) = ot.value_constraint() else { continue };
+        for v in pop.extent(ty) {
+            if !vc.admits(v) {
+                out.push(Violation::ValueConstraint { ty, value: v.clone() });
+            }
+        }
+    }
+}
+
+fn check_subtyping(
+    schema: &Schema,
+    pop: &Population,
+    options: CheckOptions,
+    out: &mut Vec<Violation>,
+) {
+    for link in schema.subtype_links() {
+        let sub = pop.extent(link.sub);
+        let sup = pop.extent(link.sup);
+        for v in sub {
+            if !sup.contains(v) {
+                out.push(Violation::SubtypeNotSubset {
+                    sub: link.sub,
+                    sup: link.sup,
+                    value: v.clone(),
+                });
+            }
+        }
+        if options.proper_subtypes && !sub.is_empty() && sub == sup {
+            out.push(Violation::SubtypeNotProper { sub: link.sub, sup: link.sup });
+        }
+    }
+}
+
+fn check_implicit_exclusion(
+    schema: &Schema,
+    idx: &SchemaIndex,
+    pop: &Population,
+    out: &mut Vec<Violation>,
+) {
+    let types: Vec<ObjectTypeId> = schema.object_types().map(|(id, _)| id).collect();
+    for (i, &a) in types.iter().enumerate() {
+        for &b in types.iter().skip(i + 1) {
+            if idx.may_overlap(a, b) {
+                continue;
+            }
+            for v in pop.extent(a).intersection(pop.extent(b)) {
+                out.push(Violation::ImplicitExclusion { a, b, value: v.clone() });
+            }
+        }
+    }
+}
+
+fn check_mandatory(
+    schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    roles: &[orm_model::RoleId],
+    out: &mut Vec<Violation>,
+) {
+    let player = schema.player(roles[0]);
+    for v in pop.extent(player) {
+        let plays_one = roles.iter().any(|r| pop.role_population(schema, *r).contains(v));
+        if !plays_one {
+            out.push(Violation::Mandatory { constraint, value: v.clone() });
+        }
+    }
+}
+
+/// Shared counting semantics for uniqueness (`min=max=1`) and frequency
+/// constraints: group the fact table by the projection onto the covered
+/// roles, then bound each group's size.
+#[allow(clippy::too_many_arguments)]
+fn check_counting(
+    schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    roles: &[orm_model::RoleId],
+    min: u32,
+    max: Option<u32>,
+    is_uniqueness: bool,
+    out: &mut Vec<Violation>,
+) {
+    let fact = schema.role(roles[0]).fact_type();
+    let positions: Vec<u8> = roles.iter().map(|r| schema.role(*r).position()).collect();
+    let mut groups: BTreeMap<Vec<Value>, u32> = BTreeMap::new();
+    for (a, b) in pop.tuples(fact) {
+        let key: Vec<Value> = positions
+            .iter()
+            .map(|p| if *p == 0 { a.clone() } else { b.clone() })
+            .collect();
+        *groups.entry(key).or_insert(0) += 1;
+    }
+    for (combo, count) in groups {
+        let too_few = count < min;
+        let too_many = max.is_some_and(|m| count > m);
+        if too_few || too_many {
+            if is_uniqueness {
+                out.push(Violation::Uniqueness { constraint, combo, count });
+            } else {
+                out.push(Violation::Frequency { constraint, combo, count, min, max });
+            }
+        }
+    }
+}
+
+fn seq_population(schema: &Schema, pop: &Population, seq: &RoleSeq) -> BTreeSet<Vec<Value>> {
+    match seq.roles() {
+        [r] => pop
+            .role_population(schema, *r)
+            .into_iter()
+            .map(|v| vec![v])
+            .collect(),
+        [a, b] => {
+            let fact = schema.role(*a).fact_type();
+            let (pa, pb) = (schema.role(*a).position(), schema.role(*b).position());
+            pop.tuples(fact)
+                .map(|(x, y)| {
+                    let pick = |p: u8| if p == 0 { x.clone() } else { y.clone() };
+                    vec![pick(pa), pick(pb)]
+                })
+                .collect()
+        }
+        _ => unreachable!("role sequences have length 1 or 2"),
+    }
+}
+
+fn check_set_comparison(
+    schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    sc: &orm_model::SetComparison,
+    out: &mut Vec<Violation>,
+) {
+    use orm_model::SetComparisonKind::*;
+    let pops: Vec<BTreeSet<Vec<Value>>> =
+        sc.args.iter().map(|seq| seq_population(schema, pop, seq)).collect();
+    match sc.kind {
+        Subset => {
+            for item in pops[0].difference(&pops[1]) {
+                out.push(Violation::SetComparison {
+                    constraint,
+                    detail: format!("{item:?} is in the sub-population but not the super"),
+                });
+            }
+        }
+        Equality => {
+            for (i, p) in pops.iter().enumerate().skip(1) {
+                if p != &pops[0] {
+                    out.push(Violation::SetComparison {
+                        constraint,
+                        detail: format!("argument {i} differs from argument 0"),
+                    });
+                }
+            }
+        }
+        Exclusion => {
+            for i in 0..pops.len() {
+                for j in (i + 1)..pops.len() {
+                    for item in pops[i].intersection(&pops[j]) {
+                        out.push(Violation::SetComparison {
+                            constraint,
+                            detail: format!("{item:?} occurs in arguments {i} and {j}"),
+                        });
+                    }
+                }
+            }
+        }
+    }
+}
+
+fn check_exclusive_types(
+    _schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    types: &[ObjectTypeId],
+    out: &mut Vec<Violation>,
+) {
+    for (i, &a) in types.iter().enumerate() {
+        for &b in types.iter().skip(i + 1) {
+            for v in pop.extent(a).intersection(pop.extent(b)) {
+                out.push(Violation::ExclusiveTypes { constraint, value: v.clone() });
+            }
+        }
+    }
+}
+
+fn check_totality(
+    _schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    supertype: ObjectTypeId,
+    subtypes: &[ObjectTypeId],
+    out: &mut Vec<Violation>,
+) {
+    for v in pop.extent(supertype) {
+        if !subtypes.iter().any(|s| pop.extent(*s).contains(v)) {
+            out.push(Violation::Totality { constraint, value: v.clone() });
+        }
+    }
+}
+
+fn check_ring(
+    schema: &Schema,
+    pop: &Population,
+    constraint: ConstraintId,
+    ring: &orm_model::Ring,
+    out: &mut Vec<Violation>,
+) {
+    let _ = schema;
+    let tuples: BTreeSet<(Value, Value)> = pop.tuples(ring.fact_type).cloned().collect();
+    let holds = |x: &Value, y: &Value| tuples.contains(&(x.clone(), y.clone()));
+    for kind in ring.kinds.iter() {
+        let violated: Option<String> = match kind {
+            RingKind::Irreflexive => tuples
+                .iter()
+                .find(|(x, y)| x == y)
+                .map(|(x, _)| format!("self-pair ({x}, {x})")),
+            RingKind::Antisymmetric => tuples
+                .iter()
+                .find(|(x, y)| x != y && holds(y, x))
+                .map(|(x, y)| format!("both ({x}, {y}) and ({y}, {x}) present")),
+            RingKind::Asymmetric => tuples
+                .iter()
+                .find(|(x, y)| holds(y, x))
+                .map(|(x, y)| format!("both ({x}, {y}) and ({y}, {x}) present")),
+            RingKind::Symmetric => tuples
+                .iter()
+                .find(|(x, y)| !holds(y, x))
+                .map(|(x, y)| format!("({x}, {y}) present without ({y}, {x})")),
+            RingKind::Intransitive => {
+                let mut found = None;
+                'outer: for (x, y) in &tuples {
+                    for (y2, z) in &tuples {
+                        if y == y2 && holds(x, z) {
+                            found =
+                                Some(format!("({x}, {y}), ({y}, {z}) and ({x}, {z}) present"));
+                            break 'outer;
+                        }
+                    }
+                }
+                found
+            }
+            RingKind::Acyclic => find_cycle(&tuples).map(|cycle| {
+                let names: Vec<String> = cycle.iter().map(Value::to_string).collect();
+                format!("cycle through {}", names.join(" -> "))
+            }),
+        };
+        if let Some(witness) = violated {
+            out.push(Violation::Ring { constraint, kind, witness });
+        }
+    }
+}
+
+/// Find a directed cycle in the relation, if any, returning its nodes.
+fn find_cycle(tuples: &BTreeSet<(Value, Value)>) -> Option<Vec<Value>> {
+    let mut adjacency: BTreeMap<&Value, Vec<&Value>> = BTreeMap::new();
+    for (x, y) in tuples {
+        adjacency.entry(x).or_default().push(y);
+    }
+    let nodes: Vec<&Value> = adjacency.keys().copied().collect();
+    let mut state: BTreeMap<&Value, u8> = BTreeMap::new();
+    fn dfs<'a>(
+        node: &'a Value,
+        adjacency: &BTreeMap<&'a Value, Vec<&'a Value>>,
+        state: &mut BTreeMap<&'a Value, u8>,
+        stack: &mut Vec<&'a Value>,
+    ) -> Option<Vec<Value>> {
+        state.insert(node, 1);
+        stack.push(node);
+        for next in adjacency.get(node).into_iter().flatten() {
+            match state.get(next).copied().unwrap_or(0) {
+                1 => {
+                    let start = stack.iter().position(|n| *n == *next).unwrap_or(0);
+                    let mut cycle: Vec<Value> =
+                        stack[start..].iter().map(|v| (*v).clone()).collect();
+                    cycle.push((*next).clone());
+                    return Some(cycle);
+                }
+                0 => {
+                    if let Some(cycle) = dfs(next, adjacency, state, stack) {
+                        return Some(cycle);
+                    }
+                }
+                _ => {}
+            }
+        }
+        stack.pop();
+        state.insert(node, 2);
+        None
+    }
+    for node in nodes {
+        if state.get(node).copied().unwrap_or(0) == 0 {
+            let mut stack = Vec::new();
+            if let Some(cycle) = dfs(node, &adjacency, &mut state, &mut stack) {
+                return Some(cycle);
+            }
+        }
+    }
+    None
+}
+
+/// Convenience: the population of a whole fact type as value pairs.
+pub fn fact_population(pop: &Population, fact: FactTypeId) -> BTreeSet<(Value, Value)> {
+    pop.tuples(fact).cloned().collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RingKind, SchemaBuilder, Value, ValueConstraint};
+
+    fn v(s: &str) -> Value {
+        Value::str(s)
+    }
+
+    #[test]
+    fn empty_population_satisfies_everything() {
+        // Weak satisfiability is trivial for this constraint language —
+        // the observation behind the paper's Fig. 1 discussion.
+        let fixture = orm_fixture();
+        let pop = Population::new();
+        assert!(satisfies(&fixture, &pop, CheckOptions::default()));
+    }
+
+    /// Small schema exercising several constraint kinds.
+    fn orm_fixture() -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        b.subtype(student, person).unwrap();
+        let code = b.value_type("Code", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
+        let f = b.fact_type_full("has", (student, Some("r1")), (code, Some("r2")), None).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.unique([r1]).unwrap();
+        b.mandatory(r1).unwrap();
+        b.finish()
+    }
+
+    #[test]
+    fn conforming_population_passes() {
+        let s = orm_fixture();
+        let person = s.object_type_by_name("Person").unwrap();
+        let student = s.object_type_by_name("Student").unwrap();
+        let code = s.object_type_by_name("Code").unwrap();
+        let f = s.fact_type_by_name("has").unwrap();
+        let mut pop = Population::new();
+        pop.add_instance(person, v("ann"));
+        pop.add_instance(person, v("bob")); // proper superset
+        pop.add_instance(student, v("ann"));
+        pop.add_instance(code, v("x1"));
+        pop.add_fact(f, v("ann"), v("x1"));
+        assert_eq!(check(&s, &pop, CheckOptions::default()), vec![]);
+    }
+
+    #[test]
+    fn conformity_violation_detected() {
+        let s = orm_fixture();
+        let f = s.fact_type_by_name("has").unwrap();
+        let mut pop = Population::new();
+        // Tuple without the instances being members of the player types.
+        pop.add_fact(f, v("ghost"), v("x1"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::Conformity { .. })));
+    }
+
+    #[test]
+    fn value_constraint_violation_detected() {
+        let s = orm_fixture();
+        let code = s.object_type_by_name("Code").unwrap();
+        let mut pop = Population::new();
+        pop.add_instance(code, v("nope"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::ValueConstraint { .. })));
+    }
+
+    #[test]
+    fn subtype_subset_violation_detected() {
+        let s = orm_fixture();
+        let student = s.object_type_by_name("Student").unwrap();
+        let mut pop = Population::new();
+        pop.add_instance(student, v("ann")); // not a Person
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::SubtypeNotSubset { .. })));
+    }
+
+    #[test]
+    fn proper_subtype_semantics_configurable() {
+        let s = orm_fixture();
+        let person = s.object_type_by_name("Person").unwrap();
+        let student = s.object_type_by_name("Student").unwrap();
+        let code = s.object_type_by_name("Code").unwrap();
+        let f = s.fact_type_by_name("has").unwrap();
+        let mut pop = Population::new();
+        pop.add_instance(person, v("ann"));
+        pop.add_instance(student, v("ann")); // equal, non-empty
+        pop.add_instance(code, v("x1"));
+        pop.add_fact(f, v("ann"), v("x1"));
+        let strict = check(&s, &pop, CheckOptions::default());
+        assert!(strict.iter().any(|x| matches!(x, Violation::SubtypeNotProper { .. })));
+        let permissive = check(&s, &pop, CheckOptions::permissive());
+        assert!(permissive.is_empty());
+    }
+
+    #[test]
+    fn mandatory_violation_detected() {
+        let s = orm_fixture();
+        let person = s.object_type_by_name("Person").unwrap();
+        let student = s.object_type_by_name("Student").unwrap();
+        let mut pop = Population::new();
+        pop.add_instance(person, v("ann"));
+        pop.add_instance(person, v("x"));
+        pop.add_instance(student, v("ann")); // ann plays nothing
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::Mandatory { .. })));
+    }
+
+    #[test]
+    fn uniqueness_violation_detected() {
+        let s = orm_fixture();
+        let person = s.object_type_by_name("Person").unwrap();
+        let student = s.object_type_by_name("Student").unwrap();
+        let code = s.object_type_by_name("Code").unwrap();
+        let f = s.fact_type_by_name("has").unwrap();
+        let mut pop = Population::new();
+        for p in ["ann", "pad"] {
+            pop.add_instance(person, v(p));
+        }
+        pop.add_instance(student, v("ann"));
+        pop.add_instance(code, v("x1"));
+        pop.add_instance(code, v("x2"));
+        pop.add_fact(f, v("ann"), v("x1"));
+        pop.add_fact(f, v("ann"), v("x2")); // ann twice in unique r1
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::Uniqueness { .. })));
+    }
+
+    #[test]
+    fn frequency_violations_detected_both_directions() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let r = b.schema().fact_type(f).first();
+        b.frequency([r], 2, Some(2)).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("a1"));
+        for i in 0..3 {
+            pop.add_instance(x, Value::int(i));
+        }
+        pop.add_fact(f, v("a1"), Value::int(0)); // a1 occurs once: too few
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::Frequency { count: 1, .. })));
+
+        pop.add_fact(f, v("a1"), Value::int(1));
+        pop.add_fact(f, v("a1"), Value::int(2)); // now three: too many
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::Frequency { count: 3, .. })));
+    }
+
+    #[test]
+    fn frequency_within_bounds_passes() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let r = b.schema().fact_type(f).first();
+        b.frequency([r], 2, Some(3)).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("a1"));
+        pop.add_instance(x, Value::int(0));
+        pop.add_instance(x, Value::int(1));
+        pop.add_fact(f, v("a1"), Value::int(0));
+        pop.add_fact(f, v("a1"), Value::int(1));
+        assert!(satisfies(&s, &pop, CheckOptions::default()));
+    }
+
+    #[test]
+    fn exclusion_constraint_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("a1"));
+        pop.add_instance(x, v("x1"));
+        pop.add_fact(f1, v("a1"), v("x1"));
+        pop.add_fact(f2, v("a1"), v("x1")); // a1 plays both excluded roles
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::SetComparison { .. })));
+    }
+
+    #[test]
+    fn subset_constraint_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("a1"));
+        pop.add_instance(x, v("x1"));
+        pop.add_fact(f1, v("a1"), v("x1")); // plays r1 but not r3
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|x| matches!(x, Violation::SetComparison { .. })));
+        // Add the superset tuple: satisfied.
+        pop.add_fact(f2, v("a1"), v("x1"));
+        assert!(satisfies(&s, &pop, CheckOptions::default()));
+    }
+
+    #[test]
+    fn exclusive_types_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let p = b.entity_type("P").unwrap();
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap();
+        b.subtype(a, p).unwrap();
+        b.subtype(c, p).unwrap();
+        b.exclusive_types([a, c]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(p, v("x"));
+        pop.add_instance(p, v("pad1"));
+        pop.add_instance(p, v("pad2"));
+        pop.add_instance(a, v("x"));
+        pop.add_instance(c, v("x"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|m| matches!(m, Violation::ExclusiveTypes { .. })));
+    }
+
+    #[test]
+    fn totality_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let p = b.entity_type("P").unwrap();
+        let q = b.entity_type("Q").unwrap();
+        b.subtype(p, a).unwrap();
+        b.subtype(q, a).unwrap();
+        b.total_subtypes(a, [p, q]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("u"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|m| matches!(m, Violation::Totality { .. })));
+    }
+
+    #[test]
+    fn implicit_exclusion_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let c = b.entity_type("C").unwrap(); // unrelated top-level types
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(a, v("shared"));
+        pop.add_instance(c, v("shared"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|m| matches!(m, Violation::ImplicitExclusion { .. })));
+        assert!(satisfies(&s, &pop, CheckOptions::permissive()));
+    }
+
+    #[test]
+    fn ring_constraints_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("rel", w, w).unwrap();
+        b.ring(f, [RingKind::Irreflexive, RingKind::Acyclic]).unwrap();
+        let s = b.finish();
+
+        let mut pop = Population::new();
+        pop.add_instance(w, v("a"));
+        pop.add_fact(f, v("a"), v("a")); // self loop: violates both kinds
+        let violations = check(&s, &pop, CheckOptions::default());
+        let ring_violations: Vec<_> =
+            violations.iter().filter(|m| matches!(m, Violation::Ring { .. })).collect();
+        assert_eq!(ring_violations.len(), 2);
+    }
+
+    #[test]
+    fn ring_acyclic_detects_long_cycle() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("rel", w, w).unwrap();
+        b.ring(f, [RingKind::Acyclic]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        for x in ["a", "b", "c"] {
+            pop.add_instance(w, v(x));
+        }
+        pop.add_fact(f, v("a"), v("b"));
+        pop.add_fact(f, v("b"), v("c"));
+        pop.add_fact(f, v("c"), v("a"));
+        let violations = check(&s, &pop, CheckOptions::default());
+        assert!(violations.iter().any(|m| matches!(m, Violation::Ring { .. })));
+    }
+
+    #[test]
+    fn ring_symmetric_requires_reverse() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("rel", w, w).unwrap();
+        b.ring(f, [RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        pop.add_instance(w, v("a"));
+        pop.add_instance(w, v("b"));
+        pop.add_fact(f, v("a"), v("b"));
+        assert!(!satisfies(&s, &pop, CheckOptions::default()));
+        pop.add_fact(f, v("b"), v("a"));
+        assert!(satisfies(&s, &pop, CheckOptions::default()));
+    }
+
+    #[test]
+    fn ring_intransitive_checked() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("rel", w, w).unwrap();
+        b.ring(f, [RingKind::Intransitive]).unwrap();
+        let s = b.finish();
+        let mut pop = Population::new();
+        for x in ["a", "b", "c"] {
+            pop.add_instance(w, v(x));
+        }
+        pop.add_fact(f, v("a"), v("b"));
+        pop.add_fact(f, v("b"), v("c"));
+        assert!(satisfies(&s, &pop, CheckOptions::default()));
+        pop.add_fact(f, v("a"), v("c")); // transitive edge
+        assert!(!satisfies(&s, &pop, CheckOptions::default()));
+    }
+
+    #[test]
+    fn fact_population_helper() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let f = b.fact_type("f", a, a).unwrap();
+        let s = b.finish();
+        let _ = &s;
+        let mut pop = Population::new();
+        pop.add_fact(f, v("x"), v("y"));
+        assert_eq!(fact_population(&pop, f).len(), 1);
+    }
+}

@@ -1,0 +1,123 @@
+//! Property tests for the population semantics: satisfied populations stay
+//! satisfied under growth where monotone, and every violation has a
+//! matching mutation that introduces it.
+
+use orm_model::{Schema, SchemaBuilder, Value};
+use orm_population::{check, satisfies, CheckOptions, Population, Violation};
+use proptest::prelude::*;
+
+/// One fact type A—X with optional uniqueness/mandatory constraints chosen
+/// by flags.
+fn flagged_schema(unique: bool, mandatory: bool) -> Schema {
+    let mut b = SchemaBuilder::new("p");
+    let a = b.entity_type("A").expect("fresh");
+    let x = b.entity_type("X").expect("fresh");
+    let f = b.fact_type("f", a, x).expect("fresh");
+    let r = b.schema().fact_type(f).first();
+    if unique {
+        b.unique([r]).expect("valid");
+    }
+    if mandatory {
+        b.mandatory(r).expect("valid");
+    }
+    b.finish()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// The empty population satisfies every generated schema.
+    #[test]
+    fn empty_population_is_always_a_model(unique: bool, mandatory: bool) {
+        let schema = flagged_schema(unique, mandatory);
+        prop_assert!(satisfies(&schema, &Population::new(), CheckOptions::default()));
+    }
+
+    /// Conformity: any tuple whose members are missing from the player
+    /// extents is reported, and adding the members fixes exactly that.
+    #[test]
+    fn conformity_violations_track_extents(pairs in prop::collection::vec((0i64..3, 0i64..3), 1..6)) {
+        let schema = flagged_schema(false, false);
+        let a = schema.object_type_by_name("A").expect("exists");
+        let x = schema.object_type_by_name("X").expect("exists");
+        let f = schema.fact_type_by_name("f").expect("exists");
+        let mut pop = Population::new();
+        for (l, r) in &pairs {
+            pop.add_fact(f, Value::int(*l), Value::int(*r + 100));
+        }
+        let violations = check(&schema, &pop, CheckOptions::default());
+        let all_conformity =
+            violations.iter().all(|v| matches!(v, Violation::Conformity { .. }));
+        prop_assert!(all_conformity);
+        prop_assert!(!violations.is_empty());
+        for (l, r) in &pairs {
+            pop.add_instance(a, Value::int(*l));
+            pop.add_instance(x, Value::int(*r + 100));
+        }
+        prop_assert!(satisfies(&schema, &pop, CheckOptions::default()));
+    }
+
+    /// Uniqueness: duplicates in the constrained column are reported iff
+    /// the constraint is present.
+    #[test]
+    fn uniqueness_fires_exactly_with_duplicates(unique: bool, n in 2usize..5) {
+        let schema = flagged_schema(unique, false);
+        let a = schema.object_type_by_name("A").expect("exists");
+        let x = schema.object_type_by_name("X").expect("exists");
+        let f = schema.fact_type_by_name("f").expect("exists");
+        let mut pop = Population::new();
+        pop.add_instance(a, "dup");
+        for i in 0..n {
+            pop.add_instance(x, Value::int(i as i64));
+            pop.add_fact(f, Value::str("dup"), Value::int(i as i64));
+        }
+        let violations = check(&schema, &pop, CheckOptions::default());
+        let has_uc_violation =
+            violations.iter().any(|v| matches!(v, Violation::Uniqueness { .. }));
+        prop_assert_eq!(has_uc_violation, unique);
+    }
+
+    /// Mandatory: an idle instance of the player is reported iff the
+    /// constraint is present.
+    #[test]
+    fn mandatory_fires_exactly_for_idle_instances(mandatory: bool) {
+        let schema = flagged_schema(false, mandatory);
+        let a = schema.object_type_by_name("A").expect("exists");
+        let mut pop = Population::new();
+        pop.add_instance(a, "idle");
+        let violations = check(&schema, &pop, CheckOptions::default());
+        let has_mandatory =
+            violations.iter().any(|v| matches!(v, Violation::Mandatory { .. }));
+        prop_assert_eq!(has_mandatory, mandatory);
+    }
+
+    /// Removing a tuple never introduces conformity, value-constraint,
+    /// exclusion or ring violations (those are anti-monotone in the fact
+    /// table), and removing instances never introduces uniqueness
+    /// violations.
+    #[test]
+    fn monotonicity_of_violation_classes(pairs in prop::collection::vec((0i64..3, 0i64..3), 1..6)) {
+        let schema = flagged_schema(true, false);
+        let a = schema.object_type_by_name("A").expect("exists");
+        let x = schema.object_type_by_name("X").expect("exists");
+        let f = schema.fact_type_by_name("f").expect("exists");
+        let mut pop = Population::new();
+        for (l, r) in &pairs {
+            pop.add_instance(a, Value::int(*l));
+            pop.add_instance(x, Value::int(*r));
+            pop.add_fact(f, Value::int(*l), Value::int(*r));
+        }
+        let before: usize = check(&schema, &pop, CheckOptions::default())
+            .iter()
+            .filter(|v| matches!(v, Violation::Uniqueness { .. }))
+            .count();
+        // Remove one tuple: uniqueness violations cannot increase.
+        let (l, r) = pairs[0];
+        pop.remove_fact(f, &Value::int(l), &Value::int(r));
+        let after: usize = check(&schema, &pop, CheckOptions::default())
+            .iter()
+            .filter(|v| matches!(v, Violation::Uniqueness { .. }))
+            .count();
+        prop_assert!(after <= before);
+    }
+}

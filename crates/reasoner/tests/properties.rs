@@ -1,0 +1,112 @@
+//! Property tests for the bounded model finder.
+
+use orm_model::{RoleSeq, SchemaBuilder};
+use orm_population::{check, CheckOptions};
+use orm_reasoner::{
+    find_model, role_satisfiability, strong_satisfiability, Bounds, Outcome, Target,
+};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Every witness the finder returns is verified as a model, populates
+    /// the targets, and the finder honors growing bound monotonicity: a
+    /// model found at small bounds is found at larger ones too.
+    #[test]
+    fn witnesses_are_models_and_bounds_are_monotone(
+        n_facts in 1usize..3,
+        mandatory in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let mut b = SchemaBuilder::new("p");
+        let a = b.entity_type("A").expect("fresh");
+        let x = b.entity_type("X").expect("fresh");
+        let mut roles = Vec::new();
+        for i in 0..n_facts {
+            let f = b.fact_type(&format!("f{i}"), a, x).expect("fresh");
+            roles.push(b.schema().fact_type(f).first());
+        }
+        for (i, r) in roles.iter().enumerate() {
+            if mandatory.get(i).copied().unwrap_or(false) {
+                b.mandatory(*r).expect("valid");
+            }
+        }
+        let schema = b.finish();
+
+        match strong_satisfiability(&schema, Bounds::small()) {
+            Outcome::Satisfiable(pop) => {
+                prop_assert!(check(&schema, &pop, CheckOptions::default()).is_empty());
+                for (role, _) in schema.roles() {
+                    prop_assert!(pop.role_populated(&schema, role));
+                }
+                // Larger bounds must also succeed.
+                prop_assert!(strong_satisfiability(&schema, Bounds::default()).is_sat());
+            }
+            Outcome::UnsatWithinBounds | Outcome::BudgetExhausted => {
+                // Plain mandatory schemas over two unrelated types are
+                // always strongly satisfiable at these bounds.
+                prop_assert!(false, "schema unexpectedly not satisfied");
+            }
+        }
+    }
+
+    /// Subset constraints are respected by found models.
+    #[test]
+    fn witnesses_respect_subsets(seed in 0u64..32) {
+        let _ = seed;
+        let mut b = SchemaBuilder::new("p");
+        let a = b.entity_type("A").expect("fresh");
+        let x = b.entity_type("X").expect("fresh");
+        let f1 = b.fact_type("f1", a, x).expect("fresh");
+        let f2 = b.fact_type("f2", a, x).expect("fresh");
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.subset(RoleSeq::single(r1), RoleSeq::single(r3)).expect("valid");
+        let schema = b.finish();
+        match role_satisfiability(&schema, r1, Bounds::small()) {
+            Outcome::Satisfiable(pop) => {
+                let sub = pop.role_population(&schema, r1);
+                let sup = pop.role_population(&schema, r3);
+                prop_assert!(sub.is_subset(&sup));
+                prop_assert!(!sub.is_empty());
+            }
+            other => prop_assert!(false, "expected model, got {other:?}"),
+        }
+    }
+}
+
+/// Target bookkeeping: requesting a type target forces that extent.
+#[test]
+fn type_targets_are_honored() {
+    let mut b = SchemaBuilder::new("t");
+    let a = b.entity_type("A").expect("fresh");
+    let x = b.entity_type("X").expect("fresh");
+    let schema = b.finish();
+    match find_model(&schema, &[Target::Type(a)], Bounds::small()) {
+        Outcome::Satisfiable(pop) => {
+            assert!(pop.type_populated(a));
+            // X was not requested; the minimal model leaves it empty.
+            assert!(!pop.type_populated(x));
+        }
+        other => panic!("expected model, got {other:?}"),
+    }
+}
+
+/// The finder prefers small witnesses: an unconstrained one-fact schema is
+/// strongly satisfied with a single tuple.
+#[test]
+fn minimal_witnesses_are_small() {
+    let mut b = SchemaBuilder::new("m");
+    let a = b.entity_type("A").expect("fresh");
+    let x = b.entity_type("X").expect("fresh");
+    let f = b.fact_type("f", a, x).expect("fresh");
+    let schema = b.finish();
+    match strong_satisfiability(&schema, Bounds::default()) {
+        Outcome::Satisfiable(pop) => {
+            assert_eq!(pop.fact_count(f), 1);
+            assert_eq!(pop.extent(a).len(), 1);
+            assert_eq!(pop.extent(x).len(), 1);
+        }
+        other => panic!("expected model, got {other:?}"),
+    }
+}

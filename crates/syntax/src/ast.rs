@@ -1,0 +1,135 @@
+//! Abstract syntax of the schema language, prior to name resolution.
+
+use orm_model::RingKind;
+
+/// A parsed schema file.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AstSchema {
+    /// Schema name.
+    pub name: String,
+    /// Declarations in source order.
+    pub decls: Vec<AstDecl>,
+}
+
+/// A value-constraint literal.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstValueConstraint {
+    /// `{ 'a', 'b', 3 }`
+    Enumeration(Vec<AstValue>),
+    /// `{ 1..10 }`
+    IntRange(i64, i64),
+}
+
+/// A literal value.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstValue {
+    /// `'x1'`
+    Str(String),
+    /// `42`
+    Int(i64),
+}
+
+/// A reference to a role: by label or by `fact.position` path.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstRoleRef {
+    /// `r1`
+    Label(String),
+    /// `works_for.0`
+    Path(String, u8),
+}
+
+/// A role-sequence argument: single role or parenthesised pair.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstSeq {
+    /// `r1`
+    Single(AstRoleRef),
+    /// `(r1, r2)`
+    Pair(AstRoleRef, AstRoleRef),
+}
+
+/// Top-level declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstDecl {
+    /// `entity Name subtype-of A, B;`
+    Entity {
+        /// Type name.
+        name: String,
+        /// Declared supertypes.
+        supertypes: Vec<String>,
+    },
+    /// `value Name { ... } subtype-of A;`
+    ValueType {
+        /// Type name.
+        name: String,
+        /// Optional value constraint.
+        constraint: Option<AstValueConstraint>,
+        /// Declared supertypes.
+        supertypes: Vec<String>,
+    },
+    /// `fact name (Player as label, Player as label) reading "...";`
+    Fact {
+        /// Predicate name.
+        name: String,
+        /// First player type and optional role label.
+        first: (String, Option<String>),
+        /// Second player type and optional role label.
+        second: (String, Option<String>),
+        /// Optional natural-language reading.
+        reading: Option<String>,
+    },
+    /// A constraint declaration.
+    Constraint(AstConstraint),
+}
+
+/// Constraint declarations.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AstConstraint {
+    /// `mandatory r1;` / `mandatory { r1, r3 };`
+    Mandatory(Vec<AstRoleRef>),
+    /// `unique r1;` / `unique (r1, r2);`
+    Unique(Vec<AstRoleRef>),
+    /// `frequency r1 2..5;` (`max = None` for `2..`)
+    Frequency {
+        /// Covered roles.
+        roles: Vec<AstRoleRef>,
+        /// Lower bound.
+        min: u32,
+        /// Upper bound.
+        max: Option<u32>,
+    },
+    /// `exclusion { seq, seq, ... };`
+    Exclusion(Vec<AstSeq>),
+    /// `subset seq of seq;`
+    Subset(AstSeq, AstSeq),
+    /// `equality { seq, seq, ... };`
+    Equality(Vec<AstSeq>),
+    /// `exclusive { A, B };`
+    ExclusiveTypes(Vec<String>),
+    /// `total Super { A, B };`
+    TotalSubtypes {
+        /// The covered supertype.
+        supertype: String,
+        /// The covering subtypes.
+        subtypes: Vec<String>,
+    },
+    /// `ring fact { irreflexive, acyclic };`
+    Ring {
+        /// The constrained fact type.
+        fact: String,
+        /// Applied kinds.
+        kinds: Vec<RingKind>,
+    },
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ast_types_are_comparable() {
+        let a = AstRoleRef::Label("r1".into());
+        let b = AstRoleRef::Label("r1".into());
+        assert_eq!(a, b);
+        assert_ne!(a, AstRoleRef::Path("f".into(), 0));
+    }
+}

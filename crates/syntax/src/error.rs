@@ -1,0 +1,39 @@
+//! Parse and lowering errors with source positions.
+
+use std::fmt;
+
+/// An error produced while lexing, parsing or lowering a schema text.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ParseError {
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl ParseError {
+    pub(crate) fn new(line: usize, column: usize, message: impl Into<String>) -> Self {
+        ParseError { line, column, message: message.into() }
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_position() {
+        let e = ParseError::new(3, 7, "unexpected `;`");
+        assert_eq!(e.to_string(), "line 3, column 7: unexpected `;`");
+    }
+}

@@ -1,0 +1,324 @@
+//! Tokenizer for the schema language.
+
+use crate::error::ParseError;
+
+/// A token with its source position.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind + payload.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: usize,
+    /// 1-based column.
+    pub column: usize,
+}
+
+/// Token kinds of the schema language.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`schema`, `entity`, names, …).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Single-quoted value literal, e.g. `'x1'`.
+    ValueStr(String),
+    /// Double-quoted reading text.
+    Reading(String),
+    /// `{`
+    LBrace,
+    /// `}`
+    RBrace,
+    /// `(`
+    LParen,
+    /// `)`
+    RParen,
+    /// `,`
+    Comma,
+    /// `;`
+    Semicolon,
+    /// `..`
+    DotDot,
+    /// `.`
+    Dot,
+}
+
+impl TokenKind {
+    /// Short description for error messages.
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Ident(s) => format!("`{s}`"),
+            TokenKind::Int(i) => format!("`{i}`"),
+            TokenKind::ValueStr(s) => format!("'{s}'"),
+            TokenKind::Reading(s) => format!("\"{s}\""),
+            TokenKind::LBrace => "`{`".into(),
+            TokenKind::RBrace => "`}`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Comma => "`,`".into(),
+            TokenKind::Semicolon => "`;`".into(),
+            TokenKind::DotDot => "`..`".into(),
+            TokenKind::Dot => "`.`".into(),
+        }
+    }
+}
+
+/// Tokenize `input`. `//` comments run to end of line.
+pub fn lex(input: &str) -> Result<Vec<Token>, ParseError> {
+    let mut tokens = Vec::new();
+    let mut line = 1usize;
+    let mut column = 1usize;
+    let mut chars = input.chars().peekable();
+
+    macro_rules! push {
+        ($kind:expr, $len:expr) => {{
+            tokens.push(Token { kind: $kind, line, column });
+            column += $len;
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        match c {
+            '\n' => {
+                chars.next();
+                line += 1;
+                column = 1;
+            }
+            c if c.is_whitespace() => {
+                chars.next();
+                column += 1;
+            }
+            '/' => {
+                chars.next();
+                if chars.peek() == Some(&'/') {
+                    while let Some(&c) = chars.peek() {
+                        if c == '\n' {
+                            break;
+                        }
+                        chars.next();
+                    }
+                    column += 2; // position bookkeeping only; line resets at \n
+                } else {
+                    return Err(ParseError::new(line, column, "unexpected `/`"));
+                }
+            }
+            '{' => {
+                chars.next();
+                push!(TokenKind::LBrace, 1);
+            }
+            '}' => {
+                chars.next();
+                push!(TokenKind::RBrace, 1);
+            }
+            '(' => {
+                chars.next();
+                push!(TokenKind::LParen, 1);
+            }
+            ')' => {
+                chars.next();
+                push!(TokenKind::RParen, 1);
+            }
+            ',' => {
+                chars.next();
+                push!(TokenKind::Comma, 1);
+            }
+            ';' => {
+                chars.next();
+                push!(TokenKind::Semicolon, 1);
+            }
+            '.' => {
+                chars.next();
+                if chars.peek() == Some(&'.') {
+                    chars.next();
+                    push!(TokenKind::DotDot, 2);
+                } else {
+                    push!(TokenKind::Dot, 1);
+                }
+            }
+            '\'' => {
+                chars.next();
+                let start_col = column;
+                column += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('\'') => {
+                            column += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(ParseError::new(
+                                line,
+                                start_col,
+                                "unterminated value literal",
+                            ));
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            column += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::ValueStr(s), line, column: start_col });
+            }
+            '"' => {
+                chars.next();
+                let start_col = column;
+                column += 1;
+                let mut s = String::new();
+                loop {
+                    match chars.next() {
+                        Some('"') => {
+                            column += 1;
+                            break;
+                        }
+                        Some('\n') | None => {
+                            return Err(ParseError::new(
+                                line,
+                                start_col,
+                                "unterminated reading string",
+                            ));
+                        }
+                        Some(c) => {
+                            s.push(c);
+                            column += 1;
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Reading(s), line, column: start_col });
+            }
+            c if c.is_ascii_digit() || c == '-' => {
+                let start_col = column;
+                let mut s = String::new();
+                if c == '-' {
+                    s.push(c);
+                    chars.next();
+                    column += 1;
+                }
+                while let Some(&d) = chars.peek() {
+                    if d.is_ascii_digit() {
+                        s.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                let value: i64 = s.parse().map_err(|_| {
+                    ParseError::new(line, start_col, format!("invalid integer `{s}`"))
+                })?;
+                tokens.push(Token { kind: TokenKind::Int(value), line, column: start_col });
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let start_col = column;
+                let mut s = String::new();
+                while let Some(&d) = chars.peek() {
+                    if d.is_alphanumeric() || d == '_' || d == '-' {
+                        // `-` inside identifiers supports `subtype-of`.
+                        s.push(d);
+                        chars.next();
+                        column += 1;
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Ident(s), line, column: start_col });
+            }
+            other => {
+                return Err(ParseError::new(
+                    line,
+                    column,
+                    format!("unexpected character `{other}`"),
+                ));
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(input: &str) -> Vec<TokenKind> {
+        lex(input).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn punctuation_and_idents() {
+        assert_eq!(
+            kinds("schema s { }"),
+            vec![
+                TokenKind::Ident("schema".into()),
+                TokenKind::Ident("s".into()),
+                TokenKind::LBrace,
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn value_literals_and_ranges() {
+        assert_eq!(
+            kinds("{ 'x1', 2..5 }"),
+            vec![
+                TokenKind::LBrace,
+                TokenKind::ValueStr("x1".into()),
+                TokenKind::Comma,
+                TokenKind::Int(2),
+                TokenKind::DotDot,
+                TokenKind::Int(5),
+                TokenKind::RBrace,
+            ]
+        );
+    }
+
+    #[test]
+    fn negative_integers() {
+        assert_eq!(kinds("-3"), vec![TokenKind::Int(-3)]);
+    }
+
+    #[test]
+    fn dotted_role_paths() {
+        assert_eq!(
+            kinds("f.0"),
+            vec![TokenKind::Ident("f".into()), TokenKind::Dot, TokenKind::Int(0)]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        assert_eq!(
+            kinds("a // comment ; { }\nb"),
+            vec![TokenKind::Ident("a".into()), TokenKind::Ident("b".into())]
+        );
+    }
+
+    #[test]
+    fn subtype_of_is_one_identifier() {
+        assert_eq!(kinds("subtype-of"), vec![TokenKind::Ident("subtype-of".into())]);
+    }
+
+    #[test]
+    fn reading_strings() {
+        assert_eq!(kinds("\"works for\""), vec![TokenKind::Reading("works for".into())]);
+    }
+
+    #[test]
+    fn unterminated_literal_errors() {
+        assert!(lex("'abc").is_err());
+        assert!(lex("\"abc").is_err());
+    }
+
+    #[test]
+    fn positions_track_lines() {
+        let tokens = lex("a\n  b").unwrap();
+        assert_eq!(tokens[0].line, 1);
+        assert_eq!(tokens[1].line, 2);
+        assert_eq!(tokens[1].column, 3);
+    }
+
+    #[test]
+    fn stray_character_errors() {
+        assert!(lex("schema $").is_err());
+    }
+}

@@ -1,0 +1,167 @@
+//! # orm-syntax — a textual language for ORM schemas
+//!
+//! ORM's selling point (paper §1) is that schemas translate into pseudo
+//! natural language that domain experts can read. This crate provides the
+//! textual side of the toolkit:
+//!
+//! * a compact schema language (`.orm` files) with a [`parse`] function
+//!   producing an `orm_model::Schema`;
+//! * a [`print`] function rendering any schema back to the language
+//!   (`parse ∘ print` is identity up to formatting — property-tested);
+//! * a [`verbalize`] function producing the pseudo-natural-language
+//!   reading of every fact type and constraint.
+//!
+//! # The language
+//!
+//! ```text
+//! schema university {
+//!   entity Person;
+//!   entity Student subtype-of Person;
+//!   entity Employee subtype-of Person;
+//!   entity PhdStudent subtype-of Student, Employee;
+//!   value EmpNr { 'x1', 'x2' };
+//!
+//!   fact works_for (Employee as r1, Person as r2) reading "works for";
+//!
+//!   mandatory r1;
+//!   unique r1;
+//!   frequency r2 2..5;
+//!   exclusive { Student, Employee };
+//!   ring works_for { irreflexive };
+//! }
+//! ```
+//!
+//! Role references are role labels (`r1`) or `fact.position` paths
+//! (`works_for.0`). Constraint argument sequences are single roles or
+//! parenthesised pairs `(r1, r2)`.
+//!
+//! ```
+//! let schema = orm_syntax::parse(
+//!     "schema s { entity A; entity B; fact f (A as r1, B as r2); mandatory r1; }",
+//! ).unwrap();
+//! assert_eq!(schema.fact_type_count(), 1);
+//! let text = orm_syntax::print(&schema);
+//! let again = orm_syntax::parse(&text).unwrap();
+//! assert_eq!(again.constraint_count(), 1);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod ast;
+mod error;
+mod lexer;
+mod lower;
+mod parser;
+mod printer;
+mod verbalize;
+
+pub use ast::{AstConstraint, AstDecl, AstSchema, AstSeq};
+pub use error::ParseError;
+pub use printer::print;
+pub use verbalize::verbalize;
+
+use orm_model::Schema;
+
+/// Parse a schema from its textual representation.
+pub fn parse(input: &str) -> Result<Schema, ParseError> {
+    let tokens = lexer::lex(input)?;
+    let ast = parser::parse_tokens(&tokens)?;
+    lower::lower(&ast)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minimal_schema_parses() {
+        let s = parse("schema s { entity A; }").unwrap();
+        assert_eq!(s.name(), "s");
+        assert_eq!(s.object_type_count(), 1);
+    }
+
+    #[test]
+    fn full_feature_schema_parses() {
+        let text = r#"
+            schema demo {
+              entity Person;
+              entity Student subtype-of Person;
+              entity Employee subtype-of Person;
+              value EmpNr { 'x1', 'x2' };
+              value Level { 1..4 };
+
+              fact works_for (Employee as r1, Person as r2) reading "works for";
+              fact studies (Employee as r3, Person as r4);
+
+              mandatory r1;
+              mandatory { r3, r1 };
+              unique r1;
+              unique (r1, r2);
+              frequency r2 2..5;
+              frequency r4 3..;
+              exclusion { r1, r3 };
+              exclusion { (r1, r2), (r3, r4) };
+              subset r3 of r1;
+              subset (r3, r4) of (r1, r2);
+              equality { r1, r3 };
+              exclusive { Student, Employee };
+              total Person { Student, Employee };
+              ring works_for { irreflexive, acyclic };
+            }
+        "#;
+        let s = parse(text).unwrap();
+        assert_eq!(s.object_type_count(), 5);
+        assert_eq!(s.fact_type_count(), 2);
+        assert_eq!(s.constraint_count(), 14);
+        assert_eq!(s.subtype_links().count(), 2);
+    }
+
+    #[test]
+    fn role_path_references_work() {
+        let s = parse("schema s { entity A; fact f (A, A); mandatory f.0; unique f.1; }")
+            .unwrap();
+        assert_eq!(s.constraint_count(), 2);
+    }
+
+    #[test]
+    fn unknown_names_are_reported() {
+        let err = parse("schema s { entity A; fact f (A, Nope); }").unwrap_err();
+        assert!(err.to_string().contains("Nope"));
+        let err = parse("schema s { entity A; fact f (A, A); mandatory rX; }").unwrap_err();
+        assert!(err.to_string().contains("rX"));
+    }
+
+    #[test]
+    fn syntax_errors_carry_positions() {
+        let err = parse("schema s { entity ; }").unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("line"), "got: {msg}");
+    }
+
+    #[test]
+    fn print_round_trips() {
+        let text = r#"
+            schema rt {
+              entity Person;
+              entity Student subtype-of Person;
+              value Code { 'a', 'b' };
+              fact has (Student as r1, Code as r2) reading "has";
+              fact knows (Person as r3, Person as r4) reading "knows";
+              mandatory r1;
+              unique r1;
+              frequency r2 2..5;
+              ring knows { irreflexive };
+            }
+        "#;
+        let s1 = parse(text).unwrap();
+        let printed = print(&s1);
+        let s2 = parse(&printed).unwrap();
+        assert_eq!(s1.object_type_count(), s2.object_type_count());
+        assert_eq!(s1.fact_type_count(), s2.fact_type_count());
+        assert_eq!(s1.constraint_count(), s2.constraint_count());
+        assert_eq!(s1.subtype_links().count(), s2.subtype_links().count());
+        // Printing is a fixpoint after one round.
+        assert_eq!(printed, print(&s2));
+    }
+}

@@ -1,0 +1,222 @@
+//! Name resolution: AST → `orm_model::Schema`.
+
+use crate::ast::{
+    AstConstraint, AstDecl, AstRoleRef, AstSchema, AstSeq, AstValue, AstValueConstraint,
+};
+use crate::error::ParseError;
+use orm_model::{RoleId, RoleSeq, Schema, SchemaBuilder, Value, ValueConstraint};
+
+/// Lower a parsed AST into a checked schema.
+///
+/// Two passes: first all object and fact types are declared (so constraints
+/// can reference them regardless of order), then subtype links and
+/// constraints are attached.
+pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
+    let mut b = SchemaBuilder::new(ast.name.clone());
+
+    // Pass 1: types and facts.
+    for decl in &ast.decls {
+        match decl {
+            AstDecl::Entity { name, .. } => {
+                b.entity_type(name).map_err(semantic)?;
+            }
+            AstDecl::ValueType { name, constraint, .. } => {
+                b.value_type(name, constraint.as_ref().map(lower_value_constraint))
+                    .map_err(semantic)?;
+            }
+            AstDecl::Fact { name, first, second, reading } => {
+                let p1 = resolve_type(&b, &first.0)?;
+                let p2 = resolve_type(&b, &second.0)?;
+                b.fact_type_full(
+                    name,
+                    (p1, first.1.as_deref()),
+                    (p2, second.1.as_deref()),
+                    reading.as_deref(),
+                )
+                .map_err(semantic)?;
+            }
+            AstDecl::Constraint(_) => {}
+        }
+    }
+
+    // Pass 2: subtyping and constraints.
+    for decl in &ast.decls {
+        match decl {
+            AstDecl::Entity { name, supertypes }
+            | AstDecl::ValueType { name, supertypes, .. } => {
+                let sub = resolve_type(&b, name)?;
+                for sup_name in supertypes {
+                    let sup = resolve_type(&b, sup_name)?;
+                    b.subtype(sub, sup).map_err(semantic)?;
+                }
+            }
+            AstDecl::Fact { .. } => {}
+            AstDecl::Constraint(c) => lower_constraint(&mut b, c)?,
+        }
+    }
+    Ok(b.finish())
+}
+
+fn lower_constraint(b: &mut SchemaBuilder, c: &AstConstraint) -> Result<(), ParseError> {
+    match c {
+        AstConstraint::Mandatory(roles) => {
+            let roles = resolve_roles(b, roles)?;
+            if roles.len() == 1 {
+                b.mandatory(roles[0]).map_err(semantic)?;
+            } else {
+                b.disjunctive_mandatory(roles).map_err(semantic)?;
+            }
+        }
+        AstConstraint::Unique(roles) => {
+            let roles = resolve_roles(b, roles)?;
+            b.unique(roles).map_err(semantic)?;
+        }
+        AstConstraint::Frequency { roles, min, max } => {
+            let roles = resolve_roles(b, roles)?;
+            b.frequency(roles, *min, *max).map_err(semantic)?;
+        }
+        AstConstraint::Exclusion(seqs) => {
+            let seqs = resolve_seqs(b, seqs)?;
+            b.exclusion(seqs).map_err(semantic)?;
+        }
+        AstConstraint::Subset(sub, sup) => {
+            let sub = resolve_seq(b, sub)?;
+            let sup = resolve_seq(b, sup)?;
+            b.subset(sub, sup).map_err(semantic)?;
+        }
+        AstConstraint::Equality(seqs) => {
+            let seqs = resolve_seqs(b, seqs)?;
+            b.equality(seqs).map_err(semantic)?;
+        }
+        AstConstraint::ExclusiveTypes(names) => {
+            let types = names
+                .iter()
+                .map(|n| resolve_type(b, n))
+                .collect::<Result<Vec<_>, _>>()?;
+            b.exclusive_types(types).map_err(semantic)?;
+        }
+        AstConstraint::TotalSubtypes { supertype, subtypes } => {
+            let sup = resolve_type(b, supertype)?;
+            let subs = subtypes
+                .iter()
+                .map(|n| resolve_type(b, n))
+                .collect::<Result<Vec<_>, _>>()?;
+            b.total_subtypes(sup, subs).map_err(semantic)?;
+        }
+        AstConstraint::Ring { fact, kinds } => {
+            let fid = b
+                .schema()
+                .fact_type_by_name(fact)
+                .ok_or_else(|| unknown(&format!("fact type `{fact}`")))?;
+            b.ring(fid, kinds.iter().copied()).map_err(semantic)?;
+        }
+    }
+    Ok(())
+}
+
+fn lower_value_constraint(vc: &AstValueConstraint) -> ValueConstraint {
+    match vc {
+        AstValueConstraint::Enumeration(values) => ValueConstraint::enumeration(
+            values.iter().map(|v| match v {
+                AstValue::Str(s) => Value::str(s.clone()),
+                AstValue::Int(i) => Value::int(*i),
+            }),
+        ),
+        AstValueConstraint::IntRange(min, max) => {
+            ValueConstraint::IntRange { min: *min, max: *max }
+        }
+    }
+}
+
+fn resolve_type(
+    b: &SchemaBuilder,
+    name: &str,
+) -> Result<orm_model::ObjectTypeId, ParseError> {
+    b.schema()
+        .object_type_by_name(name)
+        .ok_or_else(|| unknown(&format!("object type `{name}`")))
+}
+
+fn resolve_role(b: &SchemaBuilder, role: &AstRoleRef) -> Result<RoleId, ParseError> {
+    match role {
+        AstRoleRef::Label(label) => b
+            .schema()
+            .role_by_name(label)
+            .ok_or_else(|| unknown(&format!("role `{label}`"))),
+        AstRoleRef::Path(fact, position) => {
+            let fid = b
+                .schema()
+                .fact_type_by_name(fact)
+                .ok_or_else(|| unknown(&format!("fact type `{fact}`")))?;
+            Ok(b.schema().fact_type(fid).role_at(*position))
+        }
+    }
+}
+
+fn resolve_roles(b: &SchemaBuilder, roles: &[AstRoleRef]) -> Result<Vec<RoleId>, ParseError> {
+    roles.iter().map(|r| resolve_role(b, r)).collect()
+}
+
+fn resolve_seq(b: &SchemaBuilder, seq: &AstSeq) -> Result<RoleSeq, ParseError> {
+    match seq {
+        AstSeq::Single(r) => Ok(RoleSeq::single(resolve_role(b, r)?)),
+        AstSeq::Pair(x, y) => Ok(RoleSeq::pair(resolve_role(b, x)?, resolve_role(b, y)?)),
+    }
+}
+
+fn resolve_seqs(b: &SchemaBuilder, seqs: &[AstSeq]) -> Result<Vec<RoleSeq>, ParseError> {
+    seqs.iter().map(|s| resolve_seq(b, s)).collect()
+}
+
+/// Lowering errors have no precise source position (the AST does not carry
+/// spans yet); report them at the schema head.
+fn semantic(err: orm_model::ModelError) -> ParseError {
+    ParseError::new(1, 1, err.to_string())
+}
+
+fn unknown(what: &str) -> ParseError {
+    ParseError::new(1, 1, format!("unknown {what}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::parse;
+
+    #[test]
+    fn constraints_may_precede_declarations() {
+        // Two-pass lowering: a constraint may reference a fact declared
+        // later in the file.
+        let s = parse("schema s { mandatory r1; entity A; fact f (A as r1, A as r2); }")
+            .unwrap();
+        assert_eq!(s.constraint_count(), 1);
+    }
+
+    #[test]
+    fn duplicate_entity_reported() {
+        let err = parse("schema s { entity A; entity A; }").unwrap_err();
+        assert!(err.to_string().contains("already declared"));
+    }
+
+    #[test]
+    fn builder_errors_surface() {
+        // Frequency bounds inverted: the builder rejects it.
+        let err =
+            parse("schema s { entity A; fact f (A as r1, A as r2); frequency r1 5..2; }")
+                .unwrap_err();
+        assert!(err.to_string().contains("frequency"));
+    }
+
+    #[test]
+    fn value_types_lower_with_constraints() {
+        let s = parse("schema s { value V { 'a', 'b' }; }").unwrap();
+        let v = s.object_type_by_name("V").unwrap();
+        assert_eq!(s.object_type(v).value_cardinality(), Some(2));
+    }
+
+    #[test]
+    fn int_range_lowering() {
+        let s = parse("schema s { value V { 2..4 }; }").unwrap();
+        let v = s.object_type_by_name("V").unwrap();
+        assert_eq!(s.object_type(v).value_cardinality(), Some(3));
+    }
+}

@@ -1,0 +1,494 @@
+//! Recursive-descent parser for the schema language.
+
+use crate::ast::{
+    AstConstraint, AstDecl, AstRoleRef, AstSchema, AstSeq, AstValue, AstValueConstraint,
+};
+use crate::error::ParseError;
+use crate::lexer::{Token, TokenKind};
+use orm_model::RingKind;
+
+/// Parse a token stream into an AST.
+pub fn parse_tokens(tokens: &[Token]) -> Result<AstSchema, ParseError> {
+    let mut p = Parser { tokens, pos: 0 };
+    let schema = p.schema()?;
+    p.expect_eof()?;
+    Ok(schema)
+}
+
+struct Parser<'a> {
+    tokens: &'a [Token],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<&Token> {
+        let t = self.tokens.get(self.pos);
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn error_here(&self, message: impl Into<String>) -> ParseError {
+        match self.peek() {
+            Some(t) => ParseError::new(t.line, t.column, message),
+            None => {
+                let (line, column) = self
+                    .tokens
+                    .last()
+                    .map(|t| (t.line, t.column + 1))
+                    .unwrap_or((1, 1));
+                ParseError::new(line, column, message)
+            }
+        }
+    }
+
+    fn expect_ident(&mut self, what: &str) -> Result<String, ParseError> {
+        match self.next().map(|t| t.kind.clone()) {
+            Some(TokenKind::Ident(s)) => Ok(s),
+            Some(other) => {
+                self.pos -= 1;
+                Err(self.error_here(format!("expected {what}, found {}", other.describe())))
+            }
+            None => Err(self.error_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_keyword(&mut self, kw: &str) -> Result<(), ParseError> {
+        let ident = self.expect_ident(&format!("`{kw}`"))?;
+        if ident == kw {
+            Ok(())
+        } else {
+            self.pos -= 1;
+            Err(self.error_here(format!("expected `{kw}`, found `{ident}`")))
+        }
+    }
+
+    fn expect_kind(&mut self, kind: &TokenKind) -> Result<(), ParseError> {
+        match self.next().map(|t| &t.kind) {
+            Some(k) if k == kind => Ok(()),
+            Some(other) => {
+                let msg = format!("expected {}, found {}", kind.describe(), other.describe());
+                self.pos -= 1;
+                Err(self.error_here(msg))
+            }
+            None => {
+                Err(self.error_here(format!("expected {}, found end of input", kind.describe())))
+            }
+        }
+    }
+
+    fn eat_kind(&mut self, kind: &TokenKind) -> bool {
+        if self.peek().is_some_and(|t| &t.kind == kind) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn eat_keyword(&mut self, kw: &str) -> bool {
+        if matches!(self.peek(), Some(Token { kind: TokenKind::Ident(s), .. }) if s == kw) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_int(&mut self, what: &str) -> Result<i64, ParseError> {
+        match self.next().map(|t| t.kind.clone()) {
+            Some(TokenKind::Int(i)) => Ok(i),
+            Some(other) => {
+                self.pos -= 1;
+                Err(self.error_here(format!("expected {what}, found {}", other.describe())))
+            }
+            None => Err(self.error_here(format!("expected {what}, found end of input"))),
+        }
+    }
+
+    fn expect_eof(&self) -> Result<(), ParseError> {
+        if let Some(t) = self.peek() {
+            return Err(ParseError::new(
+                t.line,
+                t.column,
+                format!("unexpected trailing {}", t.kind.describe()),
+            ));
+        }
+        Ok(())
+    }
+
+    fn schema(&mut self) -> Result<AstSchema, ParseError> {
+        self.expect_keyword("schema")?;
+        let name = self.expect_ident("schema name")?;
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut decls = Vec::new();
+        while !self.eat_kind(&TokenKind::RBrace) {
+            decls.push(self.decl()?);
+        }
+        Ok(AstSchema { name, decls })
+    }
+
+    fn decl(&mut self) -> Result<AstDecl, ParseError> {
+        let keyword = self.expect_ident("a declaration keyword")?;
+        let decl = match keyword.as_str() {
+            "entity" => self.entity_decl()?,
+            "value" => self.value_decl()?,
+            "fact" => self.fact_decl()?,
+            "mandatory" => AstDecl::Constraint(self.mandatory_decl()?),
+            "unique" => AstDecl::Constraint(self.unique_decl()?),
+            "frequency" => AstDecl::Constraint(self.frequency_decl()?),
+            "exclusion" => AstDecl::Constraint(AstConstraint::Exclusion(self.seq_set()?)),
+            "subset" => {
+                let sub = self.seq()?;
+                self.expect_keyword("of")?;
+                let sup = self.seq()?;
+                AstDecl::Constraint(AstConstraint::Subset(sub, sup))
+            }
+            "equality" => AstDecl::Constraint(AstConstraint::Equality(self.seq_set()?)),
+            "exclusive" => AstDecl::Constraint(AstConstraint::ExclusiveTypes(self.name_set()?)),
+            "total" => {
+                let supertype = self.expect_ident("supertype name")?;
+                let subtypes = self.name_set()?;
+                AstDecl::Constraint(AstConstraint::TotalSubtypes { supertype, subtypes })
+            }
+            "ring" => {
+                let fact = self.expect_ident("fact type name")?;
+                let kind_names = self.name_set()?;
+                let mut kinds = Vec::new();
+                for k in kind_names {
+                    kinds.push(ring_kind(&k).ok_or_else(|| {
+                        self.error_here(format!("unknown ring constraint kind `{k}`"))
+                    })?);
+                }
+                AstDecl::Constraint(AstConstraint::Ring { fact, kinds })
+            }
+            other => {
+                self.pos -= 1;
+                return Err(self.error_here(format!("unknown declaration keyword `{other}`")));
+            }
+        };
+        self.expect_kind(&TokenKind::Semicolon)?;
+        Ok(decl)
+    }
+
+    fn supertypes(&mut self) -> Result<Vec<String>, ParseError> {
+        let mut supers = Vec::new();
+        if self.eat_keyword("subtype-of") {
+            loop {
+                supers.push(self.expect_ident("supertype name")?);
+                if !self.eat_kind(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        Ok(supers)
+    }
+
+    fn entity_decl(&mut self) -> Result<AstDecl, ParseError> {
+        let name = self.expect_ident("entity type name")?;
+        let supertypes = self.supertypes()?;
+        Ok(AstDecl::Entity { name, supertypes })
+    }
+
+    fn value_decl(&mut self) -> Result<AstDecl, ParseError> {
+        let name = self.expect_ident("value type name")?;
+        let constraint = if self.peek().is_some_and(|t| t.kind == TokenKind::LBrace) {
+            Some(self.value_constraint()?)
+        } else {
+            None
+        };
+        let supertypes = self.supertypes()?;
+        Ok(AstDecl::ValueType { name, constraint, supertypes })
+    }
+
+    fn value_constraint(&mut self) -> Result<AstValueConstraint, ParseError> {
+        self.expect_kind(&TokenKind::LBrace)?;
+        // Empty enumeration `{ }` is legal (and exactly what extension E1
+        // flags).
+        if self.eat_kind(&TokenKind::RBrace) {
+            return Ok(AstValueConstraint::Enumeration(vec![]));
+        }
+        // `{ INT .. INT }` is a range; anything else is an enumeration.
+        if matches!(self.peek(), Some(Token { kind: TokenKind::Int(_), .. }))
+            && matches!(self.tokens.get(self.pos + 1), Some(Token { kind: TokenKind::DotDot, .. }))
+        {
+            let min = self.expect_int("range start")?;
+            self.expect_kind(&TokenKind::DotDot)?;
+            let max = self.expect_int("range end")?;
+            self.expect_kind(&TokenKind::RBrace)?;
+            return Ok(AstValueConstraint::IntRange(min, max));
+        }
+        let mut values = Vec::new();
+        loop {
+            match self.next().map(|t| t.kind.clone()) {
+                Some(TokenKind::ValueStr(s)) => values.push(AstValue::Str(s)),
+                Some(TokenKind::Int(i)) => values.push(AstValue::Int(i)),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error_here("expected a value literal"));
+                }
+            }
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        Ok(AstValueConstraint::Enumeration(values))
+    }
+
+    fn fact_decl(&mut self) -> Result<AstDecl, ParseError> {
+        let name = self.expect_ident("fact type name")?;
+        self.expect_kind(&TokenKind::LParen)?;
+        let first = self.fact_role()?;
+        self.expect_kind(&TokenKind::Comma)?;
+        let second = self.fact_role()?;
+        self.expect_kind(&TokenKind::RParen)?;
+        let reading = match self.eat_keyword("reading") {
+            true => match self.next().map(|t| t.kind.clone()) {
+                Some(TokenKind::Reading(s)) => Some(s),
+                _ => {
+                    self.pos -= 1;
+                    return Err(self.error_here("expected a \"...\" reading string"));
+                }
+            },
+            false => None,
+        };
+        Ok(AstDecl::Fact { name, first, second, reading })
+    }
+
+    fn fact_role(&mut self) -> Result<(String, Option<String>), ParseError> {
+        let player = self.expect_ident("player type name")?;
+        let label =
+            if self.eat_keyword("as") { Some(self.expect_ident("role label")?) } else { None };
+        Ok((player, label))
+    }
+
+    fn role_ref(&mut self) -> Result<AstRoleRef, ParseError> {
+        let name = self.expect_ident("role reference")?;
+        if self.eat_kind(&TokenKind::Dot) {
+            let pos = self.expect_int("role position (0 or 1)")?;
+            if !(0..=1).contains(&pos) {
+                self.pos -= 1;
+                return Err(self.error_here("role position must be 0 or 1"));
+            }
+            Ok(AstRoleRef::Path(name, pos as u8))
+        } else {
+            Ok(AstRoleRef::Label(name))
+        }
+    }
+
+    fn seq(&mut self) -> Result<AstSeq, ParseError> {
+        if self.eat_kind(&TokenKind::LParen) {
+            let a = self.role_ref()?;
+            self.expect_kind(&TokenKind::Comma)?;
+            let b = self.role_ref()?;
+            self.expect_kind(&TokenKind::RParen)?;
+            Ok(AstSeq::Pair(a, b))
+        } else {
+            Ok(AstSeq::Single(self.role_ref()?))
+        }
+    }
+
+    fn seq_set(&mut self) -> Result<Vec<AstSeq>, ParseError> {
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut seqs = Vec::new();
+        loop {
+            seqs.push(self.seq()?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        Ok(seqs)
+    }
+
+    fn name_set(&mut self) -> Result<Vec<String>, ParseError> {
+        self.expect_kind(&TokenKind::LBrace)?;
+        let mut names = Vec::new();
+        loop {
+            names.push(self.expect_ident("name")?);
+            if !self.eat_kind(&TokenKind::Comma) {
+                break;
+            }
+        }
+        self.expect_kind(&TokenKind::RBrace)?;
+        Ok(names)
+    }
+
+    fn mandatory_decl(&mut self) -> Result<AstConstraint, ParseError> {
+        if self.peek().is_some_and(|t| t.kind == TokenKind::LBrace) {
+            let seqs = self.seq_set()?;
+            let roles = seqs_to_roles(seqs)
+                .ok_or_else(|| self.error_here("mandatory arguments must be single roles"))?;
+            Ok(AstConstraint::Mandatory(roles))
+        } else {
+            Ok(AstConstraint::Mandatory(vec![self.role_ref()?]))
+        }
+    }
+
+    fn unique_decl(&mut self) -> Result<AstConstraint, ParseError> {
+        match self.seq()? {
+            AstSeq::Single(r) => Ok(AstConstraint::Unique(vec![r])),
+            AstSeq::Pair(a, b) => Ok(AstConstraint::Unique(vec![a, b])),
+        }
+    }
+
+    fn frequency_decl(&mut self) -> Result<AstConstraint, ParseError> {
+        let roles = match self.seq()? {
+            AstSeq::Single(r) => vec![r],
+            AstSeq::Pair(a, b) => vec![a, b],
+        };
+        let min = self.expect_int("frequency lower bound")?;
+        if min < 1 {
+            self.pos -= 1;
+            return Err(self.error_here("frequency lower bound must be ≥ 1"));
+        }
+        self.expect_kind(&TokenKind::DotDot)?;
+        let max = if matches!(self.peek(), Some(Token { kind: TokenKind::Int(_), .. })) {
+            Some(self.expect_int("frequency upper bound")? as u32)
+        } else {
+            None
+        };
+        Ok(AstConstraint::Frequency { roles, min: min as u32, max })
+    }
+}
+
+fn seqs_to_roles(seqs: Vec<AstSeq>) -> Option<Vec<AstRoleRef>> {
+    seqs.into_iter()
+        .map(|s| match s {
+            AstSeq::Single(r) => Some(r),
+            AstSeq::Pair(..) => None,
+        })
+        .collect()
+}
+
+fn ring_kind(name: &str) -> Option<RingKind> {
+    match name {
+        "irreflexive" | "ir" => Some(RingKind::Irreflexive),
+        "antisymmetric" | "ans" => Some(RingKind::Antisymmetric),
+        "asymmetric" | "as" => Some(RingKind::Asymmetric),
+        "acyclic" | "ac" => Some(RingKind::Acyclic),
+        "intransitive" | "it" => Some(RingKind::Intransitive),
+        "symmetric" | "sym" => Some(RingKind::Symmetric),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(input: &str) -> Result<AstSchema, ParseError> {
+        parse_tokens(&lex(input).unwrap())
+    }
+
+    #[test]
+    fn entity_with_supertypes() {
+        let ast = parse("schema s { entity C subtype-of A, B; }").unwrap();
+        assert_eq!(
+            ast.decls,
+            vec![AstDecl::Entity { name: "C".into(), supertypes: vec!["A".into(), "B".into()] }]
+        );
+    }
+
+    #[test]
+    fn value_type_with_enumeration_and_range() {
+        let ast = parse("schema s { value V { 'a', 1 }; value W { 1..5 }; value X { }; }")
+            .unwrap();
+        assert_eq!(ast.decls.len(), 3);
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::ValueType { constraint: Some(AstValueConstraint::Enumeration(v)), .. }
+                if v.len() == 2
+        ));
+        assert!(matches!(
+            &ast.decls[1],
+            AstDecl::ValueType { constraint: Some(AstValueConstraint::IntRange(1, 5)), .. }
+        ));
+        assert!(matches!(
+            &ast.decls[2],
+            AstDecl::ValueType { constraint: Some(AstValueConstraint::Enumeration(v)), .. }
+                if v.is_empty()
+        ));
+    }
+
+    #[test]
+    fn fact_with_labels_and_reading() {
+        let ast =
+            parse("schema s { fact f (A as r1, B as r2) reading \"likes\"; }").unwrap();
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::Fact { name, first, second, reading }
+                if name == "f"
+                    && first == &("A".to_owned(), Some("r1".to_owned()))
+                    && second == &("B".to_owned(), Some("r2".to_owned()))
+                    && reading.as_deref() == Some("likes")
+        ));
+    }
+
+    #[test]
+    fn frequency_open_and_closed() {
+        let ast = parse("schema s { frequency r1 2..5; frequency r2 3..; }").unwrap();
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::Constraint(AstConstraint::Frequency { min: 2, max: Some(5), .. })
+        ));
+        assert!(matches!(
+            &ast.decls[1],
+            AstDecl::Constraint(AstConstraint::Frequency { min: 3, max: None, .. })
+        ));
+    }
+
+    #[test]
+    fn exclusion_with_pairs() {
+        let ast = parse("schema s { exclusion { (r1, r2), (r3, r4) }; }").unwrap();
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::Constraint(AstConstraint::Exclusion(seqs)) if seqs.len() == 2
+        ));
+    }
+
+    #[test]
+    fn ring_kinds_accept_abbreviations() {
+        let ast = parse("schema s { ring f { ir, acyclic }; }").unwrap();
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::Constraint(AstConstraint::Ring { kinds, .. })
+                if kinds == &vec![RingKind::Irreflexive, RingKind::Acyclic]
+        ));
+        assert!(parse("schema s { ring f { bogus }; }").is_err());
+    }
+
+    #[test]
+    fn role_paths_parse() {
+        let ast = parse("schema s { mandatory f.1; }").unwrap();
+        assert!(matches!(
+            &ast.decls[0],
+            AstDecl::Constraint(AstConstraint::Mandatory(r))
+                if r == &vec![AstRoleRef::Path("f".into(), 1)]
+        ));
+        assert!(parse("schema s { mandatory f.2; }").is_err());
+    }
+
+    #[test]
+    fn missing_semicolon_is_an_error() {
+        let err = parse("schema s { entity A }").unwrap_err();
+        assert!(err.to_string().contains("expected `;`"), "got {err}");
+    }
+
+    #[test]
+    fn trailing_tokens_rejected() {
+        assert!(parse("schema s { } extra").is_err());
+    }
+
+    #[test]
+    fn zero_frequency_rejected() {
+        assert!(parse("schema s { frequency r1 0..5; }").is_err());
+    }
+}

@@ -1,0 +1,215 @@
+//! Pretty-printer: `orm_model::Schema` → schema language text.
+//!
+//! `parse(print(s))` reconstructs a structurally identical schema; the
+//! round-trip property is tested here and in the workspace integration
+//! tests.
+
+use orm_model::{
+    Constraint, ObjectTypeKind, RoleSeq, Schema, SetComparisonKind, Value, ValueConstraint,
+};
+use std::fmt::Write;
+
+/// Render a schema in the textual language.
+pub fn print(schema: &Schema) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "schema {} {{", schema.name());
+
+    for (ty, ot) in schema.object_types() {
+        let keyword = match ot.kind() {
+            ObjectTypeKind::Entity => "entity",
+            ObjectTypeKind::Value => "value",
+        };
+        let _ = write!(out, "  {keyword} {}", ot.name());
+        if let Some(vc) = ot.value_constraint() {
+            let _ = write!(out, " {}", print_value_constraint(vc));
+        }
+        let supers: Vec<&str> = schema
+            .subtype_links()
+            .filter(|l| l.sub == ty)
+            .map(|l| schema.object_type(l.sup).name())
+            .collect();
+        if !supers.is_empty() {
+            let _ = write!(out, " subtype-of {}", supers.join(", "));
+        }
+        let _ = writeln!(out, ";");
+    }
+
+    for (_, ft) in schema.fact_types() {
+        let r0 = schema.role(ft.first());
+        let r1 = schema.role(ft.second());
+        // Auto-generated labels (`fact.position`) are not identifiers;
+        // omitting the `as` clause makes the parser regenerate the same
+        // label, keeping the round trip exact.
+        let label = |role: &orm_model::Role| {
+            let auto = format!("{}.{}", ft.name(), role.position());
+            if role.name() == auto {
+                String::new()
+            } else {
+                format!(" as {}", role.name())
+            }
+        };
+        let _ = write!(
+            out,
+            "  fact {} ({}{}, {}{})",
+            ft.name(),
+            schema.object_type(r0.player()).name(),
+            label(r0),
+            schema.object_type(r1.player()).name(),
+            label(r1),
+        );
+        if let Some(reading) = ft.reading() {
+            let _ = write!(out, " reading \"{reading}\"");
+        }
+        let _ = writeln!(out, ";");
+    }
+
+    for (_, c) in schema.constraints() {
+        let _ = writeln!(out, "  {};", print_constraint(schema, c));
+    }
+
+    out.push_str("}\n");
+    out
+}
+
+fn print_value_constraint(vc: &ValueConstraint) -> String {
+    match vc {
+        ValueConstraint::Enumeration(values) => {
+            let items: Vec<String> = values
+                .iter()
+                .map(|v| match v {
+                    Value::Str(s) => format!("'{s}'"),
+                    Value::Int(i) => i.to_string(),
+                })
+                .collect();
+            format!("{{ {} }}", items.join(", "))
+        }
+        ValueConstraint::IntRange { min, max } => format!("{{ {min}..{max} }}"),
+    }
+}
+
+fn print_seq(schema: &Schema, seq: &RoleSeq) -> String {
+    match seq.roles() {
+        [r] => schema.role_label(*r).to_owned(),
+        [a, b] => format!("({}, {})", schema.role_label(*a), schema.role_label(*b)),
+        _ => unreachable!("sequences have length 1 or 2"),
+    }
+}
+
+fn print_constraint(schema: &Schema, c: &Constraint) -> String {
+    match c {
+        Constraint::Mandatory(m) => {
+            if m.roles.len() == 1 {
+                format!("mandatory {}", schema.role_label(m.roles[0]))
+            } else {
+                let roles: Vec<&str> =
+                    m.roles.iter().map(|r| schema.role_label(*r)).collect();
+                format!("mandatory {{ {} }}", roles.join(", "))
+            }
+        }
+        Constraint::Uniqueness(u) => {
+            if u.roles.len() == 1 {
+                format!("unique {}", schema.role_label(u.roles[0]))
+            } else {
+                format!(
+                    "unique ({}, {})",
+                    schema.role_label(u.roles[0]),
+                    schema.role_label(u.roles[1])
+                )
+            }
+        }
+        Constraint::Frequency(f) => {
+            let seq = if f.roles.len() == 1 {
+                schema.role_label(f.roles[0]).to_owned()
+            } else {
+                format!(
+                    "({}, {})",
+                    schema.role_label(f.roles[0]),
+                    schema.role_label(f.roles[1])
+                )
+            };
+            match f.max {
+                Some(max) => format!("frequency {seq} {}..{max}", f.min),
+                None => format!("frequency {seq} {}..", f.min),
+            }
+        }
+        Constraint::SetComparison(sc) => {
+            let args: Vec<String> = sc.args.iter().map(|s| print_seq(schema, s)).collect();
+            match sc.kind {
+                SetComparisonKind::Subset => format!("subset {} of {}", args[0], args[1]),
+                SetComparisonKind::Equality => format!("equality {{ {} }}", args.join(", ")),
+                SetComparisonKind::Exclusion => format!("exclusion {{ {} }}", args.join(", ")),
+            }
+        }
+        Constraint::ExclusiveTypes(e) => {
+            let names: Vec<&str> =
+                e.types.iter().map(|t| schema.object_type(*t).name()).collect();
+            format!("exclusive {{ {} }}", names.join(", "))
+        }
+        Constraint::TotalSubtypes(t) => {
+            let names: Vec<&str> =
+                t.subtypes.iter().map(|s| schema.object_type(*s).name()).collect();
+            format!(
+                "total {} {{ {} }}",
+                schema.object_type(t.supertype).name(),
+                names.join(", ")
+            )
+        }
+        Constraint::Ring(r) => {
+            let kinds: Vec<&str> = r.kinds.iter().map(|k| k.abbrev()).collect();
+            format!(
+                "ring {} {{ {} }}",
+                schema.fact_type(r.fact_type).name(),
+                kinds.join(", ")
+            )
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{parse, print};
+
+    #[test]
+    fn print_emits_all_sections() {
+        let s = parse(
+            "schema s { entity A; value V { 1..3 }; fact f (A as r1, V as r2); \
+             mandatory r1; exclusive { A, V }; }",
+        )
+        .unwrap();
+        let text = print(&s);
+        assert!(text.contains("entity A;"));
+        assert!(text.contains("value V { 1..3 };"));
+        assert!(text.contains("fact f (A as r1, V as r2);"));
+        assert!(text.contains("mandatory r1;"));
+        assert!(text.contains("exclusive { A, V };"));
+    }
+
+    #[test]
+    fn every_constraint_kind_round_trips() {
+        let text = r#"schema k {
+            entity A;
+            entity B subtype-of A;
+            value V { 'x' };
+            fact f (A as r1, V as r2) reading "has";
+            fact g (A as r3, V as r4);
+            fact h (A as r5, A as r6);
+            mandatory r1;
+            mandatory { r1, r3 };
+            unique r1;
+            unique (r1, r2);
+            frequency r2 2..5;
+            frequency r4 1..;
+            exclusion { r1, r3 };
+            subset r3 of r1;
+            equality { (r1, r2), (r3, r4) };
+            exclusive { A, V };
+            total A { B };
+            ring h { ir, sym };
+        }"#;
+        let s1 = parse(text).unwrap();
+        let printed = print(&s1);
+        let s2 = parse(&printed).unwrap();
+        assert_eq!(s1.constraint_count(), s2.constraint_count());
+        assert_eq!(printed, print(&s2), "printing must be a fixpoint");
+    }
+}

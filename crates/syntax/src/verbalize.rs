@@ -1,0 +1,236 @@
+//! Pseudo-natural-language verbalization of ORM schemas.
+//!
+//! The paper motivates ORM by its readability for non-computer scientists:
+//! "ORM schemes can be translated into pseudo natural language statements"
+//! (§1). This module produces those statements — one line per structural
+//! element and constraint, in the style popularized by NIAM/ORM tooling.
+
+use orm_model::{Constraint, RingKind, RoleId, RoleSeq, Schema, SetComparisonKind};
+
+/// Verbalize the whole schema, one statement per line.
+pub fn verbalize(schema: &Schema) -> String {
+    let mut lines: Vec<String> = Vec::new();
+
+    for link in schema.subtype_links() {
+        lines.push(format!(
+            "Each {} is a {}.",
+            schema.object_type(link.sub).name(),
+            schema.object_type(link.sup).name()
+        ));
+    }
+
+    for (ty, ot) in schema.object_types() {
+        let _ = ty;
+        if let Some(vc) = ot.value_constraint() {
+            lines.push(format!("The possible values of {} are {}.", ot.name(), vc));
+        }
+    }
+
+    for (_, ft) in schema.fact_types() {
+        let subject = schema.object_type(schema.player(ft.first())).name();
+        let object = schema.object_type(schema.player(ft.second())).name();
+        let reading = ft.reading().unwrap_or(ft.name());
+        lines.push(format!("{subject} {reading} {object}."));
+    }
+
+    for (_, c) in schema.constraints() {
+        lines.push(verbalize_constraint(schema, c));
+    }
+
+    lines.join("\n")
+}
+
+fn role_phrase(schema: &Schema, role: RoleId) -> String {
+    let r = schema.role(role);
+    let ft = schema.fact_type(r.fact_type());
+    let reading = ft.reading().unwrap_or(ft.name());
+    let other = schema.object_type(schema.player(schema.co_role(role))).name();
+    if r.position() == 0 {
+        format!("{reading} some {other}")
+    } else {
+        format!("have some {other} {reading} them")
+    }
+}
+
+fn seq_phrase(schema: &Schema, seq: &RoleSeq) -> String {
+    match seq.roles() {
+        [r] => format!("role {}", schema.role_label(*r)),
+        [a, b] => format!(
+            "predicate ({}, {})",
+            schema.role_label(*a),
+            schema.role_label(*b)
+        ),
+        _ => unreachable!(),
+    }
+}
+
+fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
+    match c {
+        Constraint::Mandatory(m) => {
+            let player = schema.object_type(schema.player(m.roles[0])).name();
+            if m.roles.len() == 1 {
+                format!("Each {player} must {}.", role_phrase(schema, m.roles[0]))
+            } else {
+                let phrases: Vec<String> =
+                    m.roles.iter().map(|r| role_phrase(schema, *r)).collect();
+                format!("Each {player} must {}.", phrases.join(" or "))
+            }
+        }
+        Constraint::Uniqueness(u) => {
+            if u.roles.len() == 1 {
+                let player = schema.object_type(schema.player(u.roles[0])).name();
+                format!("Each {player} may {} at most once.", role_phrase(schema, u.roles[0]))
+            } else {
+                let ft = schema.fact_type(schema.role(u.roles[0]).fact_type());
+                format!("Each combination in {} occurs at most once.", ft.name())
+            }
+        }
+        Constraint::Frequency(f) => {
+            let bounds = match f.max {
+                Some(max) if max == f.min => format!("exactly {} times", f.min),
+                Some(max) => format!("between {} and {} times", f.min, max),
+                None => format!("at least {} times", f.min),
+            };
+            if f.roles.len() == 1 {
+                let player = schema.object_type(schema.player(f.roles[0])).name();
+                format!(
+                    "Each {player} that plays role {} does so {bounds}.",
+                    schema.role_label(f.roles[0])
+                )
+            } else {
+                let ft = schema.fact_type(schema.role(f.roles[0]).fact_type());
+                format!("Each combination in {} occurs {bounds}.", ft.name())
+            }
+        }
+        Constraint::SetComparison(sc) => {
+            let args: Vec<String> = sc.args.iter().map(|s| seq_phrase(schema, s)).collect();
+            match sc.kind {
+                SetComparisonKind::Subset => format!(
+                    "Whatever populates {} also populates {}.",
+                    args[0], args[1]
+                ),
+                SetComparisonKind::Equality => {
+                    format!("The populations of {} are identical.", args.join(" and "))
+                }
+                SetComparisonKind::Exclusion => {
+                    format!("No instance populates more than one of {}.", args.join(", "))
+                }
+            }
+        }
+        Constraint::ExclusiveTypes(e) => {
+            let names: Vec<&str> =
+                e.types.iter().map(|t| schema.object_type(*t).name()).collect();
+            format!("No instance is more than one of {}.", names.join(", "))
+        }
+        Constraint::TotalSubtypes(t) => {
+            let names: Vec<&str> =
+                t.subtypes.iter().map(|s| schema.object_type(*s).name()).collect();
+            format!(
+                "Each {} is at least one of {}.",
+                schema.object_type(t.supertype).name(),
+                names.join(", ")
+            )
+        }
+        Constraint::Ring(r) => {
+            let ft = schema.fact_type(r.fact_type);
+            let subject = schema.object_type(schema.player(ft.first())).name();
+            let reading = ft.reading().unwrap_or(ft.name());
+            let clauses: Vec<String> = r
+                .kinds
+                .iter()
+                .map(|k| match k {
+                    RingKind::Irreflexive => format!("no {subject} may {reading} itself"),
+                    RingKind::Symmetric => format!(
+                        "if one {subject} {reading}s another, the reverse holds too"
+                    ),
+                    RingKind::Antisymmetric => format!(
+                        "no two distinct {subject}s may {reading} each other"
+                    ),
+                    RingKind::Asymmetric => format!(
+                        "if one {subject} {reading}s another, the reverse never holds"
+                    ),
+                    RingKind::Acyclic => format!("no {reading} cycles are allowed"),
+                    RingKind::Intransitive => format!(
+                        "{reading} never carries over a middle {subject}"
+                    ),
+                })
+                .collect();
+            let mut sentence = clauses.join("; ");
+            if let Some(first) = sentence.get_mut(0..1) {
+                first.make_ascii_uppercase();
+            }
+            format!("{sentence}.")
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn subtypes_and_facts_verbalized() {
+        let s = parse(
+            "schema s { entity Person; entity Student subtype-of Person; \
+             fact works (Person as r1, Person as r2) reading \"works for\"; }",
+        )
+        .unwrap();
+        let text = verbalize(&s);
+        assert!(text.contains("Each Student is a Person."));
+        assert!(text.contains("Person works for Person."));
+    }
+
+    #[test]
+    fn mandatory_and_uniqueness_verbalized() {
+        let s = parse(
+            "schema s { entity Employee; entity Company; \
+             fact works (Employee as r1, Company as r2) reading \"works for\"; \
+             mandatory r1; unique r1; }",
+        )
+        .unwrap();
+        let text = verbalize(&s);
+        assert!(text.contains("Each Employee must works for some Company."));
+        assert!(text.contains("at most once"));
+    }
+
+    #[test]
+    fn frequency_bounds_verbalized() {
+        let s = parse(
+            "schema s { entity A; entity B; fact f (A as r1, B as r2); \
+             frequency r1 2..5; frequency r2 3..; }",
+        )
+        .unwrap();
+        let text = verbalize(&s);
+        assert!(text.contains("between 2 and 5 times"));
+        assert!(text.contains("at least 3 times"));
+    }
+
+    #[test]
+    fn ring_constraints_verbalized() {
+        let s = parse(
+            "schema s { entity Woman; \
+             fact sister (Woman as r1, Woman as r2) reading \"is sister of\"; \
+             ring sister { ir }; }",
+        )
+        .unwrap();
+        let text = verbalize(&s);
+        assert!(text.contains("No Woman may is sister of itself."));
+    }
+
+    #[test]
+    fn value_constraints_verbalized() {
+        let s = parse("schema s { value Code { 'x1', 'x2' }; }").unwrap();
+        assert!(verbalize(&s).contains("The possible values of Code are {'x1', 'x2'}."));
+    }
+
+    #[test]
+    fn exclusion_verbalized() {
+        let s = parse(
+            "schema s { entity A; entity B; entity C; \
+             exclusive { B, C }; }",
+        )
+        .unwrap();
+        assert!(verbalize(&s).contains("No instance is more than one of B, C."));
+    }
+}

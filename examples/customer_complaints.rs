@@ -1,0 +1,155 @@
+//! The CCFORM scenario (paper §4): a customer-complaint ontology built by
+//! legal domain experts, validated interactively while mistakes are made
+//! and corrected.
+//!
+//! The original CCFORM ontology (built by "10s of lawyers") is not
+//! published; this synthetic reconstruction exercises the same workflow:
+//! a realistic complaint-domain schema, three lawyer-style mistakes of the
+//! kinds the paper reports the patterns catching, and the edit→revalidate
+//! loop DogmaModeler supported.
+//!
+//! Run with `cargo run -p orm-examples --example customer_complaints`.
+
+use orm_core::{EditHint, Validator, ValidatorSettings};
+use orm_examples::{banner, show_report};
+use orm_model::{ConstraintKind, RoleSeq, SchemaBuilder, ValueConstraint};
+
+fn main() {
+    banner("CCFORM-style customer complaint ontology");
+    let mut b = SchemaBuilder::new("ccform");
+
+    // Core complaint domain.
+    let party = b.entity_type("Party").expect("fresh");
+    let complainant = b.entity_type("Complainant").expect("fresh");
+    let recipient = b.entity_type("Recipient").expect("fresh");
+    let complaint = b.entity_type("Complaint").expect("fresh");
+    let resolution = b.entity_type("Resolution").expect("fresh");
+    let severity = b
+        .value_type("Severity", Some(ValueConstraint::enumeration(["low", "medium", "high"])))
+        .expect("fresh");
+    b.subtype(complainant, party).expect("link");
+    b.subtype(recipient, party).expect("link");
+
+    let files = b
+        .fact_type_full("files", (complainant, Some("fil_c")), (complaint, Some("fil_x")), Some("files"))
+        .expect("fresh");
+    let against = b
+        .fact_type_full("against", (complaint, Some("agn_x")), (recipient, Some("agn_r")), Some("is against"))
+        .expect("fresh");
+    let rated = b
+        .fact_type_full("rated", (complaint, Some("rat_x")), (severity, Some("rat_s")), Some("is rated"))
+        .expect("fresh");
+    let resolves = b
+        .fact_type_full("resolves", (resolution, Some("res_r")), (complaint, Some("res_x")), Some("resolves"))
+        .expect("fresh");
+
+    let fil_x = b.schema().fact_type(files).second();
+    let agn_x = b.schema().fact_type(against).first();
+    let rat_x = b.schema().fact_type(rated).first();
+    let rat_s = b.schema().fact_type(rated).second();
+    let res_x = b.schema().fact_type(resolves).second();
+
+    // Sound business rules: every complaint is filed by someone, targets
+    // someone, and carries exactly one severity rating.
+    b.mandatory(fil_x).expect("ok");
+    b.mandatory(agn_x).expect("ok");
+    b.mandatory(rat_x).expect("ok");
+    b.unique([fil_x]).expect("ok");
+    b.unique([rat_x]).expect("ok");
+    b.unique([res_x]).expect("ok");
+    // Only rated complaints can be resolved.
+    b.subset(RoleSeq::single(res_x), RoleSeq::single(rat_x)).expect("ok");
+
+    let mut schema = b.finish();
+    let validator =
+        Validator::with_settings(ValidatorSettings::patterns_only().with_propagation());
+
+    banner("Initial validation");
+    let report = validator.validate(&schema);
+    show_report(&schema, &report);
+    assert!(!report.has_unsat());
+
+    // ------------------------------------------------------------------
+    // Lawyer mistake 1: "private and corporate complainants are different
+    // things" + "a corporate person is both a Party and an Organization".
+    // Organization is introduced as a new top-level type: Pattern 1.
+    // ------------------------------------------------------------------
+    banner("Edit 1: CorporateComplainant under Complainant AND Organization");
+    let mut edit = SchemaBuilder::from_schema(schema);
+    let organization = edit.entity_type("Organization").expect("fresh");
+    let corporate = edit.entity_type("CorporateComplainant").expect("fresh");
+    edit.subtype(corporate, complainant).expect("link");
+    edit.subtype(corporate, organization).expect("link");
+    schema = edit.finish();
+    let report = validator.validate_incremental(&schema, &EditHint::Subtyping);
+    show_report(&schema, &report);
+    assert!(report.has_unsat(), "Pattern 1 should flag CorporateComplainant");
+
+    banner("Fix 1: make Organization a kind of Party");
+    schema.add_subtype(organization, party).expect("link");
+    let report = validator.validate_incremental(&schema, &EditHint::Subtyping);
+    show_report(&schema, &report);
+    assert!(!report.has_unsat());
+
+    // ------------------------------------------------------------------
+    // Lawyer mistake 2: "a complaint is either rated or resolved, never
+    // both" — an exclusion constraint that contradicts the mandatory
+    // rating rule (Pattern 3) and the resolves ⊆ rated subset (Pattern 6).
+    // ------------------------------------------------------------------
+    banner("Edit 2: exclusion between the rated and resolved roles");
+    let exclusion = schema.add_constraint(orm_model::Constraint::SetComparison(
+        orm_model::SetComparison {
+            kind: orm_model::SetComparisonKind::Exclusion,
+            args: vec![RoleSeq::single(rat_x), RoleSeq::single(res_x)],
+        },
+    ));
+    let report = validator
+        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::SetComparison));
+    show_report(&schema, &report);
+    assert!(report.has_unsat(), "Patterns 3/6 should flag the exclusion");
+
+    banner("Fix 2: retract the exclusion");
+    schema.remove_constraint(exclusion);
+    let report = validator
+        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::SetComparison));
+    show_report(&schema, &report);
+    assert!(!report.has_unsat());
+
+    // ------------------------------------------------------------------
+    // Lawyer mistake 3: "every severity level must be used by at least
+    // five complaints" — FC(5-) on the severity side with only 3 values…
+    // wait, that is fine; the mistake is demanding each complaint to carry
+    // five distinct severities: FC(5-) on rat_x vs 3 severity values
+    // (Pattern 4) and vs the uniqueness of rat_x (Pattern 7).
+    // ------------------------------------------------------------------
+    banner("Edit 3: every complaint must carry at least 5 ratings");
+    let fc = schema.add_constraint(orm_model::Constraint::Frequency(orm_model::Frequency {
+        roles: vec![rat_x],
+        min: 5,
+        max: None,
+    }));
+    let report = validator
+        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
+    show_report(&schema, &report);
+    assert!(report.has_unsat(), "Patterns 4/7 should flag the frequency");
+
+    banner("Fix 3: the rule belonged on the severity side, as FC(1-)");
+    schema.remove_constraint(fc);
+    schema.add_constraint(orm_model::Constraint::Frequency(orm_model::Frequency {
+        roles: vec![rat_s],
+        min: 1,
+        max: None,
+    }));
+    let report = validator
+        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
+    show_report(&schema, &report);
+    assert!(!report.has_unsat());
+
+    banner("Final ontology");
+    println!("{}", orm_syntax::print(&schema));
+    println!(
+        "The interactive loop caught {} mistakes before any data was collected — the \
+         paper's §4 lesson.",
+        3
+    );
+}

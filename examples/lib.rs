@@ -1,0 +1,36 @@
+//! Shared helpers for the runnable examples: consistent section headers and
+//! report printing.
+
+use orm_core::Report;
+use orm_model::Schema;
+
+/// Print a section banner.
+pub fn banner(title: &str) {
+    println!("\n=== {title} ===");
+}
+
+/// Print a validation report with a verdict line.
+pub fn show_report(schema: &Schema, report: &Report) {
+    print!("{}", report.render(schema));
+    if report.has_unsat() {
+        let roles: Vec<&str> =
+            report.unsat_roles().iter().map(|r| schema.role_label(*r)).collect();
+        let types: Vec<&str> =
+            report.unsat_types().iter().map(|t| schema.object_type(*t).name()).collect();
+        println!(
+            "verdict: NOT strongly satisfiable (dead roles: [{}], dead types: [{}])",
+            roles.join(", "),
+            types.join(", ")
+        );
+    } else {
+        println!("verdict: no contradiction detected by the enabled checks");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn helpers_link() {
+        super::banner("smoke");
+    }
+}

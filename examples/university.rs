@@ -1,0 +1,133 @@
+//! A realistic university schema exercising most ORM constraint kinds:
+//! subtype hierarchy, mandatory/uniqueness/frequency constraints, value
+//! constraints, ring constraints and set comparisons — first in a clean
+//! version, then with the paper's mistakes seeded in one by one.
+//!
+//! Run with `cargo run -p orm-examples --example university`.
+
+use orm_core::{validate_all, CheckCode, Severity, Validator, ValidatorSettings};
+use orm_examples::{banner, show_report};
+use orm_model::{RingKind, RoleSeq, SchemaBuilder, ValueConstraint};
+use orm_syntax::{print, verbalize};
+
+fn main() {
+    banner("Building the university schema");
+    let mut b = SchemaBuilder::new("university");
+
+    let person = b.entity_type("Person").expect("fresh");
+    let student = b.entity_type("Student").expect("fresh");
+    let employee = b.entity_type("Employee").expect("fresh");
+    let professor = b.entity_type("Professor").expect("fresh");
+    let course = b.entity_type("Course").expect("fresh");
+    let grade = b
+        .value_type("Grade", Some(ValueConstraint::enumeration(["A", "B", "C", "D", "F"])))
+        .expect("fresh");
+    b.subtype(student, person).expect("link");
+    b.subtype(employee, person).expect("link");
+    b.subtype(professor, employee).expect("link");
+
+    let enrolls = b
+        .fact_type_full("enrolls", (student, Some("enr_s")), (course, Some("enr_c")), Some("enrolls in"))
+        .expect("fresh");
+    let teaches = b
+        .fact_type_full("teaches", (professor, Some("tch_p")), (course, Some("tch_c")), Some("teaches"))
+        .expect("fresh");
+    let grades = b
+        .fact_type_full("grades", (student, Some("grd_s")), (grade, Some("grd_g")), Some("received"))
+        .expect("fresh");
+    let mentors = b
+        .fact_type_full("mentors", (person, Some("mnt_a")), (person, Some("mnt_b")), Some("mentors"))
+        .expect("fresh");
+
+    let enr_s = b.schema().fact_type(enrolls).first();
+    let tch_c = b.schema().fact_type(teaches).second();
+    let grd_s = b.schema().fact_type(grades).first();
+    let grd_g = b.schema().fact_type(grades).second();
+
+    // Every student enrolls in 1..6 courses; every course is taught by
+    // exactly one professor; grades are unique per student here (toy);
+    // mentorship is irreflexive and acyclic.
+    b.mandatory(enr_s).expect("ok");
+    b.frequency([enr_s], 1, Some(6)).expect("ok");
+    b.unique([tch_c]).expect("ok");
+    b.mandatory(tch_c).expect("ok");
+    b.unique([grd_s]).expect("ok");
+    b.subset(RoleSeq::single(grd_s), RoleSeq::single(enr_s)).expect("ok");
+    b.ring(mentors, [RingKind::Irreflexive, RingKind::Acyclic]).expect("ok");
+
+    let schema = b.finish();
+
+    banner("Textual form (.orm)");
+    print!("{}", print(&schema));
+
+    banner("Verbalization");
+    println!("{}", verbalize(&schema));
+
+    banner("Clean validation (all checks incl. lints)");
+    let report = validate_all(&schema);
+    show_report(&schema, &report);
+    assert!(!report.has_unsat(), "the clean schema must have no contradictions");
+
+    // ------------------------------------------------------------------
+    // Mistake 1 (Fig. 1 style): declare Student ⊗ Employee, then add a
+    // TeachingAssistant below both.
+    // ------------------------------------------------------------------
+    banner("Mistake 1: exclusive Student/Employee + TeachingAssistant under both");
+    let mut faulty = SchemaBuilder::from_schema(schema.clone());
+    let ta = faulty.entity_type("TeachingAssistant").expect("fresh");
+    faulty.subtype(ta, student).expect("link");
+    faulty.subtype(ta, employee).expect("link");
+    faulty.exclusive_types([student, employee]).expect("ok");
+    let faulty = faulty.finish();
+    let report = validate_all(&faulty);
+    show_report(&faulty, &report);
+    assert_eq!(report.by_code(CheckCode::P2).count(), 1);
+
+    // ------------------------------------------------------------------
+    // Mistake 2 (Fig. 10 style): demand every grade row appears 2-3 times
+    // while grd_s is unique.
+    // ------------------------------------------------------------------
+    banner("Mistake 2: frequency 2..3 on the unique grading role");
+    let mut faulty = SchemaBuilder::from_schema(schema.clone());
+    faulty.frequency([grd_s], 2, Some(3)).expect("ok");
+    let faulty = faulty.finish();
+    let report = validate_all(&faulty);
+    show_report(&faulty, &report);
+    assert_eq!(report.by_code(CheckCode::P7).count(), 1);
+
+    // ------------------------------------------------------------------
+    // Mistake 3 (Fig. 5 style): each student must receive at least 6
+    // distinct grades — but only 5 grade values exist.
+    // ------------------------------------------------------------------
+    banner("Mistake 3: 6 distinct grades demanded, 5 grade values exist");
+    let mut faulty = SchemaBuilder::from_schema(schema.clone());
+    faulty.frequency([grd_s.to_owned()], 6, None).expect("ok");
+    let faulty = faulty.finish();
+    // Keep P7 out of the way to show P4 in isolation (grd_s is unique, so
+    // P7 also fires — this is the Fig. 15 toggle in action).
+    let validator = Validator::with_settings(
+        ValidatorSettings::patterns_only().without(CheckCode::P7),
+    );
+    let report = validator.validate(&faulty);
+    show_report(&faulty, &report);
+    assert_eq!(report.by_code(CheckCode::P4).count(), 1);
+    let _ = grd_g;
+
+    // ------------------------------------------------------------------
+    // Mistake 4 (Fig. 12 style): make mentorship symmetric too.
+    // ------------------------------------------------------------------
+    banner("Mistake 4: symmetric + acyclic mentorship");
+    let mut faulty = SchemaBuilder::from_schema(schema.clone());
+    faulty.ring(mentors, [RingKind::Symmetric]).expect("ok");
+    let faulty = faulty.finish();
+    let report = validate_all(&faulty);
+    show_report(&faulty, &report);
+    assert_eq!(report.by_code(CheckCode::P8).count(), 1);
+
+    banner("Lint severity summary for the last faulty schema");
+    for severity in [Severity::Unsatisfiable, Severity::Guideline, Severity::Redundancy, Severity::Info]
+    {
+        let n = report.by_severity(severity).count();
+        println!("{severity:>14}: {n} finding(s)");
+    }
+}

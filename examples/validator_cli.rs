@@ -1,0 +1,115 @@
+//! A DogmaModeler-style command line validator (paper §4, Fig. 15).
+//!
+//! Usage:
+//!
+//! ```text
+//! cargo run -p orm-examples --example validator_cli -- [FILE.orm] \
+//!     [--all|--patterns|--lints] [--without P6] [--with Fr5] [--propagate] \
+//!     [--verbalize]
+//! ```
+//!
+//! Without a file argument, a built-in demo schema (the paper's Fig. 1) is
+//! validated. The `--with`/`--without` flags are the Fig. 15 checkboxes.
+
+use orm_core::{CheckCode, Validator, ValidatorSettings};
+use orm_examples::show_report;
+use orm_syntax::{parse, print, verbalize};
+use std::process::ExitCode;
+
+fn parse_code(name: &str) -> Option<CheckCode> {
+    CheckCode::all().find(|c| format!("{c:?}").eq_ignore_ascii_case(name))
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut file: Option<String> = None;
+    let mut settings = ValidatorSettings::patterns_only();
+    let mut do_verbalize = false;
+    let mut show_source = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--all" => settings = ValidatorSettings::all(),
+            "--patterns" => settings = ValidatorSettings::patterns_only(),
+            "--lints" => settings = ValidatorSettings::lints_only(),
+            "--propagate" => settings = settings.with_propagation(),
+            "--verbalize" => do_verbalize = true,
+            "--print" => show_source = true,
+            "--with" | "--without" => {
+                let flag = args[i].clone();
+                i += 1;
+                let Some(name) = args.get(i) else {
+                    eprintln!("{flag} needs a check code (e.g. P6, Fr5, S4)");
+                    return ExitCode::from(2);
+                };
+                let Some(code) = parse_code(name) else {
+                    eprintln!("unknown check code `{name}`");
+                    return ExitCode::from(2);
+                };
+                settings = if flag == "--with" {
+                    settings.with(code)
+                } else {
+                    settings.without(code)
+                };
+            }
+            other if !other.starts_with("--") => file = Some(other.to_owned()),
+            other => {
+                eprintln!("unknown flag `{other}`");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let source = match &file {
+        Some(path) => match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read `{path}`: {e}");
+                return ExitCode::from(2);
+            }
+        },
+        None => DEMO.to_owned(),
+    };
+
+    let schema = match parse(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("parse error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    println!(
+        "validating `{}` with checks: {}",
+        schema.name(),
+        settings.enabled().map(|c| format!("{c:?}")).collect::<Vec<_>>().join(", ")
+    );
+    if show_source {
+        println!("\n{}", print(&schema));
+    }
+    if do_verbalize {
+        println!("\n{}\n", verbalize(&schema));
+    }
+
+    let validator = Validator::with_settings(settings);
+    let report = validator.validate(&schema);
+    show_report(&schema, &report);
+
+    if report.has_unsat() {
+        ExitCode::from(1)
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const DEMO: &str = r#"
+schema fig1_demo {
+  entity Person;
+  entity Student subtype-of Person;
+  entity Employee subtype-of Person;
+  entity PhdStudent subtype-of Student, Employee;
+  exclusive { Student, Employee };
+}
+"#;

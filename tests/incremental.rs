@@ -1,0 +1,127 @@
+//! The incremental validator must be indistinguishable from full
+//! re-validation across random edit sequences — the safety property behind
+//! the interactive-modeling optimization (DESIGN.md §7.3).
+
+use orm_core::{EditHint, Validator, ValidatorSettings};
+use orm_gen::{generate_clean, GenConfig};
+use orm_model::{Constraint, ConstraintId, ConstraintKind, Frequency, Mandatory, Schema};
+use proptest::prelude::*;
+use std::collections::BTreeSet;
+
+/// An edit script step: add or remove a constraint of a given family on a
+/// role picked by index.
+#[derive(Clone, Debug)]
+enum Edit {
+    AddMandatory(usize),
+    AddFrequency(usize, u32),
+    RemoveNewest,
+    AddSubtype(usize, usize),
+}
+
+fn edit_strategy() -> impl Strategy<Value = Edit> {
+    prop_oneof![
+        (0usize..16).prop_map(Edit::AddMandatory),
+        ((0usize..16), (1u32..4)).prop_map(|(r, m)| Edit::AddFrequency(r, m)),
+        Just(Edit::RemoveNewest),
+        ((0usize..8), (0usize..8)).prop_map(|(a, b)| Edit::AddSubtype(a, b)),
+    ]
+}
+
+fn apply(schema: &mut Schema, edit: &Edit, added: &mut Vec<ConstraintId>) -> Option<EditHint> {
+    let roles: Vec<_> = schema.roles().map(|(id, _)| id).collect();
+    let types: Vec<_> = schema.object_types().map(|(id, _)| id).collect();
+    match edit {
+        Edit::AddMandatory(i) if !roles.is_empty() => {
+            let role = roles[i % roles.len()];
+            added.push(schema.add_constraint(Constraint::Mandatory(Mandatory {
+                roles: vec![role],
+            })));
+            Some(EditHint::Constraint(ConstraintKind::Mandatory))
+        }
+        Edit::AddFrequency(i, min) if !roles.is_empty() => {
+            let role = roles[i % roles.len()];
+            added.push(schema.add_constraint(Constraint::Frequency(Frequency {
+                roles: vec![role],
+                min: *min,
+                max: Some(min + 3),
+            })));
+            Some(EditHint::Constraint(ConstraintKind::Frequency))
+        }
+        Edit::RemoveNewest => {
+            let id = added.pop()?;
+            let removed = schema.remove_constraint(id)?;
+            Some(EditHint::Constraint(removed.kind()))
+        }
+        Edit::AddSubtype(a, b) if types.len() >= 2 => {
+            let (sub, sup) = (types[a % types.len()], types[b % types.len()]);
+            schema.add_subtype(sub, sup).ok()?;
+            Some(EditHint::Subtyping)
+        }
+        _ => None,
+    }
+}
+
+fn finding_set(report: &orm_core::Report) -> BTreeSet<String> {
+    report
+        .findings
+        .iter()
+        .map(|f| {
+            format!(
+                "{:?}|{:?}|{:?}|{:?}",
+                f.code, f.unsat_roles, f.joint_unsat_roles, f.unsat_types
+            )
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// After every edit in a random script, incremental == full.
+    #[test]
+    fn incremental_equals_full(
+        seed in 0u64..1000,
+        edits in prop::collection::vec(edit_strategy(), 1..10),
+    ) {
+        let mut schema = generate_clean(&GenConfig::small(seed));
+        let incremental = Validator::new();
+        incremental.validate(&schema); // prime the cache
+        let mut added = Vec::new();
+        for edit in &edits {
+            let Some(hint) = apply(&mut schema, edit, &mut added) else { continue };
+            let inc = incremental.validate_incremental(&schema, &hint);
+            let full = Validator::new().validate(&schema);
+            prop_assert_eq!(
+                finding_set(&inc),
+                finding_set(&full),
+                "divergence after {:?}",
+                edit
+            );
+        }
+    }
+
+    /// Same property with propagation enabled (E3 is rebuilt from the
+    /// merged seed on every incremental run).
+    #[test]
+    fn incremental_equals_full_with_propagation(
+        seed in 0u64..1000,
+        edits in prop::collection::vec(edit_strategy(), 1..8),
+    ) {
+        let settings = ValidatorSettings::all();
+        let mut schema = generate_clean(&GenConfig::small(seed));
+        let incremental = Validator::with_settings(settings.clone());
+        incremental.validate(&schema);
+        let mut added = Vec::new();
+        for edit in &edits {
+            let Some(hint) = apply(&mut schema, edit, &mut added) else { continue };
+            let inc = incremental.validate_incremental(&schema, &hint);
+            let full = Validator::with_settings(settings.clone()).validate(&schema);
+            prop_assert_eq!(
+                finding_set(&inc),
+                finding_set(&full),
+                "divergence after {:?}",
+                edit
+            );
+        }
+    }
+}

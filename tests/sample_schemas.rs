@@ -1,0 +1,65 @@
+//! The `.orm` sample files shipped under `examples/schemas/` parse, validate
+//! with the expected verdicts, and round-trip through the printer.
+
+use orm_core::{validate, CheckCode};
+use orm_syntax::{parse, print, verbalize};
+use std::path::PathBuf;
+
+fn schemas_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../examples/schemas")
+}
+
+fn load(name: &str) -> orm_model::Schema {
+    let path = schemas_dir().join(name);
+    let text = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| panic!("cannot read {}: {e}", path.display()));
+    parse(&text).unwrap_or_else(|e| panic!("{name} does not parse: {e}"))
+}
+
+#[test]
+fn fig1_university_file() {
+    let schema = load("fig1_university.orm");
+    let report = validate(&schema);
+    assert_eq!(report.by_code(CheckCode::P2).count(), 1);
+    let phd = schema.object_type_by_name("PhdStudent").expect("declared");
+    assert!(report.unsat_types().contains(&phd));
+}
+
+#[test]
+fn library_file_is_clean_and_satisfiable() {
+    let schema = load("library.orm");
+    let report = validate(&schema);
+    assert!(report.is_clean(), "{}", report.render(&schema));
+    let outcome =
+        orm_reasoner::strong_satisfiability(&schema, orm_reasoner::Bounds::default());
+    assert!(outcome.is_sat(), "library.orm should be strongly satisfiable: {outcome:?}");
+}
+
+#[test]
+fn faulty_flight_file_triggers_expected_patterns() {
+    let schema = load("faulty_flight.orm");
+    let report = validate(&schema);
+    for code in [CheckCode::P2, CheckCode::P7, CheckCode::P8] {
+        assert_eq!(report.by_code(code).count(), 1, "{code:?} should fire once");
+    }
+    let doomed = schema.object_type_by_name("CargoPassengerFlight").expect("declared");
+    assert!(report.unsat_types().contains(&doomed));
+}
+
+#[test]
+fn all_sample_files_round_trip_and_verbalize() {
+    for entry in std::fs::read_dir(schemas_dir()).expect("schemas dir exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().and_then(|e| e.to_str()) != Some("orm") {
+            continue;
+        }
+        let text = std::fs::read_to_string(&path).expect("readable");
+        let schema = parse(&text)
+            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let printed = print(&schema);
+        let reparsed = parse(&printed)
+            .unwrap_or_else(|e| panic!("{} does not round-trip: {e}", path.display()));
+        assert_eq!(schema.constraint_count(), reparsed.constraint_count());
+        assert!(!verbalize(&schema).is_empty());
+    }
+}

@@ -1,0 +1,98 @@
+//! Property tests for the schema language: `parse ∘ print` is the identity
+//! on schema structure, across randomly generated schemas.
+
+use orm_gen::{generate, generate_clean, GenConfig};
+use orm_model::Schema;
+use orm_syntax::{parse, print, verbalize};
+use proptest::prelude::*;
+
+/// Structural fingerprint that must survive a round trip. Debug output of
+/// constraints includes ids, which are allocation-order dependent; the
+/// generator and the parser both allocate in source order, so comparing
+/// formatted dumps is exact.
+fn fingerprint(schema: &Schema) -> String {
+    let mut out = String::new();
+    for (_, ot) in schema.object_types() {
+        out.push_str(&format!(
+            "{}:{:?}:{:?}\n",
+            ot.name(),
+            ot.kind(),
+            ot.value_constraint()
+        ));
+    }
+    // The printer groups subtype links per type declaration, so link order
+    // is not preserved — compare them as a set.
+    let mut links: Vec<String> = schema
+        .subtype_links()
+        .map(|link| {
+            format!(
+                "{}<:{}\n",
+                schema.object_type(link.sub).name(),
+                schema.object_type(link.sup).name()
+            )
+        })
+        .collect();
+    links.sort();
+    out.extend(links);
+    for (_, ft) in schema.fact_types() {
+        out.push_str(&format!("{}({:?})\n", ft.name(), ft.reading()));
+    }
+    for (_, c) in schema.constraints() {
+        out.push_str(&format!("{c:?}\n"));
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn round_trip_preserves_structure(seed in any::<u64>()) {
+        let schema = generate(&GenConfig::small(seed));
+        let text = print(&schema);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}\n{text}"));
+        prop_assert_eq!(fingerprint(&schema), fingerprint(&reparsed));
+    }
+
+    #[test]
+    fn printing_is_a_fixpoint(seed in any::<u64>()) {
+        let schema = generate_clean(&GenConfig::small(seed));
+        let once = print(&schema);
+        let twice = print(&parse(&once).expect("valid print output"));
+        prop_assert_eq!(once, twice);
+    }
+
+    #[test]
+    fn verbalization_never_panics(seed in any::<u64>()) {
+        let schema = generate(&GenConfig::small(seed));
+        let text = verbalize(&schema);
+        prop_assert!(!text.is_empty() || schema.size() == 0);
+    }
+
+    #[test]
+    fn medium_schemas_round_trip(seed in 0u64..32) {
+        let schema = generate(&GenConfig::medium(seed));
+        let text = print(&schema);
+        let reparsed = parse(&text)
+            .unwrap_or_else(|e| panic!("reparse failed: {e}"));
+        prop_assert_eq!(fingerprint(&schema), fingerprint(&reparsed));
+    }
+}
+
+#[test]
+fn parse_rejects_garbage_without_panicking() {
+    for garbage in [
+        "",
+        "schema",
+        "schema {",
+        "schema s {",
+        "schema s { entity }",
+        "schema s { fact f (A) ; }",
+        "schema s }{",
+        "schema s { value V { .. }; }",
+        "🦀",
+    ] {
+        assert!(parse(garbage).is_err(), "should reject: {garbage}");
+    }
+}
