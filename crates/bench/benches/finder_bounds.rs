@@ -15,9 +15,18 @@ fn bench_bounds(c: &mut Criterion) {
     group.warm_up_time(std::time::Duration::from_millis(500));
     group.measurement_time(std::time::Duration::from_secs(5));
     for (label, bounds) in [
-        ("extent2_tuples3", Bounds { max_extent: 2, fresh_per_component: 2, max_tuples: 3, max_nodes: 5_000_000 }),
-        ("extent3_tuples4", Bounds { max_extent: 3, fresh_per_component: 3, max_tuples: 4, max_nodes: 5_000_000 }),
-        ("extent4_tuples5", Bounds { max_extent: 4, fresh_per_component: 4, max_tuples: 5, max_nodes: 5_000_000 }),
+        (
+            "extent2_tuples3",
+            Bounds { max_extent: 2, fresh_per_component: 2, max_tuples: 3, max_nodes: 5_000_000 },
+        ),
+        (
+            "extent3_tuples4",
+            Bounds { max_extent: 3, fresh_per_component: 3, max_tuples: 4, max_nodes: 5_000_000 },
+        ),
+        (
+            "extent4_tuples5",
+            Bounds { max_extent: 4, fresh_per_component: 4, max_tuples: 5, max_nodes: 5_000_000 },
+        ),
     ] {
         group.bench_function(BenchmarkId::from_parameter(label), |b| {
             b.iter(|| black_box(strong_satisfiability(black_box(&schema), bounds)))

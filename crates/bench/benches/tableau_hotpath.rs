@@ -1,0 +1,38 @@
+//! PERF: the DL tableau's hot paths — trail-based engine vs the classic
+//! clone-per-branch baseline it replaced.
+//!
+//! Three scenario families (see `orm_bench::tableau_scenarios`): wide `⊔`
+//! fan-out from exclusive supertypes, deep subtype chains, and
+//! `≤`-merge-heavy frequency contradictions. The `trail/*` and
+//! `classic/*` groups run identical queries, so the ratio per scenario is
+//! the engine speedup; `experiments tableau` records the same comparison
+//! in `BENCH_tableau.json` for the perf trajectory.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use orm_bench::tableau_scenarios::{all, BUDGET};
+use std::hint::black_box;
+
+fn bench_trail(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_hotpath/trail");
+    for scenario in all() {
+        group.bench_with_input(BenchmarkId::from_parameter(&scenario.name), &scenario, |b, s| {
+            b.iter(|| black_box(orm_dl::satisfiable(&s.tbox, &s.query, BUDGET)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_classic(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_hotpath/classic");
+    group.sample_size(10);
+    group.measurement_time(std::time::Duration::from_secs(4));
+    for scenario in all() {
+        group.bench_with_input(BenchmarkId::from_parameter(&scenario.name), &scenario, |b, s| {
+            b.iter(|| black_box(orm_dl::classic::satisfiable(&s.tbox, &s.query, BUDGET)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trail, bench_classic);
+criterion_main!(benches);

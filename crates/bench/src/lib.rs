@@ -5,6 +5,8 @@
 use orm_gen::{generate_clean, GenConfig};
 use orm_model::Schema;
 
+pub mod tableau_scenarios;
+
 /// Clean schemas of increasing size for the scaling benchmarks.
 pub fn scaling_schemas() -> Vec<(usize, Schema)> {
     [100usize, 300, 1000, 3000]

@@ -1,0 +1,104 @@
+//! Workloads stressing the DL tableau's hot paths, shared by the
+//! `tableau_hotpath` criterion bench and `experiments tableau` (which
+//! records the trail-vs-classic speedup in `BENCH_tableau.json`).
+//!
+//! Three families, mirroring where ORM translations actually spend time:
+//!
+//! * **`⊔` fan-out** ([`or_fanout`]) — an exclusive, total subtype family:
+//!   every pair of subtypes contributes a `¬Sᵢ ⊔ ¬Sⱼ` disjunction to the
+//!   internalized TBox, so every node of the forest carries O(k²)
+//!   disjunctions. This is the scenario the clone-based engine pays for
+//!   hardest: each branch deep-copied the whole forest.
+//! * **Deep subtype chains** ([`subtype_chain`]) — a linear hierarchy of
+//!   depth `d` plus one existential to keep generating successors; labels
+//!   grow to O(d), stressing label insertion, clash checks and the
+//!   pairwise-blocking comparisons.
+//! * **`≤`-merge pressure** ([`merge_heavy`]) — a frequency-style
+//!   contradiction (`∃R.⊤ ⊑ ≥k R`, `⊤ ⊑ ≤1 R`): the engine must try the
+//!   merge choices among `k` fresh successors before refuting.
+
+use orm_dl::concept::{Concept as C, RoleExpr};
+use orm_dl::tbox::TBox;
+
+/// A named tableau workload: TBox, query, and the budget it needs.
+pub struct Scenario {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// Workload family (`or_fanout`, `subtype_chain`, `merge_heavy`).
+    pub kind: &'static str,
+    /// The terminology.
+    pub tbox: TBox,
+    /// The satisfiability query.
+    pub query: C,
+}
+
+/// `k` pairwise-exclusive subtypes totalizing one supertype, plus a
+/// self-existential so the forest has depth. The query denies all but one
+/// subtype: a single branch survives, but every node re-opens the O(k²)
+/// exclusion disjunctions.
+pub fn or_fanout(k: u32) -> Scenario {
+    let mut t = TBox::new();
+    let sup = C::Atomic(t.atom("Sup"));
+    let subs: Vec<C> = (0..k).map(|i| C::Atomic(t.atom(format!("S{i}")))).collect();
+    for (i, a) in subs.iter().enumerate() {
+        t.gci(a.clone(), sup.clone());
+        for b in subs.iter().skip(i + 1) {
+            t.gci(C::and([a.clone(), b.clone()]), C::Bottom);
+        }
+    }
+    t.gci(sup.clone(), C::or(subs.clone()));
+    let r = RoleExpr::direct(t.role("R"));
+    t.gci(sup.clone(), C::Exists(r, Box::new(sup.clone())));
+    let negs: Vec<C> = subs.iter().take(k as usize - 1).map(|s| C::not(s.clone())).collect();
+    let query = C::and([sup].into_iter().chain(negs));
+    Scenario { name: format!("or_fanout_{k}"), kind: "or_fanout", tbox: t, query }
+}
+
+/// A subtype chain of depth `d` with a generating existential at the
+/// bottom type; the query asks for the deepest type, whose label closure
+/// spans the whole chain.
+pub fn subtype_chain(d: u32) -> Scenario {
+    let mut t = TBox::new();
+    let atoms: Vec<C> = (0..d).map(|i| C::Atomic(t.atom(format!("A{i}")))).collect();
+    for w in atoms.windows(2) {
+        t.gci(w[0].clone(), w[1].clone());
+    }
+    let r = RoleExpr::direct(t.role("R"));
+    t.gci(C::Top, C::Exists(r, Box::new(atoms[0].clone())));
+    Scenario {
+        name: format!("subtype_chain_{d}"),
+        kind: "subtype_chain",
+        tbox: t,
+        query: atoms[0].clone(),
+    }
+}
+
+/// The frequency contradiction of the paper's Fig. 10 family scaled to
+/// `k`: playing `R` demands `≥k` successors while `≤1` forces merging
+/// them; refutation visits the merge choices.
+pub fn merge_heavy(k: u32) -> Scenario {
+    let mut t = TBox::new();
+    let r = RoleExpr::direct(t.role("R"));
+    let a = C::Atomic(t.atom("A"));
+    t.gci(C::some(r), C::AtLeast(k, r));
+    t.gci(C::Top, C::AtMost(1, r));
+    t.gci(C::some(r.inverse()), a.clone());
+    Scenario { name: format!("merge_heavy_{k}"), kind: "merge_heavy", tbox: t, query: C::some(r) }
+}
+
+/// The benchmark suite: all three families at sizes where the classic
+/// engine takes milliseconds to tens of milliseconds.
+pub fn all() -> Vec<Scenario> {
+    vec![
+        or_fanout(12),
+        or_fanout(16),
+        or_fanout(20),
+        subtype_chain(80),
+        subtype_chain(160),
+        merge_heavy(5),
+        merge_heavy(7),
+    ]
+}
+
+/// Budget ample enough that every scenario reaches a definitive verdict.
+pub const BUDGET: u64 = 5_000_000;

@@ -30,11 +30,34 @@ use std::fmt;
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
 #[allow(missing_docs)]
 pub enum CheckCode {
-    P1, P2, P3, P4, P5, P6, P7, P8, P9,
-    Fr1, Fr2, Fr3, Fr4, Fr5, Fr6, Fr7,
-    V1, V2, V3,
-    S1, S2, S3, S4,
-    E1, E2, E3, E4, E5,
+    P1,
+    P2,
+    P3,
+    P4,
+    P5,
+    P6,
+    P7,
+    P8,
+    P9,
+    Fr1,
+    Fr2,
+    Fr3,
+    Fr4,
+    Fr5,
+    Fr6,
+    Fr7,
+    V1,
+    V2,
+    V3,
+    S1,
+    S2,
+    S3,
+    S4,
+    E1,
+    E2,
+    E3,
+    E4,
+    E5,
 }
 
 impl CheckCode {
@@ -267,11 +290,7 @@ impl Report {
             );
         }
         let mut out = String::new();
-        out.push_str(&format!(
-            "schema `{}`: {} finding(s)\n",
-            schema.name(),
-            self.findings.len()
-        ));
+        out.push_str(&format!("schema `{}`: {} finding(s)\n", schema.name(), self.findings.len()));
         for f in &self.findings {
             out.push_str(&format!("  {}\n", f.render()));
             if !f.unsat_roles.is_empty() {
@@ -319,8 +338,14 @@ mod tests {
         // relevant; rule 2's unsat case and rule 7 are covered by patterns
         // 7 and 4 respectively, so the rules themselves stay lints.
         assert!(CheckCode::Fr5.is_unsat_relevant());
-        for code in [CheckCode::Fr1, CheckCode::Fr2, CheckCode::Fr3, CheckCode::Fr4,
-                     CheckCode::Fr6, CheckCode::Fr7] {
+        for code in [
+            CheckCode::Fr1,
+            CheckCode::Fr2,
+            CheckCode::Fr3,
+            CheckCode::Fr4,
+            CheckCode::Fr6,
+            CheckCode::Fr7,
+        ] {
             assert!(!code.is_unsat_relevant(), "{code} must not be unsat-relevant");
         }
     }
@@ -330,8 +355,14 @@ mod tests {
         // §3: S4 is "a valid condition for detecting inconsistency"; the
         // validity rules and S1-S3 are not.
         assert!(CheckCode::S4.is_unsat_relevant());
-        for code in [CheckCode::V1, CheckCode::V2, CheckCode::V3, CheckCode::S1,
-                     CheckCode::S2, CheckCode::S3] {
+        for code in [
+            CheckCode::V1,
+            CheckCode::V2,
+            CheckCode::V3,
+            CheckCode::S1,
+            CheckCode::S2,
+            CheckCode::S3,
+        ] {
             assert!(!code.is_unsat_relevant(), "{code} must not be unsat-relevant");
         }
     }

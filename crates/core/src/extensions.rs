@@ -52,9 +52,10 @@ impl Check for E1 {
             }
             // Fire at the most general type where emptiness first appears;
             // subtypes below it are E3's (propagation's) business.
-            let inherited = idx.direct_supers(ty).iter().any(|sup| {
-                matches!(effective_value_cardinality(schema, idx, *sup), Some((0, _)))
-            });
+            let inherited = idx
+                .direct_supers(ty)
+                .iter()
+                .any(|sup| matches!(effective_value_cardinality(schema, idx, *sup), Some((0, _))));
             if inherited {
                 continue;
             }
@@ -108,11 +109,8 @@ impl Check for E2 {
             // the player's own effective bound.
             let p0 = schema.player(ft.first());
             let p1 = schema.player(ft.second());
-            let common: BTreeSet<ObjectTypeId> = idx
-                .supers_refl(p0)
-                .intersection(&idx.supers_refl(p1))
-                .copied()
-                .collect();
+            let common: BTreeSet<ObjectTypeId> =
+                idx.supers_refl(p0).intersection(&idx.supers_refl(p1)).copied().collect();
             let mut bound: Option<(u64, ObjectTypeId)> = None;
             for t in common {
                 if let Some((card, holder)) = effective_value_cardinality(schema, idx, t) {
@@ -126,8 +124,7 @@ impl Check for E2 {
             if card >= 2 {
                 continue;
             }
-            let mut culprits: Vec<Element> =
-                cids.iter().map(|c| Element::Constraint(*c)).collect();
+            let mut culprits: Vec<Element> = cids.iter().map(|c| Element::Constraint(*c)).collect();
             culprits.push(Element::ObjectType(holder));
             out.push(Finding {
                 code: CheckCode::E2,
@@ -168,10 +165,7 @@ impl Check for E4 {
             let orm_model::Constraint::SetComparison(sc) = c else { continue };
             let (pairs, both_sides_die): (Vec<(usize, usize)>, bool) = match sc.kind {
                 SetComparisonKind::Subset => (vec![(0, 1)], false),
-                SetComparisonKind::Equality => (
-                    (1..sc.args.len()).map(|j| (0, j)).collect(),
-                    true,
-                ),
+                SetComparisonKind::Equality => ((1..sc.args.len()).map(|j| (0, j)).collect(), true),
                 SetComparisonKind::Exclusion => continue,
             };
             for (i, j) in pairs {
@@ -182,9 +176,7 @@ impl Check for E4 {
                     .iter()
                     .copied()
                     .zip(b.roles().iter().copied())
-                    .find(|(ra, rb)| {
-                        !idx.may_overlap(schema.player(*ra), schema.player(*rb))
-                    });
+                    .find(|(ra, rb)| !idx.may_overlap(schema.player(*ra), schema.player(*rb)));
                 let Some((ra, rb)) = incompatible_at else { continue };
                 let mut dead: BTreeSet<RoleId> = BTreeSet::new();
                 for r in a.roles() {
@@ -199,8 +191,7 @@ impl Check for E4 {
                         dead.insert(ft.second());
                     }
                 }
-                let names: Vec<&str> =
-                    dead.iter().map(|r| schema.role_label(*r)).collect();
+                let names: Vec<&str> = dead.iter().map(|r| schema.role_label(*r)).collect();
                 out.push(Finding {
                     code: CheckCode::E4,
                     severity: Severity::Unsatisfiable,
@@ -377,16 +368,13 @@ pub fn propagate(schema: &Schema, idx: &SchemaIndex, seed: &[Finding]) -> Vec<Fi
         }
     }
 
-    let new_roles: Vec<RoleId> =
-        dead_roles.difference(&seed_roles).copied().collect();
-    let new_types: Vec<ObjectTypeId> =
-        dead_types.difference(&seed_types).copied().collect();
+    let new_roles: Vec<RoleId> = dead_roles.difference(&seed_roles).copied().collect();
+    let new_types: Vec<ObjectTypeId> = dead_types.difference(&seed_types).copied().collect();
     if new_roles.is_empty() && new_types.is_empty() {
         return Vec::new();
     }
     let role_names: Vec<&str> = new_roles.iter().map(|r| schema.role_label(*r)).collect();
-    let type_names: Vec<&str> =
-        new_types.iter().map(|t| schema.object_type(*t).name()).collect();
+    let type_names: Vec<&str> = new_types.iter().map(|t| schema.object_type(*t).name()).collect();
     let mut parts = Vec::new();
     if !role_names.is_empty() {
         parts.push(format!("role(s) {}", role_names.join(", ")));
@@ -422,9 +410,7 @@ mod tests {
     #[test]
     fn e1_flags_empty_enumeration() {
         let mut b = SchemaBuilder::new("s");
-        let t = b
-            .value_type("Empty", Some(ValueConstraint::Enumeration(vec![])))
-            .unwrap();
+        let t = b.value_type("Empty", Some(ValueConstraint::Enumeration(vec![]))).unwrap();
         let x = b.entity_type("X").unwrap();
         let f = b.fact_type("f", t, x).unwrap();
         let s = b.finish();

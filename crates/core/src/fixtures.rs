@@ -406,23 +406,13 @@ mod tests {
     fn every_fixture_matches_its_expectation() {
         for fixture in all() {
             let report = validate(&fixture.schema);
-            let fired: BTreeSet<CheckCode> =
-                report.findings.iter().map(|f| f.code).collect();
-            let expected: BTreeSet<CheckCode> =
-                fixture.expect_codes.iter().copied().collect();
-            assert_eq!(
-                fired, expected,
-                "{}: expected {:?}, got {:?}",
-                fixture.id, expected, fired
-            );
+            let fired: BTreeSet<CheckCode> = report.findings.iter().map(|f| f.code).collect();
+            let expected: BTreeSet<CheckCode> = fixture.expect_codes.iter().copied().collect();
+            assert_eq!(fired, expected, "{}: expected {:?}, got {:?}", fixture.id, expected, fired);
 
-            let got_roles: BTreeSet<&str> = report
-                .unsat_roles()
-                .iter()
-                .map(|r| fixture.schema.role_label(*r))
-                .collect();
-            let want_roles: BTreeSet<&str> =
-                fixture.expect_unsat_roles.iter().copied().collect();
+            let got_roles: BTreeSet<&str> =
+                report.unsat_roles().iter().map(|r| fixture.schema.role_label(*r)).collect();
+            let want_roles: BTreeSet<&str> = fixture.expect_unsat_roles.iter().copied().collect();
             assert_eq!(got_roles, want_roles, "{}: unsat roles differ", fixture.id);
 
             let got_joint: BTreeSet<&str> = report
@@ -439,8 +429,7 @@ mod tests {
                 .iter()
                 .map(|t| fixture.schema.object_type(*t).name())
                 .collect();
-            let want_types: BTreeSet<&str> =
-                fixture.expect_unsat_types.iter().copied().collect();
+            let want_types: BTreeSet<&str> = fixture.expect_unsat_types.iter().copied().collect();
             assert_eq!(got_types, want_types, "{}: unsat types differ", fixture.id);
         }
     }

@@ -16,9 +16,7 @@
 
 use crate::diagnostics::{CheckCode, Finding, Severity};
 use crate::patterns::{effective_value_cardinality, Check, Trigger};
-use orm_model::{
-    Constraint, ConstraintKind, Element, Schema, SchemaIndex, SetComparisonKind,
-};
+use orm_model::{Constraint, ConstraintKind, Element, Schema, SchemaIndex, SetComparisonKind};
 use std::collections::BTreeSet;
 
 /// Formation rule 1: `FC(1-1)` should be a uniqueness constraint.
@@ -81,11 +79,7 @@ impl Check for Fr2 {
                         "{} spans a whole predicate; predicates are sets, so the \
                          constraint is {}",
                         fc.notation(),
-                        if fc.min > 1 {
-                            "unsatisfiable (see Pattern 7)"
-                        } else {
-                            "redundant"
-                        }
+                        if fc.min > 1 { "unsatisfiable (see Pattern 7)" } else { "redundant" }
                     ),
                 });
             }
@@ -164,7 +158,10 @@ impl Check for Fr4 {
                         unsat_roles: vec![],
                         joint_unsat_roles: Vec::new(),
                         unsat_types: vec![],
-                        culprits: vec![Element::Constraint(*long_id), Element::Constraint(*short_id)],
+                        culprits: vec![
+                            Element::Constraint(*long_id),
+                            Element::Constraint(*short_id),
+                        ],
                         message: format!(
                             "the uniqueness constraint on {} is implied by the shorter \
                              uniqueness constraint on {}",

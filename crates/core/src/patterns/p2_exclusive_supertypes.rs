@@ -9,9 +9,7 @@
 
 use super::{Check, Trigger};
 use crate::diagnostics::{CheckCode, Finding, Severity};
-use orm_model::{
-    Constraint, ConstraintKind, Element, ObjectTypeId, RoleId, Schema, SchemaIndex,
-};
+use orm_model::{Constraint, ConstraintKind, Element, ObjectTypeId, RoleId, Schema, SchemaIndex};
 use std::collections::BTreeSet;
 
 /// Pattern 2 check.
@@ -47,12 +45,9 @@ impl Check for P2 {
             if doomed.is_empty() {
                 continue;
             }
-            let unsat_roles: Vec<RoleId> = doomed
-                .iter()
-                .flat_map(|t| idx.roles_of_type[t.index()].iter().copied())
-                .collect();
-            let names: Vec<&str> =
-                doomed.iter().map(|t| schema.object_type(*t).name()).collect();
+            let unsat_roles: Vec<RoleId> =
+                doomed.iter().flat_map(|t| idx.roles_of_type[t.index()].iter().copied()).collect();
+            let names: Vec<&str> = doomed.iter().map(|t| schema.object_type(*t).name()).collect();
             out.push(Finding {
                 code: CheckCode::P2,
                 severity: Severity::Unsatisfiable,

@@ -84,8 +84,7 @@ impl Check for P3 {
             for t in &unsat_types {
                 unsat_roles.extend(idx.roles_of_type[t.index()].iter().copied());
             }
-            let role_names: Vec<&str> =
-                unsat_roles.iter().map(|r| schema.role_label(*r)).collect();
+            let role_names: Vec<&str> = unsat_roles.iter().map(|r| schema.role_label(*r)).collect();
             out.push(Finding {
                 code: CheckCode::P3,
                 severity: Severity::Unsatisfiable,
@@ -262,11 +261,8 @@ mod tests {
         let [f10, f11] = b.schema().fact_type(f1).roles();
         let [f20, f21] = b.schema().fact_type(f2).roles();
         b.mandatory(f10).unwrap();
-        b.exclusion([
-            orm_model::RoleSeq::pair(f10, f11),
-            orm_model::RoleSeq::pair(f20, f21),
-        ])
-        .unwrap();
+        b.exclusion([orm_model::RoleSeq::pair(f10, f11), orm_model::RoleSeq::pair(f20, f21)])
+            .unwrap();
         let s = b.finish();
         assert!(run(&s).is_empty());
     }

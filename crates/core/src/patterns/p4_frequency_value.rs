@@ -24,11 +24,7 @@ impl Check for P4 {
     }
 
     fn triggers(&self) -> &'static [Trigger] {
-        &[
-            Trigger::Constraint(ConstraintKind::Frequency),
-            Trigger::Values,
-            Trigger::Subtyping,
-        ]
+        &[Trigger::Constraint(ConstraintKind::Frequency), Trigger::Values, Trigger::Subtyping]
     }
 
     fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
@@ -83,9 +79,7 @@ mod tests {
     fn fig5_fires() {
         let mut b = SchemaBuilder::new("fig5");
         let a = b.entity_type("A").unwrap();
-        let bb = b
-            .value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let bb = b.value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let f = b.fact_type_full("f", (a, Some("r1")), (bb, Some("r2")), None).unwrap();
         let r1 = b.schema().fact_type(f).first();
         b.frequency([r1], 3, Some(5)).unwrap();
@@ -101,9 +95,7 @@ mod tests {
     fn boundary_equal_passes() {
         let mut b = SchemaBuilder::new("s");
         let a = b.entity_type("A").unwrap();
-        let bb = b
-            .value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let bb = b.value_type("B", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let f = b.fact_type("f", a, bb).unwrap();
         let r1 = b.schema().fact_type(f).first();
         b.frequency([r1], 2, Some(5)).unwrap();
@@ -159,9 +151,7 @@ mod tests {
     fn inherited_value_constraint_detected() {
         let mut b = SchemaBuilder::new("s");
         let a = b.entity_type("A").unwrap();
-        let sup = b
-            .value_type("Sup", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let sup = b.value_type("Sup", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let sub = b.entity_type("Sub").unwrap();
         b.subtype(sub, sup).unwrap();
         let f = b.fact_type("f", a, sub).unwrap();
@@ -178,9 +168,7 @@ mod tests {
     fn int_range_cardinality() {
         let mut b = SchemaBuilder::new("s");
         let a = b.entity_type("A").unwrap();
-        let bb = b
-            .value_type("B", Some(ValueConstraint::IntRange { min: 1, max: 2 }))
-            .unwrap();
+        let bb = b.value_type("B", Some(ValueConstraint::IntRange { min: 1, max: 2 })).unwrap();
         let f = b.fact_type("f", a, bb).unwrap();
         let r1 = b.schema().fact_type(f).first();
         b.frequency([r1], 3, None).unwrap();

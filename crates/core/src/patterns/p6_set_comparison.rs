@@ -20,8 +20,7 @@ use super::{Check, Trigger};
 use crate::diagnostics::{CheckCode, Finding, Severity};
 use crate::setpath::{Node, SetPathGraph};
 use orm_model::{
-    Constraint, ConstraintKind, Element, RoleId, RoleSeq, Schema, SchemaIndex,
-    SetComparisonKind,
+    Constraint, ConstraintKind, Element, RoleId, RoleSeq, Schema, SchemaIndex, SetComparisonKind,
 };
 use std::collections::BTreeSet;
 
@@ -65,7 +64,8 @@ fn check_pair(
     let nb = Node::from_seq(b);
 
     // SetPath between the arguments themselves.
-    let mut hit = graph.path_either(&na, &nb).map(|(fwd, chain)| (fwd, chain, na.clone(), nb.clone()));
+    let mut hit =
+        graph.path_either(&na, &nb).map(|(fwd, chain)| (fwd, chain, na.clone(), nb.clone()));
 
     // For single roles: also between their predicates (in fact order).
     if hit.is_none() && a.is_single() && b.is_single() {
@@ -79,8 +79,12 @@ fn check_pair(
 
     // Does the chain also run backwards (equality somewhere)? Then both
     // sides are empty.
-    let both = graph.path(&if forward { nb.clone() } else { na.clone() },
-                          &if forward { na.clone() } else { nb.clone() }).is_some();
+    let both = graph
+        .path(
+            &if forward { nb.clone() } else { na.clone() },
+            &if forward { na.clone() } else { nb.clone() },
+        )
+        .is_some();
 
     let mut dead: BTreeSet<RoleId> = BTreeSet::new();
     for r in sub_node.roles() {

@@ -62,7 +62,9 @@ mod tests {
     fn ring_schema(kinds: &[RingKind]) -> Schema {
         let mut b = SchemaBuilder::new("s");
         let w = b.entity_type("Woman").unwrap();
-        let f = b.fact_type_full("sister_of", (w, Some("r1")), (w, Some("r2")), Some("is sister of")).unwrap();
+        let f = b
+            .fact_type_full("sister_of", (w, Some("r1")), (w, Some("r2")), Some("is sister of"))
+            .unwrap();
         b.ring(f, kinds.iter().copied()).unwrap();
         b.finish()
     }
@@ -88,7 +90,8 @@ mod tests {
     /// The paper's example incompatible union {sym, it} ∪ {ans}.
     #[test]
     fn sym_it_ans_fires() {
-        let s = ring_schema(&[RingKind::Symmetric, RingKind::Intransitive, RingKind::Antisymmetric]);
+        let s =
+            ring_schema(&[RingKind::Symmetric, RingKind::Intransitive, RingKind::Antisymmetric]);
         assert_eq!(run(&s).len(), 1);
     }
 

@@ -35,12 +35,8 @@ impl Check for P9 {
                 continue;
             }
             // The SCC of `ty`: cyclic types reaching each other both ways.
-            let scc: BTreeSet<ObjectTypeId> = idx
-                .supers(ty)
-                .iter()
-                .copied()
-                .filter(|o| idx.supers(*o).contains(&ty))
-                .collect();
+            let scc: BTreeSet<ObjectTypeId> =
+                idx.supers(ty).iter().copied().filter(|o| idx.supers(*o).contains(&ty)).collect();
             debug_assert!(scc.contains(&ty));
             reported.extend(&scc);
 
@@ -49,10 +45,8 @@ impl Check for P9 {
                 .filter(|l| scc.contains(&l.sub) && scc.contains(&l.sup))
                 .map(|l| Element::Subtype(l.sub, l.sup))
                 .collect();
-            let unsat_roles: Vec<RoleId> = scc
-                .iter()
-                .flat_map(|t| idx.roles_of_type[t.index()].iter().copied())
-                .collect();
+            let unsat_roles: Vec<RoleId> =
+                scc.iter().flat_map(|t| idx.roles_of_type[t.index()].iter().copied()).collect();
             let names: Vec<&str> = scc.iter().map(|t| schema.object_type(*t).name()).collect();
             out.push(Finding {
                 code: CheckCode::P9,

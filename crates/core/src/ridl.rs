@@ -230,12 +230,9 @@ impl Check for S3 {
             }
             let graph = SetPathGraph::build(schema, Some(cid));
             let implied = sc.args.iter().all(|a| {
-                sc.args.iter().all(|b| {
-                    a == b
-                        || graph
-                            .path(&Node::from_seq(a), &Node::from_seq(b))
-                            .is_some()
-                })
+                sc.args
+                    .iter()
+                    .all(|b| a == b || graph.path(&Node::from_seq(a), &Node::from_seq(b)).is_some())
             });
             if implied {
                 out.push(Finding {
@@ -247,11 +244,7 @@ impl Check for S3 {
                     culprits: vec![Element::Constraint(cid)],
                     message: format!(
                         "the equality constraint over {} is implied by other constraints",
-                        sc.args
-                            .iter()
-                            .map(|a| schema.seq_label(a))
-                            .collect::<Vec<_>>()
-                            .join(", ")
+                        sc.args.iter().map(|a| schema.seq_label(a)).collect::<Vec<_>>().join(", ")
                     ),
                 });
             }
@@ -310,8 +303,7 @@ impl Check for S4 {
                             }
                         }
                     }
-                    let names: Vec<&str> =
-                        dead.iter().map(|r| schema.role_label(*r)).collect();
+                    let names: Vec<&str> = dead.iter().map(|r| schema.role_label(*r)).collect();
                     out.push(Finding {
                         code: CheckCode::S4,
                         severity: Severity::Unsatisfiable,

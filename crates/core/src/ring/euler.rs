@@ -42,8 +42,7 @@ impl Relation {
     /// Enumerate every relation over a domain of `n` elements
     /// (`2^(n*n)` relations — keep `n ≤ 3` in tests).
     pub fn enumerate(n: usize) -> impl Iterator<Item = Relation> {
-        let cells: Vec<(usize, usize)> =
-            (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
+        let cells: Vec<(usize, usize)> = (0..n).flat_map(|x| (0..n).map(move |y| (x, y))).collect();
         let count = 1u64 << cells.len();
         (0..count).map(move |mask| {
             let pairs = cells
@@ -61,18 +60,14 @@ impl Relation {
         let n = self.domain;
         match kind {
             RingKind::Irreflexive => (0..n).all(|x| !self.holds(x, x)),
-            RingKind::Antisymmetric => (0..n).all(|x| {
-                (0..n).all(|y| !(self.holds(x, y) && self.holds(y, x)) || x == y)
-            }),
-            RingKind::Asymmetric => {
-                self.pairs.iter().all(|(x, y)| !self.holds(*y, *x))
+            RingKind::Antisymmetric => {
+                (0..n).all(|x| (0..n).all(|y| !(self.holds(x, y) && self.holds(y, x)) || x == y))
             }
+            RingKind::Asymmetric => self.pairs.iter().all(|(x, y)| !self.holds(*y, *x)),
             RingKind::Acyclic => !self.has_cycle(),
             RingKind::Intransitive => (0..n).all(|x| {
                 (0..n).all(|y| {
-                    (0..n).all(|z| {
-                        !(self.holds(x, y) && self.holds(y, z) && self.holds(x, z))
-                    })
+                    (0..n).all(|z| !(self.holds(x, y) && self.holds(y, z) && self.holds(x, z)))
                 })
             }),
             RingKind::Symmetric => self.pairs.iter().all(|(x, y)| self.holds(*y, *x)),
@@ -123,9 +118,7 @@ pub fn direct_implications(kind: RingKind) -> RingKinds {
             RingKinds::from_iter([RingKind::Antisymmetric, RingKind::Irreflexive])
         }
         RingKind::Intransitive => RingKinds::only(RingKind::Irreflexive),
-        RingKind::Antisymmetric | RingKind::Irreflexive | RingKind::Symmetric => {
-            RingKinds::EMPTY
-        }
+        RingKind::Antisymmetric | RingKind::Irreflexive | RingKind::Symmetric => RingKinds::EMPTY,
     }
 }
 
@@ -235,10 +228,7 @@ mod tests {
         // Every claim of the declarative lattice holds semantically.
         for kind in RingKind::ALL {
             let implied = direct_implications(kind);
-            assert!(
-                implies(RingKinds::only(kind), implied, 3),
-                "{kind} should imply {implied}"
-            );
+            assert!(implies(RingKinds::only(kind), implied, 3), "{kind} should imply {implied}");
         }
     }
 

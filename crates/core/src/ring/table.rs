@@ -18,8 +18,7 @@ fn lut() -> &'static [bool; 64] {
     static LUT: OnceLock<[bool; 64]> = OnceLock::new();
     LUT.get_or_init(|| {
         let mut table = [false; 64];
-        let relations: Vec<Relation> =
-            Relation::enumerate(2).filter(|r| !r.is_empty()).collect();
+        let relations: Vec<Relation> = Relation::enumerate(2).filter(|r| !r.is_empty()).collect();
         for (i, kinds) in RingKinds::all_subsets().enumerate() {
             table[i] = relations.iter().any(|r| r.satisfies_all(kinds));
         }
@@ -188,8 +187,7 @@ mod tests {
         // combination incompatible at size 2 admits no non-empty relation at
         // size 3 either.
         for kinds in RingKinds::all_subsets() {
-            let at3 = Relation::enumerate(3)
-                .any(|r| !r.is_empty() && r.satisfies_all(kinds));
+            let at3 = Relation::enumerate(3).any(|r| !r.is_empty() && r.satisfies_all(kinds));
             assert_eq!(compatible(kinds), at3, "domain-3 disagreement for {kinds}");
         }
     }

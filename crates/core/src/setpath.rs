@@ -17,9 +17,7 @@
 //! Role-level subsets do **not** imply predicate-level subsets, so the graph
 //! keeps the two node levels separate and only projects downward.
 
-use orm_model::{
-    Constraint, ConstraintId, RoleId, RoleSeq, Schema, SetComparisonKind,
-};
+use orm_model::{Constraint, ConstraintId, RoleId, RoleSeq, Schema, SetComparisonKind};
 use std::collections::{HashMap, VecDeque};
 
 /// A node in the set-path graph: a single role or a whole predicate

@@ -26,10 +26,7 @@ pub struct ValidatorSettings {
 impl Default for ValidatorSettings {
     /// The paper's default: the nine patterns, no lints, no propagation.
     fn default() -> Self {
-        ValidatorSettings {
-            enabled: CheckCode::PATTERNS.into_iter().collect(),
-            propagate: false,
-        }
+        ValidatorSettings { enabled: CheckCode::PATTERNS.into_iter().collect(), propagate: false }
     }
 }
 
@@ -42,19 +39,13 @@ impl ValidatorSettings {
     /// Everything: patterns, formation rules, RIDL lints, extensions,
     /// propagation.
     pub fn all() -> Self {
-        ValidatorSettings {
-            enabled: CheckCode::all().collect(),
-            propagate: true,
-        }
+        ValidatorSettings { enabled: CheckCode::all().collect(), propagate: true }
     }
 
     /// Formation-rule and RIDL lints only.
     pub fn lints_only() -> Self {
         ValidatorSettings {
-            enabled: CheckCode::FORMATION_RULES
-                .into_iter()
-                .chain(CheckCode::RIDL_RULES)
-                .collect(),
+            enabled: CheckCode::FORMATION_RULES.into_iter().chain(CheckCode::RIDL_RULES).collect(),
             propagate: false,
         }
     }
@@ -272,9 +263,7 @@ mod tests {
 
     #[test]
     fn with_and_without_toggle_checks() {
-        let s = ValidatorSettings::default()
-            .without(CheckCode::P8)
-            .with(CheckCode::Fr6);
+        let s = ValidatorSettings::default().without(CheckCode::P8).with(CheckCode::Fr6);
         assert!(!s.is_enabled(CheckCode::P8));
         assert!(s.is_enabled(CheckCode::Fr6));
         assert_eq!(s.enabled().count(), 9);
@@ -354,8 +343,7 @@ mod tests {
         assert!(plain.unsat_types().contains(&c));
         assert!(!plain.unsat_types().contains(&sub));
         let with_prop =
-            Validator::with_settings(ValidatorSettings::default().with_propagation())
-                .validate(&s);
+            Validator::with_settings(ValidatorSettings::default().with_propagation()).validate(&s);
         assert!(with_prop.unsat_types().contains(&sub));
         assert_eq!(with_prop.by_code(CheckCode::E3).count(), 1);
     }

@@ -108,7 +108,7 @@ fn p4_direction_sensitivity() {
     let v = b.value_type("V", Some(ValueConstraint::enumeration(["x"]))).unwrap();
     let f = b.fact_type("f", a, v).unwrap();
     let r2 = b.schema().fact_type(f).second(); // played by V
-    // Each V value relates to at least 3 As: fine, As are unbounded.
+                                               // Each V value relates to at least 3 As: fine, As are unbounded.
     b.frequency([r2], 3, None).unwrap();
     let s = b.finish();
     assert!(validate(&s).is_clean());

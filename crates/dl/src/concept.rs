@@ -214,15 +214,9 @@ mod tests {
     fn and_or_simplify() {
         assert_eq!(Concept::and([]), Concept::Top);
         assert_eq!(Concept::and([Concept::Atomic(1)]), Concept::Atomic(1));
-        assert_eq!(
-            Concept::and([Concept::Top, Concept::Atomic(1)]),
-            Concept::Atomic(1)
-        );
+        assert_eq!(Concept::and([Concept::Top, Concept::Atomic(1)]), Concept::Atomic(1));
         assert_eq!(Concept::or([]), Concept::Bottom);
-        assert_eq!(
-            Concept::or([Concept::Bottom, Concept::Atomic(1)]),
-            Concept::Atomic(1)
-        );
+        assert_eq!(Concept::or([Concept::Bottom, Concept::Atomic(1)]), Concept::Atomic(1));
         // Nested flattening.
         assert_eq!(
             Concept::and([

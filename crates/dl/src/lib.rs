@@ -35,12 +35,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arena;
+pub mod classic;
 pub mod concept;
 pub mod orm_to_dl;
 pub mod tableau;
 pub mod tbox;
 
+#[cfg(test)]
+mod test_scenarios;
+
+pub use arena::{Arena, ConceptId};
 pub use concept::{Concept, RoleExpr};
 pub use orm_to_dl::{translate, Translation};
 pub use tableau::{satisfiable, subsumes, DlOutcome};
-pub use tbox::TBox;
+pub use tbox::{RoleClosure, TBox};

@@ -33,9 +33,7 @@
 use crate::concept::{Concept, RoleExpr};
 use crate::tableau::{satisfiable, DlOutcome};
 use crate::tbox::TBox;
-use orm_model::{
-    Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind,
-};
+use orm_model::{Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind};
 use std::collections::HashMap;
 
 /// The result of translating an ORM schema.
@@ -120,10 +118,8 @@ pub fn translate(schema: &Schema) -> Translation {
         let atom = tbox.atom(ot.name());
         concept_of_type.insert(ty, Concept::Atomic(atom));
         if ot.value_constraint().is_some() {
-            unmapped.push(format!(
-                "value constraint on `{}` (DLR needs concrete domains)",
-                ot.name()
-            ));
+            unmapped
+                .push(format!("value constraint on `{}` (DLR needs concrete domains)", ot.name()));
         }
     }
 
@@ -204,9 +200,7 @@ pub fn translate(schema: &Schema) -> Translation {
                 }
                 tbox.gci(Concept::some(dir), Concept::and(bounds));
             }
-            Constraint::SetComparison(sc) => {
-                translate_set_comparison(&mut tbox, &role_dir, sc)
-            }
+            Constraint::SetComparison(sc) => translate_set_comparison(&mut tbox, &role_dir, sc),
             Constraint::ExclusiveTypes(e) => {
                 for (i, &a) in e.types.iter().enumerate() {
                     for &b in e.types.iter().skip(i + 1) {
@@ -224,10 +218,7 @@ pub fn translate(schema: &Schema) -> Translation {
                 tbox.gci(
                     concept_of_type[&t.supertype].clone(),
                     Concept::or(
-                        t.subtypes
-                            .iter()
-                            .map(|s| concept_of_type[s].clone())
-                            .collect::<Vec<_>>(),
+                        t.subtypes.iter().map(|s| concept_of_type[s].clone()).collect::<Vec<_>>(),
                     ),
                 );
             }

@@ -1,25 +1,48 @@
 //! Tableau-based concept satisfiability with respect to a TBox.
 //!
 //! The procedure is the standard completion-forest tableau for ALC with
-//! inverse roles, a role hierarchy and unqualified number restrictions:
+//! inverse roles, a role hierarchy and unqualified number restrictions
+//! (GCIs internalized, pairwise blocking for termination, `≤`-merging) —
+//! but engineered around three structural decisions that replace the
+//! original clone-per-branch design (kept in [`crate::classic`] as the
+//! differential baseline):
 //!
-//! * GCIs are *internalized*: every node carries `⊓(¬Cᵢ ⊔ Dᵢ)`;
-//! * **pairwise (double) blocking** over ancestors guarantees termination
-//!   in the presence of inverse roles and GCIs;
-//! * the `≤`-rule merges mergeable neighbours (child into child, or child
-//!   into the parent when inverse edges make the parent a neighbour) and
-//!   clashes when more than `n` pairwise-distinct neighbours remain;
-//! * non-deterministic rules (`⊔`, the merge choice) branch by cloning the
-//!   completion forest — simple, and cheap at the sizes ORM schemas induce.
+//! * **Hash-consed labels** — every concept is interned once into an
+//!   [`crate::arena::Arena`]; node labels are sorted `Vec<ConceptId>`, so
+//!   membership is a `u32` binary search, the `A ⊓ ¬A` clash test is one
+//!   lookup via the precomputed atom complement, and the label equalities
+//!   of pairwise blocking compare ids (after an incrementally maintained
+//!   XOR fingerprint rules out almost all candidates).
+//! * **Trail-based backtracking** — non-deterministic choices (`⊔`
+//!   disjuncts, `≤`-merge pairs) no longer clone the forest. Every
+//!   mutation (label/edge/distinctness insert, node creation, kill,
+//!   reparent) pushes an undo record on a trail; a branch point is a trail
+//!   mark, and abandoning a branch pops records back to the mark.
+//! * **Incremental scheduling** — a dirty-node worklist drives the
+//!   deterministic rules (`∀`-propagation, clash detection) instead of a
+//!   full-forest rescan per iteration; `⊔`/`∃`/`≥` candidates live on
+//!   agendas written at label-insert time, consumed through
+//!   rollback-aware cursors; and role-hierarchy queries go through the
+//!   [`crate::tbox::RoleClosure`] bitsets (per-edge upward closures
+//!   maintained on the nodes) rather than per-call `is_subrole` walks.
 //!
-//! A rule-application budget bounds runtime; exceeding it yields
-//! [`DlOutcome::ResourceLimit`] rather than a wrong verdict. The
-//! exponential behaviour this budget guards against is precisely the cost
-//! the paper attributes to complete DL reasoning (§4).
+//! # Budget semantics
+//!
+//! `budget` counts **rule applications**, exactly as in the original
+//! engine: one unit per scheduler step — processing one dirty node
+//! (`∀`-propagation plus that node's clash checks), opening one
+//! non-deterministic choice point (`⊔` or `≤`), applying one generating
+//! rule (`∃`/`≥`), or certifying completeness at quiescence. The count is
+//! global across all branches of the search, not per branch. When the
+//! budget reaches zero before the search concludes, the verdict is
+//! [`DlOutcome::ResourceLimit`] — never a wrong answer. This is the knob
+//! callers (e.g. `Translation::type_satisfiable`) use to bound the
+//! exponential worst case the paper attributes to complete DL reasoning
+//! (§4).
 
-use crate::concept::{Concept, RoleExpr};
-use crate::tbox::TBox;
-use std::collections::BTreeSet;
+use crate::arena::{invert_role_expr, Arena, CKind, ConceptId, RoleExprId};
+use crate::concept::Concept;
+use crate::tbox::{RoleClosure, TBox};
 
 /// Verdict of a satisfiability check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -47,345 +70,711 @@ pub fn subsumes(tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Optio
 }
 
 /// Check satisfiability of `query` with respect to `tbox`, spending at most
-/// `budget` rule applications.
+/// `budget` rule applications (see the module docs for what one unit of
+/// budget buys).
 pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
-    let internal = tbox.internalized();
-    let mut root_label = BTreeSet::new();
-    add_concept(&mut root_label, query.clone());
-    add_concept(&mut root_label, internal.clone());
-    let graph = Forest {
-        nodes: vec![Node {
-            alive: true,
-            label: root_label,
-            parent: None,
-            edge: BTreeSet::new(),
-            children: Vec::new(),
-            distinct: BTreeSet::new(),
-        }],
-    };
-    let mut budget = budget;
-    expand(tbox, &internal, graph, &mut budget)
+    let mut engine = Engine::new(tbox, query, budget);
+    if engine.clash {
+        return DlOutcome::Unsat;
+    }
+    engine.search()
 }
 
+const NO_PARENT: u32 = u32::MAX;
+
+/// A completion-forest node. Labels and edge labels are kept sorted so
+/// that set queries are binary searches and set equality is slice
+/// equality; the `*_hash` fields are XOR fingerprints maintained
+/// incrementally (insert and trail-undo both XOR the same mix).
 #[derive(Clone, Debug)]
-struct Node {
+struct ENode {
     alive: bool,
-    label: BTreeSet<Concept>,
-    parent: Option<usize>,
-    /// Role labels of the edge from `parent` to this node.
-    edge: BTreeSet<RoleExpr>,
-    children: Vec<usize>,
-    /// Nodes asserted pairwise-distinct from this one.
-    distinct: BTreeSet<usize>,
+    parent: u32,
+    /// Sorted interned label set.
+    label: Vec<ConceptId>,
+    label_hash: u64,
+    /// Sorted role labels of the edge from `parent` to this node.
+    edge: Vec<RoleExprId>,
+    edge_hash: u64,
+    /// Upward closure of `edge` (bitset): this node is an `R`-successor of
+    /// its parent iff the bitset contains `R`.
+    down_closure: Vec<u64>,
+    /// Upward closure of the *inverted* edge: the parent is an
+    /// `R`-neighbour of this node iff the bitset contains `R`.
+    up_closure: Vec<u64>,
+    children: Vec<u32>,
+    /// Sorted ids of nodes asserted pairwise-distinct from this one.
+    distinct: Vec<u32>,
 }
 
-#[derive(Clone, Debug)]
-struct Forest {
-    nodes: Vec<Node>,
+/// One reversible mutation. `rollback` pops these in reverse order, so
+/// each undo sees exactly the state its op produced.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    /// `cid` was inserted into `node`'s label.
+    Label { node: u32, cid: ConceptId },
+    /// `role` was inserted into `node`'s edge label set.
+    EdgeRole { node: u32, role: RoleExprId },
+    /// `a` and `b` were marked mutually distinct.
+    Distinct { a: u32, b: u32 },
+    /// A node was appended to the forest (and linked to its parent).
+    NodeAdded,
+    /// `node.alive` went from true to false.
+    Killed { node: u32 },
+    /// `child.parent` changed from `old_parent` to `new_parent` (child was
+    /// appended to `new_parent.children`).
+    Reparented { child: u32, old_parent: u32, new_parent: u32 },
+    /// `child` was removed from `parent.children` at `index`.
+    ChildUnlinked { parent: u32, child: u32, index: u32 },
+    /// Generator agenda entry `idx` was marked permanently satisfied.
+    GenDone { idx: u32 },
 }
 
-/// Flatten conjunctions eagerly when inserting (the ⊓-rule, fused).
-fn add_concept(label: &mut BTreeSet<Concept>, c: Concept) {
-    match c {
-        Concept::Top => {}
-        Concept::And(cs) => {
-            for c in cs {
-                add_concept(label, c);
-            }
-        }
-        other => {
-            label.insert(other);
-        }
-    }
+/// A branch point: trail length plus agenda cursors/lengths. The dirty
+/// queue is empty at every mark (choices only open at quiescence), so
+/// restoring it means clearing it.
+#[derive(Clone, Copy, Debug)]
+struct Mark {
+    trail: usize,
+    or_cursor: usize,
+    or_len: usize,
+    atmost_len: usize,
+    gen_len: usize,
 }
 
-impl Forest {
-    fn alive(&self) -> impl Iterator<Item = usize> + '_ {
-        (0..self.nodes.len()).filter(|i| self.nodes[*i].alive)
-    }
+struct Engine {
+    arena: Arena,
+    roles: RoleClosure,
+    /// Top-level conjuncts of the internalized TBox, seeded into every node.
+    internal: Vec<ConceptId>,
+    nodes: Vec<ENode>,
+    trail: Vec<Op>,
+    /// Dirty-node worklist + membership flags (no duplicate entries).
+    dirty: Vec<u32>,
+    in_dirty: Vec<bool>,
+    /// `⊔` agenda: written at label-insert, consumed via `or_cursor`.
+    /// Entries before the cursor are resolved or dead for the rest of the
+    /// branch (both monotone until rollback, which restores the cursor).
+    or_agenda: Vec<(u32, ConceptId)>,
+    or_cursor: usize,
+    /// `≤` agenda: (node, n, role) per AtMost label occurrence. Violation
+    /// is not monotone (generation adds neighbours), so no cursor.
+    atmost_agenda: Vec<(u32, u32, RoleExprId)>,
+    /// `∃`/`≥` agenda with sticky per-entry satisfaction bits
+    /// (trail-recorded, since satisfaction is monotone only within a
+    /// branch).
+    gen_agenda: Vec<(u32, ConceptId)>,
+    gen_done: Vec<bool>,
+    /// Set eagerly by label/edge mutations that produce a clash.
+    clash: bool,
+    budget: u64,
+    /// Scratch buffer for neighbour collection (no per-call allocation).
+    scratch: Vec<u32>,
+}
 
-    /// R-neighbours of `x`: children via a sub-role edge, plus the parent
-    /// when the inverted edge label is a sub-role of `R`.
-    fn neighbors(&self, tbox: &TBox, x: usize, role: RoleExpr) -> Vec<usize> {
-        let mut out = Vec::new();
-        for &child in &self.nodes[x].children {
-            if !self.nodes[child].alive {
-                continue;
-            }
-            if self.nodes[child].edge.iter().any(|s| tbox.is_subrole(*s, role)) {
-                out.push(child);
-            }
-        }
-        if let Some(parent) = self.nodes[x].parent {
-            if self.nodes[parent].alive
-                && self.nodes[x].edge.iter().any(|s| tbox.is_subrole(s.inverse(), role))
-            {
-                out.push(parent);
-            }
-        }
-        out
-    }
-
-    fn has_clash(&self, tbox: &TBox) -> bool {
-        for i in self.alive() {
-            let node = &self.nodes[i];
-            if node.label.contains(&Concept::Bottom) {
-                return true;
-            }
-            for c in &node.label {
-                if let Concept::Atomic(a) = c {
-                    if node.label.contains(&Concept::NotAtomic(*a)) {
-                        return true;
-                    }
-                }
-            }
-            if !node.edge.is_empty() && tbox.edge_violates_disjointness(&node.edge) {
-                return true;
-            }
-            // ≤n R with > n pairwise-distinct R-neighbours.
-            for c in &node.label {
-                if let Concept::AtMost(n, r) = c {
-                    let neighbors = self.neighbors(tbox, i, *r);
-                    if neighbors.len() > *n as usize
-                        && all_pairwise_distinct(self, &neighbors)
-                    {
-                        return true;
-                    }
-                }
-            }
-        }
-        false
-    }
-
-    /// Ancestor chain of `x`, excluding `x`.
-    fn ancestors(&self, x: usize) -> Vec<usize> {
-        let mut out = Vec::new();
-        let mut cur = self.nodes[x].parent;
-        while let Some(p) = cur {
-            out.push(p);
-            cur = self.nodes[p].parent;
-        }
-        out
-    }
-
-    /// Pairwise blocking: `x` is blocked when some ancestor pair mirrors
-    /// `x` and its parent exactly.
-    fn blocked(&self, x: usize) -> bool {
-        let Some(xp) = self.nodes[x].parent else { return false };
-        for y in self.ancestors(x) {
-            let Some(yp) = self.nodes[y].parent else { continue };
-            if self.nodes[x].label == self.nodes[y].label
-                && self.nodes[xp].label == self.nodes[yp].label
-                && self.nodes[x].edge == self.nodes[y].edge
-            {
-                return true;
-            }
-            // A node below a blocked ancestor is indirectly blocked.
-            if self.blocked_directly(y) {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn blocked_directly(&self, x: usize) -> bool {
-        let Some(xp) = self.nodes[x].parent else { return false };
-        for y in self.ancestors(x) {
-            let Some(yp) = self.nodes[y].parent else { continue };
-            if self.nodes[x].label == self.nodes[y].label
-                && self.nodes[xp].label == self.nodes[yp].label
-                && self.nodes[x].edge == self.nodes[y].edge
-            {
-                return true;
-            }
-        }
-        false
-    }
-
-    fn add_child(
-        &mut self,
-        parent: usize,
-        edge: BTreeSet<RoleExpr>,
-        label: BTreeSet<Concept>,
-    ) -> usize {
-        let id = self.nodes.len();
-        self.nodes.push(Node {
+impl Engine {
+    fn new(tbox: &TBox, query: &Concept, budget: u64) -> Engine {
+        let mut arena = Arena::new();
+        let internal_concept = tbox.internalized();
+        let internal_id = arena.intern(&internal_concept);
+        let internal = match arena.kind(internal_id) {
+            CKind::Top => Vec::new(),
+            CKind::And(ids) => ids.to_vec(),
+            _ => vec![internal_id],
+        };
+        let query_id = arena.intern(query);
+        let roles = tbox.role_closure();
+        let words = roles.words();
+        let root = ENode {
             alive: true,
-            label,
-            parent: Some(parent),
-            edge,
+            parent: NO_PARENT,
+            label: Vec::new(),
+            label_hash: 0,
+            edge: Vec::new(),
+            edge_hash: 0,
+            down_closure: vec![0; words],
+            up_closure: vec![0; words],
             children: Vec::new(),
-            distinct: BTreeSet::new(),
+            distinct: Vec::new(),
+        };
+        let mut engine = Engine {
+            arena,
+            roles,
+            internal,
+            nodes: vec![root],
+            trail: Vec::new(),
+            dirty: Vec::new(),
+            in_dirty: vec![false],
+            or_agenda: Vec::new(),
+            or_cursor: 0,
+            atmost_agenda: Vec::new(),
+            gen_agenda: Vec::new(),
+            gen_done: Vec::new(),
+            clash: false,
+            budget,
+            scratch: Vec::new(),
+        };
+        engine.add_concept(0, query_id);
+        for cid in engine.internal.clone() {
+            engine.add_concept(0, cid);
+        }
+        engine
+    }
+
+    fn role_mix(role: RoleExprId) -> u64 {
+        // Same SplitMix64 finalizer as the arena's concept mixes, under a
+        // role-specific seed; used for the edge fingerprint.
+        crate::arena::splitmix(0x517C_C1B7_2722_0A95 ^ u64::from(role))
+    }
+
+    fn mark_dirty(&mut self, node: u32) {
+        if !self.in_dirty[node as usize] {
+            self.in_dirty[node as usize] = true;
+            self.dirty.push(node);
+        }
+    }
+
+    /// The `i`-th conjunct of an interned `⊓` (re-fetched through the
+    /// arena so hot loops need not clone the child slice).
+    fn and_child(&self, cid: ConceptId, i: usize) -> ConceptId {
+        match self.arena.kind(cid) {
+            CKind::And(ids) => ids[i],
+            _ => unreachable!("caller checked the kind"),
+        }
+    }
+
+    /// Insert `cid` into `node`'s label, fusing the `⊓`-rule, recording
+    /// the trail, feeding the agendas and detecting immediate clashes.
+    fn add_concept(&mut self, node: u32, cid: ConceptId) {
+        match self.arena.kind(cid) {
+            CKind::Top => return,
+            CKind::And(ids) => {
+                // Index loop with per-iteration re-fetch: no allocation on
+                // this path, which fires for every conjunctive disjunct,
+                // ∀-body and merged label.
+                let len = ids.len();
+                for i in 0..len {
+                    let child = self.and_child(cid, i);
+                    self.add_concept(node, child);
+                }
+                return;
+            }
+            _ => {}
+        }
+        let slot = match self.nodes[node as usize].label.binary_search(&cid) {
+            Ok(_) => return,
+            Err(slot) => slot,
+        };
+        let mix = self.arena.mix(cid);
+        {
+            let n = &mut self.nodes[node as usize];
+            n.label.insert(slot, cid);
+            n.label_hash ^= mix;
+        }
+        self.trail.push(Op::Label { node, cid });
+        self.mark_dirty(node);
+        match self.arena.kind(cid) {
+            CKind::Bottom => self.clash = true,
+            CKind::Atomic(_) | CKind::NotAtomic(_) => {
+                let neg = self.arena.atom_complement(cid).expect("atoms carry complements");
+                if self.nodes[node as usize].label.binary_search(&neg).is_ok() {
+                    self.clash = true;
+                }
+            }
+            CKind::Or(_) => self.or_agenda.push((node, cid)),
+            CKind::Exists(..) | CKind::AtLeast(..) => {
+                self.gen_agenda.push((node, cid));
+                self.gen_done.push(false);
+            }
+            CKind::AtMost(m, r) => {
+                let (m, r) = (*m, *r);
+                self.atmost_agenda.push((node, m, r));
+            }
+            _ => {}
+        }
+    }
+
+    /// Insert `role` into `node`'s up-edge label set, maintaining both
+    /// closure bitsets and the edge fingerprint.
+    fn add_edge_role(&mut self, node: u32, role: RoleExprId) {
+        let slot = match self.nodes[node as usize].edge.binary_search(&role) {
+            Ok(_) => return,
+            Err(slot) => slot,
+        };
+        let inv = invert_role_expr(role);
+        let parent = {
+            let roles = &self.roles;
+            let n = &mut self.nodes[node as usize];
+            n.edge.insert(slot, role);
+            n.edge_hash ^= Self::role_mix(role);
+            roles.union_row_into(&mut n.down_closure, role);
+            roles.union_row_into(&mut n.up_closure, inv);
+            if roles.has_disjointness() && roles.edge_violates_disjointness(&n.down_closure) {
+                self.clash = true;
+            }
+            n.parent
+        };
+        self.trail.push(Op::EdgeRole { node, role });
+        self.mark_dirty(node);
+        if parent != NO_PARENT {
+            self.mark_dirty(parent);
+        }
+    }
+
+    fn add_distinct(&mut self, a: u32, b: u32) {
+        let Err(slot) = self.nodes[a as usize].distinct.binary_search(&b) else { return };
+        self.nodes[a as usize].distinct.insert(slot, b);
+        let slot = self.nodes[b as usize]
+            .distinct
+            .binary_search(&a)
+            .expect_err("distinctness stored symmetrically");
+        self.nodes[b as usize].distinct.insert(slot, a);
+        self.trail.push(Op::Distinct { a, b });
+    }
+
+    /// Create a fresh `role`-child of `parent`, seeded with the
+    /// internalized TBox plus `seed`.
+    fn add_child(&mut self, parent: u32, role: RoleExprId, seed: Option<ConceptId>) -> u32 {
+        let words = self.roles.words();
+        let id = self.nodes.len() as u32;
+        let mut down_closure = vec![0; words];
+        let mut up_closure = vec![0; words];
+        self.roles.union_row_into(&mut down_closure, role);
+        self.roles.union_row_into(&mut up_closure, invert_role_expr(role));
+        if self.roles.has_disjointness() && self.roles.edge_violates_disjointness(&down_closure) {
+            self.clash = true;
+        }
+        self.nodes.push(ENode {
+            alive: true,
+            parent,
+            label: Vec::new(),
+            label_hash: 0,
+            edge: vec![role],
+            edge_hash: Self::role_mix(role),
+            down_closure,
+            up_closure,
+            children: Vec::new(),
+            distinct: Vec::new(),
         });
-        self.nodes[parent].children.push(id);
+        self.in_dirty.push(false);
+        self.nodes[parent as usize].children.push(id);
+        self.trail.push(Op::NodeAdded);
+        if let Some(cid) = seed {
+            self.add_concept(id, cid);
+        }
+        // Index loop: `internal` never changes after construction, and
+        // cloning it here would put an allocation on every ∃/≥ firing.
+        for i in 0..self.internal.len() {
+            let cid = self.internal[i];
+            self.add_concept(id, cid);
+        }
+        self.mark_dirty(parent);
+        self.mark_dirty(id);
         id
     }
 
-    /// Merge node `from` into node `to`; both must be R-neighbours of the
-    /// same node `via`, with `from` a child of `via`.
-    fn merge(&mut self, via: usize, from: usize, to: usize) {
-        debug_assert_eq!(self.nodes[from].parent, Some(via));
-        let from_node = std::mem::replace(
-            &mut self.nodes[from],
-            Node {
-                alive: false,
-                label: BTreeSet::new(),
-                parent: None,
-                edge: BTreeSet::new(),
-                children: Vec::new(),
-                distinct: BTreeSet::new(),
-            },
-        );
-        // Labels and distinctness accumulate on the survivor.
-        let label = from_node.label;
-        for c in label {
-            self.nodes[to].label.insert(c);
+    /// Merge node `from` into node `to`; both are `R`-neighbours of `via`,
+    /// with `from` a child of `via`. Every mutation is trail-recorded, so
+    /// the merge unwinds like any other choice.
+    fn merge(&mut self, via: u32, from: u32, to: u32) {
+        debug_assert_eq!(self.nodes[from as usize].parent, via);
+        debug_assert!(self.nodes[from as usize].alive && self.nodes[to as usize].alive);
+        self.nodes[from as usize].alive = false;
+        self.trail.push(Op::Killed { node: from });
+        // Labels and distinctness accumulate on the survivor (the dead
+        // node's own sets stay in place for rollback).
+        for cid in self.nodes[from as usize].label.clone() {
+            self.add_concept(to, cid);
         }
-        let distinct = from_node.distinct;
-        self.nodes[to].distinct.extend(distinct.iter().copied());
-        for d in distinct {
-            if self.nodes[d].alive {
-                self.nodes[d].distinct.insert(to);
+        for d in self.nodes[from as usize].distinct.clone() {
+            if self.nodes[d as usize].alive {
+                self.add_distinct(to, d);
             }
         }
         // Edges: `from` was a child of `via`.
-        if self.nodes[to].parent == Some(via) {
-            // Sibling merge: fold edge labels.
-            let edge = from_node.edge;
-            for e in edge {
-                self.nodes[to].edge.insert(e);
+        let from_edge = self.nodes[from as usize].edge.clone();
+        if self.nodes[to as usize].parent == via {
+            // Sibling merge: fold edge labels onto the survivor's edge.
+            for role in from_edge {
+                self.add_edge_role(to, role);
             }
-        } else if Some(to) == self.nodes[via].parent {
+        } else if self.nodes[via as usize].parent == to {
             // Child-into-parent merge: `via —S→ from` becomes
-            // `to —S⁻→ via` folded into via's existing up-edge.
-            let inverted: Vec<RoleExpr> =
-                from_node.edge.iter().map(|s| s.inverse()).collect();
-            for e in inverted {
-                self.nodes[via].edge.insert(e);
+            // `to —S⁻→ via`, folded into via's existing up-edge.
+            for role in from_edge {
+                self.add_edge_role(via, invert_role_expr(role));
             }
         }
         // Reparent from's children under the survivor.
-        let children = from_node.children;
-        for child in &children {
-            self.nodes[*child].parent = Some(to);
+        for child in self.nodes[from as usize].children.clone() {
+            self.nodes[child as usize].parent = to;
+            self.nodes[to as usize].children.push(child);
+            self.trail.push(Op::Reparented { child, old_parent: from, new_parent: to });
+            self.mark_dirty(child);
         }
-        self.nodes[to].children.extend(children);
-        self.nodes[via].children.retain(|c| *c != from);
+        // Unlink from from via's child list.
+        let index = self.nodes[via as usize]
+            .children
+            .iter()
+            .position(|c| *c == from)
+            .expect("from is a child of via");
+        self.nodes[via as usize].children.remove(index);
+        self.trail.push(Op::ChildUnlinked { parent: via, child: from, index: index as u32 });
+        self.mark_dirty(via);
+        self.mark_dirty(to);
     }
-}
 
-fn all_pairwise_distinct(forest: &Forest, nodes: &[usize]) -> bool {
-    for (i, &a) in nodes.iter().enumerate() {
-        for &b in nodes.iter().skip(i + 1) {
-            if !forest.nodes[a].distinct.contains(&b) {
-                return false;
-            }
+    fn mark(&self) -> Mark {
+        debug_assert!(self.dirty.is_empty(), "choices only open at quiescence");
+        Mark {
+            trail: self.trail.len(),
+            or_cursor: self.or_cursor,
+            or_len: self.or_agenda.len(),
+            atmost_len: self.atmost_agenda.len(),
+            gen_len: self.gen_agenda.len(),
         }
     }
-    true
-}
 
-fn expand(tbox: &TBox, internal: &Concept, mut forest: Forest, budget: &mut u64) -> DlOutcome {
-    loop {
-        if *budget == 0 {
-            return DlOutcome::ResourceLimit;
+    fn rollback(&mut self, mark: Mark) {
+        // Pending work first: at every mark the dirty queue was empty.
+        for &n in &self.dirty {
+            self.in_dirty[n as usize] = false;
         }
-        *budget -= 1;
-
-        if forest.has_clash(tbox) {
-            return DlOutcome::Unsat;
-        }
-
-        // Deterministic ∀-rule to fixpoint.
-        let mut changed = false;
-        let alive: Vec<usize> = forest.alive().collect();
-        for x in alive {
-            let foralls: Vec<(RoleExpr, Concept)> = forest.nodes[x]
-                .label
-                .iter()
-                .filter_map(|c| match c {
-                    Concept::ForAll(r, body) => Some((*r, (**body).clone())),
-                    _ => None,
-                })
-                .collect();
-            for (r, body) in foralls {
-                for y in forest.neighbors(tbox, x, r) {
-                    if !label_subsumes(&forest.nodes[y].label, &body) {
-                        add_concept(&mut forest.nodes[y].label, body.clone());
-                        changed = true;
+        self.dirty.clear();
+        self.clash = false;
+        while self.trail.len() > mark.trail {
+            match self.trail.pop().expect("len checked") {
+                Op::Label { node, cid } => {
+                    let mix = self.arena.mix(cid);
+                    let n = &mut self.nodes[node as usize];
+                    let pos = n.label.binary_search(&cid).expect("label op consistent");
+                    n.label.remove(pos);
+                    n.label_hash ^= mix;
+                }
+                Op::EdgeRole { node, role } => {
+                    let roles = &self.roles;
+                    let n = &mut self.nodes[node as usize];
+                    let pos = n.edge.binary_search(&role).expect("edge op consistent");
+                    n.edge.remove(pos);
+                    n.edge_hash ^= Self::role_mix(role);
+                    // Closures are unions, not XORs: recompute from the
+                    // remaining labels (edge mutations are rare).
+                    n.down_closure.iter_mut().for_each(|w| *w = 0);
+                    n.up_closure.iter_mut().for_each(|w| *w = 0);
+                    for i in 0..n.edge.len() {
+                        let r = n.edge[i];
+                        roles.union_row_into(&mut n.down_closure, r);
+                        roles.union_row_into(&mut n.up_closure, invert_role_expr(r));
                     }
                 }
-            }
-        }
-        if changed {
-            continue;
-        }
-
-        // ⊔-rule: first node with an unresolved disjunction.
-        let alive: Vec<usize> = forest.alive().collect();
-        for &x in &alive {
-            let disjunction = forest.nodes[x].label.iter().find_map(|c| match c {
-                Concept::Or(cs) if !cs.iter().any(|d| label_subsumes(&forest.nodes[x].label, d)) => {
-                    Some(cs.clone())
+                Op::Distinct { a, b } => {
+                    let pos =
+                        self.nodes[a as usize].distinct.binary_search(&b).expect("distinct op");
+                    self.nodes[a as usize].distinct.remove(pos);
+                    let pos =
+                        self.nodes[b as usize].distinct.binary_search(&a).expect("distinct op");
+                    self.nodes[b as usize].distinct.remove(pos);
                 }
-                _ => None,
-            });
-            if let Some(cs) = disjunction {
-                let mut limited = false;
-                for d in cs {
-                    let mut branch = forest.clone();
-                    add_concept(&mut branch.nodes[x].label, d);
-                    match expand(tbox, internal, branch, budget) {
-                        DlOutcome::Sat => return DlOutcome::Sat,
-                        DlOutcome::Unsat => {}
-                        DlOutcome::ResourceLimit => limited = true,
+                Op::NodeAdded => {
+                    let node = self.nodes.pop().expect("node op consistent");
+                    self.in_dirty.pop();
+                    if node.parent != NO_PARENT {
+                        let popped = self.nodes[node.parent as usize].children.pop();
+                        debug_assert_eq!(popped, Some(self.nodes.len() as u32));
                     }
                 }
-                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+                Op::Killed { node } => self.nodes[node as usize].alive = true,
+                Op::Reparented { child, old_parent, new_parent } => {
+                    let popped = self.nodes[new_parent as usize].children.pop();
+                    debug_assert_eq!(popped, Some(child));
+                    self.nodes[child as usize].parent = old_parent;
+                }
+                Op::ChildUnlinked { parent, child, index } => {
+                    self.nodes[parent as usize].children.insert(index as usize, child);
+                }
+                Op::GenDone { idx } => self.gen_done[idx as usize] = false,
             }
         }
+        self.or_cursor = mark.or_cursor;
+        self.or_agenda.truncate(mark.or_len);
+        self.atmost_agenda.truncate(mark.atmost_len);
+        self.gen_agenda.truncate(mark.gen_len);
+        self.gen_done.truncate(mark.gen_len);
+    }
 
-        // ≤-rule: merge surplus neighbours.
-        for &x in &alive {
-            let at_mosts: Vec<(u32, RoleExpr)> = forest.nodes[x]
-                .label
-                .iter()
-                .filter_map(|c| match c {
-                    Concept::AtMost(n, r) => Some((*n, *r)),
-                    _ => None,
-                })
-                .collect();
-            for (n, r) in at_mosts {
-                let neighbors = forest.neighbors(tbox, x, r);
-                if neighbors.len() <= n as usize {
+    /// Whether `node`'s label makes `cid` true syntactically (membership,
+    /// with conjunctions split).
+    fn label_subsumes(&self, node: u32, cid: ConceptId) -> bool {
+        match self.arena.kind(cid) {
+            CKind::Top => true,
+            CKind::And(ids) => ids.iter().all(|c| self.label_subsumes(node, *c)),
+            _ => self.nodes[node as usize].label.binary_search(&cid).is_ok(),
+        }
+    }
+
+    /// Collect the `role`-neighbours of `x` into `out` (children through a
+    /// sub-role edge, plus the parent when the inverted edge closure
+    /// reaches `role`). No allocation: callers pass the engine's scratch.
+    fn collect_neighbors(nodes: &[ENode], x: u32, role: RoleExprId, out: &mut Vec<u32>) {
+        out.clear();
+        let n = &nodes[x as usize];
+        for &child in &n.children {
+            if nodes[child as usize].alive
+                && RoleClosure::contains(&nodes[child as usize].down_closure, role)
+            {
+                out.push(child);
+            }
+        }
+        if n.parent != NO_PARENT
+            && nodes[n.parent as usize].alive
+            && RoleClosure::contains(&n.up_closure, role)
+        {
+            out.push(n.parent);
+        }
+    }
+
+    /// Deterministic work at one dirty node: `∀`-propagation to current
+    /// neighbours plus this node's clash conditions (`≤` over distinct
+    /// neighbours, edge disjointness).
+    fn process_node(&mut self, x: u32) {
+        if !self.nodes[x as usize].alive {
+            return;
+        }
+        // ∀-rule: iterate by index — the label can grow during
+        // propagation (back-propagation onto x itself).
+        let mut i = 0;
+        while i < self.nodes[x as usize].label.len() {
+            let cid = self.nodes[x as usize].label[i];
+            i += 1;
+            let CKind::ForAll(role, body) = *self.arena.kind(cid) else { continue };
+            let mut c = 0;
+            while c < self.nodes[x as usize].children.len() {
+                let child = self.nodes[x as usize].children[c];
+                c += 1;
+                if self.nodes[child as usize].alive
+                    && RoleClosure::contains(&self.nodes[child as usize].down_closure, role)
+                    && !self.label_subsumes(child, body)
+                {
+                    self.add_concept(child, body);
+                }
+            }
+            let parent = self.nodes[x as usize].parent;
+            if parent != NO_PARENT
+                && self.nodes[parent as usize].alive
+                && RoleClosure::contains(&self.nodes[x as usize].up_closure, role)
+                && !self.label_subsumes(parent, body)
+            {
+                self.add_concept(parent, body);
+            }
+            if self.clash {
+                return;
+            }
+        }
+        // Edge disjointness.
+        if self.roles.has_disjointness()
+            && !self.nodes[x as usize].edge.is_empty()
+            && self.roles.edge_violates_disjointness(&self.nodes[x as usize].down_closure)
+        {
+            self.clash = true;
+            return;
+        }
+        // ≤n R with more than n pairwise-distinct R-neighbours.
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for i in 0..self.nodes[x as usize].label.len() {
+            let cid = self.nodes[x as usize].label[i];
+            let CKind::AtMost(n, role) = *self.arena.kind(cid) else { continue };
+            Self::collect_neighbors(&self.nodes, x, role, &mut scratch);
+            if scratch.len() > n as usize && self.all_pairwise_distinct(&scratch) {
+                self.clash = true;
+                break;
+            }
+        }
+        self.scratch = scratch;
+    }
+
+    fn all_pairwise_distinct(&self, nodes: &[u32]) -> bool {
+        nodes.iter().enumerate().all(|(i, &a)| {
+            nodes[i + 1..].iter().all(|b| self.nodes[a as usize].distinct.binary_search(b).is_ok())
+        })
+    }
+
+    /// Whether `nodes` contains `n` mutually-distinct members (exhaustive
+    /// over subsets; `n` is tiny in ORM workloads).
+    fn has_n_pairwise_distinct(&self, nodes: &[u32], n: usize) -> bool {
+        fn go(engine: &Engine, nodes: &[u32], chosen: &mut Vec<u32>, n: usize) -> bool {
+            if chosen.len() == n {
+                return true;
+            }
+            for (i, &cand) in nodes.iter().enumerate() {
+                if chosen
+                    .iter()
+                    .all(|&c| engine.nodes[c as usize].distinct.binary_search(&cand).is_ok())
+                {
+                    chosen.push(cand);
+                    if go(engine, &nodes[i + 1..], chosen, n) {
+                        return true;
+                    }
+                    chosen.pop();
+                }
+            }
+            false
+        }
+        if n <= 1 {
+            return !nodes.is_empty();
+        }
+        go(self, nodes, &mut Vec::new(), n)
+    }
+
+    /// Ancestors of `x` (exclusive), root last.
+    fn ancestors(&self, x: u32) -> impl Iterator<Item = u32> + '_ {
+        let mut cur = self.nodes[x as usize].parent;
+        std::iter::from_fn(move || {
+            if cur == NO_PARENT {
+                return None;
+            }
+            let here = cur;
+            cur = self.nodes[cur as usize].parent;
+            Some(here)
+        })
+    }
+
+    /// Pairwise blocking with a fingerprint fast path: `x` is blocked when
+    /// some ancestor pair mirrors `x` and its parent exactly, or some
+    /// ancestor is itself directly blocked (indirect blocking).
+    fn blocked(&self, x: u32) -> bool {
+        if self.nodes[x as usize].parent == NO_PARENT {
+            return false;
+        }
+        self.ancestors(x).any(|y| self.directly_blocks(y, x) || self.blocked_directly(y))
+    }
+
+    fn blocked_directly(&self, x: u32) -> bool {
+        if self.nodes[x as usize].parent == NO_PARENT {
+            return false;
+        }
+        self.ancestors(x).any(|y| self.directly_blocks(y, x))
+    }
+
+    /// Whether ancestor `y` (with its parent) mirrors `x` (with its
+    /// parent): the pairwise-blocking witness test.
+    fn directly_blocks(&self, y: u32, x: u32) -> bool {
+        let yp = self.nodes[y as usize].parent;
+        if yp == NO_PARENT {
+            return false;
+        }
+        let xp = self.nodes[x as usize].parent;
+        let (nx, ny) = (&self.nodes[x as usize], &self.nodes[y as usize]);
+        let (nxp, nyp) = (&self.nodes[xp as usize], &self.nodes[yp as usize]);
+        // Fingerprints first: almost every candidate fails here.
+        if nx.label_hash != ny.label_hash
+            || nxp.label_hash != nyp.label_hash
+            || nx.edge_hash != ny.edge_hash
+        {
+            return false;
+        }
+        nx.label == ny.label && nxp.label == nyp.label && nx.edge == ny.edge
+    }
+
+    /// The search loop: drain deterministic work, then branch on `⊔`,
+    /// then on `≤`-merges, then apply one generating rule; a quiescent,
+    /// clash-free forest is satisfiable.
+    fn search(&mut self) -> DlOutcome {
+        loop {
+            // Drain the dirty worklist (∀-propagation and clash checks).
+            while let Some(x) = self.dirty.pop() {
+                self.in_dirty[x as usize] = false;
+                if self.budget == 0 {
+                    return DlOutcome::ResourceLimit;
+                }
+                self.budget -= 1;
+                self.process_node(x);
+                if self.clash {
+                    return DlOutcome::Unsat;
+                }
+            }
+
+            // ⊔-rule: first live, unresolved disjunction on the agenda.
+            while self.or_cursor < self.or_agenda.len() {
+                let (node, cid) = self.or_agenda[self.or_cursor];
+                let resolved = !self.nodes[node as usize].alive || {
+                    let CKind::Or(ids) = self.arena.kind(cid) else {
+                        unreachable!("or agenda holds disjunctions")
+                    };
+                    ids.iter().any(|d| self.label_subsumes(node, *d))
+                };
+                if resolved {
+                    self.or_cursor += 1;
                     continue;
                 }
-                // Try every mergeable pair; merge the child of the pair.
-                // At least one pair is mergeable here: were all pairs
-                // asserted distinct, the clash check above would have
-                // fired.
+                if self.budget == 0 {
+                    return DlOutcome::ResourceLimit;
+                }
+                self.budget -= 1;
+                let CKind::Or(ids) = self.arena.kind(cid) else { unreachable!() };
+                let disjuncts = ids.clone().into_vec();
                 let mut limited = false;
-                let mut tried = false;
-                for (i, &a) in neighbors.iter().enumerate() {
-                    for &b in neighbors.iter().skip(i + 1) {
-                        if forest.nodes[a].distinct.contains(&b) {
-                            continue;
-                        }
-                        // At most one of a, b is x's parent; merge the
-                        // child into the other node.
-                        let (from, to) = if forest.nodes[x].parent == Some(a) {
-                            (b, a)
-                        } else {
-                            (a, b)
-                        };
-                        tried = true;
-                        let mut branch = forest.clone();
-                        branch.merge(x, from, to);
-                        match expand(tbox, internal, branch, budget) {
+                for d in disjuncts {
+                    let mark = self.mark();
+                    self.add_concept(node, d);
+                    if !self.clash {
+                        match self.search() {
                             DlOutcome::Sat => return DlOutcome::Sat,
                             DlOutcome::Unsat => {}
                             DlOutcome::ResourceLimit => limited = true,
                         }
+                    }
+                    self.rollback(mark);
+                }
+                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+            }
+
+            // ≤-rule: merge surplus neighbours (violation is not monotone,
+            // so the agenda is scanned in full).
+            let mut le_choice = None;
+            let mut scratch = std::mem::take(&mut self.scratch);
+            for idx in 0..self.atmost_agenda.len() {
+                let (node, n, role) = self.atmost_agenda[idx];
+                if !self.nodes[node as usize].alive {
+                    continue;
+                }
+                Self::collect_neighbors(&self.nodes, node, role, &mut scratch);
+                if scratch.len() > n as usize {
+                    le_choice = Some((node, scratch.clone()));
+                    break;
+                }
+            }
+            self.scratch = scratch;
+            if let Some((via, neighbors)) = le_choice {
+                if self.budget == 0 {
+                    return DlOutcome::ResourceLimit;
+                }
+                self.budget -= 1;
+                // Try every mergeable pair; merge the child of the pair.
+                // At least one pair is mergeable: were all pairs asserted
+                // distinct, the clash check in process_node would have
+                // fired before quiescence.
+                let mut limited = false;
+                let mut tried = false;
+                for (i, &a) in neighbors.iter().enumerate() {
+                    for &b in neighbors[i + 1..].iter() {
+                        if self.nodes[a as usize].distinct.binary_search(&b).is_ok() {
+                            continue;
+                        }
+                        // At most one of a, b is via's parent; merge the
+                        // child into the other node.
+                        let (from, to) =
+                            if self.nodes[via as usize].parent == a { (b, a) } else { (a, b) };
+                        tried = true;
+                        let mark = self.mark();
+                        self.merge(via, from, to);
+                        if !self.clash {
+                            match self.search() {
+                                DlOutcome::Sat => return DlOutcome::Sat,
+                                DlOutcome::Unsat => {}
+                                DlOutcome::ResourceLimit => limited = true,
+                            }
+                        }
+                        self.rollback(mark);
                     }
                 }
                 if !tried {
@@ -394,331 +783,144 @@ fn expand(tbox: &TBox, internal: &Concept, mut forest: Forest, budget: &mut u64)
                 }
                 return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
             }
-        }
 
-        // Generating rules on unblocked nodes.
-        let mut generated = false;
-        for &x in &alive {
-            if !forest.nodes[x].alive || forest.blocked(x) {
+            // Generating rules on unblocked nodes.
+            match self.apply_one_generator() {
+                Some(true) => {
+                    if self.clash {
+                        return DlOutcome::Unsat;
+                    }
+                    continue;
+                }
+                None => return DlOutcome::ResourceLimit,
+                Some(false) => {}
+            }
+            if self.budget == 0 {
+                // Out of budget exactly at quiescence: certifying
+                // completeness costs the final unit, as in the original
+                // engine's per-iteration accounting.
+                return DlOutcome::ResourceLimit;
+            }
+            self.budget -= 1;
+
+            // No rule applies: complete and clash-free.
+            return DlOutcome::Sat;
+        }
+    }
+
+    /// Apply the first applicable `∃`/`≥` rule. `Some(true)`: one fired.
+    /// `Some(false)`: none applicable. `None`: one was applicable but the
+    /// budget is exhausted. Satisfied entries get a sticky (trail-recorded)
+    /// done bit; blocked entries are skipped but stay pending, since
+    /// blocking is not monotone.
+    fn apply_one_generator(&mut self) -> Option<bool> {
+        let mut scratch = std::mem::take(&mut self.scratch);
+        for idx in 0..self.gen_agenda.len() {
+            if self.gen_done[idx] {
                 continue;
             }
-            let label = forest.nodes[x].label.clone();
-            for c in &label {
-                match c {
-                    Concept::Exists(r, body) => {
-                        let satisfied = forest
-                            .neighbors(tbox, x, *r)
-                            .into_iter()
-                            .any(|y| label_subsumes(&forest.nodes[y].label, body));
-                        if !satisfied {
-                            let mut child_label = BTreeSet::new();
-                            add_concept(&mut child_label, (**body).clone());
-                            add_concept(&mut child_label, internal.clone());
-                            forest.add_child(x, BTreeSet::from([*r]), child_label);
-                            generated = true;
+            let (node, cid) = self.gen_agenda[idx];
+            if !self.nodes[node as usize].alive {
+                // Death is monotone within a branch: sticky-skip. The
+                // label moved to the merge survivor, whose own agenda
+                // entry covers the rule.
+                self.gen_done[idx] = true;
+                self.trail.push(Op::GenDone { idx: idx as u32 });
+                continue;
+            }
+            match *self.arena.kind(cid) {
+                CKind::Exists(role, body) => {
+                    Self::collect_neighbors(&self.nodes, node, role, &mut scratch);
+                    if scratch.iter().any(|&y| self.label_subsumes(y, body)) {
+                        // Satisfaction is monotone within a branch (labels
+                        // grow, merges preserve neighbours): sticky-skip.
+                        self.gen_done[idx] = true;
+                        self.trail.push(Op::GenDone { idx: idx as u32 });
+                        continue;
+                    }
+                    if self.blocked(node) {
+                        continue;
+                    }
+                    self.scratch = scratch;
+                    if self.budget == 0 {
+                        return None;
+                    }
+                    self.budget -= 1;
+                    self.add_child(node, role, Some(body));
+                    self.gen_done[idx] = true;
+                    self.trail.push(Op::GenDone { idx: idx as u32 });
+                    return Some(true);
+                }
+                CKind::AtLeast(n, role) => {
+                    if n == 0 {
+                        // ≥0 R is ⊤; nothing to generate.
+                        self.gen_done[idx] = true;
+                        self.trail.push(Op::GenDone { idx: idx as u32 });
+                        continue;
+                    }
+                    Self::collect_neighbors(&self.nodes, node, role, &mut scratch);
+                    if scratch.len() >= n as usize
+                        && self.has_n_pairwise_distinct(&scratch, n as usize)
+                    {
+                        self.gen_done[idx] = true;
+                        self.trail.push(Op::GenDone { idx: idx as u32 });
+                        continue;
+                    }
+                    if self.blocked(node) {
+                        continue;
+                    }
+                    self.scratch = scratch;
+                    if self.budget == 0 {
+                        return None;
+                    }
+                    self.budget -= 1;
+                    let fresh: Vec<u32> =
+                        (0..n).map(|_| self.add_child(node, role, None)).collect();
+                    for (i, &a) in fresh.iter().enumerate() {
+                        for &b in fresh[i + 1..].iter() {
+                            self.add_distinct(a, b);
                         }
                     }
-                    Concept::AtLeast(n, r) => {
-                        let neighbors = forest.neighbors(tbox, x, *r);
-                        let enough = neighbors.len() >= *n as usize
-                            && has_n_pairwise_distinct(&forest, &neighbors, *n as usize);
-                        if !enough {
-                            let mut fresh = Vec::new();
-                            for _ in 0..*n {
-                                let mut child_label = BTreeSet::new();
-                                add_concept(&mut child_label, internal.clone());
-                                let id =
-                                    forest.add_child(x, BTreeSet::from([*r]), child_label);
-                                fresh.push(id);
-                            }
-                            for (i, &a) in fresh.iter().enumerate() {
-                                for &b in fresh.iter().skip(i + 1) {
-                                    forest.nodes[a].distinct.insert(b);
-                                    forest.nodes[b].distinct.insert(a);
-                                }
-                            }
-                            generated = true;
-                        }
-                    }
-                    _ => {}
+                    self.gen_done[idx] = true;
+                    self.trail.push(Op::GenDone { idx: idx as u32 });
+                    return Some(true);
                 }
-                if generated {
-                    break;
-                }
-            }
-            if generated {
-                break;
+                _ => unreachable!("generator agenda holds ∃/≥ concepts"),
             }
         }
-        if generated {
-            continue;
-        }
-
-        // No rule applies: complete and clash-free.
-        return DlOutcome::Sat;
+        self.scratch = scratch;
+        Some(false)
     }
-}
-
-/// Whether `label` already makes `c` true syntactically (membership, with
-/// conjunctions split).
-fn label_subsumes(label: &BTreeSet<Concept>, c: &Concept) -> bool {
-    match c {
-        Concept::Top => true,
-        Concept::And(cs) => cs.iter().all(|d| label_subsumes(label, d)),
-        other => label.contains(other),
-    }
-}
-
-/// Whether `nodes` contains `n` mutually-distinct members.
-fn has_n_pairwise_distinct(forest: &Forest, nodes: &[usize], n: usize) -> bool {
-    if n <= 1 {
-        return !nodes.is_empty();
-    }
-    // Greedy clique search over the distinctness graph; n is tiny (≤ a few)
-    // in ORM-generated workloads, so exhaustive search over subsets is fine.
-    subsets_of_size(nodes, n).into_iter().any(|combo| {
-        combo.iter().enumerate().all(|(i, &a)| {
-            combo.iter().skip(i + 1).all(|&b| forest.nodes[a].distinct.contains(&b))
-        })
-    })
-}
-
-fn subsets_of_size(items: &[usize], k: usize) -> Vec<Vec<usize>> {
-    if k > items.len() {
-        return Vec::new();
-    }
-    if k == 0 {
-        return vec![Vec::new()];
-    }
-    let mut out = Vec::new();
-    for (i, &first) in items.iter().enumerate() {
-        for mut rest in subsets_of_size(&items[i + 1..], k - 1) {
-            rest.insert(0, first);
-            out.push(rest);
-        }
-    }
-    out
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::concept::Concept as C;
 
-    const BUDGET: u64 = 500_000;
-
-    fn atom(t: &mut TBox, name: &str) -> C {
-        C::Atomic(t.atom(name))
+    /// The shared scenario suite (see `crate::test_scenarios`): every rule
+    /// interaction with its expected verdict, run through the trail-based
+    /// engine. `classic::tests` runs the identical list, so both engines
+    /// answer to one specification.
+    #[test]
+    fn trail_engine_matches_expected_verdicts() {
+        for case in crate::test_scenarios::all() {
+            assert_eq!(
+                satisfiable(&case.tbox, &case.query, case.budget),
+                case.expected,
+                "trail engine wrong on: {}",
+                case.name
+            );
+        }
     }
 
     #[test]
-    fn top_is_satisfiable_and_bottom_is_not() {
-        let t = TBox::new();
-        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
-        assert_eq!(satisfiable(&t, &C::Bottom, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn atomic_clash() {
+    fn subsumes_reduces_to_unsatisfiability() {
         let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let query = C::and([a.clone(), C::not(a)]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn subsumption_via_tbox() {
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let b = atom(&mut t, "B");
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
         t.gci(a.clone(), b.clone());
-        // A ⊓ ¬B unsatisfiable; A alone satisfiable.
-        assert_eq!(
-            satisfiable(&t, &C::and([a.clone(), C::not(b)]), BUDGET),
-            DlOutcome::Unsat
-        );
-        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn disjunction_branches() {
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let b = atom(&mut t, "B");
-        // (A ⊔ B) ⊓ ¬A is satisfiable through the B branch.
-        let query = C::and([C::or([a.clone(), b.clone()]), C::not(a.clone())]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
-        // (A ⊔ B) ⊓ ¬A ⊓ ¬B clashes on both branches.
-        let query = C::and([C::or([a.clone(), b.clone()]), C::not(a), C::not(b)]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn exists_and_forall_interact() {
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let r = RoleExpr::direct(t.role("R"));
-        // ∃R.A ⊓ ∀R.¬A is unsatisfiable.
-        let query = C::and([
-            C::Exists(r, Box::new(a.clone())),
-            C::ForAll(r, Box::new(C::not(a.clone()))),
-        ]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-        // ∃R.A ⊓ ∀R.A is fine.
-        let query = C::and([
-            C::Exists(r, Box::new(a.clone())),
-            C::ForAll(r, Box::new(a)),
-        ]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn inverse_roles_propagate_back() {
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let r = RoleExpr::direct(t.role("R"));
-        // ¬A ⊓ ∃R.(∀R⁻.A): the successor forces A back onto the root.
-        let query = C::and([
-            C::not(a.clone()),
-            C::Exists(r, Box::new(C::ForAll(r.inverse(), Box::new(a)))),
-        ]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn at_least_vs_at_most() {
-        let mut t = TBox::new();
-        let r = RoleExpr::direct(t.role("R"));
-        // ≥2 R ⊓ ≤1 R unsatisfiable.
-        let query = C::and([C::AtLeast(2, r), C::AtMost(1, r)]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-        // ≥2 R ⊓ ≤2 R fine.
-        let query = C::and([C::AtLeast(2, r), C::AtMost(2, r)]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn merge_resolves_surplus_neighbors() {
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let b = atom(&mut t, "B");
-        let r = RoleExpr::direct(t.role("R"));
-        // ∃R.A ⊓ ∃R.B ⊓ ≤1 R: the two successors merge into one node that
-        // is both A and B — satisfiable.
-        let query = C::and([
-            C::Exists(r, Box::new(a.clone())),
-            C::Exists(r, Box::new(b.clone())),
-            C::AtMost(1, r),
-        ]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Sat);
-        // Making A and B disjoint turns the merge into a clash.
-        let mut t2 = TBox::new();
-        let a2 = atom(&mut t2, "A");
-        let b2 = atom(&mut t2, "B");
-        let r2 = RoleExpr::direct(t2.role("R"));
-        t2.gci(C::and([a2.clone(), b2.clone()]), C::Bottom);
-        let query = C::and([
-            C::Exists(r2, Box::new(a2)),
-            C::Exists(r2, Box::new(b2)),
-            C::AtMost(1, r2),
-        ]);
-        assert_eq!(satisfiable(&t2, &query, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn role_hierarchy_counts_subroles() {
-        let mut t = TBox::new();
-        let r = t.role("R");
-        let s = t.role("S");
-        t.role_inclusion(RoleExpr::direct(s), RoleExpr::direct(r));
-        // ∃S.⊤ ⊓ ≤0 R: the S-successor is also an R-neighbour.
-        let query = C::and([
-            C::some(RoleExpr::direct(s)),
-            C::AtMost(0, RoleExpr::direct(r)),
-        ]);
-        assert_eq!(satisfiable(&t, &query, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn role_disjointness_clashes() {
-        let mut t = TBox::new();
-        let r = t.role("R");
-        let s = t.role("S");
-        t.disjoint(RoleExpr::direct(r), RoleExpr::direct(s));
-        // ∃R.⊤ ⊓ ∃S.⊤ ⊓ ≤1 R ⊓ ≤1 S — fine, two separate successors…
-        let fine = C::and([
-            C::some(RoleExpr::direct(r)),
-            C::some(RoleExpr::direct(s)),
-        ]);
-        assert_eq!(satisfiable(&t, &fine, BUDGET), DlOutcome::Sat);
-        // …but forcing them onto one successor clashes. With ≤1 over a
-        // common super-role Q of both R and S, the successors must merge.
-        let mut t2 = TBox::new();
-        let r2 = t2.role("R");
-        let s2 = t2.role("S");
-        let q2 = t2.role("Q");
-        t2.role_inclusion(RoleExpr::direct(r2), RoleExpr::direct(q2));
-        t2.role_inclusion(RoleExpr::direct(s2), RoleExpr::direct(q2));
-        t2.disjoint(RoleExpr::direct(r2), RoleExpr::direct(s2));
-        let clash = C::and([
-            C::some(RoleExpr::direct(r2)),
-            C::some(RoleExpr::direct(s2)),
-            C::AtMost(1, RoleExpr::direct(q2)),
-        ]);
-        assert_eq!(satisfiable(&t2, &clash, BUDGET), DlOutcome::Unsat);
-    }
-
-    #[test]
-    fn infinite_model_requires_blocking() {
-        // ⊤ ⊑ ∃R.⊤ has only infinite (or cyclic) models; blocking must
-        // terminate with Sat.
-        let mut t = TBox::new();
-        let r = RoleExpr::direct(t.role("R"));
-        t.gci(C::Top, C::some(r));
-        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn blocking_with_inverse_cycles() {
-        // A ⊑ ∃R.A with ∀R⁻ constraints — classic pairwise-blocking
-        // exercise; must terminate.
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let r = RoleExpr::direct(t.role("R"));
-        t.gci(a.clone(), C::Exists(r, Box::new(a.clone())));
-        t.gci(C::Top, C::ForAll(r.inverse(), Box::new(a.clone())));
-        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn budget_exhaustion_is_reported() {
-        let mut t = TBox::new();
-        let r = RoleExpr::direct(t.role("R"));
-        t.gci(C::Top, C::some(r));
-        assert_eq!(satisfiable(&t, &C::Top, 2), DlOutcome::ResourceLimit);
-    }
-
-    #[test]
-    fn functionality_with_inverse_mandatory() {
-        // The ORM idiom: ∃R.⊤ ⊑ A, A ⊑ ∃R.⊤, ⊤ ⊑ ≤1 R — satisfiable.
-        let mut t = TBox::new();
-        let a = atom(&mut t, "A");
-        let r = RoleExpr::direct(t.role("R"));
-        t.gci(C::some(r), a.clone());
-        t.gci(a.clone(), C::some(r));
-        t.gci(C::Top, C::AtMost(1, r));
-        assert_eq!(satisfiable(&t, &a, BUDGET), DlOutcome::Sat);
-    }
-
-    #[test]
-    fn frequency_style_contradiction() {
-        // ∃R.⊤ ⊑ ≥2 R and ⊤ ⊑ ≤1 R: playing R at all is impossible.
-        let mut t = TBox::new();
-        let r = RoleExpr::direct(t.role("R"));
-        t.gci(C::some(r), C::AtLeast(2, r));
-        t.gci(C::Top, C::AtMost(1, r));
-        assert_eq!(satisfiable(&t, &C::some(r), BUDGET), DlOutcome::Unsat);
-        // But the TBox itself (⊤) is satisfiable — weak satisfiability.
-        assert_eq!(satisfiable(&t, &C::Top, BUDGET), DlOutcome::Sat);
+        assert_eq!(subsumes(&t, &b, &a, 500_000), Some(true));
+        assert_eq!(subsumes(&t, &a, &b, 500_000), Some(false));
+        assert_eq!(subsumes(&t, &a, &b, 0), None);
     }
 }

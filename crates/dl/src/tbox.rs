@@ -1,5 +1,13 @@
 //! TBoxes: concept axioms, role hierarchy and role disjointness.
+//!
+//! Besides the axiom store, this module hosts [`RoleClosure`]: the
+//! reflexive-transitive super-role relation (closed under inversion)
+//! precomputed once per satisfiability check as per-role-expression
+//! bitsets. The tableau's neighbour tests and edge-disjointness checks
+//! index these bitsets instead of re-walking the inclusion list on every
+//! call, which [`TBox::super_roles`] / [`TBox::is_subrole`] do.
 
+use crate::arena::{role_expr_id, RoleExprId};
 use crate::concept::{AtomId, Concept, RoleExpr, RoleNameId};
 use std::collections::BTreeSet;
 
@@ -79,6 +87,18 @@ impl TBox {
         self.atom_names.len()
     }
 
+    /// Number of interned role names.
+    pub fn role_count(&self) -> usize {
+        self.role_names.len()
+    }
+
+    /// Precompute the sub-role closure and disjointness tables used by the
+    /// tableau engine (one pass per satisfiability check, replacing the
+    /// per-call [`TBox::is_subrole`] walks on the hot path).
+    pub fn role_closure(&self) -> RoleClosure {
+        RoleClosure::build(self)
+    }
+
     /// The internalized TBox concept `⊓ (¬Cᵢ ⊔ Dᵢ)`, which must hold at
     /// every node of a tableau.
     pub fn internalized(&self) -> Concept {
@@ -136,6 +156,117 @@ impl TBox {
     }
 }
 
+/// Precomputed role-hierarchy tables, indexed by [`RoleExprId`].
+///
+/// `closure` stores, for every role expression `r`, the bitset of all
+/// `s ⊒ r` (reflexively, transitively, closed under inversion: `r ⊑ s`
+/// implies `r⁻ ⊑ s⁻`). An edge labelled `{r₁, …}` is an `S`-edge iff the
+/// union of the labels' closure rows contains `S` — one bitset test where
+/// the naive engine re-derived [`TBox::super_roles`] per neighbour probe.
+#[derive(Clone, Debug)]
+pub struct RoleClosure {
+    /// Number of role expressions (`2 ·` role names).
+    n_exprs: usize,
+    /// `u64` words per bitset row.
+    words: usize,
+    /// `n_exprs` rows of `words` words each.
+    closure: Vec<u64>,
+    /// Disjoint pairs as `(a, b, a⁻, b⁻)` expression ids.
+    disjoint: Vec<(RoleExprId, RoleExprId, RoleExprId, RoleExprId)>,
+}
+
+impl RoleClosure {
+    fn build(tbox: &TBox) -> RoleClosure {
+        let n_exprs = tbox.role_count() * 2;
+        let words = n_exprs.div_ceil(64).max(1);
+        let mut closure = vec![0u64; n_exprs * words];
+        // Direct-inclusion adjacency, closed under inversion.
+        let mut direct: Vec<Vec<RoleExprId>> = vec![Vec::new(); n_exprs];
+        for (sub, sup) in &tbox.role_inclusions {
+            direct[role_expr_id(*sub) as usize].push(role_expr_id(*sup));
+            direct[role_expr_id(sub.inverse()) as usize].push(role_expr_id(sup.inverse()));
+        }
+        // Reflexive-transitive closure by DFS from each expression.
+        let mut stack = Vec::new();
+        for start in 0..n_exprs {
+            let row = start * words;
+            closure[row + start / 64] |= 1 << (start % 64);
+            stack.push(start as RoleExprId);
+            while let Some(r) = stack.pop() {
+                for &sup in &direct[r as usize] {
+                    let (w, b) = (row + sup as usize / 64, 1u64 << (sup % 64));
+                    if closure[w] & b == 0 {
+                        closure[w] |= b;
+                        stack.push(sup);
+                    }
+                }
+            }
+        }
+        let disjoint = tbox
+            .disjoint_roles
+            .iter()
+            .map(|(a, b)| {
+                (
+                    role_expr_id(*a),
+                    role_expr_id(*b),
+                    role_expr_id(a.inverse()),
+                    role_expr_id(b.inverse()),
+                )
+            })
+            .collect();
+        RoleClosure { n_exprs, words, closure, disjoint }
+    }
+
+    /// Words per bitset row (size edge-closure accumulators to this).
+    pub fn words(&self) -> usize {
+        self.words
+    }
+
+    /// Number of role expressions covered.
+    pub fn n_exprs(&self) -> usize {
+        self.n_exprs
+    }
+
+    /// The closure row of `r`: the bitset of all super-expressions of `r`.
+    pub fn row(&self, r: RoleExprId) -> &[u64] {
+        let start = r as usize * self.words;
+        &self.closure[start..start + self.words]
+    }
+
+    /// Whether `sub ⊑* sup`.
+    pub fn is_subrole(&self, sub: RoleExprId, sup: RoleExprId) -> bool {
+        Self::contains(self.row(sub), sup)
+    }
+
+    /// Union `r`'s closure row into an accumulator bitset.
+    pub fn union_row_into(&self, acc: &mut [u64], r: RoleExprId) {
+        for (a, w) in acc.iter_mut().zip(self.row(r)) {
+            *a |= w;
+        }
+    }
+
+    /// Whether an accumulator bitset contains `r`.
+    pub fn contains(acc: &[u64], r: RoleExprId) -> bool {
+        acc[r as usize / 64] & (1 << (r % 64)) != 0
+    }
+
+    /// Whether an upward-closed edge bitset violates a role disjointness
+    /// declaration (`R ⊓ S = ∅` is checked in both joint orientations,
+    /// matching [`TBox::edge_violates_disjointness`]).
+    pub fn edge_violates_disjointness(&self, acc: &[u64]) -> bool {
+        self.disjoint.iter().any(|&(a, b, ai, bi)| {
+            (Self::contains(acc, a) && Self::contains(acc, b))
+                || (Self::contains(acc, ai) && Self::contains(acc, bi))
+        })
+    }
+
+    /// Whether any disjointness declarations exist at all (lets the engine
+    /// skip edge checks entirely on the common no-disjointness case).
+    pub fn has_disjointness(&self) -> bool {
+        !self.disjoint.is_empty()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -161,10 +292,7 @@ mod tests {
         let b = t.atom("B");
         t.gci(Concept::Atomic(a), Concept::Atomic(b));
         let internal = t.internalized();
-        assert_eq!(
-            internal,
-            Concept::Or(vec![Concept::NotAtomic(a), Concept::Atomic(b)])
-        );
+        assert_eq!(internal, Concept::Or(vec![Concept::NotAtomic(a), Concept::Atomic(b)]));
         assert_eq!(TBox::new().internalized(), Concept::Top);
     }
 
@@ -208,6 +336,58 @@ mod tests {
         assert!(t.edge_violates_disjointness(&inv_both));
         let single: BTreeSet<RoleExpr> = [RoleExpr::direct(f)].into_iter().collect();
         assert!(!t.edge_violates_disjointness(&single));
+    }
+
+    #[test]
+    fn closure_table_agrees_with_is_subrole() {
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        let q = t.role("Q");
+        let f = t.role("F");
+        let g = t.role("G");
+        t.role_inclusion(RoleExpr::direct(r), RoleExpr::direct(s));
+        t.role_inclusion(RoleExpr::direct(s), RoleExpr::direct(q));
+        t.role_inclusion(RoleExpr::direct(f), RoleExpr::inv_of(g));
+        let table = t.role_closure();
+        let exprs: Vec<RoleExpr> = (0..t.role_count() as u32)
+            .flat_map(|n| [RoleExpr::direct(n), RoleExpr::inv_of(n)])
+            .collect();
+        for &sub in &exprs {
+            for &sup in &exprs {
+                assert_eq!(
+                    table.is_subrole(role_expr_id(sub), role_expr_id(sup)),
+                    t.is_subrole(sub, sup),
+                    "closure table disagrees on {sub} ⊑ {sup}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn closure_table_disjointness_matches() {
+        let mut t = TBox::new();
+        let f = t.role("F");
+        let g = t.role("G");
+        let h = t.role("H");
+        t.role_inclusion(RoleExpr::direct(h), RoleExpr::direct(f));
+        t.disjoint(RoleExpr::direct(f), RoleExpr::direct(g));
+        let table = t.role_closure();
+        assert!(table.has_disjointness());
+        // Edge {H, G}: upward closure holds F and G → violation.
+        let mut acc = vec![0u64; table.words()];
+        table.union_row_into(&mut acc, role_expr_id(RoleExpr::direct(h)));
+        table.union_row_into(&mut acc, role_expr_id(RoleExpr::direct(g)));
+        assert!(table.edge_violates_disjointness(&acc));
+        // Edge {H} alone is fine.
+        let mut acc = vec![0u64; table.words()];
+        table.union_row_into(&mut acc, role_expr_id(RoleExpr::direct(h)));
+        assert!(!table.edge_violates_disjointness(&acc));
+        // Jointly inverted orientation also violates.
+        let mut acc = vec![0u64; table.words()];
+        table.union_row_into(&mut acc, role_expr_id(RoleExpr::inv_of(h)));
+        table.union_row_into(&mut acc, role_expr_id(RoleExpr::inv_of(g)));
+        assert!(table.edge_violates_disjointness(&acc));
     }
 
     #[test]

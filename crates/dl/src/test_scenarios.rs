@@ -1,0 +1,244 @@
+//! Shared unit scenarios for both tableau engines.
+//!
+//! One case per rule interaction (clash, `⊔`, `∃`/`∀`, inverses, number
+//! restrictions, merging, role hierarchy/disjointness, blocking, budget),
+//! each with its expected verdict. `tableau::tests` and `classic::tests`
+//! both iterate this list, so the two engines are held to the same
+//! specification without duplicating the scenarios.
+
+use crate::concept::{Concept as C, RoleExpr};
+use crate::tableau::DlOutcome;
+use crate::tbox::TBox;
+
+/// A named satisfiability scenario with its expected verdict.
+pub(crate) struct Case {
+    /// What the scenario exercises.
+    pub name: &'static str,
+    /// The terminology.
+    pub tbox: TBox,
+    /// The query concept.
+    pub query: C,
+    /// Rule-application budget.
+    pub budget: u64,
+    /// The verdict both engines must return.
+    pub expected: DlOutcome,
+}
+
+const BUDGET: u64 = 500_000;
+
+fn case(name: &'static str, tbox: TBox, query: C, expected: DlOutcome) -> Case {
+    Case { name, tbox, query, budget: BUDGET, expected }
+}
+
+/// All shared scenarios.
+pub(crate) fn all() -> Vec<Case> {
+    let mut out = Vec::new();
+
+    out.push(case("top is satisfiable", TBox::new(), C::Top, DlOutcome::Sat));
+    out.push(case("bottom is unsatisfiable", TBox::new(), C::Bottom, DlOutcome::Unsat));
+
+    {
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        out.push(case("atomic clash", t, C::and([a.clone(), C::not(a)]), DlOutcome::Unsat));
+    }
+
+    {
+        // A ⊑ B: A ⊓ ¬B unsatisfiable, A alone satisfiable.
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        let b = C::Atomic(t.atom("B"));
+        t.gci(a.clone(), b.clone());
+        out.push(case(
+            "tbox subsumption refutes A ⊓ ¬B",
+            t.clone(),
+            C::and([a.clone(), C::not(b)]),
+            DlOutcome::Unsat,
+        ));
+        out.push(case("subsumed atom stays satisfiable", t, a, DlOutcome::Sat));
+    }
+
+    {
+        // Disjunction branching.
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        let b = C::Atomic(t.atom("B"));
+        out.push(case(
+            "disjunction survives through the other branch",
+            t.clone(),
+            C::and([C::or([a.clone(), b.clone()]), C::not(a.clone())]),
+            DlOutcome::Sat,
+        ));
+        out.push(case(
+            "disjunction clashes on both branches",
+            t,
+            C::and([C::or([a.clone(), b.clone()]), C::not(a), C::not(b)]),
+            DlOutcome::Unsat,
+        ));
+    }
+
+    {
+        // ∃/∀ interaction.
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        let r = RoleExpr::direct(t.role("R"));
+        out.push(case(
+            "∃R.A ⊓ ∀R.¬A clashes at the successor",
+            t.clone(),
+            C::and([C::Exists(r, Box::new(a.clone())), C::ForAll(r, Box::new(C::not(a.clone())))]),
+            DlOutcome::Unsat,
+        ));
+        out.push(case(
+            "∃R.A ⊓ ∀R.A is satisfiable",
+            t.clone(),
+            C::and([C::Exists(r, Box::new(a.clone())), C::ForAll(r, Box::new(a.clone()))]),
+            DlOutcome::Sat,
+        ));
+        out.push(case(
+            "inverse role propagates back to the root",
+            t,
+            C::and([
+                C::not(a.clone()),
+                C::Exists(r, Box::new(C::ForAll(r.inverse(), Box::new(a)))),
+            ]),
+            DlOutcome::Unsat,
+        ));
+    }
+
+    {
+        // Unqualified number restrictions.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        out.push(case(
+            "≥2 R ⊓ ≤1 R is unsatisfiable",
+            t.clone(),
+            C::and([C::AtLeast(2, r), C::AtMost(1, r)]),
+            DlOutcome::Unsat,
+        ));
+        out.push(case(
+            "≥2 R ⊓ ≤2 R is satisfiable",
+            t,
+            C::and([C::AtLeast(2, r), C::AtMost(2, r)]),
+            DlOutcome::Sat,
+        ));
+    }
+
+    {
+        // ≤-merging of successors.
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        let b = C::Atomic(t.atom("B"));
+        let r = RoleExpr::direct(t.role("R"));
+        out.push(case(
+            "≤1 merges two successors into one",
+            t.clone(),
+            C::and([
+                C::Exists(r, Box::new(a.clone())),
+                C::Exists(r, Box::new(b.clone())),
+                C::AtMost(1, r),
+            ]),
+            DlOutcome::Sat,
+        ));
+        t.gci(C::and([a.clone(), b.clone()]), C::Bottom);
+        out.push(case(
+            "merge clashes when the successors are disjoint",
+            t,
+            C::and([C::Exists(r, Box::new(a)), C::Exists(r, Box::new(b)), C::AtMost(1, r)]),
+            DlOutcome::Unsat,
+        ));
+    }
+
+    {
+        // Role hierarchy: sub-role successors count toward ≤.
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        t.role_inclusion(RoleExpr::direct(s), RoleExpr::direct(r));
+        out.push(case(
+            "sub-role successor counts toward ≤0 on the super-role",
+            t,
+            C::and([C::some(RoleExpr::direct(s)), C::AtMost(0, RoleExpr::direct(r))]),
+            DlOutcome::Unsat,
+        ));
+    }
+
+    {
+        // Role disjointness: harmless apart, clashing when merged.
+        let mut t = TBox::new();
+        let r = t.role("R");
+        let s = t.role("S");
+        t.disjoint(RoleExpr::direct(r), RoleExpr::direct(s));
+        out.push(case(
+            "disjoint roles on separate successors are fine",
+            t,
+            C::and([C::some(RoleExpr::direct(r)), C::some(RoleExpr::direct(s))]),
+            DlOutcome::Sat,
+        ));
+        let mut t2 = TBox::new();
+        let r2 = t2.role("R");
+        let s2 = t2.role("S");
+        let q2 = t2.role("Q");
+        t2.role_inclusion(RoleExpr::direct(r2), RoleExpr::direct(q2));
+        t2.role_inclusion(RoleExpr::direct(s2), RoleExpr::direct(q2));
+        t2.disjoint(RoleExpr::direct(r2), RoleExpr::direct(s2));
+        out.push(case(
+            "≤1 over a common super-role forces a disjointness clash",
+            t2,
+            C::and([
+                C::some(RoleExpr::direct(r2)),
+                C::some(RoleExpr::direct(s2)),
+                C::AtMost(1, RoleExpr::direct(q2)),
+            ]),
+            DlOutcome::Unsat,
+        ));
+    }
+
+    {
+        // Blocking terminates infinite-model TBoxes.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::Top, C::some(r));
+        out.push(case("⊤ ⊑ ∃R.⊤ terminates via blocking", t.clone(), C::Top, DlOutcome::Sat));
+        out.push(Case {
+            name: "tiny budget reports ResourceLimit",
+            tbox: t,
+            query: C::Top,
+            budget: 2,
+            expected: DlOutcome::ResourceLimit,
+        });
+        let mut t2 = TBox::new();
+        let a = C::Atomic(t2.atom("A"));
+        let r2 = RoleExpr::direct(t2.role("R"));
+        t2.gci(a.clone(), C::Exists(r2, Box::new(a.clone())));
+        t2.gci(C::Top, C::ForAll(r2.inverse(), Box::new(a.clone())));
+        out.push(case("pairwise blocking with inverse cycles", t2, a, DlOutcome::Sat));
+    }
+
+    {
+        // The ORM functionality idiom.
+        let mut t = TBox::new();
+        let a = C::Atomic(t.atom("A"));
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::some(r), a.clone());
+        t.gci(a.clone(), C::some(r));
+        t.gci(C::Top, C::AtMost(1, r));
+        out.push(case("functional mandatory role is satisfiable", t, a, DlOutcome::Sat));
+    }
+
+    {
+        // Frequency-style contradiction; weak satisfiability survives.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(C::some(r), C::AtLeast(2, r));
+        t.gci(C::Top, C::AtMost(1, r));
+        out.push(case(
+            "frequency contradiction kills the role",
+            t.clone(),
+            C::some(r),
+            DlOutcome::Unsat,
+        ));
+        out.push(case("frequency contradiction spares ⊤", t, C::Top, DlOutcome::Sat));
+    }
+
+    out
+}

@@ -238,10 +238,7 @@ impl<'a> FragmentWriter<'a> {
         self.schema.add_constraint(orm_model::Constraint::SetComparison(
             orm_model::SetComparison {
                 kind: orm_model::SetComparisonKind::Subset,
-                args: vec![
-                    orm_model::RoleSeq::single(sub),
-                    orm_model::RoleSeq::single(sup),
-                ],
+                args: vec![orm_model::RoleSeq::single(sub), orm_model::RoleSeq::single(sup)],
             },
         ));
     }
@@ -279,10 +276,7 @@ mod tests {
         let base = crate::generate_clean(&GenConfig::small(3));
         for (i, kind) in FaultKind::ALL.iter().enumerate() {
             let faulty = inject(&base, *kind, i);
-            assert!(
-                faulty.size() > base.size(),
-                "{kind:?} did not grow the schema"
-            );
+            assert!(faulty.size() > base.size(), "{kind:?} did not grow the schema");
         }
     }
 

@@ -23,9 +23,7 @@
 
 pub mod faults;
 
-use orm_model::{
-    ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SchemaBuilder, ValueConstraint,
-};
+use orm_model::{ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SchemaBuilder, ValueConstraint};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{Rng, SeedableRng};
@@ -147,8 +145,7 @@ pub fn generate_clean(config: &GenConfig) -> Schema {
         if !types.is_empty() && !is_value_type && flip(&mut rng, config.subtype_density) {
             let roots: Vec<usize> = (0..types.len())
                 .filter(|j| {
-                    depth[*j] == 0
-                        && b.schema().object_type(types[*j]).value_constraint().is_none()
+                    depth[*j] == 0 && b.schema().object_type(types[*j]).value_constraint().is_none()
                 })
                 .collect();
             if let Some(&j) = roots.as_slice().choose(&mut rng) {
@@ -165,7 +162,8 @@ pub fn generate_clean(config: &GenConfig) -> Schema {
     for i in 0..config.n_facts {
         let p0 = *types.choose(&mut rng).expect("non-empty");
         // Bias towards reflexive facts now and then so rings have targets.
-        let p1 = if flip(&mut rng, 0.25) { p0 } else { *types.choose(&mut rng).expect("non-empty") };
+        let p1 =
+            if flip(&mut rng, 0.25) { p0 } else { *types.choose(&mut rng).expect("non-empty") };
         let fid = b.fact_type(&format!("f{i}"), p0, p1).expect("fresh name");
         let ft = b.schema().fact_type(fid);
         let (r0, r1) = (ft.first(), ft.second());
@@ -246,12 +244,8 @@ pub fn generate_clean(config: &GenConfig) -> Schema {
         // Acyclicity on a fact with a mandatory role is the E5
         // contradiction (finite populations force a cycle); keep clean
         // schemas clear of it.
-        let has_mandatory = b
-            .schema()
-            .fact_type(fid)
-            .roles()
-            .iter()
-            .any(|r| idx.mandatory_on(*r).is_some());
+        let has_mandatory =
+            b.schema().fact_type(fid).roles().iter().any(|r| idx.mandatory_on(*r).is_some());
         let eligible: Vec<&&[RingKind]> = SAFE_RING_COMBOS
             .iter()
             .filter(|combo| !has_mandatory || !combo.contains(&RingKind::Acyclic))
@@ -316,10 +310,8 @@ pub fn generate(config: &GenConfig) -> Schema {
         }
         if p0 == p1 && flip(&mut rng, config.ring_density) {
             let n_kinds = rng.gen_range(1..3);
-            let kinds: Vec<RingKind> = RingKind::ALL
-                .choose_multiple(&mut rng, n_kinds)
-                .copied()
-                .collect();
+            let kinds: Vec<RingKind> =
+                RingKind::ALL.choose_multiple(&mut rng, n_kinds).copied().collect();
             let _ = b.ring(fid, kinds);
         }
     }
@@ -329,8 +321,7 @@ pub fn generate(config: &GenConfig) -> Schema {
             break;
         }
         let n_args = rng.gen_range(2..4);
-        let picked: Vec<RoleId> =
-            roles.choose_multiple(&mut rng, n_args).copied().collect();
+        let picked: Vec<RoleId> = roles.choose_multiple(&mut rng, n_args).copied().collect();
         let _ = b.exclusion_roles(picked);
     }
     for _ in 0..(config.n_facts as f64 * config.subset_density).ceil() as usize {
@@ -344,8 +335,7 @@ pub fn generate(config: &GenConfig) -> Schema {
         }
     }
     if types.len() >= 2 && flip(&mut rng, 0.5) {
-        let picked: Vec<ObjectTypeId> =
-            types.choose_multiple(&mut rng, 2).copied().collect();
+        let picked: Vec<ObjectTypeId> = types.choose_multiple(&mut rng, 2).copied().collect();
         let _ = b.exclusive_types(picked);
     }
 

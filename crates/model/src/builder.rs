@@ -279,20 +279,13 @@ impl SchemaBuilder {
                 self.check_role(*r)?;
             }
             if seq.len() == 2 && !self.schema.seq_is_whole_predicate(seq) {
-                return Err(ModelError::InvalidPredicateSequence {
-                    roles: seq.roles().to_vec(),
-                });
+                return Err(ModelError::InvalidPredicateSequence { roles: seq.roles().to_vec() });
             }
             if !seen.insert(seq.clone()) {
-                return Err(ModelError::DuplicateArgument {
-                    context,
-                    id: format!("{seq:?}"),
-                });
+                return Err(ModelError::DuplicateArgument { context, id: format!("{seq:?}") });
             }
         }
-        Ok(self
-            .schema
-            .push_constraint(Constraint::SetComparison(SetComparison { kind, args })))
+        Ok(self.schema.push_constraint(Constraint::SetComparison(SetComparison { kind, args })))
     }
 
     /// Exclusive constraint between object types (pairwise-disjoint
@@ -302,9 +295,7 @@ impl SchemaBuilder {
         types: impl IntoIterator<Item = ObjectTypeId>,
     ) -> Result<ConstraintId, ModelError> {
         let types = self.distinct_types(types, "exclusive-types constraint", 2)?;
-        Ok(self
-            .schema
-            .push_constraint(Constraint::ExclusiveTypes(ExclusiveTypes { types })))
+        Ok(self.schema.push_constraint(Constraint::ExclusiveTypes(ExclusiveTypes { types })))
     }
 
     /// Totality constraint: `supertype` is covered by the union of
@@ -468,9 +459,7 @@ mod tests {
     #[test]
     fn value_type_with_constraint() {
         let mut b = SchemaBuilder::new("s");
-        let v = b
-            .value_type("Code", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let v = b.value_type("Code", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let s = b.finish();
         assert_eq!(s.object_type(v).value_cardinality(), Some(2));
         assert!(s.object_type(v).value_constraint().unwrap().admits(&Value::str("x1")));
@@ -502,10 +491,7 @@ mod tests {
         let g = b.fact_type("g", a, a).unwrap();
         let rf = b.schema().fact_type(f).first();
         let rg = b.schema().fact_type(g).first();
-        assert!(matches!(
-            b.unique([rf, rg]),
-            Err(ModelError::RolesNotInOneFact { .. })
-        ));
+        assert!(matches!(b.unique([rf, rg]), Err(ModelError::RolesNotInOneFact { .. })));
         assert!(b.unique([rf]).is_ok());
     }
 
@@ -593,24 +579,15 @@ mod tests {
         let bogus_role = RoleId::from_raw(99);
         assert!(matches!(b.mandatory(bogus_role), Err(ModelError::UnknownId { .. })));
         let bogus_ty = ObjectTypeId::from_raw(99);
-        assert!(matches!(
-            b.subtype(bogus_ty, bogus_ty),
-            Err(ModelError::UnknownId { .. })
-        ));
+        assert!(matches!(b.subtype(bogus_ty, bogus_ty), Err(ModelError::UnknownId { .. })));
     }
 
     #[test]
     fn exclusive_types_need_two_distinct() {
         let mut b = SchemaBuilder::new("s");
         let a = b.entity_type("A").unwrap();
-        assert!(matches!(
-            b.exclusive_types([a]),
-            Err(ModelError::NotEnoughArguments { .. })
-        ));
-        assert!(matches!(
-            b.exclusive_types([a, a]),
-            Err(ModelError::DuplicateArgument { .. })
-        ));
+        assert!(matches!(b.exclusive_types([a]), Err(ModelError::NotEnoughArguments { .. })));
+        assert!(matches!(b.exclusive_types([a, a]), Err(ModelError::DuplicateArgument { .. })));
     }
 
     #[test]

@@ -238,9 +238,7 @@ impl fmt::Display for RingKind {
 }
 
 /// A set of [`RingKind`]s, stored as a tiny bitset.
-#[derive(
-    Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize,
-)]
+#[derive(Clone, Copy, Default, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub struct RingKinds(u8);
 
 impl RingKinds {
@@ -511,10 +509,7 @@ mod tests {
     fn set_comparison_over_single_roles() {
         let s = SetComparison {
             kind: SetComparisonKind::Exclusion,
-            args: vec![
-                RoleSeq::single(RoleId::from_raw(0)),
-                RoleSeq::single(RoleId::from_raw(2)),
-            ],
+            args: vec![RoleSeq::single(RoleId::from_raw(0)), RoleSeq::single(RoleId::from_raw(2))],
         };
         assert!(s.over_single_roles());
         let p = SetComparison {

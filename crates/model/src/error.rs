@@ -145,10 +145,7 @@ impl fmt::Display for ModelError {
                 write!(f, "invalid frequency bounds: min={min}, max={max:?} (need 1 ≤ min ≤ max)")
             }
             ModelError::MandatoryPlayersDiffer { players } => {
-                write!(
-                    f,
-                    "disjunctive mandatory roles must share one player, found {players:?}"
-                )
+                write!(f, "disjunctive mandatory roles must share one player, found {players:?}")
             }
             ModelError::RingPlayersIncompatible { fact, first, second } => {
                 write!(

@@ -186,7 +186,10 @@ impl SchemaIndex {
     }
 
     /// All fact types, with their ring constraints merged per fact type.
-    pub fn ring_kinds_by_fact(&self, schema: &Schema) -> Vec<(FactTypeId, crate::RingKinds, Vec<ConstraintId>)> {
+    pub fn ring_kinds_by_fact(
+        &self,
+        schema: &Schema,
+    ) -> Vec<(FactTypeId, crate::RingKinds, Vec<ConstraintId>)> {
         let mut out: Vec<(FactTypeId, crate::RingKinds, Vec<ConstraintId>)> = Vec::new();
         for (cid, c) in schema.constraints() {
             if let Constraint::Ring(r) = c {

@@ -294,11 +294,9 @@ impl Schema {
                 Some(c) => format!("{:?} {}", c.kind(), id),
                 None => format!("removed {id}"),
             },
-            Element::Subtype(sub, sup) => format!(
-                "{} <: {}",
-                self.object_type(sub).name(),
-                self.object_type(sup).name()
-            ),
+            Element::Subtype(sub, sup) => {
+                format!("{} <: {}", self.object_type(sub).name(), self.object_type(sup).name())
+            }
         }
     }
 }

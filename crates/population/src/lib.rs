@@ -87,9 +87,7 @@ pub fn check(schema: &Schema, pop: &Population, options: CheckOptions) -> Vec<Vi
             Constraint::Frequency(f) => {
                 check_counting(schema, pop, cid, &f.roles, f.min, f.max, false, &mut out)
             }
-            Constraint::SetComparison(sc) => {
-                check_set_comparison(schema, pop, cid, sc, &mut out)
-            }
+            Constraint::SetComparison(sc) => check_set_comparison(schema, pop, cid, sc, &mut out),
             Constraint::ExclusiveTypes(e) => {
                 check_exclusive_types(schema, pop, cid, &e.types, &mut out)
             }
@@ -111,15 +109,9 @@ fn check_conformity(schema: &Schema, pop: &Population, out: &mut Vec<Violation>)
     for (fid, ft) in schema.fact_types() {
         let players = [schema.player(ft.first()), schema.player(ft.second())];
         for (a, b) in pop.tuples(fid) {
-            for (value, (role, player)) in
-                [a, b].iter().zip(ft.roles().into_iter().zip(players))
-            {
+            for (value, (role, player)) in [a, b].iter().zip(ft.roles().into_iter().zip(players)) {
                 if !pop.extent(player).contains(value) {
-                    out.push(Violation::Conformity {
-                        role,
-                        value: (*value).clone(),
-                        player,
-                    });
+                    out.push(Violation::Conformity { role, value: (*value).clone(), player });
                 }
             }
         }
@@ -214,10 +206,8 @@ fn check_counting(
     let positions: Vec<u8> = roles.iter().map(|r| schema.role(*r).position()).collect();
     let mut groups: BTreeMap<Vec<Value>, u32> = BTreeMap::new();
     for (a, b) in pop.tuples(fact) {
-        let key: Vec<Value> = positions
-            .iter()
-            .map(|p| if *p == 0 { a.clone() } else { b.clone() })
-            .collect();
+        let key: Vec<Value> =
+            positions.iter().map(|p| if *p == 0 { a.clone() } else { b.clone() }).collect();
         *groups.entry(key).or_insert(0) += 1;
     }
     for (combo, count) in groups {
@@ -235,11 +225,7 @@ fn check_counting(
 
 fn seq_population(schema: &Schema, pop: &Population, seq: &RoleSeq) -> BTreeSet<Vec<Value>> {
     match seq.roles() {
-        [r] => pop
-            .role_population(schema, *r)
-            .into_iter()
-            .map(|v| vec![v])
-            .collect(),
+        [r] => pop.role_population(schema, *r).into_iter().map(|v| vec![v]).collect(),
         [a, b] => {
             let fact = schema.role(*a).fact_type();
             let (pa, pb) = (schema.role(*a).position(), schema.role(*b).position());
@@ -341,10 +327,9 @@ fn check_ring(
     let holds = |x: &Value, y: &Value| tuples.contains(&(x.clone(), y.clone()));
     for kind in ring.kinds.iter() {
         let violated: Option<String> = match kind {
-            RingKind::Irreflexive => tuples
-                .iter()
-                .find(|(x, y)| x == y)
-                .map(|(x, _)| format!("self-pair ({x}, {x})")),
+            RingKind::Irreflexive => {
+                tuples.iter().find(|(x, y)| x == y).map(|(x, _)| format!("self-pair ({x}, {x})"))
+            }
             RingKind::Antisymmetric => tuples
                 .iter()
                 .find(|(x, y)| x != y && holds(y, x))
@@ -362,8 +347,7 @@ fn check_ring(
                 'outer: for (x, y) in &tuples {
                     for (y2, z) in &tuples {
                         if y == y2 && holds(x, z) {
-                            found =
-                                Some(format!("({x}, {y}), ({y}, {z}) and ({x}, {z}) present"));
+                            found = Some(format!("({x}, {y}), ({y}, {z}) and ({x}, {z}) present"));
                             break 'outer;
                         }
                     }

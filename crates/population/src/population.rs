@@ -49,9 +49,7 @@ impl Population {
 
     /// Remove a tuple; returns whether it was present.
     pub fn remove_fact(&mut self, fact: FactTypeId, first: &Value, second: &Value) -> bool {
-        self.facts
-            .get_mut(&fact)
-            .is_some_and(|t| t.remove(&(first.clone(), second.clone())))
+        self.facts.get_mut(&fact).is_some_and(|t| t.remove(&(first.clone(), second.clone())))
     }
 
     /// The extent of an object type (empty set if never populated).
@@ -92,8 +90,7 @@ impl Population {
 
     /// Whether nothing at all is populated.
     pub fn is_empty(&self) -> bool {
-        self.extents.values().all(BTreeSet::is_empty)
-            && self.facts.values().all(BTreeSet::is_empty)
+        self.extents.values().all(BTreeSet::is_empty) && self.facts.values().all(BTreeSet::is_empty)
     }
 
     /// Total instance + tuple count (for reporting).
@@ -120,8 +117,7 @@ impl Population {
             if tuples.is_empty() {
                 continue;
             }
-            let pairs: Vec<String> =
-                tuples.iter().map(|(a, b)| format!("({a}, {b})")).collect();
+            let pairs: Vec<String> = tuples.iter().map(|(a, b)| format!("({a}, {b})")).collect();
             out.push_str(&format!(
                 "  {} = {{{}}}\n",
                 schema.fact_type(*fact).name(),

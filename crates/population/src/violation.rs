@@ -140,9 +140,9 @@ impl Violation {
             Violation::Mandatory { constraint, value } => {
                 format!("{value} does not play the mandatory role(s) of {constraint}")
             }
-            Violation::Uniqueness { constraint, combo, count } => format!(
-                "combination {combo:?} occurs {count} times under uniqueness {constraint}"
-            ),
+            Violation::Uniqueness { constraint, combo, count } => {
+                format!("combination {combo:?} occurs {count} times under uniqueness {constraint}")
+            }
             Violation::Frequency { constraint, combo, count, min, max } => format!(
                 "combination {combo:?} occurs {count} times, outside FC({min}-{}) of {constraint}",
                 max.map_or("∞".to_owned(), |m| m.to_string())
@@ -181,11 +181,7 @@ mod tests {
         let student = b.entity_type("Student").unwrap();
         b.subtype(student, person).unwrap();
         let s = b.finish();
-        let v = Violation::SubtypeNotSubset {
-            sub: student,
-            sup: person,
-            value: Value::str("ann"),
-        };
+        let v = Violation::SubtypeNotSubset { sub: student, sup: person, value: Value::str("ann") };
         let rendered = v.render(&s);
         assert!(rendered.contains("Student"));
         assert!(rendered.contains("Person"));

@@ -64,8 +64,7 @@ pub fn weak_satisfiability(schema: &Schema, bounds: Bounds) -> Outcome {
 
 /// Concept satisfiability: find a model populating **all** object types.
 pub fn concept_satisfiability(schema: &Schema, bounds: Bounds) -> Outcome {
-    let targets: Vec<Target> =
-        schema.object_types().map(|(id, _)| Target::Type(id)).collect();
+    let targets: Vec<Target> = schema.object_types().map(|(id, _)| Target::Type(id)).collect();
     find_model(schema, &targets, bounds)
 }
 
@@ -153,9 +152,7 @@ mod tests {
     fn pattern4_contradiction_refuted() {
         let mut b = SchemaBuilder::new("s");
         let a = b.entity_type("A").unwrap();
-        let x = b
-            .value_type("X", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let x = b.value_type("X", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let f = b.fact_type("f", a, x).unwrap();
         let r = b.schema().fact_type(f).first();
         b.frequency([r], 3, Some(5)).unwrap();
@@ -167,9 +164,7 @@ mod tests {
         // With min = 2 the role becomes satisfiable.
         let mut b = SchemaBuilder::new("s2");
         let a = b.entity_type("A").unwrap();
-        let x = b
-            .value_type("X", Some(ValueConstraint::enumeration(["x1", "x2"])))
-            .unwrap();
+        let x = b.value_type("X", Some(ValueConstraint::enumeration(["x1", "x2"]))).unwrap();
         let f = b.fact_type("f", a, x).unwrap();
         let r = b.schema().fact_type(f).first();
         b.frequency([r], 2, Some(5)).unwrap();

@@ -23,9 +23,7 @@
 
 use orm_population::{check, CheckOptions, Population};
 
-use orm_model::{
-    Constraint, FactTypeId, ObjectTypeId, RoleId, Schema, SchemaIndex, Value,
-};
+use orm_model::{Constraint, FactTypeId, ObjectTypeId, RoleId, Schema, SchemaIndex, Value};
 use std::collections::{BTreeMap, BTreeSet};
 
 /// Search bounds.
@@ -105,12 +103,7 @@ struct Searcher<'a> {
 }
 
 impl<'a> Searcher<'a> {
-    fn new(
-        schema: &'a Schema,
-        idx: &'a SchemaIndex,
-        targets: &[Target],
-        bounds: Bounds,
-    ) -> Self {
+    fn new(schema: &'a Schema, idx: &'a SchemaIndex, targets: &[Target], bounds: Bounds) -> Self {
         let mut target_types = BTreeSet::new();
         let mut target_facts = BTreeSet::new();
         for t in targets {
@@ -158,8 +151,7 @@ impl<'a> Searcher<'a> {
         }
         *budget -= 1;
         if position == self.type_order.len() {
-            let facts: Vec<FactTypeId> =
-                self.schema.fact_types().map(|(id, _)| id).collect();
+            let facts: Vec<FactTypeId> = self.schema.fact_types().map(|(id, _)| id).collect();
             return self.assign_facts(&facts, 0, pop, budget);
         }
         let ty = self.type_order[position];
@@ -261,10 +253,8 @@ impl<'a> Searcher<'a> {
         let ft = self.schema.fact_type(fact);
         let e0: Vec<Value> = pop.extent(self.schema.player(ft.first())).iter().cloned().collect();
         let e1: Vec<Value> = pop.extent(self.schema.player(ft.second())).iter().cloned().collect();
-        let pairs: Vec<(Value, Value)> = e0
-            .iter()
-            .flat_map(|a| e1.iter().map(move |b| (a.clone(), b.clone())))
-            .collect();
+        let pairs: Vec<(Value, Value)> =
+            e0.iter().flat_map(|a| e1.iter().map(move |b| (a.clone(), b.clone()))).collect();
         let min_size = usize::from(self.target_facts.contains(&fact));
         let max_size = self.bounds.max_tuples.min(pairs.len());
         if pairs.len() < min_size {
@@ -357,10 +347,7 @@ fn topological_order(schema: &Schema, idx: &SchemaIndex) -> Vec<ObjectTypeId> {
             if placed[ty.index()] {
                 continue;
             }
-            let ready = idx
-                .direct_supers(ty)
-                .iter()
-                .all(|s| placed[s.index()] || *s == ty);
+            let ready = idx.direct_supers(ty).iter().all(|s| placed[s.index()] || *s == ty);
             if ready {
                 placed[ty.index()] = true;
                 order.push(ty);
@@ -411,9 +398,7 @@ fn candidate_pools(schema: &Schema, idx: &SchemaIndex, bounds: Bounds) -> Vec<Ve
     for (ty, ot) in schema.object_types() {
         let comp = component[ty.index()];
         let entry = component_values.entry(comp).or_insert_with(|| {
-            (0..bounds.fresh_per_component)
-                .map(|j| Value::str(format!("_u{comp}_{j}")))
-                .collect()
+            (0..bounds.fresh_per_component).map(|j| Value::str(format!("_u{comp}_{j}"))).collect()
         });
         if let Some(vc) = ot.value_constraint() {
             for v in vc.iter_values().take(bounds.max_extent + 1) {
@@ -434,10 +419,7 @@ fn candidate_pools(schema: &Schema, idx: &SchemaIndex, bounds: Bounds) -> Vec<Ve
                 .into_iter()
                 .filter_map(|s| schema.object_type(s).value_constraint().cloned())
                 .collect();
-            pool.iter()
-                .filter(|v| vcs.iter().all(|vc| vc.admits(v)))
-                .cloned()
-                .collect()
+            pool.iter().filter(|v| vcs.iter().all(|vc| vc.admits(v))).cloned().collect()
         })
         .collect()
 }
@@ -482,13 +464,10 @@ fn counting_ok(
     let positions: Vec<u8> = roles.iter().map(|r| schema.role(*r).position()).collect();
     let mut groups: BTreeMap<Vec<&Value>, u32> = BTreeMap::new();
     for (a, b) in tuples {
-        let key: Vec<&Value> =
-            positions.iter().map(|p| if *p == 0 { a } else { b }).collect();
+        let key: Vec<&Value> = positions.iter().map(|p| if *p == 0 { a } else { b }).collect();
         *groups.entry(key).or_insert(0) += 1;
     }
-    groups
-        .values()
-        .all(|count| *count >= min && max.is_none_or(|m| *count <= m))
+    groups.values().all(|count| *count >= min && max.is_none_or(|m| *count <= m))
 }
 
 fn ring_ok(kinds: orm_model::RingKinds, tuples: &[(Value, Value)]) -> bool {
@@ -501,9 +480,9 @@ fn ring_ok(kinds: orm_model::RingKinds, tuples: &[(Value, Value)]) -> bool {
             Antisymmetric => tuples.iter().all(|(x, y)| x == y || !holds(y, x)),
             Asymmetric => tuples.iter().all(|(x, y)| !holds(y, x)),
             Symmetric => tuples.iter().all(|(x, y)| holds(y, x)),
-            Intransitive => tuples.iter().all(|(x, y)| {
-                tuples.iter().all(|(y2, z)| y != y2 || !holds(x, z))
-            }),
+            Intransitive => {
+                tuples.iter().all(|(x, y)| tuples.iter().all(|(y2, z)| y != y2 || !holds(x, z)))
+            }
             Acyclic => acyclic(tuples),
         };
         if !ok {
@@ -648,8 +627,7 @@ mod tests {
         let s = b.finish();
         let r0 = s.fact_type(f).first();
         let av = Value::str("a");
-        let tuples =
-            [(av.clone(), Value::str("x1")), (av.clone(), Value::str("x2"))];
+        let tuples = [(av.clone(), Value::str("x1")), (av.clone(), Value::str("x2"))];
         assert!(counting_ok(&s, &tuples, &[r0], 2, Some(2)));
         assert!(!counting_ok(&s, &tuples, &[r0], 1, Some(1)));
         assert!(!counting_ok(&s, &tuples, &[r0], 3, None));

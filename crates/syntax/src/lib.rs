@@ -119,8 +119,7 @@ mod tests {
 
     #[test]
     fn role_path_references_work() {
-        let s = parse("schema s { entity A; fact f (A, A); mandatory f.0; unique f.1; }")
-            .unwrap();
+        let s = parse("schema s { entity A; fact f (A, A); mandatory f.0; unique f.1; }").unwrap();
         assert_eq!(s.constraint_count(), 2);
     }
 

@@ -42,8 +42,7 @@ pub fn lower(ast: &AstSchema) -> Result<Schema, ParseError> {
     // Pass 2: subtyping and constraints.
     for decl in &ast.decls {
         match decl {
-            AstDecl::Entity { name, supertypes }
-            | AstDecl::ValueType { name, supertypes, .. } => {
+            AstDecl::Entity { name, supertypes } | AstDecl::ValueType { name, supertypes, .. } => {
                 let sub = resolve_type(&b, name)?;
                 for sup_name in supertypes {
                     let sup = resolve_type(&b, sup_name)?;
@@ -89,18 +88,13 @@ fn lower_constraint(b: &mut SchemaBuilder, c: &AstConstraint) -> Result<(), Pars
             b.equality(seqs).map_err(semantic)?;
         }
         AstConstraint::ExclusiveTypes(names) => {
-            let types = names
-                .iter()
-                .map(|n| resolve_type(b, n))
-                .collect::<Result<Vec<_>, _>>()?;
+            let types = names.iter().map(|n| resolve_type(b, n)).collect::<Result<Vec<_>, _>>()?;
             b.exclusive_types(types).map_err(semantic)?;
         }
         AstConstraint::TotalSubtypes { supertype, subtypes } => {
             let sup = resolve_type(b, supertype)?;
-            let subs = subtypes
-                .iter()
-                .map(|n| resolve_type(b, n))
-                .collect::<Result<Vec<_>, _>>()?;
+            let subs =
+                subtypes.iter().map(|n| resolve_type(b, n)).collect::<Result<Vec<_>, _>>()?;
             b.total_subtypes(sup, subs).map_err(semantic)?;
         }
         AstConstraint::Ring { fact, kinds } => {
@@ -116,33 +110,27 @@ fn lower_constraint(b: &mut SchemaBuilder, c: &AstConstraint) -> Result<(), Pars
 
 fn lower_value_constraint(vc: &AstValueConstraint) -> ValueConstraint {
     match vc {
-        AstValueConstraint::Enumeration(values) => ValueConstraint::enumeration(
-            values.iter().map(|v| match v {
+        AstValueConstraint::Enumeration(values) => {
+            ValueConstraint::enumeration(values.iter().map(|v| match v {
                 AstValue::Str(s) => Value::str(s.clone()),
                 AstValue::Int(i) => Value::int(*i),
-            }),
-        ),
+            }))
+        }
         AstValueConstraint::IntRange(min, max) => {
             ValueConstraint::IntRange { min: *min, max: *max }
         }
     }
 }
 
-fn resolve_type(
-    b: &SchemaBuilder,
-    name: &str,
-) -> Result<orm_model::ObjectTypeId, ParseError> {
-    b.schema()
-        .object_type_by_name(name)
-        .ok_or_else(|| unknown(&format!("object type `{name}`")))
+fn resolve_type(b: &SchemaBuilder, name: &str) -> Result<orm_model::ObjectTypeId, ParseError> {
+    b.schema().object_type_by_name(name).ok_or_else(|| unknown(&format!("object type `{name}`")))
 }
 
 fn resolve_role(b: &SchemaBuilder, role: &AstRoleRef) -> Result<RoleId, ParseError> {
     match role {
-        AstRoleRef::Label(label) => b
-            .schema()
-            .role_by_name(label)
-            .ok_or_else(|| unknown(&format!("role `{label}`"))),
+        AstRoleRef::Label(label) => {
+            b.schema().role_by_name(label).ok_or_else(|| unknown(&format!("role `{label}`")))
+        }
         AstRoleRef::Path(fact, position) => {
             let fid = b
                 .schema()
@@ -186,8 +174,7 @@ mod tests {
     fn constraints_may_precede_declarations() {
         // Two-pass lowering: a constraint may reference a fact declared
         // later in the file.
-        let s = parse("schema s { mandatory r1; entity A; fact f (A as r1, A as r2); }")
-            .unwrap();
+        let s = parse("schema s { mandatory r1; entity A; fact f (A as r1, A as r2); }").unwrap();
         assert_eq!(s.constraint_count(), 1);
     }
 
@@ -200,9 +187,8 @@ mod tests {
     #[test]
     fn builder_errors_surface() {
         // Frequency bounds inverted: the builder rejects it.
-        let err =
-            parse("schema s { entity A; fact f (A as r1, A as r2); frequency r1 5..2; }")
-                .unwrap_err();
+        let err = parse("schema s { entity A; fact f (A as r1, A as r2); frequency r1 5..2; }")
+            .unwrap_err();
         assert!(err.to_string().contains("frequency"));
     }
 

@@ -37,11 +37,8 @@ impl<'a> Parser<'a> {
         match self.peek() {
             Some(t) => ParseError::new(t.line, t.column, message),
             None => {
-                let (line, column) = self
-                    .tokens
-                    .last()
-                    .map(|t| (t.line, t.column + 1))
-                    .unwrap_or((1, 1));
+                let (line, column) =
+                    self.tokens.last().map(|t| (t.line, t.column + 1)).unwrap_or((1, 1));
                 ParseError::new(line, column, message)
             }
         }
@@ -399,8 +396,7 @@ mod tests {
 
     #[test]
     fn value_type_with_enumeration_and_range() {
-        let ast = parse("schema s { value V { 'a', 1 }; value W { 1..5 }; value X { }; }")
-            .unwrap();
+        let ast = parse("schema s { value V { 'a', 1 }; value W { 1..5 }; value X { }; }").unwrap();
         assert_eq!(ast.decls.len(), 3);
         assert!(matches!(
             &ast.decls[0],
@@ -420,8 +416,7 @@ mod tests {
 
     #[test]
     fn fact_with_labels_and_reading() {
-        let ast =
-            parse("schema s { fact f (A as r1, B as r2) reading \"likes\"; }").unwrap();
+        let ast = parse("schema s { fact f (A as r1, B as r2) reading \"likes\"; }").unwrap();
         assert!(matches!(
             &ast.decls[0],
             AstDecl::Fact { name, first, second, reading }

@@ -101,8 +101,7 @@ fn print_constraint(schema: &Schema, c: &Constraint) -> String {
             if m.roles.len() == 1 {
                 format!("mandatory {}", schema.role_label(m.roles[0]))
             } else {
-                let roles: Vec<&str> =
-                    m.roles.iter().map(|r| schema.role_label(*r)).collect();
+                let roles: Vec<&str> = m.roles.iter().map(|r| schema.role_label(*r)).collect();
                 format!("mandatory {{ {} }}", roles.join(", "))
             }
         }
@@ -121,11 +120,7 @@ fn print_constraint(schema: &Schema, c: &Constraint) -> String {
             let seq = if f.roles.len() == 1 {
                 schema.role_label(f.roles[0]).to_owned()
             } else {
-                format!(
-                    "({}, {})",
-                    schema.role_label(f.roles[0]),
-                    schema.role_label(f.roles[1])
-                )
+                format!("({}, {})", schema.role_label(f.roles[0]), schema.role_label(f.roles[1]))
             };
             match f.max {
                 Some(max) => format!("frequency {seq} {}..{max}", f.min),
@@ -141,26 +136,17 @@ fn print_constraint(schema: &Schema, c: &Constraint) -> String {
             }
         }
         Constraint::ExclusiveTypes(e) => {
-            let names: Vec<&str> =
-                e.types.iter().map(|t| schema.object_type(*t).name()).collect();
+            let names: Vec<&str> = e.types.iter().map(|t| schema.object_type(*t).name()).collect();
             format!("exclusive {{ {} }}", names.join(", "))
         }
         Constraint::TotalSubtypes(t) => {
             let names: Vec<&str> =
                 t.subtypes.iter().map(|s| schema.object_type(*s).name()).collect();
-            format!(
-                "total {} {{ {} }}",
-                schema.object_type(t.supertype).name(),
-                names.join(", ")
-            )
+            format!("total {} {{ {} }}", schema.object_type(t.supertype).name(), names.join(", "))
         }
         Constraint::Ring(r) => {
             let kinds: Vec<&str> = r.kinds.iter().map(|k| k.abbrev()).collect();
-            format!(
-                "ring {} {{ {} }}",
-                schema.fact_type(r.fact_type).name(),
-                kinds.join(", ")
-            )
+            format!("ring {} {{ {} }}", schema.fact_type(r.fact_type).name(), kinds.join(", "))
         }
     }
 }

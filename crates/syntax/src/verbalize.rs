@@ -55,11 +55,7 @@ fn role_phrase(schema: &Schema, role: RoleId) -> String {
 fn seq_phrase(schema: &Schema, seq: &RoleSeq) -> String {
     match seq.roles() {
         [r] => format!("role {}", schema.role_label(*r)),
-        [a, b] => format!(
-            "predicate ({}, {})",
-            schema.role_label(*a),
-            schema.role_label(*b)
-        ),
+        [a, b] => format!("predicate ({}, {})", schema.role_label(*a), schema.role_label(*b)),
         _ => unreachable!(),
     }
 }
@@ -105,10 +101,9 @@ fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
         Constraint::SetComparison(sc) => {
             let args: Vec<String> = sc.args.iter().map(|s| seq_phrase(schema, s)).collect();
             match sc.kind {
-                SetComparisonKind::Subset => format!(
-                    "Whatever populates {} also populates {}.",
-                    args[0], args[1]
-                ),
+                SetComparisonKind::Subset => {
+                    format!("Whatever populates {} also populates {}.", args[0], args[1])
+                }
                 SetComparisonKind::Equality => {
                     format!("The populations of {} are identical.", args.join(" and "))
                 }
@@ -118,8 +113,7 @@ fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
             }
         }
         Constraint::ExclusiveTypes(e) => {
-            let names: Vec<&str> =
-                e.types.iter().map(|t| schema.object_type(*t).name()).collect();
+            let names: Vec<&str> = e.types.iter().map(|t| schema.object_type(*t).name()).collect();
             format!("No instance is more than one of {}.", names.join(", "))
         }
         Constraint::TotalSubtypes(t) => {
@@ -140,19 +134,19 @@ fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
                 .iter()
                 .map(|k| match k {
                     RingKind::Irreflexive => format!("no {subject} may {reading} itself"),
-                    RingKind::Symmetric => format!(
-                        "if one {subject} {reading}s another, the reverse holds too"
-                    ),
-                    RingKind::Antisymmetric => format!(
-                        "no two distinct {subject}s may {reading} each other"
-                    ),
-                    RingKind::Asymmetric => format!(
-                        "if one {subject} {reading}s another, the reverse never holds"
-                    ),
+                    RingKind::Symmetric => {
+                        format!("if one {subject} {reading}s another, the reverse holds too")
+                    }
+                    RingKind::Antisymmetric => {
+                        format!("no two distinct {subject}s may {reading} each other")
+                    }
+                    RingKind::Asymmetric => {
+                        format!("if one {subject} {reading}s another, the reverse never holds")
+                    }
                     RingKind::Acyclic => format!("no {reading} cycles are allowed"),
-                    RingKind::Intransitive => format!(
-                        "{reading} never carries over a middle {subject}"
-                    ),
+                    RingKind::Intransitive => {
+                        format!("{reading} never carries over a middle {subject}")
+                    }
                 })
                 .collect();
             let mut sentence = clauses.join("; ");

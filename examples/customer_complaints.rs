@@ -31,16 +31,36 @@ fn main() {
     b.subtype(recipient, party).expect("link");
 
     let files = b
-        .fact_type_full("files", (complainant, Some("fil_c")), (complaint, Some("fil_x")), Some("files"))
+        .fact_type_full(
+            "files",
+            (complainant, Some("fil_c")),
+            (complaint, Some("fil_x")),
+            Some("files"),
+        )
         .expect("fresh");
     let against = b
-        .fact_type_full("against", (complaint, Some("agn_x")), (recipient, Some("agn_r")), Some("is against"))
+        .fact_type_full(
+            "against",
+            (complaint, Some("agn_x")),
+            (recipient, Some("agn_r")),
+            Some("is against"),
+        )
         .expect("fresh");
     let rated = b
-        .fact_type_full("rated", (complaint, Some("rat_x")), (severity, Some("rat_s")), Some("is rated"))
+        .fact_type_full(
+            "rated",
+            (complaint, Some("rat_x")),
+            (severity, Some("rat_s")),
+            Some("is rated"),
+        )
         .expect("fresh");
     let resolves = b
-        .fact_type_full("resolves", (resolution, Some("res_r")), (complaint, Some("res_x")), Some("resolves"))
+        .fact_type_full(
+            "resolves",
+            (resolution, Some("res_r")),
+            (complaint, Some("res_x")),
+            Some("resolves"),
+        )
         .expect("fresh");
 
     let fil_x = b.schema().fact_type(files).second();
@@ -61,8 +81,7 @@ fn main() {
     b.subset(RoleSeq::single(res_x), RoleSeq::single(rat_x)).expect("ok");
 
     let mut schema = b.finish();
-    let validator =
-        Validator::with_settings(ValidatorSettings::patterns_only().with_propagation());
+    let validator = Validator::with_settings(ValidatorSettings::patterns_only().with_propagation());
 
     banner("Initial validation");
     let report = validator.validate(&schema);
@@ -97,12 +116,11 @@ fn main() {
     // rating rule (Pattern 3) and the resolves ⊆ rated subset (Pattern 6).
     // ------------------------------------------------------------------
     banner("Edit 2: exclusion between the rated and resolved roles");
-    let exclusion = schema.add_constraint(orm_model::Constraint::SetComparison(
-        orm_model::SetComparison {
+    let exclusion =
+        schema.add_constraint(orm_model::Constraint::SetComparison(orm_model::SetComparison {
             kind: orm_model::SetComparisonKind::Exclusion,
             args: vec![RoleSeq::single(rat_x), RoleSeq::single(res_x)],
-        },
-    ));
+        }));
     let report = validator
         .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::SetComparison));
     show_report(&schema, &report);
@@ -128,8 +146,8 @@ fn main() {
         min: 5,
         max: None,
     }));
-    let report = validator
-        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
+    let report =
+        validator.validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
     show_report(&schema, &report);
     assert!(report.has_unsat(), "Patterns 4/7 should flag the frequency");
 
@@ -140,8 +158,8 @@ fn main() {
         min: 1,
         max: None,
     }));
-    let report = validator
-        .validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
+    let report =
+        validator.validate_incremental(&schema, &EditHint::Constraint(ConstraintKind::Frequency));
     show_report(&schema, &report);
     assert!(!report.has_unsat());
 

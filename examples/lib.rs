@@ -13,8 +13,7 @@ pub fn banner(title: &str) {
 pub fn show_report(schema: &Schema, report: &Report) {
     print!("{}", report.render(schema));
     if report.has_unsat() {
-        let roles: Vec<&str> =
-            report.unsat_roles().iter().map(|r| schema.role_label(*r)).collect();
+        let roles: Vec<&str> = report.unsat_roles().iter().map(|r| schema.role_label(*r)).collect();
         let types: Vec<&str> =
             report.unsat_types().iter().map(|t| schema.object_type(*t).name()).collect();
         println!(

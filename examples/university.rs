@@ -27,16 +27,36 @@ fn main() {
     b.subtype(professor, employee).expect("link");
 
     let enrolls = b
-        .fact_type_full("enrolls", (student, Some("enr_s")), (course, Some("enr_c")), Some("enrolls in"))
+        .fact_type_full(
+            "enrolls",
+            (student, Some("enr_s")),
+            (course, Some("enr_c")),
+            Some("enrolls in"),
+        )
         .expect("fresh");
     let teaches = b
-        .fact_type_full("teaches", (professor, Some("tch_p")), (course, Some("tch_c")), Some("teaches"))
+        .fact_type_full(
+            "teaches",
+            (professor, Some("tch_p")),
+            (course, Some("tch_c")),
+            Some("teaches"),
+        )
         .expect("fresh");
     let grades = b
-        .fact_type_full("grades", (student, Some("grd_s")), (grade, Some("grd_g")), Some("received"))
+        .fact_type_full(
+            "grades",
+            (student, Some("grd_s")),
+            (grade, Some("grd_g")),
+            Some("received"),
+        )
         .expect("fresh");
     let mentors = b
-        .fact_type_full("mentors", (person, Some("mnt_a")), (person, Some("mnt_b")), Some("mentors"))
+        .fact_type_full(
+            "mentors",
+            (person, Some("mnt_a")),
+            (person, Some("mnt_b")),
+            Some("mentors"),
+        )
         .expect("fresh");
 
     let enr_s = b.schema().fact_type(enrolls).first();
@@ -105,9 +125,8 @@ fn main() {
     let faulty = faulty.finish();
     // Keep P7 out of the way to show P4 in isolation (grd_s is unique, so
     // P7 also fires — this is the Fig. 15 toggle in action).
-    let validator = Validator::with_settings(
-        ValidatorSettings::patterns_only().without(CheckCode::P7),
-    );
+    let validator =
+        Validator::with_settings(ValidatorSettings::patterns_only().without(CheckCode::P7));
     let report = validator.validate(&faulty);
     show_report(&faulty, &report);
     assert_eq!(report.by_code(CheckCode::P4).count(), 1);
@@ -125,7 +144,8 @@ fn main() {
     assert_eq!(report.by_code(CheckCode::P8).count(), 1);
 
     banner("Lint severity summary for the last faulty schema");
-    for severity in [Severity::Unsatisfiable, Severity::Guideline, Severity::Redundancy, Severity::Info]
+    for severity in
+        [Severity::Unsatisfiable, Severity::Guideline, Severity::Redundancy, Severity::Info]
     {
         let n = report.by_severity(severity).count();
         println!("{severity:>14}: {n} finding(s)");

@@ -47,11 +47,8 @@ fn main() -> ExitCode {
                     eprintln!("unknown check code `{name}`");
                     return ExitCode::from(2);
                 };
-                settings = if flag == "--with" {
-                    settings.with(code)
-                } else {
-                    settings.without(code)
-                };
+                settings =
+                    if flag == "--with" { settings.with(code) } else { settings.without(code) };
             }
             other if !other.starts_with("--") => file = Some(other.to_owned()),
             other => {

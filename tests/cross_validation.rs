@@ -14,8 +14,8 @@ use orm_gen::faults::{inject, FaultKind};
 use orm_gen::{generate, generate_clean, GenConfig};
 use orm_model::{RingKinds, SchemaBuilder};
 use orm_reasoner::{
-    find_model, role_satisfiability, strong_satisfiability, type_satisfiability, Bounds,
-    Outcome, Target,
+    find_model, role_satisfiability, strong_satisfiability, type_satisfiability, Bounds, Outcome,
+    Target,
 };
 use orm_tests::tiny_config;
 use proptest::prelude::*;
@@ -198,7 +198,6 @@ fn satisfiability_notions_nest() {
     // Weak: the empty population works.
     assert!(orm_reasoner::weak_satisfiability(schema, Bounds::default()).is_sat());
     // Concept: PhdStudent can never be populated.
-    let all_types: Vec<Target> =
-        schema.object_types().map(|(t, _)| Target::Type(t)).collect();
+    let all_types: Vec<Target> = schema.object_types().map(|(t, _)| Target::Type(t)).collect();
     assert!(!find_model(schema, &all_types, Bounds::default()).is_sat());
 }

@@ -1,12 +1,19 @@
-//! Agreement between the two complete reasoners on the DL-mappable
-//! fragment (no rings, no value constraints, no subtype cycles): the
-//! tableau and the bounded model finder must never contradict each other,
-//! and both must agree with the patterns' unsatisfiability claims.
+//! Agreement between the complete reasoners on the DL-mappable fragment
+//! (no rings, no value constraints, no subtype cycles): the tableau and
+//! the bounded model finder must never contradict each other, and both
+//! must agree with the patterns' unsatisfiability claims.
+//!
+//! This file is also the **differential suite** for the trail-based
+//! tableau rewrite: on generated schemas the optimized engine must return
+//! verdicts identical to the retained classic clone-based engine
+//! (`orm_dl::classic`), and its refutations must be confirmed by the
+//! bounded model search and the nine pattern checkers on fault-injected
+//! schemas.
 
 use orm_dl::{translate, DlOutcome};
 use orm_gen::generate;
 use orm_reasoner::{role_satisfiability, type_satisfiability, Bounds};
-use orm_tests::mappable_config;
+use orm_tests::{mappable_config, tiny_config};
 use proptest::prelude::*;
 
 const DL_BUDGET: u64 = 120_000;
@@ -91,6 +98,150 @@ proptest! {
                     finding.code,
                     schema.object_type(ty).name()
                 );
+            }
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Differential: the trail-based engine and the retained classic
+    /// clone-based engine return the same verdict for every role and
+    /// object type of generated schemas (including unmappable constructs —
+    /// both engines see the same TBox). Budget accounting differs between
+    /// the engines, so a `ResourceLimit` on either side is inconclusive
+    /// and skipped; definitive verdicts must be identical.
+    #[test]
+    fn trail_and_classic_engines_agree(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let translation = translate(&schema);
+        for (role, _) in schema.roles() {
+            let query = translation.role_concept(role);
+            let new = orm_dl::satisfiable(&translation.tbox, &query, DL_BUDGET);
+            let old = orm_dl::classic::satisfiable(&translation.tbox, &query, DL_BUDGET);
+            if new != DlOutcome::ResourceLimit && old != DlOutcome::ResourceLimit {
+                prop_assert_eq!(
+                    new,
+                    old,
+                    "engines disagree on role {} (seed {})",
+                    schema.role_label(role),
+                    seed
+                );
+            }
+        }
+        for (ty, _) in schema.object_types() {
+            let query = translation.type_concept(ty);
+            let new = orm_dl::satisfiable(&translation.tbox, &query, DL_BUDGET);
+            let old = orm_dl::classic::satisfiable(&translation.tbox, &query, DL_BUDGET);
+            if new != DlOutcome::ResourceLimit && old != DlOutcome::ResourceLimit {
+                prop_assert_eq!(
+                    new,
+                    old,
+                    "engines disagree on type {} (seed {})",
+                    schema.object_type(ty).name(),
+                    seed
+                );
+            }
+        }
+    }
+
+    /// Differential over derived subsumption: classification through the
+    /// trail-based engine matches the classic engine pair by pair.
+    #[test]
+    fn subsumption_agrees_between_engines(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let translation = translate(&schema);
+        let types: Vec<_> = schema.object_types().map(|(t, _)| t).collect();
+        for &sub in &types {
+            for &sup in &types {
+                let new = orm_dl::subsumes(
+                    &translation.tbox,
+                    &translation.type_concept(sup),
+                    &translation.type_concept(sub),
+                    DL_BUDGET,
+                );
+                let old = orm_dl::classic::subsumes(
+                    &translation.tbox,
+                    &translation.type_concept(sup),
+                    &translation.type_concept(sub),
+                    DL_BUDGET,
+                );
+                if let (Some(n), Some(o)) = (new, old) {
+                    prop_assert_eq!(n, o, "subsumption disagreement (seed {})", seed);
+                }
+            }
+        }
+    }
+}
+
+/// Fault-injected schemas, one per paper pattern: every element the
+/// pattern checkers flag must be refuted by the bounded model search, and
+/// — when the schema stays inside the mappable fragment — by *both*
+/// tableau engines. Zero disagreements is the acceptance bar of the
+/// engine rewrite.
+#[test]
+fn injected_faults_confirmed_by_finder_and_both_engines() {
+    use orm_gen::faults::{inject, FaultKind};
+    use orm_gen::{generate_clean, GenConfig};
+
+    for (i, fault) in FaultKind::ALL.into_iter().enumerate() {
+        let clean = generate_clean(&GenConfig::sized(11 + i as u64, 6));
+        let schema = inject(&clean, fault, 0);
+        let report = orm_core::validate(&schema);
+        assert!(report.has_unsat(), "fault {fault:?} did not trigger any pattern");
+        let translation = translate(&schema);
+        let mappable = translation.unmapped.is_empty();
+        for finding in &report.findings {
+            for &role in &finding.unsat_roles {
+                let finder = role_satisfiability(&schema, role, Bounds::small());
+                assert!(
+                    !finder.is_sat(),
+                    "{fault:?}: finder found a model for flagged role {}",
+                    schema.role_label(role)
+                );
+                if mappable {
+                    let query = translation.role_concept(role);
+                    let new = orm_dl::satisfiable(&translation.tbox, &query, DL_BUDGET);
+                    let old = orm_dl::classic::satisfiable(&translation.tbox, &query, DL_BUDGET);
+                    assert_ne!(
+                        new,
+                        DlOutcome::Sat,
+                        "{fault:?}: trail engine says Sat for flagged role {}",
+                        schema.role_label(role)
+                    );
+                    assert_ne!(
+                        old,
+                        DlOutcome::Sat,
+                        "{fault:?}: classic engine says Sat for flagged role {}",
+                        schema.role_label(role)
+                    );
+                }
+            }
+            for &ty in &finding.unsat_types {
+                let finder = type_satisfiability(&schema, ty, Bounds::small());
+                assert!(
+                    !finder.is_sat(),
+                    "{fault:?}: finder found a model for flagged type {}",
+                    schema.object_type(ty).name()
+                );
+                if mappable {
+                    let query = translation.type_concept(ty);
+                    let new = orm_dl::satisfiable(&translation.tbox, &query, DL_BUDGET);
+                    let old = orm_dl::classic::satisfiable(&translation.tbox, &query, DL_BUDGET);
+                    assert_ne!(
+                        new,
+                        DlOutcome::Sat,
+                        "{fault:?}: trail engine says Sat for flagged type {}",
+                        schema.object_type(ty).name()
+                    );
+                    assert_ne!(
+                        old,
+                        DlOutcome::Sat,
+                        "{fault:?}: classic engine says Sat for flagged type {}",
+                        schema.object_type(ty).name()
+                    );
+                }
             }
         }
     }

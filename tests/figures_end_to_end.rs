@@ -22,24 +22,18 @@ fn all_fixtures_match_paper_claims() {
 fn figures_validate_identically_after_round_trip() {
     for fixture in fixtures::all() {
         let text = print(&fixture.schema);
-        let reparsed = parse(&text)
-            .unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", fixture.id));
+        let reparsed =
+            parse(&text).unwrap_or_else(|e| panic!("{}: reparse failed: {e}\n{text}", fixture.id));
         let before = validate(&fixture.schema);
         let after = validate(&reparsed);
-        let codes = |r: &orm_core::Report| {
-            r.findings.iter().map(|f| f.code).collect::<BTreeSet<_>>()
-        };
+        let codes =
+            |r: &orm_core::Report| r.findings.iter().map(|f| f.code).collect::<BTreeSet<_>>();
         assert_eq!(codes(&before), codes(&after), "{}", fixture.id);
         // Unsat role *labels* survive the round trip too.
         let labels = |s: &orm_model::Schema, r: &orm_core::Report| {
             r.unsat_roles().iter().map(|x| s.role_label(*x).to_owned()).collect::<BTreeSet<_>>()
         };
-        assert_eq!(
-            labels(&fixture.schema, &before),
-            labels(&reparsed, &after),
-            "{}",
-            fixture.id
-        );
+        assert_eq!(labels(&fixture.schema, &before), labels(&reparsed, &after), "{}", fixture.id);
     }
 }
 
@@ -82,9 +76,7 @@ fn validator_settings_reproduce_fig15_behaviour() {
     let all = validate_all(&fig14.schema);
     assert!(all.by_code(CheckCode::Fr6).count() >= 1, "rule 6 lint must fire on Fig. 14");
     assert!(!all.has_unsat(), "Fig. 14 stays satisfiable");
-    assert!(all
-        .by_code(CheckCode::Fr6)
-        .all(|f| f.severity == Severity::Guideline));
+    assert!(all.by_code(CheckCode::Fr6).all(|f| f.severity == Severity::Guideline));
 }
 
 /// Verbalization covers every fixture without panicking and mentions every
@@ -94,12 +86,7 @@ fn figures_verbalize_completely() {
     for fixture in fixtures::all() {
         let text = verbalize(&fixture.schema);
         for (_, ot) in fixture.schema.object_types() {
-            assert!(
-                text.contains(ot.name()),
-                "{}: verbalization omits {}",
-                fixture.id,
-                ot.name()
-            );
+            assert!(text.contains(ot.name()), "{}: verbalization omits {}", fixture.id, ot.name());
         }
     }
 }

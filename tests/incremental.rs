@@ -33,9 +33,9 @@ fn apply(schema: &mut Schema, edit: &Edit, added: &mut Vec<ConstraintId>) -> Opt
     match edit {
         Edit::AddMandatory(i) if !roles.is_empty() => {
             let role = roles[i % roles.len()];
-            added.push(schema.add_constraint(Constraint::Mandatory(Mandatory {
-                roles: vec![role],
-            })));
+            added.push(
+                schema.add_constraint(Constraint::Mandatory(Mandatory { roles: vec![role] })),
+            );
             Some(EditHint::Constraint(ConstraintKind::Mandatory))
         }
         Edit::AddFrequency(i, min) if !roles.is_empty() => {

@@ -30,8 +30,7 @@ fn library_file_is_clean_and_satisfiable() {
     let schema = load("library.orm");
     let report = validate(&schema);
     assert!(report.is_clean(), "{}", report.render(&schema));
-    let outcome =
-        orm_reasoner::strong_satisfiability(&schema, orm_reasoner::Bounds::default());
+    let outcome = orm_reasoner::strong_satisfiability(&schema, orm_reasoner::Bounds::default());
     assert!(outcome.is_sat(), "library.orm should be strongly satisfiable: {outcome:?}");
 }
 
@@ -54,8 +53,8 @@ fn all_sample_files_round_trip_and_verbalize() {
             continue;
         }
         let text = std::fs::read_to_string(&path).expect("readable");
-        let schema = parse(&text)
-            .unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
+        let schema =
+            parse(&text).unwrap_or_else(|e| panic!("{} does not parse: {e}", path.display()));
         let printed = print(&schema);
         let reparsed = parse(&printed)
             .unwrap_or_else(|e| panic!("{} does not round-trip: {e}", path.display()));

@@ -13,12 +13,7 @@ use proptest::prelude::*;
 fn fingerprint(schema: &Schema) -> String {
     let mut out = String::new();
     for (_, ot) in schema.object_types() {
-        out.push_str(&format!(
-            "{}:{:?}:{:?}\n",
-            ot.name(),
-            ot.kind(),
-            ot.value_constraint()
-        ));
+        out.push_str(&format!("{}:{:?}:{:?}\n", ot.name(), ot.kind(), ot.value_constraint()));
     }
     // The printer groups subtype links per type declaration, so link order
     // is not preserved — compare them as a set.

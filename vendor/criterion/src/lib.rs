@@ -1,0 +1,319 @@
+//! Offline stand-in for `criterion`.
+//!
+//! Implements the API surface the workspace's benches use — `Criterion`,
+//! benchmark groups, `Bencher::iter`, `BenchmarkId`, `Throughput`, the
+//! `criterion_group!`/`criterion_main!` macros — on a plain wall-clock
+//! harness: adaptive iteration count targeting the configured measurement
+//! time, reporting mean/min per benchmark to stdout. When invoked with
+//! `--test` (as `cargo test --benches` does) every benchmark body runs
+//! exactly once, so benches double as smoke tests.
+
+#![forbid(unsafe_code)]
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Throughput annotation (recorded, echoed in the report line).
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per iteration.
+    Elements(u64),
+    /// Bytes processed per iteration.
+    Bytes(u64),
+}
+
+/// A benchmark identifier: function name plus optional parameter.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Function name + parameter value.
+    pub fn new(function: impl Into<String>, parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: format!("{}/{}", function.into(), parameter) }
+    }
+
+    /// Parameter-only id (inside a named group).
+    pub fn from_parameter(parameter: impl fmt::Display) -> BenchmarkId {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Anything accepted as a benchmark name: `&str`, `String` or [`BenchmarkId`].
+pub trait IntoBenchmarkId {
+    /// The rendered name.
+    fn into_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_id(self) -> String {
+        self.to_owned()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_id(self) -> String {
+        self.id
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher<'a> {
+    config: &'a Config,
+    /// Measured mean per iteration, filled by [`Bencher::iter`].
+    result: Option<Measurement>,
+}
+
+/// One benchmark's measurement.
+#[derive(Clone, Copy, Debug)]
+pub struct Measurement {
+    /// Mean wall-clock time per iteration.
+    pub mean: Duration,
+    /// Fastest observed iteration.
+    pub min: Duration,
+    /// Iterations measured.
+    pub iters: u64,
+}
+
+impl<'a> Bencher<'a> {
+    /// Time `routine`, adaptively choosing an iteration count that fills
+    /// the configured measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut routine: F) {
+        if self.config.test_mode {
+            black_box(routine());
+            self.result = Some(Measurement { mean: Duration::ZERO, min: Duration::ZERO, iters: 1 });
+            return;
+        }
+        // Warm-up: run until the warm-up window elapses (at least once).
+        let warm_until = Instant::now() + self.config.warm_up_time;
+        let mut one = Duration::MAX;
+        loop {
+            let t0 = Instant::now();
+            black_box(routine());
+            one = one.min(t0.elapsed());
+            if Instant::now() >= warm_until {
+                break;
+            }
+        }
+        // Choose an iteration count targeting the measurement window,
+        // bounded below by the sample size.
+        let per_iter = one.max(Duration::from_nanos(1));
+        let fit = self.config.measurement_time.as_nanos() / per_iter.as_nanos().max(1);
+        let iters = fit.clamp(self.config.sample_size as u128, 1_000_000) as u64;
+        let mut min = Duration::MAX;
+        let started = Instant::now();
+        for _ in 0..iters {
+            let t0 = Instant::now();
+            black_box(routine());
+            min = min.min(t0.elapsed());
+        }
+        let total = started.elapsed();
+        self.result = Some(Measurement { mean: total / iters as u32, min, iters });
+    }
+}
+
+#[derive(Clone, Debug)]
+struct Config {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    test_mode: bool,
+    filter: Option<String>,
+}
+
+impl Config {
+    fn from_args() -> Config {
+        let mut test_mode = false;
+        let mut filter = None;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--nocapture" | "-q" | "--quiet" => {}
+                other if other.starts_with('-') => {}
+                other => filter = Some(other.to_owned()),
+            }
+        }
+        Config {
+            sample_size: 10,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(2),
+            test_mode,
+            filter,
+        }
+    }
+
+    fn matches(&self, name: &str) -> bool {
+        self.filter.as_deref().is_none_or(|f| name.contains(f))
+    }
+}
+
+fn run_one(config: &Config, name: &str, f: &mut dyn FnMut(&mut Bencher<'_>)) {
+    if !config.matches(name) {
+        return;
+    }
+    let mut bencher = Bencher { config, result: None };
+    f(&mut bencher);
+    match bencher.result {
+        Some(_) if config.test_mode => println!("test {name} ... ok"),
+        Some(m) => {
+            println!("{name:<50} mean {:>12.3?}  min {:>12.3?}  ({} iters)", m.mean, m.min, m.iters)
+        }
+        None => println!("{name:<50} (no measurement: closure never called iter)"),
+    }
+}
+
+/// Top-level benchmark driver (subset of `criterion::Criterion`).
+pub struct Criterion {
+    config: Config,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { config: Config::from_args() }
+    }
+}
+
+impl Criterion {
+    /// Configure the default sample size.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Run a standalone benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        name: &str,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&self.config, name, &mut f);
+        self
+    }
+
+    /// Open a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { name: name.into(), config: self.config.clone(), _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Config,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Set the number of samples (lower bound on iterations here).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n;
+        self
+    }
+
+    /// Set the warm-up window.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up_time = d;
+        self
+    }
+
+    /// Set the measurement window.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement_time = d;
+        self
+    }
+
+    /// Record the group's throughput annotation.
+    pub fn throughput(&mut self, _t: Throughput) -> &mut Self {
+        self
+    }
+
+    /// Benchmark within the group.
+    pub fn bench_function<N: IntoBenchmarkId, F: FnMut(&mut Bencher<'_>)>(
+        &mut self,
+        id: N,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.config, &name, &mut f);
+        self
+    }
+
+    /// Benchmark with an explicit input value.
+    pub fn bench_with_input<N: IntoBenchmarkId, I: ?Sized, F: FnMut(&mut Bencher<'_>, &I)>(
+        &mut self,
+        id: N,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let name = format!("{}/{}", self.name, id.into_id());
+        run_one(&self.config, &name, &mut |b| f(b, input));
+        self
+    }
+
+    /// Close the group.
+    pub fn finish(self) {}
+}
+
+/// Declare a benchmark group function, mirroring `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group(c: &mut $crate::Criterion) {
+            $($target(c);)+
+        }
+    };
+}
+
+/// Declare the bench `main`, mirroring `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut c = $crate::Criterion::default();
+            $($group(&mut c);)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_render() {
+        assert_eq!(BenchmarkId::new("f", 3).to_string(), "f/3");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+
+    #[test]
+    fn bencher_measures() {
+        let config = Config {
+            sample_size: 3,
+            warm_up_time: Duration::from_millis(1),
+            measurement_time: Duration::from_millis(5),
+            test_mode: false,
+            filter: None,
+        };
+        let mut b = Bencher { config: &config, result: None };
+        let mut count = 0u64;
+        b.iter(|| count += 1);
+        let m = b.result.expect("measured");
+        assert!(m.iters >= 3);
+        assert!(count >= m.iters);
+    }
+}

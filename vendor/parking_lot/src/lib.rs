@@ -1,0 +1,51 @@
+//! Offline stand-in for `parking_lot`: wraps `std::sync::Mutex` behind the
+//! `parking_lot` signature (`lock()` returns the guard directly, recovering
+//! from poisoning instead of returning a `Result`).
+
+#![forbid(unsafe_code)]
+
+use std::sync;
+
+/// A mutex whose `lock` never returns a `Result` (poisoning is swallowed,
+/// matching `parking_lot`'s no-poisoning semantics).
+#[derive(Debug, Default)]
+pub struct Mutex<T>(sync::Mutex<T>);
+
+/// Guard type returned by [`Mutex::lock`].
+pub type MutexGuard<'a, T> = sync::MutexGuard<'a, T>;
+
+impl<T> Mutex<T> {
+    /// Wrap a value.
+    pub fn new(value: T) -> Self {
+        Mutex(sync::Mutex::new(value))
+    }
+
+    /// Acquire the lock, recovering from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        match self.0.lock() {
+            Ok(guard) => guard,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    /// Consume the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        match self.0.into_inner() {
+            Ok(value) => value,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::Mutex;
+
+    #[test]
+    fn lock_round_trip() {
+        let m = Mutex::new(1);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 2);
+        assert_eq!(m.into_inner(), 2);
+    }
+}

@@ -1,0 +1,18 @@
+//! Offline stand-in for `serde`.
+//!
+//! Nothing in this workspace serializes data (no format crate is available
+//! offline), so `Serialize`/`Deserialize` are marker traits and the derive
+//! macros (feature `derive`) expand to nothing. Swap this vendored stub
+//! for real `serde` once a registry is reachable — call sites need no
+//! change.
+
+#![forbid(unsafe_code)]
+
+/// Marker standing in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker standing in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
