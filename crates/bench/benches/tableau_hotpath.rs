@@ -1,15 +1,18 @@
 //! PERF: the DL tableau's hot paths — trail-based engine vs the classic
-//! clone-per-branch baseline it replaced.
+//! clone-per-branch baseline it replaced, plus the cached classification
+//! sweep.
 //!
 //! Three scenario families (see `orm_bench::tableau_scenarios`): wide `⊔`
 //! fan-out from exclusive supertypes, deep subtype chains, and
 //! `≤`-merge-heavy frequency contradictions. The `trail/*` and
 //! `classic/*` groups run identical queries, so the ratio per scenario is
-//! the engine speedup; `experiments tableau` records the same comparison
-//! in `BENCH_tableau.json` for the perf trajectory.
+//! the engine speedup. The `sweep/*` group replays one classification
+//! battery with and without a `SatCache`, so its internal ratio is the
+//! cache win. `experiments tableau` records the same comparisons in
+//! `BENCH_tableau.json` for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orm_bench::tableau_scenarios::{all, BUDGET};
+use orm_bench::tableau_scenarios::{all, classify_sweep, BUDGET};
 use std::hint::black_box;
 
 fn bench_trail(c: &mut Criterion) {
@@ -34,5 +37,30 @@ fn bench_classic(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trail, bench_classic);
+fn bench_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_hotpath/sweep");
+    let s = classify_sweep(12, 8);
+    group.bench_function(BenchmarkId::from_parameter(format!("{}_uncached", s.name)), |b| {
+        b.iter(|| {
+            for _ in 0..s.passes {
+                for q in &s.queries {
+                    black_box(orm_dl::satisfiable(&s.tbox, q, BUDGET));
+                }
+            }
+        })
+    });
+    group.bench_function(BenchmarkId::from_parameter(format!("{}_cached", s.name)), |b| {
+        b.iter(|| {
+            let mut cache = orm_dl::SatCache::new();
+            for _ in 0..s.passes {
+                for q in &s.queries {
+                    black_box(cache.satisfiable(&s.tbox, q, BUDGET));
+                }
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_trail, bench_classic, bench_sweep);
 criterion_main!(benches);

@@ -4,8 +4,12 @@
 //! Run with `cargo run --release -p orm-bench --bin experiments`.
 //!
 //! `experiments tableau [out.json]` runs only the tableau-engine
-//! comparison (trail-based vs classic clone-based) and writes the
-//! measurements to `BENCH_tableau.json`, seeding the perf trajectory.
+//! comparison (trail-based vs classic clone-based, plus the cached
+//! classification sweep) and **appends** the measurements as a new entry
+//! in `BENCH_tableau.json`'s `runs` array — the perf trajectory grows
+//! run over run rather than being overwritten (a legacy single-object
+//! file is migrated into `runs[0]` on the first append). The file format
+//! and the acceptance thresholds are documented in `docs/BENCH.md`.
 
 use orm_core::ring::euler::implies;
 use orm_core::ring::table::{all_compatible, compatible, maximal_compatible, render_table};
@@ -57,12 +61,49 @@ fn main() {
     beyond();
 }
 
+/// The first recorded `trail_ms` of `scenario` in an existing bench file
+/// (i.e. the value from the oldest run — the PR 1 baseline once the file
+/// has history). The file format is ours, so a substring scan suffices.
+fn first_trail_ms(content: &str, scenario: &str) -> Option<f64> {
+    let pos = content.find(&format!("\"name\": \"{scenario}\""))?;
+    let rest = &content[pos..];
+    let tpos = rest.find("\"trail_ms\": ")?;
+    let rest = &rest[tpos + "\"trail_ms\": ".len()..];
+    let end = rest.find([',', '}'])?;
+    rest[..end].trim().parse().ok()
+}
+
+/// Splice `new_run` into `previous` (the current bench file contents, if
+/// any), producing the whole new file: a `runs` array that grows by one
+/// entry per invocation. A legacy single-object file (the PR 1 format)
+/// becomes `runs[0]`.
+fn append_run(previous: Option<&str>, new_run: &str) -> String {
+    match previous {
+        Some(old) if old.contains("\"runs\"") => {
+            let cut = old.rfind(']').expect("runs array closes");
+            let head = old[..cut].trim_end();
+            format!("{head},\n{new_run}\n  ]\n}}\n")
+        }
+        Some(old) if !old.trim().is_empty() => {
+            let legacy = old.trim();
+            format!(
+                "{{\n  \"bench\": \"tableau_hotpath\",\n  \"runs\": [\n{legacy},\n{new_run}\n  ]\n}}\n"
+            )
+        }
+        _ => format!("{{\n  \"bench\": \"tableau_hotpath\",\n  \"runs\": [\n{new_run}\n  ]\n}}\n"),
+    }
+}
+
 /// Best-of-`reps` wall-clock comparison of the two tableau engines on the
-/// hotpath scenarios, written as JSON for the perf trajectory. The
-/// acceptance bar of the engine rewrite is a ≥5× speedup on the `⊔`-heavy
-/// family; the JSON records whether the current build clears it.
+/// hotpath scenarios plus the cached classification sweep, **appended**
+/// as a new run to the JSON perf trajectory (see `docs/BENCH.md`).
+///
+/// Acceptance bars recorded per run: ≥5× trail-vs-classic on the
+/// `⊔`-heavy family, ≥5× cached-vs-uncached on the classification sweep,
+/// and — once the file has history — the merge-heavy trail times against
+/// the oldest run's (the backjumping gain; threshold 2×).
 fn tableau_bench(out_path: &str) {
-    use orm_bench::tableau_scenarios::{all, BUDGET};
+    use orm_bench::tableau_scenarios::{all, classify_sweep, BUDGET};
 
     fn best_secs<F: FnMut() -> orm_dl::DlOutcome>(reps: u32, mut f: F) -> (f64, orm_dl::DlOutcome) {
         let mut best = f64::MAX;
@@ -75,6 +116,8 @@ fn tableau_bench(out_path: &str) {
         (best, verdict)
     }
 
+    let previous = std::fs::read_to_string(out_path).ok();
+
     heading("TABLEAU — trail-based engine vs classic clone-based baseline");
     println!(
         "{:<18} {:>12} {:>12} {:>9}  verdicts agree",
@@ -82,6 +125,7 @@ fn tableau_bench(out_path: &str) {
     );
     let mut rows = String::new();
     let mut or_heavy_min_speedup = f64::MAX;
+    let mut merge_gain_min: Option<f64> = None;
     let mut all_agree = true;
     for s in all() {
         let (trail, v_new) = best_secs(5, || orm_dl::satisfiable(&s.tbox, &s.query, BUDGET));
@@ -92,6 +136,12 @@ fn tableau_bench(out_path: &str) {
         all_agree &= agree;
         if s.kind == "or_fanout" {
             or_heavy_min_speedup = or_heavy_min_speedup.min(speedup);
+        }
+        if s.kind == "merge_heavy" {
+            if let Some(baseline) = previous.as_deref().and_then(|c| first_trail_ms(c, &s.name)) {
+                let gain = baseline / (trail * 1e3).max(1e-9);
+                merge_gain_min = Some(merge_gain_min.map_or(gain, |g: f64| g.min(gain)));
+            }
         }
         println!(
             "{:<18} {:>12.3} {:>12.3} {:>8.1}x  {}",
@@ -105,7 +155,7 @@ fn tableau_bench(out_path: &str) {
             rows.push_str(",\n");
         }
         rows.push_str(&format!(
-            "    {{\"name\": \"{}\", \"kind\": \"{}\", \"classic_ms\": {:.4}, \
+            "        {{\"name\": \"{}\", \"kind\": \"{}\", \"classic_ms\": {:.4}, \
              \"trail_ms\": {:.4}, \"speedup\": {:.2}, \"verdict\": \"{:?}\", \
              \"verdicts_agree\": {}}}",
             s.name,
@@ -117,25 +167,110 @@ fn tableau_bench(out_path: &str) {
             agree
         ));
     }
-    let acceptance_met = or_heavy_min_speedup >= 5.0 && all_agree;
-    let json = format!(
-        "{{\n  \"bench\": \"tableau_hotpath\",\n  \"budget\": {BUDGET},\n  \"scenarios\": [\n\
-         {rows}\n  ],\n  \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n  \
-         \"acceptance_threshold\": 5.0,\n  \"acceptance_met\": {acceptance_met}\n}}\n"
+
+    // Classification sweep: the same query battery answered by re-proving
+    // everything vs through one SatCache.
+    let sweep = classify_sweep(12, 8);
+    let run_uncached = || {
+        let mut verdicts = Vec::new();
+        for _ in 0..sweep.passes {
+            for q in &sweep.queries {
+                verdicts.push(orm_dl::satisfiable(&sweep.tbox, q, BUDGET));
+            }
+        }
+        verdicts
+    };
+    let run_cached = || {
+        let mut cache = orm_dl::SatCache::new();
+        let mut verdicts = Vec::new();
+        for _ in 0..sweep.passes {
+            for q in &sweep.queries {
+                verdicts.push(cache.satisfiable(&sweep.tbox, q, BUDGET));
+            }
+        }
+        (verdicts, cache.stats())
+    };
+    let mut uncached = f64::MAX;
+    let mut cached = f64::MAX;
+    let mut verdicts_uncached = Vec::new();
+    let mut verdicts_cached = Vec::new();
+    let mut sweep_stats = orm_dl::CacheStats::default();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        verdicts_uncached = run_uncached();
+        uncached = uncached.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let (v, stats) = run_cached();
+        cached = cached.min(t0.elapsed().as_secs_f64());
+        verdicts_cached = v;
+        sweep_stats = stats;
+    }
+    let sweep_agree = verdicts_uncached == verdicts_cached;
+    all_agree &= sweep_agree;
+    let sweep_speedup = uncached / cached.max(1e-9);
+    println!(
+        "\n{}: {} queries × {} passes — uncached {:.3} ms, cached {:.3} ms \
+         ({:.1}x, {} hits / {} misses), verdicts agree: {}",
+        sweep.name,
+        sweep.queries.len(),
+        sweep.passes,
+        uncached * 1e3,
+        cached * 1e3,
+        sweep_speedup,
+        sweep_stats.hits,
+        sweep_stats.misses,
+        if sweep_agree { "yes" } else { "NO" }
     );
+    if let Some(gain) = merge_gain_min {
+        println!(
+            "merge-heavy trail gain vs oldest recorded run: {gain:.1}x (backjumping threshold 2.0x)"
+        );
+    }
+
+    let acceptance_met = or_heavy_min_speedup >= 5.0
+        && sweep_speedup >= 5.0
+        && merge_gain_min.is_none_or(|g| g >= 2.0)
+        && all_agree;
+    let unix_time = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map_or(0, |d| d.as_secs());
+    let merge_gain_json = merge_gain_min.map_or("null".to_owned(), |g| format!("{g:.2}"));
+    let new_run = format!(
+        "    {{\n      \"unix_time\": {unix_time},\n      \"budget\": {BUDGET},\n      \
+         \"scenarios\": [\n{rows}\n      ],\n      \
+         \"classify_sweep\": {{\"name\": \"{}\", \"queries\": {}, \"passes\": {}, \
+         \"uncached_ms\": {:.4}, \"cached_ms\": {:.4}, \"speedup\": {:.2}, \
+         \"cache_hits\": {}, \"cache_misses\": {}, \"verdicts_agree\": {}}},\n      \
+         \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
+         \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
+         \"acceptance_threshold\": 5.0,\n      \
+         \"merge_gain_threshold\": 2.0,\n      \
+         \"acceptance_met\": {acceptance_met}\n    }}",
+        sweep.name,
+        sweep.queries.len(),
+        sweep.passes,
+        uncached * 1e3,
+        cached * 1e3,
+        sweep_speedup,
+        sweep_stats.hits,
+        sweep_stats.misses,
+        sweep_agree,
+    );
+    let json = append_run(previous.as_deref(), &new_run);
     std::fs::write(out_path, &json).expect("write bench json");
     println!(
-        "\n⊔-heavy minimum speedup: {or_heavy_min_speedup:.1}x (threshold 5.0x) — \
-         acceptance {}; wrote {out_path}",
+        "\n⊔-heavy minimum speedup: {or_heavy_min_speedup:.1}x, sweep speedup: \
+         {sweep_speedup:.1}x (thresholds 5.0x) — acceptance {}; appended run to {out_path}",
         if acceptance_met { "MET" } else { "NOT MET" }
     );
     // Non-zero exit so the CI smoke step actually gates — but only on
     // signals robust to noisy shared runners: verdict disagreement is
-    // deterministic, and a ⊔-heavy speedup collapse below 2× means the
-    // trail engine regressed catastrophically. The full 5× acceptance
-    // figure lives in the JSON, not the exit code, so timing jitter on a
+    // deterministic, and a collapse below 2× on the ⊔-heavy engine
+    // speedup or the sweep's cached-vs-uncached ratio means the engine or
+    // the cache regressed catastrophically. The full 5× acceptance
+    // figures live in the JSON, not the exit code, so timing jitter on a
     // loaded machine cannot turn mainline CI red.
-    if !all_agree || or_heavy_min_speedup < 2.0 {
+    if !all_agree || or_heavy_min_speedup < 2.0 || sweep_speedup < 2.0 {
         std::process::exit(1);
     }
 }

@@ -2,7 +2,8 @@
 //! `tableau_hotpath` criterion bench and `experiments tableau` (which
 //! records the trail-vs-classic speedup in `BENCH_tableau.json`).
 //!
-//! Three families, mirroring where ORM translations actually spend time:
+//! Three engine families, mirroring where ORM translations actually
+//! spend time:
 //!
 //! * **`⊔` fan-out** ([`or_fanout`]) — an exclusive, total subtype family:
 //!   every pair of subtypes contributes a `¬Sᵢ ⊔ ¬Sⱼ` disjunction to the
@@ -15,7 +16,21 @@
 //!   pairwise-blocking comparisons.
 //! * **`≤`-merge pressure** ([`merge_heavy`]) — a frequency-style
 //!   contradiction (`∃R.⊤ ⊑ ≥k R`, `⊤ ⊑ ≤1 R`): the engine must try the
-//!   merge choices among `k` fresh successors before refuting.
+//!   merge choices among `k` fresh successors before refuting. This is
+//!   also the family where dependency-directed backjumping bites: the
+//!   internalized disjunctions opened at each fresh successor are
+//!   irrelevant to the eventual `≤`-clash, and the conflict's dependency
+//!   set lets the engine skip their sibling branches wholesale.
+//!
+//! Plus one *query-stream* family:
+//!
+//! * **Classification sweep** ([`classify_sweep`]) — the pattern the
+//!   paper's tooling actually runs: one TBox, then a battery of
+//!   overlapping satisfiability/subsumption queries (per-type sweep plus
+//!   all `O(k²)` classification pairs), repeated over several passes the
+//!   way interactive checking re-asks them. The
+//!   [`orm_dl::SatCache`] answers repeat passes from memory; the bench
+//!   compares the cached stream against re-proving every query.
 
 use orm_dl::concept::{Concept as C, RoleExpr};
 use orm_dl::tbox::TBox;
@@ -98,6 +113,60 @@ pub fn all() -> Vec<Scenario> {
         merge_heavy(5),
         merge_heavy(7),
     ]
+}
+
+/// A classification-sweep workload: one TBox, one pass worth of
+/// overlapping queries, and the number of passes a checking session runs.
+pub struct SweepScenario {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// The shared terminology.
+    pub tbox: TBox,
+    /// The queries of a single pass (all distinct).
+    pub queries: Vec<C>,
+    /// How many times the pass is replayed (interactive re-checks).
+    pub passes: u32,
+}
+
+/// The query battery a schema check runs against one TBox: a satisfiability
+/// sweep over all `k` types plus the full `k·(k-1)` classification matrix
+/// (`Aᵢ ⊓ ¬Aⱼ` per ordered pair), replayed for `passes` rounds. The TBox is
+/// a subtype chain with an exclusive pair near the top, so the battery
+/// mixes Sat verdicts, derived-subsumption Unsats and an unsatisfiable
+/// type — the shape `Translation::classify` plus per-role sweeps produce.
+pub fn classify_sweep(k: u32, passes: u32) -> SweepScenario {
+    let mut t = TBox::new();
+    let atoms: Vec<C> = (0..k).map(|i| C::Atomic(t.atom(format!("A{i}")))).collect();
+    for w in atoms.windows(2) {
+        t.gci(w[0].clone(), w[1].clone());
+    }
+    // Two exclusive siblings under the top of the chain, and one doomed
+    // type below both: classification finds derived subsumptions.
+    let left = C::Atomic(t.atom("Left"));
+    let right = C::Atomic(t.atom("Right"));
+    let doomed = C::Atomic(t.atom("Doomed"));
+    let top = atoms.last().expect("k >= 1").clone();
+    t.gci(left.clone(), top.clone());
+    t.gci(right.clone(), top.clone());
+    t.gci(C::and([left.clone(), right.clone()]), C::Bottom);
+    t.gci(doomed.clone(), left.clone());
+    t.gci(doomed.clone(), right.clone());
+    let r = RoleExpr::direct(t.role("R"));
+    t.gci(top.clone(), C::Exists(r, Box::new(top.clone())));
+
+    let all: Vec<C> = atoms.iter().chain([&left, &right, &doomed]).cloned().collect();
+    let mut queries = Vec::new();
+    for a in &all {
+        queries.push(a.clone());
+    }
+    for a in &all {
+        for b in &all {
+            if a != b {
+                queries.push(C::and([a.clone(), C::not(b.clone())]));
+            }
+        }
+    }
+    SweepScenario { name: format!("classify_sweep_{k}x{passes}"), tbox: t, queries, passes }
 }
 
 /// Budget ample enough that every scenario reaches a definitive verdict.

@@ -14,7 +14,7 @@ use std::fmt;
 /// Identifies one of the implemented checks.
 ///
 /// * `P1`–`P9` — the paper's nine unsatisfiability patterns (§2).
-/// * `Fr1`–`Fr7` — Halpin's formation rules [H89] as discussed in §3.
+/// * `Fr1`–`Fr7` — Halpin's formation rules \[H89\] as discussed in §3.
 /// * `V1`–`V3` — representative RIDL-A validity-analysis lints (§3; the RIDL
 ///   report is not publicly available, so these reconstruct the *kind* of
 ///   rule the paper describes as "not relevant for unsatisfiability").

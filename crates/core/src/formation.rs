@@ -1,4 +1,4 @@
-//! Halpin's seven formation rules [H89] as lints (paper §3).
+//! Halpin's seven formation rules \[H89\] as lints (paper §3).
 //!
 //! The paper's related-work analysis classifies each rule by whether its
 //! violation implies an unsatisfiable role (*relevant*) or merely poor

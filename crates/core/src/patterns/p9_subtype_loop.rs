@@ -1,7 +1,7 @@
 //! Pattern 9 — *Loops in subtypes* (paper §2, Fig. 13).
 //!
 //! ORM subtype populations are **strict** subsets of their supertype
-//! populations ([H01]), so a loop in the subtype relation would make a
+//! populations (\[H01\]), so a loop in the subtype relation would make a
 //! population a strict subset of itself. Every type on a cycle — i.e. with
 //! `T ∈ T.Supers` — is unsatisfiable.
 //!

@@ -1,4 +1,4 @@
-//! RIDL-A rules from the RIDL* workbench [DMV] (paper §3).
+//! RIDL-A rules from the RIDL* workbench \[DMV\] (paper §3).
 //!
 //! The paper examines RIDL-A's *Validity Analysis* (V1–V6) and *Set
 //! Constraint Analysis* (S1–S4) and concludes that only S4 can detect

@@ -1,0 +1,302 @@
+//! A verdict cache for repeated satisfiability queries against one TBox.
+//!
+//! The ORM workload is *classify-heavy*: `Translation::classify` asks
+//! `O(n²)` subsumption questions against a single TBox, per-role sweeps
+//! re-prove `∃R.⊤`-style queries for every role, and interactive editing
+//! re-runs the whole battery after each schema change. The queries
+//! overlap massively — the same root label set shows up again and again —
+//! so [`SatCache`] memoizes verdicts keyed on the **interned, sorted root
+//! `ConceptId` label set** of the query.
+//!
+//! # Key canonicalization
+//!
+//! The cache owns a private [`Arena`]; each query is interned there and
+//! its top-level conjunct list (which the arena stores sorted and
+//! deduplicated) becomes the key. Two queries that differ only in `⊓`
+//! argument order, duplication or nesting therefore share one cache line:
+//! `A ⊓ (B ⊓ A)` and `B ⊓ A` hit the same entry.
+//!
+//! # Invalidation
+//!
+//! Entries are proved against one TBox state, witnessed by
+//! [`TBox::cache_stamp`] — a process-unique TBox identity plus a mutation
+//! revision. Any mutation bumps the revision, and clones get fresh
+//! identities, so a stamp mismatch (detected on the next query) clears
+//! the cache wholesale. There is no way to observe a stale verdict.
+//!
+//! # Budget semantics
+//!
+//! Definitive verdicts (`Sat`/`Unsat`) are budget-independent facts about
+//! the TBox, so a hit returns them even when the caller's budget is
+//! smaller than the one that proved them — the cache upgrades answers,
+//! never downgrades. An inconclusive attempt is remembered as
+//! [`DlOutcome::ResourceLimit`] *together with the budget that failed*:
+//! it only short-circuits callers asking for at most that much budget. A
+//! larger-budget retry runs the tableau again (and overwrites the entry
+//! with whatever it learns), so an `Unknown` under budget `b` can never
+//! shadow a later, better-funded run.
+//!
+//! ```
+//! use orm_dl::cache::SatCache;
+//! use orm_dl::concept::Concept;
+//! use orm_dl::tableau::DlOutcome;
+//! use orm_dl::tbox::TBox;
+//!
+//! let mut tbox = TBox::new();
+//! let a = Concept::Atomic(tbox.atom("A"));
+//! let b = Concept::Atomic(tbox.atom("B"));
+//! tbox.gci(a.clone(), b.clone());
+//!
+//! let mut cache = SatCache::new();
+//! let query = Concept::and([a.clone(), Concept::not(b.clone())]);
+//! assert_eq!(cache.satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
+//! // Same root label set, different ⊓ spelling: a pure cache hit.
+//! let again = Concept::and([Concept::not(b.clone()), a.clone(), a.clone()]);
+//! assert_eq!(cache.satisfiable(&tbox, &again, 100_000), DlOutcome::Unsat);
+//! assert_eq!(cache.stats().hits, 1);
+//!
+//! // Mutating the TBox invalidates every entry.
+//! tbox.gci(b.clone(), a.clone());
+//! assert_eq!(cache.satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
+//! assert_eq!(cache.stats().invalidations, 1);
+//! ```
+
+use crate::arena::{Arena, CKind, ConceptId};
+use crate::concept::Concept;
+use crate::tableau::{satisfiable, DlOutcome};
+use crate::tbox::TBox;
+use std::collections::HashMap;
+
+/// Hit/miss/invalidation counters, for benches and acceptance checks.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Queries answered from the cache without running the tableau.
+    pub hits: u64,
+    /// Queries that ran the tableau (and populated an entry).
+    pub misses: u64,
+    /// Wholesale clears caused by a TBox stamp change.
+    pub invalidations: u64,
+}
+
+/// A cached verdict. `Sat`/`Unsat` are final; `Unknown` records the
+/// largest budget that failed to decide the query.
+#[derive(Clone, Copy, Debug)]
+enum Entry {
+    Sat,
+    Unsat,
+    Unknown { budget: u64 },
+}
+
+/// Memoizes [`satisfiable`] verdicts per root label set for one TBox
+/// state. See the [module docs](self) for key and budget semantics.
+#[derive(Clone, Debug, Default)]
+pub struct SatCache {
+    arena: Arena,
+    /// The stamp the current entries were proved against.
+    stamp: Option<(u64, u64)>,
+    entries: HashMap<Box<[ConceptId]>, Entry>,
+    stats: CacheStats,
+}
+
+impl SatCache {
+    /// An empty cache, bound to no TBox yet.
+    pub fn new() -> SatCache {
+        SatCache::default()
+    }
+
+    /// Counters since construction (survive invalidation).
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the cache currently holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Drop every entry (keeps the stats).
+    pub fn clear(&mut self) {
+        self.entries.clear();
+        self.arena = Arena::new();
+        self.stamp = None;
+    }
+
+    /// Clear when `tbox` is not the TBox state the entries were proved
+    /// against.
+    fn validate(&mut self, tbox: &TBox) {
+        let stamp = tbox.cache_stamp();
+        if self.stamp != Some(stamp) {
+            if self.stamp.is_some() {
+                self.stats.invalidations += 1;
+            }
+            self.entries.clear();
+            self.arena = Arena::new();
+            self.stamp = Some(stamp);
+        }
+    }
+
+    /// The canonical root label set of `query`: its interned top-level
+    /// conjuncts (sorted, deduplicated by the arena).
+    fn key(&mut self, query: &Concept) -> Box<[ConceptId]> {
+        let id = self.arena.intern(query);
+        match self.arena.kind(id) {
+            CKind::And(ids) => ids.clone(),
+            CKind::Top => Box::new([]),
+            _ => Box::new([id]),
+        }
+    }
+
+    /// Cached [`satisfiable`]: consult the verdict cache, fall back to the
+    /// tableau on a miss, and remember what it learned.
+    pub fn satisfiable(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
+        self.validate(tbox);
+        let key = self.key(query);
+        match self.entries.get(&key) {
+            Some(Entry::Sat) => {
+                self.stats.hits += 1;
+                return DlOutcome::Sat;
+            }
+            Some(Entry::Unsat) => {
+                self.stats.hits += 1;
+                return DlOutcome::Unsat;
+            }
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+                // The cached attempt had at least this much budget and
+                // still ran out: re-running with less cannot do better.
+                self.stats.hits += 1;
+                return DlOutcome::ResourceLimit;
+            }
+            _ => {}
+        }
+        self.stats.misses += 1;
+        let verdict = satisfiable(tbox, query, budget);
+        let entry = match verdict {
+            DlOutcome::Sat => Entry::Sat,
+            DlOutcome::Unsat => Entry::Unsat,
+            DlOutcome::ResourceLimit => Entry::Unknown { budget },
+        };
+        self.entries.insert(key, entry);
+        verdict
+    }
+
+    /// Cached [`crate::tableau::subsumes`]: the standard reduction of
+    /// `sub ⊑ sup` to unsatisfiability of `sub ⊓ ¬sup`, through
+    /// [`SatCache::satisfiable`] so repeated classification sweeps share
+    /// verdicts.
+    pub fn subsumes(
+        &mut self,
+        tbox: &TBox,
+        sup: &Concept,
+        sub: &Concept,
+        budget: u64,
+    ) -> Option<bool> {
+        let query = Concept::and([sub.clone(), Concept::not(sup.clone())]);
+        match self.satisfiable(tbox, &query, budget) {
+            DlOutcome::Unsat => Some(true),
+            DlOutcome::Sat => Some(false),
+            DlOutcome::ResourceLimit => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::RoleExpr;
+
+    fn ab_tbox() -> (TBox, Concept, Concept) {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), b.clone());
+        (t, a, b)
+    }
+
+    #[test]
+    fn repeated_queries_hit() {
+        let (t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        for _ in 0..10 {
+            assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        }
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 10);
+    }
+
+    #[test]
+    fn key_canonicalizes_conjunction_spelling() {
+        let (t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q1 = Concept::and([a.clone(), b.clone()]);
+        let q2 = Concept::and([b.clone(), a.clone(), a.clone()]);
+        assert_eq!(cache.satisfiable(&t, &q1, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.satisfiable(&t, &q2, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.stats().hits, 1);
+    }
+
+    #[test]
+    fn mutation_invalidates() {
+        let (mut t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        // New axiom: same query must be re-proved, not replayed.
+        t.gci(b.clone(), a.clone());
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(cache.stats().misses, 2);
+    }
+
+    #[test]
+    fn clones_never_alias() {
+        let (t, a, b) = ab_tbox();
+        let mut clone = t.clone();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        // The clone diverges: A ⊑ B is joined by B ⊑ ⊥.
+        clone.gci(b.clone(), Concept::Bottom);
+        // A alone is now unsatisfiable in the clone; the entry proved
+        // against `t` must not answer for it.
+        assert_eq!(cache.satisfiable(&clone, &a, 100_000), DlOutcome::Unsat);
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn unknown_entries_are_budget_aware() {
+        // A query the tableau cannot decide under a tiny budget.
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
+        let mut cache = SatCache::new();
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::ResourceLimit);
+        // Same or smaller budget: short-circuited.
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::ResourceLimit);
+        assert_eq!(cache.stats().hits, 1);
+        // A larger budget must actually re-run — and succeeds.
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        // The definitive verdict now answers even tiny-budget callers.
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::Sat);
+    }
+
+    #[test]
+    fn subsumes_through_cache_matches_uncached() {
+        let (t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        assert_eq!(cache.subsumes(&t, &b, &a, 100_000), Some(true));
+        assert_eq!(cache.subsumes(&t, &a, &b, 100_000), Some(false));
+        assert_eq!(
+            cache.subsumes(&t, &b, &a, 100_000),
+            crate::tableau::subsumes(&t, &b, &a, 100_000)
+        );
+    }
+}

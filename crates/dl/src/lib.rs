@@ -1,7 +1,7 @@
 //! # orm-dl — a description-logic tableau reasoner and the ORM→DL mapping
 //!
 //! The paper's "complete procedure" maps ORM into the DLR description logic
-//! and calls the (closed-source) RACER reasoner [JF05]. This crate rebuilds
+//! and calls the (closed-source) RACER reasoner \[JF05\]. This crate rebuilds
 //! that pipeline from scratch on an open footing:
 //!
 //! * [`concept`] — a DL concept language with inverse roles and
@@ -9,9 +9,15 @@
 //!   role disjointness — exactly what the binary-ORM mapping needs; DLR's
 //!   n-ary features degenerate to this fragment for binary predicates);
 //! * [`tbox`] — TBoxes of general concept inclusions, role inclusions and
-//!   role disjointness, with GCI internalization;
+//!   role disjointness, with GCI internalization and a mutation-stamped
+//!   identity ([`tbox::TBox::cache_stamp`]) that keys the verdict cache;
 //! * [`tableau`] — a sound and terminating tableau procedure with pairwise
-//!   blocking, successor merging and a node budget;
+//!   blocking, successor merging, a rule budget, trail-based backtracking
+//!   and dependency-directed backjumping (the retained clone-per-branch
+//!   baseline lives in [`classic`] for differential testing);
+//! * [`cache`] — a [`SatCache`] memoizing verdicts per interned root
+//!   label set, consulted by every [`Translation`] satisfiability helper
+//!   so classify-heavy workloads pay for each distinct query once;
 //! * [`orm_to_dl`] — the schema translation. Ring constraints, value
 //!   constraints and spanning frequency constraints are reported as
 //!   *unmapped* — the same expressivity gap the paper concedes for DLR
@@ -36,6 +42,7 @@
 #![warn(missing_docs)]
 
 pub mod arena;
+pub mod cache;
 pub mod classic;
 pub mod concept;
 pub mod orm_to_dl;
@@ -46,6 +53,7 @@ pub mod tbox;
 mod test_scenarios;
 
 pub use arena::{Arena, ConceptId};
+pub use cache::{CacheStats, SatCache};
 pub use concept::{Concept, RoleExpr};
 pub use orm_to_dl::{translate, Translation};
 pub use tableau::{satisfiable, subsumes, DlOutcome};

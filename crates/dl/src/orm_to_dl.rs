@@ -1,5 +1,5 @@
 //! Translation of ORM schemas into the DL fragment, following the shape of
-//! the DLR mapping of [JF05] specialized to binary predicates.
+//! the DLR mapping of \[JF05\] specialized to binary predicates.
 //!
 //! | ORM construct | DL axiom(s) |
 //! |---|---|
@@ -30,14 +30,23 @@
 //! invisible to the DL comparator and need the patterns or the bounded
 //! model finder.
 
+use crate::cache::{CacheStats, SatCache};
 use crate::concept::{Concept, RoleExpr};
-use crate::tableau::{satisfiable, DlOutcome};
+use crate::tableau::DlOutcome;
 use crate::tbox::TBox;
 use orm_model::{Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind};
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
 
 /// The result of translating an ORM schema.
-#[derive(Clone, Debug)]
+///
+/// All satisfiability helpers ([`Translation::type_satisfiable`],
+/// [`Translation::role_satisfiable`], [`Translation::type_subsumed_by`],
+/// [`Translation::classify`]) answer through one [`SatCache`], so the
+/// per-role sweeps and `O(n²)` classification batteries a schema check
+/// runs pay for each distinct root label set once. The cache
+/// self-invalidates if `tbox` is ever mutated.
+#[derive(Debug)]
 pub struct Translation {
     /// The generated TBox.
     pub tbox: TBox,
@@ -48,6 +57,24 @@ pub struct Translation {
     /// Human-readable notes about constructs the DL fragment cannot
     /// express.
     pub unmapped: Vec<String>,
+    /// Verdict cache behind all satisfiability helpers.
+    cache: Arc<Mutex<SatCache>>,
+}
+
+impl Clone for Translation {
+    /// Clones start with an *empty* verdict cache of their own:
+    /// [`TBox::clone`] mints a fresh cache identity (clones may diverge),
+    /// so sharing the `Arc` would make the original and the clone
+    /// wholesale-invalidate each other's entries on every query.
+    fn clone(&self) -> Translation {
+        Translation {
+            tbox: self.tbox.clone(),
+            concept_of_type: self.concept_of_type.clone(),
+            role_dir: self.role_dir.clone(),
+            unmapped: self.unmapped.clone(),
+            cache: Arc::new(Mutex::new(SatCache::new())),
+        }
+    }
 }
 
 impl Translation {
@@ -61,31 +88,39 @@ impl Translation {
         self.concept_of_type[&ty].clone()
     }
 
-    /// Satisfiability of an object type under the translation.
-    pub fn type_satisfiable(&self, ty: ObjectTypeId, budget: u64) -> DlOutcome {
-        satisfiable(&self.tbox, &self.type_concept(ty), budget)
+    fn with_cache<T>(&self, f: impl FnOnce(&mut SatCache) -> T) -> T {
+        let mut cache = self.cache.lock().unwrap_or_else(|poison| poison.into_inner());
+        f(&mut cache)
     }
 
-    /// Satisfiability of a role under the translation.
+    /// Hit/miss counters of the shared verdict cache.
+    pub fn cache_stats(&self) -> CacheStats {
+        self.with_cache(|c| c.stats())
+    }
+
+    /// Satisfiability of an object type under the translation (cached).
+    pub fn type_satisfiable(&self, ty: ObjectTypeId, budget: u64) -> DlOutcome {
+        let query = self.type_concept(ty);
+        self.with_cache(|c| c.satisfiable(&self.tbox, &query, budget))
+    }
+
+    /// Satisfiability of a role under the translation (cached).
     pub fn role_satisfiable(&self, role: RoleId, budget: u64) -> DlOutcome {
-        satisfiable(&self.tbox, &self.role_concept(role), budget)
+        let query = self.role_concept(role);
+        self.with_cache(|c| c.satisfiable(&self.tbox, &query, budget))
     }
 
     /// Whether the constraints force every `sub` instance to be a `sup`
     /// instance — *derived* subsumption, beyond the declared subtype links.
-    /// `None` when the budget ran out.
+    /// `None` when the budget ran out. Cached: re-asking any pair is free.
     pub fn type_subsumed_by(
         &self,
         sub: ObjectTypeId,
         sup: ObjectTypeId,
         budget: u64,
     ) -> Option<bool> {
-        crate::tableau::subsumes(
-            &self.tbox,
-            &self.type_concept(sup),
-            &self.type_concept(sub),
-            budget,
-        )
+        let (sup_c, sub_c) = (self.type_concept(sup), self.type_concept(sub));
+        self.with_cache(|c| c.subsumes(&self.tbox, &sup_c, &sub_c, budget))
     }
 
     /// Classify the schema's object types: all derived subsumption pairs
@@ -232,7 +267,13 @@ pub fn translate(schema: &Schema) -> Translation {
         }
     }
 
-    Translation { tbox, concept_of_type, role_dir, unmapped }
+    Translation {
+        tbox,
+        concept_of_type,
+        role_dir,
+        unmapped,
+        cache: Arc::new(Mutex::new(SatCache::new())),
+    }
 }
 
 fn translate_set_comparison(
@@ -500,6 +541,26 @@ mod tests {
         }
         // But student is NOT subsumed by employee.
         assert_eq!(t.type_subsumed_by(student, employee, BUDGET), Some(false));
+    }
+
+    #[test]
+    fn cloned_translation_keeps_an_independent_cache() {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        b.subtype(student, person).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        assert_eq!(t.type_satisfiable(person, BUDGET), DlOutcome::Sat);
+        let clone = t.clone();
+        // The clone starts cold; its queries must not disturb the
+        // original's entries (the clone's TBox has a fresh cache uid).
+        assert_eq!(clone.cache_stats(), crate::cache::CacheStats::default());
+        assert_eq!(clone.type_satisfiable(person, BUDGET), DlOutcome::Sat);
+        assert_eq!(t.type_satisfiable(person, BUDGET), DlOutcome::Sat);
+        let stats = t.cache_stats();
+        assert_eq!(stats.invalidations, 0, "clone thrashed the original's cache");
+        assert_eq!(stats.hits, 1);
     }
 
     #[test]

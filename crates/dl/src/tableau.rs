@@ -25,6 +25,18 @@
 //!   rollback-aware cursors; and role-hierarchy queries go through the
 //!   [`crate::tbox::RoleClosure`] bitsets (per-edge upward closures
 //!   maintained on the nodes) rather than per-call `is_subrole` walks.
+//! * **Dependency-directed backjumping** — every derived fact (label
+//!   member, edge role, distinctness pair, node creation) carries a
+//!   *dependency set*: the set of open choice points (`⊔` disjunct and
+//!   `≤`-merge decisions) it transitively rests on, encoded as a `u64`
+//!   bitmask over decision levels. A clash reports the union of its
+//!   culprits' dependency sets; when a choice point's alternatives are
+//!   refuted by a conflict that does not mention the choice's own level,
+//!   the remaining alternatives are skipped and the conflict propagates
+//!   to the deepest relevant choice point directly — the DPLL→CDCL
+//!   non-chronological jump, threaded through the trail. Levels beyond 63
+//!   share the saturation bit 63 and never skip (strictly conservative,
+//!   so verdicts are unaffected).
 //!
 //! # Budget semantics
 //!
@@ -60,6 +72,24 @@ pub enum DlOutcome {
 ///
 /// Returns `Some(true/false)` on a definitive answer and `None` when the
 /// budget ran out.
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::tableau::subsumes;
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// tbox.gci(a.clone(), b.clone());
+/// assert_eq!(subsumes(&tbox, &b, &a, 100_000), Some(true)); // A ⊑ B
+/// assert_eq!(subsumes(&tbox, &a, &b, 100_000), Some(false)); // B ⋢ A
+/// assert_eq!(subsumes(&tbox, &a, &b, 0), None); // out of budget
+/// ```
+///
+/// Repeated subsumption queries against one TBox (classification sweeps)
+/// should go through [`crate::cache::SatCache::subsumes`] instead, which
+/// memoizes verdicts per root label set.
 pub fn subsumes(tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Option<bool> {
     let query = Concept::and([sub.clone(), Concept::not(sup.clone())]);
     match satisfiable(tbox, &query, budget) {
@@ -72,15 +102,65 @@ pub fn subsumes(tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Optio
 /// Check satisfiability of `query` with respect to `tbox`, spending at most
 /// `budget` rule applications (see the module docs for what one unit of
 /// budget buys).
+///
+/// Each call proves its verdict from scratch; batch workloads that re-ask
+/// overlapping queries should route through
+/// [`crate::cache::SatCache::satisfiable`].
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::tableau::{satisfiable, DlOutcome};
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// tbox.gci(a.clone(), b.clone());
+/// tbox.gci(Concept::and([a.clone(), b.clone()]), Concept::Bottom);
+/// // A ⊑ B together with A ⊓ B ⊑ ⊥ dooms A.
+/// assert_eq!(satisfiable(&tbox, &a, 100_000), DlOutcome::Unsat);
+/// assert_eq!(satisfiable(&tbox, &b, 100_000), DlOutcome::Sat);
+/// ```
 pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
     let mut engine = Engine::new(tbox, query, budget);
-    if engine.clash {
+    if engine.clash.is_some() {
         return DlOutcome::Unsat;
     }
-    engine.search()
+    match engine.search() {
+        SResult::Sat => DlOutcome::Sat,
+        SResult::Unsat(_) => DlOutcome::Unsat,
+        SResult::Limit => DlOutcome::ResourceLimit,
+    }
+}
+
+/// Internal search verdict: `Unsat` carries the conflict's dependency
+/// set so enclosing choice points can backjump past irrelevant siblings.
+#[derive(Clone, Copy, Debug)]
+enum SResult {
+    Sat,
+    Unsat(DepSet),
+    Limit,
 }
 
 const NO_PARENT: u32 = u32::MAX;
+
+/// A dependency set: bit `ℓ-1` is set when the fact rests on the choice
+/// made at decision level `ℓ`. Levels above 63 share the saturation bit
+/// 63; the engine never skips alternatives at saturated levels, so the
+/// approximation only costs backjump opportunities, never correctness.
+type DepSet = u64;
+
+/// The conflict-set bit of decision level `level` (1-based).
+fn choice_bit(level: u32) -> DepSet {
+    1u64 << (level - 1).min(63)
+}
+
+/// Whether `level` owns its bit exclusively (bits 0–62). Only precise
+/// levels may strip their bit from a conflict or skip siblings on a
+/// conflict that omits it.
+fn precise_level(level: u32) -> bool {
+    level <= 63
+}
 
 /// A completion-forest node. Labels and edge labels are kept sorted so
 /// that set queries are binary searches and set equality is slice
@@ -90,11 +170,19 @@ const NO_PARENT: u32 = u32::MAX;
 struct ENode {
     alive: bool,
     parent: u32,
+    /// Dependency set of this node's existence (and, transitively, of its
+    /// current attachment point: reparenting merges OR the merge-choice
+    /// deps in here).
+    deps: DepSet,
     /// Sorted interned label set.
     label: Vec<ConceptId>,
+    /// Dependency set per label member, parallel to `label`.
+    label_deps: Vec<DepSet>,
     label_hash: u64,
     /// Sorted role labels of the edge from `parent` to this node.
     edge: Vec<RoleExprId>,
+    /// Dependency set per edge role, parallel to `edge`.
+    edge_deps: Vec<DepSet>,
     edge_hash: u64,
     /// Upward closure of `edge` (bitset): this node is an `R`-successor of
     /// its parent iff the bitset contains `R`.
@@ -105,6 +193,16 @@ struct ENode {
     children: Vec<u32>,
     /// Sorted ids of nodes asserted pairwise-distinct from this one.
     distinct: Vec<u32>,
+    /// Dependency set per distinctness assertion, parallel to `distinct`.
+    distinct_deps: Vec<DepSet>,
+}
+
+impl ENode {
+    /// Union of all edge-role dependency sets: what this node's current
+    /// neighbour links rest on.
+    fn edge_deps_all(&self) -> DepSet {
+        self.edge_deps.iter().fold(0, |a, d| a | d)
+    }
 }
 
 /// One reversible mutation. `rollback` pops these in reverse order, so
@@ -122,8 +220,9 @@ enum Op {
     /// `node.alive` went from true to false.
     Killed { node: u32 },
     /// `child.parent` changed from `old_parent` to `new_parent` (child was
-    /// appended to `new_parent.children`).
-    Reparented { child: u32, old_parent: u32, new_parent: u32 },
+    /// appended to `new_parent.children`); `old_deps` is the node's
+    /// dependency set before the merge-choice deps were OR-ed in.
+    Reparented { child: u32, old_parent: u32, new_parent: u32, old_deps: DepSet },
     /// `child` was removed from `parent.children` at `index`.
     ChildUnlinked { parent: u32, child: u32, index: u32 },
     /// Generator agenda entry `idx` was marked permanently satisfied.
@@ -157,16 +256,20 @@ struct Engine {
     /// branch (both monotone until rollback, which restores the cursor).
     or_agenda: Vec<(u32, ConceptId)>,
     or_cursor: usize,
-    /// `≤` agenda: (node, n, role) per AtMost label occurrence. Violation
-    /// is not monotone (generation adds neighbours), so no cursor.
-    atmost_agenda: Vec<(u32, u32, RoleExprId)>,
+    /// `≤` agenda: one `(node, AtMost-concept)` entry per label
+    /// occurrence. Violation is not monotone (generation adds
+    /// neighbours), so no cursor.
+    atmost_agenda: Vec<(u32, ConceptId)>,
     /// `∃`/`≥` agenda with sticky per-entry satisfaction bits
     /// (trail-recorded, since satisfaction is monotone only within a
     /// branch).
     gen_agenda: Vec<(u32, ConceptId)>,
     gen_done: Vec<bool>,
-    /// Set eagerly by label/edge mutations that produce a clash.
-    clash: bool,
+    /// Set eagerly by label/edge mutations that produce a clash; carries
+    /// the conflict's dependency set (union of the culprits').
+    clash: Option<DepSet>,
+    /// Current decision level: number of open `⊔`/`≤` choice points.
+    level: u32,
     budget: u64,
     /// Scratch buffer for neighbour collection (no per-call allocation).
     scratch: Vec<u32>,
@@ -188,14 +291,18 @@ impl Engine {
         let root = ENode {
             alive: true,
             parent: NO_PARENT,
+            deps: 0,
             label: Vec::new(),
+            label_deps: Vec::new(),
             label_hash: 0,
             edge: Vec::new(),
+            edge_deps: Vec::new(),
             edge_hash: 0,
             down_closure: vec![0; words],
             up_closure: vec![0; words],
             children: Vec::new(),
             distinct: Vec::new(),
+            distinct_deps: Vec::new(),
         };
         let mut engine = Engine {
             arena,
@@ -210,13 +317,14 @@ impl Engine {
             atmost_agenda: Vec::new(),
             gen_agenda: Vec::new(),
             gen_done: Vec::new(),
-            clash: false,
+            clash: None,
+            level: 0,
             budget,
             scratch: Vec::new(),
         };
-        engine.add_concept(0, query_id);
+        engine.add_concept(0, query_id, 0);
         for cid in engine.internal.clone() {
-            engine.add_concept(0, cid);
+            engine.add_concept(0, cid, 0);
         }
         engine
     }
@@ -243,9 +351,30 @@ impl Engine {
         }
     }
 
-    /// Insert `cid` into `node`'s label, fusing the `⊓`-rule, recording
-    /// the trail, feeding the agendas and detecting immediate clashes.
-    fn add_concept(&mut self, node: u32, cid: ConceptId) {
+    /// The recorded dependency set of a label member. The first
+    /// justification wins: re-deriving a present member under different
+    /// deps keeps the original set (which is a valid justification for as
+    /// long as the member survives rollback).
+    fn label_dep(&self, node: u32, cid: ConceptId) -> DepSet {
+        match self.nodes[node as usize].label.binary_search(&cid) {
+            Ok(pos) => self.nodes[node as usize].label_deps[pos],
+            Err(_) => 0,
+        }
+    }
+
+    /// Dependency set of the link between neighbours `x` and `y`:
+    /// existence of both nodes plus every edge role either endpoint
+    /// carries (conservative — the connecting edge lives on whichever of
+    /// the two is the child).
+    fn link_deps(&self, x: u32, y: u32) -> DepSet {
+        let (nx, ny) = (&self.nodes[x as usize], &self.nodes[y as usize]);
+        nx.deps | ny.deps | nx.edge_deps_all() | ny.edge_deps_all()
+    }
+
+    /// Insert `cid` into `node`'s label with dependency set `deps`, fusing
+    /// the `⊓`-rule, recording the trail, feeding the agendas and
+    /// detecting immediate clashes.
+    fn add_concept(&mut self, node: u32, cid: ConceptId, deps: DepSet) {
         match self.arena.kind(cid) {
             CKind::Top => return,
             CKind::And(ids) => {
@@ -255,7 +384,7 @@ impl Engine {
                 let len = ids.len();
                 for i in 0..len {
                     let child = self.and_child(cid, i);
-                    self.add_concept(node, child);
+                    self.add_concept(node, child, deps);
                 }
                 return;
             }
@@ -269,16 +398,21 @@ impl Engine {
         {
             let n = &mut self.nodes[node as usize];
             n.label.insert(slot, cid);
+            n.label_deps.insert(slot, deps);
             n.label_hash ^= mix;
         }
         self.trail.push(Op::Label { node, cid });
         self.mark_dirty(node);
         match self.arena.kind(cid) {
-            CKind::Bottom => self.clash = true,
+            CKind::Bottom => {
+                self.raise_clash(deps | self.nodes[node as usize].deps);
+            }
             CKind::Atomic(_) | CKind::NotAtomic(_) => {
                 let neg = self.arena.atom_complement(cid).expect("atoms carry complements");
                 if self.nodes[node as usize].label.binary_search(&neg).is_ok() {
-                    self.clash = true;
+                    let conflict =
+                        deps | self.label_dep(node, neg) | self.nodes[node as usize].deps;
+                    self.raise_clash(conflict);
                 }
             }
             CKind::Or(_) => self.or_agenda.push((node, cid)),
@@ -286,34 +420,48 @@ impl Engine {
                 self.gen_agenda.push((node, cid));
                 self.gen_done.push(false);
             }
-            CKind::AtMost(m, r) => {
-                let (m, r) = (*m, *r);
-                self.atmost_agenda.push((node, m, r));
-            }
+            CKind::AtMost(..) => self.atmost_agenda.push((node, cid)),
             _ => {}
         }
     }
 
-    /// Insert `role` into `node`'s up-edge label set, maintaining both
-    /// closure bitsets and the edge fingerprint.
-    fn add_edge_role(&mut self, node: u32, role: RoleExprId) {
+    /// Record a clash, keeping the first conflict of the branch (later
+    /// clashes in the same propagation round are casualties of an already
+    /// inconsistent state and may carry broader dependency sets).
+    fn raise_clash(&mut self, conflict: DepSet) {
+        if self.clash.is_none() {
+            self.clash = Some(conflict);
+        }
+    }
+
+    /// Insert `role` into `node`'s up-edge label set with dependency set
+    /// `deps`, maintaining both closure bitsets and the edge fingerprint.
+    fn add_edge_role(&mut self, node: u32, role: RoleExprId, deps: DepSet) {
         let slot = match self.nodes[node as usize].edge.binary_search(&role) {
             Ok(_) => return,
             Err(slot) => slot,
         };
         let inv = invert_role_expr(role);
-        let parent = {
+        let (parent, clash_deps) = {
             let roles = &self.roles;
             let n = &mut self.nodes[node as usize];
             n.edge.insert(slot, role);
+            n.edge_deps.insert(slot, deps);
             n.edge_hash ^= Self::role_mix(role);
             roles.union_row_into(&mut n.down_closure, role);
             roles.union_row_into(&mut n.up_closure, inv);
-            if roles.has_disjointness() && roles.edge_violates_disjointness(&n.down_closure) {
-                self.clash = true;
-            }
-            n.parent
+            let clash_deps =
+                if roles.has_disjointness() && roles.edge_violates_disjointness(&n.down_closure) {
+                    // Conservative culprits: every role this edge carries.
+                    Some(n.deps | n.edge_deps_all())
+                } else {
+                    None
+                };
+            (n.parent, clash_deps)
         };
+        if let Some(conflict) = clash_deps {
+            self.raise_clash(conflict);
+        }
         self.trail.push(Op::EdgeRole { node, role });
         self.mark_dirty(node);
         if parent != NO_PARENT {
@@ -321,20 +469,39 @@ impl Engine {
         }
     }
 
-    fn add_distinct(&mut self, a: u32, b: u32) {
+    fn add_distinct(&mut self, a: u32, b: u32, deps: DepSet) {
         let Err(slot) = self.nodes[a as usize].distinct.binary_search(&b) else { return };
         self.nodes[a as usize].distinct.insert(slot, b);
+        self.nodes[a as usize].distinct_deps.insert(slot, deps);
         let slot = self.nodes[b as usize]
             .distinct
             .binary_search(&a)
             .expect_err("distinctness stored symmetrically");
         self.nodes[b as usize].distinct.insert(slot, a);
+        self.nodes[b as usize].distinct_deps.insert(slot, deps);
         self.trail.push(Op::Distinct { a, b });
     }
 
+    /// The recorded dependency set of the distinctness assertion between
+    /// `a` and `b` (0 when absent).
+    fn distinct_dep(&self, a: u32, b: u32) -> DepSet {
+        match self.nodes[a as usize].distinct.binary_search(&b) {
+            Ok(pos) => self.nodes[a as usize].distinct_deps[pos],
+            Err(_) => 0,
+        }
+    }
+
     /// Create a fresh `role`-child of `parent`, seeded with the
-    /// internalized TBox plus `seed`.
-    fn add_child(&mut self, parent: u32, role: RoleExprId, seed: Option<ConceptId>) -> u32 {
+    /// internalized TBox plus `seed`. `deps` is the dependency set of the
+    /// generating rule's premise (the `∃`/`≥` label plus the parent's own
+    /// existence); everything about the new node inherits it.
+    fn add_child(
+        &mut self,
+        parent: u32,
+        role: RoleExprId,
+        seed: Option<ConceptId>,
+        deps: DepSet,
+    ) -> u32 {
         let words = self.roles.words();
         let id = self.nodes.len() as u32;
         let mut down_closure = vec![0; words];
@@ -342,31 +509,35 @@ impl Engine {
         self.roles.union_row_into(&mut down_closure, role);
         self.roles.union_row_into(&mut up_closure, invert_role_expr(role));
         if self.roles.has_disjointness() && self.roles.edge_violates_disjointness(&down_closure) {
-            self.clash = true;
+            self.raise_clash(deps);
         }
         self.nodes.push(ENode {
             alive: true,
             parent,
+            deps,
             label: Vec::new(),
+            label_deps: Vec::new(),
             label_hash: 0,
             edge: vec![role],
+            edge_deps: vec![deps],
             edge_hash: Self::role_mix(role),
             down_closure,
             up_closure,
             children: Vec::new(),
             distinct: Vec::new(),
+            distinct_deps: Vec::new(),
         });
         self.in_dirty.push(false);
         self.nodes[parent as usize].children.push(id);
         self.trail.push(Op::NodeAdded);
         if let Some(cid) = seed {
-            self.add_concept(id, cid);
+            self.add_concept(id, cid, deps);
         }
         // Index loop: `internal` never changes after construction, and
         // cloning it here would put an allocation on every ∃/≥ firing.
         for i in 0..self.internal.len() {
             let cid = self.internal[i];
-            self.add_concept(id, cid);
+            self.add_concept(id, cid, deps);
         }
         self.mark_dirty(parent);
         self.mark_dirty(id);
@@ -375,41 +546,50 @@ impl Engine {
 
     /// Merge node `from` into node `to`; both are `R`-neighbours of `via`,
     /// with `from` a child of `via`. Every mutation is trail-recorded, so
-    /// the merge unwinds like any other choice.
-    fn merge(&mut self, via: u32, from: u32, to: u32) {
+    /// the merge unwinds like any other choice. `choice_deps` is the
+    /// dependency set of the merge decision itself; every fact the merge
+    /// transfers is additionally tagged with it.
+    fn merge(&mut self, via: u32, from: u32, to: u32, choice_deps: DepSet) {
         debug_assert_eq!(self.nodes[from as usize].parent, via);
         debug_assert!(self.nodes[from as usize].alive && self.nodes[to as usize].alive);
         self.nodes[from as usize].alive = false;
         self.trail.push(Op::Killed { node: from });
         // Labels and distinctness accumulate on the survivor (the dead
         // node's own sets stay in place for rollback).
-        for cid in self.nodes[from as usize].label.clone() {
-            self.add_concept(to, cid);
+        for (i, cid) in self.nodes[from as usize].label.clone().into_iter().enumerate() {
+            let dep = self.nodes[from as usize].label_deps[i] | choice_deps;
+            self.add_concept(to, cid, dep);
         }
-        for d in self.nodes[from as usize].distinct.clone() {
+        for (i, d) in self.nodes[from as usize].distinct.clone().into_iter().enumerate() {
             if self.nodes[d as usize].alive {
-                self.add_distinct(to, d);
+                let dep = self.nodes[from as usize].distinct_deps[i] | choice_deps;
+                self.add_distinct(to, d, dep);
             }
         }
         // Edges: `from` was a child of `via`.
         let from_edge = self.nodes[from as usize].edge.clone();
+        let from_edge_deps = self.nodes[from as usize].edge_deps.clone();
         if self.nodes[to as usize].parent == via {
             // Sibling merge: fold edge labels onto the survivor's edge.
-            for role in from_edge {
-                self.add_edge_role(to, role);
+            for (role, dep) in from_edge.into_iter().zip(from_edge_deps) {
+                self.add_edge_role(to, role, dep | choice_deps);
             }
         } else if self.nodes[via as usize].parent == to {
             // Child-into-parent merge: `via —S→ from` becomes
             // `to —S⁻→ via`, folded into via's existing up-edge.
-            for role in from_edge {
-                self.add_edge_role(via, invert_role_expr(role));
+            for (role, dep) in from_edge.into_iter().zip(from_edge_deps) {
+                self.add_edge_role(via, invert_role_expr(role), dep | choice_deps);
             }
         }
-        // Reparent from's children under the survivor.
+        // Reparent from's children under the survivor. Their new
+        // attachment exists only because of this merge, so the choice
+        // deps are folded into their node dependency sets.
         for child in self.nodes[from as usize].children.clone() {
+            let old_deps = self.nodes[child as usize].deps;
             self.nodes[child as usize].parent = to;
+            self.nodes[child as usize].deps = old_deps | choice_deps;
             self.nodes[to as usize].children.push(child);
-            self.trail.push(Op::Reparented { child, old_parent: from, new_parent: to });
+            self.trail.push(Op::Reparented { child, old_parent: from, new_parent: to, old_deps });
             self.mark_dirty(child);
         }
         // Unlink from from via's child list.
@@ -441,7 +621,7 @@ impl Engine {
             self.in_dirty[n as usize] = false;
         }
         self.dirty.clear();
-        self.clash = false;
+        self.clash = None;
         while self.trail.len() > mark.trail {
             match self.trail.pop().expect("len checked") {
                 Op::Label { node, cid } => {
@@ -449,6 +629,7 @@ impl Engine {
                     let n = &mut self.nodes[node as usize];
                     let pos = n.label.binary_search(&cid).expect("label op consistent");
                     n.label.remove(pos);
+                    n.label_deps.remove(pos);
                     n.label_hash ^= mix;
                 }
                 Op::EdgeRole { node, role } => {
@@ -456,6 +637,7 @@ impl Engine {
                     let n = &mut self.nodes[node as usize];
                     let pos = n.edge.binary_search(&role).expect("edge op consistent");
                     n.edge.remove(pos);
+                    n.edge_deps.remove(pos);
                     n.edge_hash ^= Self::role_mix(role);
                     // Closures are unions, not XORs: recompute from the
                     // remaining labels (edge mutations are rare).
@@ -471,9 +653,11 @@ impl Engine {
                     let pos =
                         self.nodes[a as usize].distinct.binary_search(&b).expect("distinct op");
                     self.nodes[a as usize].distinct.remove(pos);
+                    self.nodes[a as usize].distinct_deps.remove(pos);
                     let pos =
                         self.nodes[b as usize].distinct.binary_search(&a).expect("distinct op");
                     self.nodes[b as usize].distinct.remove(pos);
+                    self.nodes[b as usize].distinct_deps.remove(pos);
                 }
                 Op::NodeAdded => {
                     let node = self.nodes.pop().expect("node op consistent");
@@ -484,10 +668,11 @@ impl Engine {
                     }
                 }
                 Op::Killed { node } => self.nodes[node as usize].alive = true,
-                Op::Reparented { child, old_parent, new_parent } => {
+                Op::Reparented { child, old_parent, new_parent, old_deps } => {
                     let popped = self.nodes[new_parent as usize].children.pop();
                     debug_assert_eq!(popped, Some(child));
                     self.nodes[child as usize].parent = old_parent;
+                    self.nodes[child as usize].deps = old_deps;
                 }
                 Op::ChildUnlinked { parent, child, index } => {
                     self.nodes[parent as usize].children.insert(index as usize, child);
@@ -547,6 +732,9 @@ impl Engine {
             let cid = self.nodes[x as usize].label[i];
             i += 1;
             let CKind::ForAll(role, body) = *self.arena.kind(cid) else { continue };
+            // The ∀ label's own justification, read by id (inserts during
+            // propagation can shift positions).
+            let fdep = self.label_dep(x, cid);
             let mut c = 0;
             while c < self.nodes[x as usize].children.len() {
                 let child = self.nodes[x as usize].children[c];
@@ -555,7 +743,8 @@ impl Engine {
                     && RoleClosure::contains(&self.nodes[child as usize].down_closure, role)
                     && !self.label_subsumes(child, body)
                 {
-                    self.add_concept(child, body);
+                    let dep = fdep | self.link_deps(x, child);
+                    self.add_concept(child, body, dep);
                 }
             }
             let parent = self.nodes[x as usize].parent;
@@ -564,9 +753,10 @@ impl Engine {
                 && RoleClosure::contains(&self.nodes[x as usize].up_closure, role)
                 && !self.label_subsumes(parent, body)
             {
-                self.add_concept(parent, body);
+                let dep = fdep | self.link_deps(x, parent);
+                self.add_concept(parent, body, dep);
             }
-            if self.clash {
+            if self.clash.is_some() {
                 return;
             }
         }
@@ -575,7 +765,8 @@ impl Engine {
             && !self.nodes[x as usize].edge.is_empty()
             && self.roles.edge_violates_disjointness(&self.nodes[x as usize].down_closure)
         {
-            self.clash = true;
+            let n = &self.nodes[x as usize];
+            self.raise_clash(n.deps | n.edge_deps_all());
             return;
         }
         // ≤n R with more than n pairwise-distinct R-neighbours.
@@ -584,18 +775,35 @@ impl Engine {
             let cid = self.nodes[x as usize].label[i];
             let CKind::AtMost(n, role) = *self.arena.kind(cid) else { continue };
             Self::collect_neighbors(&self.nodes, x, role, &mut scratch);
-            if scratch.len() > n as usize && self.all_pairwise_distinct(&scratch) {
-                self.clash = true;
-                break;
+            if scratch.len() > n as usize {
+                if let Some(pair_deps) = self.all_pairwise_distinct(&scratch) {
+                    let mut conflict =
+                        pair_deps | self.label_dep(x, cid) | self.nodes[x as usize].deps;
+                    for &y in &scratch {
+                        conflict |= self.link_deps(x, y);
+                    }
+                    self.raise_clash(conflict);
+                    break;
+                }
             }
         }
         self.scratch = scratch;
     }
 
-    fn all_pairwise_distinct(&self, nodes: &[u32]) -> bool {
-        nodes.iter().enumerate().all(|(i, &a)| {
-            nodes[i + 1..].iter().all(|b| self.nodes[a as usize].distinct.binary_search(b).is_ok())
-        })
+    /// `Some(deps)` when all of `nodes` are pairwise distinct, with `deps`
+    /// the union of the distinctness assertions' dependency sets; `None`
+    /// when some pair is mergeable.
+    fn all_pairwise_distinct(&self, nodes: &[u32]) -> Option<DepSet> {
+        let mut deps = 0;
+        for (i, &a) in nodes.iter().enumerate() {
+            for b in &nodes[i + 1..] {
+                match self.nodes[a as usize].distinct.binary_search(b) {
+                    Ok(pos) => deps |= self.nodes[a as usize].distinct_deps[pos],
+                    Err(_) => return None,
+                }
+            }
+        }
+        Some(deps)
     }
 
     /// Whether `nodes` contains `n` mutually-distinct members (exhaustive
@@ -675,21 +883,63 @@ impl Engine {
         nx.label == ny.label && nxp.label == nyp.label && nx.edge == ny.edge
     }
 
+    /// One alternative of a choice point: apply the mutation (already
+    /// done by the caller), search the branch, roll back, and fold the
+    /// outcome into the running conflict accumulator. Returns `Some(r)`
+    /// when the whole choice point should return `r` immediately (model
+    /// found, or a backjump past this level).
+    fn explore_alternative(
+        &mut self,
+        mark: Mark,
+        level: u32,
+        bit: DepSet,
+        acc: &mut DepSet,
+        limited: &mut bool,
+    ) -> Option<SResult> {
+        let result =
+            if let Some(conflict) = self.clash { SResult::Unsat(conflict) } else { self.search() };
+        match result {
+            SResult::Sat => {
+                self.level -= 1;
+                return Some(SResult::Sat);
+            }
+            SResult::Unsat(conflict) => {
+                self.rollback(mark);
+                if precise_level(level) && conflict & bit == 0 {
+                    // The refutation never used this choice: no sibling
+                    // can avoid it. Jump straight past this choice point.
+                    self.level -= 1;
+                    return Some(SResult::Unsat(conflict));
+                }
+                // Strip this level's bit only when it is exclusively
+                // ours; saturated levels keep bit 63 so outer saturated
+                // frames never skip on its account.
+                *acc |= if precise_level(level) { conflict & !bit } else { conflict };
+            }
+            SResult::Limit => {
+                *limited = true;
+                self.rollback(mark);
+            }
+        }
+        None
+    }
+
     /// The search loop: drain deterministic work, then branch on `⊔`,
     /// then on `≤`-merges, then apply one generating rule; a quiescent,
-    /// clash-free forest is satisfiable.
-    fn search(&mut self) -> DlOutcome {
+    /// clash-free forest is satisfiable. An `Unsat` result carries the
+    /// conflict dependency set for backjumping.
+    fn search(&mut self) -> SResult {
         loop {
             // Drain the dirty worklist (∀-propagation and clash checks).
             while let Some(x) = self.dirty.pop() {
                 self.in_dirty[x as usize] = false;
                 if self.budget == 0 {
-                    return DlOutcome::ResourceLimit;
+                    return SResult::Limit;
                 }
                 self.budget -= 1;
                 self.process_node(x);
-                if self.clash {
-                    return DlOutcome::Unsat;
+                if let Some(conflict) = self.clash {
+                    return SResult::Unsat(conflict);
                 }
             }
 
@@ -707,25 +957,30 @@ impl Engine {
                     continue;
                 }
                 if self.budget == 0 {
-                    return DlOutcome::ResourceLimit;
+                    return SResult::Limit;
                 }
                 self.budget -= 1;
                 let CKind::Or(ids) = self.arena.kind(cid) else { unreachable!() };
                 let disjuncts = ids.clone().into_vec();
+                // The choice exists because the disjunction label does:
+                // every refutation of the whole point inherits its deps.
+                let base = self.label_dep(node, cid) | self.nodes[node as usize].deps;
+                self.level += 1;
+                let level = self.level;
+                let bit = choice_bit(level);
+                let mut acc = base;
                 let mut limited = false;
                 for d in disjuncts {
                     let mark = self.mark();
-                    self.add_concept(node, d);
-                    if !self.clash {
-                        match self.search() {
-                            DlOutcome::Sat => return DlOutcome::Sat,
-                            DlOutcome::Unsat => {}
-                            DlOutcome::ResourceLimit => limited = true,
-                        }
+                    self.add_concept(node, d, base | bit);
+                    if let Some(out) =
+                        self.explore_alternative(mark, level, bit, &mut acc, &mut limited)
+                    {
+                        return out;
                     }
-                    self.rollback(mark);
                 }
-                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+                self.level -= 1;
+                return if limited { SResult::Limit } else { SResult::Unsat(acc) };
             }
 
             // ≤-rule: merge surplus neighbours (violation is not monotone,
@@ -733,31 +988,47 @@ impl Engine {
             let mut le_choice = None;
             let mut scratch = std::mem::take(&mut self.scratch);
             for idx in 0..self.atmost_agenda.len() {
-                let (node, n, role) = self.atmost_agenda[idx];
+                let (node, cid) = self.atmost_agenda[idx];
                 if !self.nodes[node as usize].alive {
                     continue;
                 }
+                let CKind::AtMost(n, role) = *self.arena.kind(cid) else {
+                    unreachable!("atmost agenda holds ≤ concepts")
+                };
                 Self::collect_neighbors(&self.nodes, node, role, &mut scratch);
                 if scratch.len() > n as usize {
-                    le_choice = Some((node, scratch.clone()));
+                    le_choice = Some((node, cid, scratch.clone()));
                     break;
                 }
             }
             self.scratch = scratch;
-            if let Some((via, neighbors)) = le_choice {
+            if let Some((via, cid, neighbors)) = le_choice {
                 if self.budget == 0 {
-                    return DlOutcome::ResourceLimit;
+                    return SResult::Limit;
                 }
                 self.budget -= 1;
+                // The merge obligation rests on the ≤ label, the node and
+                // the links to every surplus neighbour.
+                let mut base = self.label_dep(via, cid) | self.nodes[via as usize].deps;
+                for &y in &neighbors {
+                    base |= self.link_deps(via, y);
+                }
+                self.level += 1;
+                let level = self.level;
+                let bit = choice_bit(level);
+                let mut acc = base;
+                let mut limited = false;
                 // Try every mergeable pair; merge the child of the pair.
                 // At least one pair is mergeable: were all pairs asserted
                 // distinct, the clash check in process_node would have
                 // fired before quiescence.
-                let mut limited = false;
                 let mut tried = false;
                 for (i, &a) in neighbors.iter().enumerate() {
                     for &b in neighbors[i + 1..].iter() {
                         if self.nodes[a as usize].distinct.binary_search(&b).is_ok() {
+                            // This pair is ruled out by a distinctness
+                            // assertion: the refutation rests on it too.
+                            acc |= self.distinct_dep(a, b);
                             continue;
                         }
                         // At most one of a, b is via's parent; merge the
@@ -766,45 +1037,43 @@ impl Engine {
                             if self.nodes[via as usize].parent == a { (b, a) } else { (a, b) };
                         tried = true;
                         let mark = self.mark();
-                        self.merge(via, from, to);
-                        if !self.clash {
-                            match self.search() {
-                                DlOutcome::Sat => return DlOutcome::Sat,
-                                DlOutcome::Unsat => {}
-                                DlOutcome::ResourceLimit => limited = true,
-                            }
+                        self.merge(via, from, to, base | bit);
+                        if let Some(out) =
+                            self.explore_alternative(mark, level, bit, &mut acc, &mut limited)
+                        {
+                            return out;
                         }
-                        self.rollback(mark);
                     }
                 }
+                self.level -= 1;
                 if !tried {
                     // Defensive: all pairs distinct yet uncaught above.
-                    return DlOutcome::Unsat;
+                    return SResult::Unsat(acc);
                 }
-                return if limited { DlOutcome::ResourceLimit } else { DlOutcome::Unsat };
+                return if limited { SResult::Limit } else { SResult::Unsat(acc) };
             }
 
             // Generating rules on unblocked nodes.
             match self.apply_one_generator() {
                 Some(true) => {
-                    if self.clash {
-                        return DlOutcome::Unsat;
+                    if let Some(conflict) = self.clash {
+                        return SResult::Unsat(conflict);
                     }
                     continue;
                 }
-                None => return DlOutcome::ResourceLimit,
+                None => return SResult::Limit,
                 Some(false) => {}
             }
             if self.budget == 0 {
                 // Out of budget exactly at quiescence: certifying
                 // completeness costs the final unit, as in the original
                 // engine's per-iteration accounting.
-                return DlOutcome::ResourceLimit;
+                return SResult::Limit;
             }
             self.budget -= 1;
 
             // No rule applies: complete and clash-free.
-            return DlOutcome::Sat;
+            return SResult::Sat;
         }
     }
 
@@ -846,7 +1115,8 @@ impl Engine {
                         return None;
                     }
                     self.budget -= 1;
-                    self.add_child(node, role, Some(body));
+                    let deps = self.label_dep(node, cid) | self.nodes[node as usize].deps;
+                    self.add_child(node, role, Some(body), deps);
                     self.gen_done[idx] = true;
                     self.trail.push(Op::GenDone { idx: idx as u32 });
                     return Some(true);
@@ -874,11 +1144,12 @@ impl Engine {
                         return None;
                     }
                     self.budget -= 1;
+                    let deps = self.label_dep(node, cid) | self.nodes[node as usize].deps;
                     let fresh: Vec<u32> =
-                        (0..n).map(|_| self.add_child(node, role, None)).collect();
+                        (0..n).map(|_| self.add_child(node, role, None, deps)).collect();
                     for (i, &a) in fresh.iter().enumerate() {
                         for &b in fresh[i + 1..].iter() {
-                            self.add_distinct(a, b);
+                            self.add_distinct(a, b, deps);
                         }
                     }
                     self.gen_done[idx] = true;

@@ -13,7 +13,14 @@ use std::collections::BTreeSet;
 
 /// A terminology: named atoms/roles, general concept inclusions, role
 /// inclusions and role disjointness pairs.
-#[derive(Clone, Debug, Default)]
+///
+/// Every TBox carries a *cache stamp* ([`TBox::cache_stamp`]): a
+/// process-unique identity assigned at construction plus a revision
+/// counter bumped by every mutation. [`crate::cache::SatCache`] keys its
+/// verdicts on the stamp, so stale entries can never survive an axiom
+/// change — and because clones receive a fresh identity, two TBoxes that
+/// diverge after a clone can never alias each other's cache lines.
+#[derive(Debug)]
 pub struct TBox {
     atom_names: Vec<String>,
     role_names: Vec<String>,
@@ -23,6 +30,47 @@ pub struct TBox {
     role_inclusions: Vec<(RoleExpr, RoleExpr)>,
     /// Pairs of disjoint role expressions.
     disjoint_roles: Vec<(RoleExpr, RoleExpr)>,
+    /// Process-unique identity (fresh per construction and per clone).
+    uid: u64,
+    /// Mutation counter: bumped whenever an axiom or name is added.
+    revision: u64,
+}
+
+fn next_tbox_uid() -> u64 {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    NEXT.fetch_add(1, Ordering::Relaxed)
+}
+
+impl Default for TBox {
+    fn default() -> TBox {
+        TBox {
+            atom_names: Vec::new(),
+            role_names: Vec::new(),
+            gcis: Vec::new(),
+            role_inclusions: Vec::new(),
+            disjoint_roles: Vec::new(),
+            uid: next_tbox_uid(),
+            revision: 0,
+        }
+    }
+}
+
+impl Clone for TBox {
+    /// Clones carry the same axioms but a *fresh* cache identity: a clone
+    /// is free to diverge from the original, so verdicts proved against
+    /// one must never be replayed against the other.
+    fn clone(&self) -> TBox {
+        TBox {
+            atom_names: self.atom_names.clone(),
+            role_names: self.role_names.clone(),
+            gcis: self.gcis.clone(),
+            role_inclusions: self.role_inclusions.clone(),
+            disjoint_roles: self.disjoint_roles.clone(),
+            uid: next_tbox_uid(),
+            revision: self.revision,
+        }
+    }
 }
 
 impl TBox {
@@ -31,12 +79,20 @@ impl TBox {
         TBox::default()
     }
 
+    /// The `(identity, revision)` pair caches key their entries on: the
+    /// identity is process-unique per TBox value (clones get their own)
+    /// and the revision increments on every mutation.
+    pub fn cache_stamp(&self) -> (u64, u64) {
+        (self.uid, self.revision)
+    }
+
     /// Intern an atomic concept name.
     pub fn atom(&mut self, name: impl Into<String>) -> AtomId {
         let name = name.into();
         if let Some(i) = self.atom_names.iter().position(|n| *n == name) {
             return i as AtomId;
         }
+        self.revision += 1;
         self.atom_names.push(name);
         (self.atom_names.len() - 1) as AtomId
     }
@@ -47,6 +103,7 @@ impl TBox {
         if let Some(i) = self.role_names.iter().position(|n| *n == name) {
             return i as RoleNameId;
         }
+        self.revision += 1;
         self.role_names.push(name);
         (self.role_names.len() - 1) as RoleNameId
     }
@@ -63,17 +120,20 @@ impl TBox {
 
     /// Add a general concept inclusion `c ⊑ d`.
     pub fn gci(&mut self, c: Concept, d: Concept) {
+        self.revision += 1;
         self.gcis.push((c, d));
     }
 
     /// Add a role inclusion `sub ⊑ sup` (its inverse form `sub⁻ ⊑ sup⁻` is
     /// implied automatically).
     pub fn role_inclusion(&mut self, sub: RoleExpr, sup: RoleExpr) {
+        self.revision += 1;
         self.role_inclusions.push((sub, sup));
     }
 
     /// Declare two role expressions disjoint.
     pub fn disjoint(&mut self, a: RoleExpr, b: RoleExpr) {
+        self.revision += 1;
         self.disjoint_roles.push((a, b));
     }
 

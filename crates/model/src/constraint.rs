@@ -102,7 +102,7 @@ pub struct Uniqueness {
 
 /// Frequency constraint `FC(min..max)` over a role sequence of one fact type.
 ///
-/// Semantics ([H89]): every instance combination that *does* occur in the
+/// Semantics (\[H89\]): every instance combination that *does* occur in the
 /// covered columns occurs between `min` and `max` times.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub struct Frequency {
@@ -189,7 +189,7 @@ pub struct TotalSubtypes {
     pub subtypes: Vec<ObjectTypeId>,
 }
 
-/// One of the six ring constraint kinds of ORM ([H01], Fig. 12 of the paper).
+/// One of the six ring constraint kinds of ORM (\[H01\], Fig. 12 of the paper).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
 pub enum RingKind {
     /// `¬r(x,x)`.

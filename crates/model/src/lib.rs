@@ -10,7 +10,7 @@
 //!
 //! * object types (entity and value types) with optional **value constraints**
 //!   (enumerations or integer ranges),
-//! * **subtyping** with the strict-subset semantics of [H01] (cycles are
+//! * **subtyping** with the strict-subset semantics of \[H01\] (cycles are
 //!   representable so that Pattern 9 can detect them),
 //! * binary **fact types** with two named roles,
 //! * **mandatory** role constraints (simple and disjunctive),

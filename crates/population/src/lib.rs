@@ -3,7 +3,7 @@
 //! A [`Population`] assigns a set of instances to every object type and a
 //! set of tuples to every (binary) fact type. [`check`] decides whether a
 //! population *satisfies* a schema — the formal semantics from
-//! [H89]/[BHW91] that the paper's satisfiability notions are defined
+//! \[H89\]/\[BHW91\] that the paper's satisfiability notions are defined
 //! against:
 //!
 //! * **weak (schema) satisfiability** — some population satisfies the
@@ -21,7 +21,7 @@
 //! Two semantic switches from the paper are configurable via
 //! [`CheckOptions`]:
 //!
-//! * `proper_subtypes` — [H01]'s *strict* subset semantics for subtypes,
+//! * `proper_subtypes` — \[H01\]'s *strict* subset semantics for subtypes,
 //!   the premise of Pattern 9;
 //! * `implicit_type_exclusion` — ORM's convention that object types are
 //!   mutually exclusive unless connected through the subtype graph, the
@@ -46,7 +46,7 @@ use std::collections::{BTreeMap, BTreeSet};
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CheckOptions {
     /// Enforce strict (proper) subset semantics for subtypes: a non-empty
-    /// subtype population must differ from its supertype's ([H01]).
+    /// subtype population must differ from its supertype's (\[H01\]).
     pub proper_subtypes: bool,
     /// Enforce ORM's implicit mutual exclusion of object types that share
     /// no common supertype.

@@ -76,6 +76,27 @@ pub fn strong_satisfiability(schema: &Schema, bounds: Bounds) -> Outcome {
 }
 
 /// Satisfiability of a single role: can `role` ever be populated?
+///
+/// ```
+/// use orm_model::SchemaBuilder;
+/// use orm_reasoner::{role_satisfiability, Bounds, Outcome};
+///
+/// // Pattern 7's contradiction: a uniqueness constraint (≤1) against a
+/// // frequency constraint demanding 2–5 occurrences per player.
+/// let mut b = SchemaBuilder::new("s");
+/// let a = b.entity_type("A").unwrap();
+/// let x = b.entity_type("X").unwrap();
+/// let f = b.fact_type("f", a, x).unwrap();
+/// let r = b.schema().fact_type(f).first();
+/// b.unique([r]).unwrap();
+/// b.frequency([r], 2, Some(5)).unwrap();
+/// let schema = b.finish();
+///
+/// assert!(matches!(
+///     role_satisfiability(&schema, r, Bounds::default()),
+///     Outcome::UnsatWithinBounds
+/// ));
+/// ```
 pub fn role_satisfiability(schema: &Schema, role: RoleId, bounds: Bounds) -> Outcome {
     find_model(schema, &[Target::Role(role)], bounds)
 }

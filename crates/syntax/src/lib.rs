@@ -6,7 +6,7 @@
 //!
 //! * a compact schema language (`.orm` files) with a [`parse`] function
 //!   producing an `orm_model::Schema`;
-//! * a [`print`] function rendering any schema back to the language
+//! * a [`print()`](fn@print) function rendering any schema back to the language
 //!   (`parse ∘ print` is identity up to formatting — property-tested);
 //! * a [`verbalize`] function producing the pseudo-natural-language
 //!   reading of every fact type and constraint.

@@ -4,11 +4,14 @@
 //! must agree with the patterns' unsatisfiability claims.
 //!
 //! This file is also the **differential suite** for the trail-based
-//! tableau rewrite: on generated schemas the optimized engine must return
-//! verdicts identical to the retained classic clone-based engine
-//! (`orm_dl::classic`), and its refutations must be confirmed by the
-//! bounded model search and the nine pattern checkers on fault-injected
-//! schemas.
+//! tableau rewrite (now with dependency-directed backjumping): on
+//! generated schemas the optimized engine must return verdicts identical
+//! to the retained classic clone-based engine (`orm_dl::classic`), and
+//! its refutations must be confirmed by the bounded model search and the
+//! nine pattern checkers on fault-injected schemas. The `Translation`
+//! helpers additionally route through the [`orm_dl::SatCache`], so the
+//! cached query path is differentially pinned against the uncached one
+//! (including repeat passes that answer from memory).
 
 use orm_dl::{translate, DlOutcome};
 use orm_gen::generate;
@@ -140,6 +143,81 @@ proptest! {
                     old,
                     "engines disagree on type {} (seed {})",
                     schema.object_type(ty).name(),
+                    seed
+                );
+            }
+        }
+    }
+
+    /// Differential for the verdict cache: the `Translation` helpers
+    /// (which consult the shared `SatCache`) must return exactly what the
+    /// uncached `orm_dl::satisfiable` returns — on the first pass (cache
+    /// misses that populate entries) and on a second pass answered from
+    /// memory.
+    #[test]
+    fn cached_and_uncached_paths_agree(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let translation = translate(&schema);
+        for pass in 0..2 {
+            for (role, _) in schema.roles() {
+                let cached = translation.role_satisfiable(role, DL_BUDGET);
+                let uncached = orm_dl::satisfiable(
+                    &translation.tbox,
+                    &translation.role_concept(role),
+                    DL_BUDGET,
+                );
+                prop_assert_eq!(
+                    cached,
+                    uncached,
+                    "cache diverged on role {} (seed {seed}, pass {pass})",
+                    schema.role_label(role)
+                );
+            }
+            for (ty, _) in schema.object_types() {
+                let cached = translation.type_satisfiable(ty, DL_BUDGET);
+                let uncached = orm_dl::satisfiable(
+                    &translation.tbox,
+                    &translation.type_concept(ty),
+                    DL_BUDGET,
+                );
+                prop_assert_eq!(
+                    cached,
+                    uncached,
+                    "cache diverged on type {} (seed {seed}, pass {pass})",
+                    schema.object_type(ty).name()
+                );
+            }
+        }
+        // The second pass must have been answered from memory.
+        let stats = translation.cache_stats();
+        prop_assert!(
+            stats.hits >= stats.misses,
+            "second pass was not served from the cache: {stats:?}"
+        );
+    }
+
+    /// Classification is deterministic under the cache: a repeat run
+    /// returns the identical pair set (served from memory), and each
+    /// cached subsumption verdict matches the classic engine's.
+    #[test]
+    fn classification_stable_under_cache(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let translation = translate(&schema);
+        let first = translation.classify(&schema, DL_BUDGET);
+        let second = translation.classify(&schema, DL_BUDGET);
+        prop_assert_eq!(&first, &second, "classification changed across cached runs (seed {})", seed);
+        for &(sub, sup) in &first {
+            let classic = orm_dl::classic::subsumes(
+                &translation.tbox,
+                &translation.type_concept(sup),
+                &translation.type_concept(sub),
+                DL_BUDGET,
+            );
+            if classic.is_some() {
+                prop_assert_eq!(
+                    classic,
+                    Some(true),
+                    "classic engine rejects cached subsumption pair (seed {})",
                     seed
                 );
             }

@@ -275,7 +275,7 @@ pub mod collection {
         }
     }
 
-    /// Strategy produced by [`vec`].
+    /// Strategy produced by [`vec()`](fn@vec).
     pub struct VecStrategy<S, L> {
         element: S,
         len: L,
