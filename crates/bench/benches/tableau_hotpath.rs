@@ -12,7 +12,7 @@
 //! `BENCH_tableau.json` for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orm_bench::tableau_scenarios::{all, classify_sweep, BUDGET};
+use orm_bench::tableau_scenarios::{all, classify_battery, classify_sweep, BUDGET};
 use std::hint::black_box;
 
 fn bench_trail(c: &mut Criterion) {
@@ -62,5 +62,27 @@ fn bench_sweep(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trail, bench_classic, bench_sweep);
+fn bench_classify_par(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_hotpath/classify_par");
+    let battery = classify_battery(14, 6);
+    let translation = orm_dl::translate(&battery.schema);
+    group.bench_function(BenchmarkId::from_parameter(format!("{}_seq", battery.name)), |b| {
+        // A fresh clone per iteration: cold sharded cache, every pair
+        // actually proved.
+        b.iter(|| black_box(translation.clone().classify(&battery.schema, BUDGET)))
+    });
+    for threads in [2usize, 4, 8] {
+        group.bench_function(
+            BenchmarkId::from_parameter(format!("{}_par{threads}", battery.name)),
+            |b| {
+                b.iter(|| {
+                    black_box(translation.clone().classify_par(&battery.schema, BUDGET, threads))
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_trail, bench_classic, bench_sweep, bench_classify_par);
 criterion_main!(benches);

@@ -169,5 +169,61 @@ pub fn classify_sweep(k: u32, passes: u32) -> SweepScenario {
     SweepScenario { name: format!("classify_sweep_{k}x{passes}"), tbox: t, queries, passes }
 }
 
+/// A whole-schema classification battery driven through `Translation`:
+/// the workload `classify` / `classify_par` actually run, end to end
+/// (ORM schema → TBox → `O(n²)` cached subsumption queries).
+pub struct ClassifyBattery {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// The ORM schema whose type matrix is classified.
+    pub schema: orm_model::Schema,
+    /// Number of object types (the matrix asks `types · (types - 1)`
+    /// ordered pairs).
+    pub types: usize,
+}
+
+/// An ORM schema shaped like the paper's running examples scaled up: a
+/// subtype chain of `k` entity types topped by an exclusive + total
+/// subtype family (every classification query re-opens its O(m²)
+/// exclusion disjunctions — real per-query tableau work), one doomed
+/// type under two exclusive siblings (derived subsumptions to find), and
+/// mandatory binary facts hanging off the chain so role typing axioms
+/// join the internalized TBox.
+///
+/// Requires `k ≥ 1` (the chain needs a top) and `siblings ≥ 2` (the
+/// doomed type sits under two exclusive siblings).
+pub fn classify_battery(k: u32, siblings: u32) -> ClassifyBattery {
+    assert!(k >= 1 && siblings >= 2, "classify_battery needs k >= 1 and siblings >= 2");
+    let mut b = orm_model::SchemaBuilder::new("classify_battery");
+    let chain: Vec<_> =
+        (0..k).map(|i| b.entity_type(&format!("C{i}")).expect("fresh name")).collect();
+    for w in chain.windows(2) {
+        b.subtype(w[1], w[0]).expect("acyclic");
+    }
+    let top = chain[0];
+    let subs: Vec<_> =
+        (0..siblings).map(|i| b.entity_type(&format!("S{i}")).expect("fresh name")).collect();
+    for &s in &subs {
+        b.subtype(s, top).expect("acyclic");
+    }
+    b.exclusive_types(subs.clone()).expect("distinct");
+    b.total_subtypes(top, subs.clone()).expect("subtypes of top");
+    // One doomed type below two exclusive siblings: classification must
+    // derive that it is subsumed by everything.
+    let doomed = b.entity_type("Doomed").expect("fresh name");
+    b.subtype(doomed, subs[0]).expect("acyclic");
+    b.subtype(doomed, subs[1]).expect("acyclic");
+    // Mandatory facts along the chain: role typing + mandatory axioms.
+    let partner = b.entity_type("Partner").expect("fresh name");
+    for (i, &ty) in chain.iter().enumerate().take(4) {
+        let f = b.fact_type(&format!("f{i}"), ty, partner).expect("fresh name");
+        let r = b.schema().fact_type(f).first();
+        b.mandatory(r).expect("valid");
+    }
+    let schema = b.finish();
+    let types = schema.object_type_count();
+    ClassifyBattery { name: format!("classify_battery_{k}x{siblings}"), schema, types }
+}
+
 /// Budget ample enough that every scenario reaches a definitive verdict.
 pub const BUDGET: u64 = 5_000_000;

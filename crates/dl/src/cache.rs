@@ -1,4 +1,6 @@
-//! A verdict cache for repeated satisfiability queries against one TBox.
+//! Verdict caches for repeated satisfiability queries against one TBox:
+//! the single-threaded [`SatCache`] and its sharded, lock-striped
+//! counterpart [`SatShards`] for parallel query batteries.
 //!
 //! The ORM workload is *classify-heavy*: `Translation::classify` asks
 //! `O(n²)` subsumption questions against a single TBox, per-role sweeps
@@ -14,7 +16,11 @@
 //! its top-level conjunct list (which the arena stores sorted and
 //! deduplicated) becomes the key. Two queries that differ only in `⊓`
 //! argument order, duplication or nesting therefore share one cache line:
-//! `A ⊓ (B ⊓ A)` and `B ⊓ A` hit the same entry.
+//! `A ⊓ (B ⊓ A)` and `B ⊓ A` hit the same entry. Subsumption queries
+//! ([`SatCache::subsumes`]) build the key for `sub ⊓ ¬sup` directly from
+//! interned ids ([`Arena::intern_negated`]) — no concept tree is cloned
+//! on the hot path, and the entry is shared with any
+//! [`SatCache::satisfiable`] call that spells the same root label set.
 //!
 //! # Invalidation
 //!
@@ -22,7 +28,11 @@
 //! [`TBox::cache_stamp`] — a process-unique TBox identity plus a mutation
 //! revision. Any mutation bumps the revision, and clones get fresh
 //! identities, so a stamp mismatch (detected on the next query) clears
-//! the cache wholesale. There is no way to observe a stale verdict.
+//! the cache wholesale and counts one `invalidations`. An **explicit**
+//! [`SatCache::clear`] also drops every entry but is counted separately
+//! in [`CacheStats::clears`] — the two counters partition "cache emptied"
+//! events by cause, so stats never silently drift. There is no way to
+//! observe a stale verdict.
 //!
 //! # Budget semantics
 //!
@@ -60,11 +70,25 @@
 //! assert_eq!(cache.satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
 //! assert_eq!(cache.stats().invalidations, 1);
 //! ```
+//!
+//! # Sharding ([`SatShards`])
+//!
+//! A single `Mutex<SatCache>` serializes every query of a parallel
+//! battery. [`SatShards`] stripes the key space over `N` independent
+//! caches, each behind its own lock; a query is routed by an
+//! order/duplication-independent **structural hash** of its canonical
+//! root label set, computed without touching any arena — so two threads
+//! asking about different label sets almost always take different locks.
+//! Each shard's lock is held across the whole lookup-prove-insert
+//! sequence, which makes per-key work exactly-once: aggregated hit/miss
+//! totals are deterministic and equal to what a sequential [`SatCache`]
+//! run of the same battery reports.
 
-use crate::arena::{Arena, CKind, ConceptId};
-use crate::concept::Concept;
+use crate::arena::{splitmix, Arena, CKind, ConceptId};
+use crate::concept::{Concept, RoleExpr};
 use crate::tableau::{satisfiable, DlOutcome};
 use crate::tbox::TBox;
+use parking_lot::Mutex;
 use std::collections::HashMap;
 
 /// Hit/miss/invalidation counters, for benches and acceptance checks.
@@ -76,6 +100,23 @@ pub struct CacheStats {
     pub misses: u64,
     /// Wholesale clears caused by a TBox stamp change.
     pub invalidations: u64,
+    /// Wholesale clears requested explicitly through [`SatCache::clear`]
+    /// (kept apart from `invalidations` so the two causes stay
+    /// distinguishable).
+    pub clears: u64,
+}
+
+impl CacheStats {
+    /// Field-wise sum — the aggregation [`SatShards::stats`] performs
+    /// across its shards.
+    pub fn merge(self, other: CacheStats) -> CacheStats {
+        CacheStats {
+            hits: self.hits + other.hits,
+            misses: self.misses + other.misses,
+            invalidations: self.invalidations + other.invalidations,
+            clears: self.clears + other.clears,
+        }
+    }
 }
 
 /// A cached verdict. `Sat`/`Unsat` are final; `Unknown` records the
@@ -119,11 +160,15 @@ impl SatCache {
         self.entries.is_empty()
     }
 
-    /// Drop every entry (keeps the stats).
+    /// Drop every entry and detach from the current TBox stamp. Counted
+    /// in [`CacheStats::clears`]; the later re-binding to a TBox is *not*
+    /// additionally counted as an invalidation (nothing stale was
+    /// discarded by it — this clear already did).
     pub fn clear(&mut self) {
         self.entries.clear();
         self.arena = Arena::new();
         self.stamp = None;
+        self.stats.clears += 1;
     }
 
     /// Clear when `tbox` is not the TBox state the entries were proved
@@ -151,43 +196,75 @@ impl SatCache {
         }
     }
 
-    /// Cached [`satisfiable`]: consult the verdict cache, fall back to the
-    /// tableau on a miss, and remember what it learned.
-    pub fn satisfiable(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
-        self.validate(tbox);
-        let key = self.key(query);
-        match self.entries.get(&key) {
-            Some(Entry::Sat) => {
-                self.stats.hits += 1;
-                return DlOutcome::Sat;
+    /// The canonical root label set of `a ⊓ b` given both parts by id:
+    /// the sorted, deduplicated union of their top-level conjunct lists.
+    /// Matches [`SatCache::key`] of the equivalent [`Concept::and`]
+    /// spelling, so the two query paths share entries.
+    fn pair_key(&self, a: ConceptId, b: ConceptId) -> Box<[ConceptId]> {
+        fn push_root_conjuncts(arena: &Arena, id: ConceptId, out: &mut Vec<ConceptId>) {
+            match arena.kind(id) {
+                CKind::Top => {}
+                CKind::And(ids) => out.extend_from_slice(ids),
+                _ => out.push(id),
             }
-            Some(Entry::Unsat) => {
-                self.stats.hits += 1;
-                return DlOutcome::Unsat;
-            }
-            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+        }
+        let mut ids = Vec::new();
+        push_root_conjuncts(&self.arena, a, &mut ids);
+        push_root_conjuncts(&self.arena, b, &mut ids);
+        ids.sort_unstable();
+        ids.dedup();
+        ids.into_boxed_slice()
+    }
+
+    /// Cache lookup for `key` under `budget`, counting a hit when the
+    /// entry answers (see the budget semantics in the module docs).
+    fn probe(&mut self, key: &[ConceptId], budget: u64) -> Option<DlOutcome> {
+        let outcome = match self.entries.get(key)? {
+            Entry::Sat => DlOutcome::Sat,
+            Entry::Unsat => DlOutcome::Unsat,
+            Entry::Unknown { budget: tried } if *tried >= budget => {
                 // The cached attempt had at least this much budget and
                 // still ran out: re-running with less cannot do better.
-                self.stats.hits += 1;
-                return DlOutcome::ResourceLimit;
+                DlOutcome::ResourceLimit
             }
-            _ => {}
-        }
-        self.stats.misses += 1;
-        let verdict = satisfiable(tbox, query, budget);
+            Entry::Unknown { .. } => return None,
+        };
+        self.stats.hits += 1;
+        Some(outcome)
+    }
+
+    /// Remember what a tableau run under `budget` learned about `key`.
+    fn record(&mut self, key: Box<[ConceptId]>, verdict: DlOutcome, budget: u64) {
         let entry = match verdict {
             DlOutcome::Sat => Entry::Sat,
             DlOutcome::Unsat => Entry::Unsat,
             DlOutcome::ResourceLimit => Entry::Unknown { budget },
         };
         self.entries.insert(key, entry);
+    }
+
+    /// Cached [`satisfiable`]: consult the verdict cache, fall back to the
+    /// tableau on a miss, and remember what it learned.
+    pub fn satisfiable(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
+        self.validate(tbox);
+        let key = self.key(query);
+        if let Some(verdict) = self.probe(&key, budget) {
+            return verdict;
+        }
+        self.stats.misses += 1;
+        let verdict = satisfiable(tbox, query, budget);
+        self.record(key, verdict, budget);
         verdict
     }
 
     /// Cached [`crate::tableau::subsumes`]: the standard reduction of
-    /// `sub ⊑ sup` to unsatisfiability of `sub ⊓ ¬sup`, through
-    /// [`SatCache::satisfiable`] so repeated classification sweeps share
-    /// verdicts.
+    /// `sub ⊑ sup` to unsatisfiability of `sub ⊓ ¬sup`, sharing entries
+    /// with [`SatCache::satisfiable`] calls on the same root label set.
+    ///
+    /// The key is built from interned ids (`sub` interned as-is, `sup`
+    /// through [`Arena::intern_negated`]) — no `Concept` tree is cloned
+    /// per call; the query concept is only reconstructed on a miss, where
+    /// the tableau run dominates the allocation anyway.
     pub fn subsumes(
         &mut self,
         tbox: &TBox,
@@ -195,13 +272,255 @@ impl SatCache {
         sub: &Concept,
         budget: u64,
     ) -> Option<bool> {
-        let query = Concept::and([sub.clone(), Concept::not(sup.clone())]);
-        match self.satisfiable(tbox, &query, budget) {
+        self.validate(tbox);
+        let sub_id = self.arena.intern(sub);
+        let neg_sup_id = self.arena.intern_negated(sup);
+        let key = self.pair_key(sub_id, neg_sup_id);
+        let verdict = match self.probe(&key, budget) {
+            Some(verdict) => verdict,
+            None => {
+                self.stats.misses += 1;
+                let query =
+                    Concept::and([self.arena.resolve(sub_id), self.arena.resolve(neg_sup_id)]);
+                let verdict = satisfiable(tbox, &query, budget);
+                self.record(key, verdict, budget);
+                verdict
+            }
+        };
+        match verdict {
             DlOutcome::Unsat => Some(true),
             DlOutcome::Sat => Some(false),
             DlOutcome::ResourceLimit => None,
         }
     }
+}
+
+/// Number of shards a [`SatShards::new`] cache stripes over — comfortably
+/// above the thread counts the query batteries fan out to, so concurrent
+/// queries on distinct label sets rarely contend for one lock.
+pub const DEFAULT_SHARDS: usize = 16;
+
+/// A sharded [`SatCache`]: `N` independently locked, stamp-validated
+/// shards, routed by a structural hash of the query's canonical root
+/// label set. Shared by reference (`&SatShards` is `Sync`) across the
+/// scoped worker threads of [`crate::par::fan_out`].
+///
+/// Routing is *stable*: two spellings of the same canonical label set
+/// reach the same shard (the hash is invariant under `⊓`/`⊔` argument
+/// order, duplication and constructor-level flattening, mirroring the
+/// arena canonicalization that builds the keys). A routing collision
+/// between *different* label sets merely co-locates them behind one lock
+/// — never a correctness concern.
+///
+/// Each shard's lock is held across lookup **and** proof, so a key is
+/// proved at most once per TBox state no matter how many threads race on
+/// it, and [`SatShards::stats`] aggregates to exactly the sequential
+/// totals of the same battery.
+///
+/// ```
+/// use orm_dl::cache::SatShards;
+/// use orm_dl::concept::Concept;
+/// use orm_dl::tableau::DlOutcome;
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// tbox.gci(a.clone(), b.clone());
+///
+/// let shards = SatShards::new();
+/// // `&shards` suffices: shard locks are interior.
+/// assert_eq!(shards.subsumes(&tbox, &b, &a, 100_000), Some(true));
+/// // Same label set spelled as a satisfiability query: routed to the
+/// // same shard, answered from the same entry.
+/// let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+/// assert_eq!(shards.satisfiable(&tbox, &q, 100_000), DlOutcome::Unsat);
+/// let stats = shards.stats();
+/// assert_eq!((stats.misses, stats.hits), (1, 1));
+/// ```
+#[derive(Debug)]
+pub struct SatShards {
+    shards: Box<[Mutex<SatCache>]>,
+}
+
+impl Default for SatShards {
+    fn default() -> SatShards {
+        SatShards::new()
+    }
+}
+
+impl SatShards {
+    /// A sharded cache with [`DEFAULT_SHARDS`] shards.
+    pub fn new() -> SatShards {
+        SatShards::with_shards(DEFAULT_SHARDS)
+    }
+
+    /// A sharded cache with `n` shards (`n = 0` is promoted to 1).
+    pub fn with_shards(n: usize) -> SatShards {
+        SatShards { shards: (0..n.max(1)).map(|_| Mutex::new(SatCache::new())).collect() }
+    }
+
+    /// Number of shards (fixed at construction).
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard(&self, route: u64) -> &Mutex<SatCache> {
+        &self.shards[(route % self.shards.len() as u64) as usize]
+    }
+
+    /// Cached [`satisfiable`] through the owning shard (see
+    /// [`SatCache::satisfiable`] for key/budget semantics).
+    pub fn satisfiable(&self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
+        self.shard(route_satisfiable(query)).lock().satisfiable(tbox, query, budget)
+    }
+
+    /// Cached subsumption through the owning shard (see
+    /// [`SatCache::subsumes`]).
+    pub fn subsumes(&self, tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Option<bool> {
+        self.shard(route_subsumes(sup, sub)).lock().subsumes(tbox, sup, sub, budget)
+    }
+
+    /// Counters aggregated across all shards.
+    pub fn stats(&self) -> CacheStats {
+        self.shards.iter().fold(CacheStats::default(), |acc, s| acc.merge(s.lock().stats()))
+    }
+
+    /// Total live entries across all shards.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().len()).sum()
+    }
+
+    /// Whether no shard holds any entry.
+    pub fn is_empty(&self) -> bool {
+        self.shards.iter().all(|s| s.lock().is_empty())
+    }
+
+    /// Explicitly clear every shard (each counts one
+    /// [`CacheStats::clears`]).
+    pub fn clear(&self) {
+        for shard in self.shards.iter() {
+            shard.lock().clear();
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shard routing: a structural hash of the canonical root label set.
+//
+// The hash must satisfy one invariant: two queries whose canonical cache
+// keys are equal (same interned, sorted, deduplicated root conjunct set)
+// must hash equally — otherwise one logical query could live in two
+// shards and be proved twice. The arena canonicalizes `⊓`/`⊔` child
+// lists by sorting and deduplicating interned ids, so the hash mirrors
+// that: child hashes are sorted and deduplicated at every level before
+// being folded. Collisions in the *other* direction (distinct label sets
+// sharing a shard) only affect lock striping, never verdicts.
+
+/// Distinct per-constructor seeds, mixed through `splitmix` so that tags
+/// land far apart in the hash space.
+mod shape_tag {
+    pub const TOP: u64 = 0xA1;
+    pub const BOTTOM: u64 = 0xA2;
+    pub const ATOM: u64 = 0xA3;
+    pub const NOT_ATOM: u64 = 0xA4;
+    pub const AND: u64 = 0xA5;
+    pub const OR: u64 = 0xA6;
+    pub const EXISTS: u64 = 0xA7;
+    pub const FORALL: u64 = 0xA8;
+    pub const AT_LEAST: u64 = 0xA9;
+    pub const AT_MOST: u64 = 0xAA;
+    pub const ROOT: u64 = 0xAB;
+}
+
+fn role_bits(r: RoleExpr) -> u64 {
+    (u64::from(r.name) << 1) | u64::from(r.inverse)
+}
+
+fn number_hash(tag: u64, n: u32, r: RoleExpr) -> u64 {
+    splitmix(tag ^ (u64::from(n) << 8) ^ (role_bits(r) << 40))
+}
+
+/// Structural hash of `c` (or of `¬c` in NNF when `negated` — computed
+/// without materializing the negation, dual to [`Arena::intern_negated`]).
+fn shape_hash(c: &Concept, negated: bool) -> u64 {
+    use shape_tag as t;
+    match c {
+        Concept::Top => splitmix(if negated { t::BOTTOM } else { t::TOP }),
+        Concept::Bottom => splitmix(if negated { t::TOP } else { t::BOTTOM }),
+        Concept::Atomic(a) => {
+            splitmix(if negated { t::NOT_ATOM } else { t::ATOM } ^ (u64::from(*a) << 8))
+        }
+        Concept::NotAtomic(a) => {
+            splitmix(if negated { t::ATOM } else { t::NOT_ATOM } ^ (u64::from(*a) << 8))
+        }
+        Concept::And(cs) | Concept::Or(cs) => {
+            let conjunctive = matches!(c, Concept::And(_)) != negated;
+            let mut hs: Vec<u64> = cs.iter().map(|x| shape_hash(x, negated)).collect();
+            // Order/duplication independence, mirroring the arena's
+            // sorted-deduplicated child lists.
+            hs.sort_unstable();
+            hs.dedup();
+            let mut h = splitmix(if conjunctive { t::AND } else { t::OR });
+            for x in hs {
+                h = splitmix(h ^ x);
+            }
+            h
+        }
+        Concept::Exists(r, body) | Concept::ForAll(r, body) => {
+            let existential = matches!(c, Concept::Exists(..)) != negated;
+            let tag = if existential { t::EXISTS } else { t::FORALL };
+            splitmix(splitmix(tag ^ (role_bits(*r) << 8)) ^ shape_hash(body, negated))
+        }
+        // ¬(≥0 R) = ¬⊤ = ⊥, otherwise ¬(≥n R) = ≤(n-1) R.
+        Concept::AtLeast(0, _) if negated => splitmix(t::BOTTOM),
+        Concept::AtLeast(n, r) if negated => number_hash(t::AT_MOST, n - 1, *r),
+        Concept::AtLeast(n, r) => number_hash(t::AT_LEAST, *n, *r),
+        // ¬(≤n R) = ≥(n+1) R.
+        Concept::AtMost(n, r) if negated => number_hash(t::AT_LEAST, n + 1, *r),
+        Concept::AtMost(n, r) => number_hash(t::AT_MOST, *n, *r),
+    }
+}
+
+/// The structural hashes of the top-level conjuncts `c` (or `¬c`)
+/// contributes to a root label set, matching how [`SatCache::key`] /
+/// [`SatCache::pair_key`] split one `⊓` level.
+fn push_root_hashes(c: &Concept, negated: bool, out: &mut Vec<u64>) {
+    match (c, negated) {
+        (Concept::And(cs), false) => out.extend(cs.iter().map(|x| shape_hash(x, false))),
+        // ¬(⊔ cs) = ⊓ ¬cs: the negated disjuncts are the conjuncts.
+        (Concept::Or(cs), true) => out.extend(cs.iter().map(|x| shape_hash(x, true))),
+        // ⊤ contributes nothing to a conjunction.
+        (Concept::Top, false) | (Concept::Bottom, true) => {}
+        _ => out.push(shape_hash(c, negated)),
+    }
+}
+
+fn fold_root(mut hs: Vec<u64>) -> u64 {
+    hs.sort_unstable();
+    hs.dedup();
+    let mut h = splitmix(shape_tag::ROOT);
+    for x in hs {
+        h = splitmix(h ^ x);
+    }
+    h
+}
+
+/// Shard route of a satisfiability query on `query`.
+fn route_satisfiable(query: &Concept) -> u64 {
+    let mut hs = Vec::new();
+    push_root_hashes(query, false, &mut hs);
+    fold_root(hs)
+}
+
+/// Shard route of the subsumption query `sub ⊓ ¬sup` — identical to
+/// [`route_satisfiable`] of the [`Concept::and`] spelling, so the two
+/// entry points co-locate shared label sets.
+fn route_subsumes(sup: &Concept, sub: &Concept) -> u64 {
+    let mut hs = Vec::new();
+    push_root_hashes(sub, false, &mut hs);
+    push_root_hashes(sup, true, &mut hs);
+    fold_root(hs)
 }
 
 #[cfg(test)]
@@ -255,6 +574,29 @@ mod tests {
         assert_eq!(cache.stats().misses, 2);
     }
 
+    /// Explicit clears are observable in `stats().clears` — they used to
+    /// vanish entirely (the stamp reset skipped the `invalidations`
+    /// counter on the next validate), leaving the stats claiming the
+    /// cache had never been emptied.
+    #[test]
+    fn explicit_clear_is_counted() {
+        let (t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        assert_eq!(cache.len(), 1);
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.stats().clears, 1);
+        // Re-binding to the same TBox after an explicit clear is not a
+        // stamp-mismatch invalidation: nothing stale was discarded.
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(stats.clears, 1);
+        assert_eq!(stats.misses, 2);
+    }
+
     #[test]
     fn clones_never_alias() {
         let (t, a, b) = ab_tbox();
@@ -298,5 +640,83 @@ mod tests {
             cache.subsumes(&t, &b, &a, 100_000),
             crate::tableau::subsumes(&t, &b, &a, 100_000)
         );
+    }
+
+    /// The id-built subsumption key equals the key of the equivalent
+    /// `Concept::and` satisfiability spelling: asking one way then the
+    /// other is one miss plus one hit, in either order.
+    #[test]
+    fn subsumes_and_satisfiable_share_entries() {
+        let (t, a, b) = ab_tbox();
+
+        let mut cache = SatCache::new();
+        assert_eq!(cache.subsumes(&t, &b, &a, 100_000), Some(true));
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "satisfiable missed the subsumes entry");
+
+        let mut cache = SatCache::new();
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        assert_eq!(cache.subsumes(&t, &b, &a, 100_000), Some(true));
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "subsumes missed the satisfiable entry");
+
+        // Compound sides exercise the De Morgan split of the key: sup an
+        // ⊔ (whose negation contributes several conjuncts) and sub an ⊓.
+        let mut cache = SatCache::new();
+        let sup = Concept::or([b.clone(), Concept::some(RoleExpr::direct(0))]);
+        let sub = Concept::and([a.clone(), b.clone()]);
+        let spelled = Concept::and([sub.clone(), Concept::not(sup.clone())]);
+        let via_ids = cache.subsumes(&t, &sup, &sub, 100_000);
+        assert_eq!(
+            cache.satisfiable(&t, &spelled, 100_000) == DlOutcome::Unsat,
+            via_ids == Some(true)
+        );
+        let stats = cache.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 1), "compound keys diverged");
+    }
+
+    #[test]
+    fn shards_route_spellings_to_one_entry() {
+        let (t, a, b) = ab_tbox();
+        let shards = SatShards::new();
+        let q1 = Concept::and([a.clone(), Concept::not(b.clone())]);
+        let q2 = Concept::and([Concept::not(b.clone()), a.clone(), a.clone()]);
+        assert_eq!(shards.satisfiable(&t, &q1, 100_000), DlOutcome::Unsat);
+        assert_eq!(shards.satisfiable(&t, &q2, 100_000), DlOutcome::Unsat);
+        assert_eq!(shards.subsumes(&t, &b, &a, 100_000), Some(true));
+        let stats = shards.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2), "spellings split across shards");
+        assert_eq!(shards.len(), 1);
+    }
+
+    #[test]
+    fn shards_spread_distinct_queries() {
+        let mut t = TBox::new();
+        let atoms: Vec<Concept> =
+            (0..64).map(|i| Concept::Atomic(t.atom(format!("A{i}")))).collect();
+        let shards = SatShards::with_shards(8);
+        for q in &atoms {
+            assert_eq!(shards.satisfiable(&t, q, 100_000), DlOutcome::Sat);
+        }
+        assert_eq!(shards.len(), 64);
+        // With 64 distinct keys over 8 shards, a constant router would
+        // put everything in one shard; the structural hash must occupy
+        // several.
+        let occupied = shards.shards.iter().filter(|s| !s.lock().is_empty()).count();
+        assert!(occupied > 1, "router degenerated to a single shard");
+        let stats = shards.stats();
+        assert_eq!((stats.misses, stats.hits), (64, 0));
+    }
+
+    #[test]
+    fn shards_clear_counts_per_shard() {
+        let (t, a, _) = ab_tbox();
+        let shards = SatShards::with_shards(4);
+        assert_eq!(shards.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        shards.clear();
+        assert!(shards.is_empty());
+        assert_eq!(shards.stats().clears, 4);
     }
 }

@@ -16,8 +16,14 @@
 //!   and dependency-directed backjumping (the retained clone-per-branch
 //!   baseline lives in [`classic`] for differential testing);
 //! * [`cache`] — a [`SatCache`] memoizing verdicts per interned root
-//!   label set, consulted by every [`Translation`] satisfiability helper
-//!   so classify-heavy workloads pay for each distinct query once;
+//!   label set, and its sharded counterpart [`SatShards`] (independently
+//!   locked, stamp-validated shards routed by a structural hash of the
+//!   canonical root label set) consulted by every [`Translation`]
+//!   satisfiability helper so classify-heavy workloads pay for each
+//!   distinct query once — from any number of threads;
+//! * [`par`] — a scoped-thread fan-out ([`par::fan_out`]) driving the
+//!   parallel query batteries [`Translation::classify_par`] and
+//!   [`Translation::role_sweep_par`];
 //! * [`orm_to_dl`] — the schema translation. Ring constraints, value
 //!   constraints and spanning frequency constraints are reported as
 //!   *unmapped* — the same expressivity gap the paper concedes for DLR
@@ -46,6 +52,7 @@ pub mod cache;
 pub mod classic;
 pub mod concept;
 pub mod orm_to_dl;
+pub mod par;
 pub mod tableau;
 pub mod tbox;
 
@@ -53,7 +60,7 @@ pub mod tbox;
 mod test_scenarios;
 
 pub use arena::{Arena, ConceptId};
-pub use cache::{CacheStats, SatCache};
+pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
 pub use orm_to_dl::{translate, Translation};
 pub use tableau::{satisfiable, subsumes, DlOutcome};

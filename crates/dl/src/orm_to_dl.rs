@@ -30,21 +30,25 @@
 //! invisible to the DL comparator and need the patterns or the bounded
 //! model finder.
 
-use crate::cache::{CacheStats, SatCache};
+use crate::cache::{CacheStats, SatShards};
 use crate::concept::{Concept, RoleExpr};
+use crate::par::fan_out;
 use crate::tableau::DlOutcome;
 use crate::tbox::TBox;
 use orm_model::{Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind};
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex};
+use std::sync::Arc;
 
 /// The result of translating an ORM schema.
 ///
 /// All satisfiability helpers ([`Translation::type_satisfiable`],
 /// [`Translation::role_satisfiable`], [`Translation::type_subsumed_by`],
-/// [`Translation::classify`]) answer through one [`SatCache`], so the
-/// per-role sweeps and `O(n²)` classification batteries a schema check
-/// runs pay for each distinct root label set once. The cache
+/// [`Translation::classify`]) answer through one sharded verdict cache
+/// ([`SatShards`]), so the per-role sweeps and `O(n²)` classification
+/// batteries a schema check runs pay for each distinct root label set
+/// once — and the parallel batteries ([`Translation::classify_par`],
+/// [`Translation::role_sweep_par`]) fan the same queries out across
+/// worker threads without funneling through one lock. The cache
 /// self-invalidates if `tbox` is ever mutated.
 #[derive(Debug)]
 pub struct Translation {
@@ -57,8 +61,8 @@ pub struct Translation {
     /// Human-readable notes about constructs the DL fragment cannot
     /// express.
     pub unmapped: Vec<String>,
-    /// Verdict cache behind all satisfiability helpers.
-    cache: Arc<Mutex<SatCache>>,
+    /// Sharded verdict cache behind all satisfiability helpers.
+    cache: Arc<SatShards>,
 }
 
 impl Clone for Translation {
@@ -72,7 +76,7 @@ impl Clone for Translation {
             concept_of_type: self.concept_of_type.clone(),
             role_dir: self.role_dir.clone(),
             unmapped: self.unmapped.clone(),
-            cache: Arc::new(Mutex::new(SatCache::new())),
+            cache: Arc::new(SatShards::new()),
         }
     }
 }
@@ -88,26 +92,22 @@ impl Translation {
         self.concept_of_type[&ty].clone()
     }
 
-    fn with_cache<T>(&self, f: impl FnOnce(&mut SatCache) -> T) -> T {
-        let mut cache = self.cache.lock().unwrap_or_else(|poison| poison.into_inner());
-        f(&mut cache)
-    }
-
-    /// Hit/miss counters of the shared verdict cache.
+    /// Hit/miss counters of the shared verdict cache, aggregated across
+    /// its shards.
     pub fn cache_stats(&self) -> CacheStats {
-        self.with_cache(|c| c.stats())
+        self.cache.stats()
     }
 
     /// Satisfiability of an object type under the translation (cached).
     pub fn type_satisfiable(&self, ty: ObjectTypeId, budget: u64) -> DlOutcome {
         let query = self.type_concept(ty);
-        self.with_cache(|c| c.satisfiable(&self.tbox, &query, budget))
+        self.cache.satisfiable(&self.tbox, &query, budget)
     }
 
     /// Satisfiability of a role under the translation (cached).
     pub fn role_satisfiable(&self, role: RoleId, budget: u64) -> DlOutcome {
         let query = self.role_concept(role);
-        self.with_cache(|c| c.satisfiable(&self.tbox, &query, budget))
+        self.cache.satisfiable(&self.tbox, &query, budget)
     }
 
     /// Whether the constraints force every `sub` instance to be a `sup`
@@ -120,7 +120,23 @@ impl Translation {
         budget: u64,
     ) -> Option<bool> {
         let (sup_c, sub_c) = (self.type_concept(sup), self.type_concept(sub));
-        self.with_cache(|c| c.subsumes(&self.tbox, &sup_c, &sub_c, budget))
+        self.cache.subsumes(&self.tbox, &sup_c, &sub_c, budget)
+    }
+
+    /// All ordered type pairs `(sub, sup)` with `sub ≠ sup`, in the order
+    /// both classification drivers ask them.
+    fn classify_pairs(&self, schema: &Schema) -> Vec<(ObjectTypeId, ObjectTypeId)> {
+        let types: Vec<ObjectTypeId> = schema.object_types().map(|(t, _)| t).collect();
+        let mut pairs =
+            Vec::with_capacity(types.len().saturating_mul(types.len().saturating_sub(1)));
+        for &sub in &types {
+            for &sup in &types {
+                if sub != sup {
+                    pairs.push((sub, sup));
+                }
+            }
+        }
+        pairs
     }
 
     /// Classify the schema's object types: all derived subsumption pairs
@@ -128,16 +144,49 @@ impl Translation {
     /// declares (e.g. forced by mandatory/typing interplay). Inconclusive
     /// pairs (budget) are omitted.
     pub fn classify(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, ObjectTypeId)> {
-        let types: Vec<ObjectTypeId> = schema.object_types().map(|(t, _)| t).collect();
-        let mut out = Vec::new();
-        for &sub in &types {
-            for &sup in &types {
-                if sub != sup && self.type_subsumed_by(sub, sup, budget) == Some(true) {
-                    out.push((sub, sup));
-                }
-            }
-        }
-        out
+        self.classify_pairs(schema)
+            .into_iter()
+            .filter(|&(sub, sup)| self.type_subsumed_by(sub, sup, budget) == Some(true))
+            .collect()
+    }
+
+    /// [`Translation::classify`] fanned out over up to `threads` scoped
+    /// worker threads (see [`crate::par::fan_out`]): the `O(n²)`
+    /// subsumption queries are independent, and the sharded cache lets
+    /// workers answer them without funneling through one lock. Returns
+    /// the identical pair set in the identical order — the differential
+    /// suites compare the two verdict for verdict.
+    pub fn classify_par(
+        &self,
+        schema: &Schema,
+        budget: u64,
+        threads: usize,
+    ) -> Vec<(ObjectTypeId, ObjectTypeId)> {
+        let pairs = self.classify_pairs(schema);
+        let verdicts = fan_out(&pairs, threads, |_, &(sub, sup)| {
+            self.type_subsumed_by(sub, sup, budget) == Some(true)
+        });
+        pairs.into_iter().zip(verdicts).filter_map(|(pair, keep)| keep.then_some(pair)).collect()
+    }
+
+    /// The per-role satisfiability sweep: `∃dir(r).⊤` proved for every
+    /// role of the schema, in `schema.roles()` order — the battery a
+    /// whole-schema check runs.
+    pub fn role_sweep(&self, schema: &Schema, budget: u64) -> Vec<(RoleId, DlOutcome)> {
+        schema.roles().map(|(role, _)| (role, self.role_satisfiable(role, budget))).collect()
+    }
+
+    /// [`Translation::role_sweep`] fanned out over up to `threads` scoped
+    /// worker threads. Same verdicts, same order.
+    pub fn role_sweep_par(
+        &self,
+        schema: &Schema,
+        budget: u64,
+        threads: usize,
+    ) -> Vec<(RoleId, DlOutcome)> {
+        let roles: Vec<RoleId> = schema.roles().map(|(role, _)| role).collect();
+        let verdicts = fan_out(&roles, threads, |_, &role| self.role_satisfiable(role, budget));
+        roles.into_iter().zip(verdicts).collect()
     }
 }
 
@@ -267,13 +316,7 @@ pub fn translate(schema: &Schema) -> Translation {
         }
     }
 
-    Translation {
-        tbox,
-        concept_of_type,
-        role_dir,
-        unmapped,
-        cache: Arc::new(Mutex::new(SatCache::new())),
-    }
+    Translation { tbox, concept_of_type, role_dir, unmapped, cache: Arc::new(SatShards::new()) }
 }
 
 fn translate_set_comparison(
@@ -561,6 +604,72 @@ mod tests {
         let stats = t.cache_stats();
         assert_eq!(stats.invalidations, 0, "clone thrashed the original's cache");
         assert_eq!(stats.hits, 1);
+    }
+
+    #[test]
+    fn classify_par_matches_sequential_on_fig1() {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        b.exclusive_types([student, employee]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        let sequential = t.classify(&s, BUDGET);
+        for threads in [1, 2, 4, 8] {
+            // Cold cache per run (clone mints a fresh one), then a warm
+            // replay on the same translation.
+            let fresh = t.clone();
+            assert_eq!(fresh.classify_par(&s, BUDGET, threads), sequential, "{threads} cold");
+            assert_eq!(fresh.classify_par(&s, BUDGET, threads), sequential, "{threads} warm");
+        }
+    }
+
+    #[test]
+    fn role_sweep_par_matches_sequential() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, x).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        let sequential = t.role_sweep(&s, BUDGET);
+        assert!(sequential.iter().any(|(_, v)| *v == DlOutcome::Unsat));
+        for threads in [1, 2, 8] {
+            let fresh = t.clone();
+            assert_eq!(fresh.role_sweep_par(&s, BUDGET, threads), sequential);
+        }
+    }
+
+    /// The sharded cache dedups parallel work exactly like the sequential
+    /// cache: same miss count (one per distinct root label set), same
+    /// hit+miss total for the same battery.
+    #[test]
+    fn parallel_battery_stats_match_sequential() {
+        let mut b = SchemaBuilder::new("s");
+        let tys: Vec<_> = (0..6).map(|i| b.entity_type(&format!("T{i}")).unwrap()).collect();
+        for w in tys.windows(2) {
+            b.subtype(w[1], w[0]).unwrap();
+        }
+        let s = b.finish();
+        let t = translate(&s);
+        t.classify(&s, BUDGET);
+        let seq = t.cache_stats();
+        let par = t.clone();
+        par.classify_par(&s, BUDGET, 8);
+        let stats = par.cache_stats();
+        assert_eq!(stats.misses, seq.misses, "parallel battery re-proved a key");
+        assert_eq!(stats.hits + stats.misses, seq.hits + seq.misses);
     }
 
     #[test]

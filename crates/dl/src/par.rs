@@ -1,0 +1,125 @@
+//! A scoped-thread fan-out for embarrassingly parallel query batteries.
+//!
+//! The classification and per-role sweep workloads are batteries of
+//! *independent* satisfiability queries against one shared, read-only
+//! TBox — the cheapest parallelism a DL reasoner can buy. [`fan_out`]
+//! partitions such a battery across a small pool of scoped threads
+//! (`std::thread::scope`, so borrowed inputs need no `'static` bound and
+//! no external thread-pool/registry dependency) and returns the results
+//! in input order.
+//!
+//! Work is scheduled *dynamically*: workers claim the next unprocessed
+//! index from a shared atomic counter, so a few expensive queries (an
+//! unsatisfiable type whose refutation explores many branches) cannot
+//! strand a statically assigned chunk while other workers sit idle.
+//! Results are written into pre-assigned slots, which keeps the output
+//! order identical to the sequential `items.iter().map(f)` order — the
+//! differential suites compare the two element for element.
+//!
+//! ```
+//! use orm_dl::par::fan_out;
+//!
+//! let inputs: Vec<u64> = (0..100).collect();
+//! let squares = fan_out(&inputs, 4, |_, &x| x * x);
+//! assert_eq!(squares[10], 100);
+//! assert_eq!(squares.len(), inputs.len());
+//! ```
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Upper bound on worker threads [`default_threads`] reports — a battery
+/// rarely has enough independent weight to feed more, and the shard
+/// count of the verdict cache ([`crate::cache::DEFAULT_SHARDS`]) is
+/// sized to keep this many workers off each other's locks.
+const MAX_DEFAULT_THREADS: usize = 8;
+
+/// The hardware parallelism available to a fan-out, clamped to
+/// [1, 8]. Callers that pass this to [`fan_out`] get a pool matched to
+/// the machine; passing any other value is equally valid.
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get()).min(MAX_DEFAULT_THREADS)
+}
+
+/// Apply `f` to every item of `items` across up to `threads` scoped
+/// worker threads, returning the results in input order. `f` receives
+/// the item's index alongside the item.
+///
+/// `threads <= 1` (or a battery of at most one item) runs inline on the
+/// calling thread — zero spawn overhead, bitwise-identical behaviour.
+/// Worker panics propagate to the caller when the scope joins.
+pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = threads.min(items.len());
+    if workers <= 1 {
+        return items.iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                let Some(item) = items.get(i) else { break };
+                let result = f(i, item);
+                *slots[i].lock() = Some(result);
+            });
+        }
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index was claimed and completed"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_input_order() {
+        let items: Vec<usize> = (0..257).collect();
+        for threads in [0, 1, 2, 3, 8, 300] {
+            let out = fan_out(&items, threads, |i, &x| {
+                assert_eq!(i, x);
+                x * 3
+            });
+            assert_eq!(out.len(), items.len());
+            for (i, v) in out.into_iter().enumerate() {
+                assert_eq!(v, i * 3, "slot {i} out of order at {threads} threads");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_and_singleton_batteries() {
+        let empty: [u8; 0] = [];
+        assert!(fan_out(&empty, 8, |_, &x| x).is_empty());
+        assert_eq!(fan_out(&[7u8], 8, |_, &x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn workers_share_borrowed_state() {
+        // The scoped pool must observe borrowed (non-'static) inputs and
+        // interior-mutable shared state, exactly how the query batteries
+        // use it (shared &TBox + &SatShards).
+        let counter = AtomicUsize::new(0);
+        let items: Vec<u32> = (0..64).collect();
+        let out = fan_out(&items, 4, |_, &x| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        assert_eq!(out, items);
+    }
+
+    #[test]
+    fn default_threads_is_positive_and_clamped() {
+        let n = default_threads();
+        assert!((1..=8).contains(&n));
+    }
+}

@@ -151,8 +151,15 @@ const NO_PARENT: u32 = u32::MAX;
 type DepSet = u64;
 
 /// The conflict-set bit of decision level `level` (1-based).
+///
+/// Total over all inputs: the engine only opens levels starting at 1
+/// (asserted in debug builds), but a stray `choice_bit(0)` maps to bit 0
+/// instead of underflowing `level - 1` (which panicked in debug and
+/// wrapped to the saturation bit 63 in release — silently poisoning the
+/// dependency set of every precise level-63 decision).
 fn choice_bit(level: u32) -> DepSet {
-    1u64 << (level - 1).min(63)
+    debug_assert!(level >= 1, "decision levels are 1-based");
+    1u64 << level.saturating_sub(1).min(63)
 }
 
 /// Whether `level` owns its bit exclusively (bits 0–62). Only precise
@@ -1182,6 +1189,45 @@ mod tests {
                 case.name
             );
         }
+    }
+
+    /// Conflicts raised while no choice point is open (decision level 0)
+    /// must refute cleanly: the dependency machinery only mints bits for
+    /// levels ≥ 1, so a level-0 clash carries an empty conflict set and
+    /// must neither panic (the old `(level - 1)` underflow) nor smuggle a
+    /// phantom bit into the dependency set.
+    #[test]
+    fn level_zero_conflicts_are_total() {
+        // Immediate clash during root seeding: A ⊓ ¬A, empty TBox.
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let query = Concept::and([a.clone(), Concept::not(a.clone())]);
+        assert_eq!(satisfiable(&t, &query, 100_000), DlOutcome::Unsat);
+
+        // Deterministic propagation clash with zero disjunctions opened:
+        // A ⊑ ⊥ dooms A without a single ⊔/≤ choice point.
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Bottom);
+        assert_eq!(satisfiable(&t, &a, 100_000), DlOutcome::Unsat);
+
+        // And the refutation does not corrupt later verdicts in the same
+        // TBox: B stays satisfiable after A's level-0 refutation.
+        let b = Concept::Atomic(t.atom("B"));
+        assert_eq!(satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+    }
+
+    /// `choice_bit` is monotone over precise levels and saturates at 63;
+    /// level 1 (the first real decision) owns bit 0.
+    #[test]
+    fn choice_bits_are_well_placed() {
+        assert_eq!(choice_bit(1), 1);
+        assert_eq!(choice_bit(2), 2);
+        assert_eq!(choice_bit(63), 1 << 62);
+        assert_eq!(choice_bit(64), 1 << 63);
+        assert_eq!(choice_bit(1000), 1 << 63);
+        assert!(precise_level(63));
+        assert!(!precise_level(64));
     }
 
     #[test]

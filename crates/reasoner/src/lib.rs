@@ -106,6 +106,43 @@ pub fn type_satisfiability(schema: &Schema, ty: ObjectTypeId, bounds: Bounds) ->
     find_model(schema, &[Target::Type(ty)], bounds)
 }
 
+/// The per-role battery a whole-schema check runs: one bounded search
+/// per role, in `schema.roles()` order. Unlike [`strong_satisfiability`]
+/// (one search populating *all* roles at once), the sweep localizes each
+/// verdict to its role — the per-element reporting the paper's patterns
+/// produce, re-derived by the complete procedure.
+pub fn role_sweep(schema: &Schema, bounds: Bounds) -> Vec<(RoleId, Outcome)> {
+    schema.roles().map(|(role, _)| (role, role_satisfiability(schema, role, bounds))).collect()
+}
+
+/// [`role_sweep`] fanned out over up to `threads` scoped worker threads
+/// (via [`orm_dl::par::fan_out`]): the per-role searches are fully
+/// independent, each exploring its own population space against the
+/// shared read-only schema. Same verdicts, same order.
+pub fn role_sweep_par(schema: &Schema, bounds: Bounds, threads: usize) -> Vec<(RoleId, Outcome)> {
+    let roles: Vec<RoleId> = schema.roles().map(|(role, _)| role).collect();
+    let outcomes =
+        orm_dl::par::fan_out(&roles, threads, |_, &role| role_satisfiability(schema, role, bounds));
+    roles.into_iter().zip(outcomes).collect()
+}
+
+/// The per-type battery, sequentially.
+pub fn type_sweep(schema: &Schema, bounds: Bounds) -> Vec<(ObjectTypeId, Outcome)> {
+    schema.object_types().map(|(ty, _)| (ty, type_satisfiability(schema, ty, bounds))).collect()
+}
+
+/// [`type_sweep`] fanned out over up to `threads` scoped worker threads.
+pub fn type_sweep_par(
+    schema: &Schema,
+    bounds: Bounds,
+    threads: usize,
+) -> Vec<(ObjectTypeId, Outcome)> {
+    let types: Vec<ObjectTypeId> = schema.object_types().map(|(ty, _)| ty).collect();
+    let outcomes =
+        orm_dl::par::fan_out(&types, threads, |_, &ty| type_satisfiability(schema, ty, bounds));
+    types.into_iter().zip(outcomes).collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -254,6 +291,46 @@ mod tests {
         let s = b.finish();
         let outcome = strong_satisfiability(&s, Bounds::default());
         assert!(matches!(outcome, Outcome::Satisfiable(_)), "got {outcome:?}");
+    }
+
+    #[test]
+    fn parallel_sweeps_match_sequential() {
+        // Fig. 4a shape: r1 mandatory, {r1, r3} exclusive — r3 doomed.
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, b.schema().fact_type(f2).first()]).unwrap();
+        let s = b.finish();
+        let bounds = Bounds::small();
+
+        let seq_roles = role_sweep(&s, bounds);
+        assert!(seq_roles.iter().any(|(_, o)| o.is_unsat_within_bounds()));
+        let seq_types = type_sweep(&s, bounds);
+        for threads in [1, 2, 8] {
+            let par_roles = role_sweep_par(&s, bounds, threads);
+            assert_eq!(par_roles.len(), seq_roles.len());
+            for ((r1, o1), (r2, o2)) in seq_roles.iter().zip(&par_roles) {
+                assert_eq!(r1, r2, "role order changed at {threads} threads");
+                assert_eq!(
+                    (o1.is_sat(), o1.is_unsat_within_bounds()),
+                    (o2.is_sat(), o2.is_unsat_within_bounds()),
+                    "role verdict changed at {threads} threads"
+                );
+            }
+            let par_types = type_sweep_par(&s, bounds, threads);
+            for ((t1, o1), (t2, o2)) in seq_types.iter().zip(&par_types) {
+                assert_eq!(t1, t2);
+                assert_eq!(
+                    (o1.is_sat(), o1.is_unsat_within_bounds()),
+                    (o2.is_sat(), o2.is_unsat_within_bounds())
+                );
+            }
+        }
     }
 
     #[test]

@@ -9,9 +9,13 @@
 //! to the retained classic clone-based engine (`orm_dl::classic`), and
 //! its refutations must be confirmed by the bounded model search and the
 //! nine pattern checkers on fault-injected schemas. The `Translation`
-//! helpers additionally route through the [`orm_dl::SatCache`], so the
-//! cached query path is differentially pinned against the uncached one
-//! (including repeat passes that answer from memory).
+//! helpers additionally route through the sharded verdict cache
+//! ([`orm_dl::SatShards`]), so the cached query path is differentially
+//! pinned against the uncached one (including repeat passes that answer
+//! from memory) — and the **parallel batteries** (`classify_par`,
+//! `role_sweep_par`) are pinned verdict for verdict against their
+//! sequential drivers across several thread counts, with shard-aggregated
+//! cache stats required to equal the sequential totals.
 
 use orm_dl::{translate, DlOutcome};
 use orm_gen::generate;
@@ -221,6 +225,84 @@ proptest! {
                     seed
                 );
             }
+        }
+    }
+
+    /// Differential for the parallel classification battery: on random
+    /// schemas, `classify_par` at 1, 2 and 8 threads returns the pair set
+    /// `classify` returns — same pairs, same order — from a cold cache
+    /// *and* from a warm one (the warm run answers from shards populated
+    /// by the parallel pass itself).
+    #[test]
+    fn classify_par_matches_sequential(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let translation = translate(&schema);
+        let sequential = translation.classify(&schema, DL_BUDGET);
+        for threads in [1usize, 2, 8] {
+            let cold = translation.clone();
+            prop_assert_eq!(
+                &cold.classify_par(&schema, DL_BUDGET, threads),
+                &sequential,
+                "cold parallel classification diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+            prop_assert_eq!(
+                &cold.classify_par(&schema, DL_BUDGET, threads),
+                &sequential,
+                "warm parallel classification diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+        }
+    }
+
+    /// Differential for the parallel role sweep: verdicts and order match
+    /// the sequential sweep at every thread count.
+    #[test]
+    fn role_sweep_par_matches_sequential(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let translation = translate(&schema);
+        let sequential = translation.role_sweep(&schema, DL_BUDGET);
+        for threads in [1usize, 2, 8] {
+            let cold = translation.clone();
+            prop_assert_eq!(
+                &cold.role_sweep_par(&schema, DL_BUDGET, threads),
+                &sequential,
+                "parallel role sweep diverged at {} threads (seed {})",
+                threads,
+                seed
+            );
+        }
+    }
+
+    /// The sharded cache dedups parallel work exactly once per distinct
+    /// root label set: aggregated across shards, a parallel battery's
+    /// miss count — and therefore its hit+miss total — equals the
+    /// sequential battery's, no matter how the threads interleave.
+    #[test]
+    fn shard_stats_aggregate_to_sequential_totals(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let translation = translate(&schema);
+        translation.classify(&schema, DL_BUDGET);
+        translation.role_sweep(&schema, DL_BUDGET);
+        let seq = translation.cache_stats();
+        for threads in [2usize, 8] {
+            let par = translation.clone();
+            par.classify_par(&schema, DL_BUDGET, threads);
+            par.role_sweep_par(&schema, DL_BUDGET, threads);
+            let stats = par.cache_stats();
+            prop_assert_eq!(
+                stats.misses, seq.misses,
+                "a parallel battery re-proved a cached key at {} threads (seed {seed})",
+                threads
+            );
+            prop_assert_eq!(
+                stats.hits + stats.misses,
+                seq.hits + seq.misses,
+                "hit+miss totals diverged at {} threads (seed {seed})",
+                threads
+            );
         }
     }
 
