@@ -12,7 +12,9 @@
 //! `BENCH_tableau.json` for the perf trajectory.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use orm_bench::tableau_scenarios::{all, classify_battery, classify_sweep, BUDGET};
+use orm_bench::tableau_scenarios::{
+    all, classify_battery, classify_sweep, incremental_edit, BUDGET,
+};
 use std::hint::black_box;
 
 fn bench_trail(c: &mut Criterion) {
@@ -84,5 +86,32 @@ fn bench_classify_par(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_trail, bench_classic, bench_sweep, bench_classify_par);
+fn bench_incremental_edit(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tableau_hotpath/incremental_edit");
+    let inc = incremental_edit(10, 6);
+    // One battery population plus the post-edit rounds (the same shared
+    // driver `experiments tableau` times, so the criterion numbers and
+    // the JSON trajectory measure the identical workload); `wholesale`
+    // clears the cache after every edit (the pre-delta-log behavior),
+    // `delta` lets the retention rules keep it warm. The internal ratio
+    // is the incremental-revalidation win.
+    for (label, delta_aware) in [("wholesale", false), ("delta", true)] {
+        group.bench_function(BenchmarkId::from_parameter(format!("{}_{label}", inc.name)), |b| {
+            b.iter(|| {
+                let mut run = inc.populate(BUDGET);
+                black_box(run.edit_rounds(&inc, delta_aware, BUDGET))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_trail,
+    bench_classic,
+    bench_sweep,
+    bench_classify_par,
+    bench_incremental_edit
+);
 criterion_main!(benches);

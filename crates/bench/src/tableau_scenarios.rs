@@ -34,6 +34,7 @@
 
 use orm_dl::concept::{Concept as C, RoleExpr};
 use orm_dl::tbox::TBox;
+use orm_dl::{CacheStats, DlOutcome, SatCache};
 
 /// A named tableau workload: TBox, query, and the budget it needs.
 pub struct Scenario {
@@ -223,6 +224,97 @@ pub fn classify_battery(k: u32, siblings: u32) -> ClassifyBattery {
     let schema = b.finish();
     let types = schema.object_type_count();
     ClassifyBattery { name: format!("classify_battery_{k}x{siblings}"), schema, types }
+}
+
+/// An interactive-editing workload: one large TBox, a classification
+/// battery re-run after each of a series of single-GCI additions — the
+/// per-keystroke loop of the paper's §4 editor scenario. The comparison
+/// is **wholesale invalidation** (the cache emptied after every edit, as
+/// before PR 4) against **delta-aware survival** (one persistent cache
+/// whose entries are retained/revalidated across the additions).
+pub struct IncrementalEditScenario {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// The base terminology (the battery queries never change).
+    pub tbox: TBox,
+    /// The per-round query battery (type sweep + classification matrix).
+    pub queries: Vec<C>,
+    /// One GCI per editing round, added to the TBox in order. Each
+    /// `Extra_i ⊑ A0` mentions an atom no battery witness contains, so a
+    /// delta-aware cache can confirm every stored model in one scan —
+    /// exactly the "unrelated constraint added" case an editor produces.
+    pub edits: Vec<(C, C)>,
+}
+
+/// Build the incremental-edit workload: the `classify_sweep(k, 1)` TBox
+/// and battery, plus `rounds` pre-built single-GCI edits.
+pub fn incremental_edit(k: u32, rounds: u32) -> IncrementalEditScenario {
+    let sweep = classify_sweep(k, 1);
+    let mut tbox = sweep.tbox;
+    let anchor = C::Atomic(tbox.atom("A0"));
+    let edits =
+        (0..rounds).map(|i| (C::Atomic(tbox.atom(format!("Extra{i}"))), anchor.clone())).collect();
+    IncrementalEditScenario {
+        name: format!("incremental_edit_{k}x{rounds}"),
+        tbox,
+        queries: sweep.queries,
+        edits,
+    }
+}
+
+/// One editing session in flight: the scenario's TBox clone plus the
+/// cache that lives (or dies) across its edits. Shared by `experiments
+/// tableau` and the `tableau_hotpath/incremental_edit` criterion group so
+/// the JSON trajectory and the criterion numbers measure the identical
+/// workload.
+pub struct IncrementalEditRun {
+    tbox: TBox,
+    cache: SatCache,
+}
+
+impl IncrementalEditScenario {
+    /// Start a session: clone the base TBox and populate a fresh cache
+    /// with one full battery pass — the untimed warmup both comparison
+    /// modes share.
+    pub fn populate(&self, budget: u64) -> IncrementalEditRun {
+        let tbox = self.tbox.clone();
+        let mut cache = SatCache::new();
+        for q in &self.queries {
+            cache.satisfiable(&tbox, q, budget);
+        }
+        IncrementalEditRun { tbox, cache }
+    }
+}
+
+impl IncrementalEditRun {
+    /// Apply every edit of `scenario` in order, replaying the battery
+    /// after each; the returned verdict stream is what the comparison
+    /// modes must agree on. `delta_aware = false` emulates the pre-delta
+    /// wholesale invalidation by explicitly clearing the cache per edit.
+    pub fn edit_rounds(
+        &mut self,
+        scenario: &IncrementalEditScenario,
+        delta_aware: bool,
+        budget: u64,
+    ) -> Vec<DlOutcome> {
+        let mut verdicts = Vec::with_capacity(scenario.edits.len() * scenario.queries.len());
+        for (c, d) in &scenario.edits {
+            self.tbox.gci(c.clone(), d.clone());
+            if !delta_aware {
+                self.cache.clear();
+            }
+            for q in &scenario.queries {
+                verdicts.push(self.cache.satisfiable(&self.tbox, q, budget));
+            }
+        }
+        verdicts
+    }
+
+    /// The session cache's counters (read `retained`/`revalidated` to see
+    /// the retention rules engage).
+    pub fn stats(&self) -> CacheStats {
+        self.cache.stats()
+    }
 }
 
 /// Budget ample enough that every scenario reaches a definitive verdict.

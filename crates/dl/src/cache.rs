@@ -22,17 +22,40 @@
 //! on the hot path, and the entry is shared with any
 //! [`SatCache::satisfiable`] call that spells the same root label set.
 //!
-//! # Invalidation
+//! # Invalidation — delta-aware since PR 4
 //!
 //! Entries are proved against one TBox state, witnessed by
 //! [`TBox::cache_stamp`] — a process-unique TBox identity plus a mutation
-//! revision. Any mutation bumps the revision, and clones get fresh
-//! identities, so a stamp mismatch (detected on the next query) clears
-//! the cache wholesale and counts one `invalidations`. An **explicit**
-//! [`SatCache::clear`] also drops every entry but is counted separately
-//! in [`CacheStats::clears`] — the two counters partition "cache emptied"
-//! events by cause, so stats never silently drift. There is no way to
-//! observe a stale verdict.
+//! revision. On a revision mismatch the cache no longer clears wholesale:
+//! it asks [`TBox::delta_since`] *what* happened and applies per-entry
+//! retention rules when the delta is pure additions:
+//!
+//! * **`Unsat` entries are kept outright** (counted in
+//!   [`CacheStats::retained`]). Additions are monotone — every model of
+//!   the grown TBox is a model of the old one, so nothing unsatisfiable
+//!   becomes satisfiable.
+//! * **`Sat` entries are revalidated against their stored witness
+//!   model** ([`crate::tableau::Witness`], emitted by every tableau run
+//!   the cache performs): each added GCI is checked to hold at every
+//!   witness node and each added disjointness against every witness
+//!   edge — a linear scan, no tableau rerun. Confirmed entries stay
+//!   (counted in [`CacheStats::revalidated`]); unconfirmed ones are
+//!   dropped individually (counted in [`CacheStats::evicted`]) and
+//!   re-proved lazily on their next query. Added *role inclusions* keep
+//!   only edge-free witnesses (hierarchy growth can re-route `∀`/`≤`
+//!   reasoning across edges).
+//! * **Budget-`Unknown` entries are evicted**: they are facts about a
+//!   proof attempt, not about the TBox, and the grown TBox may well be
+//!   decidable within the same budget.
+//!
+//! A **destructive** delta (axiom retraction) or a different TBox
+//! identity (clones get fresh uids) still clears wholesale and counts one
+//! `invalidations`. An **explicit** [`SatCache::clear`] also drops every
+//! entry but is counted separately in [`CacheStats::clears`] — the
+//! counters partition "entries died" events by cause, so stats never
+//! silently drift. There is no way to observe a stale verdict: retention
+//! only ever keeps entries whose proof provably transfers to the grown
+//! TBox.
 //!
 //! # Budget semantics
 //!
@@ -65,8 +88,15 @@
 //! assert_eq!(cache.satisfiable(&tbox, &again, 100_000), DlOutcome::Unsat);
 //! assert_eq!(cache.stats().hits, 1);
 //!
-//! // Mutating the TBox invalidates every entry.
+//! // Adding an axiom no longer clears the cache: the Unsat entry is
+//! // monotone-safe and survives, so the re-query is another hit.
 //! tbox.gci(b.clone(), a.clone());
+//! assert_eq!(cache.satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
+//! let stats = cache.stats();
+//! assert_eq!((stats.invalidations, stats.retained, stats.hits), (0, 1, 2));
+//!
+//! // Retracting one does: destructive edits clear wholesale.
+//! tbox.retract_gci(1);
 //! assert_eq!(cache.satisfiable(&tbox, &query, 100_000), DlOutcome::Unsat);
 //! assert_eq!(cache.stats().invalidations, 1);
 //! ```
@@ -86,24 +116,38 @@
 
 use crate::arena::{splitmix, Arena, CKind, ConceptId};
 use crate::concept::{Concept, RoleExpr};
-use crate::tableau::{satisfiable, DlOutcome};
-use crate::tbox::TBox;
+use crate::tableau::{satisfiable_with_witness, DlOutcome, Witness};
+use crate::tbox::{AdditionDelta, Delta, TBox};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 
-/// Hit/miss/invalidation counters, for benches and acceptance checks.
+/// Hit/miss/invalidation/retention counters, for benches and acceptance
+/// checks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct CacheStats {
     /// Queries answered from the cache without running the tableau.
     pub hits: u64,
     /// Queries that ran the tableau (and populated an entry).
     pub misses: u64,
-    /// Wholesale clears caused by a TBox stamp change.
+    /// Wholesale clears caused by a TBox identity change or a destructive
+    /// delta (pure additions no longer count here — see `retained`,
+    /// `revalidated` and `evicted`).
     pub invalidations: u64,
     /// Wholesale clears requested explicitly through [`SatCache::clear`]
     /// (kept apart from `invalidations` so the two causes stay
     /// distinguishable).
     pub clears: u64,
+    /// `Unsat` entries kept verbatim across a pure-addition delta
+    /// (additions are monotone: nothing unsatisfiable becomes
+    /// satisfiable).
+    pub retained: u64,
+    /// `Sat` entries whose stored witness model confirmed every added
+    /// axiom — kept without a tableau rerun.
+    pub revalidated: u64,
+    /// Entries dropped individually during a pure-addition delta (witness
+    /// could not confirm an added axiom, or the entry was a
+    /// budget-`Unknown`); each is re-proved lazily on its next query.
+    pub evicted: u64,
 }
 
 impl CacheStats {
@@ -115,20 +159,25 @@ impl CacheStats {
             misses: self.misses + other.misses,
             invalidations: self.invalidations + other.invalidations,
             clears: self.clears + other.clears,
+            retained: self.retained + other.retained,
+            revalidated: self.revalidated + other.revalidated,
+            evicted: self.evicted + other.evicted,
         }
     }
 }
 
-/// A cached verdict. `Sat`/`Unsat` are final; `Unknown` records the
-/// largest budget that failed to decide the query.
-#[derive(Clone, Copy, Debug)]
+/// A cached verdict. `Sat`/`Unsat` are final; `Sat` carries the witness
+/// model its tableau run produced (the handle delta revalidation checks
+/// new axioms against); `Unknown` records the largest budget that failed
+/// to decide the query.
+#[derive(Clone, Debug)]
 enum Entry {
-    Sat,
+    Sat { witness: Option<Witness> },
     Unsat,
     Unknown { budget: u64 },
 }
 
-/// Memoizes [`satisfiable`] verdicts per root label set for one TBox
+/// Memoizes [`crate::tableau::satisfiable`] verdicts per root label set for one TBox
 /// state. See the [module docs](self) for key and budget semantics.
 #[derive(Clone, Debug, Default)]
 pub struct SatCache {
@@ -171,18 +220,71 @@ impl SatCache {
         self.stats.clears += 1;
     }
 
-    /// Clear when `tbox` is not the TBox state the entries were proved
-    /// against.
+    /// Reconcile the cache with `tbox`'s current state: nothing on a
+    /// stamp match, per-entry retention on a pure-addition delta of the
+    /// same TBox, wholesale clear on identity change or destruction.
     fn validate(&mut self, tbox: &TBox) {
         let stamp = tbox.cache_stamp();
-        if self.stamp != Some(stamp) {
-            if self.stamp.is_some() {
-                self.stats.invalidations += 1;
-            }
-            self.entries.clear();
-            self.arena = Arena::new();
-            self.stamp = Some(stamp);
+        if self.stamp == Some(stamp) {
+            return;
         }
+        if let Some((uid, revision)) = self.stamp {
+            if uid == stamp.0 {
+                if let Delta::Additions(delta) = tbox.delta_since(revision) {
+                    self.revalidate(tbox, &delta);
+                    self.stamp = Some(stamp);
+                    return;
+                }
+            }
+            // Different TBox value or destructive history: nothing proved
+            // before can be trusted.
+            self.stats.invalidations += 1;
+        }
+        self.entries.clear();
+        self.arena = Arena::new();
+        self.stamp = Some(stamp);
+    }
+
+    /// Apply the retention rules for a pure-addition delta: keep `Unsat`
+    /// outright, re-check each `Sat` witness against the added axioms,
+    /// evict everything else. One linear scan over the entries — the
+    /// arena (and with it every key) survives untouched.
+    fn revalidate(&mut self, tbox: &TBox, delta: &AdditionDelta<'_>) {
+        if delta.is_empty() {
+            return;
+        }
+        // One closure build covers every witness's disjointness scan; the
+        // common all-GCI delta skips it entirely.
+        let closure = (!delta.disjoint_roles.is_empty()).then(|| tbox.role_closure());
+        let role_hierarchy_grew = !delta.role_inclusions.is_empty();
+        // In-place retain (no re-hash, no reallocation — the common case
+        // keeps everything); counters are locals because `retain` holds
+        // the entries borrow.
+        let (mut retained, mut revalidated, mut evicted) = (0, 0, 0);
+        self.entries.retain(|_, entry| match entry {
+            Entry::Unsat => {
+                retained += 1;
+                true
+            }
+            Entry::Unknown { .. } | Entry::Sat { witness: None } => {
+                evicted += 1;
+                false
+            }
+            Entry::Sat { witness: Some(witness) } => {
+                let confirmed = (!role_hierarchy_grew || !witness.has_role_edges())
+                    && closure.as_ref().is_none_or(|c| witness.respects_disjointness(c))
+                    && delta.gcis.iter().all(|(c, d)| witness.confirms_gci(c, d));
+                if confirmed {
+                    revalidated += 1;
+                } else {
+                    evicted += 1;
+                }
+                confirmed
+            }
+        });
+        self.stats.retained += retained;
+        self.stats.revalidated += revalidated;
+        self.stats.evicted += evicted;
     }
 
     /// The canonical root label set of `query`: its interned top-level
@@ -220,7 +322,7 @@ impl SatCache {
     /// entry answers (see the budget semantics in the module docs).
     fn probe(&mut self, key: &[ConceptId], budget: u64) -> Option<DlOutcome> {
         let outcome = match self.entries.get(key)? {
-            Entry::Sat => DlOutcome::Sat,
+            Entry::Sat { .. } => DlOutcome::Sat,
             Entry::Unsat => DlOutcome::Unsat,
             Entry::Unknown { budget: tried } if *tried >= budget => {
                 // The cached attempt had at least this much budget and
@@ -233,18 +335,26 @@ impl SatCache {
         Some(outcome)
     }
 
-    /// Remember what a tableau run under `budget` learned about `key`.
-    fn record(&mut self, key: Box<[ConceptId]>, verdict: DlOutcome, budget: u64) {
+    /// Remember what a tableau run under `budget` learned about `key`
+    /// (`Sat` keeps the run's witness model for later delta
+    /// revalidation).
+    fn record(
+        &mut self,
+        key: Box<[ConceptId]>,
+        verdict: DlOutcome,
+        budget: u64,
+        witness: Option<Witness>,
+    ) {
         let entry = match verdict {
-            DlOutcome::Sat => Entry::Sat,
+            DlOutcome::Sat => Entry::Sat { witness },
             DlOutcome::Unsat => Entry::Unsat,
             DlOutcome::ResourceLimit => Entry::Unknown { budget },
         };
         self.entries.insert(key, entry);
     }
 
-    /// Cached [`satisfiable`]: consult the verdict cache, fall back to the
-    /// tableau on a miss, and remember what it learned.
+    /// Cached [`crate::tableau::satisfiable`]: consult the verdict cache,
+    /// fall back to the tableau on a miss, and remember what it learned.
     pub fn satisfiable(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
         self.validate(tbox);
         let key = self.key(query);
@@ -252,8 +362,8 @@ impl SatCache {
             return verdict;
         }
         self.stats.misses += 1;
-        let verdict = satisfiable(tbox, query, budget);
-        self.record(key, verdict, budget);
+        let (verdict, witness) = satisfiable_with_witness(tbox, query, budget);
+        self.record(key, verdict, budget, witness);
         verdict
     }
 
@@ -282,8 +392,8 @@ impl SatCache {
                 self.stats.misses += 1;
                 let query =
                     Concept::and([self.arena.resolve(sub_id), self.arena.resolve(neg_sup_id)]);
-                let verdict = satisfiable(tbox, &query, budget);
-                self.record(key, verdict, budget);
+                let (verdict, witness) = satisfiable_with_witness(tbox, &query, budget);
+                self.record(key, verdict, budget, witness);
                 verdict
             }
         };
@@ -369,7 +479,7 @@ impl SatShards {
         &self.shards[(route % self.shards.len() as u64) as usize]
     }
 
-    /// Cached [`satisfiable`] through the owning shard (see
+    /// Cached [`crate::tableau::satisfiable`] through the owning shard (see
     /// [`SatCache::satisfiable`] for key/budget semantics).
     pub fn satisfiable(&self, tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
         self.shard(route_satisfiable(query)).lock().satisfiable(tbox, query, budget)
@@ -561,17 +671,167 @@ mod tests {
         assert_eq!(cache.stats().hits, 1);
     }
 
+    /// Retention rule 1: `Unsat` entries survive any pure addition
+    /// outright (additions are monotone), answering the re-query as a
+    /// hit with zero invalidations.
     #[test]
-    fn mutation_invalidates() {
+    fn unsat_survives_pure_addition() {
         let (mut t, a, b) = ab_tbox();
         let mut cache = SatCache::new();
         let q = Concept::and([a.clone(), Concept::not(b.clone())]);
         assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
-        // New axiom: same query must be re-proved, not replayed.
         t.gci(b.clone(), a.clone());
         assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
-        assert_eq!(cache.stats().invalidations, 1);
-        assert_eq!(cache.stats().misses, 2);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 0, "addition cleared the cache wholesale");
+        assert_eq!(stats.retained, 1);
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+        // Role-axiom additions keep Unsat entries too.
+        let r = RoleExpr::direct(t.role("R"));
+        let s = RoleExpr::direct(t.role("S"));
+        t.role_inclusion(r, s);
+        t.disjoint(r, s);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(stats.retained, 2, "one per addition-delta the entry lived through");
+        assert_eq!(stats.hits, 2);
+    }
+
+    /// Retention rule 2: a `Sat` entry whose witness confirms the added
+    /// axioms is kept (revalidated); one whose witness cannot confirm
+    /// them is evicted individually and re-proved on the next query —
+    /// with the *new* verdict.
+    #[test]
+    fn sat_witness_revalidation_keeps_or_evicts() {
+        let (mut t, a, b) = ab_tbox();
+        let c = Concept::Atomic(t.atom("C"));
+        let mut cache = SatCache::new();
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        // `C ⊑ B` leaves the witness untouched (no node mentions C).
+        t.gci(c.clone(), b.clone());
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        let stats = cache.stats();
+        assert_eq!((stats.invalidations, stats.revalidated, stats.hits), (0, 1, 1));
+        // `A ⊑ ⊥` is violated by the witness (its root carries A): the
+        // entry is evicted and the re-query re-proves — now Unsat.
+        t.gci(a.clone(), Concept::Bottom);
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Unsat);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 0);
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.misses, 2, "evicted entry must be re-proved");
+    }
+
+    /// Retention rule 3: destructive edits (axiom retraction) still clear
+    /// wholesale — removals grow the model class, so no stored proof
+    /// transfers.
+    #[test]
+    fn destructive_edit_clears_wholesale() {
+        let (mut t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        let retracted = t.retract_gci(0);
+        assert_eq!(retracted, (a.clone(), b.clone()));
+        // Without A ⊑ B the query is satisfiable — a replayed entry would
+        // be observably wrong.
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Sat);
+        let stats = cache.stats();
+        assert_eq!(stats.invalidations, 1);
+        assert_eq!((stats.retained, stats.revalidated), (0, 0));
+        assert_eq!(stats.misses, 2);
+    }
+
+    /// Budget-`Unknown` entries are evicted on any delta: the grown TBox
+    /// may be decidable within the budget that previously ran out.
+    #[test]
+    fn unknown_entries_evicted_on_additions() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
+        let mut cache = SatCache::new();
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::ResourceLimit);
+        t.gci(b.clone(), Concept::Top);
+        // The entry is gone: the query re-runs rather than replaying the
+        // stale Unknown.
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::ResourceLimit);
+        let stats = cache.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.misses, 2);
+        assert_eq!(stats.hits, 0);
+    }
+
+    /// Interning a fresh name is not a mutation: entries survive without
+    /// even a revalidation pass.
+    #[test]
+    fn fresh_names_leave_entries_untouched() {
+        let (mut t, a, b) = ab_tbox();
+        let mut cache = SatCache::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        t.atom("Fresh");
+        t.role("FreshRole");
+        assert_eq!(cache.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        let stats = cache.stats();
+        assert_eq!((stats.invalidations, stats.retained, stats.revalidated), (0, 0, 0));
+        assert_eq!((stats.misses, stats.hits), (1, 1));
+    }
+
+    /// Role-inclusion additions keep edge-free `Sat` witnesses and evict
+    /// edged ones (hierarchy growth can re-route `∀`/`≤` reasoning).
+    #[test]
+    fn role_inclusions_keep_only_edge_free_witnesses() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let s = RoleExpr::direct(t.role("S"));
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), Concept::some(r));
+        let mut cache = SatCache::new();
+        // `a` forces an R-edge in its witness; `b` stays edge-free.
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+        t.role_inclusion(r, s);
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        let stats = cache.stats();
+        assert_eq!(stats.revalidated, 1, "edge-free witness should survive");
+        assert_eq!(stats.evicted, 1, "edged witness must be re-proved");
+        assert_eq!(stats.misses, 3);
+    }
+
+    /// Disjointness additions are checked against the witness's edges:
+    /// a violated witness is evicted (and the re-proof may flip the
+    /// verdict), an untouched one survives.
+    #[test]
+    fn disjointness_additions_check_witness_edges() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let s = RoleExpr::direct(t.role("S"));
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), Concept::and([Concept::some(r), Concept::some(s)]));
+        let mut cache = SatCache::new();
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+        // R and S land on *different* witness edges here, so both
+        // entries survive the new disjointness.
+        t.disjoint(r, s);
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+        let stats = cache.stats();
+        assert_eq!((stats.revalidated, stats.evicted), (2, 0));
+        // A self-disjointness on R violates `a`'s witness edge: evicted,
+        // re-proved, and genuinely Unsat now.
+        t.disjoint(r, r);
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Unsat);
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Sat);
+        let stats = cache.stats();
+        assert_eq!(stats.evicted, 1);
+        assert_eq!(stats.invalidations, 0);
     }
 
     /// Explicit clears are observable in `stats().clears` — they used to

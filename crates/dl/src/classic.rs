@@ -41,7 +41,7 @@ pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
     let internal = tbox.internalized();
     let mut root_label = BTreeSet::new();
     add_concept(&mut root_label, query.clone());
-    add_concept(&mut root_label, internal.clone());
+    add_concept(&mut root_label, (*internal).clone());
     let graph = Forest {
         nodes: vec![Node {
             alive: true,

@@ -9,8 +9,10 @@
 //!   role disjointness — exactly what the binary-ORM mapping needs; DLR's
 //!   n-ary features degenerate to this fragment for binary predicates);
 //! * [`tbox`] — TBoxes of general concept inclusions, role inclusions and
-//!   role disjointness, with GCI internalization and a mutation-stamped
-//!   identity ([`tbox::TBox::cache_stamp`]) that keys the verdict cache;
+//!   role disjointness, with (memoized) GCI internalization and a
+//!   mutation-stamped identity ([`tbox::TBox::cache_stamp`]) backed by a
+//!   **delta log** ([`tbox::TBox::delta_since`]) that tells caches *what*
+//!   changed, not just *that* something changed;
 //! * [`tableau`] — a sound and terminating tableau procedure with pairwise
 //!   blocking, successor merging, a rule budget, trail-based backtracking
 //!   and dependency-directed backjumping (the retained clone-per-branch
@@ -20,7 +22,11 @@
 //!   locked, stamp-validated shards routed by a structural hash of the
 //!   canonical root label set) consulted by every [`Translation`]
 //!   satisfiability helper so classify-heavy workloads pay for each
-//!   distinct query once — from any number of threads;
+//!   distinct query once — from any number of threads. Entries **survive
+//!   monotone TBox edits**: `Unsat` verdicts are retained outright and
+//!   `Sat` verdicts are revalidated against their stored [`Witness`]
+//!   models, so an editor-in-the-loop session keeps its warm cache
+//!   across constraint additions ([`Translation::edit`]);
 //! * [`par`] — a scoped-thread fan-out ([`par::fan_out`]) driving the
 //!   parallel query batteries [`Translation::classify_par`] and
 //!   [`Translation::role_sweep_par`];
@@ -62,6 +68,6 @@ mod test_scenarios;
 pub use arena::{Arena, ConceptId};
 pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
-pub use orm_to_dl::{translate, Translation};
-pub use tableau::{satisfiable, subsumes, DlOutcome};
-pub use tbox::{RoleClosure, TBox};
+pub use orm_to_dl::{translate, EditSession, Translation};
+pub use tableau::{satisfiable, satisfiable_with_witness, subsumes, DlOutcome, Witness};
+pub use tbox::{AdditionDelta, Delta, EditKind, RoleClosure, TBox};

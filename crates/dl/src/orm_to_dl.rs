@@ -176,6 +176,12 @@ impl Translation {
         schema.roles().map(|(role, _)| (role, self.role_satisfiable(role, budget))).collect()
     }
 
+    /// The per-type satisfiability sweep, in `schema.object_types()`
+    /// order — the sibling battery to [`Translation::role_sweep`].
+    pub fn type_sweep(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, DlOutcome)> {
+        schema.object_types().map(|(ty, _)| (ty, self.type_satisfiable(ty, budget))).collect()
+    }
+
     /// [`Translation::role_sweep`] fanned out over up to `threads` scoped
     /// worker threads. Same verdicts, same order.
     pub fn role_sweep_par(
@@ -187,6 +193,104 @@ impl Translation {
         let roles: Vec<RoleId> = schema.roles().map(|(role, _)| role).collect();
         let verdicts = fan_out(&roles, threads, |_, &role| self.role_satisfiable(role, budget));
         roles.into_iter().zip(verdicts).collect()
+    }
+
+    /// Begin an interactive edit session: constraint additions applied
+    /// through the returned handle mutate the TBox **in place**, so the
+    /// sharded verdict cache stays live and applies the delta retention
+    /// rules (see [`crate::cache`]) instead of dying wholesale — the
+    /// editor-in-the-loop flow re-runs its sweeps against warm shards.
+    ///
+    /// ```
+    /// use orm_dl::{translate, DlOutcome};
+    /// use orm_model::SchemaBuilder;
+    ///
+    /// let mut b = SchemaBuilder::new("s");
+    /// let person = b.entity_type("Person").unwrap();
+    /// let student = b.entity_type("Student").unwrap();
+    /// let employee = b.entity_type("Employee").unwrap();
+    /// b.subtype(student, person).unwrap();
+    /// b.subtype(employee, person).unwrap();
+    /// let schema = b.finish();
+    ///
+    /// let mut t = translate(&schema);
+    /// let sweep = t.type_sweep(&schema, 100_000);
+    /// assert!(sweep.iter().all(|(_, v)| *v == DlOutcome::Sat));
+    ///
+    /// // The modeler adds one exclusion; the re-run sweep replays the
+    /// // unaffected verdicts from the surviving cache entries.
+    /// t.edit().add_type_exclusion(student, employee);
+    /// assert_eq!(t.type_satisfiable(person, 100_000), DlOutcome::Sat);
+    /// let stats = t.cache_stats();
+    /// assert_eq!(stats.invalidations, 0);
+    /// assert!(stats.revalidated > 0);
+    /// ```
+    pub fn edit(&mut self) -> EditSession<'_> {
+        EditSession { t: self }
+    }
+}
+
+/// An interactive edit session over a [`Translation`] (see
+/// [`Translation::edit`]): ORM-level constraint additions translated to
+/// their DL axioms on the fly, against the live TBox. Each method mirrors
+/// one row of the [module-level](self) translation table; all of them are
+/// **pure additions**, so the verdict cache retains or revalidates its
+/// entries instead of clearing. For anything the conveniences do not
+/// cover, [`EditSession::tbox`] exposes the TBox directly — including the
+/// destructive [`TBox::retract_gci`], which the cache answers with a
+/// wholesale clear.
+///
+/// # Panics
+/// The ORM-level methods panic when handed an [`ObjectTypeId`]/[`RoleId`]
+/// the translation has never seen (they index the translation maps), and
+/// on the degenerate inputs `SchemaBuilder` rejects as errors — an empty
+/// mandatory role list (`⊔ ∅ = ⊥` would silently doom the player) and a
+/// self-exclusion. The session has no error channel, so loud beats
+/// silently-unsatisfiable.
+pub struct EditSession<'a> {
+    t: &'a mut Translation,
+}
+
+impl EditSession<'_> {
+    /// Direct access to the TBox for edits the conveniences do not cover.
+    pub fn tbox(&mut self) -> &mut TBox {
+        &mut self.t.tbox
+    }
+
+    /// Add a subtype link `sub <: B` — `C_sub ⊑ C_sup`.
+    pub fn add_subtype(&mut self, sub: ObjectTypeId, sup: ObjectTypeId) {
+        let (c, d) = (self.t.type_concept(sub), self.t.type_concept(sup));
+        self.t.tbox.gci(c, d);
+    }
+
+    /// Declare two object types mutually exclusive — `C_a ⊓ C_b ⊑ ⊥`.
+    pub fn add_type_exclusion(&mut self, a: ObjectTypeId, b: ObjectTypeId) {
+        assert_ne!(a, b, "a type cannot be declared exclusive with itself");
+        let pair = Concept::and([self.t.type_concept(a), self.t.type_concept(b)]);
+        self.t.tbox.gci(pair, Concept::Bottom);
+    }
+
+    /// Make `roles` (disjunctively) mandatory for `player` —
+    /// `C_player ⊑ ⊔ ∃dir(rᵢ).⊤`.
+    pub fn add_mandatory(&mut self, player: ObjectTypeId, roles: &[RoleId]) {
+        assert!(!roles.is_empty(), "a mandatory constraint needs at least one role");
+        let plays = Concept::or(roles.iter().map(|r| self.t.role_concept(*r)).collect::<Vec<_>>());
+        let player = self.t.type_concept(player);
+        self.t.tbox.gci(player, plays);
+    }
+
+    /// Add a subset constraint between two single roles —
+    /// `∃dir(sub).⊤ ⊑ ∃dir(sup).⊤`.
+    pub fn add_role_subset(&mut self, sub: RoleId, sup: RoleId) {
+        let (c, d) = (self.t.role_concept(sub), self.t.role_concept(sup));
+        self.t.tbox.gci(c, d);
+    }
+
+    /// Add an exclusion constraint between two single roles —
+    /// `∃dir(a).⊤ ⊓ ∃dir(b).⊤ ⊑ ⊥`.
+    pub fn add_role_exclusion(&mut self, a: RoleId, b: RoleId) {
+        let pair = Concept::and([self.t.role_concept(a), self.t.role_concept(b)]);
+        self.t.tbox.gci(pair, Concept::Bottom);
     }
 }
 
@@ -670,6 +774,78 @@ mod tests {
         let stats = par.cache_stats();
         assert_eq!(stats.misses, seq.misses, "parallel battery re-proved a key");
         assert_eq!(stats.hits + stats.misses, seq.hits + seq.misses);
+    }
+
+    /// The edit-session flow: constraint additions keep the sharded
+    /// cache live (no wholesale invalidation) and the re-run sweeps agree
+    /// with a from-scratch translation of the edited schema.
+    #[test]
+    fn edit_session_keeps_shards_warm_and_correct() {
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        let s = b.finish();
+        let mut t = translate(&s);
+        // Warm pass: everything satisfiable before the exclusion lands.
+        for (_, v) in t.type_sweep(&s, BUDGET) {
+            assert_eq!(v, DlOutcome::Sat);
+        }
+        // The modeler adds the Fig. 1 exclusion through the session.
+        t.edit().add_type_exclusion(student, employee);
+        let resweep = t.type_sweep(&s, BUDGET);
+        assert_eq!(t.cache_stats().invalidations, 0, "addition thrashed the shards");
+        assert!(t.cache_stats().retained + t.cache_stats().revalidated > 0);
+        // Verdict-for-verdict agreement with a cold translation of the
+        // same edited state.
+        let mut fresh_schema = SchemaBuilder::new("s2");
+        let p2 = fresh_schema.entity_type("Person").unwrap();
+        let s2 = fresh_schema.entity_type("Student").unwrap();
+        let e2 = fresh_schema.entity_type("Employee").unwrap();
+        let phd2 = fresh_schema.entity_type("Phd").unwrap();
+        fresh_schema.subtype(s2, p2).unwrap();
+        fresh_schema.subtype(e2, p2).unwrap();
+        fresh_schema.subtype(phd2, s2).unwrap();
+        fresh_schema.subtype(phd2, e2).unwrap();
+        fresh_schema.exclusive_types([s2, e2]).unwrap();
+        let edited = fresh_schema.finish();
+        let cold = translate(&edited);
+        let cold_sweep = cold.type_sweep(&edited, BUDGET);
+        for ((_, warm), (_, coldv)) in resweep.iter().zip(&cold_sweep) {
+            assert_eq!(warm, coldv, "warm-shard verdict diverged from cold translation");
+        }
+        // And the edit actually bit: Phd is now unsatisfiable.
+        assert_eq!(t.type_satisfiable(phd, BUDGET), DlOutcome::Unsat);
+    }
+
+    #[test]
+    fn edit_session_role_ops_match_builder_translation() {
+        // Fig. 4a built interactively: mandatory + exclusion added
+        // through the session instead of the schema builder.
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let s = b.finish();
+        let mut t = translate(&s);
+        assert_eq!(t.role_satisfiable(r3, BUDGET), DlOutcome::Sat);
+        {
+            let mut session = t.edit();
+            session.add_mandatory(a, &[r1]);
+            session.add_role_exclusion(r1, r3);
+        }
+        assert_eq!(t.role_satisfiable(r3, BUDGET), DlOutcome::Unsat);
+        assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Sat);
+        assert_eq!(t.cache_stats().invalidations, 0);
     }
 
     #[test]

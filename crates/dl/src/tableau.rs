@@ -133,6 +133,129 @@ pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
     }
 }
 
+/// [`satisfiable`], additionally extracting a compact [`Witness`] model
+/// from the final completion forest on a `Sat` verdict (`None`
+/// otherwise). The witness is what lets [`crate::cache::SatCache`]
+/// revalidate `Sat` entries against later TBox additions without
+/// re-running the tableau.
+pub fn satisfiable_with_witness(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+) -> (DlOutcome, Option<Witness>) {
+    let mut engine = Engine::new(tbox, query, budget);
+    if engine.clash.is_some() {
+        return (DlOutcome::Unsat, None);
+    }
+    match engine.search() {
+        SResult::Sat => (DlOutcome::Sat, Some(engine.into_witness())),
+        SResult::Unsat(_) => (DlOutcome::Unsat, None),
+        SResult::Limit => (DlOutcome::ResourceLimit, None),
+    }
+}
+
+/// A compact model witnessing a `Sat` verdict: the label sets of the
+/// alive nodes of the clash-free, complete forest (ids into the
+/// witness's own arena, moved out of the engine — no re-interning) plus
+/// the role-label set of every surviving parent edge.
+///
+/// The point of keeping it is **revalidation without a tableau rerun**:
+/// when the TBox later grows by pure additions, [`Witness::confirms_gci`]
+/// and [`Witness::respects_disjointness`] check the new axioms against
+/// the stored model in one linear scan. Both checks are *sound
+/// confirmations*: a `true` answer proves the induced model still
+/// satisfies the grown TBox (so the old `Sat` verdict stands); a `false`
+/// answer merely means "could not confirm" — the caller must re-prove,
+/// never flip the verdict.
+///
+/// Memory trade-off: the witness keeps the proving engine's whole arena
+/// (which interned the internalized TBox alongside the query), so a
+/// cache full of `Sat` entries holds one arena per entry — O(TBox) each.
+/// That is the price of id-comparable labels with zero re-interning at
+/// revalidation time; sharing one interner across witnesses would shrink
+/// it at the cost of coupling every entry's lifetime.
+#[derive(Clone, Debug)]
+pub struct Witness {
+    arena: Arena,
+    /// Sorted label set per alive node (the query root is node 0).
+    labels: Vec<Vec<ConceptId>>,
+    /// Role labels of each surviving parent edge.
+    edges: Vec<Vec<RoleExprId>>,
+}
+
+impl Witness {
+    /// Number of (alive) nodes in the witness forest.
+    pub fn node_count(&self) -> usize {
+        self.labels.len()
+    }
+
+    /// Whether the witness asserts any role edges at all. An edge-free
+    /// witness is trivially immune to role-hierarchy growth.
+    pub fn has_role_edges(&self) -> bool {
+        !self.edges.is_empty()
+    }
+
+    /// Whether every node of the witness provably satisfies the new GCI
+    /// `c ⊑ d` — i.e. its internalized form `¬c ⊔ d` holds everywhere.
+    ///
+    /// Soundness rests on two properties of the model a complete
+    /// clash-free forest induces: every concept *in* a node's label holds
+    /// at that node (the tableau soundness lemma), and atom extensions
+    /// are *exactly* the labels, so `¬A` holds wherever `A` is absent.
+    /// The check recurses through `⊓`/`⊔` and falls back to label
+    /// membership for role-quantified concepts (whose semantic evaluation
+    /// would need the blocked successors) — conservative, so `false`
+    /// never proves a violation.
+    ///
+    /// The axiom is interned into the witness's own arena (its ids must
+    /// be comparable with the stored labels): re-checking an axiom is
+    /// free, and each *novel* axiom grows the arena by at most its own
+    /// subconcept count — the deliberate price of the zero-copy label
+    /// scan over a very long editing session.
+    pub fn confirms_gci(&mut self, c: &Concept, d: &Concept) -> bool {
+        let not_c = self.arena.intern_negated(c);
+        let d = self.arena.intern(d);
+        (0..self.labels.len()).all(|n| self.holds(n, not_c) || self.holds(n, d))
+    }
+
+    /// Whether `cid` provably holds at `node` in the induced model.
+    fn holds(&self, node: usize, cid: ConceptId) -> bool {
+        match self.arena.kind(cid) {
+            CKind::Top => true,
+            CKind::And(ids) => ids.iter().all(|c| self.holds(node, *c)),
+            CKind::Or(ids) => ids.iter().any(|c| self.holds(node, *c)),
+            CKind::NotAtomic(_) => {
+                // Sound both ways: ¬A in the label, or A absent from it
+                // (atom extensions are exactly the labels).
+                let complement = self.arena.atom_complement(cid).expect("atoms carry complements");
+                self.labels[node].binary_search(&complement).is_err()
+            }
+            CKind::Bottom => false,
+            // Atoms and role-quantified concepts: membership only.
+            _ => self.labels[node].binary_search(&cid).is_ok(),
+        }
+    }
+
+    /// Whether no edge of the witness violates the disjointness
+    /// declarations of `closure` (built from the *grown* TBox). The
+    /// witness's role ids stay valid because role names are never
+    /// removed, and the model's edges are exactly the forest edges — so
+    /// a clean scan proves the grown disjointness set holds.
+    pub fn respects_disjointness(&self, closure: &RoleClosure) -> bool {
+        if !closure.has_disjointness() {
+            return true;
+        }
+        let mut acc = vec![0u64; closure.words()];
+        self.edges.iter().all(|roles| {
+            acc.iter_mut().for_each(|w| *w = 0);
+            for &r in roles {
+                closure.union_row_into(&mut acc, r);
+            }
+            !closure.edge_violates_disjointness(&acc)
+        })
+    }
+}
+
 /// Internal search verdict: `Unsat` carries the conflict's dependency
 /// set so enclosing choice points can backjump past irrelevant siblings.
 #[derive(Clone, Copy, Debug)]
@@ -334,6 +457,25 @@ impl Engine {
             engine.add_concept(0, cid, 0);
         }
         engine
+    }
+
+    /// Extract the compact witness model of a `Sat` verdict: the alive
+    /// nodes' labels and parent-edge role sets, carrying the engine's
+    /// arena along so the ids stay resolvable (and later axioms can be
+    /// interned into the same id space for revalidation).
+    fn into_witness(self) -> Witness {
+        let mut labels = Vec::new();
+        let mut edges = Vec::new();
+        for node in &self.nodes {
+            if !node.alive {
+                continue;
+            }
+            labels.push(node.label.clone());
+            if node.parent != NO_PARENT && !node.edge.is_empty() {
+                edges.push(node.edge.clone());
+            }
+        }
+        Witness { arena: self.arena, labels, edges }
     }
 
     fn role_mix(role: RoleExprId) -> u64 {
@@ -1174,6 +1316,7 @@ impl Engine {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::concept::RoleExpr;
 
     /// The shared scenario suite (see `crate::test_scenarios`): every rule
     /// interaction with its expected verdict, run through the trail-based
@@ -1228,6 +1371,65 @@ mod tests {
         assert_eq!(choice_bit(1000), 1 << 63);
         assert!(precise_level(63));
         assert!(!precise_level(64));
+    }
+
+    /// Witness extraction: every `Sat` verdict yields a model whose root
+    /// carries the query, and the confirmation checks behave soundly on
+    /// axioms the model does / does not determine.
+    #[test]
+    fn witness_confirms_unaffecting_gcis() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let fresh = Concept::Atomic(t.atom("Fresh"));
+        t.gci(a.clone(), b.clone());
+        let (verdict, witness) = satisfiable_with_witness(&t, &a, 100_000);
+        assert_eq!(verdict, DlOutcome::Sat);
+        let mut w = witness.expect("Sat carries a witness");
+        assert!(w.node_count() >= 1);
+        // `Fresh ⊑ ⊥` is vacuously satisfied: no node mentions Fresh.
+        assert!(w.confirms_gci(&fresh, &Concept::Bottom));
+        // `A ⊑ B` (already an axiom) is confirmed syntactically.
+        assert!(w.confirms_gci(&a, &b));
+        // `A ⊑ Fresh` cannot be confirmed: the root has A but not Fresh.
+        assert!(!w.confirms_gci(&a, &fresh));
+        // `⊤ ⊑ Fresh` likewise.
+        assert!(!w.confirms_gci(&Concept::Top, &fresh));
+    }
+
+    #[test]
+    fn unsat_and_limit_carry_no_witness() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Bottom);
+        assert!(matches!(satisfiable_with_witness(&t, &a, 100_000), (DlOutcome::Unsat, None)));
+        let r = RoleExpr::direct(t.role("R"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(b.clone(), Concept::Exists(r, Box::new(b.clone())));
+        assert!(matches!(satisfiable_with_witness(&t, &b, 1), (DlOutcome::ResourceLimit, None)));
+    }
+
+    #[test]
+    fn witness_edge_checks_respect_new_disjointness() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let s = RoleExpr::direct(t.role("S"));
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::some(r));
+        let (verdict, witness) = satisfiable_with_witness(&t, &a, 100_000);
+        assert_eq!(verdict, DlOutcome::Sat);
+        let w = witness.expect("witness");
+        assert!(w.has_role_edges());
+        // Disjointness between two roles the witness never pairs on one
+        // edge is respected …
+        let mut grown = t.clone();
+        grown.disjoint(r, s);
+        assert!(w.respects_disjointness(&grown.role_closure()));
+        // … and a self-inconsistent declaration on the edge's own role is
+        // caught by the scan.
+        let mut doomed = t.clone();
+        doomed.disjoint(r, r);
+        assert!(!w.respects_disjointness(&doomed.role_closure()));
     }
 
     #[test]

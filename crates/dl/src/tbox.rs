@@ -9,21 +9,87 @@
 
 use crate::arena::{role_expr_id, RoleExprId};
 use crate::concept::{AtomId, Concept, RoleExpr, RoleNameId};
-use std::collections::BTreeSet;
+use parking_lot::Mutex;
+use std::collections::{BTreeSet, HashMap};
+use std::sync::Arc;
+
+/// The kind of one recorded TBox mutation, appended to the delta log by
+/// every revision bump.
+///
+/// The first three kinds are *pure additions*: they shrink the TBox's
+/// model class monotonically (every model of the new TBox is a model of
+/// the old one), which is what lets [`crate::cache::SatCache`] keep
+/// `Unsat` verdicts outright and revalidate `Sat` witnesses instead of
+/// clearing wholesale. `Destructive` covers everything else.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EditKind {
+    /// A general concept inclusion was appended ([`TBox::gci`]).
+    Gci,
+    /// A role inclusion was appended ([`TBox::role_inclusion`]).
+    RoleInclusion,
+    /// A role disjointness pair was appended ([`TBox::disjoint`]).
+    Disjointness,
+    /// A non-monotone edit (e.g. [`TBox::retract_gci`]); caches must
+    /// discard everything proved before it.
+    Destructive,
+}
+
+/// What happened to a TBox between an observed revision and now — the
+/// question [`TBox::delta_since`] answers for revision-stamped caches.
+#[derive(Clone, Copy, Debug)]
+pub enum Delta<'a> {
+    /// No mutation at all: every cached fact still stands.
+    Unchanged,
+    /// Only pure additions: the borrowed tails list exactly the axioms
+    /// that arrived since the observed revision.
+    Additions(AdditionDelta<'a>),
+    /// At least one destructive edit (or an unrecognizable revision):
+    /// nothing proved before can be trusted.
+    Destructive,
+}
+
+/// The axioms added between two revisions of a purely-grown TBox
+/// (borrowed tails of the axiom stores, in insertion order).
+#[derive(Clone, Copy, Debug)]
+pub struct AdditionDelta<'a> {
+    /// GCIs `C ⊑ D` appended since the observed revision.
+    pub gcis: &'a [(Concept, Concept)],
+    /// Role inclusions appended since the observed revision.
+    pub role_inclusions: &'a [(RoleExpr, RoleExpr)],
+    /// Disjoint role pairs appended since the observed revision.
+    pub disjoint_roles: &'a [(RoleExpr, RoleExpr)],
+}
+
+impl AdditionDelta<'_> {
+    /// Whether the delta contains no axioms at all (revision churn from
+    /// edits that cannot affect verdicts).
+    pub fn is_empty(&self) -> bool {
+        self.gcis.is_empty() && self.role_inclusions.is_empty() && self.disjoint_roles.is_empty()
+    }
+}
 
 /// A terminology: named atoms/roles, general concept inclusions, role
 /// inclusions and role disjointness pairs.
 ///
 /// Every TBox carries a *cache stamp* ([`TBox::cache_stamp`]): a
 /// process-unique identity assigned at construction plus a revision
-/// counter bumped by every mutation. [`crate::cache::SatCache`] keys its
-/// verdicts on the stamp, so stale entries can never survive an axiom
-/// change — and because clones receive a fresh identity, two TBoxes that
-/// diverge after a clone can never alias each other's cache lines.
+/// counter bumped by every axiom mutation. Since PR 4 the revision is the
+/// length of a **delta log** ([`TBox::delta_since`]) recording each
+/// mutation's [`EditKind`], so a cache holding entries proved at revision
+/// `r` can ask *what* happened since `r` — pure additions admit
+/// entry-level retention ([`crate::cache::SatCache`]) where the flat
+/// counter could only clear wholesale. Clones receive a fresh identity,
+/// so two TBoxes that diverge after a clone can never alias each other's
+/// cache lines. Interning a *fresh* atom or role name is deliberately
+/// **not** a mutation: a name mentioned by no axiom cannot change any
+/// verdict.
 #[derive(Debug)]
 pub struct TBox {
     atom_names: Vec<String>,
+    /// Name → id index (interning used to be an `O(n)` scan per call).
+    atom_index: HashMap<String, AtomId>,
     role_names: Vec<String>,
+    role_index: HashMap<String, RoleNameId>,
     gcis: Vec<(Concept, Concept)>,
     /// Role inclusions `sub ⊑ sup` (over role expressions; closed under
     /// inversion on query).
@@ -32,8 +98,12 @@ pub struct TBox {
     disjoint_roles: Vec<(RoleExpr, RoleExpr)>,
     /// Process-unique identity (fresh per construction and per clone).
     uid: u64,
-    /// Mutation counter: bumped whenever an axiom or name is added.
-    revision: u64,
+    /// One entry per mutation; the revision is the log length.
+    log: Vec<EditKind>,
+    /// The internalized concept memoized per revision (rebuilt lazily
+    /// when the log has grown; shared by `Arc` so repeated
+    /// satisfiability calls stop cloning every GCI).
+    internal_memo: Mutex<Option<(u64, Arc<Concept>)>>,
 }
 
 fn next_tbox_uid() -> u64 {
@@ -46,12 +116,15 @@ impl Default for TBox {
     fn default() -> TBox {
         TBox {
             atom_names: Vec::new(),
+            atom_index: HashMap::new(),
             role_names: Vec::new(),
+            role_index: HashMap::new(),
             gcis: Vec::new(),
             role_inclusions: Vec::new(),
             disjoint_roles: Vec::new(),
             uid: next_tbox_uid(),
-            revision: 0,
+            log: Vec::new(),
+            internal_memo: Mutex::new(None),
         }
     }
 }
@@ -63,12 +136,15 @@ impl Clone for TBox {
     fn clone(&self) -> TBox {
         TBox {
             atom_names: self.atom_names.clone(),
+            atom_index: self.atom_index.clone(),
             role_names: self.role_names.clone(),
+            role_index: self.role_index.clone(),
             gcis: self.gcis.clone(),
             role_inclusions: self.role_inclusions.clone(),
             disjoint_roles: self.disjoint_roles.clone(),
             uid: next_tbox_uid(),
-            revision: self.revision,
+            log: self.log.clone(),
+            internal_memo: Mutex::new(self.internal_memo.lock().clone()),
         }
     }
 }
@@ -81,31 +157,75 @@ impl TBox {
 
     /// The `(identity, revision)` pair caches key their entries on: the
     /// identity is process-unique per TBox value (clones get their own)
-    /// and the revision increments on every mutation.
+    /// and the revision increments on every axiom mutation (the delta-log
+    /// length — see [`TBox::delta_since`]).
     pub fn cache_stamp(&self) -> (u64, u64) {
-        (self.uid, self.revision)
+        (self.uid, self.revision())
+    }
+
+    /// Current revision: the number of axiom mutations recorded in the
+    /// delta log. Interning fresh names does not count.
+    pub fn revision(&self) -> u64 {
+        self.log.len() as u64
+    }
+
+    /// What happened between `revision` (a value previously read off
+    /// [`TBox::cache_stamp`] for *this* TBox) and now.
+    ///
+    /// Returns [`Delta::Additions`] with the exact axiom tails when every
+    /// intervening mutation was a pure addition, so a cache can retain
+    /// monotone-safe entries and revalidate the rest against just the new
+    /// axioms; any destructive entry in the window (or a revision this
+    /// TBox never reached) degrades to [`Delta::Destructive`].
+    pub fn delta_since(&self, revision: u64) -> Delta<'_> {
+        let now = self.revision();
+        if revision == now {
+            return Delta::Unchanged;
+        }
+        if revision > now {
+            return Delta::Destructive;
+        }
+        let tail = &self.log[revision as usize..];
+        if tail.contains(&EditKind::Destructive) {
+            return Delta::Destructive;
+        }
+        let count = |kind: EditKind| tail.iter().filter(|k| **k == kind).count();
+        let (g, ri, dj) =
+            (count(EditKind::Gci), count(EditKind::RoleInclusion), count(EditKind::Disjointness));
+        Delta::Additions(AdditionDelta {
+            gcis: &self.gcis[self.gcis.len() - g..],
+            role_inclusions: &self.role_inclusions[self.role_inclusions.len() - ri..],
+            disjoint_roles: &self.disjoint_roles[self.disjoint_roles.len() - dj..],
+        })
     }
 
     /// Intern an atomic concept name.
+    ///
+    /// Interning a *fresh* name is not a mutation: an atom mentioned by
+    /// no axiom cannot change any verdict, so the revision (and with it
+    /// every cached verdict) is left alone.
     pub fn atom(&mut self, name: impl Into<String>) -> AtomId {
         let name = name.into();
-        if let Some(i) = self.atom_names.iter().position(|n| *n == name) {
-            return i as AtomId;
+        if let Some(&id) = self.atom_index.get(&name) {
+            return id;
         }
-        self.revision += 1;
+        let id = self.atom_names.len() as AtomId;
+        self.atom_index.insert(name.clone(), id);
         self.atom_names.push(name);
-        (self.atom_names.len() - 1) as AtomId
+        id
     }
 
-    /// Intern a role name.
+    /// Intern a role name (fresh names are not mutations, as with
+    /// [`TBox::atom`]).
     pub fn role(&mut self, name: impl Into<String>) -> RoleNameId {
         let name = name.into();
-        if let Some(i) = self.role_names.iter().position(|n| *n == name) {
-            return i as RoleNameId;
+        if let Some(&id) = self.role_index.get(&name) {
+            return id;
         }
-        self.revision += 1;
+        let id = self.role_names.len() as RoleNameId;
+        self.role_index.insert(name.clone(), id);
         self.role_names.push(name);
-        (self.role_names.len() - 1) as RoleNameId
+        id
     }
 
     /// Resolve an atom's name.
@@ -120,21 +240,35 @@ impl TBox {
 
     /// Add a general concept inclusion `c ⊑ d`.
     pub fn gci(&mut self, c: Concept, d: Concept) {
-        self.revision += 1;
+        self.log.push(EditKind::Gci);
         self.gcis.push((c, d));
     }
 
     /// Add a role inclusion `sub ⊑ sup` (its inverse form `sub⁻ ⊑ sup⁻` is
     /// implied automatically).
     pub fn role_inclusion(&mut self, sub: RoleExpr, sup: RoleExpr) {
-        self.revision += 1;
+        self.log.push(EditKind::RoleInclusion);
         self.role_inclusions.push((sub, sup));
     }
 
     /// Declare two role expressions disjoint.
     pub fn disjoint(&mut self, a: RoleExpr, b: RoleExpr) {
-        self.revision += 1;
+        self.log.push(EditKind::Disjointness);
         self.disjoint_roles.push((a, b));
+    }
+
+    /// Remove the GCI at `index` (an editor deleting a constraint) and
+    /// return it. A **destructive** edit: unlike additions, removals grow
+    /// the model class, so every cached verdict proved before it is
+    /// discarded wholesale on the next query.
+    ///
+    /// # Panics
+    /// Panics when `index` is out of bounds (before the log records
+    /// anything, so a caught panic leaves no phantom destructive entry).
+    pub fn retract_gci(&mut self, index: usize) -> (Concept, Concept) {
+        let removed = self.gcis.remove(index);
+        self.log.push(EditKind::Destructive);
+        removed
     }
 
     /// The concept inclusions.
@@ -161,35 +295,47 @@ impl TBox {
 
     /// The internalized TBox concept `⊓ (¬Cᵢ ⊔ Dᵢ)`, which must hold at
     /// every node of a tableau.
-    pub fn internalized(&self) -> Concept {
-        Concept::and(
+    ///
+    /// Memoized per revision: the concept is built (one `implies` clone
+    /// per GCI) the first time a revision is asked for and then shared by
+    /// `Arc` — a classification battery of `O(n²)` satisfiability calls
+    /// stops re-cloning every GCI per query. Any revision bump (read off
+    /// the delta log) invalidates the memo lazily.
+    pub fn internalized(&self) -> Arc<Concept> {
+        let revision = self.revision();
+        let mut memo = self.internal_memo.lock();
+        if let Some((rev, concept)) = memo.as_ref() {
+            if *rev == revision {
+                return Arc::clone(concept);
+            }
+        }
+        let built = Arc::new(Concept::and(
             self.gcis
                 .iter()
                 .map(|(c, d)| Concept::implies(c.clone(), d.clone()))
                 .collect::<Vec<_>>(),
-        )
+        ));
+        *memo = Some((revision, Arc::clone(&built)));
+        built
     }
 
     /// All super-role expressions of `role`, reflexively and transitively,
-    /// closing inclusions under inversion.
+    /// closing inclusions under inversion (worklist fixed point — the
+    /// previous version re-cloned the whole result set per inner pass).
     pub fn super_roles(&self, role: RoleExpr) -> BTreeSet<RoleExpr> {
         let mut out = BTreeSet::from([role]);
-        loop {
-            let mut grew = false;
+        let mut work = vec![role];
+        while let Some(r) = work.pop() {
             for (sub, sup) in &self.role_inclusions {
-                for r in out.clone() {
-                    if r == *sub && out.insert(*sup) {
-                        grew = true;
-                    }
-                    if r == sub.inverse() && out.insert(sup.inverse()) {
-                        grew = true;
-                    }
+                if r == *sub && out.insert(*sup) {
+                    work.push(*sup);
+                }
+                if r == sub.inverse() && out.insert(sup.inverse()) {
+                    work.push(sup.inverse());
                 }
             }
-            if !grew {
-                return out;
-            }
         }
+        out
     }
 
     /// Whether `sub ⊑* sup` holds in the role hierarchy.
@@ -352,8 +498,94 @@ mod tests {
         let b = t.atom("B");
         t.gci(Concept::Atomic(a), Concept::Atomic(b));
         let internal = t.internalized();
-        assert_eq!(internal, Concept::Or(vec![Concept::NotAtomic(a), Concept::Atomic(b)]));
-        assert_eq!(TBox::new().internalized(), Concept::Top);
+        assert_eq!(*internal, Concept::Or(vec![Concept::NotAtomic(a), Concept::Atomic(b)]));
+        assert_eq!(*TBox::new().internalized(), Concept::Top);
+    }
+
+    /// The memo hands out one shared allocation per revision and rebuilds
+    /// exactly when the delta log grows.
+    #[test]
+    fn internalized_is_memoized_per_revision() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), b.clone());
+        let first = t.internalized();
+        assert!(Arc::ptr_eq(&first, &t.internalized()), "same revision rebuilt the concept");
+        // A fresh name is not a mutation: the memo survives.
+        t.atom("Fresh");
+        assert!(Arc::ptr_eq(&first, &t.internalized()), "name interning dropped the memo");
+        // An axiom is: the memo is rebuilt with the new GCI folded in.
+        t.gci(b.clone(), a.clone());
+        let second = t.internalized();
+        assert!(!Arc::ptr_eq(&first, &second));
+        assert_eq!(
+            *second,
+            Concept::and([Concept::implies(a.clone(), b.clone()), Concept::implies(b, a)])
+        );
+    }
+
+    #[test]
+    fn fresh_names_do_not_bump_revision() {
+        let mut t = TBox::new();
+        let r0 = t.revision();
+        t.atom("A");
+        t.role("R");
+        assert_eq!(t.revision(), r0, "fresh names must not invalidate caches");
+        // Re-interning is also free.
+        t.atom("A");
+        assert_eq!(t.revision(), r0);
+        t.gci(Concept::Atomic(0), Concept::Top);
+        assert_eq!(t.revision(), r0 + 1);
+    }
+
+    #[test]
+    fn delta_since_reports_addition_tails() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let r = t.role("R");
+        t.gci(a.clone(), b.clone());
+        let observed = t.revision();
+        assert!(matches!(t.delta_since(observed), Delta::Unchanged));
+
+        t.gci(b.clone(), a.clone());
+        t.role_inclusion(RoleExpr::direct(r), RoleExpr::inv_of(r));
+        t.disjoint(RoleExpr::direct(r), RoleExpr::inv_of(r));
+        match t.delta_since(observed) {
+            Delta::Additions(delta) => {
+                assert_eq!(delta.gcis, &[(b.clone(), a.clone())]);
+                assert_eq!(delta.role_inclusions.len(), 1);
+                assert_eq!(delta.disjoint_roles.len(), 1);
+                assert!(!delta.is_empty());
+            }
+            other => panic!("expected additions, got {other:?}"),
+        }
+        // From revision 0 the tails cover everything.
+        match t.delta_since(0) {
+            Delta::Additions(delta) => assert_eq!(delta.gcis.len(), 2),
+            other => panic!("expected additions, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn delta_since_degrades_on_destruction() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Bottom);
+        let observed = t.revision();
+        let retracted = t.retract_gci(0);
+        assert_eq!(retracted.0, a);
+        assert!(t.gcis().is_empty());
+        assert!(matches!(t.delta_since(observed), Delta::Destructive));
+        // Additions after the destruction do not launder the window …
+        t.gci(a.clone(), Concept::Top);
+        assert!(matches!(t.delta_since(observed), Delta::Destructive));
+        // … but a window opened after it is clean again.
+        assert!(matches!(t.delta_since(t.revision()), Delta::Unchanged));
+        // A revision from "the future" (e.g. a different TBox's stamp) is
+        // never trusted.
+        assert!(matches!(t.delta_since(t.revision() + 7), Delta::Destructive));
     }
 
     #[test]

@@ -50,6 +50,7 @@ mod search;
 
 pub use search::{find_model, Bounds, Outcome, Target};
 
+use orm_dl::{DlOutcome, Translation};
 use orm_model::{ObjectTypeId, RoleId, Schema};
 
 /// Weak (schema) satisfiability: is there any model at all?
@@ -141,6 +142,81 @@ pub fn type_sweep_par(
     let outcomes =
         orm_dl::par::fan_out(&types, threads, |_, &ty| type_satisfiability(schema, ty, bounds));
     types.into_iter().zip(outcomes).collect()
+}
+
+/// An editor-in-the-loop checking session — the paper's §4 interactive
+/// scenario, where a modeler adds one constraint at a time and expects
+/// per-element feedback after each keystroke.
+///
+/// The session holds one DL [`Translation`] whose **sharded verdict cache
+/// survives monotone schema edits**: additions applied through
+/// [`InteractiveSession::edit`] are recorded in the TBox's delta log, and
+/// the re-run sweeps replay every unaffected verdict from warm shards
+/// (`Unsat` entries are monotone-safe; `Sat` entries are revalidated
+/// against their stored witness models) instead of re-proving the whole
+/// battery — see `orm_dl::cache` for the retention rules.
+///
+/// ```
+/// use orm_model::SchemaBuilder;
+/// use orm_reasoner::InteractiveSession;
+/// use orm_dl::DlOutcome;
+///
+/// let mut b = SchemaBuilder::new("s");
+/// let a = b.entity_type("A").unwrap();
+/// let x = b.entity_type("X").unwrap();
+/// let f1 = b.fact_type("f1", a, x).unwrap();
+/// let f2 = b.fact_type("f2", a, x).unwrap();
+/// let r1 = b.schema().fact_type(f1).first();
+/// let r3 = b.schema().fact_type(f2).first();
+/// let schema = b.finish();
+///
+/// let mut session = InteractiveSession::new(&schema);
+/// assert!(session.role_sweep(&schema, 100_000).iter().all(|(_, v)| *v == DlOutcome::Sat));
+///
+/// // One edit, one warm re-sweep: the exclusion dooms r3 only.
+/// session.edit().add_role_exclusion(r1, r3);
+/// session.edit().add_mandatory(a, &[r1]);
+/// let sweep = session.role_sweep(&schema, 100_000);
+/// assert!(sweep.iter().any(|(r, v)| *r == r3 && *v == DlOutcome::Unsat));
+/// assert_eq!(session.cache_stats().invalidations, 0);
+/// ```
+#[derive(Debug)]
+pub struct InteractiveSession {
+    translation: Translation,
+}
+
+impl InteractiveSession {
+    /// Start a session by translating the schema's current state.
+    pub fn new(schema: &Schema) -> InteractiveSession {
+        InteractiveSession { translation: orm_dl::translate(schema) }
+    }
+
+    /// The underlying translation (TBox, concept maps, unmapped notes).
+    pub fn translation(&self) -> &Translation {
+        &self.translation
+    }
+
+    /// Apply constraint additions for this session (see
+    /// [`orm_dl::EditSession`] for the available operations).
+    pub fn edit(&mut self) -> orm_dl::EditSession<'_> {
+        self.translation.edit()
+    }
+
+    /// The per-role DL sweep against the warm shards.
+    pub fn role_sweep(&self, schema: &Schema, budget: u64) -> Vec<(RoleId, DlOutcome)> {
+        self.translation.role_sweep(schema, budget)
+    }
+
+    /// The per-type DL sweep against the warm shards.
+    pub fn type_sweep(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, DlOutcome)> {
+        self.translation.type_sweep(schema, budget)
+    }
+
+    /// Aggregated cache counters — `retained`/`revalidated` show how much
+    /// of the battery each edit preserved.
+    pub fn cache_stats(&self) -> orm_dl::CacheStats {
+        self.translation.cache_stats()
+    }
 }
 
 #[cfg(test)]
@@ -331,6 +407,48 @@ mod tests {
                 );
             }
         }
+    }
+
+    /// The interactive session's warm re-sweep after an edit equals a
+    /// cold translation of the edited schema, with the cache visibly
+    /// retaining work (nonzero retained+revalidated, zero
+    /// invalidations).
+    #[test]
+    fn interactive_session_matches_cold_translation() {
+        const BUDGET: u64 = 200_000;
+        let build = |with_exclusion: bool| {
+            let mut b = SchemaBuilder::new("s");
+            let person = b.entity_type("Person").unwrap();
+            let student = b.entity_type("Student").unwrap();
+            let employee = b.entity_type("Employee").unwrap();
+            let phd = b.entity_type("Phd").unwrap();
+            b.subtype(student, person).unwrap();
+            b.subtype(employee, person).unwrap();
+            b.subtype(phd, student).unwrap();
+            b.subtype(phd, employee).unwrap();
+            if with_exclusion {
+                b.exclusive_types([student, employee]).unwrap();
+            }
+            (b.finish(), student, employee)
+        };
+        let (schema, student, employee) = build(false);
+        let mut session = InteractiveSession::new(&schema);
+        let before = session.type_sweep(&schema, BUDGET);
+        assert!(before.iter().all(|(_, v)| *v == DlOutcome::Sat));
+
+        session.edit().add_type_exclusion(student, employee);
+        let warm = session.type_sweep(&schema, BUDGET);
+
+        let (edited, ..) = build(true);
+        let cold = orm_dl::translate(&edited).type_sweep(&edited, BUDGET);
+        assert_eq!(
+            warm.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            cold.iter().map(|(_, v)| *v).collect::<Vec<_>>(),
+            "warm session diverged from cold translation"
+        );
+        let stats = session.cache_stats();
+        assert_eq!(stats.invalidations, 0, "the edit thrashed the shards");
+        assert!(stats.retained + stats.revalidated > 0, "no entry survived the edit: {stats:?}");
     }
 
     #[test]
