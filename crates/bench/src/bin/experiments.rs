@@ -114,7 +114,9 @@ fn append_run(previous: Option<&str>, new_run: &str) -> String {
 /// once the file has history — the merge-heavy trail times against the
 /// oldest run's (the backjumping gain; threshold 2×).
 fn tableau_bench(out_path: &str, budget: u64) {
-    use orm_bench::tableau_scenarios::{all, classify_battery, classify_sweep, incremental_edit};
+    use orm_bench::tableau_scenarios::{
+        all, classify_battery, classify_sweep, explain_battery, incremental_edit,
+    };
 
     fn best_secs<F: FnMut() -> orm_dl::DlOutcome>(reps: u32, mut f: F) -> (f64, orm_dl::DlOutcome) {
         let mut best = f64::MAX;
@@ -231,15 +233,13 @@ fn tableau_bench(out_path: &str, budget: u64) {
     let sweep_speedup = uncached / cached.max(1e-9);
     println!(
         "\n{}: {} queries × {} passes — uncached {:.3} ms, cached {:.3} ms \
-         ({:.1}x, {} hits / {} misses), verdicts agree: {}",
+         ({:.1}x; {sweep_stats}), verdicts agree: {}",
         sweep.name,
         sweep.queries.len(),
         sweep.passes,
         uncached * 1e3,
         cached * 1e3,
         sweep_speedup,
-        sweep_stats.hits,
-        sweep_stats.misses,
         if sweep_agree { "yes" } else { "NO" }
     );
     if let Some(gain) = merge_gain_min {
@@ -327,17 +327,120 @@ fn tableau_bench(out_path: &str, budget: u64) {
     let inc_retention_engaged = inc_stats.retained > 0 && inc_stats.revalidated > 0;
     println!(
         "\n{}: {} queries × {} edit rounds — wholesale {:.3} ms, delta-aware {:.3} ms \
-         ({:.1}x; {} retained / {} revalidated / {} evicted), verdicts agree: {}",
+         ({:.1}x; {inc_stats}), verdicts agree: {}",
         inc.name,
         inc.queries.len(),
         inc.edits.len(),
         wholesale_secs * 1e3,
         delta_secs * 1e3,
         inc_speedup,
-        inc_stats.retained,
-        inc_stats.revalidated,
-        inc_stats.evicted,
         if inc_agree { "yes" } else { "NO" }
+    );
+
+    // Unsat-core diagnosis (PR 5): the plain sweep finds the doomed
+    // elements, then each gets a minimal unsat core extracted and mapped
+    // to ORM origins. Extraction is timed cold (fresh shards) and warm
+    // (cores cached beside verdicts); the acceptance checks — every core
+    // sound, minimal and fully attributed — are verified untimed.
+    //
+    // This section always runs at the full default budget, ignoring the
+    // smoke reduction: minimality certification needs every probe to
+    // reach a definitive verdict (a probe dying on a reduced budget
+    // honestly clears `minimal`, which would make the smoke gate flap on
+    // a knob that exists only to shrink the engine-comparison scenarios).
+    let explain_budget = orm_bench::tableau_scenarios::BUDGET;
+    let exp = explain_battery(8);
+    let exp_translation = translate(&exp.schema);
+    let unsat_types: Vec<_> = exp
+        .schema
+        .object_types()
+        .map(|(ty, _)| ty)
+        .filter(|&ty| {
+            exp_translation.type_satisfiable(ty, explain_budget) == orm_dl::DlOutcome::Unsat
+        })
+        .collect();
+    let unsat_roles: Vec<_> = exp
+        .schema
+        .roles()
+        .map(|(r, _)| r)
+        .filter(|&r| {
+            exp_translation.role_satisfiable(r, explain_budget) == orm_dl::DlOutcome::Unsat
+        })
+        .collect();
+    let unsat_elements = unsat_types.len() + unsat_roles.len();
+    let extract = |t: &orm_dl::Translation| -> Vec<(orm_dl::Concept, orm_dl::Explanation)> {
+        let mut out = Vec::new();
+        for &ty in &unsat_types {
+            out.push((t.type_concept(ty), t.explain_type(ty, explain_budget)));
+        }
+        for &r in &unsat_roles {
+            out.push((t.role_concept(r), t.explain_role(r, explain_budget)));
+        }
+        out
+    };
+    let mut explain_cold = f64::MAX;
+    let mut explain_warm = f64::MAX;
+    let mut explained = Vec::new();
+    for _ in 0..3 {
+        let cold = exp_translation.clone();
+        let t0 = Instant::now();
+        explained = extract(&cold);
+        explain_cold = explain_cold.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let replay = extract(&cold);
+        explain_warm = explain_warm.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            explained.iter().map(|(_, e)| e.core().map(|c| c.axioms.clone())).collect::<Vec<_>>(),
+            replay.iter().map(|(_, e)| e.core().map(|c| c.axioms.clone())).collect::<Vec<_>>(),
+            "warm explanation replay diverged from cold extraction"
+        );
+    }
+    // Verification (untimed; on the engine's deep-stack helper —
+    // minimality probes search weakened TBoxes whose refutations can
+    // recurse thousands of levels).
+    let tbox = &exp_translation.tbox;
+    let (cores_extracted, cores_sound, cores_minimal, origins_mapped, mean_core) =
+        orm_dl::explain::with_deep_stack(|| {
+            let mut sound = true;
+            let mut minimal = true;
+            let mut mapped = true;
+            let mut sizes = Vec::new();
+            let mut extracted = explained.len() == unsat_elements && !explained.is_empty();
+            for (query, explanation) in &explained {
+                let Some(core) = explanation.core() else {
+                    extracted = false;
+                    continue;
+                };
+                sizes.push(core.len());
+                sound &= orm_dl::explain::core_refutes(tbox, core, query, explain_budget);
+                minimal &= core.minimal;
+                for i in 0..core.len() {
+                    let mut weakened = core.axioms.clone();
+                    weakened.remove(i);
+                    minimal &=
+                        orm_dl::satisfiable(&tbox.restrict_to(&weakened), query, explain_budget)
+                            == orm_dl::DlOutcome::Sat;
+                }
+                mapped &= !exp_translation.core_origins(core).is_empty();
+            }
+            let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
+            (extracted, sound, minimal, mapped, mean)
+        });
+    let explain_ok = cores_extracted && cores_sound && cores_minimal && origins_mapped;
+    all_agree &= explain_ok;
+    println!(
+        "\n{}: {} unsat elements ({} types, {} roles) — extraction {:.3} ms cold, \
+         {:.3} ms warm; mean core size {:.1}; sound {} / minimal {} / ORM-attributed {}",
+        exp.name,
+        unsat_elements,
+        unsat_types.len(),
+        unsat_roles.len(),
+        explain_cold * 1e3,
+        explain_warm * 1e3,
+        mean_core,
+        if cores_sound { "yes" } else { "NO" },
+        if cores_minimal { "yes" } else { "NO" },
+        if origins_mapped { "yes" } else { "NO" }
     );
 
     // The parallel-speedup bar (2× at 4 threads) is only *applicable* on
@@ -371,6 +474,11 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"wholesale_ms\": {:.4}, \"delta_ms\": {:.4}, \"speedup\": {inc_speedup:.2}, \
          \"retained\": {}, \"revalidated\": {}, \"evicted\": {}, \
          \"verdicts_agree\": {inc_agree}}},\n      \
+         \"explain\": {{\"name\": \"{}\", \"unsat_elements\": {unsat_elements}, \
+         \"unsat_types\": {}, \"unsat_roles\": {}, \
+         \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"mean_core_size\": {mean_core:.2}, \
+         \"cores_extracted\": {cores_extracted}, \"cores_sound\": {cores_sound}, \
+         \"cores_minimal\": {cores_minimal}, \"origins_mapped\": {origins_mapped}}},\n      \
          \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
          \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
          \"acceptance_threshold\": 5.0,\n      \
@@ -400,6 +508,11 @@ fn tableau_bench(out_path: &str, budget: u64) {
         inc_stats.retained,
         inc_stats.revalidated,
         inc_stats.evicted,
+        exp.name,
+        unsat_types.len(),
+        unsat_roles.len(),
+        explain_cold * 1e3,
+        explain_warm * 1e3,
     );
     let json = append_run(previous.as_deref(), &new_run);
     std::fs::write(out_path, &json).expect("write bench json");
@@ -411,8 +524,10 @@ fn tableau_bench(out_path: &str, budget: u64) {
     );
     // Non-zero exit so the CI smoke step actually gates — but only on
     // signals robust to noisy shared runners: verdict disagreement
-    // (including a sequential/parallel classification mismatch and a
-    // delta-aware/wholesale stream mismatch) is deterministic, as is a
+    // (including a sequential/parallel classification mismatch, a
+    // delta-aware/wholesale stream mismatch, and any diagnosis core that
+    // fails its soundness/minimality/attribution verification — all
+    // folded into `all_agree`) is deterministic, as is a
     // retention machinery that never engages; a collapse below 2× on the
     // ⊔-heavy engine speedup, the sweep's cached-vs-uncached ratio or the
     // incremental-edit ratio means the engine or a cache regressed

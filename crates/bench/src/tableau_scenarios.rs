@@ -226,6 +226,65 @@ pub fn classify_battery(k: u32, siblings: u32) -> ClassifyBattery {
     ClassifyBattery { name: format!("classify_battery_{k}x{siblings}"), schema, types }
 }
 
+/// A diagnosis workload: an ORM schema seeded with several *distinct*
+/// contradictions buried under satisfiable noise, end to end through
+/// `Translation::explain_{type,role}` (PR 5). The interesting measurement
+/// is core extraction on top of the plain sweep — and the acceptance
+/// checks that every extracted core is sound (refutes alone), minimal
+/// (loses refutation power with any single axiom removed) and fully
+/// attributed to named ORM constructs.
+pub struct ExplainScenario {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// The schema whose unsat elements get diagnosed.
+    pub schema: orm_model::Schema,
+}
+
+/// Build the diagnosis workload: three contradiction families from the
+/// paper (Fig. 1 exclusive-subtypes, Fig. 4a mandatory+exclusion,
+/// Fig. 10 uniqueness+frequency) buried in `noise` satisfiable chain
+/// types with mandatory facts — the noise is what makes minimization do
+/// real work, since the seed conflict must be shrunk *past* it.
+pub fn explain_battery(noise: u32) -> ExplainScenario {
+    let mut b = orm_model::SchemaBuilder::new("explain_battery");
+    // Satisfiable noise: a subtype chain with mandatory facts.
+    let chain: Vec<_> =
+        (0..noise.max(1)).map(|i| b.entity_type(&format!("N{i}")).expect("fresh name")).collect();
+    for w in chain.windows(2) {
+        b.subtype(w[1], w[0]).expect("acyclic");
+    }
+    let partner = b.entity_type("Partner").expect("fresh name");
+    for (i, &ty) in chain.iter().enumerate().take(3) {
+        let f = b.fact_type(&format!("n{i}"), ty, partner).expect("fresh name");
+        let r = b.schema().fact_type(f).first();
+        b.mandatory(r).expect("valid");
+    }
+    // Fig. 1: a doomed type under two exclusive supertypes.
+    let student = b.entity_type("Student").expect("fresh name");
+    let employee = b.entity_type("Employee").expect("fresh name");
+    let phd = b.entity_type("Phd").expect("fresh name");
+    b.subtype(student, chain[0]).expect("acyclic");
+    b.subtype(employee, chain[0]).expect("acyclic");
+    b.subtype(phd, student).expect("acyclic");
+    b.subtype(phd, employee).expect("acyclic");
+    b.exclusive_types([student, employee]).expect("distinct");
+    // Fig. 4a: mandatory + exclusion dooms a role.
+    let x = b.entity_type("X").expect("fresh name");
+    let y = b.entity_type("Y").expect("fresh name");
+    let f1 = b.fact_type("f1", student, x).expect("fresh name");
+    let f2 = b.fact_type("f2", student, y).expect("fresh name");
+    let r1 = b.schema().fact_type(f1).first();
+    let r3 = b.schema().fact_type(f2).first();
+    b.mandatory(r1).expect("valid");
+    b.exclusion_roles([r1, r3]).expect("valid");
+    // Fig. 10: uniqueness against frequency on one role.
+    let f3 = b.fact_type("f3", employee, x).expect("fresh name");
+    let r5 = b.schema().fact_type(f3).first();
+    b.unique([r5]).expect("valid");
+    b.frequency([r5], 2, Some(5)).expect("valid");
+    ExplainScenario { name: format!("explain_battery_{noise}"), schema: b.finish() }
+}
+
 /// An interactive-editing workload: one large TBox, a classification
 /// battery re-run after each of a series of single-GCI additions — the
 /// per-keystroke loop of the paper's §4 editor scenario. The comparison

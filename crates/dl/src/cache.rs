@@ -116,10 +116,12 @@
 
 use crate::arena::{splitmix, Arena, CKind, ConceptId};
 use crate::concept::{Concept, RoleExpr};
+use crate::explain::{explain_unsat, Explanation, UnsatCore};
 use crate::tableau::{satisfiable_with_witness, DlOutcome, Witness};
 use crate::tbox::{AdditionDelta, Delta, TBox};
 use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::fmt;
 
 /// Hit/miss/invalidation/retention counters, for benches and acceptance
 /// checks.
@@ -150,6 +152,26 @@ pub struct CacheStats {
     pub evicted: u64,
 }
 
+impl fmt::Display for CacheStats {
+    /// One compact line (`hits 3 / misses 2 / retained 1 / revalidated 0 /
+    /// evicted 0 / invalidations 0 / clears 0`) — the format every example
+    /// and bench report prints instead of hand-assembling the fields.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "hits {} / misses {} / retained {} / revalidated {} / evicted {} / \
+             invalidations {} / clears {}",
+            self.hits,
+            self.misses,
+            self.retained,
+            self.revalidated,
+            self.evicted,
+            self.invalidations,
+            self.clears
+        )
+    }
+}
+
 impl CacheStats {
     /// Field-wise sum — the aggregation [`SatShards::stats`] performs
     /// across its shards.
@@ -168,12 +190,19 @@ impl CacheStats {
 
 /// A cached verdict. `Sat`/`Unsat` are final; `Sat` carries the witness
 /// model its tableau run produced (the handle delta revalidation checks
-/// new axioms against); `Unknown` records the largest budget that failed
-/// to decide the query.
+/// new axioms against); `Unsat` carries its minimal unsat core once an
+/// explanation has been requested (`None` until then — cores are computed
+/// lazily, but never twice); `Unknown` records the largest budget that
+/// failed to decide the query.
+///
+/// Cores survive the pure-addition retention rule alongside their `Unsat`
+/// verdicts: the core's axioms persist under additions (per-kind indices
+/// are append-stable), its restriction is unchanged — so it stays a
+/// certified, minimal core of the grown TBox.
 #[derive(Clone, Debug)]
 enum Entry {
     Sat { witness: Option<Witness> },
-    Unsat,
+    Unsat { core: Option<UnsatCore> },
     Unknown { budget: u64 },
 }
 
@@ -262,7 +291,7 @@ impl SatCache {
         // the entries borrow.
         let (mut retained, mut revalidated, mut evicted) = (0, 0, 0);
         self.entries.retain(|_, entry| match entry {
-            Entry::Unsat => {
+            Entry::Unsat { .. } => {
                 retained += 1;
                 true
             }
@@ -323,7 +352,7 @@ impl SatCache {
     fn probe(&mut self, key: &[ConceptId], budget: u64) -> Option<DlOutcome> {
         let outcome = match self.entries.get(key)? {
             Entry::Sat { .. } => DlOutcome::Sat,
-            Entry::Unsat => DlOutcome::Unsat,
+            Entry::Unsat { .. } => DlOutcome::Unsat,
             Entry::Unknown { budget: tried } if *tried >= budget => {
                 // The cached attempt had at least this much budget and
                 // still ran out: re-running with less cannot do better.
@@ -347,7 +376,7 @@ impl SatCache {
     ) {
         let entry = match verdict {
             DlOutcome::Sat => Entry::Sat { witness },
-            DlOutcome::Unsat => Entry::Unsat,
+            DlOutcome::Unsat => Entry::Unsat { core: None },
             DlOutcome::ResourceLimit => Entry::Unknown { budget },
         };
         self.entries.insert(key, entry);
@@ -365,6 +394,79 @@ impl SatCache {
         let (verdict, witness) = satisfiable_with_witness(tbox, query, budget);
         self.record(key, verdict, budget, witness);
         verdict
+    }
+
+    /// Cached [`crate::explain::explain_unsat`]: minimal unsat cores are
+    /// stored **beside** their `Unsat` verdicts and computed at most once
+    /// per entry lifetime — a repeat explanation request is a hit, and a
+    /// plain [`SatCache::satisfiable`] on the same label set shares the
+    /// entry (the verdict half answers it). A cached `Sat` short-circuits
+    /// to [`Explanation::Satisfiable`] without any tableau run; a cached
+    /// core survives pure additions together with its entry (additions
+    /// change neither the core's axioms nor their restriction).
+    ///
+    /// ```
+    /// use orm_dl::cache::SatCache;
+    /// use orm_dl::concept::Concept;
+    /// use orm_dl::explain::Explanation;
+    /// use orm_dl::tbox::TBox;
+    ///
+    /// let mut tbox = TBox::new();
+    /// let a = Concept::Atomic(tbox.atom("A"));
+    /// let doom = tbox.gci(a.clone(), Concept::Bottom);
+    ///
+    /// let mut cache = SatCache::new();
+    /// let Explanation::Unsat(core) = cache.explain(&tbox, &a, 100_000) else {
+    ///     panic!("A is doomed");
+    /// };
+    /// assert_eq!(core.axioms, vec![doom]);
+    /// // Second request: answered from the stored core.
+    /// assert!(matches!(cache.explain(&tbox, &a, 100_000), Explanation::Unsat(_)));
+    /// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
+    /// ```
+    pub fn explain(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+        self.validate(tbox);
+        let key = self.key(query);
+        match self.entries.get(&key) {
+            Some(Entry::Unsat { core: Some(core) }) => {
+                self.stats.hits += 1;
+                return Explanation::Unsat(core.clone());
+            }
+            Some(Entry::Sat { .. }) => {
+                self.stats.hits += 1;
+                return Explanation::Satisfiable;
+            }
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+                self.stats.hits += 1;
+                return Explanation::ResourceLimit;
+            }
+            // An Unsat entry without a core still needs the extraction
+            // run; Unknowns under a bigger budget re-run like any query.
+            _ => {}
+        }
+        self.stats.misses += 1;
+        let explanation = explain_unsat(tbox, query, budget);
+        match &explanation {
+            Explanation::Unsat(core) => {
+                self.entries.insert(key, Entry::Unsat { core: Some(core.clone()) });
+            }
+            // The explanation path has no witness to store; the entry
+            // still upgrades verdict hits (and is simply evicted instead
+            // of revalidated on the next addition).
+            Explanation::Satisfiable => {
+                self.entries.insert(key, Entry::Sat { witness: None });
+            }
+            // A failed extraction must never *downgrade* a certified
+            // verdict: an `Unsat { core: None }` entry (proved by a
+            // plain query, possibly under a larger budget) stays — only
+            // the explanation attempt failed, not the verdict.
+            Explanation::ResourceLimit => {
+                if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
+                    self.entries.insert(key, Entry::Unknown { budget });
+                }
+            }
+        }
+        explanation
     }
 
     /// Cached [`crate::tableau::subsumes`]: the standard reduction of
@@ -489,6 +591,13 @@ impl SatShards {
     /// [`SatCache::subsumes`]).
     pub fn subsumes(&self, tbox: &TBox, sup: &Concept, sub: &Concept, budget: u64) -> Option<bool> {
         self.shard(route_subsumes(sup, sub)).lock().subsumes(tbox, sup, sub, budget)
+    }
+
+    /// Cached unsat-core extraction through the owning shard (see
+    /// [`SatCache::explain`]); routed like [`SatShards::satisfiable`], so
+    /// a verdict proved by either entry point answers the other.
+    pub fn explain(&self, tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+        self.shard(route_satisfiable(query)).lock().explain(tbox, query, budget)
     }
 
     /// Counters aggregated across all shards.
@@ -855,6 +964,34 @@ mod tests {
         assert_eq!(stats.invalidations, 0);
         assert_eq!(stats.clears, 1);
         assert_eq!(stats.misses, 2);
+    }
+
+    /// A failed explanation attempt must never downgrade a certified
+    /// verdict: an `Unsat` entry proved by a plain query (possibly under
+    /// a larger budget) survives a small-budget `explain` that runs out
+    /// of budget — the verdict keeps answering, only the core is absent.
+    #[test]
+    fn failed_explanation_does_not_downgrade_unsat() {
+        use crate::explain::Explanation;
+        // B ⊑ C, C ⊑ ⊥: refuting B needs actual rule applications (the
+        // internalized `¬B ⊔ C` opens a choice point), so a zero budget
+        // cannot re-derive what the funded run proved.
+        let mut t = TBox::new();
+        let b = Concept::Atomic(t.atom("B"));
+        let c = Concept::Atomic(t.atom("C"));
+        t.gci(b.clone(), c.clone());
+        t.gci(c.clone(), Concept::Bottom);
+        let mut cache = SatCache::new();
+        // Certify the verdict through the plain path with an ample budget.
+        assert_eq!(cache.satisfiable(&t, &b, 100_000), DlOutcome::Unsat);
+        // A starved explanation request fails …
+        assert_eq!(cache.explain(&t, &b, 0), Explanation::ResourceLimit);
+        // … but the certified Unsat entry still answers, as a hit.
+        let hits_before = cache.stats().hits;
+        assert_eq!(cache.satisfiable(&t, &b, 0), DlOutcome::Unsat);
+        assert_eq!(cache.stats().hits, hits_before + 1, "verdict entry was destroyed");
+        // And a funded explanation later completes and stores the core.
+        assert!(matches!(cache.explain(&t, &b, 100_000), Explanation::Unsat(_)));
     }
 
     #[test]

@@ -1,0 +1,400 @@
+//! Unsat-core extraction: *which axioms* make a query unsatisfiable.
+//!
+//! A bare `Unsat` verdict tells an ORM modeler that a type or role can
+//! never be populated — but not which of the schema's constraints gang up
+//! on it. This module turns a refutation into a **minimal unsat core**: a
+//! set of TBox axioms that (a) still refutes the query on its own and
+//! (b) stops refuting it when any single axiom is removed. Mapped back
+//! through the `orm_to_dl` provenance table and verbalized, the core *is*
+//! the diagnosis the paper's interactive scenario calls for.
+//!
+//! # Algorithm
+//!
+//! 1. **Seed** — run the tableau with axiom-usage tracking
+//!    ([`crate::tableau::satisfiable_with_conflict`]). Every derived fact
+//!    carries the set of axioms it transitively rests on, so the final
+//!    conflict names a (conservative, possibly saturated) superset of one
+//!    refutation's axioms — usually far smaller than the whole TBox.
+//! 2. **Verify** — re-prove the query against the seed's restriction
+//!    ([`crate::tbox::TBox::restrict_to`]). The usage sets are heuristic;
+//!    only an actual `Unsat` run over the restricted TBox certifies the
+//!    seed. An unconfirmed seed falls back to the full axiom set (which
+//!    step 1 proved unsatisfiable).
+//! 3. **Shrink** — deletion-based minimization: drop one axiom at a time
+//!    and keep the deletion whenever the rest still refutes the query.
+//!    Each "still refutes" probe again runs with tracking, and the probe's
+//!    own (verified) conflict set can discard *several* axioms at once —
+//!    the backjumping conflict sets double as a core-refinement
+//!    accelerator. Satisfiability is anti-monotone in the axiom set
+//!    (removing axioms only grows the model class), so an axiom whose
+//!    removal once made the query satisfiable can never re-enter: the
+//!    final set is minimal in one left-to-right pass.
+//!
+//! # Guarantees
+//!
+//! * Every returned core is itself unsatisfiable for the query — certified
+//!   by an actual tableau run, never inferred from the usage sets.
+//! * When [`UnsatCore::minimal`] is `true` (every probe reached a
+//!   definitive verdict), removing any single axiom from the core flips
+//!   the verdict to `Sat`. A probe that dies on the budget keeps its axiom
+//!   conservatively and clears the flag: the core is still a certified
+//!   unsat core, just possibly not minimal.
+//! * The outcome classification always agrees with the plain
+//!   [`crate::tableau::satisfiable`] verdict: `Unsat(_)` exactly when the
+//!   plain run answers `Unsat`.
+//!
+//! The differential property tests in `tests/explain_dl.rs` pin all three
+//! guarantees across random schemas.
+
+use crate::concept::Concept;
+use crate::tableau::{satisfiable, satisfiable_with_conflict, DlOutcome};
+use crate::tbox::{AxiomId, TBox};
+
+/// A certified unsat core: axioms whose restriction still refutes the
+/// query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct UnsatCore {
+    /// The core's axioms, sorted by provenance id. May be empty: a query
+    /// like `A ⊓ ¬A` is self-contradictory under the empty terminology.
+    pub axioms: Vec<AxiomId>,
+    /// Whether minimality is certified: `true` when every deletion probe
+    /// reached a definitive verdict, so removing any single axiom is
+    /// *known* to make the query satisfiable. `false` only when a probe
+    /// ran out of budget and its axiom was kept conservatively.
+    pub minimal: bool,
+}
+
+impl UnsatCore {
+    /// Number of axioms in the core.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the core is empty (the query is self-contradictory).
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+}
+
+/// Outcome of an explanation request — the same three-way split as
+/// [`DlOutcome`], with the `Unsat` arm carrying its core.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Explanation {
+    /// The query is unsatisfiable; here is a certified core.
+    Unsat(UnsatCore),
+    /// The query is satisfiable — nothing to explain.
+    Satisfiable,
+    /// The budget ran out before the *initial* verdict was certain.
+    ResourceLimit,
+}
+
+impl Explanation {
+    /// The plain verdict this explanation corresponds to (what
+    /// [`crate::tableau::satisfiable`] would have answered).
+    pub fn verdict(&self) -> DlOutcome {
+        match self {
+            Explanation::Unsat(_) => DlOutcome::Unsat,
+            Explanation::Satisfiable => DlOutcome::Sat,
+            Explanation::ResourceLimit => DlOutcome::ResourceLimit,
+        }
+    }
+
+    /// The core, when unsatisfiable.
+    pub fn core(&self) -> Option<&UnsatCore> {
+        match self {
+            Explanation::Unsat(core) => Some(core),
+            _ => None,
+        }
+    }
+}
+
+/// Whether `candidate`'s restriction refutes `query`, reporting the
+/// probe's own conflict seed for refinement.
+fn probe(
+    tbox: &TBox,
+    candidate: &[AxiomId],
+    query: &Concept,
+    budget: u64,
+) -> (DlOutcome, Option<Vec<AxiomId>>) {
+    let sub = tbox.restrict_to(candidate);
+    let (verdict, conflict) = satisfiable_with_conflict(&sub, query, budget);
+    // The restricted TBox numbers its axioms 0..n in `candidate` order:
+    // map the conflict back to the caller's provenance ids.
+    let mapped = conflict.map(|ids| {
+        let mut back: Vec<AxiomId> = ids
+            .into_iter()
+            .map(|id| {
+                // Position of the restricted id in flat order == position
+                // in `candidate` grouped by kind; recover it by counting.
+                let flat = sub
+                    .axiom_ids()
+                    .position(|x| x == id)
+                    .expect("conflict ids come from the restricted TBox");
+                // `restrict_to` pushes axioms in `candidate` order, and
+                // flat order groups by kind — rebuild the mapping.
+                candidate_flat_to_original(candidate, flat)
+            })
+            .collect();
+        back.sort_unstable();
+        back.dedup();
+        back
+    });
+    (verdict, mapped)
+}
+
+/// The original id at flat position `flat` of `restrict_to(candidate)`:
+/// the restriction preserves each kind's relative order, and flat order
+/// lists GCIs, then role inclusions, then disjointness.
+fn candidate_flat_to_original(candidate: &[AxiomId], flat: usize) -> AxiomId {
+    use crate::tbox::AxiomKind::{Disjointness, Gci, RoleInclusion};
+    let mut in_order: Vec<&AxiomId> = Vec::with_capacity(candidate.len());
+    for kind in [Gci, RoleInclusion, Disjointness] {
+        in_order.extend(candidate.iter().filter(|a| a.kind == kind));
+    }
+    *in_order[flat]
+}
+
+/// Compute a minimal unsat core of `query` against `tbox` (see the
+/// [module docs](self) for the algorithm and guarantees). Each internal
+/// tableau probe runs under the same `budget` as the initial check.
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::explain::{explain_unsat, Explanation};
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// let ab = tbox.gci(a.clone(), b.clone());
+/// let doom = tbox.gci(Concept::and([a.clone(), b.clone()]), Concept::Bottom);
+/// tbox.gci(b.clone(), Concept::Top); // irrelevant noise
+///
+/// match explain_unsat(&tbox, &a, 100_000) {
+///     Explanation::Unsat(core) => {
+///         assert_eq!(core.axioms, vec![ab, doom]);
+///         assert!(core.minimal);
+///     }
+///     other => panic!("expected a core, got {other:?}"),
+/// }
+/// assert_eq!(explain_unsat(&tbox, &b, 100_000), Explanation::Satisfiable);
+/// ```
+pub fn explain_unsat(tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+    // The minimization probes run the tableau against *weakened* TBoxes,
+    // whose searches can legitimately open thousands of decision levels
+    // within the budget (the axioms that used to close branches early are
+    // exactly what got deleted). `Engine::search` recurses once per open
+    // level, so the whole extraction runs on a scoped worker thread with
+    // a stack sized for the worst case rather than for the caller's.
+    with_deep_stack(|| explain_unsat_inner(tbox, query, budget))
+}
+
+/// Run `f` on a scoped worker thread whose stack fits a worst-case
+/// tableau search (the engine recurses one `search` frame per open
+/// decision level, and weakened-TBox probes can open thousands within an
+/// ample budget). [`explain_unsat`] wraps its own work in this; callers
+/// that drive `satisfiable` directly against [`TBox::restrict_to`]
+/// outputs — verification harnesses, benches, property tests — should
+/// do the same rather than size their own threads.
+pub fn with_deep_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
+    const DEEP_STACK: usize = 64 * 1024 * 1024;
+    std::thread::scope(|scope| {
+        std::thread::Builder::new()
+            .name("orm-dl-deep-stack".into())
+            .stack_size(DEEP_STACK)
+            .spawn_scoped(scope, f)
+            .expect("spawn deep-stack worker")
+            .join()
+            .expect("deep-stack worker panicked")
+    })
+}
+
+fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+    let (verdict, conflict) = satisfiable_with_conflict(tbox, query, budget);
+    match verdict {
+        DlOutcome::Sat => return Explanation::Satisfiable,
+        DlOutcome::ResourceLimit => return Explanation::ResourceLimit,
+        DlOutcome::Unsat => {}
+    }
+    let all: Vec<AxiomId> = tbox.axiom_ids().collect();
+    // Step 2: verify the seed; fall back to the full set when the
+    // restriction fails to refute (the usage sets are heuristic). The
+    // verifying probe's own, smaller conflict is adopted only after a
+    // verification probe of its own — like every refinement in step 3,
+    // it is a heuristic mask until an actual run certifies it.
+    let seed = conflict.expect("unsat carries a conflict");
+    let mut core = if seed.len() < all.len() {
+        match probe(tbox, &seed, query, budget) {
+            (DlOutcome::Unsat, refined) => match refined {
+                Some(r) if r.len() < seed.len() => match probe(tbox, &r, query, budget) {
+                    (DlOutcome::Unsat, _) => r,
+                    _ => seed,
+                },
+                _ => seed,
+            },
+            _ => all.clone(),
+        }
+    } else {
+        all.clone()
+    };
+    core.sort_unstable();
+    core.dedup();
+
+    // Step 3: deletion minimization with conflict refinement. Invariant:
+    // `core`'s restriction is certified Unsat; every axiom before `i` is
+    // needed (its sole removal was probed Sat against a superset of the
+    // final core — anti-monotonicity transfers that to the final core).
+    let mut minimal = true;
+    let mut i = 0;
+    while i < core.len() {
+        let mut candidate = core.clone();
+        let removed = candidate.remove(i);
+        match probe(tbox, &candidate, query, budget) {
+            (DlOutcome::Unsat, refined) => {
+                // Drop `removed` for good; adopt the probe's smaller
+                // conflict when it verifies (one extra probe), else the
+                // candidate itself. `i` stays: a new axiom now sits here.
+                core = match refined {
+                    Some(seed) if seed.len() < candidate.len() => {
+                        match probe(tbox, &seed, query, budget) {
+                            (DlOutcome::Unsat, _) => {
+                                // The jump may strip already-vetted
+                                // axioms; restart the scan over the
+                                // smaller set (still terminates: the set
+                                // shrank strictly).
+                                i = 0;
+                                seed
+                            }
+                            _ => candidate,
+                        }
+                    }
+                    _ => candidate,
+                };
+            }
+            (DlOutcome::Sat, _) => i += 1,
+            (DlOutcome::ResourceLimit, _) => {
+                // Could not decide: keep the axiom, lose the minimality
+                // certificate.
+                let _ = removed;
+                minimal = false;
+                i += 1;
+            }
+        }
+    }
+    Explanation::Unsat(UnsatCore { axioms: core, minimal })
+}
+
+/// Convenience: whether `core` (alone) certifiably refutes `query` — the
+/// check the property tests and the bench harness run against every
+/// extracted core.
+pub fn core_refutes(tbox: &TBox, core: &UnsatCore, query: &Concept, budget: u64) -> bool {
+    satisfiable(&tbox.restrict_to(&core.axioms), query, budget) == DlOutcome::Unsat
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::concept::RoleExpr;
+
+    const BUDGET: u64 = 200_000;
+
+    #[test]
+    fn empty_core_for_self_contradiction() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Top);
+        let query = Concept::and([a.clone(), Concept::not(a.clone())]);
+        match explain_unsat(&t, &query, BUDGET) {
+            Explanation::Unsat(core) => {
+                assert!(core.is_empty(), "self-contradiction needs no axioms: {core:?}");
+                assert!(core.minimal);
+                assert!(core_refutes(&t, &core, &query, BUDGET));
+            }
+            other => panic!("expected a core, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn core_picks_the_guilty_axioms_only() {
+        // Fig. 1 shape: Phd ⊑ Student, Phd ⊑ Employee,
+        // Student ⊓ Employee ⊑ ⊥ — plus unrelated noise.
+        let mut t = TBox::new();
+        let person = Concept::Atomic(t.atom("Person"));
+        let student = Concept::Atomic(t.atom("Student"));
+        let employee = Concept::Atomic(t.atom("Employee"));
+        let phd = Concept::Atomic(t.atom("Phd"));
+        let _n1 = t.gci(student.clone(), person.clone());
+        let _n2 = t.gci(employee.clone(), person.clone());
+        let g1 = t.gci(phd.clone(), student.clone());
+        let g2 = t.gci(phd.clone(), employee.clone());
+        let g3 = t.gci(Concept::and([student.clone(), employee.clone()]), Concept::Bottom);
+        match explain_unsat(&t, &phd, BUDGET) {
+            Explanation::Unsat(core) => {
+                assert_eq!(core.axioms, vec![g1, g2, g3], "core picked wrong axioms");
+                assert!(core.minimal);
+            }
+            other => panic!("expected a core, got {other:?}"),
+        }
+        // The other types explain as satisfiable.
+        for ty in [person, student, employee] {
+            assert_eq!(explain_unsat(&t, &ty, BUDGET), Explanation::Satisfiable);
+        }
+    }
+
+    #[test]
+    fn role_axioms_appear_in_cores() {
+        // ∃F.⊤ doomed through a role inclusion into a self-disjoint role.
+        let mut t = TBox::new();
+        let f = RoleExpr::direct(t.role("F"));
+        let g = RoleExpr::direct(t.role("G"));
+        let noise = Concept::Atomic(t.atom("Noise"));
+        t.gci(noise.clone(), Concept::Top);
+        let ri = t.role_inclusion(f, g);
+        let dj = t.disjoint(g, g);
+        let query = Concept::some(f);
+        match explain_unsat(&t, &query, BUDGET) {
+            Explanation::Unsat(core) => {
+                assert_eq!(core.axioms, vec![ri, dj]);
+                assert!(core.minimal);
+                assert!(core_refutes(&t, &core, &query, BUDGET));
+            }
+            other => panic!("expected a core, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn minimality_holds_on_each_axiom() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let c = Concept::Atomic(t.atom("C"));
+        t.gci(a.clone(), b.clone());
+        t.gci(b.clone(), c.clone());
+        t.gci(c.clone(), Concept::Bottom);
+        t.gci(b.clone(), b.clone());
+        let Explanation::Unsat(core) = explain_unsat(&t, &a, BUDGET) else {
+            panic!("A must be unsat");
+        };
+        assert!(core.minimal);
+        assert_eq!(core.len(), 3, "chain core should be the three-link chain: {core:?}");
+        for i in 0..core.len() {
+            let mut weakened = core.axioms.clone();
+            weakened.remove(i);
+            assert_eq!(
+                satisfiable(&t.restrict_to(&weakened), &a, BUDGET),
+                DlOutcome::Sat,
+                "dropping {} should break the refutation",
+                core.axioms[i]
+            );
+        }
+    }
+
+    #[test]
+    fn budget_exhaustion_reported_not_guessed() {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
+        assert_eq!(explain_unsat(&t, &a, 1), Explanation::ResourceLimit);
+    }
+}

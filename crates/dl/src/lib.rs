@@ -14,9 +14,14 @@
 //!   **delta log** ([`tbox::TBox::delta_since`]) that tells caches *what*
 //!   changed, not just *that* something changed;
 //! * [`tableau`] — a sound and terminating tableau procedure with pairwise
-//!   blocking, successor merging, a rule budget, trail-based backtracking
-//!   and dependency-directed backjumping (the retained clone-per-branch
-//!   baseline lives in [`classic`] for differential testing);
+//!   blocking, successor merging, a rule budget, trail-based backtracking,
+//!   dependency-directed backjumping and per-fact **axiom-usage tracking**
+//!   ([`tableau::satisfiable_with_conflict`] reports which axioms a
+//!   refutation rested on); the retained clone-per-branch baseline lives
+//!   in [`classic`] for differential testing;
+//! * [`explain`] — minimal **unsat cores**: the tableau's conflict axioms
+//!   verified and deletion-minimized, so an `Unsat` verdict names the
+//!   exact axiom set that causes it (guarantees in `docs/EXPLANATIONS.md`);
 //! * [`cache`] — a [`SatCache`] memoizing verdicts per interned root
 //!   label set, and its sharded counterpart [`SatShards`] (independently
 //!   locked, stamp-validated shards routed by a structural hash of the
@@ -30,7 +35,10 @@
 //! * [`par`] — a scoped-thread fan-out ([`par::fan_out`]) driving the
 //!   parallel query batteries [`Translation::classify_par`] and
 //!   [`Translation::role_sweep_par`];
-//! * [`orm_to_dl`] — the schema translation. Ring constraints, value
+//! * [`orm_to_dl`] — the schema translation, recording an
+//!   [`AxiomOrigin`] per emitted axiom so unsat cores map back to the
+//!   ORM constructs that caused them ([`Translation::explain_unsat`] /
+//!   [`Translation::core_origins`]). Ring constraints, value
 //!   constraints and spanning frequency constraints are reported as
 //!   *unmapped* — the same expressivity gap the paper concedes for DLR
 //!   (footnote 10); the bounded model finder (`orm-reasoner`) covers them.
@@ -57,6 +65,7 @@ pub mod arena;
 pub mod cache;
 pub mod classic;
 pub mod concept;
+pub mod explain;
 pub mod orm_to_dl;
 pub mod par;
 pub mod tableau;
@@ -68,6 +77,9 @@ mod test_scenarios;
 pub use arena::{Arena, ConceptId};
 pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
-pub use orm_to_dl::{translate, EditSession, Translation};
-pub use tableau::{satisfiable, satisfiable_with_witness, subsumes, DlOutcome, Witness};
-pub use tbox::{AdditionDelta, Delta, EditKind, RoleClosure, TBox};
+pub use explain::{explain_unsat, Explanation, UnsatCore};
+pub use orm_to_dl::{translate, AxiomOrigin, EditSession, Translation};
+pub use tableau::{
+    satisfiable, satisfiable_with_conflict, satisfiable_with_witness, subsumes, DlOutcome, Witness,
+};
+pub use tbox::{AdditionDelta, AxiomId, AxiomKind, AxiomRef, Delta, EditKind, RoleClosure, TBox};

@@ -32,12 +32,79 @@
 
 use crate::cache::{CacheStats, SatShards};
 use crate::concept::{Concept, RoleExpr};
+use crate::explain::{Explanation, UnsatCore};
 use crate::par::fan_out;
 use crate::tableau::DlOutcome;
-use crate::tbox::TBox;
-use orm_model::{Constraint, ObjectTypeId, RoleId, Schema, SetComparisonKind};
+use crate::tbox::{AxiomId, TBox};
+use orm_model::{
+    Constraint, ConstraintId, FactTypeId, ObjectTypeId, RoleId, Schema, SetComparisonKind,
+};
 use std::collections::HashMap;
 use std::sync::Arc;
+
+/// The ORM-level construct one TBox axiom was translated from — the
+/// provenance table [`translate`] records for every axiom it emits (and
+/// [`EditSession`] for every axiom it adds), keyed by [`AxiomId`]. An
+/// unsat core mapped through this table ([`Translation::core_origins`])
+/// names the *schema constraints* that doom a type or role, which is what
+/// a modeler can actually act on.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum AxiomOrigin {
+    /// A declared subtype link `sub <: sup` (or a session `add_subtype`).
+    Subtype {
+        /// The subtype.
+        sub: ObjectTypeId,
+        /// The supertype.
+        sup: ObjectTypeId,
+    },
+    /// ORM's implicit mutual exclusion of types without a common
+    /// supertype.
+    ImplicitExclusion {
+        /// One of the two implicitly exclusive types.
+        a: ObjectTypeId,
+        /// The other.
+        b: ObjectTypeId,
+    },
+    /// The typing axiom of one role of a fact type (`∃dir(r).⊤ ⊑ C`).
+    FactTyping {
+        /// The fact type.
+        fact: FactTypeId,
+        /// The role whose player the axiom types.
+        role: RoleId,
+    },
+    /// A declared schema constraint (mandatory, uniqueness, frequency,
+    /// set comparison, exclusive/total subtypes).
+    Constraint(ConstraintId),
+    /// A session-added type exclusion ([`EditSession::add_type_exclusion`]).
+    TypeExclusion {
+        /// One excluded type.
+        a: ObjectTypeId,
+        /// The other.
+        b: ObjectTypeId,
+    },
+    /// A session-added (disjunctive) mandatory constraint
+    /// ([`EditSession::add_mandatory`]).
+    Mandatory {
+        /// The constrained player type.
+        player: ObjectTypeId,
+        /// The roles of which at least one must be played.
+        roles: Vec<RoleId>,
+    },
+    /// A session-added role subset ([`EditSession::add_role_subset`]).
+    RoleSubset {
+        /// The subset role.
+        sub: RoleId,
+        /// The superset role.
+        sup: RoleId,
+    },
+    /// A session-added role exclusion ([`EditSession::add_role_exclusion`]).
+    RoleExclusion {
+        /// One excluded role.
+        a: RoleId,
+        /// The other.
+        b: RoleId,
+    },
+}
 
 /// The result of translating an ORM schema.
 ///
@@ -61,6 +128,8 @@ pub struct Translation {
     /// Human-readable notes about constructs the DL fragment cannot
     /// express.
     pub unmapped: Vec<String>,
+    /// ORM provenance per emitted axiom (see [`AxiomOrigin`]).
+    axiom_origins: HashMap<AxiomId, AxiomOrigin>,
     /// Sharded verdict cache behind all satisfiability helpers.
     cache: Arc<SatShards>,
 }
@@ -76,6 +145,7 @@ impl Clone for Translation {
             concept_of_type: self.concept_of_type.clone(),
             role_dir: self.role_dir.clone(),
             unmapped: self.unmapped.clone(),
+            axiom_origins: self.axiom_origins.clone(),
             cache: Arc::new(SatShards::new()),
         }
     }
@@ -96,6 +166,80 @@ impl Translation {
     /// its shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The ORM construct an emitted axiom came from, or `None` for axioms
+    /// added behind the translation's back (raw [`EditSession::tbox`]
+    /// mutations).
+    pub fn axiom_origin(&self, id: AxiomId) -> Option<&AxiomOrigin> {
+        self.axiom_origins.get(&id)
+    }
+
+    /// Explain why `query` is unsatisfiable under the translated TBox: a
+    /// minimal unsat core of DL axioms (see [`crate::explain`]), or the
+    /// `Satisfiable`/`ResourceLimit` outcome. Cores are cached beside
+    /// verdicts in the sharded cache, so re-asking is free; map a core to
+    /// its schema-level culprits with [`Translation::core_origins`].
+    ///
+    /// ```
+    /// use orm_dl::{translate, AxiomOrigin, Explanation};
+    /// use orm_model::SchemaBuilder;
+    ///
+    /// // Fig. 1: a PhD student must be both Student and Employee, but the
+    /// // two are declared exclusive.
+    /// let mut b = SchemaBuilder::new("fig1");
+    /// let person = b.entity_type("Person").unwrap();
+    /// let student = b.entity_type("Student").unwrap();
+    /// let employee = b.entity_type("Employee").unwrap();
+    /// let phd = b.entity_type("PhdStudent").unwrap();
+    /// b.subtype(student, person).unwrap();
+    /// b.subtype(employee, person).unwrap();
+    /// b.subtype(phd, student).unwrap();
+    /// b.subtype(phd, employee).unwrap();
+    /// b.exclusive_types([student, employee]).unwrap();
+    /// let schema = b.finish();
+    ///
+    /// let t = translate(&schema);
+    /// let Explanation::Unsat(core) = t.explain_type(phd, 100_000) else {
+    ///     panic!("PhdStudent must be unsatisfiable");
+    /// };
+    /// let origins = t.core_origins(&core);
+    /// // The diagnosis names the two subtype links and the exclusion —
+    /// // and nothing else.
+    /// assert_eq!(origins.len(), 3);
+    /// assert!(origins.iter().any(|o| matches!(o, AxiomOrigin::Constraint(_))));
+    /// assert!(origins
+    ///     .iter()
+    ///     .any(|o| matches!(o, AxiomOrigin::Subtype { sub, .. } if *sub == phd)));
+    /// ```
+    pub fn explain_unsat(&self, query: &Concept, budget: u64) -> Explanation {
+        self.cache.explain(&self.tbox, query, budget)
+    }
+
+    /// [`Translation::explain_unsat`] for an object type's concept.
+    pub fn explain_type(&self, ty: ObjectTypeId, budget: u64) -> Explanation {
+        self.explain_unsat(&self.type_concept(ty), budget)
+    }
+
+    /// [`Translation::explain_unsat`] for a role's `∃dir(r).⊤` concept.
+    pub fn explain_role(&self, role: RoleId, budget: u64) -> Explanation {
+        self.explain_unsat(&self.role_concept(role), budget)
+    }
+
+    /// The distinct ORM origins of a core's axioms, in core order
+    /// (deduplicated — several axioms of one constraint collapse to one
+    /// origin). Axioms with no recorded origin are skipped; count them via
+    /// [`Translation::axiom_origin`] if exactness matters.
+    pub fn core_origins(&self, core: &UnsatCore) -> Vec<&AxiomOrigin> {
+        let mut out: Vec<&AxiomOrigin> = Vec::new();
+        for id in &core.axioms {
+            if let Some(origin) = self.axiom_origins.get(id) {
+                if !out.contains(&origin) {
+                    out.push(origin);
+                }
+            }
+        }
+        out
     }
 
     /// Satisfiability of an object type under the translation (cached).
@@ -260,14 +404,16 @@ impl EditSession<'_> {
     /// Add a subtype link `sub <: B` — `C_sub ⊑ C_sup`.
     pub fn add_subtype(&mut self, sub: ObjectTypeId, sup: ObjectTypeId) {
         let (c, d) = (self.t.type_concept(sub), self.t.type_concept(sup));
-        self.t.tbox.gci(c, d);
+        let id = self.t.tbox.gci(c, d);
+        self.t.axiom_origins.insert(id, AxiomOrigin::Subtype { sub, sup });
     }
 
     /// Declare two object types mutually exclusive — `C_a ⊓ C_b ⊑ ⊥`.
     pub fn add_type_exclusion(&mut self, a: ObjectTypeId, b: ObjectTypeId) {
         assert_ne!(a, b, "a type cannot be declared exclusive with itself");
         let pair = Concept::and([self.t.type_concept(a), self.t.type_concept(b)]);
-        self.t.tbox.gci(pair, Concept::Bottom);
+        let id = self.t.tbox.gci(pair, Concept::Bottom);
+        self.t.axiom_origins.insert(id, AxiomOrigin::TypeExclusion { a, b });
     }
 
     /// Make `roles` (disjunctively) mandatory for `player` —
@@ -275,31 +421,36 @@ impl EditSession<'_> {
     pub fn add_mandatory(&mut self, player: ObjectTypeId, roles: &[RoleId]) {
         assert!(!roles.is_empty(), "a mandatory constraint needs at least one role");
         let plays = Concept::or(roles.iter().map(|r| self.t.role_concept(*r)).collect::<Vec<_>>());
-        let player = self.t.type_concept(player);
-        self.t.tbox.gci(player, plays);
+        let player_c = self.t.type_concept(player);
+        let id = self.t.tbox.gci(player_c, plays);
+        self.t.axiom_origins.insert(id, AxiomOrigin::Mandatory { player, roles: roles.to_vec() });
     }
 
     /// Add a subset constraint between two single roles —
     /// `∃dir(sub).⊤ ⊑ ∃dir(sup).⊤`.
     pub fn add_role_subset(&mut self, sub: RoleId, sup: RoleId) {
         let (c, d) = (self.t.role_concept(sub), self.t.role_concept(sup));
-        self.t.tbox.gci(c, d);
+        let id = self.t.tbox.gci(c, d);
+        self.t.axiom_origins.insert(id, AxiomOrigin::RoleSubset { sub, sup });
     }
 
     /// Add an exclusion constraint between two single roles —
     /// `∃dir(a).⊤ ⊓ ∃dir(b).⊤ ⊑ ⊥`.
     pub fn add_role_exclusion(&mut self, a: RoleId, b: RoleId) {
         let pair = Concept::and([self.t.role_concept(a), self.t.role_concept(b)]);
-        self.t.tbox.gci(pair, Concept::Bottom);
+        let id = self.t.tbox.gci(pair, Concept::Bottom);
+        self.t.axiom_origins.insert(id, AxiomOrigin::RoleExclusion { a, b });
     }
 }
 
-/// Translate `schema` into a DL TBox.
+/// Translate `schema` into a DL TBox, recording the ORM origin of every
+/// emitted axiom (the provenance table diagnosis runs on).
 pub fn translate(schema: &Schema) -> Translation {
     let mut tbox = TBox::new();
     let mut concept_of_type = HashMap::new();
     let mut role_dir = HashMap::new();
     let mut unmapped = Vec::new();
+    let mut origins: HashMap<AxiomId, AxiomOrigin> = HashMap::new();
     let idx = schema.index();
 
     for (ty, ot) in schema.object_types() {
@@ -315,7 +466,8 @@ pub fn translate(schema: &Schema) -> Translation {
     // DL: a subtype loop merely forces concept equivalence here, while ORM
     // semantics make loop members unsatisfiable (Pattern 9).
     for link in schema.subtype_links() {
-        tbox.gci(concept_of_type[&link.sub].clone(), concept_of_type[&link.sup].clone());
+        let id = tbox.gci(concept_of_type[&link.sub].clone(), concept_of_type[&link.sup].clone());
+        origins.insert(id, AxiomOrigin::Subtype { sub: link.sub, sup: link.sup });
     }
     if schema.object_types().any(|(ty, _)| idx.on_subtype_cycle(ty)) {
         unmapped.push(
@@ -330,10 +482,11 @@ pub fn translate(schema: &Schema) -> Translation {
     for (i, &a) in types.iter().enumerate() {
         for &b in types.iter().skip(i + 1) {
             if !idx.may_overlap(a, b) {
-                tbox.gci(
+                let id = tbox.gci(
                     Concept::and([concept_of_type[&a].clone(), concept_of_type[&b].clone()]),
                     Concept::Bottom,
                 );
+                origins.insert(id, AxiomOrigin::ImplicitExclusion { a, b });
             }
         }
     }
@@ -345,29 +498,32 @@ pub fn translate(schema: &Schema) -> Translation {
         let second = ft.second();
         role_dir.insert(first, RoleExpr::direct(role));
         role_dir.insert(second, RoleExpr::inv_of(role));
-        let _ = fid;
-        tbox.gci(
+        let id = tbox.gci(
             Concept::some(RoleExpr::direct(role)),
             concept_of_type[&schema.player(first)].clone(),
         );
-        tbox.gci(
+        origins.insert(id, AxiomOrigin::FactTyping { fact: fid, role: first });
+        let id = tbox.gci(
             Concept::some(RoleExpr::inv_of(role)),
             concept_of_type[&schema.player(second)].clone(),
         );
+        origins.insert(id, AxiomOrigin::FactTyping { fact: fid, role: second });
     }
 
-    for (_, c) in schema.constraints() {
+    for (cid, c) in schema.constraints() {
+        let from = AxiomOrigin::Constraint(cid);
         match c {
             Constraint::Mandatory(m) => {
                 let player = concept_of_type[&schema.player(m.roles[0])].clone();
                 let plays = Concept::or(
                     m.roles.iter().map(|r| Concept::some(role_dir[r])).collect::<Vec<_>>(),
                 );
-                tbox.gci(player, plays);
+                origins.insert(tbox.gci(player, plays), from);
             }
             Constraint::Uniqueness(u) => {
                 if u.roles.len() == 1 {
-                    tbox.gci(Concept::Top, Concept::AtMost(1, role_dir[&u.roles[0]]));
+                    let id = tbox.gci(Concept::Top, Concept::AtMost(1, role_dir[&u.roles[0]]));
+                    origins.insert(id, from);
                 }
                 // A spanning uniqueness constraint is inherent: DL roles are
                 // sets of pairs. Nothing to emit.
@@ -386,29 +542,33 @@ pub fn translate(schema: &Schema) -> Translation {
                 if let Some(max) = f.max {
                     bounds.push(Concept::AtMost(max, dir));
                 }
-                tbox.gci(Concept::some(dir), Concept::and(bounds));
+                origins.insert(tbox.gci(Concept::some(dir), Concept::and(bounds)), from);
             }
-            Constraint::SetComparison(sc) => translate_set_comparison(&mut tbox, &role_dir, sc),
+            Constraint::SetComparison(sc) => {
+                translate_set_comparison(&mut tbox, &role_dir, sc, cid, &mut origins)
+            }
             Constraint::ExclusiveTypes(e) => {
                 for (i, &a) in e.types.iter().enumerate() {
                     for &b in e.types.iter().skip(i + 1) {
-                        tbox.gci(
+                        let id = tbox.gci(
                             Concept::and([
                                 concept_of_type[&a].clone(),
                                 concept_of_type[&b].clone(),
                             ]),
                             Concept::Bottom,
                         );
+                        origins.insert(id, from.clone());
                     }
                 }
             }
             Constraint::TotalSubtypes(t) => {
-                tbox.gci(
+                let id = tbox.gci(
                     concept_of_type[&t.supertype].clone(),
                     Concept::or(
                         t.subtypes.iter().map(|s| concept_of_type[s].clone()).collect::<Vec<_>>(),
                     ),
                 );
+                origins.insert(id, from);
             }
             Constraint::Ring(r) => {
                 unmapped.push(format!(
@@ -420,23 +580,37 @@ pub fn translate(schema: &Schema) -> Translation {
         }
     }
 
-    Translation { tbox, concept_of_type, role_dir, unmapped, cache: Arc::new(SatShards::new()) }
+    Translation {
+        tbox,
+        concept_of_type,
+        role_dir,
+        unmapped,
+        axiom_origins: origins,
+        cache: Arc::new(SatShards::new()),
+    }
 }
 
 fn translate_set_comparison(
     tbox: &mut TBox,
     role_dir: &HashMap<RoleId, RoleExpr>,
     sc: &orm_model::SetComparison,
+    cid: ConstraintId,
+    origins: &mut HashMap<AxiomId, AxiomOrigin>,
 ) {
     let single = sc.over_single_roles();
+    let record = |id: AxiomId, origins: &mut HashMap<AxiomId, AxiomOrigin>| {
+        origins.insert(id, AxiomOrigin::Constraint(cid));
+    };
     match sc.kind {
         SetComparisonKind::Subset => {
             if single {
                 let sub = role_dir[&sc.args[0].roles()[0]];
                 let sup = role_dir[&sc.args[1].roles()[0]];
-                tbox.gci(Concept::some(sub), Concept::some(sup));
+                let id = tbox.gci(Concept::some(sub), Concept::some(sup));
+                record(id, origins);
             } else {
-                emit_role_inclusion(tbox, role_dir, &sc.args[0], &sc.args[1]);
+                let id = emit_role_inclusion(tbox, role_dir, &sc.args[0], &sc.args[1]);
+                record(id, origins);
             }
         }
         SetComparisonKind::Equality => {
@@ -448,9 +622,11 @@ fn translate_set_comparison(
                     if single {
                         let a = role_dir[&sc.args[i].roles()[0]];
                         let b = role_dir[&sc.args[j].roles()[0]];
-                        tbox.gci(Concept::some(a), Concept::some(b));
+                        let id = tbox.gci(Concept::some(a), Concept::some(b));
+                        record(id, origins);
                     } else {
-                        emit_role_inclusion(tbox, role_dir, &sc.args[i], &sc.args[j]);
+                        let id = emit_role_inclusion(tbox, role_dir, &sc.args[i], &sc.args[j]);
+                        record(id, origins);
                     }
                 }
             }
@@ -461,13 +637,15 @@ fn translate_set_comparison(
                     if single {
                         let ra = role_dir[&a.roles()[0]];
                         let rb = role_dir[&b.roles()[0]];
-                        tbox.gci(
+                        let id = tbox.gci(
                             Concept::and([Concept::some(ra), Concept::some(rb)]),
                             Concept::Bottom,
                         );
+                        record(id, origins);
                     } else {
                         let (ra, rb) = (pair_expr(role_dir, a), pair_expr(role_dir, b));
-                        tbox.disjoint(ra, rb);
+                        let id = tbox.disjoint(ra, rb);
+                        record(id, origins);
                     }
                 }
             }
@@ -487,13 +665,13 @@ fn emit_role_inclusion(
     role_dir: &HashMap<RoleId, RoleExpr>,
     sub: &orm_model::RoleSeq,
     sup: &orm_model::RoleSeq,
-) {
+) -> AxiomId {
     // (a, b) ⊆ (c, d): tuples of the sub predicate, read in the sequence's
     // orientation, are tuples of the super predicate in ITS orientation.
     // dir(first role) gives exactly that orientation.
     let sub_expr = pair_expr(role_dir, sub);
     let sup_expr = pair_expr(role_dir, sup);
-    tbox.role_inclusion(sub_expr, sup_expr);
+    tbox.role_inclusion(sub_expr, sup_expr)
 }
 
 #[cfg(test)]
@@ -846,6 +1024,77 @@ mod tests {
         assert_eq!(t.role_satisfiable(r3, BUDGET), DlOutcome::Unsat);
         assert_eq!(t.role_satisfiable(r1, BUDGET), DlOutcome::Sat);
         assert_eq!(t.cache_stats().invalidations, 0);
+    }
+
+    /// The Fig. 1 diagnosis end to end at the translation level: the
+    /// minimal core maps to exactly the two guilty subtype links plus the
+    /// exclusion constraint — the unrelated links stay out.
+    #[test]
+    fn fig1_core_maps_to_guilty_constraints() {
+        let mut b = SchemaBuilder::new("fig1");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("PhdStudent").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        let exclusion = b.exclusive_types([student, employee]).unwrap();
+        let s = b.finish();
+        let t = translate(&s);
+        let crate::explain::Explanation::Unsat(core) = t.explain_type(phd, BUDGET) else {
+            panic!("PhdStudent must be unsatisfiable");
+        };
+        assert!(core.minimal);
+        // Every core axiom has a recorded origin …
+        for id in &core.axioms {
+            assert!(t.axiom_origin(*id).is_some(), "axiom {id} lost its provenance");
+        }
+        // … and the distinct origins are exactly the two phd subtype
+        // links and the exclusion.
+        let origins = t.core_origins(&core);
+        assert_eq!(origins.len(), 3, "unexpected origins: {origins:?}");
+        assert!(origins.contains(&&AxiomOrigin::Subtype { sub: phd, sup: student }));
+        assert!(origins.contains(&&AxiomOrigin::Subtype { sub: phd, sup: employee }));
+        assert!(origins.contains(&&AxiomOrigin::Constraint(exclusion)));
+        // Re-explaining is a cache hit, not a re-extraction.
+        let before = t.cache_stats();
+        let again = t.explain_type(phd, BUDGET);
+        assert_eq!(again.core().map(|c| &c.axioms), Some(&core.axioms));
+        assert_eq!(t.cache_stats().hits, before.hits + 1);
+        assert_eq!(t.cache_stats().misses, before.misses);
+    }
+
+    /// Explanations agree with the plain verdicts on every element, and
+    /// session-added constraints carry provenance into cores too.
+    #[test]
+    fn explanations_agree_with_verdicts_and_session_edits_attributed() {
+        let mut b = SchemaBuilder::new("s");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        let s = b.finish();
+        let mut t = translate(&s);
+        {
+            let mut session = t.edit();
+            session.add_mandatory(a, &[r1]);
+            session.add_role_exclusion(r1, r3);
+        }
+        for (role, _) in s.roles() {
+            let verdict = t.role_satisfiable(role, BUDGET);
+            assert_eq!(t.explain_role(role, BUDGET).verdict(), verdict, "role {role}");
+        }
+        let crate::explain::Explanation::Unsat(core) = t.explain_role(r3, BUDGET) else {
+            panic!("r3 must be unsatisfiable");
+        };
+        let origins = t.core_origins(&core);
+        assert!(origins.contains(&&AxiomOrigin::Mandatory { player: a, roles: vec![r1] }));
+        assert!(origins.contains(&&AxiomOrigin::RoleExclusion { a: r1, b: r3 }));
     }
 
     #[test]

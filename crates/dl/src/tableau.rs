@@ -37,6 +37,18 @@
 //!   non-chronological jump, threaded through the trail. Levels beyond 63
 //!   share the saturation bit 63 and never skip (strictly conservative,
 //!   so verdicts are unaffected).
+//! * **Axiom-usage tracking** — alongside each fact's decision-level
+//!   dependency set rides an *axiom set*: a bitmask over the TBox's
+//!   axioms (in [`TBox::axiom_id_at_flat`] order, saturating at bit 63
+//!   like the decision bits) naming which axioms the fact transitively
+//!   rests on. Internalized GCI conjuncts seed their own axiom's bit;
+//!   edge facts carry the role-inclusion axioms (conservatively, all of
+//!   them — the role closure may have used any); disjointness clashes add
+//!   the disjointness declarations. A clash's conflict therefore reports
+//!   not just *which choices* but *which axioms* it used — the seed
+//!   [`crate::explain`] shrinks into a minimal unsat core. The sets are
+//!   over-approximations by construction; only [`satisfiable_with_conflict`]
+//!   pays for building them (the plain entry points run with empty masks).
 //!
 //! # Budget semantics
 //!
@@ -54,7 +66,7 @@
 
 use crate::arena::{invert_role_expr, Arena, CKind, ConceptId, RoleExprId};
 use crate::concept::Concept;
-use crate::tbox::{RoleClosure, TBox};
+use crate::tbox::{AxiomId, AxiomKind, RoleClosure, TBox};
 
 /// Verdict of a satisfiability check.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -150,6 +162,46 @@ pub fn satisfiable_with_witness(
     match engine.search() {
         SResult::Sat => (DlOutcome::Sat, Some(engine.into_witness())),
         SResult::Unsat(_) => (DlOutcome::Unsat, None),
+        SResult::Limit => (DlOutcome::ResourceLimit, None),
+    }
+}
+
+/// [`satisfiable`] with axiom-usage tracking switched on: on an `Unsat`
+/// verdict, additionally report the set of TBox axioms the refutation
+/// rested on, resolved to provenance ids ([`AxiomId`]).
+///
+/// The reported set is a **conservative over-approximation** of a
+/// conflict set — it is the seed [`crate::explain::explain_unsat`] then
+/// verifies and shrinks into a minimal unsat core; callers wanting
+/// guarantees should go through that API. `Sat` and `ResourceLimit`
+/// verdicts carry `None`.
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::tableau::{satisfiable_with_conflict, DlOutcome};
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// let doom = tbox.gci(a.clone(), Concept::Bottom);
+/// tbox.gci(b.clone(), Concept::Top); // irrelevant to A's doom
+/// let (verdict, conflict) = satisfiable_with_conflict(&tbox, &a, 100_000);
+/// assert_eq!(verdict, DlOutcome::Unsat);
+/// assert!(conflict.expect("unsat carries a conflict").contains(&doom));
+/// ```
+pub fn satisfiable_with_conflict(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+) -> (DlOutcome, Option<Vec<AxiomId>>) {
+    let mut engine = Engine::new_tracking(tbox, query, budget);
+    if let Some(conflict) = engine.clash {
+        return (DlOutcome::Unsat, Some(resolve_axioms(tbox, conflict.axs)));
+    }
+    match engine.search() {
+        SResult::Sat => (DlOutcome::Sat, None),
+        SResult::Unsat(conflict) => (DlOutcome::Unsat, Some(resolve_axioms(tbox, conflict.axs))),
         SResult::Limit => (DlOutcome::ResourceLimit, None),
     }
 }
@@ -256,12 +308,14 @@ impl Witness {
     }
 }
 
-/// Internal search verdict: `Unsat` carries the conflict's dependency
-/// set so enclosing choice points can backjump past irrelevant siblings.
+/// Internal search verdict: `Unsat` carries the conflict's justification
+/// (decision levels for backjumping, axiom usage for core extraction) so
+/// enclosing choice points can backjump past irrelevant siblings and the
+/// final refutation can report the axioms it rested on.
 #[derive(Clone, Copy, Debug)]
 enum SResult {
     Sat,
-    Unsat(DepSet),
+    Unsat(Just),
     Limit,
 }
 
@@ -292,6 +346,80 @@ fn precise_level(level: u32) -> bool {
     level <= 63
 }
 
+/// An axiom-usage set: bit `i` is set when a fact rests on the axiom at
+/// flat position `i` of the TBox ([`TBox::axiom_id_at_flat`]). Positions
+/// 63 and beyond share the saturation bit 63, which resolves to *every*
+/// axiom at flat position ≥ 63 — strictly conservative, like the
+/// decision-level saturation.
+type AxSet = u64;
+
+/// The usage bit of the axiom at flat position `flat`.
+fn ax_bit(flat: usize) -> AxSet {
+    1u64 << flat.min(63)
+}
+
+/// The union of all usage bits for flat positions `start..start + len`.
+fn ax_mask(start: usize, len: usize) -> AxSet {
+    (start..start + len).fold(0, |m, i| m | ax_bit(i))
+}
+
+/// Resolve an [`AxSet`] against the TBox it was produced from: precise
+/// bits name single axioms; the saturation bit expands to every axiom at
+/// flat position ≥ 63.
+fn resolve_axioms(tbox: &TBox, axs: AxSet) -> Vec<AxiomId> {
+    let n = tbox.axiom_count();
+    let mut out = Vec::new();
+    for flat in 0..n.min(63) {
+        if axs & (1u64 << flat) != 0 {
+            out.extend(tbox.axiom_id_at_flat(flat));
+        }
+    }
+    if axs & (1u64 << 63) != 0 {
+        for flat in 63..n {
+            out.extend(tbox.axiom_id_at_flat(flat));
+        }
+    }
+    out
+}
+
+/// A fact's full justification: the decision levels it rests on (driving
+/// backjumping) and the TBox axioms it rests on (driving unsat-core
+/// extraction). The two bitmasks travel together through every rule so
+/// that a clash reports both at once.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+struct Just {
+    /// Decision-level dependency set (see [`DepSet`]).
+    deps: DepSet,
+    /// Axiom-usage set (see [`AxSet`]); always 0 when tracking is off.
+    axs: AxSet,
+}
+
+impl Just {
+    /// A justification carrying only axiom bits (TBox-derived facts).
+    fn axioms(axs: AxSet) -> Just {
+        Just { deps: 0, axs }
+    }
+
+    /// This justification plus the decision bit of a fresh choice.
+    fn with_bit(self, bit: DepSet) -> Just {
+        Just { deps: self.deps | bit, axs: self.axs }
+    }
+}
+
+impl std::ops::BitOr for Just {
+    type Output = Just;
+    fn bitor(self, rhs: Just) -> Just {
+        Just { deps: self.deps | rhs.deps, axs: self.axs | rhs.axs }
+    }
+}
+
+impl std::ops::BitOrAssign for Just {
+    fn bitor_assign(&mut self, rhs: Just) {
+        self.deps |= rhs.deps;
+        self.axs |= rhs.axs;
+    }
+}
+
 /// A completion-forest node. Labels and edge labels are kept sorted so
 /// that set queries are binary searches and set equality is slice
 /// equality; the `*_hash` fields are XOR fingerprints maintained
@@ -300,19 +428,19 @@ fn precise_level(level: u32) -> bool {
 struct ENode {
     alive: bool,
     parent: u32,
-    /// Dependency set of this node's existence (and, transitively, of its
+    /// Justification of this node's existence (and, transitively, of its
     /// current attachment point: reparenting merges OR the merge-choice
     /// deps in here).
-    deps: DepSet,
+    deps: Just,
     /// Sorted interned label set.
     label: Vec<ConceptId>,
-    /// Dependency set per label member, parallel to `label`.
-    label_deps: Vec<DepSet>,
+    /// Justification per label member, parallel to `label`.
+    label_deps: Vec<Just>,
     label_hash: u64,
     /// Sorted role labels of the edge from `parent` to this node.
     edge: Vec<RoleExprId>,
-    /// Dependency set per edge role, parallel to `edge`.
-    edge_deps: Vec<DepSet>,
+    /// Justification per edge role, parallel to `edge`.
+    edge_deps: Vec<Just>,
     edge_hash: u64,
     /// Upward closure of `edge` (bitset): this node is an `R`-successor of
     /// its parent iff the bitset contains `R`.
@@ -323,15 +451,15 @@ struct ENode {
     children: Vec<u32>,
     /// Sorted ids of nodes asserted pairwise-distinct from this one.
     distinct: Vec<u32>,
-    /// Dependency set per distinctness assertion, parallel to `distinct`.
-    distinct_deps: Vec<DepSet>,
+    /// Justification per distinctness assertion, parallel to `distinct`.
+    distinct_deps: Vec<Just>,
 }
 
 impl ENode {
-    /// Union of all edge-role dependency sets: what this node's current
+    /// Union of all edge-role justifications: what this node's current
     /// neighbour links rest on.
-    fn edge_deps_all(&self) -> DepSet {
-        self.edge_deps.iter().fold(0, |a, d| a | d)
+    fn edge_deps_all(&self) -> Just {
+        self.edge_deps.iter().fold(Just::default(), |a, &d| a | d)
     }
 }
 
@@ -351,8 +479,8 @@ enum Op {
     Killed { node: u32 },
     /// `child.parent` changed from `old_parent` to `new_parent` (child was
     /// appended to `new_parent.children`); `old_deps` is the node's
-    /// dependency set before the merge-choice deps were OR-ed in.
-    Reparented { child: u32, old_parent: u32, new_parent: u32, old_deps: DepSet },
+    /// justification before the merge-choice deps were OR-ed in.
+    Reparented { child: u32, old_parent: u32, new_parent: u32, old_deps: Just },
     /// `child` was removed from `parent.children` at `index`.
     ChildUnlinked { parent: u32, child: u32, index: u32 },
     /// Generator agenda entry `idx` was marked permanently satisfied.
@@ -376,6 +504,17 @@ struct Engine {
     roles: RoleClosure,
     /// Top-level conjuncts of the internalized TBox, seeded into every node.
     internal: Vec<ConceptId>,
+    /// Axiom-usage bits per internal conjunct, parallel to `internal`
+    /// (all zero when tracking is off; a conjunct two GCIs canonicalize to
+    /// carries both bits).
+    internal_ax: Vec<AxSet>,
+    /// Usage bits of every role-inclusion axiom, folded into each edge
+    /// fact (the role closure may have consulted any of them). Zero when
+    /// tracking is off or the TBox has no inclusions.
+    role_ax_mask: AxSet,
+    /// Usage bits of every disjointness declaration, folded into each
+    /// edge-disjointness clash. Zero when tracking is off.
+    disjoint_ax_mask: AxSet,
     nodes: Vec<ENode>,
     trail: Vec<Op>,
     /// Dirty-node worklist + membership flags (no duplicate entries).
@@ -396,8 +535,8 @@ struct Engine {
     gen_agenda: Vec<(u32, ConceptId)>,
     gen_done: Vec<bool>,
     /// Set eagerly by label/edge mutations that produce a clash; carries
-    /// the conflict's dependency set (union of the culprits').
-    clash: Option<DepSet>,
+    /// the conflict's justification (union of the culprits').
+    clash: Option<Just>,
     /// Current decision level: number of open `⊔`/`≤` choice points.
     level: u32,
     budget: u64,
@@ -407,13 +546,55 @@ struct Engine {
 
 impl Engine {
     fn new(tbox: &TBox, query: &Concept, budget: u64) -> Engine {
+        Engine::build(tbox, query, budget, false)
+    }
+
+    /// An engine whose facts carry axiom-usage sets, for unsat-core
+    /// seeding. Unlike [`Engine::new`] (which interns the memoized
+    /// internalized concept in one go), this interns each GCI's `¬C ⊔ D`
+    /// individually so every internal conjunct can be tagged with its
+    /// axiom's bit — one `implies` clone per GCI per construction, the
+    /// price the explanation path pays and the hot query paths do not.
+    fn new_tracking(tbox: &TBox, query: &Concept, budget: u64) -> Engine {
+        Engine::build(tbox, query, budget, true)
+    }
+
+    fn build(tbox: &TBox, query: &Concept, budget: u64, track: bool) -> Engine {
         let mut arena = Arena::new();
-        let internal_concept = tbox.internalized();
-        let internal_id = arena.intern(&internal_concept);
-        let internal = match arena.kind(internal_id) {
-            CKind::Top => Vec::new(),
-            CKind::And(ids) => ids.to_vec(),
-            _ => vec![internal_id],
+        let mut internal = Vec::new();
+        let mut internal_ax = Vec::new();
+        if track {
+            for (flat, (c, d)) in tbox.gcis().iter().enumerate() {
+                let id = arena.intern(&Concept::implies(c.clone(), d.clone()));
+                if matches!(arena.kind(id), CKind::Top) {
+                    continue;
+                }
+                // Two GCIs may canonicalize to one conjunct: merge bits.
+                match internal.iter().position(|x| *x == id) {
+                    Some(pos) => internal_ax[pos] |= ax_bit(flat),
+                    None => {
+                        internal.push(id);
+                        internal_ax.push(ax_bit(flat));
+                    }
+                }
+            }
+        } else {
+            let internal_concept = tbox.internalized();
+            let internal_id = arena.intern(&internal_concept);
+            internal = match arena.kind(internal_id) {
+                CKind::Top => Vec::new(),
+                CKind::And(ids) => ids.to_vec(),
+                _ => vec![internal_id],
+            };
+            internal_ax = vec![0; internal.len()];
+        }
+        let (role_ax_mask, disjoint_ax_mask) = if track {
+            let g = tbox.gcis().len();
+            let ri = tbox.axiom_ids().filter(|a| a.kind == AxiomKind::RoleInclusion).count();
+            let dj = tbox.axiom_count() - g - ri;
+            (ax_mask(g, ri), ax_mask(g + ri, dj))
+        } else {
+            (0, 0)
         };
         let query_id = arena.intern(query);
         let roles = tbox.role_closure();
@@ -421,7 +602,7 @@ impl Engine {
         let root = ENode {
             alive: true,
             parent: NO_PARENT,
-            deps: 0,
+            deps: Just::default(),
             label: Vec::new(),
             label_deps: Vec::new(),
             label_hash: 0,
@@ -438,6 +619,9 @@ impl Engine {
             arena,
             roles,
             internal,
+            internal_ax,
+            role_ax_mask,
+            disjoint_ax_mask,
             nodes: vec![root],
             trail: Vec::new(),
             dirty: Vec::new(),
@@ -452,9 +636,10 @@ impl Engine {
             budget,
             scratch: Vec::new(),
         };
-        engine.add_concept(0, query_id, 0);
-        for cid in engine.internal.clone() {
-            engine.add_concept(0, cid, 0);
+        engine.add_concept(0, query_id, Just::default());
+        for (i, cid) in engine.internal.clone().into_iter().enumerate() {
+            let axs = engine.internal_ax[i];
+            engine.add_concept(0, cid, Just::axioms(axs));
         }
         engine
     }
@@ -500,30 +685,30 @@ impl Engine {
         }
     }
 
-    /// The recorded dependency set of a label member. The first
+    /// The recorded justification of a label member. The first
     /// justification wins: re-deriving a present member under different
     /// deps keeps the original set (which is a valid justification for as
     /// long as the member survives rollback).
-    fn label_dep(&self, node: u32, cid: ConceptId) -> DepSet {
+    fn label_dep(&self, node: u32, cid: ConceptId) -> Just {
         match self.nodes[node as usize].label.binary_search(&cid) {
             Ok(pos) => self.nodes[node as usize].label_deps[pos],
-            Err(_) => 0,
+            Err(_) => Just::default(),
         }
     }
 
-    /// Dependency set of the link between neighbours `x` and `y`:
+    /// Justification of the link between neighbours `x` and `y`:
     /// existence of both nodes plus every edge role either endpoint
     /// carries (conservative — the connecting edge lives on whichever of
     /// the two is the child).
-    fn link_deps(&self, x: u32, y: u32) -> DepSet {
+    fn link_deps(&self, x: u32, y: u32) -> Just {
         let (nx, ny) = (&self.nodes[x as usize], &self.nodes[y as usize]);
         nx.deps | ny.deps | nx.edge_deps_all() | ny.edge_deps_all()
     }
 
-    /// Insert `cid` into `node`'s label with dependency set `deps`, fusing
+    /// Insert `cid` into `node`'s label with justification `deps`, fusing
     /// the `⊓`-rule, recording the trail, feeding the agendas and
     /// detecting immediate clashes.
-    fn add_concept(&mut self, node: u32, cid: ConceptId, deps: DepSet) {
+    fn add_concept(&mut self, node: u32, cid: ConceptId, deps: Just) {
         match self.arena.kind(cid) {
             CKind::Top => return,
             CKind::And(ids) => {
@@ -577,19 +762,22 @@ impl Engine {
     /// Record a clash, keeping the first conflict of the branch (later
     /// clashes in the same propagation round are casualties of an already
     /// inconsistent state and may carry broader dependency sets).
-    fn raise_clash(&mut self, conflict: DepSet) {
+    fn raise_clash(&mut self, conflict: Just) {
         if self.clash.is_none() {
             self.clash = Some(conflict);
         }
     }
 
-    /// Insert `role` into `node`'s up-edge label set with dependency set
+    /// Insert `role` into `node`'s up-edge label set with justification
     /// `deps`, maintaining both closure bitsets and the edge fingerprint.
-    fn add_edge_role(&mut self, node: u32, role: RoleExprId, deps: DepSet) {
+    /// Every edge fact additionally carries the role-inclusion axiom mask:
+    /// whether this edge counts as an `S`-edge may rest on any inclusion.
+    fn add_edge_role(&mut self, node: u32, role: RoleExprId, deps: Just) {
         let slot = match self.nodes[node as usize].edge.binary_search(&role) {
             Ok(_) => return,
             Err(slot) => slot,
         };
+        let deps = deps | Just::axioms(self.role_ax_mask);
         let inv = invert_role_expr(role);
         let (parent, clash_deps) = {
             let roles = &self.roles;
@@ -609,7 +797,7 @@ impl Engine {
             (n.parent, clash_deps)
         };
         if let Some(conflict) = clash_deps {
-            self.raise_clash(conflict);
+            self.raise_clash(conflict | Just::axioms(self.disjoint_ax_mask));
         }
         self.trail.push(Op::EdgeRole { node, role });
         self.mark_dirty(node);
@@ -618,7 +806,7 @@ impl Engine {
         }
     }
 
-    fn add_distinct(&mut self, a: u32, b: u32, deps: DepSet) {
+    fn add_distinct(&mut self, a: u32, b: u32, deps: Just) {
         let Err(slot) = self.nodes[a as usize].distinct.binary_search(&b) else { return };
         self.nodes[a as usize].distinct.insert(slot, b);
         self.nodes[a as usize].distinct_deps.insert(slot, deps);
@@ -631,17 +819,17 @@ impl Engine {
         self.trail.push(Op::Distinct { a, b });
     }
 
-    /// The recorded dependency set of the distinctness assertion between
-    /// `a` and `b` (0 when absent).
-    fn distinct_dep(&self, a: u32, b: u32) -> DepSet {
+    /// The recorded justification of the distinctness assertion between
+    /// `a` and `b` (empty when absent).
+    fn distinct_dep(&self, a: u32, b: u32) -> Just {
         match self.nodes[a as usize].distinct.binary_search(&b) {
             Ok(pos) => self.nodes[a as usize].distinct_deps[pos],
-            Err(_) => 0,
+            Err(_) => Just::default(),
         }
     }
 
     /// Create a fresh `role`-child of `parent`, seeded with the
-    /// internalized TBox plus `seed`. `deps` is the dependency set of the
+    /// internalized TBox plus `seed`. `deps` is the justification of the
     /// generating rule's premise (the `∃`/`≥` label plus the parent's own
     /// existence); everything about the new node inherits it.
     fn add_child(
@@ -649,16 +837,17 @@ impl Engine {
         parent: u32,
         role: RoleExprId,
         seed: Option<ConceptId>,
-        deps: DepSet,
+        deps: Just,
     ) -> u32 {
         let words = self.roles.words();
         let id = self.nodes.len() as u32;
+        let edge_deps = deps | Just::axioms(self.role_ax_mask);
         let mut down_closure = vec![0; words];
         let mut up_closure = vec![0; words];
         self.roles.union_row_into(&mut down_closure, role);
         self.roles.union_row_into(&mut up_closure, invert_role_expr(role));
         if self.roles.has_disjointness() && self.roles.edge_violates_disjointness(&down_closure) {
-            self.raise_clash(deps);
+            self.raise_clash(edge_deps | Just::axioms(self.disjoint_ax_mask));
         }
         self.nodes.push(ENode {
             alive: true,
@@ -668,7 +857,7 @@ impl Engine {
             label_deps: Vec::new(),
             label_hash: 0,
             edge: vec![role],
-            edge_deps: vec![deps],
+            edge_deps: vec![edge_deps],
             edge_hash: Self::role_mix(role),
             down_closure,
             up_closure,
@@ -684,9 +873,11 @@ impl Engine {
         }
         // Index loop: `internal` never changes after construction, and
         // cloning it here would put an allocation on every ∃/≥ firing.
+        // Each conjunct rests on the node's existence plus its own axiom.
         for i in 0..self.internal.len() {
             let cid = self.internal[i];
-            self.add_concept(id, cid, deps);
+            let axs = self.internal_ax[i];
+            self.add_concept(id, cid, deps | Just::axioms(axs));
         }
         self.mark_dirty(parent);
         self.mark_dirty(id);
@@ -696,9 +887,9 @@ impl Engine {
     /// Merge node `from` into node `to`; both are `R`-neighbours of `via`,
     /// with `from` a child of `via`. Every mutation is trail-recorded, so
     /// the merge unwinds like any other choice. `choice_deps` is the
-    /// dependency set of the merge decision itself; every fact the merge
+    /// justification of the merge decision itself; every fact the merge
     /// transfers is additionally tagged with it.
-    fn merge(&mut self, via: u32, from: u32, to: u32, choice_deps: DepSet) {
+    fn merge(&mut self, via: u32, from: u32, to: u32, choice_deps: Just) {
         debug_assert_eq!(self.nodes[from as usize].parent, via);
         debug_assert!(self.nodes[from as usize].alive && self.nodes[to as usize].alive);
         self.nodes[from as usize].alive = false;
@@ -914,8 +1105,11 @@ impl Engine {
             && !self.nodes[x as usize].edge.is_empty()
             && self.roles.edge_violates_disjointness(&self.nodes[x as usize].down_closure)
         {
-            let n = &self.nodes[x as usize];
-            self.raise_clash(n.deps | n.edge_deps_all());
+            let conflict = {
+                let n = &self.nodes[x as usize];
+                n.deps | n.edge_deps_all() | Just::axioms(self.disjoint_ax_mask)
+            };
+            self.raise_clash(conflict);
             return;
         }
         // ≤n R with more than n pairwise-distinct R-neighbours.
@@ -940,10 +1134,10 @@ impl Engine {
     }
 
     /// `Some(deps)` when all of `nodes` are pairwise distinct, with `deps`
-    /// the union of the distinctness assertions' dependency sets; `None`
+    /// the union of the distinctness assertions' justifications; `None`
     /// when some pair is mergeable.
-    fn all_pairwise_distinct(&self, nodes: &[u32]) -> Option<DepSet> {
-        let mut deps = 0;
+    fn all_pairwise_distinct(&self, nodes: &[u32]) -> Option<Just> {
+        let mut deps = Just::default();
         for (i, &a) in nodes.iter().enumerate() {
             for b in &nodes[i + 1..] {
                 match self.nodes[a as usize].distinct.binary_search(b) {
@@ -1042,7 +1236,7 @@ impl Engine {
         mark: Mark,
         level: u32,
         bit: DepSet,
-        acc: &mut DepSet,
+        acc: &mut Just,
         limited: &mut bool,
     ) -> Option<SResult> {
         let result =
@@ -1054,7 +1248,7 @@ impl Engine {
             }
             SResult::Unsat(conflict) => {
                 self.rollback(mark);
-                if precise_level(level) && conflict & bit == 0 {
+                if precise_level(level) && conflict.deps & bit == 0 {
                     // The refutation never used this choice: no sibling
                     // can avoid it. Jump straight past this choice point.
                     self.level -= 1;
@@ -1062,8 +1256,10 @@ impl Engine {
                 }
                 // Strip this level's bit only when it is exclusively
                 // ours; saturated levels keep bit 63 so outer saturated
-                // frames never skip on its account.
-                *acc |= if precise_level(level) { conflict & !bit } else { conflict };
+                // frames never skip on its account. Axiom bits are never
+                // stripped — every branch's culprits join the refutation.
+                acc.deps |= if precise_level(level) { conflict.deps & !bit } else { conflict.deps };
+                acc.axs |= conflict.axs;
             }
             SResult::Limit => {
                 *limited = true;
@@ -1121,7 +1317,7 @@ impl Engine {
                 let mut limited = false;
                 for d in disjuncts {
                     let mark = self.mark();
-                    self.add_concept(node, d, base | bit);
+                    self.add_concept(node, d, base.with_bit(bit));
                     if let Some(out) =
                         self.explore_alternative(mark, level, bit, &mut acc, &mut limited)
                     {
@@ -1186,7 +1382,7 @@ impl Engine {
                             if self.nodes[via as usize].parent == a { (b, a) } else { (a, b) };
                         tried = true;
                         let mark = self.mark();
-                        self.merge(via, from, to, base | bit);
+                        self.merge(via, from, to, base.with_bit(bit));
                         if let Some(out) =
                             self.explore_alternative(mark, level, bit, &mut acc, &mut limited)
                         {

@@ -13,6 +13,69 @@ use parking_lot::Mutex;
 use std::collections::{BTreeSet, HashMap};
 use std::sync::Arc;
 
+/// Which axiom store a provenance id points into. Paired with a per-store
+/// index in [`AxiomId`]; the per-store indices are append-stable, so an id
+/// handed out at insertion keeps naming the same axiom across any sequence
+/// of pure additions (destructive edits such as [`TBox::retract_gci`] may
+/// shift them — exactly the edits that already invalidate every cache).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum AxiomKind {
+    /// A general concept inclusion ([`TBox::gci`]).
+    Gci,
+    /// A role inclusion ([`TBox::role_inclusion`]).
+    RoleInclusion,
+    /// A role disjointness pair ([`TBox::disjoint`]).
+    Disjointness,
+}
+
+/// Provenance id of one TBox axiom, assigned at insertion (the mutating
+/// methods return it). Unsat cores ([`crate::explain`]) are sets of these,
+/// and `orm_to_dl` keys its ORM-constraint provenance table on them.
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::tbox::{AxiomId, AxiomKind, AxiomRef, TBox};
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let id: AxiomId = tbox.gci(a.clone(), Concept::Bottom);
+/// assert_eq!(id, AxiomId { kind: AxiomKind::Gci, index: 0 });
+/// match tbox.axiom(id) {
+///     AxiomRef::Gci(c, d) => assert_eq!((c, d), (&a, &Concept::Bottom)),
+///     other => panic!("expected a GCI, got {other:?}"),
+/// }
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct AxiomId {
+    /// The store the axiom lives in.
+    pub kind: AxiomKind,
+    /// Position within that store (insertion order).
+    pub index: u32,
+}
+
+impl std::fmt::Display for AxiomId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tag = match self.kind {
+            AxiomKind::Gci => "gci",
+            AxiomKind::RoleInclusion => "ri",
+            AxiomKind::Disjointness => "dj",
+        };
+        write!(f, "{tag}#{}", self.index)
+    }
+}
+
+/// A borrowed view of one axiom, resolved from an [`AxiomId`] by
+/// [`TBox::axiom`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AxiomRef<'a> {
+    /// `C ⊑ D`.
+    Gci(&'a Concept, &'a Concept),
+    /// `sub ⊑ sup` over role expressions.
+    RoleInclusion(RoleExpr, RoleExpr),
+    /// `a` and `b` are disjoint.
+    Disjointness(RoleExpr, RoleExpr),
+}
+
 /// The kind of one recorded TBox mutation, appended to the delta log by
 /// every revision bump.
 ///
@@ -238,23 +301,112 @@ impl TBox {
         &self.role_names[id as usize]
     }
 
-    /// Add a general concept inclusion `c ⊑ d`.
-    pub fn gci(&mut self, c: Concept, d: Concept) {
+    /// Add a general concept inclusion `c ⊑ d`, returning its provenance
+    /// id.
+    pub fn gci(&mut self, c: Concept, d: Concept) -> AxiomId {
         self.log.push(EditKind::Gci);
         self.gcis.push((c, d));
+        AxiomId { kind: AxiomKind::Gci, index: (self.gcis.len() - 1) as u32 }
     }
 
     /// Add a role inclusion `sub ⊑ sup` (its inverse form `sub⁻ ⊑ sup⁻` is
-    /// implied automatically).
-    pub fn role_inclusion(&mut self, sub: RoleExpr, sup: RoleExpr) {
+    /// implied automatically), returning its provenance id.
+    pub fn role_inclusion(&mut self, sub: RoleExpr, sup: RoleExpr) -> AxiomId {
         self.log.push(EditKind::RoleInclusion);
         self.role_inclusions.push((sub, sup));
+        AxiomId { kind: AxiomKind::RoleInclusion, index: (self.role_inclusions.len() - 1) as u32 }
     }
 
-    /// Declare two role expressions disjoint.
-    pub fn disjoint(&mut self, a: RoleExpr, b: RoleExpr) {
+    /// Declare two role expressions disjoint, returning the declaration's
+    /// provenance id.
+    pub fn disjoint(&mut self, a: RoleExpr, b: RoleExpr) -> AxiomId {
         self.log.push(EditKind::Disjointness);
         self.disjoint_roles.push((a, b));
+        AxiomId { kind: AxiomKind::Disjointness, index: (self.disjoint_roles.len() - 1) as u32 }
+    }
+
+    /// Total number of axioms across all three stores.
+    pub fn axiom_count(&self) -> usize {
+        self.gcis.len() + self.role_inclusions.len() + self.disjoint_roles.len()
+    }
+
+    /// Every current axiom's provenance id, in the canonical *flat order*
+    /// (all GCIs, then all role inclusions, then all disjointness pairs —
+    /// the order [`TBox::axiom_id_at_flat`] indexes).
+    pub fn axiom_ids(&self) -> impl Iterator<Item = AxiomId> + '_ {
+        let gci = (0..self.gcis.len() as u32).map(|index| AxiomId { kind: AxiomKind::Gci, index });
+        let ri = (0..self.role_inclusions.len() as u32)
+            .map(|index| AxiomId { kind: AxiomKind::RoleInclusion, index });
+        let dj = (0..self.disjoint_roles.len() as u32)
+            .map(|index| AxiomId { kind: AxiomKind::Disjointness, index });
+        gci.chain(ri).chain(dj)
+    }
+
+    /// Resolve a provenance id to its axiom.
+    ///
+    /// # Panics
+    /// Panics when `id.index` is out of bounds for its store (an id minted
+    /// by a different TBox, or orphaned by a destructive edit).
+    pub fn axiom(&self, id: AxiomId) -> AxiomRef<'_> {
+        match id.kind {
+            AxiomKind::Gci => {
+                let (c, d) = &self.gcis[id.index as usize];
+                AxiomRef::Gci(c, d)
+            }
+            AxiomKind::RoleInclusion => {
+                let (sub, sup) = self.role_inclusions[id.index as usize];
+                AxiomRef::RoleInclusion(sub, sup)
+            }
+            AxiomKind::Disjointness => {
+                let (a, b) = self.disjoint_roles[id.index as usize];
+                AxiomRef::Disjointness(a, b)
+            }
+        }
+    }
+
+    /// The provenance id at position `flat` of the canonical flat order
+    /// (see [`TBox::axiom_ids`]); `None` past the end. The tableau's
+    /// axiom-usage bitmasks are indexed in this order.
+    pub fn axiom_id_at_flat(&self, flat: usize) -> Option<AxiomId> {
+        let (g, ri) = (self.gcis.len(), self.role_inclusions.len());
+        if flat < g {
+            Some(AxiomId { kind: AxiomKind::Gci, index: flat as u32 })
+        } else if flat < g + ri {
+            Some(AxiomId { kind: AxiomKind::RoleInclusion, index: (flat - g) as u32 })
+        } else if flat < self.axiom_count() {
+            Some(AxiomId { kind: AxiomKind::Disjointness, index: (flat - g - ri) as u32 })
+        } else {
+            None
+        }
+    }
+
+    /// A new TBox with the same interned names (atom and role ids stay
+    /// valid) but only the axioms named in `keep` — the sub-terminology a
+    /// candidate unsat core induces ([`crate::explain`] proves cores
+    /// against these). Duplicate ids contribute one axiom each time they
+    /// appear; the new TBox has a fresh cache identity.
+    pub fn restrict_to(&self, keep: &[AxiomId]) -> TBox {
+        let mut out = TBox::new();
+        for name in &self.atom_names {
+            out.atom(name.clone());
+        }
+        for name in &self.role_names {
+            out.role(name.clone());
+        }
+        for &id in keep {
+            match self.axiom(id) {
+                AxiomRef::Gci(c, d) => {
+                    out.gci(c.clone(), d.clone());
+                }
+                AxiomRef::RoleInclusion(sub, sup) => {
+                    out.role_inclusion(sub, sup);
+                }
+                AxiomRef::Disjointness(a, b) => {
+                    out.disjoint(a, b);
+                }
+            }
+        }
+        out
     }
 
     /// Remove the GCI at `index` (an editor deleting a constraint) and
@@ -586,6 +738,58 @@ mod tests {
         // A revision from "the future" (e.g. a different TBox's stamp) is
         // never trusted.
         assert!(matches!(t.delta_since(t.revision() + 7), Delta::Destructive));
+    }
+
+    #[test]
+    fn axiom_ids_resolve_and_flat_order_is_stable() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let r = RoleExpr::direct(t.role("R"));
+        let s = RoleExpr::direct(t.role("S"));
+        let g0 = t.gci(a.clone(), b.clone());
+        let ri0 = t.role_inclusion(r, s);
+        let dj0 = t.disjoint(r, s);
+        let g1 = t.gci(b.clone(), a.clone());
+        assert_eq!(t.axiom_count(), 4);
+        assert_eq!(t.axiom(g0), AxiomRef::Gci(&a, &b));
+        assert_eq!(t.axiom(g1), AxiomRef::Gci(&b, &a));
+        assert_eq!(t.axiom(ri0), AxiomRef::RoleInclusion(r, s));
+        assert_eq!(t.axiom(dj0), AxiomRef::Disjointness(r, s));
+        // Flat order: GCIs, role inclusions, disjointness — and the
+        // iterator agrees with the positional lookup.
+        let flat: Vec<AxiomId> = t.axiom_ids().collect();
+        assert_eq!(flat, vec![g0, g1, ri0, dj0]);
+        for (i, id) in flat.iter().enumerate() {
+            assert_eq!(t.axiom_id_at_flat(i), Some(*id));
+        }
+        assert_eq!(t.axiom_id_at_flat(4), None);
+        // Ids are append-stable: g0 still names A ⊑ B after more growth.
+        t.gci(a.clone(), Concept::Top);
+        assert_eq!(t.axiom(g0), AxiomRef::Gci(&a, &b));
+        assert_eq!(format!("{g0} {ri0} {dj0}"), "gci#0 ri#0 dj#0");
+    }
+
+    #[test]
+    fn restrict_to_preserves_interning() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let r = RoleExpr::direct(t.role("R"));
+        let g0 = t.gci(a.clone(), b.clone());
+        let g1 = t.gci(b.clone(), Concept::Bottom);
+        let dj = t.disjoint(r, r);
+        let sub = t.restrict_to(&[g1, dj]);
+        // Names (and with them every AtomId/RoleNameId baked into the kept
+        // concepts) carry over unchanged.
+        assert_eq!(sub.atom_count(), t.atom_count());
+        assert_eq!(sub.atom_name(0), "A");
+        assert_eq!(sub.role_name(0), "R");
+        assert_eq!(sub.gcis(), &[(b.clone(), Concept::Bottom)]);
+        assert_eq!(sub.axiom_count(), 2);
+        // The restriction is a fresh TBox value: fresh cache identity.
+        assert_ne!(sub.cache_stamp().0, t.cache_stamp().0);
+        let _ = g0;
     }
 
     #[test]

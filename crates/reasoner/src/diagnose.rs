@@ -1,0 +1,285 @@
+//! ORM-level diagnosis: from a bare unsat verdict to the named schema
+//! constraints that cause it, verbalized.
+//!
+//! This is the end of the explanation pipeline (documented start to
+//! finish in `docs/EXPLANATIONS.md`):
+//!
+//! 1. the DL sweep finds the unsatisfiable types and roles
+//!    (`Translation::{type,role}_sweep`);
+//! 2. each unsat element gets a **minimal unsat core** of DL axioms
+//!    (`orm_dl::explain`, cached beside the verdicts);
+//! 3. the core's axioms are mapped back to the ORM constructs that
+//!    produced them through the provenance table `translate` records
+//!    (`Translation::core_origins`);
+//! 4. each origin is rendered as one pseudo-natural-language statement
+//!    via `orm_syntax::verbalize`.
+//!
+//! The result is what the paper's interactive scenario actually needs to
+//! show a modeler: *"PhdStudent can never be populated because: Each
+//! PhdStudent is a Student. Each PhdStudent is a Employee. No instance is
+//! more than one of Student, Employee."*
+
+use orm_dl::{AxiomOrigin, DlOutcome, Translation, UnsatCore};
+use orm_model::{ObjectTypeId, RoleId, Schema};
+use orm_syntax::{
+    verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion, verbalize_subtype,
+};
+
+/// The schema element a [`Diagnosis`] is about.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum DiagnosedElement {
+    /// An object type that can never be populated.
+    Type(ObjectTypeId),
+    /// A role that can never be populated.
+    Role(RoleId),
+}
+
+/// One unsatisfiable element with its explanation: the minimal DL core,
+/// the distinct ORM origins behind it, and one verbalized statement per
+/// origin.
+#[derive(Clone, Debug)]
+pub struct Diagnosis {
+    /// The doomed element.
+    pub element: DiagnosedElement,
+    /// Its display label (type name or role label).
+    pub label: String,
+    /// The minimal unsat core ([`orm_dl::explain`] guarantees).
+    pub core: UnsatCore,
+    /// The core's distinct ORM-level origins, verbalized one statement
+    /// each (in core order). Axioms added behind the translation's back
+    /// have no origin and contribute no statement.
+    pub statements: Vec<String>,
+}
+
+impl std::fmt::Display for Diagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "`{}` can never be populated because:", self.label)?;
+        for s in &self.statements {
+            writeln!(f, "  - {s}")?;
+        }
+        let qualifier = if self.core.minimal { "minimal, " } else { "" };
+        write!(f, "  ({}{} DL axiom(s) in the unsat core)", qualifier, self.core.len())
+    }
+}
+
+/// Render one ORM origin as a statement.
+fn origin_statement(schema: &Schema, origin: &AxiomOrigin) -> String {
+    match origin {
+        AxiomOrigin::Subtype { sub, sup } => verbalize_subtype(schema, *sub, *sup),
+        AxiomOrigin::ImplicitExclusion { a, b } => verbalize_implicit_exclusion(schema, *a, *b),
+        AxiomOrigin::FactTyping { role, .. } => verbalize_fact_typing(schema, *role),
+        AxiomOrigin::Constraint(cid) => match schema.constraint(*cid) {
+            Some(c) => verbalize_constraint(schema, c),
+            None => format!("A since-removed constraint ({cid:?})."),
+        },
+        AxiomOrigin::TypeExclusion { a, b } => format!(
+            "No instance is both {} and {} (added this session).",
+            schema.object_type(*a).name(),
+            schema.object_type(*b).name()
+        ),
+        AxiomOrigin::Mandatory { player, roles } => {
+            let role_list: Vec<&str> = roles.iter().map(|r| schema.role_label(*r)).collect();
+            format!(
+                "Each {} must play {} (added this session).",
+                schema.object_type(*player).name(),
+                role_list.join(" or ")
+            )
+        }
+        AxiomOrigin::RoleSubset { sub, sup } => format!(
+            "Whatever populates role {} also populates role {} (added this session).",
+            schema.role_label(*sub),
+            schema.role_label(*sup)
+        ),
+        AxiomOrigin::RoleExclusion { a, b } => format!(
+            "No instance populates both role {} and role {} (added this session).",
+            schema.role_label(*a),
+            schema.role_label(*b)
+        ),
+    }
+}
+
+/// Diagnose every unsatisfiable type and role of `schema` through the DL
+/// pipeline: translate, sweep, extract a minimal unsat core per doomed
+/// element, map it to ORM constraints and verbalize. Elements whose
+/// verdicts are `Sat` or hit the budget produce no diagnosis — this
+/// reports *certified* contradictions only, in sweep order (types first).
+///
+/// ```
+/// use orm_model::SchemaBuilder;
+/// use orm_reasoner::{diagnose, DiagnosedElement};
+///
+/// // Fig. 1: PhdStudent ⊑ Student ⊓ Employee, with the two exclusive.
+/// let mut b = SchemaBuilder::new("fig1");
+/// let person = b.entity_type("Person").unwrap();
+/// let student = b.entity_type("Student").unwrap();
+/// let employee = b.entity_type("Employee").unwrap();
+/// let phd = b.entity_type("PhdStudent").unwrap();
+/// b.subtype(student, person).unwrap();
+/// b.subtype(employee, person).unwrap();
+/// b.subtype(phd, student).unwrap();
+/// b.subtype(phd, employee).unwrap();
+/// b.exclusive_types([student, employee]).unwrap();
+/// let schema = b.finish();
+///
+/// let diagnoses = diagnose(&schema, 100_000);
+/// assert_eq!(diagnoses.len(), 1);
+/// let d = &diagnoses[0];
+/// assert_eq!(d.element, DiagnosedElement::Type(phd));
+/// assert!(d.core.minimal);
+/// // Three statements: the two subtype links into the exclusive pair,
+/// // and the exclusion itself.
+/// assert_eq!(d.statements.len(), 3);
+/// assert!(d.statements.iter().any(|s| s == "Each PhdStudent is a Student."));
+/// assert!(d.statements.iter().any(|s| s.contains("more than one of Student, Employee")));
+/// ```
+pub fn diagnose(schema: &Schema, budget: u64) -> Vec<Diagnosis> {
+    diagnose_with(schema, &orm_dl::translate(schema), budget)
+}
+
+/// [`diagnose`] against an existing translation — the warm-cache variant
+/// for interactive sessions: cores are cached beside verdicts in the
+/// translation's shards, so re-diagnosing after unrelated edits replays
+/// retained entries instead of re-proving.
+pub fn diagnose_with(schema: &Schema, translation: &Translation, budget: u64) -> Vec<Diagnosis> {
+    let mut out = Vec::new();
+    let mut diagnose_element = |element: DiagnosedElement, label: String| {
+        let explanation = match element {
+            DiagnosedElement::Type(ty) => translation.explain_type(ty, budget),
+            DiagnosedElement::Role(role) => translation.explain_role(role, budget),
+        };
+        if let orm_dl::Explanation::Unsat(core) = explanation {
+            let statements = translation
+                .core_origins(&core)
+                .into_iter()
+                .map(|origin| origin_statement(schema, origin))
+                .collect();
+            out.push(Diagnosis { element, label, core, statements });
+        }
+    };
+    for (ty, _) in schema.object_types() {
+        if translation.type_satisfiable(ty, budget) == DlOutcome::Unsat {
+            diagnose_element(DiagnosedElement::Type(ty), schema.object_type(ty).name().to_owned());
+        }
+    }
+    for (role, _) in schema.roles() {
+        if translation.role_satisfiable(role, budget) == DlOutcome::Unsat {
+            diagnose_element(DiagnosedElement::Role(role), schema.role_label(role).to_owned());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::SchemaBuilder;
+
+    const BUDGET: u64 = 200_000;
+
+    #[test]
+    fn exclusion_mandatory_diagnosed_at_role_level() {
+        // Fig. 4a: mandatory r1 + exclusion {r1, r3} dooms r3. The
+        // diagnosis must name both constraints (and the fact typing that
+        // links them), not merely flag the role.
+        let mut b = SchemaBuilder::new("fig4a");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let f1 = b.fact_type("f1", a, x).unwrap();
+        let f2 = b.fact_type("f2", a, y).unwrap();
+        let r1 = b.schema().fact_type(f1).first();
+        let r3 = b.schema().fact_type(f2).first();
+        b.mandatory(r1).unwrap();
+        b.exclusion_roles([r1, r3]).unwrap();
+        let s = b.finish();
+        let ds = diagnose(&s, BUDGET);
+        // Both ends of the doomed fact type f2 are reported (a tuple
+        // would populate both), r1 is not.
+        assert!(!ds.iter().any(|d| d.element == DiagnosedElement::Role(r1)), "{ds:?}");
+        let d = ds
+            .iter()
+            .find(|d| d.element == DiagnosedElement::Role(r3))
+            .expect("r3 must be diagnosed");
+        assert!(d.core.minimal);
+        assert!(!d.statements.is_empty());
+        assert!(
+            d.statements.iter().any(|s| s.contains("must")),
+            "mandatory constraint missing from {:?}",
+            d.statements
+        );
+        assert!(
+            d.statements.iter().any(|s| s.contains("more than one")),
+            "exclusion missing from {:?}",
+            d.statements
+        );
+        // Display renders the element and every statement.
+        let text = d.to_string();
+        assert!(text.contains("can never be populated"));
+        assert!(text.contains("minimal"));
+    }
+
+    #[test]
+    fn uniqueness_frequency_conflict_names_both() {
+        // Fig. 10 / Pattern 7: UC (≤1) against FC(2..5) on one role.
+        let mut b = SchemaBuilder::new("fig10");
+        let a = b.entity_type("A").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let f = b.fact_type("f", a, x).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.unique([r1]).unwrap();
+        b.frequency([r1], 2, Some(5)).unwrap();
+        let s = b.finish();
+        let ds = diagnose(&s, BUDGET);
+        let d = ds
+            .iter()
+            .find(|d| d.element == DiagnosedElement::Role(r1))
+            .expect("r1 must be diagnosed");
+        assert!(
+            d.statements.iter().any(|s| s.contains("at most once")),
+            "uniqueness missing: {:?}",
+            d.statements
+        );
+        assert!(
+            d.statements.iter().any(|s| s.contains("between 2 and 5")),
+            "frequency missing: {:?}",
+            d.statements
+        );
+    }
+
+    #[test]
+    fn satisfiable_schema_yields_no_diagnoses() {
+        let mut b = SchemaBuilder::new("clean");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        b.subtype(student, person).unwrap();
+        let s = b.finish();
+        assert!(diagnose(&s, BUDGET).is_empty());
+    }
+
+    #[test]
+    fn warm_session_diagnosis_matches_cold() {
+        // diagnose_with over an edited translation agrees with diagnose
+        // over the equivalent rebuilt schema.
+        let mut b = SchemaBuilder::new("s");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        b.subtype(student, person).unwrap();
+        b.subtype(employee, person).unwrap();
+        b.subtype(phd, student).unwrap();
+        b.subtype(phd, employee).unwrap();
+        let schema = b.finish();
+        let mut translation = orm_dl::translate(&schema);
+        assert!(diagnose_with(&schema, &translation, BUDGET).is_empty());
+        translation.edit().add_type_exclusion(student, employee);
+        let warm = diagnose_with(&schema, &translation, BUDGET);
+        assert_eq!(warm.len(), 1);
+        assert_eq!(warm[0].element, DiagnosedElement::Type(phd));
+        assert!(
+            warm[0].statements.iter().any(|s| s.contains("added this session")),
+            "session-added exclusion should be named: {:?}",
+            warm[0].statements
+        );
+    }
+}

@@ -46,8 +46,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod diagnose;
 mod search;
 
+pub use diagnose::{diagnose, diagnose_with, DiagnosedElement, Diagnosis};
 pub use search::{find_model, Bounds, Outcome, Target};
 
 use orm_dl::{DlOutcome, Translation};

@@ -59,7 +59,10 @@ mod verbalize;
 pub use ast::{AstConstraint, AstDecl, AstSchema, AstSeq};
 pub use error::ParseError;
 pub use printer::print;
-pub use verbalize::verbalize;
+pub use verbalize::{
+    verbalize, verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion,
+    verbalize_subtype,
+};
 
 use orm_model::Schema;
 

@@ -4,19 +4,21 @@
 //! "ORM schemes can be translated into pseudo natural language statements"
 //! (§1). This module produces those statements — one line per structural
 //! element and constraint, in the style popularized by NIAM/ORM tooling.
+//!
+//! Besides the whole-schema [`verbalize`], the per-element entry points
+//! ([`verbalize_constraint`], [`verbalize_subtype`],
+//! [`verbalize_implicit_exclusion`], [`verbalize_fact_typing`]) render a
+//! *single* statement — the sentences `orm_reasoner::diagnose` assembles
+//! when it turns an unsat core's ORM origins into a readable diagnosis.
 
-use orm_model::{Constraint, RingKind, RoleId, RoleSeq, Schema, SetComparisonKind};
+use orm_model::{Constraint, ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SetComparisonKind};
 
 /// Verbalize the whole schema, one statement per line.
 pub fn verbalize(schema: &Schema) -> String {
     let mut lines: Vec<String> = Vec::new();
 
     for link in schema.subtype_links() {
-        lines.push(format!(
-            "Each {} is a {}.",
-            schema.object_type(link.sub).name(),
-            schema.object_type(link.sup).name()
-        ));
+        lines.push(verbalize_subtype(schema, link.sub, link.sup));
     }
 
     for (ty, ot) in schema.object_types() {
@@ -40,6 +42,38 @@ pub fn verbalize(schema: &Schema) -> String {
     lines.join("\n")
 }
 
+/// One subtype link as a statement: `Each Student is a Person.`
+pub fn verbalize_subtype(schema: &Schema, sub: ObjectTypeId, sup: ObjectTypeId) -> String {
+    format!("Each {} is a {}.", schema.object_type(sub).name(), schema.object_type(sup).name())
+}
+
+/// ORM's implicit exclusion of types without a common supertype, as a
+/// statement — the unstated rule diagnosis must surface when it is a
+/// culprit, since no constraint in the schema spells it out.
+pub fn verbalize_implicit_exclusion(schema: &Schema, a: ObjectTypeId, b: ObjectTypeId) -> String {
+    format!(
+        "{} and {} share no common supertype, so (implicitly) no instance is both.",
+        schema.object_type(a).name(),
+        schema.object_type(b).name()
+    )
+}
+
+/// The typing of one role of a fact type as a statement: which object
+/// type populates it.
+pub fn verbalize_fact_typing(schema: &Schema, role: RoleId) -> String {
+    let r = schema.role(role);
+    let ft = schema.fact_type(r.fact_type());
+    let player = schema.object_type(schema.player(role)).name();
+    let position = if r.position() == 0 { "first" } else { "second" };
+    format!(
+        "Only {} plays the {} role of {} (role {}).",
+        player,
+        position,
+        ft.name(),
+        schema.role_label(role)
+    )
+}
+
 fn role_phrase(schema: &Schema, role: RoleId) -> String {
     let r = schema.role(role);
     let ft = schema.fact_type(r.fact_type());
@@ -60,7 +94,10 @@ fn seq_phrase(schema: &Schema, seq: &RoleSeq) -> String {
     }
 }
 
-fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
+/// One constraint as a statement (the per-constraint half of
+/// [`verbalize`], exposed so diagnosis can verbalize exactly the
+/// constraints an unsat core names).
+pub fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
     match c {
         Constraint::Mandatory(m) => {
             let player = schema.object_type(schema.player(m.roles[0])).name();
@@ -216,6 +253,28 @@ mod tests {
     fn value_constraints_verbalized() {
         let s = parse("schema s { value Code { 'x1', 'x2' }; }").unwrap();
         assert!(verbalize(&s).contains("The possible values of Code are {'x1', 'x2'}."));
+    }
+
+    #[test]
+    fn per_element_statements() {
+        let s = parse(
+            "schema s { entity Person; entity Student subtype-of Person; entity Car; \
+             fact drives (Person as r1, Car as r2); }",
+        )
+        .unwrap();
+        let person = s.object_type_by_name("Person").unwrap();
+        let student = s.object_type_by_name("Student").unwrap();
+        let car = s.object_type_by_name("Car").unwrap();
+        assert_eq!(verbalize_subtype(&s, student, person), "Each Student is a Person.");
+        assert_eq!(
+            verbalize_implicit_exclusion(&s, person, car),
+            "Person and Car share no common supertype, so (implicitly) no instance is both."
+        );
+        let drives = s.fact_type_by_name("drives").unwrap();
+        let r1 = s.fact_type(drives).first();
+        let r2 = s.fact_type(drives).second();
+        assert!(verbalize_fact_typing(&s, r1).contains("Only Person plays the first role"));
+        assert!(verbalize_fact_typing(&s, r2).contains("Only Car plays the second role"));
     }
 
     #[test]

@@ -1,0 +1,218 @@
+//! Differential guarantees of unsat-core extraction (PR 5):
+//!
+//! * **Soundness** — every extracted core refutes its query on its own
+//!   (`restrict_to(core)` proves `Unsat`);
+//! * **Minimality** — removing any *single* axiom from a core flagged
+//!   `minimal` flips the restricted verdict to `Sat`;
+//! * **Agreement** — the explanation outcome classifies exactly like the
+//!   plain `satisfiable` verdict, and the cached explanation path
+//!   (`SatCache::explain` / `Translation::explain_*`) classifies like the
+//!   uncached `explain_unsat`;
+//! * **Attribution** — through the ORM pipeline, every core axiom of a
+//!   translated schema maps to a recorded [`orm_dl::AxiomOrigin`], so a
+//!   diagnosis can always name at least one schema construct.
+//!
+//! Random TBoxes come from the same edit-script vocabulary as
+//! `incremental_dl.rs`; random ORM schemas come from `orm-gen`'s
+//! unrestricted generator.
+
+use orm_dl::concept::{Concept, RoleExpr};
+use orm_dl::explain::{core_refutes, explain_unsat, with_deep_stack, Explanation};
+use orm_dl::tableau::satisfiable;
+use orm_dl::tbox::TBox;
+use orm_dl::{DlOutcome, SatCache};
+use orm_gen::{generate, GenConfig};
+use proptest::prelude::*;
+
+const BUDGET: u64 = 150_000;
+const ATOMS: usize = 4;
+const ROLES: usize = 2;
+
+// The direct `satisfiable`-over-`restrict_to` calls below run on
+// `with_deep_stack` for the same reason `explain_unsat` does internally:
+// weakened-TBox searches recurse one frame per decision level, which
+// overflows a default test-thread stack in debug builds.
+
+/// One random axiom over the fixed vocabulary (additions only — cores are
+/// about a TBox state, not an edit history).
+#[derive(Clone, Debug)]
+enum Axiom {
+    /// `Aᵢ ⊑ Aⱼ`
+    Sub(usize, usize),
+    /// `Aᵢ ⊓ Aⱼ ⊑ ⊥`
+    Excl(usize, usize),
+    /// `Aᵢ ⊑ ∃Rᵣ.⊤`
+    Exists(usize, usize),
+    /// `Aᵢ ⊑ ∀Rᵣ.Aⱼ`
+    Forall(usize, usize, usize),
+    /// `⊤ ⊑ ≤1 Rᵣ`
+    AtMostOne(usize),
+    /// `∃Rᵣ.⊤ ⊑ ≥2 Rᵣ`
+    AtLeastTwo(usize),
+    /// `Rᵣ ⊑ Rₛ`
+    RoleIncl(usize, usize),
+    /// `Rᵣ` disjoint `Rₛ`
+    Disjoint(usize, usize),
+}
+
+fn axiom_strategy() -> impl Strategy<Value = Axiom> {
+    prop_oneof![
+        ((0usize..ATOMS), (0usize..ATOMS)).prop_map(|(i, j)| Axiom::Sub(i, j)),
+        ((0usize..ATOMS), (0usize..ATOMS)).prop_map(|(i, j)| Axiom::Excl(i, j)),
+        ((0usize..ATOMS), (0usize..ROLES)).prop_map(|(i, r)| Axiom::Exists(i, r)),
+        ((0usize..ATOMS), (0usize..ROLES), (0usize..ATOMS))
+            .prop_map(|(i, r, j)| Axiom::Forall(i, r, j)),
+        (0usize..ROLES).prop_map(Axiom::AtMostOne),
+        (0usize..ROLES).prop_map(Axiom::AtLeastTwo),
+        ((0usize..ROLES), (0usize..ROLES)).prop_map(|(r, s)| Axiom::RoleIncl(r, s)),
+        ((0usize..ROLES), (0usize..ROLES)).prop_map(|(r, s)| Axiom::Disjoint(r, s)),
+    ]
+}
+
+fn build(axioms: &[Axiom]) -> (TBox, Vec<Concept>) {
+    let mut t = TBox::new();
+    let atoms: Vec<Concept> =
+        (0..ATOMS).map(|i| Concept::Atomic(t.atom(format!("A{i}")))).collect();
+    let roles: Vec<RoleExpr> =
+        (0..ROLES).map(|i| RoleExpr::direct(t.role(format!("R{i}")))).collect();
+    for ax in axioms {
+        match *ax {
+            Axiom::Sub(i, j) => {
+                t.gci(atoms[i].clone(), atoms[j].clone());
+            }
+            Axiom::Excl(i, j) => {
+                t.gci(Concept::and([atoms[i].clone(), atoms[j].clone()]), Concept::Bottom);
+            }
+            Axiom::Exists(i, r) => {
+                t.gci(atoms[i].clone(), Concept::some(roles[r]));
+            }
+            Axiom::Forall(i, r, j) => {
+                t.gci(atoms[i].clone(), Concept::ForAll(roles[r], Box::new(atoms[j].clone())));
+            }
+            Axiom::AtMostOne(r) => {
+                t.gci(Concept::Top, Concept::AtMost(1, roles[r]));
+            }
+            Axiom::AtLeastTwo(r) => {
+                t.gci(Concept::some(roles[r]), Concept::AtLeast(2, roles[r]));
+            }
+            Axiom::RoleIncl(r, s) => {
+                t.role_inclusion(roles[r], roles[s]);
+            }
+            Axiom::Disjoint(r, s) => {
+                t.disjoint(roles[r], roles[s]);
+            }
+        }
+    }
+    // Queries: each atom, each ∃R.⊤, and one conjunctive pair — a mix
+    // that hits propagation, generation and merging.
+    let mut queries: Vec<Concept> = atoms.clone();
+    queries.extend(roles.iter().map(|r| Concept::some(*r)));
+    queries.push(Concept::and([atoms[0].clone(), atoms[1].clone()]));
+    (t, queries)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Guarantees (a), (b) and verdict agreement over random DL TBoxes:
+    /// every core refutes alone, every `minimal` core loses refutation
+    /// power with any single axiom removed, and the explanation outcome
+    /// classifies like the plain verdict.
+    #[test]
+    fn cores_are_sound_minimal_and_agree(
+        axioms in prop::collection::vec(axiom_strategy(), 1..12),
+    ) {
+        let (tbox, queries) = build(&axioms);
+        let mut cache = SatCache::new();
+        for query in &queries {
+            let plain = with_deep_stack(|| satisfiable(&tbox, query, BUDGET));
+            let explanation = explain_unsat(&tbox, query, BUDGET);
+            prop_assert_eq!(explanation.verdict(), plain, "outcome diverged on {}", query);
+            // The cached path classifies identically.
+            let cached = cache.explain(&tbox, query, BUDGET);
+            prop_assert_eq!(cached.verdict(), plain, "cached outcome diverged on {}", query);
+            let Explanation::Unsat(core) = explanation else { continue };
+            // (a) The core alone refutes.
+            prop_assert!(
+                with_deep_stack(|| core_refutes(&tbox, &core, query, BUDGET)),
+                "core {:?} does not refute {}", core, query
+            );
+            // (b) Minimality: dropping any single axiom restores a model.
+            prop_assert!(core.minimal, "budget should never bite at this size");
+            for i in 0..core.len() {
+                let mut weakened = core.axioms.clone();
+                let removed = weakened.remove(i);
+                let verdict =
+                    with_deep_stack(|| satisfiable(&tbox.restrict_to(&weakened), query, BUDGET));
+                prop_assert_eq!(
+                    verdict, DlOutcome::Sat,
+                    "core for {} is not minimal: still {:?} without {}",
+                    query, verdict, removed
+                );
+            }
+        }
+    }
+
+    /// Guarantee (c) through the full ORM pipeline on random generated
+    /// schemas: per-element explanations agree with the plain sweep
+    /// verdicts, every core refutes alone, and every core axiom carries a
+    /// recorded ORM origin (so each diagnosis names ≥ 1 construct —
+    /// unless the core is empty, which a type query over a translated
+    /// schema never produces).
+    #[test]
+    fn orm_pipeline_explanations_agree_and_attribute(seed in 0u64..40) {
+        let schema = generate(&GenConfig::small(seed));
+        let t = orm_dl::translate(&schema);
+        for (ty, _) in schema.object_types() {
+            let plain = with_deep_stack(|| t.type_satisfiable(ty, BUDGET));
+            let explanation = t.explain_type(ty, BUDGET);
+            prop_assert_eq!(explanation.verdict(), plain);
+            if let Explanation::Unsat(core) = explanation {
+                prop_assert!(with_deep_stack(|| core_refutes(
+                    &t.tbox, &core, &t.type_concept(ty), BUDGET
+                )));
+                prop_assert!(!core.is_empty(), "a named type needs at least one axiom to clash");
+                for id in &core.axioms {
+                    prop_assert!(t.axiom_origin(*id).is_some(), "axiom {} unattributed", id);
+                }
+                prop_assert!(!t.core_origins(&core).is_empty());
+            }
+        }
+        for (role, _) in schema.roles() {
+            let plain = with_deep_stack(|| t.role_satisfiable(role, BUDGET));
+            let explanation = t.explain_role(role, BUDGET);
+            prop_assert_eq!(explanation.verdict(), plain);
+            if let Explanation::Unsat(core) = explanation {
+                prop_assert!(with_deep_stack(|| core_refutes(
+                    &t.tbox, &core, &t.role_concept(role), BUDGET
+                )));
+                prop_assert!(!t.core_origins(&core).is_empty());
+            }
+        }
+    }
+}
+
+/// The worked example from `docs/EXPLANATIONS.md`, pinned end to end:
+/// `examples/schemas/fig1_university.orm` parses, diagnoses to exactly
+/// the PhD-student clash, and the statements name the three culprits.
+#[test]
+fn fig1_sample_schema_diagnoses_as_documented() {
+    let text = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../examples/schemas/fig1_university.orm"
+    ))
+    .expect("sample schema readable");
+    let schema = orm_syntax::parse(&text).expect("sample schema parses");
+    let diagnoses = orm_reasoner::diagnose(&schema, 200_000);
+    assert_eq!(diagnoses.len(), 1, "only PhdStudent is doomed: {diagnoses:?}");
+    let d = &diagnoses[0];
+    assert!(d.core.minimal);
+    assert_eq!(d.core.len(), 3);
+    assert_eq!(d.statements.len(), 3, "statements: {:?}", d.statements);
+    assert!(d.statements.iter().any(|s| s.contains("is a Student")));
+    assert!(d
+        .statements
+        .iter()
+        .any(|s| s.contains("is an Employee") || s.contains("is a Employee")));
+    assert!(d.statements.iter().any(|s| s.contains("more than one of")));
+}

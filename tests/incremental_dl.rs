@@ -61,21 +61,35 @@ fn vocabulary() -> (TBox, Vec<Concept>, Vec<RoleExpr>) {
     (t, atoms, roles)
 }
 
-/// Apply one edit; returns whether it was destructive.
+/// Apply one edit; returns whether it was destructive. (The addition arms
+/// discard the [`orm_dl::AxiomId`] the mutators hand back — these scripts
+/// exercise cache retention, not provenance.)
 fn apply(t: &mut TBox, atoms: &[Concept], roles: &[RoleExpr], edit: &Edit) -> bool {
     match *edit {
-        Edit::SubGci(i, j) => t.gci(atoms[i % ATOMS].clone(), atoms[j % ATOMS].clone()),
-        Edit::ExclGci(i, j) => t.gci(
-            Concept::and([atoms[i % ATOMS].clone(), atoms[j % ATOMS].clone()]),
-            Concept::Bottom,
-        ),
-        Edit::ExistsGci(i, r) => t.gci(atoms[i % ATOMS].clone(), Concept::some(roles[r % ROLES])),
-        Edit::ForallGci(i, r, j) => t.gci(
-            atoms[i % ATOMS].clone(),
-            Concept::ForAll(roles[r % ROLES], Box::new(atoms[j % ATOMS].clone())),
-        ),
-        Edit::RoleIncl(r, s) => t.role_inclusion(roles[r % ROLES], roles[s % ROLES]),
-        Edit::Disjoint(r, s) => t.disjoint(roles[r % ROLES], roles[s % ROLES]),
+        Edit::SubGci(i, j) => {
+            t.gci(atoms[i % ATOMS].clone(), atoms[j % ATOMS].clone());
+        }
+        Edit::ExclGci(i, j) => {
+            t.gci(
+                Concept::and([atoms[i % ATOMS].clone(), atoms[j % ATOMS].clone()]),
+                Concept::Bottom,
+            );
+        }
+        Edit::ExistsGci(i, r) => {
+            t.gci(atoms[i % ATOMS].clone(), Concept::some(roles[r % ROLES]));
+        }
+        Edit::ForallGci(i, r, j) => {
+            t.gci(
+                atoms[i % ATOMS].clone(),
+                Concept::ForAll(roles[r % ROLES], Box::new(atoms[j % ATOMS].clone())),
+            );
+        }
+        Edit::RoleIncl(r, s) => {
+            t.role_inclusion(roles[r % ROLES], roles[s % ROLES]);
+        }
+        Edit::Disjoint(r, s) => {
+            t.disjoint(roles[r % ROLES], roles[s % ROLES]);
+        }
         Edit::Retract => {
             if !t.gcis().is_empty() {
                 let last = t.gcis().len() - 1;
