@@ -395,6 +395,33 @@ fn tableau_bench(out_path: &str, budget: u64) {
             "warm explanation replay diverged from cold extraction"
         );
     }
+    // Warm-start delta (PR 6): the cold extraction above routes through
+    // the sharded cache, whose seed pool lets each element's extraction
+    // probe the previous elements' certified cores first. The fully
+    // *unseeded* baseline runs the same extractions directly against the
+    // engine, pool-less — the delta is what cross-element seeding buys.
+    // Verdict shape must agree (every element yields a core both ways);
+    // core *contents* may legitimately differ, minimal cores aren't
+    // unique.
+    let mut explain_unseeded = f64::MAX;
+    let mut unseeded_cores = 0usize;
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        let tbox = &exp_translation.tbox;
+        unseeded_cores = unsat_types
+            .iter()
+            .map(|&ty| exp_translation.type_concept(ty))
+            .chain(unsat_roles.iter().map(|&r| exp_translation.role_concept(r)))
+            .filter(|q| {
+                matches!(
+                    orm_dl::explain_unsat(tbox, q, explain_budget),
+                    orm_dl::Explanation::Unsat(_)
+                )
+            })
+            .count();
+        explain_unseeded = explain_unseeded.min(t0.elapsed().as_secs_f64());
+    }
+    let seeding_agrees = unseeded_cores == unsat_elements;
     // Verification (untimed; on the engine's deep-stack helper —
     // minimality probes search weakened TBoxes whose refutations can
     // recurse thousands of levels).
@@ -426,21 +453,113 @@ fn tableau_bench(out_path: &str, budget: u64) {
             let mean = sizes.iter().sum::<usize>() as f64 / sizes.len().max(1) as f64;
             (extracted, sound, minimal, mapped, mean)
         });
-    let explain_ok = cores_extracted && cores_sound && cores_minimal && origins_mapped;
+    let explain_ok =
+        cores_extracted && cores_sound && cores_minimal && origins_mapped && seeding_agrees;
     all_agree &= explain_ok;
     println!(
-        "\n{}: {} unsat elements ({} types, {} roles) — extraction {:.3} ms cold, \
-         {:.3} ms warm; mean core size {:.1}; sound {} / minimal {} / ORM-attributed {}",
+        "\n{}: {} unsat elements ({} types, {} roles) — extraction {:.3} ms unseeded, \
+         {:.3} ms cold (pool-seeded), {:.3} ms warm; mean core size {:.1}; \
+         sound {} / minimal {} / ORM-attributed {} / seeding agrees {}",
         exp.name,
         unsat_elements,
         unsat_types.len(),
         unsat_roles.len(),
+        explain_unseeded * 1e3,
         explain_cold * 1e3,
         explain_warm * 1e3,
         mean_core,
         if cores_sound { "yes" } else { "NO" },
         if cores_minimal { "yes" } else { "NO" },
-        if origins_mapped { "yes" } else { "NO" }
+        if origins_mapped { "yes" } else { "NO" },
+        if seeding_agrees { "yes" } else { "NO" }
+    );
+
+    // Bulk conformance (PR 6): a large, almost-clean population of the
+    // order-processing schema, checked by the per-violation validator vs
+    // a compiled `CheckPlan` over the columnar population. The violation
+    // multisets must be identical; the compiled run carries a 20× bar at
+    // the comparison size, and the large compiled-only run a wall budget.
+    // The smoke setting shrinks the populations the same way it shrinks
+    // the engine scenarios; the trajectory file records the sizes used.
+    // The smoke comparison size stays large enough that the validator's
+    // quadratic mandatory scan dominates — below ~20k rows the measured
+    // ratio collapses toward fixed costs and the 2× exit gate would sit
+    // within runner noise.
+    let reduced_budget = budget < orm_bench::tableau_scenarios::BUDGET;
+    let (bulk_rows, large_rows) =
+        if reduced_budget { (20_000, 100_000) } else { (100_000, 1_000_000) };
+    let bulk = orm_bench::tableau_scenarios::bulk_conformance(bulk_rows, 24);
+    let bulk_options = orm_population::CheckOptions::default();
+    let t0 = Instant::now();
+    let per_violation =
+        orm_population::check(&bulk.workload.schema, &bulk.workload.population, bulk_options);
+    let bulk_interp_secs = t0.elapsed().as_secs_f64();
+    let t0 = Instant::now();
+    let bulk_translation = translate(&bulk.workload.schema);
+    let bulk_plan = orm_population::CheckPlan::compile(
+        &bulk.workload.schema,
+        &bulk_translation,
+        explain_budget,
+        bulk_options,
+    );
+    let bulk_compile_secs = t0.elapsed().as_secs_f64();
+    let mut bulk_exec_secs = f64::MAX;
+    let mut compiled = Vec::new();
+    for _ in 0..3 {
+        let t0 = Instant::now();
+        compiled = bulk_plan.execute(&bulk.workload.schema, &bulk.workload.population);
+        bulk_exec_secs = bulk_exec_secs.min(t0.elapsed().as_secs_f64());
+    }
+    let multiset = |vs: &[orm_population::Violation]| {
+        let mut keys: Vec<String> = vs.iter().map(|v| format!("{v:?}")).collect();
+        keys.sort();
+        keys
+    };
+    let bulk_agree = multiset(&per_violation) == multiset(&compiled);
+    all_agree &= bulk_agree;
+    let bulk_speedup = bulk_interp_secs / bulk_exec_secs.max(1e-9);
+    println!(
+        "\n{}: {} tuples, {} faults injected, {} violations found — per-violation \
+         {:.1} ms, compile {:.1} ms + execute {:.1} ms ({:.1}x, bar 20x), \
+         plan certified Sat: {}, violation multisets agree: {}",
+        bulk.name,
+        bulk.rows,
+        bulk.workload.faults_injected,
+        compiled.len(),
+        bulk_interp_secs * 1e3,
+        bulk_compile_secs * 1e3,
+        bulk_exec_secs * 1e3,
+        bulk_speedup,
+        if bulk_plan.certified_sat() { "yes" } else { "NO" },
+        if bulk_agree { "yes" } else { "NO" }
+    );
+    // The large population runs compiled-only (the per-violation
+    // validator's mandatory scan is quadratic — the very cost the plan
+    // removes) against a wall budget.
+    const LARGE_BUDGET_SECS: f64 = 60.0;
+    let large = orm_bench::tableau_scenarios::bulk_conformance(large_rows, 48);
+    let t0 = Instant::now();
+    let large_plan = orm_population::CheckPlan::compile(
+        &large.workload.schema,
+        &translate(&large.workload.schema),
+        explain_budget,
+        bulk_options,
+    );
+    let large_violations = large_plan.execute(&large.workload.schema, &large.workload.population);
+    let large_secs = t0.elapsed().as_secs_f64();
+    let large_within_budget = large_secs <= LARGE_BUDGET_SECS;
+    let large_found_faults = large_violations.len() >= large.workload.faults_injected;
+    all_agree &= large_found_faults;
+    println!(
+        "{}: {} tuples compiled-only — {:.1} ms, {} violations from {} faults, \
+         within {:.0} s budget: {}",
+        large.name,
+        large.rows,
+        large_secs * 1e3,
+        large_violations.len(),
+        large.workload.faults_injected,
+        LARGE_BUDGET_SECS,
+        if large_within_budget { "yes" } else { "NO" }
     );
 
     // The parallel-speedup bar (2× at 4 threads) is only *applicable* on
@@ -454,6 +573,8 @@ fn tableau_bench(out_path: &str, budget: u64) {
         && inc_retention_engaged
         && merge_gain_min.is_none_or(|g| g >= 2.0)
         && (!par_bar_applicable || par_speedup >= 2.0)
+        && bulk_speedup >= 20.0
+        && large_within_budget
         && all_agree;
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -476,9 +597,18 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"verdicts_agree\": {inc_agree}}},\n      \
          \"explain\": {{\"name\": \"{}\", \"unsat_elements\": {unsat_elements}, \
          \"unsat_types\": {}, \"unsat_roles\": {}, \
+         \"cold_unseeded_ms\": {:.4}, \"seeding_agrees\": {seeding_agrees}, \
          \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"mean_core_size\": {mean_core:.2}, \
          \"cores_extracted\": {cores_extracted}, \"cores_sound\": {cores_sound}, \
          \"cores_minimal\": {cores_minimal}, \"origins_mapped\": {origins_mapped}}},\n      \
+         \"bulk_conformance\": {{\"name\": \"{}\", \"rows\": {}, \
+         \"faults_injected\": {}, \"violations_found\": {}, \
+         \"per_violation_ms\": {:.4}, \"compile_ms\": {:.4}, \"execute_ms\": {:.4}, \
+         \"speedup\": {bulk_speedup:.2}, \"bulk_speedup_threshold\": 20.0, \
+         \"certified_sat\": {}, \"verdicts_agree\": {bulk_agree}, \
+         \"large_rows\": {}, \"large_faults\": {}, \"large_violations\": {}, \
+         \"large_execute_ms\": {:.4}, \"large_budget_ms\": {:.0}, \
+         \"large_within_budget\": {large_within_budget}}},\n      \
          \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
          \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
          \"acceptance_threshold\": 5.0,\n      \
@@ -511,8 +641,22 @@ fn tableau_bench(out_path: &str, budget: u64) {
         exp.name,
         unsat_types.len(),
         unsat_roles.len(),
+        explain_unseeded * 1e3,
         explain_cold * 1e3,
         explain_warm * 1e3,
+        bulk.name,
+        bulk.rows,
+        bulk.workload.faults_injected,
+        compiled.len(),
+        bulk_interp_secs * 1e3,
+        bulk_compile_secs * 1e3,
+        bulk_exec_secs * 1e3,
+        bulk_plan.certified_sat(),
+        large.rows,
+        large.workload.faults_injected,
+        large_violations.len(),
+        large_secs * 1e3,
+        LARGE_BUDGET_SECS * 1e3,
     );
     let json = append_run(previous.as_deref(), &new_run);
     std::fs::write(out_path, &json).expect("write bench json");
@@ -540,6 +684,7 @@ fn tableau_bench(out_path: &str, budget: u64) {
         || or_heavy_min_speedup < 2.0
         || sweep_speedup < 2.0
         || inc_speedup < 2.0
+        || bulk_speedup < 2.0
     {
         std::process::exit(1);
     }

@@ -376,5 +376,31 @@ impl IncrementalEditRun {
     }
 }
 
+/// A bulk-conformance workload (PR 6): the fixed order-processing schema
+/// of [`orm_gen::populate::bulk_workload`] populated to `rows` fact
+/// tuples with a known number of injected violation faults. The
+/// comparison is the per-violation validator (`orm_population::check`)
+/// against a compiled [`orm_population::CheckPlan`] executing over the
+/// columnar population — same schema, same population, identical
+/// violation multiset required.
+pub struct BulkScenario {
+    /// Stable scenario id (used in bench names and the JSON report).
+    pub name: String,
+    /// Schema + population + injected-fault count.
+    pub workload: orm_gen::populate::BulkWorkload,
+    /// The requested tuple count (4 per order; the generator rounds).
+    pub rows: usize,
+}
+
+/// Build the bulk-conformance scenario at `rows` tuples with `faults`
+/// injected violations (deterministic in the fixed seed).
+pub fn bulk_conformance(rows: usize, faults: usize) -> BulkScenario {
+    BulkScenario {
+        name: format!("bulk_conformance_{rows}"),
+        workload: orm_gen::populate::bulk_workload(rows, faults, 0xB011),
+        rows,
+    }
+}
+
 /// Budget ample enough that every scenario reaches a definitive verdict.
 pub const BUDGET: u64 = 5_000_000;

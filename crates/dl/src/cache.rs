@@ -116,9 +116,9 @@
 
 use crate::arena::{splitmix, Arena, CKind, ConceptId};
 use crate::concept::{Concept, RoleExpr};
-use crate::explain::{explain_unsat, Explanation, UnsatCore};
+use crate::explain::{explain_unsat, explain_unsat_seeded, Explanation, UnsatCore};
 use crate::tableau::{satisfiable_with_witness, DlOutcome, Witness};
-use crate::tbox::{AdditionDelta, Delta, TBox};
+use crate::tbox::{AdditionDelta, AxiomId, Delta, TBox};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
@@ -425,6 +425,21 @@ impl SatCache {
     /// assert_eq!((cache.stats().hits, cache.stats().misses), (1, 1));
     /// ```
     pub fn explain(&mut self, tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+        self.explain_seeded(tbox, query, budget, &[])
+    }
+
+    /// [`SatCache::explain`] with a warm-start seed: on a cache miss the
+    /// extraction goes through [`explain_unsat_seeded`], probing `seed`'s
+    /// restriction before falling back to the full cold path. Caching
+    /// semantics are identical — the seed only steers how a missing core
+    /// gets computed, never what gets stored.
+    pub fn explain_seeded(
+        &mut self,
+        tbox: &TBox,
+        query: &Concept,
+        budget: u64,
+        seed: &[AxiomId],
+    ) -> Explanation {
         self.validate(tbox);
         let key = self.key(query);
         match self.entries.get(&key) {
@@ -445,7 +460,11 @@ impl SatCache {
             _ => {}
         }
         self.stats.misses += 1;
-        let explanation = explain_unsat(tbox, query, budget);
+        let explanation = if seed.is_empty() {
+            explain_unsat(tbox, query, budget)
+        } else {
+            explain_unsat_seeded(tbox, query, budget, seed)
+        };
         match &explanation {
             Explanation::Unsat(core) => {
                 self.entries.insert(key, Entry::Unsat { core: Some(core.clone()) });
@@ -553,7 +572,28 @@ pub const DEFAULT_SHARDS: usize = 16;
 #[derive(Debug)]
 pub struct SatShards {
     shards: Box<[Mutex<SatCache>]>,
+    /// Union of certified unsat-core axioms, shared across shards as the
+    /// warm-start seed for later extractions (see [`SatShards::explain`]).
+    seed_pool: Mutex<SeedPool>,
 }
+
+/// Certified core axioms accumulated against one exact TBox state.
+/// Elements of one schema typically share their doom (one contradictory
+/// axiom cluster sinks many types at once), so the pool makes every
+/// extraction after the first start from an already-certified
+/// neighborhood instead of a cold full-TBox tableau run.
+#[derive(Debug, Default)]
+struct SeedPool {
+    /// The [`TBox::cache_stamp`] the axioms were certified against; a
+    /// mismatch resets the pool (axiom ids are only meaningful per state).
+    stamp: (u64, u64),
+    /// Sorted, deduplicated axiom ids, capped at [`SEED_POOL_CAP`].
+    axioms: Vec<AxiomId>,
+}
+
+/// Upper bound on pooled seed axioms — a seed approaching the whole TBox
+/// would make the warm probe as expensive as the cold run it replaces.
+const SEED_POOL_CAP: usize = 256;
 
 impl Default for SatShards {
     fn default() -> SatShards {
@@ -569,7 +609,10 @@ impl SatShards {
 
     /// A sharded cache with `n` shards (`n = 0` is promoted to 1).
     pub fn with_shards(n: usize) -> SatShards {
-        SatShards { shards: (0..n.max(1)).map(|_| Mutex::new(SatCache::new())).collect() }
+        SatShards {
+            shards: (0..n.max(1)).map(|_| Mutex::new(SatCache::new())).collect(),
+            seed_pool: Mutex::new(SeedPool::default()),
+        }
     }
 
     /// Number of shards (fixed at construction).
@@ -596,8 +639,36 @@ impl SatShards {
     /// Cached unsat-core extraction through the owning shard (see
     /// [`SatCache::explain`]); routed like [`SatShards::satisfiable`], so
     /// a verdict proved by either entry point answers the other.
+    ///
+    /// Extractions **warm-start each other across shards**: every
+    /// certified core's axioms join a shared seed pool (keyed on the
+    /// exact [`TBox::cache_stamp`]), and each later miss first probes the
+    /// pooled axioms' restriction instead of running the cold full-TBox
+    /// tableau (see [`explain_unsat_seeded`]). Soundness is untouched —
+    /// seeds only steer the search; every returned core is still
+    /// certified by its own tableau runs.
     pub fn explain(&self, tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
-        self.shard(route_satisfiable(query)).lock().explain(tbox, query, budget)
+        let stamp = tbox.cache_stamp();
+        let seed: Vec<AxiomId> = {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp != stamp {
+                pool.stamp = stamp;
+                pool.axioms.clear();
+            }
+            pool.axioms.clone()
+        };
+        let explanation =
+            self.shard(route_satisfiable(query)).lock().explain_seeded(tbox, query, budget, &seed);
+        if let Explanation::Unsat(core) = &explanation {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp == stamp && pool.axioms.len() < SEED_POOL_CAP {
+                pool.axioms.extend(core.axioms.iter().copied());
+                pool.axioms.sort_unstable();
+                pool.axioms.dedup();
+                pool.axioms.truncate(SEED_POOL_CAP);
+            }
+        }
+        explanation
     }
 
     /// Counters aggregated across all shards.

@@ -223,7 +223,7 @@ fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation
     // verification probe of its own — like every refinement in step 3,
     // it is a heuristic mask until an actual run certifies it.
     let seed = conflict.expect("unsat carries a conflict");
-    let mut core = if seed.len() < all.len() {
+    let core = if seed.len() < all.len() {
         match probe(tbox, &seed, query, budget) {
             (DlOutcome::Unsat, refined) => match refined {
                 Some(r) if r.len() < seed.len() => match probe(tbox, &r, query, budget) {
@@ -237,10 +237,69 @@ fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation
     } else {
         all.clone()
     };
+    Explanation::Unsat(minimize(tbox, query, budget, core))
+}
+
+/// Compute an unsat core of `query` starting from a **warm seed**: axiom
+/// ids whose restriction is suspected (not required) to refute the query —
+/// typically a certified core extracted for a *different* element of the
+/// same schema, whose doom usually rests on the same axiom cluster.
+///
+/// The seed is probed first. If its restriction certifiably refutes the
+/// query, minimization starts from the seed and the full-TBox tableau run
+/// that dominates [`explain_unsat`]'s cold path is **skipped entirely** —
+/// sound because satisfiability is anti-monotone in the axiom set: a
+/// refuting restriction means the full TBox refutes too. A seed that fails
+/// to refute (or exhausts its probe budget) costs one probe and falls back
+/// to the cold path. Unknown axiom ids in the seed are ignored.
+pub fn explain_unsat_seeded(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    seed: &[AxiomId],
+) -> Explanation {
+    with_deep_stack(|| explain_unsat_seeded_inner(tbox, query, budget, seed))
+}
+
+fn explain_unsat_seeded_inner(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    seed: &[AxiomId],
+) -> Explanation {
+    let known: Vec<AxiomId> = {
+        let present: std::collections::HashSet<AxiomId> = tbox.axiom_ids().collect();
+        let mut k: Vec<AxiomId> = seed.iter().copied().filter(|a| present.contains(a)).collect();
+        k.sort_unstable();
+        k.dedup();
+        k
+    };
+    // Seeding with every axiom proves nothing the cold path would not.
+    if known.is_empty() || known.len() >= tbox.axiom_count() {
+        return explain_unsat_inner(tbox, query, budget);
+    }
+    match probe(tbox, &known, query, budget) {
+        (DlOutcome::Unsat, refined) => {
+            let core = match refined {
+                Some(r) if r.len() < known.len() => match probe(tbox, &r, query, budget) {
+                    (DlOutcome::Unsat, _) => r,
+                    _ => known,
+                },
+                _ => known,
+            };
+            Explanation::Unsat(minimize(tbox, query, budget, core))
+        }
+        _ => explain_unsat_inner(tbox, query, budget),
+    }
+}
+
+/// Deletion-minimize a **certified** core (its restriction is already
+/// known to refute `query`) — step 3 of the [module docs](self), shared
+/// by the cold and the seeded extraction paths.
+fn minimize(tbox: &TBox, query: &Concept, budget: u64, mut core: Vec<AxiomId>) -> UnsatCore {
     core.sort_unstable();
     core.dedup();
-
-    // Step 3: deletion minimization with conflict refinement. Invariant:
+    // Deletion minimization with conflict refinement. Invariant:
     // `core`'s restriction is certified Unsat; every axiom before `i` is
     // needed (its sole removal was probed Sat against a superset of the
     // final core — anti-monotonicity transfers that to the final core).
@@ -281,7 +340,7 @@ fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation
             }
         }
     }
-    Explanation::Unsat(UnsatCore { axioms: core, minimal })
+    UnsatCore { axioms: core, minimal }
 }
 
 /// Convenience: whether `core` (alone) certifiably refutes `query` — the
@@ -387,6 +446,47 @@ mod tests {
                 core.axioms[i]
             );
         }
+    }
+
+    #[test]
+    fn seeded_extraction_agrees_with_cold_path() {
+        // Same Fig. 1 shape as `core_picks_the_guilty_axioms_only`.
+        let mut t = TBox::new();
+        let person = Concept::Atomic(t.atom("Person"));
+        let student = Concept::Atomic(t.atom("Student"));
+        let employee = Concept::Atomic(t.atom("Employee"));
+        let phd = Concept::Atomic(t.atom("Phd"));
+        let n1 = t.gci(student.clone(), person.clone());
+        let n2 = t.gci(employee.clone(), person.clone());
+        let g1 = t.gci(phd.clone(), student.clone());
+        let g2 = t.gci(phd.clone(), employee.clone());
+        let g3 = t.gci(Concept::and([student.clone(), employee.clone()]), Concept::Bottom);
+
+        // A good seed (another element's certified core, here the exact
+        // cluster plus one stray axiom) reproduces the cold-path core.
+        let good = explain_unsat_seeded(&t, &phd, BUDGET, &[g1, g2, g3, n1]);
+        match good {
+            Explanation::Unsat(core) => {
+                assert_eq!(core.axioms, vec![g1, g2, g3]);
+                assert!(core.minimal);
+            }
+            other => panic!("expected a core, got {other:?}"),
+        }
+        // A non-refuting seed falls back to the cold path and still lands
+        // on a certified minimal core.
+        let bad = explain_unsat_seeded(&t, &phd, BUDGET, &[n1, n2]);
+        match bad {
+            Explanation::Unsat(core) => {
+                assert_eq!(core.axioms, vec![g1, g2, g3]);
+                assert!(core.minimal);
+            }
+            other => panic!("expected a core, got {other:?}"),
+        }
+        // Seeding never flips a satisfiable verdict.
+        assert_eq!(
+            explain_unsat_seeded(&t, &student, BUDGET, &[g1, g2, g3]),
+            Explanation::Satisfiable
+        );
     }
 
     #[test]

@@ -77,7 +77,7 @@ mod test_scenarios;
 pub use arena::{Arena, ConceptId};
 pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
-pub use explain::{explain_unsat, Explanation, UnsatCore};
+pub use explain::{explain_unsat, explain_unsat_seeded, Explanation, UnsatCore};
 pub use orm_to_dl::{translate, AxiomOrigin, EditSession, Translation};
 pub use tableau::{
     satisfiable, satisfiable_with_conflict, satisfiable_with_witness, subsumes, DlOutcome, Witness,

@@ -22,6 +22,7 @@
 #![warn(missing_docs)]
 
 pub mod faults;
+pub mod populate;
 
 use orm_model::{ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SchemaBuilder, ValueConstraint};
 use rand::rngs::StdRng;

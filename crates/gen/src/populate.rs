@@ -1,0 +1,338 @@
+//! Random and bulk population generation.
+//!
+//! Two generators feed the bulk-conformance work:
+//!
+//! * [`populate_random`] — conformity-leaning random populations over
+//!   arbitrary (e.g. [`crate::generate`]d) schemas, for the differential
+//!   property tests that pin the compiled `CheckPlan` to the
+//!   per-violation validator. Tuples drag their values into the player
+//!   extents and up the subtype chains, and value-constrained types draw
+//!   from their admissible values — so populations are mostly conforming,
+//!   with enough residual randomness (counting violations, missing
+//!   mandatory plays, improper subtypes) to exercise the violation paths
+//!   too.
+//! * [`bulk_workload`] — a fixed order-processing schema scaled to
+//!   millions of tuples, with **injected violation faults** whose kinds
+//!   and count are known. This is what the `bulk_conformance` bench
+//!   scenario times: a large, almost-clean population where a compiled
+//!   plan's full-column scans shine and each injected fault must still
+//!   surface.
+//!
+//! All generation is deterministic in the seed.
+
+use crate::GenConfig;
+use orm_model::{ObjectTypeId, RoleSeq, Schema, SchemaBuilder, Value, ValueConstraint};
+use orm_population::Population;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Parameters for [`populate_random`].
+#[derive(Clone, Debug)]
+pub struct PopConfig {
+    /// RNG seed; equal seeds give equal populations.
+    pub seed: u64,
+    /// Approximate number of fact tuples to generate (spread round-robin
+    /// over the schema's fact types).
+    pub rows: usize,
+}
+
+impl PopConfig {
+    /// A population of about `rows` tuples.
+    pub fn sized(seed: u64, rows: usize) -> PopConfig {
+        PopConfig { seed, rows }
+    }
+}
+
+/// Admissible values of `ty` under its own and all inherited value
+/// constraints, or `None` when unconstrained.
+fn value_pool(
+    schema: &Schema,
+    idx: &orm_model::SchemaIndex,
+    ty: ObjectTypeId,
+) -> Option<Vec<Value>> {
+    let mut pool: Option<ValueConstraint> = None;
+    for sup in idx.supers_refl(ty) {
+        if let Some(vc) = schema.object_type(sup).value_constraint() {
+            pool = Some(match pool {
+                Some(acc) => acc.intersect(vc),
+                None => vc.clone(),
+            });
+        }
+    }
+    pool.map(|vc| vc.iter_values().take(64).collect())
+}
+
+/// Add `value` to `ty`'s extent and to every (transitive) supertype's —
+/// the conformity-leaning move: a tuple's values are real instances of
+/// the whole player chain.
+fn add_with_supers(
+    pop: &mut Population,
+    idx: &orm_model::SchemaIndex,
+    ty: ObjectTypeId,
+    value: &Value,
+) {
+    for sup in idx.supers_refl(ty) {
+        pop.add_instance(sup, value.clone());
+    }
+}
+
+/// Generate a mostly-conforming random population of `schema` (see the
+/// [module docs](self)).
+pub fn populate_random(schema: &Schema, config: &PopConfig) -> Population {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xB0B));
+    let idx = schema.index();
+    let mut pop = Population::new();
+    let types: Vec<ObjectTypeId> = schema.object_types().map(|(id, _)| id).collect();
+    let pools: Vec<Option<Vec<Value>>> =
+        types.iter().map(|&ty| value_pool(schema, &idx, ty)).collect();
+
+    // Fresh-or-reused value for one role player.
+    let pick = |rng: &mut StdRng, pop: &Population, ty: ObjectTypeId| -> Value {
+        if let Some(pool) = &pools[ty.index()] {
+            if let Some(v) = pool.as_slice().choose(rng) {
+                return v.clone();
+            }
+        }
+        let extent = pop.extent(ty);
+        if !extent.is_empty() && rng.gen_bool(0.6) {
+            let skip = rng.gen_range(0..extent.len());
+            if let Some(v) = extent.iter().nth(skip) {
+                return v.clone();
+            }
+        }
+        Value::str(format!("t{}_{}", ty.index(), rng.gen_range(0..1_000_000)))
+    };
+
+    // A few extent-only instances per type: mandatory/totality targets.
+    for (i, &ty) in types.iter().enumerate() {
+        for _ in 0..rng.gen_range(0..3) {
+            let v = pick(&mut rng, &pop, ty);
+            let _ = i;
+            add_with_supers(&mut pop, &idx, ty, &v);
+        }
+    }
+
+    let facts: Vec<_> = schema.fact_types().map(|(id, ft)| (id, ft.roles())).collect();
+    if facts.is_empty() {
+        return pop;
+    }
+    for row in 0..config.rows {
+        let (fid, roles) = &facts[row % facts.len()];
+        let a = {
+            let ty = schema.player(roles[0]);
+            let v = pick(&mut rng, &pop, ty);
+            add_with_supers(&mut pop, &idx, ty, &v);
+            v
+        };
+        let b = {
+            let ty = schema.player(roles[1]);
+            let v = pick(&mut rng, &pop, ty);
+            add_with_supers(&mut pop, &idx, ty, &v);
+            v
+        };
+        pop.add_fact(*fid, a, b);
+        // Occasionally leave a dangling tuple: conformity violations must
+        // show up in the differential comparison too.
+        if rng.gen_bool(0.05) {
+            pop.add_fact(
+                *fid,
+                Value::str(format!("ghost_{row}")),
+                Value::str(format!("ghost_{row}_b")),
+            );
+        }
+    }
+    pop
+}
+
+/// The kinds of violation fault [`bulk_workload`] injects, cycled in this
+/// order.
+pub const BULK_FAULT_KINDS: &[&str] =
+    &["mandatory", "uniqueness", "subtype_subset", "value_domain", "conformity", "role_exclusion"];
+
+/// A bulk-conformance workload: a fixed schema, a large mostly-clean
+/// population, and the number of faults injected into it.
+#[derive(Debug)]
+pub struct BulkWorkload {
+    /// The order-processing schema (see [`bulk_workload`]).
+    pub schema: Schema,
+    /// The generated population (~`rows` fact tuples plus extents).
+    pub population: Population,
+    /// How many violation faults were injected (each a distinct victim
+    /// order, cycling through [`BULK_FAULT_KINDS`]).
+    pub faults_injected: usize,
+}
+
+/// Build the bulk order-processing workload: `rows` fact tuples (4 per
+/// order) over a schema exercising mandatory, uniqueness, subtyping
+/// (proper + subset), value, subset- and exclusion-role constraints, with
+/// `faults` injected violations of known kinds.
+///
+/// The schema: `PremiumCustomer ⊆ Customer`; `Order` places (unique +
+/// mandatory) a `Customer`, has (unique + mandatory) a `Status` drawn
+/// from a four-value enumeration, ships `Product`s, and optionally goes
+/// out via `express` or `pickup` to a `Courier` — those two roles are
+/// exclusive, and express shipping requires shipping something (role
+/// subset into `ships`). Value families use disjoint prefixes, keeping
+/// ORM's implicit type exclusion clean.
+pub fn bulk_workload(rows: usize, faults: usize, seed: u64) -> BulkWorkload {
+    let mut b = SchemaBuilder::new("bulk_orders");
+    let customer = b.entity_type("Customer").expect("fresh name");
+    let premium = b.entity_type("PremiumCustomer").expect("fresh name");
+    b.subtype(premium, customer).expect("valid subtype");
+    let order = b.entity_type("Order").expect("fresh name");
+    let product = b.entity_type("Product").expect("fresh name");
+    let status = b
+        .value_type(
+            "Status",
+            Some(ValueConstraint::enumeration(["placed", "paid", "shipped", "delivered"])),
+        )
+        .expect("fresh name");
+    let courier = b.entity_type("Courier").expect("fresh name");
+
+    let f_places = b.fact_type("places", order, customer).expect("fresh name");
+    let f_status = b.fact_type("has_status", order, status).expect("fresh name");
+    let f_ships = b.fact_type("ships", order, product).expect("fresh name");
+    let f_express = b.fact_type("express_via", order, courier).expect("fresh name");
+    let f_pickup = b.fact_type("pickup_via", order, courier).expect("fresh name");
+
+    let places_r0 = b.schema().fact_type(f_places).first();
+    let status_r0 = b.schema().fact_type(f_status).first();
+    let ships_r0 = b.schema().fact_type(f_ships).first();
+    let express_r0 = b.schema().fact_type(f_express).first();
+    let pickup_r0 = b.schema().fact_type(f_pickup).first();
+    b.unique([places_r0]).expect("valid uc");
+    b.mandatory(places_r0).expect("valid mandatory");
+    b.unique([status_r0]).expect("valid uc");
+    b.mandatory(status_r0).expect("valid mandatory");
+    b.exclusion_roles([express_r0, pickup_r0]).expect("valid exclusion");
+    b.subset(RoleSeq::single(express_r0), RoleSeq::single(ships_r0)).expect("valid subset");
+    let schema = b.finish();
+
+    let statuses = ["placed", "paid", "shipped", "delivered"];
+    let n_orders = (rows / 4).max(1);
+    let n_customers = (n_orders / 8).clamp(2, 50_000);
+    let n_products = (n_orders / 16).clamp(1, 20_000);
+    let n_couriers = 16usize;
+
+    let mut pop = Population::new();
+    for s in statuses {
+        pop.add_instance(status, s);
+    }
+    for c in 0..n_customers {
+        pop.add_instance(customer, format!("c{c}"));
+        // Every 8th customer is premium — non-empty and proper.
+        if c % 8 == 0 {
+            pop.add_instance(premium, format!("c{c}"));
+        }
+    }
+    for p in 0..n_products {
+        pop.add_instance(product, format!("p{p}"));
+    }
+    for k in 0..n_couriers {
+        pop.add_instance(courier, format!("k{k}"));
+    }
+    for o in 0..n_orders {
+        let oid = format!("o{o}");
+        pop.add_instance(order, oid.clone());
+        pop.add_fact(f_places, oid.clone(), format!("c{}", o % n_customers));
+        pop.add_fact(f_status, oid.clone(), statuses[o % statuses.len()]);
+        pop.add_fact(f_ships, oid.clone(), format!("p{}", o % n_products));
+        // Fourth tuple: express, pickup, or a second shipped product.
+        match o % 3 {
+            0 => pop.add_fact(f_express, oid, format!("k{}", o % n_couriers)),
+            1 => pop.add_fact(f_pickup, oid, format!("k{}", o % n_couriers)),
+            _ => pop.add_fact(f_ships, oid, format!("p{}", (o + 1) % n_products)),
+        }
+    }
+
+    // Inject faults: one distinct victim order per fault, cycling through
+    // the kinds, so injections never interact. Victims are drawn without
+    // replacement so they spread deterministically over the population.
+    let faults = faults.min(n_orders);
+    let all_orders: Vec<usize> = (0..n_orders).collect();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let victims: Vec<usize> = all_orders.choose_multiple(&mut rng, faults).copied().collect();
+    for (i, &o) in victims.iter().enumerate() {
+        let oid = Value::str(format!("o{o}"));
+        let st = Value::str(statuses[o % statuses.len()]);
+        match BULK_FAULT_KINDS[i % BULK_FAULT_KINDS.len()] {
+            // The order loses its status: its mandatory role goes unplayed.
+            "mandatory" => {
+                pop.remove_fact(f_status, &oid, &st);
+            }
+            // A second status for one order: uniqueness group of size 2.
+            "uniqueness" => {
+                let other = statuses[(o + 1) % statuses.len()];
+                pop.add_fact(f_status, oid, other);
+            }
+            // A premium customer that is not a customer at all.
+            "subtype_subset" => {
+                pop.add_instance(premium, format!("stray_premium_{i}"));
+            }
+            // A status outside the enumeration.
+            "value_domain" => {
+                pop.add_instance(status, format!("bogus_status_{i}"));
+            }
+            // A shipment of a product nobody registered.
+            "conformity" => {
+                pop.add_fact(f_ships, oid, format!("ghost_product_{i}"));
+            }
+            // The order goes out both express and by pickup.
+            "role_exclusion" => {
+                let k = format!("k{}", o % n_couriers);
+                pop.add_fact(f_express, oid.clone(), k.clone());
+                pop.add_fact(f_pickup, oid, k);
+            }
+            other => unreachable!("unknown fault kind {other}"),
+        }
+    }
+
+    BulkWorkload { schema, population: pop, faults_injected: faults }
+}
+
+/// Convenience: a random population for a random schema drawn from the
+/// same seed (the shape the differential property tests iterate).
+pub fn random_pair(config: &GenConfig, rows: usize) -> (Schema, Population) {
+    let schema = crate::generate(config);
+    let pop = populate_random(&schema, &PopConfig::sized(config.seed, rows));
+    (schema, pop)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_population::{check, CheckOptions, Violation};
+
+    #[test]
+    fn populate_is_deterministic() {
+        let schema = crate::generate(&GenConfig::small(11));
+        let a = populate_random(&schema, &PopConfig::sized(11, 40));
+        let b2 = populate_random(&schema, &PopConfig::sized(11, 40));
+        assert_eq!(a, b2);
+        assert!(a.size() > 0);
+    }
+
+    #[test]
+    fn clean_bulk_workload_has_no_violations() {
+        let w = bulk_workload(2_000, 0, 7);
+        assert_eq!(w.faults_injected, 0);
+        let violations = check(&w.schema, &w.population, CheckOptions::default());
+        assert_eq!(violations, vec![], "clean workload must validate cleanly");
+    }
+
+    #[test]
+    fn injected_faults_surface_as_violations() {
+        let w = bulk_workload(2_000, 12, 7);
+        assert_eq!(w.faults_injected, 12);
+        let violations = check(&w.schema, &w.population, CheckOptions::default());
+        // Two full cycles through the six kinds: every kind shows up.
+        assert!(violations.iter().any(|v| matches!(v, Violation::Mandatory { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::Uniqueness { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::SubtypeNotSubset { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::ValueConstraint { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::Conformity { .. })));
+        assert!(violations.iter().any(|v| matches!(v, Violation::SetComparison { .. })));
+        assert!(violations.len() >= 12, "each fault yields at least one violation");
+    }
+}

@@ -30,9 +30,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod columnar;
+pub mod plan;
 mod population;
 mod violation;
 
+pub use columnar::{BitSet, ColumnarPopulation};
+pub use plan::CheckPlan;
 pub use population::Population;
 pub use violation::Violation;
 
@@ -181,7 +185,9 @@ fn check_mandatory(
 ) {
     let player = schema.player(roles[0]);
     for v in pop.extent(player) {
-        let plays_one = roles.iter().any(|r| pop.role_population(schema, *r).contains(v));
+        // `role_values` scans the fact column in place — no per-(value,
+        // role) `BTreeSet` is materialized just to ask `contains`.
+        let plays_one = roles.iter().any(|r| pop.role_values(schema, *r).any(|w| w == v));
         if !plays_one {
             out.push(Violation::Mandatory { constraint, value: v.clone() });
         }
@@ -225,7 +231,7 @@ fn check_counting(
 
 fn seq_population(schema: &Schema, pop: &Population, seq: &RoleSeq) -> BTreeSet<Vec<Value>> {
     match seq.roles() {
-        [r] => pop.role_population(schema, *r).into_iter().map(|v| vec![v]).collect(),
+        [r] => pop.role_values(schema, *r).map(|v| vec![v.clone()]).collect(),
         [a, b] => {
             let fact = schema.role(*a).fact_type();
             let (pa, pb) = (schema.role(*a).position(), schema.role(*b).position());

@@ -71,10 +71,22 @@ impl Population {
     /// role's column. This is the set the paper's "role satisfiability"
     /// quantifies over.
     pub fn role_population(&self, schema: &Schema, role: RoleId) -> BTreeSet<Value> {
+        self.role_values(schema, role).cloned().collect()
+    }
+
+    /// Borrowed projection of a role's fact table onto the role's column —
+    /// the non-allocating companion of [`Population::role_population`].
+    /// Yields one value **per tuple** (duplicates included) in fact-table
+    /// order; collect into a set when projection semantics is needed, or
+    /// scan directly when a membership/containment test is enough.
+    pub fn role_values<'a>(
+        &'a self,
+        schema: &Schema,
+        role: RoleId,
+    ) -> impl Iterator<Item = &'a Value> {
         let r = schema.role(role);
-        self.tuples(r.fact_type())
-            .map(|(a, b)| if r.position() == 0 { a.clone() } else { b.clone() })
-            .collect()
+        let position = r.position();
+        self.tuples(r.fact_type()).map(move |(a, b)| if position == 0 { a } else { b })
     }
 
     /// Whether a role has a non-empty population.

@@ -54,6 +54,7 @@ pub use search::{find_model, Bounds, Outcome, Target};
 
 use orm_dl::{DlOutcome, Translation};
 use orm_model::{ObjectTypeId, RoleId, Schema};
+use orm_population::{CheckOptions, CheckPlan, Population, Violation};
 
 /// Weak (schema) satisfiability: is there any model at all?
 ///
@@ -219,6 +220,110 @@ impl InteractiveSession {
     pub fn cache_stats(&self) -> orm_dl::CacheStats {
         self.translation.cache_stats()
     }
+}
+
+/// A reusable bulk-conformance checker: the schema is certified and its
+/// constraint set compiled into a [`CheckPlan`] **once**, then arbitrarily
+/// many populations stream through the columnar engine with no tableau and
+/// no per-row dispatch on the data path.
+///
+/// The plan is keyed on the schema revision and the TBox cache stamp, so
+/// a schema edit (builder mutation or [`BulkChecker::edit`] axiom) makes
+/// the next [`BulkChecker::check`] recompile transparently — stale plans
+/// are never executed.
+///
+/// ```
+/// use orm_model::SchemaBuilder;
+/// use orm_population::Population;
+/// use orm_reasoner::BulkChecker;
+///
+/// let mut b = SchemaBuilder::new("s");
+/// let person = b.entity_type("Person").unwrap();
+/// let car = b.entity_type("Car").unwrap();
+/// let drives = b.fact_type("drives", person, car).unwrap();
+/// let r = b.schema().fact_type(drives).first();
+/// b.mandatory(r).unwrap();
+/// let schema = b.finish();
+///
+/// let mut pop = Population::new();
+/// pop.add_instance(person, "ann");
+/// pop.add_instance(car, "c1");
+/// pop.add_fact(drives, "ann", "c1");
+///
+/// let mut checker = BulkChecker::new(&schema, 100_000);
+/// assert!(checker.check(&schema, &pop).is_empty());
+/// assert!(checker.plan().is_some_and(|p| p.certified_sat()));
+///
+/// pop.add_instance(person, "idle"); // plays no role: mandatory violated
+/// assert_eq!(checker.check(&schema, &pop).len(), 1);
+/// ```
+#[derive(Debug)]
+pub struct BulkChecker {
+    translation: Translation,
+    plan: Option<CheckPlan>,
+    options: CheckOptions,
+    budget: u64,
+}
+
+impl BulkChecker {
+    /// A checker with the default (strict) [`CheckOptions`]; `budget`
+    /// bounds the one-time certification sweep's tableau runs.
+    pub fn new(schema: &Schema, budget: u64) -> BulkChecker {
+        BulkChecker::with_options(schema, budget, CheckOptions::default())
+    }
+
+    /// A checker with explicit semantic options.
+    pub fn with_options(schema: &Schema, budget: u64, options: CheckOptions) -> BulkChecker {
+        BulkChecker { translation: orm_dl::translate(schema), plan: None, options, budget }
+    }
+
+    /// Validate `pop`, compiling (or recompiling) the plan if the cached
+    /// one is missing or stale. Reports exactly the violations
+    /// [`orm_population::check`] would.
+    pub fn check(&mut self, schema: &Schema, pop: &Population) -> Vec<Violation> {
+        self.plan_for(schema).execute(schema, pop)
+    }
+
+    /// The current plan, compiling it on demand (amortize compilation
+    /// without running a population through it — or pair with
+    /// [`CheckPlan::execute_columnar`] to amortize the columnar freeze
+    /// too).
+    pub fn plan_for(&mut self, schema: &Schema) -> &CheckPlan {
+        let stale = !self.plan.as_ref().is_some_and(|p| p.is_current(schema, &self.translation));
+        if stale {
+            self.plan =
+                Some(CheckPlan::compile(schema, &self.translation, self.budget, self.options));
+        }
+        self.plan.as_ref().expect("plan was just compiled")
+    }
+
+    /// The cached plan, if one has been compiled (stale or not).
+    pub fn plan(&self) -> Option<&CheckPlan> {
+        self.plan.as_ref()
+    }
+
+    /// The underlying translation (for inspecting the certification).
+    pub fn translation(&self) -> &Translation {
+        &self.translation
+    }
+
+    /// Apply session-level axiom additions — the next
+    /// [`BulkChecker::check`] notices the stamp change and recompiles.
+    pub fn edit(&mut self) -> orm_dl::EditSession<'_> {
+        self.translation.edit()
+    }
+}
+
+/// One-shot bulk conformance: compile a certified plan for `schema` and
+/// run `pop` through it. For repeated populations against one schema,
+/// hold a [`BulkChecker`] instead so the compile is paid once.
+pub fn check_bulk(
+    schema: &Schema,
+    pop: &Population,
+    budget: u64,
+    options: CheckOptions,
+) -> Vec<Violation> {
+    BulkChecker::with_options(schema, budget, options).check(schema, pop)
 }
 
 #[cfg(test)]
