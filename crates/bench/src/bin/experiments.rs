@@ -474,6 +474,191 @@ fn tableau_bench(out_path: &str, budget: u64) {
         if seeding_agrees { "yes" } else { "NO" }
     );
 
+    // MUS enumeration (this PR): the same doomed battery, but every
+    // element now gets its WHOLE family of minimal unsat cores
+    // (MARCO-style worklist over `restrict_to` probes) plus the verified
+    // hitting-set repairs over the family. Cold routes through the
+    // sharded cache so cross-element seed-pool reuse keeps the all-MUS
+    // sweep within the 2×-of-single-core bar; warm replays the cached
+    // families. Runs at the full budget for the same reason as the
+    // explain section above.
+    let enum_limit = 8usize;
+    let enumerate_all =
+        |t: &orm_dl::Translation| -> Vec<(orm_dl::Concept, orm_dl::MusEnumeration)> {
+            let mut out = Vec::new();
+            for &ty in &unsat_types {
+                out.push((t.type_concept(ty), t.enumerate_type(ty, explain_budget, enum_limit)));
+            }
+            for &r in &unsat_roles {
+                out.push((t.role_concept(r), t.enumerate_role(r, explain_budget, enum_limit)));
+            }
+            out
+        };
+    let family_shape = |runs: &[(orm_dl::Concept, orm_dl::MusEnumeration)]| -> Vec<Option<Vec<Vec<orm_dl::AxiomId>>>> {
+        runs.iter()
+            .map(|(_, e)| e.family().map(|f| f.cores.iter().map(|c| c.axioms.clone()).collect()))
+            .collect()
+    };
+    let mut enum_cold = f64::MAX;
+    let mut enum_warm = f64::MAX;
+    let mut enumerated = Vec::new();
+    for _ in 0..3 {
+        let cold = exp_translation.clone();
+        let t0 = Instant::now();
+        enumerated = enumerate_all(&cold);
+        enum_cold = enum_cold.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let replay = enumerate_all(&cold);
+        enum_warm = enum_warm.min(t0.elapsed().as_secs_f64());
+        assert_eq!(
+            family_shape(&enumerated),
+            family_shape(&replay),
+            "warm family replay diverged from cold enumeration"
+        );
+    }
+    // Verification (untimed, on the deep-stack helper): every family
+    // found, every core certified sound + minimal and pairwise
+    // ⊆-incomparable, every family provably complete on this battery,
+    // every ranked repair independently re-proved to restore Sat, and
+    // the cached route agreeing with a direct engine enumeration.
+    let (
+        families_found,
+        family_cores_certified,
+        families_complete,
+        repairs_verified,
+        uncached_agrees,
+        mean_family,
+        total_cores,
+        total_repairs,
+    ) = orm_dl::explain::with_deep_stack(|| {
+        let subset = |a: &[orm_dl::AxiomId], b: &[orm_dl::AxiomId]| a.iter().all(|x| b.contains(x));
+        let mut certified = true;
+        let mut complete = true;
+        let mut repairs_ok = true;
+        let mut uncached = true;
+        let mut sizes = Vec::new();
+        let mut n_repairs = 0usize;
+        let mut found = enumerated.len() == unsat_elements && !enumerated.is_empty();
+        for (query, enumeration) in &enumerated {
+            let Some(family) = enumeration.family() else {
+                found = false;
+                continue;
+            };
+            sizes.push(family.len());
+            complete &= family.complete && !family.truncated;
+            for (i, core) in family.cores.iter().enumerate() {
+                certified &= core.minimal
+                    && orm_dl::explain::core_refutes(tbox, core, query, explain_budget);
+                for j in 0..core.len() {
+                    let mut weakened = core.axioms.clone();
+                    weakened.remove(j);
+                    certified &=
+                        orm_dl::satisfiable(&tbox.restrict_to(&weakened), query, explain_budget)
+                            == orm_dl::DlOutcome::Sat;
+                }
+                for other in &family.cores[i + 1..] {
+                    certified &= !subset(&core.axioms, &other.axioms)
+                        && !subset(&other.axioms, &core.axioms);
+                }
+            }
+            let repairs = exp_translation.repairs_for(query, explain_budget, family);
+            repairs_ok &= !repairs.is_empty();
+            n_repairs += repairs.len();
+            for repair in &repairs {
+                repairs_ok &= repair.verified
+                    && family
+                        .cores
+                        .iter()
+                        .all(|c| c.axioms.iter().any(|a| repair.axioms.contains(a)));
+                let keep: Vec<orm_dl::AxiomId> =
+                    tbox.axiom_ids().filter(|a| !repair.axioms.contains(a)).collect();
+                repairs_ok &= orm_dl::satisfiable(&tbox.restrict_to(&keep), query, explain_budget)
+                    == orm_dl::DlOutcome::Sat;
+            }
+            // Cached-vs-uncached: a direct engine enumeration of the
+            // same query yields the same family as a set.
+            if let orm_dl::MusEnumeration::Unsat(direct) =
+                orm_dl::enumerate_mus(tbox, query, explain_budget, enum_limit)
+            {
+                let canon = |f: &orm_dl::MusFamily| {
+                    let mut cores: Vec<Vec<orm_dl::AxiomId>> =
+                        f.cores.iter().map(|c| c.axioms.clone()).collect();
+                    cores.sort();
+                    cores
+                };
+                uncached &= canon(family) == canon(&direct);
+            } else {
+                uncached = false;
+            }
+        }
+        let total: usize = sizes.iter().sum();
+        let mean = total as f64 / sizes.len().max(1) as f64;
+        (found, certified, complete, repairs_ok, uncached, mean, total, n_repairs)
+    });
+    // Deterministic two-MUS pin: the compact two-contradiction scenario
+    // has exactly-known ground truth — one doomed type, two independent
+    // 3-axiom cores, nine verified 2-axiom repairs. The enumerator must
+    // reproduce it exactly (family complete, never truncated at this
+    // limit).
+    let pin = orm_bench::tableau_scenarios::enumeration_battery();
+    let pin_translation = translate(&pin.schema);
+    let mut two_mus_pinned = false;
+    for (ty, _) in pin.schema.object_types() {
+        if pin_translation.type_satisfiable(ty, explain_budget) != orm_dl::DlOutcome::Unsat {
+            continue;
+        }
+        if let orm_dl::MusEnumeration::Unsat(family) =
+            pin_translation.enumerate_type(ty, explain_budget, enum_limit)
+        {
+            let repairs = pin_translation.repairs_for(
+                &pin_translation.type_concept(ty),
+                explain_budget,
+                &family,
+            );
+            two_mus_pinned = family.len() == 2
+                && family.complete
+                && !family.truncated
+                && family.cores.iter().all(|c| c.minimal && c.len() == 3)
+                && repairs.len() == 9
+                && repairs.iter().all(|r| r.verified && r.len() == 2);
+        }
+    }
+
+    let any_truncated = enumerated.iter().any(|(_, e)| e.family().is_some_and(|f| f.truncated));
+    let enum_within_2x = enum_cold <= 2.0 * explain_cold;
+    let enum_warm_fast = enum_warm <= 1e-3;
+    let enumeration_ok = families_found
+        && family_cores_certified
+        && families_complete
+        && repairs_verified
+        && uncached_agrees
+        && two_mus_pinned;
+    all_agree &= enumeration_ok;
+    println!(
+        "{} (enumeration): {} cores across {} families (mean {:.1}), {} verified repairs — \
+         {:.3} ms cold (limit {enum_limit}, ≤2× single-core: {}), {:.3} ms warm (≤1 ms: {}); \
+         certified {} / complete {} / repairs re-proved {} / cached=uncached {}",
+        exp.name,
+        total_cores,
+        unsat_elements,
+        mean_family,
+        total_repairs,
+        enum_cold * 1e3,
+        if enum_within_2x { "yes" } else { "NO" },
+        enum_warm * 1e3,
+        if enum_warm_fast { "yes" } else { "NO" },
+        if family_cores_certified { "yes" } else { "NO" },
+        if families_complete { "yes" } else { "NO" },
+        if repairs_verified { "yes" } else { "NO" },
+        if uncached_agrees { "yes" } else { "NO" }
+    );
+    println!(
+        "{}: two independent contradictions, one doomed type — exact family + \
+         nine verified repairs reproduced: {}",
+        pin.name,
+        if two_mus_pinned { "yes" } else { "NO" }
+    );
+
     // Bulk conformance (PR 6): a large, almost-clean population of the
     // order-processing schema, checked by the per-violation validator vs
     // a compiled `CheckPlan` over the columnar population. The violation
@@ -575,6 +760,8 @@ fn tableau_bench(out_path: &str, budget: u64) {
         && (!par_bar_applicable || par_speedup >= 2.0)
         && bulk_speedup >= 20.0
         && large_within_budget
+        && enum_within_2x
+        && enum_warm_fast
         && all_agree;
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
@@ -601,6 +788,18 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \"mean_core_size\": {mean_core:.2}, \
          \"cores_extracted\": {cores_extracted}, \"cores_sound\": {cores_sound}, \
          \"cores_minimal\": {cores_minimal}, \"origins_mapped\": {origins_mapped}}},\n      \
+         \"enumeration\": {{\"name\": \"{}\", \"limit\": {enum_limit}, \
+         \"unsat_elements\": {unsat_elements}, \"total_cores\": {total_cores}, \
+         \"mean_family_size\": {mean_family:.2}, \"total_repairs\": {total_repairs}, \
+         \"cold_ms\": {:.4}, \"warm_ms\": {:.4}, \
+         \"single_core_cold_ms\": {:.4}, \
+         \"cold_within_2x_single\": {enum_within_2x}, \"warm_under_1ms\": {enum_warm_fast}, \
+         \"families_found\": {families_found}, \"families_complete\": {families_complete}, \
+         \"any_truncated\": {}, \
+         \"cores_certified\": {family_cores_certified}, \
+         \"repairs_verified\": {repairs_verified}, \
+         \"cached_uncached_agree\": {uncached_agrees}, \
+         \"two_mus_pinned\": {two_mus_pinned}}},\n      \
          \"bulk_conformance\": {{\"name\": \"{}\", \"rows\": {}, \
          \"faults_injected\": {}, \"violations_found\": {}, \
          \"per_violation_ms\": {:.4}, \"compile_ms\": {:.4}, \"execute_ms\": {:.4}, \
@@ -644,6 +843,11 @@ fn tableau_bench(out_path: &str, budget: u64) {
         explain_unseeded * 1e3,
         explain_cold * 1e3,
         explain_warm * 1e3,
+        exp.name,
+        enum_cold * 1e3,
+        enum_warm * 1e3,
+        explain_cold * 1e3,
+        any_truncated,
         bulk.name,
         bulk.rows,
         bulk.workload.faults_injected,

@@ -285,6 +285,20 @@ pub fn explain_battery(noise: u32) -> ExplainScenario {
     ExplainScenario { name: format!("explain_battery_{noise}"), schema: b.finish() }
 }
 
+/// The compact two-contradiction workload for the MUS-enumeration bench:
+/// [`orm_gen::multi_contradiction`] with `k = 2` — Fig. 1's doomed-type
+/// shape merged with a second, independent exclusion cycle over the same
+/// type. Ground truth is known exactly (two 3-axiom cores, nine 2-axiom
+/// repairs), so the bench pins the enumerator's output against it rather
+/// than merely timing it. Kept separate from [`explain_battery`]: adding
+/// even unconstrained types there shifts the implicit-exclusion axiom
+/// set and destabilizes the single-core minimization timings that
+/// section gates on.
+pub fn enumeration_battery() -> ExplainScenario {
+    let (schema, _) = orm_gen::multi_contradiction(2);
+    ExplainScenario { name: "enumeration_two_mus".to_owned(), schema }
+}
+
 /// An interactive-editing workload: one large TBox, a classification
 /// battery re-run after each of a series of single-GCI additions — the
 /// per-keystroke loop of the paper's §4 editor scenario. The comparison

@@ -116,7 +116,10 @@
 
 use crate::arena::{splitmix, Arena, CKind, ConceptId};
 use crate::concept::{Concept, RoleExpr};
-use crate::explain::{explain_unsat, explain_unsat_seeded, Explanation, UnsatCore};
+use crate::explain::{
+    enumerate_mus, enumerate_mus_seeded, explain_unsat, explain_unsat_seeded, Explanation,
+    MusEnumeration, MusFamily, UnsatCore,
+};
 use crate::tableau::{satisfiable_with_witness, DlOutcome, Witness};
 use crate::tbox::{AdditionDelta, AxiomId, Delta, TBox};
 use parking_lot::Mutex;
@@ -198,11 +201,15 @@ impl CacheStats {
 /// Cores survive the pure-addition retention rule alongside their `Unsat`
 /// verdicts: the core's axioms persist under additions (per-kind indices
 /// are append-stable), its restriction is unchanged — so it stays a
-/// certified, minimal core of the grown TBox.
+/// certified, minimal core of the grown TBox. The cached MUS `family`
+/// (once an enumeration has been requested) survives the same way —
+/// every cached core is still a certified, minimal core — but its
+/// *completeness* flag is conservatively cleared: added axioms can create
+/// brand-new MUSes the cached family has never seen.
 #[derive(Clone, Debug)]
 enum Entry {
     Sat { witness: Option<Witness> },
-    Unsat { core: Option<UnsatCore> },
+    Unsat { core: Option<UnsatCore>, family: Option<MusFamily> },
     Unknown { budget: u64 },
 }
 
@@ -291,7 +298,14 @@ impl SatCache {
         // the entries borrow.
         let (mut retained, mut revalidated, mut evicted) = (0, 0, 0);
         self.entries.retain(|_, entry| match entry {
-            Entry::Unsat { .. } => {
+            Entry::Unsat { family, .. } => {
+                // Each cached core remains a certified, minimal MUS (its
+                // restriction is untouched by additions), but new axioms
+                // can spawn *new* MUSes: the family can no longer claim
+                // to hold every one.
+                if let Some(family) = family {
+                    family.complete = false;
+                }
                 retained += 1;
                 true
             }
@@ -376,7 +390,7 @@ impl SatCache {
     ) {
         let entry = match verdict {
             DlOutcome::Sat => Entry::Sat { witness },
-            DlOutcome::Unsat => Entry::Unsat { core: None },
+            DlOutcome::Unsat => Entry::Unsat { core: None, family: None },
             DlOutcome::ResourceLimit => Entry::Unknown { budget },
         };
         self.entries.insert(key, entry);
@@ -443,7 +457,7 @@ impl SatCache {
         self.validate(tbox);
         let key = self.key(query);
         match self.entries.get(&key) {
-            Some(Entry::Unsat { core: Some(core) }) => {
+            Some(Entry::Unsat { core: Some(core), .. }) => {
                 self.stats.hits += 1;
                 return Explanation::Unsat(core.clone());
             }
@@ -467,7 +481,14 @@ impl SatCache {
         };
         match &explanation {
             Explanation::Unsat(core) => {
-                self.entries.insert(key, Entry::Unsat { core: Some(core.clone()) });
+                // Preserve a previously cached family (its cores stay
+                // certified regardless of which single core this
+                // extraction landed on).
+                let family = match self.entries.remove(&key) {
+                    Some(Entry::Unsat { family, .. }) => family,
+                    _ => None,
+                };
+                self.entries.insert(key, Entry::Unsat { core: Some(core.clone()), family });
             }
             // The explanation path has no witness to store; the entry
             // still upgrades verdict hits (and is simply evicted instead
@@ -486,6 +507,114 @@ impl SatCache {
             }
         }
         explanation
+    }
+
+    /// Cached [`enumerate_mus`]: the full MUS family is stored **beside**
+    /// the `Unsat` verdict (and its single core), so a repeat enumeration
+    /// is a hit. Answering rules for a cached family:
+    ///
+    /// * a **complete** family answers any `limit ≥ len` verbatim, and a
+    ///   `limit < len` request gets the first `limit` cores with
+    ///   [`MusFamily::truncated`] set (a prefix of all MUSes is a valid
+    ///   top-k answer);
+    /// * an **incomplete** family (truncated earlier, or carried across a
+    ///   pure-addition delta, which clears completeness) answers only
+    ///   `limit ≤ len` requests; a larger `limit` re-enumerates, seeded
+    ///   by every cached core's axioms, and overwrites the entry.
+    ///
+    /// A cached `Sat` short-circuits to [`MusEnumeration::Satisfiable`];
+    /// a family computed here also fills the entry's single-core slot, so
+    /// later [`SatCache::explain`] calls hit.
+    pub fn enumerate(
+        &mut self,
+        tbox: &TBox,
+        query: &Concept,
+        budget: u64,
+        limit: usize,
+    ) -> MusEnumeration {
+        self.enumerate_seeded(tbox, query, budget, limit, &[])
+    }
+
+    /// [`SatCache::enumerate`] with a warm-start seed for the first
+    /// extraction on a miss (the [`enumerate_mus_seeded`] path). The seed
+    /// only steers the search, never what gets stored or answered.
+    pub fn enumerate_seeded(
+        &mut self,
+        tbox: &TBox,
+        query: &Concept,
+        budget: u64,
+        limit: usize,
+        seed: &[AxiomId],
+    ) -> MusEnumeration {
+        self.validate(tbox);
+        let limit = limit.max(1);
+        let key = self.key(query);
+        match self.entries.get(&key) {
+            Some(Entry::Sat { .. }) => {
+                self.stats.hits += 1;
+                return MusEnumeration::Satisfiable;
+            }
+            Some(Entry::Unsat { family: Some(family), .. }) => {
+                if family.complete && family.cores.len() <= limit {
+                    self.stats.hits += 1;
+                    return MusEnumeration::Unsat(family.clone());
+                }
+                if family.cores.len() >= limit {
+                    self.stats.hits += 1;
+                    return MusEnumeration::Unsat(MusFamily {
+                        cores: family.cores[..limit].to_vec(),
+                        truncated: true,
+                        complete: false,
+                    });
+                }
+                // Incomplete and smaller than asked: fall through to a
+                // re-enumeration warm-started by the cached cores.
+            }
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+                self.stats.hits += 1;
+                return MusEnumeration::ResourceLimit;
+            }
+            _ => {}
+        }
+        self.stats.misses += 1;
+        // Warm-start the first extraction from the caller's seed plus any
+        // cached certified axioms (single core and family cores alike).
+        let mut warm: Vec<AxiomId> = seed.to_vec();
+        if let Some(Entry::Unsat { core, family }) = self.entries.get(&key) {
+            if let Some(core) = core {
+                warm.extend(core.axioms.iter().copied());
+            }
+            if let Some(family) = family {
+                warm.extend(family.cores.iter().flat_map(|c| c.axioms.iter().copied()));
+            }
+        }
+        warm.sort_unstable();
+        warm.dedup();
+        let enumeration = if warm.is_empty() {
+            enumerate_mus(tbox, query, budget, limit)
+        } else {
+            enumerate_mus_seeded(tbox, query, budget, limit, &warm)
+        };
+        match &enumeration {
+            MusEnumeration::Unsat(family) => {
+                let core = match self.entries.remove(&key) {
+                    Some(Entry::Unsat { core: Some(core), .. }) => Some(core),
+                    _ => family.cores.first().cloned(),
+                };
+                self.entries.insert(key, Entry::Unsat { core, family: Some(family.clone()) });
+            }
+            MusEnumeration::Satisfiable => {
+                self.entries.insert(key, Entry::Sat { witness: None });
+            }
+            // Never downgrade a certified Unsat verdict because one
+            // enumeration attempt starved.
+            MusEnumeration::ResourceLimit => {
+                if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
+                    self.entries.insert(key, Entry::Unknown { budget });
+                }
+            }
+        }
+        enumeration
     }
 
     /// Cached [`crate::tableau::subsumes`]: the standard reduction of
@@ -669,6 +798,48 @@ impl SatShards {
             }
         }
         explanation
+    }
+
+    /// Cached MUS-family enumeration through the owning shard (see
+    /// [`SatCache::enumerate`]); routed like [`SatShards::satisfiable`],
+    /// so verdicts, single cores and families all share one entry.
+    ///
+    /// Enumerations join the same cross-shard **seed pool** as
+    /// [`SatShards::explain`]: the pooled certified axioms warm-start the
+    /// first extraction of each enumeration, and every enumerated core's
+    /// axioms feed back into the pool — the reuse that keeps all-MUS
+    /// enumeration within the same cost envelope as single-core
+    /// extraction on multi-element diagnosis sweeps.
+    pub fn enumerate(
+        &self,
+        tbox: &TBox,
+        query: &Concept,
+        budget: u64,
+        limit: usize,
+    ) -> MusEnumeration {
+        let stamp = tbox.cache_stamp();
+        let seed: Vec<AxiomId> = {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp != stamp {
+                pool.stamp = stamp;
+                pool.axioms.clear();
+            }
+            pool.axioms.clone()
+        };
+        let enumeration = self
+            .shard(route_satisfiable(query))
+            .lock()
+            .enumerate_seeded(tbox, query, budget, limit, &seed);
+        if let MusEnumeration::Unsat(family) = &enumeration {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp == stamp && pool.axioms.len() < SEED_POOL_CAP {
+                pool.axioms.extend(family.cores.iter().flat_map(|c| c.axioms.iter().copied()));
+                pool.axioms.sort_unstable();
+                pool.axioms.dedup();
+                pool.axioms.truncate(SEED_POOL_CAP);
+            }
+        }
+        enumeration
     }
 
     /// Counters aggregated across all shards.
@@ -1186,5 +1357,124 @@ mod tests {
         shards.clear();
         assert!(shards.is_empty());
         assert_eq!(shards.stats().clears, 4);
+    }
+
+    /// A TBox with two independent refutations of `A` — the enumeration
+    /// fixture the cache-interaction tests share.
+    fn two_mus_tbox() -> (TBox, Concept) {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), Concept::Bottom);
+        t.gci(a.clone(), b.clone());
+        t.gci(b.clone(), Concept::Bottom);
+        (t, a)
+    }
+
+    /// A repeat enumeration is a pure hit, and the family answers
+    /// smaller-limit requests as an honestly truncated prefix.
+    #[test]
+    fn enumeration_caches_families() {
+        let (t, a) = two_mus_tbox();
+        let mut cache = SatCache::new();
+        let MusEnumeration::Unsat(family) = cache.enumerate(&t, &a, 100_000, usize::MAX) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(family.cores.len(), 2);
+        assert!(family.complete);
+        assert_eq!(cache.enumerate(&t, &a, 100_000, usize::MAX), MusEnumeration::Unsat(family));
+        assert_eq!((cache.stats().misses, cache.stats().hits), (1, 1));
+        // Top-1 from the cached complete family: a truncated prefix.
+        let MusEnumeration::Unsat(top1) = cache.enumerate(&t, &a, 100_000, 1) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(top1.cores.len(), 1);
+        assert!(top1.truncated && !top1.complete);
+        assert_eq!(cache.stats().hits, 2);
+        // The family also fills the single-core slot: explain hits too.
+        assert!(matches!(cache.explain(&t, &a, 100_000), Explanation::Unsat(_)));
+        assert_eq!(cache.stats().hits, 3);
+    }
+
+    /// Pure additions keep the cached family's cores (append-stable ids,
+    /// restriction untouched) but clear its completeness: a later
+    /// full-family request re-enumerates and finds the new MUS.
+    #[test]
+    fn families_survive_additions_without_claiming_completeness() {
+        let (mut t, a) = two_mus_tbox();
+        let mut cache = SatCache::new();
+        let MusEnumeration::Unsat(before) = cache.enumerate(&t, &a, 100_000, usize::MAX) else {
+            panic!("A is doomed");
+        };
+        assert!(before.complete);
+        // An addition creating a *third* MUS: A ⊑ C, C ⊑ ⊥.
+        let c = Concept::Atomic(t.atom("C"));
+        t.gci(a.clone(), c.clone());
+        t.gci(c.clone(), Concept::Bottom);
+        // Top-2 answers from the retained family (a valid truncated
+        // prefix — both cores are still certified MUSes).
+        let MusEnumeration::Unsat(top2) = cache.enumerate(&t, &a, 100_000, 2) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(top2.cores, before.cores);
+        assert!(top2.truncated && !top2.complete);
+        assert_eq!(cache.stats().retained, 1);
+        // A full request must NOT replay the stale family: it re-runs and
+        // finds all three.
+        let MusEnumeration::Unsat(after) = cache.enumerate(&t, &a, 100_000, usize::MAX) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(after.cores.len(), 3);
+        assert!(after.complete);
+    }
+
+    /// Destructive deltas clear families wholesale with the rest of the
+    /// cache — the re-enumeration sees only the surviving refutation.
+    #[test]
+    fn families_invalidated_by_destructive_deltas() {
+        let (mut t, a) = two_mus_tbox();
+        let mut cache = SatCache::new();
+        let MusEnumeration::Unsat(family) = cache.enumerate(&t, &a, 100_000, usize::MAX) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(family.cores.len(), 2);
+        // Retract `A ⊑ ⊥` (gci index 0): only the chained MUS remains —
+        // and its gci indices have shifted, so a replayed family would be
+        // observably wrong.
+        t.retract_gci(0);
+        let MusEnumeration::Unsat(after) = cache.enumerate(&t, &a, 100_000, usize::MAX) else {
+            panic!("A is still doomed through B");
+        };
+        assert_eq!(cache.stats().invalidations, 1);
+        assert_eq!(after.cores.len(), 1);
+        assert_eq!(after.cores[0].len(), 2);
+        assert!(after.complete);
+    }
+
+    /// Sharded enumeration agrees with the sequential cache and shares
+    /// entries with the explain/satisfiable paths.
+    #[test]
+    fn shards_enumerate_agrees_with_sequential() {
+        let (t, a) = two_mus_tbox();
+        let shards = SatShards::new();
+        let mut sequential = SatCache::new();
+        let via_shards = shards.enumerate(&t, &a, 100_000, usize::MAX);
+        let via_cache = sequential.enumerate(&t, &a, 100_000, usize::MAX);
+        let (MusEnumeration::Unsat(fs), MusEnumeration::Unsat(fc)) = (&via_shards, &via_cache)
+        else {
+            panic!("A is doomed both ways");
+        };
+        let sets = |f: &MusFamily| {
+            let mut s: Vec<_> = f.cores.iter().map(|c| c.axioms.clone()).collect();
+            s.sort();
+            s
+        };
+        assert_eq!(sets(fs), sets(fc));
+        assert_eq!((fs.complete, fs.truncated), (fc.complete, fc.truncated));
+        // The family entry answers the other entry points as hits.
+        assert_eq!(shards.satisfiable(&t, &a, 100_000), DlOutcome::Unsat);
+        assert!(matches!(shards.explain(&t, &a, 100_000), Explanation::Unsat(_)));
+        let stats = shards.stats();
+        assert_eq!((stats.misses, stats.hits), (1, 2));
     }
 }

@@ -45,6 +45,17 @@
 //!
 //! The differential property tests in `tests/explain_dl.rs` pin all three
 //! guarantees across random schemas.
+//!
+//! # Beyond one core
+//!
+//! One MUS names one contradiction; a schema with several independent
+//! ones deserves all of them at once. [`enumerate_mus`] lifts the
+//! extractor into a MARCO-style enumeration over the axiom powerset
+//! (found MUSes *block* their supersets, so each is discovered exactly
+//! once), and [`repair_sets`] / [`ranked_repairs`] turn the family into
+//! ⊆-minimal **hitting sets** — candidate repairs, each re-proved `Sat`
+//! against the TBox minus the repair and ranked by edit recency from the
+//! delta log. See `docs/EXPLANATIONS.md` for the full algorithm.
 
 use crate::concept::Concept;
 use crate::tableau::{satisfiable, satisfiable_with_conflict, DlOutcome};
@@ -350,6 +361,368 @@ pub fn core_refutes(tbox: &TBox, core: &UnsatCore, query: &Concept, budget: u64)
     satisfiable(&tbox.restrict_to(&core.axioms), query, budget) == DlOutcome::Unsat
 }
 
+/// The enumerated family of minimal unsat cores (MUSes) of one query —
+/// what [`enumerate_mus`] returns inside [`MusEnumeration::Unsat`].
+///
+/// Every core in the family is individually certified (its restriction
+/// refutes the query, re-proved by [`core_refutes`] before emission) and
+/// the cores are pairwise ⊆-incomparable by construction. The two flags
+/// qualify the *family*:
+///
+/// * [`MusFamily::truncated`] — enumeration stopped at the caller's
+///   `limit` with candidate subsets still unexplored; more MUSes may
+///   exist.
+/// * [`MusFamily::complete`] — the family provably contains **every**
+///   MUS: enumeration drained its worklist (`!truncated`) and every probe
+///   along the way reached a definitive verdict. A probe dying on the
+///   budget (or an uncertified refinement) clears this conservatively;
+///   the emitted cores are still individually certified.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct MusFamily {
+    /// The certified cores, in discovery order (the single-core
+    /// extractor's result first).
+    pub cores: Vec<UnsatCore>,
+    /// Enumeration hit the `limit` cap with work left: there may be more
+    /// MUSes than reported.
+    pub truncated: bool,
+    /// Every MUS of the query is in `cores` — certified by a fully
+    /// decisive, drained exploration.
+    pub complete: bool,
+}
+
+impl MusFamily {
+    /// Number of enumerated cores.
+    pub fn len(&self) -> usize {
+        self.cores.len()
+    }
+
+    /// Whether the family holds no cores (never the case inside
+    /// [`MusEnumeration::Unsat`]).
+    pub fn is_empty(&self) -> bool {
+        self.cores.is_empty()
+    }
+}
+
+/// Outcome of a MUS-enumeration request — the same three-way split as
+/// [`Explanation`], with the `Unsat` arm carrying the whole family.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum MusEnumeration {
+    /// The query is unsatisfiable; here is its (possibly capped) family
+    /// of certified minimal unsat cores.
+    Unsat(MusFamily),
+    /// The query is satisfiable — nothing to enumerate.
+    Satisfiable,
+    /// The budget ran out before the *initial* verdict was certain.
+    ResourceLimit,
+}
+
+impl MusEnumeration {
+    /// The plain verdict this enumeration corresponds to.
+    pub fn verdict(&self) -> DlOutcome {
+        match self {
+            MusEnumeration::Unsat(_) => DlOutcome::Unsat,
+            MusEnumeration::Satisfiable => DlOutcome::Sat,
+            MusEnumeration::ResourceLimit => DlOutcome::ResourceLimit,
+        }
+    }
+
+    /// The family, when unsatisfiable.
+    pub fn family(&self) -> Option<&MusFamily> {
+        match self {
+            MusEnumeration::Unsat(family) => Some(family),
+            _ => None,
+        }
+    }
+}
+
+/// Whether sorted `sub` is a subset of sorted `sup` (two-pointer scan —
+/// every candidate set in the enumerator is kept sorted and deduplicated).
+fn sorted_subset(sub: &[AxiomId], sup: &[AxiomId]) -> bool {
+    let mut it = sup.iter();
+    sub.iter().all(|a| it.any(|b| b == a))
+}
+
+/// Enumerate **all** (or the first `limit`) minimal unsat cores of
+/// `query` against `tbox` — the MARCO-style grow/shrink loop over the
+/// axiom powerset (see `docs/EXPLANATIONS.md`).
+///
+/// The first MUS comes from the efficient single-core extractor
+/// ([`explain_unsat`]'s conflict-seeded path). Each further candidate
+/// subset `S` is handled by *blocking*: if some already-found MUS `M ⊆ S`
+/// then `S` cannot yield a new MUS directly (any other MUS `M' ⊆ S` must
+/// avoid some axiom of `M`, both being minimal and distinct), so the
+/// enumerator skips the probe and branches into `S ∖ {a}` for each
+/// `a ∈ M`. An unblocked `S` is probed via [`TBox::restrict_to`]: `Sat`
+/// closes the branch, `Unsat` shrinks within `S` to a fresh MUS
+/// (deletion-minimization never leaves `S`, and minimality/refutation are
+/// properties of the restriction alone — independent of the ambient set —
+/// so the result is a genuine MUS of the full TBox), which is re-certified
+/// by [`core_refutes`] before emission and then blocks its own branches.
+/// This branching is complete: every MUS is reachable by excluding, one
+/// by one, the axioms of the MUSes it avoids.
+///
+/// Duplicates are impossible (a shrink inside `S` reproducing a found `M`
+/// would mean `M ⊆ S`, contradicting the blocking pre-check), which also
+/// makes the emitted cores pairwise ⊆-incomparable.
+///
+/// `limit` caps the family at top-k (`0` is promoted to `1`;
+/// `usize::MAX` means "all"); hitting the cap with work left sets
+/// [`MusFamily::truncated`]. Runs on the same deep-stack worker as
+/// [`explain_unsat`].
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::explain::{enumerate_mus, MusEnumeration};
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// let b = Concept::Atomic(tbox.atom("B"));
+/// // Two independent refutations of A: A ⊑ ⊥ and A ⊑ B, B ⊑ ⊥.
+/// let doom1 = tbox.gci(a.clone(), Concept::Bottom);
+/// let ab = tbox.gci(a.clone(), b.clone());
+/// let doom2 = tbox.gci(b.clone(), Concept::Bottom);
+///
+/// let MusEnumeration::Unsat(family) = enumerate_mus(&tbox, &a, 100_000, usize::MAX) else {
+///     panic!("A is doomed");
+/// };
+/// assert!(family.complete && !family.truncated);
+/// let mut cores: Vec<_> = family.cores.iter().map(|c| c.axioms.clone()).collect();
+/// cores.sort();
+/// assert_eq!(cores, vec![vec![doom1], vec![ab, doom2]]);
+/// ```
+pub fn enumerate_mus(tbox: &TBox, query: &Concept, budget: u64, limit: usize) -> MusEnumeration {
+    with_deep_stack(|| enumerate_mus_inner(tbox, query, budget, limit, &[]))
+}
+
+/// [`enumerate_mus`] with a warm-start seed for the *first* extraction
+/// (the [`explain_unsat_seeded`] fast path — typically the pooled core
+/// axioms of other elements of the same schema). The seed only steers how
+/// the first MUS is found; every emitted core is certified the same way.
+pub fn enumerate_mus_seeded(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    limit: usize,
+    seed: &[AxiomId],
+) -> MusEnumeration {
+    with_deep_stack(|| enumerate_mus_inner(tbox, query, budget, limit, seed))
+}
+
+fn enumerate_mus_inner(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    limit: usize,
+    seed: &[AxiomId],
+) -> MusEnumeration {
+    let first = if seed.is_empty() {
+        explain_unsat_inner(tbox, query, budget)
+    } else {
+        explain_unsat_seeded_inner(tbox, query, budget, seed)
+    };
+    let first_core = match first {
+        Explanation::Unsat(core) => core,
+        Explanation::Satisfiable => return MusEnumeration::Satisfiable,
+        Explanation::ResourceLimit => return MusEnumeration::ResourceLimit,
+    };
+    let limit = limit.max(1);
+    let mut decisive = first_core.minimal;
+    let mut cores: Vec<UnsatCore> = vec![first_core];
+    let all: Vec<AxiomId> = tbox.axiom_ids().collect();
+    let mut work: Vec<Vec<AxiomId>> = vec![all];
+    let mut visited: std::collections::HashSet<Vec<AxiomId>> = std::collections::HashSet::new();
+    let mut truncated = false;
+    while let Some(s) = work.pop() {
+        if !visited.insert(s.clone()) {
+            continue;
+        }
+        // Blocking: a found MUS inside `s` means no *new* MUS can be the
+        // shrink result here — branch straight into its exclusions.
+        // Branching on the smallest such MUS keeps the tree narrow.
+        if let Some(m) =
+            cores.iter().filter(|m| sorted_subset(&m.axioms, &s)).min_by_key(|m| m.len())
+        {
+            for &a in &m.axioms {
+                let mut child: Vec<AxiomId> = s.iter().copied().filter(|&x| x != a).collect();
+                child.shrink_to_fit();
+                work.push(child);
+            }
+            continue;
+        }
+        match probe(tbox, &s, query, budget) {
+            (DlOutcome::Sat, _) => {}
+            (DlOutcome::ResourceLimit, _) => decisive = false,
+            (DlOutcome::Unsat, refined) => {
+                // Adopt the probe's own (verified) smaller conflict as the
+                // shrink start; it stays within `s` by construction.
+                let start = match refined {
+                    Some(r) if r.len() < s.len() => match probe(tbox, &r, query, budget) {
+                        (DlOutcome::Unsat, _) => r,
+                        _ => s.clone(),
+                    },
+                    _ => s.clone(),
+                };
+                let core = minimize(tbox, query, budget, start);
+                decisive &= core.minimal;
+                // Re-certify before emitting — never trust masks.
+                if core_refutes(tbox, &core, query, budget) {
+                    if cores.len() >= limit {
+                        // A fresh MUS exists beyond the cap.
+                        truncated = true;
+                        break;
+                    }
+                    visited.remove(&s);
+                    work.push(s);
+                    cores.push(core);
+                } else {
+                    decisive = false;
+                }
+            }
+        }
+    }
+    let complete = !truncated && decisive;
+    MusEnumeration::Unsat(MusFamily { cores, truncated, complete })
+}
+
+/// A candidate repair: a ⊆-minimal set of axioms hitting every enumerated
+/// core, i.e. removing them breaks **all** known refutations at once.
+///
+/// Produced unverified by [`repair_sets`] (a pure hitting-set
+/// computation) and verified + ranked by [`ranked_repairs`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct RepairSet {
+    /// The axioms to drop, sorted by provenance id.
+    pub axioms: Vec<AxiomId>,
+    /// Whether removing exactly these axioms was re-proved to make the
+    /// query satisfiable (never assumed — a hitting set of a truncated or
+    /// incomplete family can miss an unenumerated MUS). `false` until
+    /// [`ranked_repairs`] proves it.
+    pub verified: bool,
+    /// The most recent delta-log position among the repair's axioms
+    /// ([`TBox::axiom_recency`]) — the ranking key: a modeler most likely
+    /// wants to undo the *latest* edit involved in the contradiction.
+    /// `None` until ranked (or when no axiom resolves against the log).
+    pub recency: Option<u64>,
+}
+
+impl RepairSet {
+    /// Number of axioms the repair removes.
+    pub fn len(&self) -> usize {
+        self.axioms.len()
+    }
+
+    /// Whether the repair removes nothing (never returned: an empty
+    /// hitting set would mean there were no cores to hit).
+    pub fn is_empty(&self) -> bool {
+        self.axioms.is_empty()
+    }
+}
+
+/// Safety valve on the raw hitting-set recursion: the branch tree is
+/// bounded by the product of core sizes, tiny on real diagnoses (cores
+/// average ~2.6 axioms, families a handful of cores) but a pathological
+/// family could blow it up.
+const MAX_RAW_HITTING_SETS: usize = 65_536;
+
+/// All ⊆-minimal hitting sets of `cores` — the candidate repairs: every
+/// core loses at least one axiom, so every *known* refutation breaks.
+///
+/// Branch-and-bound on the first un-hit core (Reiter's HS-tree): each of
+/// its axioms is one child branch, so every minimal hitting set is the
+/// label set of some root-to-leaf path; non-minimal and duplicate leaves
+/// are filtered afterwards. The recursion depth is bounded by the number
+/// of cores (each level hits one more core), which bounds repair size the
+/// same way.
+///
+/// A core with **no axioms** (a self-contradictory query) cannot be hit:
+/// the result is empty — no axiom removal can repair such an element.
+/// The returned sets are unverified ([`RepairSet::verified`] is `false`):
+/// hitting every *enumerated* core only guarantees satisfiability when
+/// the family is complete — use [`ranked_repairs`] to re-prove each.
+pub fn repair_sets(cores: &[UnsatCore]) -> Vec<RepairSet> {
+    if cores.is_empty() || cores.iter().any(|c| c.is_empty()) {
+        return Vec::new();
+    }
+    fn recurse(cores: &[UnsatCore], partial: &mut Vec<AxiomId>, out: &mut Vec<Vec<AxiomId>>) {
+        if out.len() >= MAX_RAW_HITTING_SETS {
+            return;
+        }
+        match cores.iter().find(|c| !c.axioms.iter().any(|a| partial.contains(a))) {
+            None => {
+                let mut hit = partial.clone();
+                hit.sort_unstable();
+                out.push(hit);
+            }
+            Some(unhit) => {
+                for &a in &unhit.axioms {
+                    partial.push(a);
+                    recurse(cores, partial, out);
+                    partial.pop();
+                }
+            }
+        }
+    }
+    let mut raw = Vec::new();
+    recurse(cores, &mut Vec::new(), &mut raw);
+    raw.sort();
+    raw.dedup();
+    // Keep only the ⊆-minimal sets (the complete branching emits every
+    // minimal hitting set, plus supersets reached along other paths).
+    let minimal: Vec<Vec<AxiomId>> = raw
+        .iter()
+        .filter(|h| !raw.iter().any(|other| other.len() < h.len() && sorted_subset(other, h)))
+        .cloned()
+        .collect();
+    minimal.into_iter().map(|axioms| RepairSet { axioms, verified: false, recency: None }).collect()
+}
+
+/// The repairs of `family`, **verified and ranked**: each ⊆-minimal
+/// hitting set of the enumerated cores is re-proved by running the
+/// tableau against the TBox minus the repair (never assumed — an
+/// incomplete family can hide an unenumerated MUS that survives the
+/// removal), unverifiable candidates are dropped, and the survivors are
+/// ranked by **edit recency** from the delta log
+/// ([`TBox::axiom_recency`]): most recently edited first, then smaller
+/// repairs, then lexicographic axiom order — a total, deterministic
+/// order, so re-ranking against the same log is stable.
+pub fn ranked_repairs(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    family: &MusFamily,
+) -> Vec<RepairSet> {
+    with_deep_stack(|| ranked_repairs_inner(tbox, query, budget, family))
+}
+
+fn ranked_repairs_inner(
+    tbox: &TBox,
+    query: &Concept,
+    budget: u64,
+    family: &MusFamily,
+) -> Vec<RepairSet> {
+    let mut repairs: Vec<RepairSet> = repair_sets(&family.cores)
+        .into_iter()
+        .filter_map(|mut repair| {
+            let keep: Vec<AxiomId> =
+                tbox.axiom_ids().filter(|a| !repair.axioms.contains(a)).collect();
+            if satisfiable(&tbox.restrict_to(&keep), query, budget) != DlOutcome::Sat {
+                return None;
+            }
+            repair.verified = true;
+            repair.recency = repair.axioms.iter().filter_map(|&a| tbox.axiom_recency(a)).max();
+            Some(repair)
+        })
+        .collect();
+    repairs.sort_by(|a, b| {
+        b.recency
+            .cmp(&a.recency)
+            .then(a.axioms.len().cmp(&b.axioms.len()))
+            .then(a.axioms.cmp(&b.axioms))
+    });
+    repairs
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -496,5 +869,151 @@ mod tests {
         let a = Concept::Atomic(t.atom("A"));
         t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
         assert_eq!(explain_unsat(&t, &a, 1), Explanation::ResourceLimit);
+    }
+
+    /// Two independent contradictions on one type: both MUSes enumerated,
+    /// complete, pairwise incomparable, each certified.
+    #[test]
+    fn enumeration_finds_both_independent_muses() {
+        let mut t = TBox::new();
+        let student = Concept::Atomic(t.atom("Student"));
+        let employee = Concept::Atomic(t.atom("Employee"));
+        let xtra = Concept::Atomic(t.atom("X"));
+        let ytra = Concept::Atomic(t.atom("Y"));
+        let phd = Concept::Atomic(t.atom("Phd"));
+        let g1 = t.gci(phd.clone(), student.clone());
+        let g2 = t.gci(phd.clone(), employee.clone());
+        let g3 = t.gci(Concept::and([student.clone(), employee.clone()]), Concept::Bottom);
+        let g4 = t.gci(phd.clone(), xtra.clone());
+        let g5 = t.gci(phd.clone(), ytra.clone());
+        let g6 = t.gci(Concept::and([xtra.clone(), ytra.clone()]), Concept::Bottom);
+        t.gci(student.clone(), Concept::Top); // noise
+        let MusEnumeration::Unsat(family) = enumerate_mus(&t, &phd, BUDGET, usize::MAX) else {
+            panic!("Phd is doomed");
+        };
+        assert!(family.complete && !family.truncated, "{family:?}");
+        let mut sets: Vec<_> = family.cores.iter().map(|c| c.axioms.clone()).collect();
+        sets.sort();
+        assert_eq!(sets, vec![vec![g1, g2, g3], vec![g4, g5, g6]]);
+        for core in &family.cores {
+            assert!(core.minimal);
+            assert!(core_refutes(&t, core, &phd, BUDGET));
+        }
+    }
+
+    /// `limit = 1` reports the cap honestly: one core, truncated, not
+    /// complete.
+    #[test]
+    fn enumeration_truncates_at_limit() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), Concept::Bottom);
+        t.gci(a.clone(), b.clone());
+        t.gci(b.clone(), Concept::Bottom);
+        let MusEnumeration::Unsat(family) = enumerate_mus(&t, &a, BUDGET, 1) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(family.cores.len(), 1);
+        assert!(family.truncated);
+        assert!(!family.complete);
+        // With room for both the truncation flag clears.
+        let MusEnumeration::Unsat(full) = enumerate_mus(&t, &a, BUDGET, 2) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(full.cores.len(), 2);
+        assert!(!full.truncated && full.complete);
+    }
+
+    /// A satisfiable query and a starved budget classify exactly like the
+    /// single-core extractor.
+    #[test]
+    fn enumeration_classifies_like_explain() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        t.gci(a.clone(), b.clone());
+        assert_eq!(enumerate_mus(&t, &a, BUDGET, usize::MAX), MusEnumeration::Satisfiable);
+        let r = RoleExpr::direct(t.role("R"));
+        t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
+        assert_eq!(enumerate_mus(&t, &a, 1, usize::MAX), MusEnumeration::ResourceLimit);
+    }
+
+    /// The self-contradictory query's family is the single empty core —
+    /// and it has no repairs (no axiom removal can help).
+    #[test]
+    fn empty_core_family_has_no_repairs() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Top);
+        let query = Concept::and([a.clone(), Concept::not(a.clone())]);
+        let MusEnumeration::Unsat(family) = enumerate_mus(&t, &query, BUDGET, usize::MAX) else {
+            panic!("self-contradiction");
+        };
+        assert_eq!(family.cores.len(), 1);
+        assert!(family.cores[0].is_empty());
+        assert!(family.complete);
+        assert!(repair_sets(&family.cores).is_empty());
+        assert!(ranked_repairs(&t, &query, BUDGET, &family).is_empty());
+    }
+
+    /// Hitting sets of a two-core family: singletons for the shared
+    /// structure-free case, every repair hits both cores, and every
+    /// returned repair is ⊆-minimal and verified Sat.
+    #[test]
+    fn repairs_hit_all_cores_and_reprove_sat() {
+        let mut t = TBox::new();
+        let student = Concept::Atomic(t.atom("Student"));
+        let employee = Concept::Atomic(t.atom("Employee"));
+        let xtra = Concept::Atomic(t.atom("X"));
+        let ytra = Concept::Atomic(t.atom("Y"));
+        let phd = Concept::Atomic(t.atom("Phd"));
+        t.gci(phd.clone(), student.clone());
+        t.gci(phd.clone(), employee.clone());
+        t.gci(Concept::and([student.clone(), employee.clone()]), Concept::Bottom);
+        t.gci(phd.clone(), xtra.clone());
+        t.gci(phd.clone(), ytra.clone());
+        t.gci(Concept::and([xtra.clone(), ytra.clone()]), Concept::Bottom);
+        let MusEnumeration::Unsat(family) = enumerate_mus(&t, &phd, BUDGET, usize::MAX) else {
+            panic!("Phd is doomed");
+        };
+        assert_eq!(family.cores.len(), 2);
+        let repairs = ranked_repairs(&t, &phd, BUDGET, &family);
+        // 3 × 3 single-axiom picks, one from each independent core.
+        assert_eq!(repairs.len(), 9);
+        for repair in &repairs {
+            assert!(repair.verified);
+            assert_eq!(repair.len(), 2);
+            for core in &family.cores {
+                assert!(
+                    core.axioms.iter().any(|a| repair.axioms.contains(a)),
+                    "repair {repair:?} misses core {core:?}"
+                );
+            }
+            let keep: Vec<AxiomId> = t.axiom_ids().filter(|a| !repair.axioms.contains(a)).collect();
+            assert_eq!(satisfiable(&t.restrict_to(&keep), &phd, BUDGET), DlOutcome::Sat);
+        }
+        // Ranking is deterministic: a re-run reproduces the order.
+        assert_eq!(repairs, ranked_repairs(&t, &phd, BUDGET, &family));
+    }
+
+    /// Recency ranking puts the repair touching the *latest* edit first.
+    #[test]
+    fn repairs_ranked_by_edit_recency() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        let b = Concept::Atomic(t.atom("B"));
+        let early = t.gci(a.clone(), b.clone());
+        let late = t.gci(b.clone(), Concept::Bottom);
+        assert!(t.axiom_recency(early) < t.axiom_recency(late));
+        let MusEnumeration::Unsat(family) = enumerate_mus(&t, &a, BUDGET, usize::MAX) else {
+            panic!("A is doomed");
+        };
+        assert_eq!(family.cores.len(), 1);
+        let repairs = ranked_repairs(&t, &a, BUDGET, &family);
+        assert_eq!(repairs.len(), 2);
+        assert_eq!(repairs[0].axioms, vec![late], "latest edit should rank first");
+        assert_eq!(repairs[1].axioms, vec![early]);
+        assert!(repairs[0].recency > repairs[1].recency);
     }
 }

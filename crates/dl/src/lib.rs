@@ -21,7 +21,12 @@
 //!   in [`classic`] for differential testing;
 //! * [`explain`] — minimal **unsat cores**: the tableau's conflict axioms
 //!   verified and deletion-minimized, so an `Unsat` verdict names the
-//!   exact axiom set that causes it (guarantees in `docs/EXPLANATIONS.md`);
+//!   exact axiom set that causes it; MARCO-style **MUS enumeration**
+//!   ([`explain::enumerate_mus`]) lifts one core to the whole family of
+//!   independent contradictions, and minimal **hitting-set repairs**
+//!   ([`explain::ranked_repairs`]) name the axiom sets whose removal is
+//!   re-proved to restore satisfiability (guarantees in
+//!   `docs/EXPLANATIONS.md`);
 //! * [`cache`] — a [`SatCache`] memoizing verdicts per interned root
 //!   label set, and its sharded counterpart [`SatShards`] (independently
 //!   locked, stamp-validated shards routed by a structural hash of the
@@ -77,7 +82,10 @@ mod test_scenarios;
 pub use arena::{Arena, ConceptId};
 pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
-pub use explain::{explain_unsat, explain_unsat_seeded, Explanation, UnsatCore};
+pub use explain::{
+    enumerate_mus, enumerate_mus_seeded, explain_unsat, explain_unsat_seeded, ranked_repairs,
+    repair_sets, Explanation, MusEnumeration, MusFamily, RepairSet, UnsatCore,
+};
 pub use orm_to_dl::{translate, AxiomOrigin, EditSession, Translation};
 pub use tableau::{
     satisfiable, satisfiable_with_conflict, satisfiable_with_witness, subsumes, DlOutcome, Witness,

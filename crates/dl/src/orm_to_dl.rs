@@ -32,7 +32,9 @@
 
 use crate::cache::{CacheStats, SatShards};
 use crate::concept::{Concept, RoleExpr};
-use crate::explain::{Explanation, UnsatCore};
+use crate::explain::{
+    ranked_repairs, Explanation, MusEnumeration, MusFamily, RepairSet, UnsatCore,
+};
 use crate::par::fan_out;
 use crate::tableau::DlOutcome;
 use crate::tbox::{AxiomId, TBox};
@@ -224,6 +226,53 @@ impl Translation {
     /// [`Translation::explain_unsat`] for a role's `∃dir(r).⊤` concept.
     pub fn explain_role(&self, role: RoleId, budget: u64) -> Explanation {
         self.explain_unsat(&self.role_concept(role), budget)
+    }
+
+    /// Enumerate the whole **family** of minimal unsat cores of `query` —
+    /// every independent contradiction at once, up to `limit` (see
+    /// [`crate::explain::enumerate_mus`]). Families are cached beside the
+    /// `Unsat` verdicts in the sharded cache and warm-started across
+    /// elements through its seed pool; map each core to schema-level
+    /// culprits with [`Translation::core_origins`] and compute candidate
+    /// fixes with [`Translation::repairs_for`].
+    pub fn enumerate_unsat(&self, query: &Concept, budget: u64, limit: usize) -> MusEnumeration {
+        self.cache.enumerate(&self.tbox, query, budget, limit)
+    }
+
+    /// [`Translation::enumerate_unsat`] for an object type's concept.
+    pub fn enumerate_type(&self, ty: ObjectTypeId, budget: u64, limit: usize) -> MusEnumeration {
+        self.enumerate_unsat(&self.type_concept(ty), budget, limit)
+    }
+
+    /// [`Translation::enumerate_unsat`] for a role's `∃dir(r).⊤` concept.
+    pub fn enumerate_role(&self, role: RoleId, budget: u64, limit: usize) -> MusEnumeration {
+        self.enumerate_unsat(&self.role_concept(role), budget, limit)
+    }
+
+    /// The verified, recency-ranked repairs of an enumerated family for
+    /// `query` ([`crate::explain::ranked_repairs`]): each ⊆-minimal
+    /// hitting set over the family's cores, kept only when removing its
+    /// axioms is re-proved to make `query` satisfiable, ranked most
+    /// recent edit first. Map each repair's axioms to the ORM constructs
+    /// a modeler would actually drop with
+    /// [`Translation::repair_origins`].
+    pub fn repairs_for(&self, query: &Concept, budget: u64, family: &MusFamily) -> Vec<RepairSet> {
+        ranked_repairs(&self.tbox, query, budget, family)
+    }
+
+    /// The distinct ORM origins of a repair's axioms, in axiom order
+    /// (deduplicated, like [`Translation::core_origins`]); axioms with no
+    /// recorded origin are skipped.
+    pub fn repair_origins(&self, repair: &RepairSet) -> Vec<&AxiomOrigin> {
+        let mut out: Vec<&AxiomOrigin> = Vec::new();
+        for id in &repair.axioms {
+            if let Some(origin) = self.axiom_origins.get(id) {
+                if !out.contains(&origin) {
+                    out.push(origin);
+                }
+            }
+        }
+        out
     }
 
     /// The distinct ORM origins of a core's axioms, in core order

@@ -380,6 +380,34 @@ impl TBox {
         }
     }
 
+    /// The delta-log position at which `id`'s axiom was recorded — the
+    /// **edit recency** repair ranking sorts by (a larger position means a
+    /// later edit). Reconstructed from the log: per-kind indices are
+    /// insertion-ordered, so axiom `{kind, index}` was logged at the
+    /// position of the `(index + 1)`-th entry of its matching
+    /// [`EditKind`]. Exact on addition-only histories; after a
+    /// destructive edit the surviving indices shift and the mapping is
+    /// best-effort (it may attribute an axiom to an earlier, retracted
+    /// sibling's log slot). `None` when the log holds too few entries of
+    /// the kind (an id from a different TBox).
+    pub fn axiom_recency(&self, id: AxiomId) -> Option<u64> {
+        let wanted = match id.kind {
+            AxiomKind::Gci => EditKind::Gci,
+            AxiomKind::RoleInclusion => EditKind::RoleInclusion,
+            AxiomKind::Disjointness => EditKind::Disjointness,
+        };
+        let mut seen = 0u32;
+        for (pos, kind) in self.log.iter().enumerate() {
+            if *kind == wanted {
+                if seen == id.index {
+                    return Some(pos as u64);
+                }
+                seen += 1;
+            }
+        }
+        None
+    }
+
     /// A new TBox with the same interned names (atom and role ids stay
     /// valid) but only the axioms named in `keep` — the sub-terminology a
     /// candidate unsat core induces ([`crate::explain`] proves cores

@@ -343,6 +343,32 @@ pub fn generate(config: &GenConfig) -> Schema {
     b.finish()
 }
 
+/// A deterministic schema whose single doomed type `Doomed` sits under
+/// exactly `k` **independent** contradictions: for each `i < k`, `Doomed`
+/// is a subtype of both `A{i}` and `B{i}`, which are declared exclusive.
+/// All supertypes share one `Root`, so ORM's implicit type exclusions
+/// stay out of play and the minimal-unsat-core family of `Doomed` is
+/// exactly the `k` triples {`Doomed ⊑ A{i}`, `Doomed ⊑ B{i}`,
+/// `exclusive(A{i}, B{i})`} — the ground truth the MUS-enumeration tests
+/// and the figure pins assert against. `k = 0` yields a satisfiable
+/// schema.
+pub fn multi_contradiction(k: usize) -> (Schema, ObjectTypeId) {
+    let mut b = SchemaBuilder::new(format!("multi_{k}"));
+    let root = b.entity_type("Root").expect("fresh name");
+    let doomed = b.entity_type("Doomed").expect("fresh name");
+    b.subtype(doomed, root).expect("valid link");
+    for i in 0..k {
+        let a = b.entity_type(&format!("A{i}")).expect("fresh name");
+        let c = b.entity_type(&format!("B{i}")).expect("fresh name");
+        b.subtype(a, root).expect("valid link");
+        b.subtype(c, root).expect("valid link");
+        b.subtype(doomed, a).expect("valid link");
+        b.subtype(doomed, c).expect("valid link");
+        b.exclusive_types([a, c]).expect("valid constraint");
+    }
+    (b.finish(), doomed)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -384,6 +410,18 @@ mod tests {
                 assert!(!idx.on_subtype_cycle(ty), "seed {seed}: cycle");
             }
         }
+    }
+
+    #[test]
+    fn multi_contradiction_shape() {
+        let (s, doomed) = multi_contradiction(3);
+        // Root + Doomed + 3 exclusive pairs.
+        assert_eq!(s.object_type_count(), 8);
+        assert_eq!(s.constraint_count(), 3);
+        // Doomed is under Root and all six pair members.
+        assert_eq!(s.index().direct_supers(doomed).len(), 7);
+        let (clean, _) = multi_contradiction(0);
+        assert_eq!(clean.constraint_count(), 0);
     }
 
     #[test]

@@ -18,12 +18,34 @@
 //! show a modeler: *"PhdStudent can never be populated because: Each
 //! PhdStudent is a Student. Each PhdStudent is a Employee. No instance is
 //! more than one of Student, Employee."*
+//!
+//! Since the MUS-enumeration PR the pipeline goes further: step 2
+//! enumerates the **whole family** of minimal cores per element
+//! (`Translation::enumerate_unsat`, capped at [`FAMILY_LIMIT`]), so a
+//! schema with several independent contradictions behind one element
+//! surfaces all of them at once; and the verified hitting-set repairs
+//! over that family (`Translation::repairs_for`) are verbalized as
+//! ranked *"drop one of: …"* alternatives
+//! ([`orm_syntax::verbalize_repair_alternatives`]) — most recently
+//! edited culprit first, because in an interactive session the newest
+//! constraint is usually the mistake.
 
-use orm_dl::{AxiomOrigin, DlOutcome, Translation, UnsatCore};
+use orm_dl::{
+    AxiomOrigin, DlOutcome, MusEnumeration, MusFamily, RepairSet, Translation, UnsatCore,
+};
 use orm_model::{ObjectTypeId, RoleId, Schema};
 use orm_syntax::{
-    verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion, verbalize_subtype,
+    verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion,
+    verbalize_repair_alternatives, verbalize_subtype,
 };
+
+/// Per-element cap on enumerated cores ([`Translation::enumerate_unsat`]'s
+/// `limit`): real doomed elements carry a handful of independent
+/// contradictions (the bench battery averages well under three axioms per
+/// core), so eight families is ample headroom while bounding the probe
+/// tree on adversarial inputs. A truncated family is reported as such
+/// (`Diagnosis::family`'s `truncated` flag).
+pub const FAMILY_LIMIT: usize = 8;
 
 /// The schema element a [`Diagnosis`] is about.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -34,21 +56,49 @@ pub enum DiagnosedElement {
     Role(RoleId),
 }
 
+/// One verified way out of a contradiction family: a ⊆-minimal axiom
+/// set hitting every enumerated core, re-proved to restore
+/// satisfiability, verbalized at the ORM level.
+#[derive(Clone, Debug)]
+pub struct Repair {
+    /// The underlying verified repair ([`orm_dl::explain::ranked_repairs`]
+    /// guarantees: hits all cores, re-proved Sat, no proper subset
+    /// suffices), carrying the DL axiom ids and the edit-recency rank key.
+    pub set: RepairSet,
+    /// The repair's distinct ORM-level origins, verbalized one statement
+    /// each (in axiom order) — the constraints to drop *together*.
+    pub statements: Vec<String>,
+}
+
 /// One unsatisfiable element with its explanation: the minimal DL core,
 /// the distinct ORM origins behind it, and one verbalized statement per
-/// origin.
+/// origin — plus, since the MUS-enumeration PR, the whole core *family*
+/// and the ranked verified [`Repair`]s over it.
 #[derive(Clone, Debug)]
 pub struct Diagnosis {
     /// The doomed element.
     pub element: DiagnosedElement,
     /// Its display label (type name or role label).
     pub label: String,
-    /// The minimal unsat core ([`orm_dl::explain`] guarantees).
+    /// The primary (first-found) minimal unsat core ([`orm_dl::explain`]
+    /// guarantees) — identical to `family.cores[0]`.
     pub core: UnsatCore,
-    /// The core's distinct ORM-level origins, verbalized one statement
-    /// each (in core order). Axioms added behind the translation's back
-    /// have no origin and contribute no statement.
+    /// The primary core's distinct ORM-level origins, verbalized one
+    /// statement each (in core order) — identical to `alternatives[0]`.
+    /// Axioms added behind the translation's back have no origin and
+    /// contribute no statement.
     pub statements: Vec<String>,
+    /// Every enumerated minimal core of the element (up to
+    /// [`FAMILY_LIMIT`]), each certified sound and pairwise
+    /// ⊆-incomparable; `family.complete` says whether the enumeration
+    /// provably found them all.
+    pub family: MusFamily,
+    /// One verbalized statement list per core, in `family.cores` order —
+    /// each entry names one independent contradiction.
+    pub alternatives: Vec<Vec<String>>,
+    /// The verified repairs of the whole family, ranked most recently
+    /// edited culprit first.
+    pub repairs: Vec<Repair>,
 }
 
 impl std::fmt::Display for Diagnosis {
@@ -58,7 +108,19 @@ impl std::fmt::Display for Diagnosis {
             writeln!(f, "  - {s}")?;
         }
         let qualifier = if self.core.minimal { "minimal, " } else { "" };
-        write!(f, "  ({}{} DL axiom(s) in the unsat core)", qualifier, self.core.len())
+        write!(f, "  ({}{} DL axiom(s) in the unsat core)", qualifier, self.core.len())?;
+        for (i, alt) in self.alternatives.iter().enumerate().skip(1) {
+            write!(f, "\n  and independently (contradiction {} of {}):", i + 1, self.family.len())?;
+            for s in alt {
+                write!(f, "\n  - {s}")?;
+            }
+        }
+        if self.family.truncated {
+            write!(f, "\n  (further contradictions exist beyond the first {})", self.family.len())?;
+        }
+        let repair_stmts: Vec<Vec<String>> =
+            self.repairs.iter().map(|r| r.statements.clone()).collect();
+        write!(f, "\n  {}", verbalize_repair_alternatives(&repair_stmts))
     }
 }
 
@@ -99,10 +161,12 @@ fn origin_statement(schema: &Schema, origin: &AxiomOrigin) -> String {
 }
 
 /// Diagnose every unsatisfiable type and role of `schema` through the DL
-/// pipeline: translate, sweep, extract a minimal unsat core per doomed
-/// element, map it to ORM constraints and verbalize. Elements whose
-/// verdicts are `Sat` or hit the budget produce no diagnosis — this
-/// reports *certified* contradictions only, in sweep order (types first).
+/// pipeline: translate, sweep, enumerate the minimal-unsat-core *family*
+/// per doomed element (up to [`FAMILY_LIMIT`]), map every core to ORM
+/// constraints, verbalize, and attach the verified ranked repairs as
+/// "drop one of: …" alternatives. Elements whose verdicts are `Sat` or
+/// hit the budget produce no diagnosis — this reports *certified*
+/// contradictions only, in sweep order (types first).
 ///
 /// ```
 /// use orm_model::SchemaBuilder;
@@ -131,6 +195,13 @@ fn origin_statement(schema: &Schema, origin: &AxiomOrigin) -> String {
 /// assert_eq!(d.statements.len(), 3);
 /// assert!(d.statements.iter().any(|s| s == "Each PhdStudent is a Student."));
 /// assert!(d.statements.iter().any(|s| s.contains("more than one of Student, Employee")));
+/// // One contradiction only, provably — and three single-constraint
+/// // ways out, each re-proved to make PhdStudent satisfiable.
+/// assert_eq!(d.family.len(), 1);
+/// assert!(d.family.complete);
+/// assert_eq!(d.repairs.len(), 3);
+/// assert!(d.repairs.iter().all(|r| r.set.verified && r.set.len() == 1));
+/// assert!(d.to_string().contains("To repair, drop one of:"));
 /// ```
 pub fn diagnose(schema: &Schema, budget: u64) -> Vec<Diagnosis> {
     diagnose_with(schema, &orm_dl::translate(schema), budget)
@@ -143,17 +214,39 @@ pub fn diagnose(schema: &Schema, budget: u64) -> Vec<Diagnosis> {
 pub fn diagnose_with(schema: &Schema, translation: &Translation, budget: u64) -> Vec<Diagnosis> {
     let mut out = Vec::new();
     let mut diagnose_element = |element: DiagnosedElement, label: String| {
-        let explanation = match element {
-            DiagnosedElement::Type(ty) => translation.explain_type(ty, budget),
-            DiagnosedElement::Role(role) => translation.explain_role(role, budget),
+        let (query, enumeration) = match element {
+            DiagnosedElement::Type(ty) => {
+                (translation.type_concept(ty), translation.enumerate_type(ty, budget, FAMILY_LIMIT))
+            }
+            DiagnosedElement::Role(role) => (
+                translation.role_concept(role),
+                translation.enumerate_role(role, budget, FAMILY_LIMIT),
+            ),
         };
-        if let orm_dl::Explanation::Unsat(core) = explanation {
-            let statements = translation
-                .core_origins(&core)
+        if let MusEnumeration::Unsat(family) = enumeration {
+            let verbalize_core = |core: &UnsatCore| -> Vec<String> {
+                translation
+                    .core_origins(core)
+                    .into_iter()
+                    .map(|origin| origin_statement(schema, origin))
+                    .collect()
+            };
+            let alternatives: Vec<Vec<String>> = family.cores.iter().map(verbalize_core).collect();
+            let repairs = translation
+                .repairs_for(&query, budget, &family)
                 .into_iter()
-                .map(|origin| origin_statement(schema, origin))
+                .map(|set| {
+                    let statements = translation
+                        .repair_origins(&set)
+                        .into_iter()
+                        .map(|origin| origin_statement(schema, origin))
+                        .collect();
+                    Repair { set, statements }
+                })
                 .collect();
-            out.push(Diagnosis { element, label, core, statements });
+            let core = family.cores[0].clone();
+            let statements = alternatives[0].clone();
+            out.push(Diagnosis { element, label, core, statements, family, alternatives, repairs });
         }
     };
     for (ty, _) in schema.object_types() {
@@ -244,6 +337,60 @@ mod tests {
             "frequency missing: {:?}",
             d.statements
         );
+    }
+
+    #[test]
+    fn two_independent_contradictions_enumerated_with_repairs() {
+        // Fig. 1 (exclusive supertypes) merged with a second independent
+        // exclusion cycle on the same Phd type: the diagnosis must carry
+        // BOTH contradictions in its family and every verified repair
+        // must break both at once.
+        let mut b = SchemaBuilder::new("two");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        let employee = b.entity_type("Employee").unwrap();
+        let x = b.entity_type("X").unwrap();
+        let y = b.entity_type("Y").unwrap();
+        let phd = b.entity_type("Phd").unwrap();
+        // One shared root keeps ORM's implicit exclusions out of play, so
+        // the two declared exclusions are the only contradiction sources.
+        for ty in [student, employee, x, y] {
+            b.subtype(ty, person).unwrap();
+        }
+        for sup in [student, employee, x, y] {
+            b.subtype(phd, sup).unwrap();
+        }
+        b.exclusive_types([student, employee]).unwrap();
+        b.exclusive_types([x, y]).unwrap();
+        let s = b.finish();
+        let ds = diagnose(&s, BUDGET);
+        let d = ds
+            .iter()
+            .find(|d| d.element == DiagnosedElement::Type(phd))
+            .expect("Phd must be diagnosed");
+        assert_eq!(d.family.len(), 2, "exactly both contradictions expected: {:?}", d.family);
+        assert!(d.family.complete);
+        assert!(!d.family.truncated);
+        // 9 repairs: one subtype-or-exclusion pick per contradiction.
+        assert_eq!(d.repairs.len(), 9);
+        assert_eq!(d.alternatives.len(), d.family.len());
+        assert_eq!(d.core, d.family.cores[0]);
+        assert_eq!(d.statements, d.alternatives[0]);
+        // Every repair is verified and hits every core in the family.
+        assert!(!d.repairs.is_empty());
+        for r in &d.repairs {
+            assert!(r.set.verified);
+            for core in &d.family.cores {
+                assert!(
+                    core.axioms.iter().any(|a| r.set.axioms.contains(a)),
+                    "repair {r:?} misses core {core:?}"
+                );
+            }
+            assert!(!r.statements.is_empty());
+        }
+        let text = d.to_string();
+        assert!(text.contains("and independently (contradiction 2 of"));
+        assert!(text.contains("To repair, drop one of:"));
     }
 
     #[test]

@@ -49,7 +49,7 @@
 mod diagnose;
 mod search;
 
-pub use diagnose::{diagnose, diagnose_with, DiagnosedElement, Diagnosis};
+pub use diagnose::{diagnose, diagnose_with, DiagnosedElement, Diagnosis, Repair, FAMILY_LIMIT};
 pub use search::{find_model, Bounds, Outcome, Target};
 
 use orm_dl::{DlOutcome, Translation};

@@ -61,7 +61,7 @@ pub use error::ParseError;
 pub use printer::print;
 pub use verbalize::{
     verbalize, verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion,
-    verbalize_subtype,
+    verbalize_repair_alternatives, verbalize_subtype,
 };
 
 use orm_model::Schema;

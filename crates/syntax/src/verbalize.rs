@@ -195,6 +195,37 @@ pub fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
     }
 }
 
+/// Render ranked repair alternatives as one "drop one of: …" sentence —
+/// the fix-suggestion half of a multi-core diagnosis
+/// (`orm_reasoner::diagnose`). Each alternative is the statement list of
+/// one repair: the constraints a modeler would drop *together* to make
+/// the element satisfiable again. Alternatives are numbered in rank
+/// order (most recently edited culprit first, as the diagnosis ranks
+/// them).
+///
+/// ```
+/// let text = orm_syntax::verbalize_repair_alternatives(&[
+///     vec!["Each PhdStudent is a Employee.".to_owned()],
+///     vec!["Each PhdStudent is a Student.".to_owned()],
+/// ]);
+/// assert_eq!(
+///     text,
+///     "To repair, drop one of: (1) Each PhdStudent is a Employee. (2) Each PhdStudent is a Student."
+/// );
+/// assert!(orm_syntax::verbalize_repair_alternatives(&[]).contains("No verified repair"));
+/// ```
+pub fn verbalize_repair_alternatives(alternatives: &[Vec<String>]) -> String {
+    if alternatives.is_empty() {
+        return "No verified repair is known.".to_owned();
+    }
+    let rendered: Vec<String> = alternatives
+        .iter()
+        .enumerate()
+        .map(|(i, stmts)| format!("({}) {}", i + 1, stmts.join(" together with ")))
+        .collect();
+    format!("To repair, drop one of: {}", rendered.join(" "))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -25,13 +25,45 @@ fn main() {
     b.exclusive_types([student, employee]).expect("valid constraint");
     let schema = b.finish();
 
-    // One call: sweep, extract a minimal unsat core per doomed element,
-    // map it to ORM constraints, verbalize.
+    // One call: sweep, enumerate the minimal-unsat-core family per
+    // doomed element, map every core to ORM constraints, verbalize, and
+    // rank the verified "drop one of: …" repairs.
     let diagnoses = diagnose(&schema, BUDGET);
     assert_eq!(diagnoses.len(), 1, "exactly PhdStudent is doomed");
     for d in &diagnoses {
         println!("{d}");
     }
+
+    banner("Two independent contradictions, one element");
+
+    // Merge Fig. 1 with a second exclusion cycle over the same PhD type:
+    // the diagnosis now carries a two-core family, and every ranked
+    // repair breaks BOTH contradictions at once (each is re-proved to
+    // restore satisfiability, newest culprit edit ranked first).
+    let mut b = SchemaBuilder::new("university2");
+    let person = b.entity_type("Person").expect("fresh name");
+    let student = b.entity_type("Student").expect("fresh name");
+    let employee = b.entity_type("Employee").expect("fresh name");
+    let tenured = b.entity_type("Tenured").expect("fresh name");
+    let temp = b.entity_type("Temporary").expect("fresh name");
+    let phd = b.entity_type("PhdStudent").expect("fresh name");
+    for sup in [student, employee, tenured, temp] {
+        b.subtype(sup, person).expect("valid link");
+    }
+    for sup in [student, employee, tenured, temp] {
+        b.subtype(phd, sup).expect("valid link");
+    }
+    b.exclusive_types([student, employee]).expect("valid constraint");
+    b.exclusive_types([tenured, temp]).expect("valid constraint");
+    let schema = b.finish();
+
+    let diagnoses = diagnose(&schema, BUDGET);
+    assert_eq!(diagnoses.len(), 1, "exactly PhdStudent is doomed");
+    let d = &diagnoses[0];
+    assert_eq!(d.family.len(), 2, "both contradictions enumerated");
+    assert!(d.family.complete, "provably all of them");
+    assert!(d.repairs.iter().all(|r| r.set.verified), "every repair re-proved Sat");
+    println!("{d}");
 
     banner("Fig. 4a: a doomed role, diagnosed mid-session");
 

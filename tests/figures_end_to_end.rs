@@ -91,6 +91,45 @@ fn figures_verbalize_completely() {
     }
 }
 
+/// Two independent contradictions over one element, pinned byte for byte:
+/// the generator's `multi_contradiction(2)` schema diagnoses to exactly a
+/// two-core family, and the rendered `Diagnosis` — culprit statements, the
+/// "and independently" section, and all nine ranked repair alternatives —
+/// is deterministic down to the exact string. Any drift in enumeration
+/// order, verbalization, or repair ranking shows up here first.
+#[test]
+fn two_contradiction_diagnosis_is_pinned() {
+    let (schema, doomed) = orm_gen::multi_contradiction(2);
+    let diagnoses = orm_reasoner::diagnose(&schema, 500_000);
+    assert_eq!(diagnoses.len(), 1, "exactly the doomed type: {diagnoses:?}");
+    let d = &diagnoses[0];
+    assert_eq!(d.element, orm_reasoner::DiagnosedElement::Type(doomed));
+    assert_eq!(d.family.len(), 2, "both contradictions enumerated");
+    assert!(d.family.complete && !d.family.truncated);
+    assert_eq!(d.repairs.len(), 9, "3 × 3 culprit choices");
+    assert!(d.repairs.iter().all(|r| r.set.verified && r.set.len() == 2));
+    let expected = "`Doomed` can never be populated because:\n  \
+         - Each Doomed is a A0.\n  \
+         - Each Doomed is a B0.\n  \
+         - No instance is more than one of A0, B0.\n  \
+         (minimal, 3 DL axiom(s) in the unsat core)\n  \
+         and independently (contradiction 2 of 2):\n  \
+         - Each Doomed is a A1.\n  \
+         - Each Doomed is a B1.\n  \
+         - No instance is more than one of A1, B1.\n  \
+         To repair, drop one of: \
+         (1) Each Doomed is a A0. together with No instance is more than one of A1, B1. \
+         (2) Each Doomed is a B0. together with No instance is more than one of A1, B1. \
+         (3) No instance is more than one of A0, B0. together with No instance is more than one of A1, B1. \
+         (4) Each Doomed is a A1. together with No instance is more than one of A0, B0. \
+         (5) Each Doomed is a B1. together with No instance is more than one of A0, B0. \
+         (6) Each Doomed is a A0. together with Each Doomed is a B1. \
+         (7) Each Doomed is a B0. together with Each Doomed is a B1. \
+         (8) Each Doomed is a A0. together with Each Doomed is a A1. \
+         (9) Each Doomed is a B0. together with Each Doomed is a A1.";
+    assert_eq!(format!("{d}"), expected);
+}
+
 /// The appendix algorithms attach explanations; every unsatisfiable finding
 /// must name at least one culprit element (except pure propagation).
 #[test]
