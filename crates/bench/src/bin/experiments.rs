@@ -290,6 +290,88 @@ fn tableau_bench(out_path: &str, budget: u64) {
         if pairs_agree { "yes" } else { "NO" }
     );
 
+    // Work-stealing scheduler battery (PR 7): the same classification
+    // matrix driven through the ExecCx-aware entry points. Measures the
+    // seq-vs-par bar through the new scheduler, steal traffic under the
+    // striped deques, deterministic cancellation latency (the shared
+    // meter trips the token at an exact step count — no wall-clock
+    // racing), and the expired-deadline no-op guarantee. Cache and
+    // scheduler counters are emitted in their stable serialized form.
+    let sched_cx = orm_dl::ExecCx::with_steps(budget);
+    let mut sched_seq_secs = f64::MAX;
+    let mut sched_par_secs = f64::MAX;
+    let mut sched_seq_pairs = Vec::new();
+    let mut sched_par_pairs = Vec::new();
+    let mut sched_stats = orm_dl::par::SchedStats::default();
+    let mut sched_cache_json = String::new();
+    for _ in 0..3 {
+        let cold = translation.clone();
+        let t0 = Instant::now();
+        sched_seq_pairs = cold.classify_cx(&battery.schema, &sched_cx);
+        sched_seq_secs = sched_seq_secs.min(t0.elapsed().as_secs_f64());
+        let cold = translation.clone();
+        let t0 = Instant::now();
+        let (pairs, stats) = cold.classify_par_cx(&battery.schema, &sched_cx, par_threads);
+        sched_par_secs = sched_par_secs.min(t0.elapsed().as_secs_f64());
+        sched_par_pairs = pairs;
+        sched_stats = stats;
+        sched_cache_json = cold.cache_stats().to_json();
+    }
+    let sched_pairs_agree = sched_seq_pairs == seq_pairs && sched_par_pairs == seq_pairs;
+    all_agree &= sched_pairs_agree;
+    let sched_speedup = sched_seq_secs / sched_par_secs.max(1e-9);
+    let sched_seq_ms = sched_seq_secs * 1e3;
+    let sched_par_ms = sched_par_secs * 1e3;
+    let sched_stats_json = sched_stats.to_json();
+    let sched_types = battery.types;
+
+    // Deterministic cancellation: trip the token mid-matrix and time the
+    // full unwind of the cancelled call. Interrupted proofs record
+    // nothing, so the same warm shards must then converge to the
+    // sequential truth on an uncancelled rerun.
+    let cancel_translation = translation.clone();
+    let cancelling = orm_dl::ExecCx::with_steps(budget).cancel_after_steps(2_000);
+    let t0 = Instant::now();
+    let (_, cancel_stats) =
+        cancel_translation.classify_par_cx(&battery.schema, &cancelling, par_threads);
+    let cancel_latency_ms = t0.elapsed().as_secs_f64() * 1e3;
+    let cancel_executed = cancel_stats.executed;
+    let cancel_skipped = cancel_stats.skipped;
+    let (after_cancel, _) =
+        cancel_translation.classify_par_cx(&battery.schema, &sched_cx, par_threads);
+    let cancel_agrees = after_cancel == seq_pairs;
+    all_agree &= cancel_agrees;
+
+    // A context whose deadline already passed must execute nothing: the
+    // upfront check fires before any proof is attempted.
+    let expired = orm_dl::ExecCx::with_steps(budget)
+        .with_deadline(Instant::now() - std::time::Duration::from_millis(1));
+    let (_, deadline_stats) =
+        translation.clone().classify_par_cx(&battery.schema, &expired, par_threads);
+    let deadline_noop = deadline_stats.executed == 0;
+    all_agree &= deadline_noop;
+    println!(
+        "\nscheduler_battery: {} types, {} pairs — cx sequential {:.3} ms, \
+         work-stealing({} workers) {:.3} ms ({:.2}x), {} stolen of {} executed; \
+         cancel latency {:.3} ms ({} executed / {} skipped, warm rerun agrees: {}), \
+         expired deadline no-op: {}",
+        sched_types,
+        pair_count,
+        sched_seq_ms,
+        sched_stats.workers,
+        sched_par_ms,
+        sched_speedup,
+        sched_stats.stolen,
+        sched_stats.executed,
+        cancel_latency_ms,
+        cancel_executed,
+        cancel_skipped,
+        if cancel_agrees { "yes" } else { "NO" },
+        if deadline_noop { "yes" } else { "NO" }
+    );
+    println!("  sched_stats: {sched_stats_json}");
+    println!("  cache_stats: {sched_cache_json}");
+
     // Incremental TBox revalidation (PR 4): the classification battery
     // replayed after each of a series of single-GCI edits. "Wholesale"
     // empties the cache after every edit (the pre-PR 4 stamp-mismatch
@@ -758,6 +840,7 @@ fn tableau_bench(out_path: &str, budget: u64) {
         && inc_retention_engaged
         && merge_gain_min.is_none_or(|g| g >= 2.0)
         && (!par_bar_applicable || par_speedup >= 2.0)
+        && (!par_bar_applicable || sched_speedup >= 2.0)
         && bulk_speedup >= 20.0
         && large_within_budget
         && enum_within_2x
@@ -808,6 +891,20 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"large_rows\": {}, \"large_faults\": {}, \"large_violations\": {}, \
          \"large_execute_ms\": {:.4}, \"large_budget_ms\": {:.0}, \
          \"large_within_budget\": {large_within_budget}}},\n      \
+         \"scheduler_battery\": {{\"name\": \"scheduler_battery\", \
+         \"types\": {sched_types}, \"pairs\": {pair_count}, \
+         \"threads\": {par_threads}, \"hardware_threads\": {hardware_threads}, \
+         \"seq_ms\": {sched_seq_ms:.4}, \"par_ms\": {sched_par_ms:.4}, \
+         \"speedup\": {sched_speedup:.2}, \
+         \"par_bar_applicable\": {par_bar_applicable}, \
+         \"sched_stats\": {sched_stats_json}, \
+         \"cache_stats\": {sched_cache_json}, \
+         \"cancel_latency_ms\": {cancel_latency_ms:.4}, \
+         \"cancel_executed\": {cancel_executed}, \
+         \"cancel_skipped\": {cancel_skipped}, \
+         \"cancel_agrees\": {cancel_agrees}, \
+         \"deadline_noop\": {deadline_noop}, \
+         \"pairs_agree\": {sched_pairs_agree}}},\n      \
          \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
          \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
          \"acceptance_threshold\": 5.0,\n      \

@@ -116,11 +116,15 @@
 
 use crate::arena::{splitmix, Arena, CKind, ConceptId};
 use crate::concept::{Concept, RoleExpr};
+use crate::exec::{ExecCx, Interrupt};
 use crate::explain::{
-    enumerate_mus, enumerate_mus_seeded, explain_unsat, explain_unsat_seeded, Explanation,
-    MusEnumeration, MusFamily, UnsatCore,
+    enumerate_mus, enumerate_mus_cx, enumerate_mus_seeded, enumerate_mus_seeded_cx, explain_unsat,
+    explain_unsat_cx, explain_unsat_seeded, explain_unsat_seeded_cx, Explanation, MusEnumeration,
+    MusFamily, UnsatCore,
 };
-use crate::tableau::{satisfiable_with_witness, DlOutcome, Witness};
+use crate::tableau::{
+    satisfiable_with_witness, satisfiable_with_witness_cx, DlOutcome, SearchOutcome, Witness,
+};
 use crate::tbox::{AdditionDelta, AxiomId, Delta, TBox};
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -153,6 +157,14 @@ pub struct CacheStats {
     /// could not confirm an added axiom, or the entry was a
     /// budget-`Unknown`); each is re-proved lazily on its next query.
     pub evicted: u64,
+    /// Tableau runs cut short by a tripped cancellation token. Interrupted
+    /// runs leave **no entry** — a cancelled proof says nothing about the
+    /// query, so recording an `Unknown` for it would mask a provable
+    /// verdict from later, uncancelled callers.
+    pub cancelled: u64,
+    /// Tableau runs cut short by an expired wall-clock deadline. Like
+    /// `cancelled`, these leave no entry.
+    pub deadlined: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -163,14 +175,16 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "hits {} / misses {} / retained {} / revalidated {} / evicted {} / \
-             invalidations {} / clears {}",
+             invalidations {} / clears {} / cancelled {} / deadlined {}",
             self.hits,
             self.misses,
             self.retained,
             self.revalidated,
             self.evicted,
             self.invalidations,
-            self.clears
+            self.clears,
+            self.cancelled,
+            self.deadlined
         )
     }
 }
@@ -187,7 +201,38 @@ impl CacheStats {
             retained: self.retained + other.retained,
             revalidated: self.revalidated + other.revalidated,
             evicted: self.evicted + other.evicted,
+            cancelled: self.cancelled + other.cancelled,
+            deadlined: self.deadlined + other.deadlined,
         }
+    }
+
+    /// The **stable serialized form** bench runs and trajectory files
+    /// record: a JSON object whose key set and order are fixed (every
+    /// field, always, in declaration order), so downstream tooling can
+    /// diff counters across runs without schema sniffing.
+    ///
+    /// ```
+    /// use orm_dl::cache::CacheStats;
+    ///
+    /// let json = CacheStats::default().to_json();
+    /// assert!(json.starts_with("{\"hits\": 0, \"misses\": 0"));
+    /// assert!(json.contains("\"cancelled\": 0"));
+    /// ```
+    pub fn to_json(&self) -> String {
+        format!(
+            "{{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"clears\": {}, \
+             \"retained\": {}, \"revalidated\": {}, \"evicted\": {}, \"cancelled\": {}, \
+             \"deadlined\": {}}}",
+            self.hits,
+            self.misses,
+            self.invalidations,
+            self.clears,
+            self.retained,
+            self.revalidated,
+            self.evicted,
+            self.cancelled,
+            self.deadlined
+        )
     }
 }
 
@@ -410,6 +455,39 @@ impl SatCache {
         verdict
     }
 
+    /// Cached [`crate::tableau::satisfiable_cx`]: the context's per-proof
+    /// step budget plays the legacy `budget` role for probing (`Unknown`
+    /// entries answer only callers whose budget is no richer than the one
+    /// that starved), and **interrupted runs record nothing** — a
+    /// cancelled or deadlined proof is counted
+    /// ([`CacheStats::cancelled`] / [`CacheStats::deadlined`]) but leaves
+    /// the entry map untouched, so no `Unknown` ever masks a verdict a
+    /// later uncancelled caller could prove.
+    pub fn satisfiable_cx(&mut self, tbox: &TBox, query: &Concept, cx: &ExecCx) -> SearchOutcome {
+        self.validate(tbox);
+        let budget = cx.steps().unwrap_or(u64::MAX);
+        let key = self.key(query);
+        if let Some(verdict) = self.probe(&key, budget) {
+            return match verdict {
+                DlOutcome::Sat => SearchOutcome::Sat,
+                DlOutcome::Unsat => SearchOutcome::Unsat,
+                DlOutcome::ResourceLimit => SearchOutcome::BudgetExhausted,
+            };
+        }
+        self.stats.misses += 1;
+        let (outcome, witness) = satisfiable_with_witness_cx(tbox, query, cx);
+        match outcome {
+            SearchOutcome::Sat => self.record(key, DlOutcome::Sat, budget, witness),
+            SearchOutcome::Unsat => self.record(key, DlOutcome::Unsat, budget, None),
+            SearchOutcome::BudgetExhausted => {
+                self.record(key, DlOutcome::ResourceLimit, budget, None);
+            }
+            SearchOutcome::Cancelled => self.stats.cancelled += 1,
+            SearchOutcome::DeadlineExceeded => self.stats.deadlined += 1,
+        }
+        outcome
+    }
+
     /// Cached [`crate::explain::explain_unsat`]: minimal unsat cores are
     /// stored **beside** their `Unsat` verdicts and computed at most once
     /// per entry lifetime — a repeat explanation request is a hit, and a
@@ -505,6 +583,68 @@ impl SatCache {
                     self.entries.insert(key, Entry::Unknown { budget });
                 }
             }
+        }
+        explanation
+    }
+
+    /// [`SatCache::explain_seeded`] under an execution context. Cached
+    /// verdicts answer without touching the context; a miss runs the
+    /// extraction with every probe inheriting `cx`. A genuine budget
+    /// starvation records `Unknown` at the context's step budget, while
+    /// an interrupted run (cancel or deadline) records **nothing** — a
+    /// deadline says nothing about how many steps a later caller could
+    /// afford, so such an entry could mask a provable verdict.
+    pub fn explain_seeded_cx(
+        &mut self,
+        tbox: &TBox,
+        query: &Concept,
+        cx: &ExecCx,
+        seed: &[AxiomId],
+    ) -> Explanation {
+        self.validate(tbox);
+        let budget = cx.steps().unwrap_or(u64::MAX);
+        let key = self.key(query);
+        match self.entries.get(&key) {
+            Some(Entry::Unsat { core: Some(core), .. }) => {
+                self.stats.hits += 1;
+                return Explanation::Unsat(core.clone());
+            }
+            Some(Entry::Sat { .. }) => {
+                self.stats.hits += 1;
+                return Explanation::Satisfiable;
+            }
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+                self.stats.hits += 1;
+                return Explanation::ResourceLimit;
+            }
+            _ => {}
+        }
+        self.stats.misses += 1;
+        let explanation = if seed.is_empty() {
+            explain_unsat_cx(tbox, query, cx)
+        } else {
+            explain_unsat_seeded_cx(tbox, query, cx, seed)
+        };
+        match &explanation {
+            Explanation::Unsat(core) => {
+                let family = match self.entries.remove(&key) {
+                    Some(Entry::Unsat { family, .. }) => family,
+                    _ => None,
+                };
+                self.entries.insert(key, Entry::Unsat { core: Some(core.clone()), family });
+            }
+            Explanation::Satisfiable => {
+                self.entries.insert(key, Entry::Sat { witness: None });
+            }
+            Explanation::ResourceLimit => match cx.check() {
+                Err(Interrupt::Cancelled) => self.stats.cancelled += 1,
+                Err(Interrupt::DeadlineExceeded) => self.stats.deadlined += 1,
+                Ok(()) => {
+                    if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
+                        self.entries.insert(key, Entry::Unknown { budget });
+                    }
+                }
+            },
         }
         explanation
     }
@@ -617,6 +757,92 @@ impl SatCache {
         enumeration
     }
 
+    /// [`SatCache::enumerate_seeded`] under an execution context: same
+    /// answering rules for cached families, with the extraction on a miss
+    /// inheriting `cx` so enumeration stops cleanly mid-family. Budget
+    /// starvation records `Unknown` at the context's step budget; an
+    /// interrupted run records nothing (see
+    /// [`SatCache::explain_seeded_cx`]). A family truncated by an
+    /// interrupt still caches its certified cores — they remain valid
+    /// MUSes and warm-start the next, richer attempt.
+    pub fn enumerate_seeded_cx(
+        &mut self,
+        tbox: &TBox,
+        query: &Concept,
+        cx: &ExecCx,
+        limit: usize,
+        seed: &[AxiomId],
+    ) -> MusEnumeration {
+        self.validate(tbox);
+        let budget = cx.steps().unwrap_or(u64::MAX);
+        let limit = limit.max(1);
+        let key = self.key(query);
+        match self.entries.get(&key) {
+            Some(Entry::Sat { .. }) => {
+                self.stats.hits += 1;
+                return MusEnumeration::Satisfiable;
+            }
+            Some(Entry::Unsat { family: Some(family), .. }) => {
+                if family.complete && family.cores.len() <= limit {
+                    self.stats.hits += 1;
+                    return MusEnumeration::Unsat(family.clone());
+                }
+                if family.cores.len() >= limit {
+                    self.stats.hits += 1;
+                    return MusEnumeration::Unsat(MusFamily {
+                        cores: family.cores[..limit].to_vec(),
+                        truncated: true,
+                        complete: false,
+                    });
+                }
+            }
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {
+                self.stats.hits += 1;
+                return MusEnumeration::ResourceLimit;
+            }
+            _ => {}
+        }
+        self.stats.misses += 1;
+        let mut warm: Vec<AxiomId> = seed.to_vec();
+        if let Some(Entry::Unsat { core, family }) = self.entries.get(&key) {
+            if let Some(core) = core {
+                warm.extend(core.axioms.iter().copied());
+            }
+            if let Some(family) = family {
+                warm.extend(family.cores.iter().flat_map(|c| c.axioms.iter().copied()));
+            }
+        }
+        warm.sort_unstable();
+        warm.dedup();
+        let enumeration = if warm.is_empty() {
+            enumerate_mus_cx(tbox, query, cx, limit)
+        } else {
+            enumerate_mus_seeded_cx(tbox, query, cx, limit, &warm)
+        };
+        match &enumeration {
+            MusEnumeration::Unsat(family) => {
+                let core = match self.entries.remove(&key) {
+                    Some(Entry::Unsat { core: Some(core), .. }) => Some(core),
+                    _ => family.cores.first().cloned(),
+                };
+                self.entries.insert(key, Entry::Unsat { core, family: Some(family.clone()) });
+            }
+            MusEnumeration::Satisfiable => {
+                self.entries.insert(key, Entry::Sat { witness: None });
+            }
+            MusEnumeration::ResourceLimit => match cx.check() {
+                Err(Interrupt::Cancelled) => self.stats.cancelled += 1,
+                Err(Interrupt::DeadlineExceeded) => self.stats.deadlined += 1,
+                Ok(()) => {
+                    if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
+                        self.entries.insert(key, Entry::Unknown { budget });
+                    }
+                }
+            },
+        }
+        enumeration
+    }
+
     /// Cached [`crate::tableau::subsumes`]: the standard reduction of
     /// `sub ⊑ sup` to unsatisfiability of `sub ⊓ ¬sup`, sharing entries
     /// with [`SatCache::satisfiable`] calls on the same root label set.
@@ -652,6 +878,61 @@ impl SatCache {
             DlOutcome::Sat => Some(false),
             DlOutcome::ResourceLimit => None,
         }
+    }
+
+    /// Cached [`crate::tableau::subsumes_cx`], sharing entries with the
+    /// other entry points on the same root label set: `Ok(Some(..))` on a
+    /// certain answer (cached or proved), `Ok(None)` when the per-proof
+    /// step budget ran out, `Err` when the context was interrupted —
+    /// interrupted runs record nothing (see [`SatCache::satisfiable_cx`]).
+    pub fn subsumes_cx(
+        &mut self,
+        tbox: &TBox,
+        sup: &Concept,
+        sub: &Concept,
+        cx: &ExecCx,
+    ) -> Result<Option<bool>, Interrupt> {
+        self.validate(tbox);
+        let budget = cx.steps().unwrap_or(u64::MAX);
+        let sub_id = self.arena.intern(sub);
+        let neg_sup_id = self.arena.intern_negated(sup);
+        let key = self.pair_key(sub_id, neg_sup_id);
+        let verdict = match self.probe(&key, budget) {
+            Some(verdict) => verdict,
+            None => {
+                self.stats.misses += 1;
+                let query =
+                    Concept::and([self.arena.resolve(sub_id), self.arena.resolve(neg_sup_id)]);
+                let (outcome, witness) = satisfiable_with_witness_cx(tbox, &query, cx);
+                match outcome {
+                    SearchOutcome::Sat => {
+                        self.record(key, DlOutcome::Sat, budget, witness);
+                        DlOutcome::Sat
+                    }
+                    SearchOutcome::Unsat => {
+                        self.record(key, DlOutcome::Unsat, budget, None);
+                        DlOutcome::Unsat
+                    }
+                    SearchOutcome::BudgetExhausted => {
+                        self.record(key, DlOutcome::ResourceLimit, budget, None);
+                        DlOutcome::ResourceLimit
+                    }
+                    SearchOutcome::Cancelled => {
+                        self.stats.cancelled += 1;
+                        return Err(Interrupt::Cancelled);
+                    }
+                    SearchOutcome::DeadlineExceeded => {
+                        self.stats.deadlined += 1;
+                        return Err(Interrupt::DeadlineExceeded);
+                    }
+                }
+            }
+        };
+        Ok(match verdict {
+            DlOutcome::Unsat => Some(true),
+            DlOutcome::Sat => Some(false),
+            DlOutcome::ResourceLimit => None,
+        })
     }
 }
 
@@ -765,6 +1046,26 @@ impl SatShards {
         self.shard(route_subsumes(sup, sub)).lock().subsumes(tbox, sup, sub, budget)
     }
 
+    /// Cached [`crate::tableau::satisfiable_cx`] through the owning shard
+    /// (see [`SatCache::satisfiable_cx`] — interrupted runs record no
+    /// entry). The shard lock is held across lookup and proof, so even
+    /// racing contexts prove a key at most once per TBox state.
+    pub fn satisfiable_cx(&self, tbox: &TBox, query: &Concept, cx: &ExecCx) -> SearchOutcome {
+        self.shard(route_satisfiable(query)).lock().satisfiable_cx(tbox, query, cx)
+    }
+
+    /// Cached [`crate::tableau::subsumes_cx`] through the owning shard
+    /// (see [`SatCache::subsumes_cx`]).
+    pub fn subsumes_cx(
+        &self,
+        tbox: &TBox,
+        sup: &Concept,
+        sub: &Concept,
+        cx: &ExecCx,
+    ) -> Result<Option<bool>, Interrupt> {
+        self.shard(route_subsumes(sup, sub)).lock().subsumes_cx(tbox, sup, sub, cx)
+    }
+
     /// Cached unsat-core extraction through the owning shard (see
     /// [`SatCache::explain`]); routed like [`SatShards::satisfiable`], so
     /// a verdict proved by either entry point answers the other.
@@ -830,6 +1131,71 @@ impl SatShards {
             .shard(route_satisfiable(query))
             .lock()
             .enumerate_seeded(tbox, query, budget, limit, &seed);
+        if let MusEnumeration::Unsat(family) = &enumeration {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp == stamp && pool.axioms.len() < SEED_POOL_CAP {
+                pool.axioms.extend(family.cores.iter().flat_map(|c| c.axioms.iter().copied()));
+                pool.axioms.sort_unstable();
+                pool.axioms.dedup();
+                pool.axioms.truncate(SEED_POOL_CAP);
+            }
+        }
+        enumeration
+    }
+
+    /// Cached unsat-core extraction under an execution context (see
+    /// [`SatCache::explain_seeded_cx`] — interrupted runs record no
+    /// entry). Shares the cross-shard seed pool with
+    /// [`SatShards::explain`]; pool updates only happen for certified
+    /// cores, so an interrupted extraction never pollutes the pool.
+    pub fn explain_cx(&self, tbox: &TBox, query: &Concept, cx: &ExecCx) -> Explanation {
+        let stamp = tbox.cache_stamp();
+        let seed: Vec<AxiomId> = {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp != stamp {
+                pool.stamp = stamp;
+                pool.axioms.clear();
+            }
+            pool.axioms.clone()
+        };
+        let explanation =
+            self.shard(route_satisfiable(query)).lock().explain_seeded_cx(tbox, query, cx, &seed);
+        if let Explanation::Unsat(core) = &explanation {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp == stamp && pool.axioms.len() < SEED_POOL_CAP {
+                pool.axioms.extend(core.axioms.iter().copied());
+                pool.axioms.sort_unstable();
+                pool.axioms.dedup();
+                pool.axioms.truncate(SEED_POOL_CAP);
+            }
+        }
+        explanation
+    }
+
+    /// Cached MUS-family enumeration under an execution context (see
+    /// [`SatCache::enumerate_seeded_cx`]). Certified cores from a family
+    /// truncated by an interrupt still feed the seed pool — they are
+    /// valid MUSes and warm-start the retry under a richer context.
+    pub fn enumerate_cx(
+        &self,
+        tbox: &TBox,
+        query: &Concept,
+        cx: &ExecCx,
+        limit: usize,
+    ) -> MusEnumeration {
+        let stamp = tbox.cache_stamp();
+        let seed: Vec<AxiomId> = {
+            let mut pool = self.seed_pool.lock();
+            if pool.stamp != stamp {
+                pool.stamp = stamp;
+                pool.axioms.clear();
+            }
+            pool.axioms.clone()
+        };
+        let enumeration = self
+            .shard(route_satisfiable(query))
+            .lock()
+            .enumerate_seeded_cx(tbox, query, cx, limit, &seed);
         if let MusEnumeration::Unsat(family) = &enumeration {
             let mut pool = self.seed_pool.lock();
             if pool.stamp == stamp && pool.axioms.len() < SEED_POOL_CAP {
@@ -1476,5 +1842,110 @@ mod tests {
         assert!(matches!(shards.explain(&t, &a, 100_000), Explanation::Unsat(_)));
         let stats = shards.stats();
         assert_eq!((stats.misses, stats.hits), (1, 2));
+    }
+
+    /// An infinite-model query that starves any finite budget but is
+    /// decided (Sat) once the budget is generous.
+    fn starving_tbox() -> (TBox, Concept) {
+        let mut t = TBox::new();
+        let r = RoleExpr::direct(t.role("R"));
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Exists(r, Box::new(a.clone())));
+        (t, a)
+    }
+
+    /// Satellite regression, direction 1: an `Unknown` starved at a small
+    /// budget must NOT answer a caller whose context affords more steps.
+    /// Direction 2: it MUST answer callers at or below the starving
+    /// budget, and a definitive verdict answers everyone.
+    #[test]
+    fn unknown_entries_are_budget_aware_cx() {
+        let (t, a) = starving_tbox();
+        let mut cache = SatCache::new();
+        let tiny = ExecCx::with_steps(1);
+        assert_eq!(cache.satisfiable_cx(&t, &a, &tiny), SearchOutcome::BudgetExhausted);
+        // Same budget: short-circuited by the stored Unknown.
+        assert_eq!(cache.satisfiable_cx(&t, &a, &tiny), SearchOutcome::BudgetExhausted);
+        assert_eq!((cache.stats().misses, cache.stats().hits), (1, 1));
+        // A richer context must re-prove — and decides.
+        let rich = ExecCx::with_steps(100_000);
+        assert_eq!(cache.satisfiable_cx(&t, &a, &rich), SearchOutcome::Sat);
+        assert_eq!(cache.stats().misses, 2, "richer context answered by starved Unknown");
+        // The definitive verdict now answers even tiny-budget callers.
+        assert_eq!(cache.satisfiable_cx(&t, &a, &tiny), SearchOutcome::Sat);
+    }
+
+    /// Interrupted runs (cancelled or past deadline) must never record an
+    /// entry: a later full-budget caller re-proves and gets the real
+    /// verdict — no `Unknown` masks it.
+    #[test]
+    fn interrupted_runs_record_nothing() {
+        let (t, a) = starving_tbox();
+        let mut cache = SatCache::new();
+
+        let cancelled = ExecCx::unlimited();
+        cancelled.cancel();
+        assert_eq!(cache.satisfiable_cx(&t, &a, &cancelled), SearchOutcome::Cancelled);
+        assert_eq!(cache.len(), 0, "cancelled run left an entry behind");
+        assert_eq!(cache.stats().cancelled, 1);
+
+        let expired = ExecCx::unlimited()
+            .with_deadline(std::time::Instant::now() - std::time::Duration::from_millis(1));
+        assert_eq!(cache.satisfiable_cx(&t, &a, &expired), SearchOutcome::DeadlineExceeded);
+        assert_eq!(cache.len(), 0, "deadlined run left an entry behind");
+        assert_eq!(cache.stats().deadlined, 1);
+
+        // The provable verdict is still reachable — nothing masked it.
+        assert_eq!(cache.satisfiable_cx(&t, &a, &ExecCx::with_steps(100_000)), SearchOutcome::Sat);
+        assert_eq!(cache.len(), 1);
+    }
+
+    /// The explain/enumerate cx paths obey the same recording rule:
+    /// interrupts bump the counters and leave no entry, budget
+    /// starvation records a budget-stamped Unknown.
+    #[test]
+    fn explain_cx_interrupts_record_nothing() {
+        let mut t = TBox::new();
+        let a = Concept::Atomic(t.atom("A"));
+        t.gci(a.clone(), Concept::Bottom);
+        let mut cache = SatCache::new();
+
+        let cancelled = ExecCx::unlimited();
+        cancelled.cancel();
+        assert_eq!(cache.explain_seeded_cx(&t, &a, &cancelled, &[]), Explanation::ResourceLimit);
+        assert_eq!(cache.len(), 0);
+        assert!(matches!(
+            cache.enumerate_seeded_cx(&t, &a, &cancelled, 4, &[]),
+            MusEnumeration::ResourceLimit
+        ));
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.stats().cancelled, 2);
+
+        // An uninterrupted context certifies the core — and caches it.
+        let rich = ExecCx::with_steps(100_000);
+        assert!(matches!(cache.explain_seeded_cx(&t, &a, &rich, &[]), Explanation::Unsat(_)));
+        assert!(matches!(
+            cache.enumerate_seeded_cx(&t, &a, &rich, 4, &[]),
+            MusEnumeration::Unsat(_)
+        ));
+    }
+
+    /// The shard-level cx wrappers share entries with the legacy paths
+    /// and aggregate the new counters.
+    #[test]
+    fn shards_cx_paths_share_entries_and_counters() {
+        let (t, a, b) = ab_tbox();
+        let shards = SatShards::new();
+        let q = Concept::and([a.clone(), Concept::not(b.clone())]);
+        let rich = ExecCx::with_steps(100_000);
+        assert_eq!(shards.satisfiable_cx(&t, &q, &rich), SearchOutcome::Unsat);
+        // The legacy entry point hits the cx-proved entry.
+        assert_eq!(shards.satisfiable(&t, &q, 100_000), DlOutcome::Unsat);
+        assert_eq!(shards.subsumes_cx(&t, &b, &a, &rich), Ok(Some(true)));
+        assert!(matches!(shards.explain_cx(&t, &q, &rich), Explanation::Unsat(_)));
+        let cancelled = ExecCx::unlimited();
+        cancelled.cancel();
+        assert_eq!(shards.satisfiable_cx(&t, &a, &cancelled), SearchOutcome::Cancelled);
+        assert_eq!(shards.stats().cancelled, 1);
     }
 }

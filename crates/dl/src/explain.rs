@@ -58,7 +58,10 @@
 //! delta log. See `docs/EXPLANATIONS.md` for the full algorithm.
 
 use crate::concept::Concept;
-use crate::tableau::{satisfiable, satisfiable_with_conflict, DlOutcome};
+use crate::exec::ExecCx;
+use crate::tableau::{
+    satisfiable, satisfiable_cx, satisfiable_with_conflict_cx, DlOutcome, SearchOutcome,
+};
 use crate::tbox::{AxiomId, TBox};
 
 /// A certified unsat core: axioms whose restriction still refutes the
@@ -120,15 +123,19 @@ impl Explanation {
 }
 
 /// Whether `candidate`'s restriction refutes `query`, reporting the
-/// probe's own conflict seed for refinement.
+/// probe's own conflict seed for refinement. Runs under the caller's
+/// execution context — one per-proof step budget per probe (exactly the
+/// legacy per-probe `budget` semantics), with the context's cancellation
+/// token and deadline checked cooperatively inside the tableau, so a
+/// whole extraction stops within one probe of an interrupt.
 fn probe(
     tbox: &TBox,
     candidate: &[AxiomId],
     query: &Concept,
-    budget: u64,
-) -> (DlOutcome, Option<Vec<AxiomId>>) {
+    cx: &ExecCx,
+) -> (SearchOutcome, Option<Vec<AxiomId>>) {
     let sub = tbox.restrict_to(candidate);
-    let (verdict, conflict) = satisfiable_with_conflict(&sub, query, budget);
+    let (verdict, conflict) = satisfiable_with_conflict_cx(&sub, query, cx);
     // The restricted TBox numbers its axioms 0..n in `candidate` order:
     // map the conflict back to the caller's provenance ids.
     let mapped = conflict.map(|ids| {
@@ -191,13 +198,26 @@ fn candidate_flat_to_original(candidate: &[AxiomId], flat: usize) -> AxiomId {
 /// assert_eq!(explain_unsat(&tbox, &b, 100_000), Explanation::Satisfiable);
 /// ```
 pub fn explain_unsat(tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
+    explain_unsat_cx(tbox, query, &ExecCx::with_steps(budget))
+}
+
+/// [`explain_unsat`] under an execution context: every internal probe
+/// inherits `cx` — its per-proof step budget plays the legacy per-probe
+/// `budget` role, and its cancellation token and deadline are observed
+/// inside each tableau run, so the extraction stops within one probe of
+/// an interrupt. An interrupt before the initial verdict classifies as
+/// [`Explanation::ResourceLimit`] (the caller distinguishes interruption
+/// by checking `cx` itself); an interrupt *during* minimization returns
+/// the certified core found so far with [`UnsatCore::minimal`] cleared —
+/// never a wrong or uncertified answer.
+pub fn explain_unsat_cx(tbox: &TBox, query: &Concept, cx: &ExecCx) -> Explanation {
     // The minimization probes run the tableau against *weakened* TBoxes,
     // whose searches can legitimately open thousands of decision levels
     // within the budget (the axioms that used to close branches early are
     // exactly what got deleted). `Engine::search` recurses once per open
     // level, so the whole extraction runs on a scoped worker thread with
     // a stack sized for the worst case rather than for the caller's.
-    with_deep_stack(|| explain_unsat_inner(tbox, query, budget))
+    with_deep_stack(|| explain_unsat_inner(tbox, query, cx))
 }
 
 /// Run `f` on a scoped worker thread whose stack fits a worst-case
@@ -220,12 +240,14 @@ pub fn with_deep_stack<T: Send>(f: impl FnOnce() -> T + Send) -> T {
     })
 }
 
-fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation {
-    let (verdict, conflict) = satisfiable_with_conflict(tbox, query, budget);
+fn explain_unsat_inner(tbox: &TBox, query: &Concept, cx: &ExecCx) -> Explanation {
+    let (verdict, conflict) = satisfiable_with_conflict_cx(tbox, query, cx);
     match verdict {
-        DlOutcome::Sat => return Explanation::Satisfiable,
-        DlOutcome::ResourceLimit => return Explanation::ResourceLimit,
-        DlOutcome::Unsat => {}
+        SearchOutcome::Sat => return Explanation::Satisfiable,
+        SearchOutcome::BudgetExhausted
+        | SearchOutcome::Cancelled
+        | SearchOutcome::DeadlineExceeded => return Explanation::ResourceLimit,
+        SearchOutcome::Unsat => {}
     }
     let all: Vec<AxiomId> = tbox.axiom_ids().collect();
     // Step 2: verify the seed; fall back to the full set when the
@@ -235,10 +257,10 @@ fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation
     // it is a heuristic mask until an actual run certifies it.
     let seed = conflict.expect("unsat carries a conflict");
     let core = if seed.len() < all.len() {
-        match probe(tbox, &seed, query, budget) {
-            (DlOutcome::Unsat, refined) => match refined {
-                Some(r) if r.len() < seed.len() => match probe(tbox, &r, query, budget) {
-                    (DlOutcome::Unsat, _) => r,
+        match probe(tbox, &seed, query, cx) {
+            (SearchOutcome::Unsat, refined) => match refined {
+                Some(r) if r.len() < seed.len() => match probe(tbox, &r, query, cx) {
+                    (SearchOutcome::Unsat, _) => r,
                     _ => seed,
                 },
                 _ => seed,
@@ -248,7 +270,7 @@ fn explain_unsat_inner(tbox: &TBox, query: &Concept, budget: u64) -> Explanation
     } else {
         all.clone()
     };
-    Explanation::Unsat(minimize(tbox, query, budget, core))
+    Explanation::Unsat(minimize(tbox, query, cx, core))
 }
 
 /// Compute an unsat core of `query` starting from a **warm seed**: axiom
@@ -269,13 +291,24 @@ pub fn explain_unsat_seeded(
     budget: u64,
     seed: &[AxiomId],
 ) -> Explanation {
-    with_deep_stack(|| explain_unsat_seeded_inner(tbox, query, budget, seed))
+    explain_unsat_seeded_cx(tbox, query, &ExecCx::with_steps(budget), seed)
+}
+
+/// [`explain_unsat_seeded`] under an execution context (see
+/// [`explain_unsat_cx`] for the interrupt semantics the probes inherit).
+pub fn explain_unsat_seeded_cx(
+    tbox: &TBox,
+    query: &Concept,
+    cx: &ExecCx,
+    seed: &[AxiomId],
+) -> Explanation {
+    with_deep_stack(|| explain_unsat_seeded_inner(tbox, query, cx, seed))
 }
 
 fn explain_unsat_seeded_inner(
     tbox: &TBox,
     query: &Concept,
-    budget: u64,
+    cx: &ExecCx,
     seed: &[AxiomId],
 ) -> Explanation {
     let known: Vec<AxiomId> = {
@@ -287,27 +320,27 @@ fn explain_unsat_seeded_inner(
     };
     // Seeding with every axiom proves nothing the cold path would not.
     if known.is_empty() || known.len() >= tbox.axiom_count() {
-        return explain_unsat_inner(tbox, query, budget);
+        return explain_unsat_inner(tbox, query, cx);
     }
-    match probe(tbox, &known, query, budget) {
-        (DlOutcome::Unsat, refined) => {
+    match probe(tbox, &known, query, cx) {
+        (SearchOutcome::Unsat, refined) => {
             let core = match refined {
-                Some(r) if r.len() < known.len() => match probe(tbox, &r, query, budget) {
-                    (DlOutcome::Unsat, _) => r,
+                Some(r) if r.len() < known.len() => match probe(tbox, &r, query, cx) {
+                    (SearchOutcome::Unsat, _) => r,
                     _ => known,
                 },
                 _ => known,
             };
-            Explanation::Unsat(minimize(tbox, query, budget, core))
+            Explanation::Unsat(minimize(tbox, query, cx, core))
         }
-        _ => explain_unsat_inner(tbox, query, budget),
+        _ => explain_unsat_inner(tbox, query, cx),
     }
 }
 
 /// Deletion-minimize a **certified** core (its restriction is already
 /// known to refute `query`) — step 3 of the [module docs](self), shared
 /// by the cold and the seeded extraction paths.
-fn minimize(tbox: &TBox, query: &Concept, budget: u64, mut core: Vec<AxiomId>) -> UnsatCore {
+fn minimize(tbox: &TBox, query: &Concept, cx: &ExecCx, mut core: Vec<AxiomId>) -> UnsatCore {
     core.sort_unstable();
     core.dedup();
     // Deletion minimization with conflict refinement. Invariant:
@@ -317,17 +350,24 @@ fn minimize(tbox: &TBox, query: &Concept, budget: u64, mut core: Vec<AxiomId>) -
     let mut minimal = true;
     let mut i = 0;
     while i < core.len() {
+        if cx.check().is_err() {
+            // Interrupted mid-minimization: the invariant still certifies
+            // `core` as an unsat core — return it, minus the minimality
+            // claim, instead of burning a no-op probe per remaining axiom.
+            minimal = false;
+            break;
+        }
         let mut candidate = core.clone();
         let removed = candidate.remove(i);
-        match probe(tbox, &candidate, query, budget) {
-            (DlOutcome::Unsat, refined) => {
+        match probe(tbox, &candidate, query, cx) {
+            (SearchOutcome::Unsat, refined) => {
                 // Drop `removed` for good; adopt the probe's smaller
                 // conflict when it verifies (one extra probe), else the
                 // candidate itself. `i` stays: a new axiom now sits here.
                 core = match refined {
                     Some(seed) if seed.len() < candidate.len() => {
-                        match probe(tbox, &seed, query, budget) {
-                            (DlOutcome::Unsat, _) => {
+                        match probe(tbox, &seed, query, cx) {
+                            (SearchOutcome::Unsat, _) => {
                                 // The jump may strip already-vetted
                                 // axioms; restart the scan over the
                                 // smaller set (still terminates: the set
@@ -341,10 +381,10 @@ fn minimize(tbox: &TBox, query: &Concept, budget: u64, mut core: Vec<AxiomId>) -
                     _ => candidate,
                 };
             }
-            (DlOutcome::Sat, _) => i += 1,
-            (DlOutcome::ResourceLimit, _) => {
-                // Could not decide: keep the axiom, lose the minimality
-                // certificate.
+            (SearchOutcome::Sat, _) => i += 1,
+            _ => {
+                // Could not decide (budget, cancellation, or deadline):
+                // keep the axiom, lose the minimality certificate.
                 let _ = removed;
                 minimal = false;
                 i += 1;
@@ -359,6 +399,13 @@ fn minimize(tbox: &TBox, query: &Concept, budget: u64, mut core: Vec<AxiomId>) -
 /// extracted core.
 pub fn core_refutes(tbox: &TBox, core: &UnsatCore, query: &Concept, budget: u64) -> bool {
     satisfiable(&tbox.restrict_to(&core.axioms), query, budget) == DlOutcome::Unsat
+}
+
+/// [`core_refutes`] under an execution context — `true` only on a
+/// certified `Unsat` run; an interrupted check conservatively reports
+/// `false` (the caller must not emit what it could not certify).
+pub fn core_refutes_cx(tbox: &TBox, core: &UnsatCore, query: &Concept, cx: &ExecCx) -> bool {
+    satisfiable_cx(&tbox.restrict_to(&core.axioms), query, cx) == SearchOutcome::Unsat
 }
 
 /// The enumerated family of minimal unsat cores (MUSes) of one query —
@@ -492,7 +539,19 @@ fn sorted_subset(sub: &[AxiomId], sup: &[AxiomId]) -> bool {
 /// assert_eq!(cores, vec![vec![doom1], vec![ab, doom2]]);
 /// ```
 pub fn enumerate_mus(tbox: &TBox, query: &Concept, budget: u64, limit: usize) -> MusEnumeration {
-    with_deep_stack(|| enumerate_mus_inner(tbox, query, budget, limit, &[]))
+    enumerate_mus_cx(tbox, query, &ExecCx::with_steps(budget), limit)
+}
+
+/// [`enumerate_mus`] under an execution context: the whole MARCO loop —
+/// first extraction, blocking-tree probes, per-MUS minimizations —
+/// inherits `cx`, so a cancellation or deadline **stops the enumeration
+/// cleanly mid-family**: the cores certified so far are returned with
+/// [`MusFamily::truncated`] set and [`MusFamily::complete`] cleared
+/// (an interrupt before the initial verdict classifies as
+/// [`MusEnumeration::ResourceLimit`]). No partial or uncertified core is
+/// ever emitted.
+pub fn enumerate_mus_cx(tbox: &TBox, query: &Concept, cx: &ExecCx, limit: usize) -> MusEnumeration {
+    with_deep_stack(|| enumerate_mus_inner(tbox, query, cx, limit, &[]))
 }
 
 /// [`enumerate_mus`] with a warm-start seed for the *first* extraction
@@ -506,20 +565,32 @@ pub fn enumerate_mus_seeded(
     limit: usize,
     seed: &[AxiomId],
 ) -> MusEnumeration {
-    with_deep_stack(|| enumerate_mus_inner(tbox, query, budget, limit, seed))
+    enumerate_mus_seeded_cx(tbox, query, &ExecCx::with_steps(budget), limit, seed)
+}
+
+/// [`enumerate_mus_seeded`] under an execution context (see
+/// [`enumerate_mus_cx`] for the clean mid-family stop semantics).
+pub fn enumerate_mus_seeded_cx(
+    tbox: &TBox,
+    query: &Concept,
+    cx: &ExecCx,
+    limit: usize,
+    seed: &[AxiomId],
+) -> MusEnumeration {
+    with_deep_stack(|| enumerate_mus_inner(tbox, query, cx, limit, seed))
 }
 
 fn enumerate_mus_inner(
     tbox: &TBox,
     query: &Concept,
-    budget: u64,
+    cx: &ExecCx,
     limit: usize,
     seed: &[AxiomId],
 ) -> MusEnumeration {
     let first = if seed.is_empty() {
-        explain_unsat_inner(tbox, query, budget)
+        explain_unsat_inner(tbox, query, cx)
     } else {
-        explain_unsat_seeded_inner(tbox, query, budget, seed)
+        explain_unsat_seeded_inner(tbox, query, cx, seed)
     };
     let first_core = match first {
         Explanation::Unsat(core) => core,
@@ -534,6 +605,14 @@ fn enumerate_mus_inner(
     let mut visited: std::collections::HashSet<Vec<AxiomId>> = std::collections::HashSet::new();
     let mut truncated = false;
     while let Some(s) = work.pop() {
+        if cx.check().is_err() {
+            // Interrupted mid-family: stop cleanly with the cores
+            // certified so far. `truncated` tells the caller the family
+            // may be larger; `decisive = false` below clears `complete`.
+            truncated = true;
+            decisive = false;
+            break;
+        }
         if !visited.insert(s.clone()) {
             continue;
         }
@@ -550,23 +629,28 @@ fn enumerate_mus_inner(
             }
             continue;
         }
-        match probe(tbox, &s, query, budget) {
-            (DlOutcome::Sat, _) => {}
-            (DlOutcome::ResourceLimit, _) => decisive = false,
-            (DlOutcome::Unsat, refined) => {
+        match probe(tbox, &s, query, cx) {
+            (SearchOutcome::Sat, _) => {}
+            (
+                SearchOutcome::BudgetExhausted
+                | SearchOutcome::Cancelled
+                | SearchOutcome::DeadlineExceeded,
+                _,
+            ) => decisive = false,
+            (SearchOutcome::Unsat, refined) => {
                 // Adopt the probe's own (verified) smaller conflict as the
                 // shrink start; it stays within `s` by construction.
                 let start = match refined {
-                    Some(r) if r.len() < s.len() => match probe(tbox, &r, query, budget) {
-                        (DlOutcome::Unsat, _) => r,
+                    Some(r) if r.len() < s.len() => match probe(tbox, &r, query, cx) {
+                        (SearchOutcome::Unsat, _) => r,
                         _ => s.clone(),
                     },
                     _ => s.clone(),
                 };
-                let core = minimize(tbox, query, budget, start);
+                let core = minimize(tbox, query, cx, start);
                 decisive &= core.minimal;
                 // Re-certify before emitting — never trust masks.
-                if core_refutes(tbox, &core, query, budget) {
+                if core_refutes_cx(tbox, &core, query, cx) {
                     if cores.len() >= limit {
                         // A fresh MUS exists beyond the cap.
                         truncated = true;
@@ -692,21 +776,37 @@ pub fn ranked_repairs(
     budget: u64,
     family: &MusFamily,
 ) -> Vec<RepairSet> {
-    with_deep_stack(|| ranked_repairs_inner(tbox, query, budget, family))
+    ranked_repairs_cx(tbox, query, &ExecCx::with_steps(budget), family)
+}
+
+/// [`ranked_repairs`] under an execution context: each verification
+/// probe inherits `cx`; an interrupt drops the remaining *unverified*
+/// candidates (every returned repair is still individually re-proved
+/// `Sat`) — the context-aware analogue of a truncated family.
+pub fn ranked_repairs_cx(
+    tbox: &TBox,
+    query: &Concept,
+    cx: &ExecCx,
+    family: &MusFamily,
+) -> Vec<RepairSet> {
+    with_deep_stack(|| ranked_repairs_inner(tbox, query, cx, family))
 }
 
 fn ranked_repairs_inner(
     tbox: &TBox,
     query: &Concept,
-    budget: u64,
+    cx: &ExecCx,
     family: &MusFamily,
 ) -> Vec<RepairSet> {
     let mut repairs: Vec<RepairSet> = repair_sets(&family.cores)
         .into_iter()
         .filter_map(|mut repair| {
+            if cx.check().is_err() {
+                return None;
+            }
             let keep: Vec<AxiomId> =
                 tbox.axiom_ids().filter(|a| !repair.axioms.contains(a)).collect();
-            if satisfiable(&tbox.restrict_to(&keep), query, budget) != DlOutcome::Sat {
+            if satisfiable_cx(&tbox.restrict_to(&keep), query, cx) != SearchOutcome::Sat {
                 return None;
             }
             repair.verified = true;

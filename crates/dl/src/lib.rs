@@ -37,9 +37,19 @@
 //!   `Sat` verdicts are revalidated against their stored [`Witness`]
 //!   models, so an editor-in-the-loop session keeps its warm cache
 //!   across constraint additions ([`Translation::edit`]);
-//! * [`par`] — a scoped-thread fan-out ([`par::fan_out`]) driving the
-//!   parallel query batteries [`Translation::classify_par`] and
-//!   [`Translation::role_sweep_par`];
+//! * [`exec`] — the unified execution context [`ExecCx`]: a step budget,
+//!   an optional wall-clock deadline, a shared hierarchical
+//!   [`CancelToken`] and a [`Meter`] of work counters, consumed by every
+//!   `_cx` entry point in the stack. The tableau checks it cooperatively
+//!   at worklist pops and choice points, so [`tableau::SearchOutcome`]
+//!   can distinguish `Cancelled` / `DeadlineExceeded` from a plain
+//!   `BudgetExhausted` — and caches never record interrupted runs;
+//! * [`par`] — a work-stealing scoped-thread scheduler
+//!   ([`par::fan_out_cx`], with [`par::fan_out`] as the unlimited-context
+//!   wrapper) driving the parallel query batteries
+//!   [`Translation::classify_par`] and [`Translation::role_sweep_par`]:
+//!   per-worker deques, steal-on-empty, and cooperative cancellation
+//!   between items;
 //! * [`orm_to_dl`] — the schema translation, recording an
 //!   [`AxiomOrigin`] per emitted axiom so unsat cores map back to the
 //!   ORM constructs that caused them ([`Translation::explain_unsat`] /
@@ -70,6 +80,7 @@ pub mod arena;
 pub mod cache;
 pub mod classic;
 pub mod concept;
+pub mod exec;
 pub mod explain;
 pub mod orm_to_dl;
 pub mod par;
@@ -82,12 +93,16 @@ mod test_scenarios;
 pub use arena::{Arena, ConceptId};
 pub use cache::{CacheStats, SatCache, SatShards};
 pub use concept::{Concept, RoleExpr};
+pub use exec::{CancelToken, ExecCx, Interrupt, Meter};
 pub use explain::{
-    enumerate_mus, enumerate_mus_seeded, explain_unsat, explain_unsat_seeded, ranked_repairs,
-    repair_sets, Explanation, MusEnumeration, MusFamily, RepairSet, UnsatCore,
+    enumerate_mus, enumerate_mus_cx, enumerate_mus_seeded, explain_unsat, explain_unsat_cx,
+    explain_unsat_seeded, ranked_repairs, ranked_repairs_cx, repair_sets, Explanation,
+    MusEnumeration, MusFamily, RepairSet, UnsatCore,
 };
 pub use orm_to_dl::{translate, AxiomOrigin, EditSession, Translation};
 pub use tableau::{
-    satisfiable, satisfiable_with_conflict, satisfiable_with_witness, subsumes, DlOutcome, Witness,
+    satisfiable, satisfiable_cx, satisfiable_with_conflict, satisfiable_with_conflict_cx,
+    satisfiable_with_witness, satisfiable_with_witness_cx, subsumes, subsumes_cx, DlOutcome,
+    SearchOutcome, Witness,
 };
 pub use tbox::{AdditionDelta, AxiomId, AxiomKind, AxiomRef, Delta, EditKind, RoleClosure, TBox};

@@ -32,11 +32,12 @@
 
 use crate::cache::{CacheStats, SatShards};
 use crate::concept::{Concept, RoleExpr};
+use crate::exec::{ExecCx, Interrupt};
 use crate::explain::{
-    ranked_repairs, Explanation, MusEnumeration, MusFamily, RepairSet, UnsatCore,
+    ranked_repairs, ranked_repairs_cx, Explanation, MusEnumeration, MusFamily, RepairSet, UnsatCore,
 };
-use crate::par::fan_out;
-use crate::tableau::DlOutcome;
+use crate::par::{fan_out, fan_out_cx, SchedStats};
+use crate::tableau::{DlOutcome, SearchOutcome};
 use crate::tbox::{AxiomId, TBox};
 use orm_model::{
     Constraint, ConstraintId, FactTypeId, ObjectTypeId, RoleId, Schema, SetComparisonKind,
@@ -218,14 +219,32 @@ impl Translation {
         self.cache.explain(&self.tbox, query, budget)
     }
 
+    /// [`Translation::explain_unsat`] under an execution context: the
+    /// extraction's probes inherit `cx`'s budget/deadline/token, and an
+    /// interrupted run surfaces as `ResourceLimit` *without* caching
+    /// anything (distinguish via `cx.check()`).
+    pub fn explain_unsat_cx(&self, query: &Concept, cx: &ExecCx) -> Explanation {
+        self.cache.explain_cx(&self.tbox, query, cx)
+    }
+
     /// [`Translation::explain_unsat`] for an object type's concept.
     pub fn explain_type(&self, ty: ObjectTypeId, budget: u64) -> Explanation {
         self.explain_unsat(&self.type_concept(ty), budget)
     }
 
+    /// [`Translation::explain_unsat_cx`] for an object type's concept.
+    pub fn explain_type_cx(&self, ty: ObjectTypeId, cx: &ExecCx) -> Explanation {
+        self.explain_unsat_cx(&self.type_concept(ty), cx)
+    }
+
     /// [`Translation::explain_unsat`] for a role's `∃dir(r).⊤` concept.
     pub fn explain_role(&self, role: RoleId, budget: u64) -> Explanation {
         self.explain_unsat(&self.role_concept(role), budget)
+    }
+
+    /// [`Translation::explain_unsat_cx`] for a role's `∃dir(r).⊤` concept.
+    pub fn explain_role_cx(&self, role: RoleId, cx: &ExecCx) -> Explanation {
+        self.explain_unsat_cx(&self.role_concept(role), cx)
     }
 
     /// Enumerate the whole **family** of minimal unsat cores of `query` —
@@ -239,14 +258,31 @@ impl Translation {
         self.cache.enumerate(&self.tbox, query, budget, limit)
     }
 
+    /// [`Translation::enumerate_unsat`] under an execution context:
+    /// enumeration stops cleanly mid-family on an interrupt, keeping the
+    /// certified cores found so far (truncated, never uncertified).
+    pub fn enumerate_unsat_cx(&self, query: &Concept, cx: &ExecCx, limit: usize) -> MusEnumeration {
+        self.cache.enumerate_cx(&self.tbox, query, cx, limit)
+    }
+
     /// [`Translation::enumerate_unsat`] for an object type's concept.
     pub fn enumerate_type(&self, ty: ObjectTypeId, budget: u64, limit: usize) -> MusEnumeration {
         self.enumerate_unsat(&self.type_concept(ty), budget, limit)
     }
 
+    /// [`Translation::enumerate_unsat_cx`] for an object type's concept.
+    pub fn enumerate_type_cx(&self, ty: ObjectTypeId, cx: &ExecCx, limit: usize) -> MusEnumeration {
+        self.enumerate_unsat_cx(&self.type_concept(ty), cx, limit)
+    }
+
     /// [`Translation::enumerate_unsat`] for a role's `∃dir(r).⊤` concept.
     pub fn enumerate_role(&self, role: RoleId, budget: u64, limit: usize) -> MusEnumeration {
         self.enumerate_unsat(&self.role_concept(role), budget, limit)
+    }
+
+    /// [`Translation::enumerate_unsat_cx`] for a role's `∃dir(r).⊤` concept.
+    pub fn enumerate_role_cx(&self, role: RoleId, cx: &ExecCx, limit: usize) -> MusEnumeration {
+        self.enumerate_unsat_cx(&self.role_concept(role), cx, limit)
     }
 
     /// The verified, recency-ranked repairs of an enumerated family for
@@ -258,6 +294,18 @@ impl Translation {
     /// [`Translation::repair_origins`].
     pub fn repairs_for(&self, query: &Concept, budget: u64, family: &MusFamily) -> Vec<RepairSet> {
         ranked_repairs(&self.tbox, query, budget, family)
+    }
+
+    /// [`Translation::repairs_for`] under an execution context: an
+    /// interrupt drops the unverified candidate repairs; every returned
+    /// repair is still individually re-proved to restore satisfiability.
+    pub fn repairs_for_cx(
+        &self,
+        query: &Concept,
+        cx: &ExecCx,
+        family: &MusFamily,
+    ) -> Vec<RepairSet> {
+        ranked_repairs_cx(&self.tbox, query, cx, family)
     }
 
     /// The distinct ORM origins of a repair's axioms, in axiom order
@@ -297,10 +345,24 @@ impl Translation {
         self.cache.satisfiable(&self.tbox, &query, budget)
     }
 
+    /// [`Translation::type_satisfiable`] under an execution context —
+    /// interrupted runs surface as the distinct [`SearchOutcome`]
+    /// variants and leave no cache entry behind.
+    pub fn type_satisfiable_cx(&self, ty: ObjectTypeId, cx: &ExecCx) -> SearchOutcome {
+        let query = self.type_concept(ty);
+        self.cache.satisfiable_cx(&self.tbox, &query, cx)
+    }
+
     /// Satisfiability of a role under the translation (cached).
     pub fn role_satisfiable(&self, role: RoleId, budget: u64) -> DlOutcome {
         let query = self.role_concept(role);
         self.cache.satisfiable(&self.tbox, &query, budget)
+    }
+
+    /// [`Translation::role_satisfiable`] under an execution context.
+    pub fn role_satisfiable_cx(&self, role: RoleId, cx: &ExecCx) -> SearchOutcome {
+        let query = self.role_concept(role);
+        self.cache.satisfiable_cx(&self.tbox, &query, cx)
     }
 
     /// Whether the constraints force every `sub` instance to be a `sup`
@@ -314,6 +376,19 @@ impl Translation {
     ) -> Option<bool> {
         let (sup_c, sub_c) = (self.type_concept(sup), self.type_concept(sub));
         self.cache.subsumes(&self.tbox, &sup_c, &sub_c, budget)
+    }
+
+    /// [`Translation::type_subsumed_by`] under an execution context:
+    /// `Ok(None)` when the per-proof step budget ran out, `Err` when the
+    /// context was cancelled or hit its deadline mid-proof.
+    pub fn type_subsumed_by_cx(
+        &self,
+        sub: ObjectTypeId,
+        sup: ObjectTypeId,
+        cx: &ExecCx,
+    ) -> Result<Option<bool>, Interrupt> {
+        let (sup_c, sub_c) = (self.type_concept(sup), self.type_concept(sub));
+        self.cache.subsumes_cx(&self.tbox, &sup_c, &sub_c, cx)
     }
 
     /// All ordered type pairs `(sub, sup)` with `sub ≠ sup`, in the order
@@ -343,6 +418,17 @@ impl Translation {
             .collect()
     }
 
+    /// [`Translation::classify`] under an execution context: pairs whose
+    /// proofs were interrupted or starved are omitted (like inconclusive
+    /// pairs in the legacy API); once the context trips, the remaining
+    /// pairs fail fast without recording cache entries.
+    pub fn classify_cx(&self, schema: &Schema, cx: &ExecCx) -> Vec<(ObjectTypeId, ObjectTypeId)> {
+        self.classify_pairs(schema)
+            .into_iter()
+            .filter(|&(sub, sup)| self.type_subsumed_by_cx(sub, sup, cx) == Ok(Some(true)))
+            .collect()
+    }
+
     /// [`Translation::classify`] fanned out over up to `threads` scoped
     /// worker threads (see [`crate::par::fan_out`]): the `O(n²)`
     /// subsumption queries are independent, and the sharded cache lets
@@ -362,6 +448,29 @@ impl Translation {
         pairs.into_iter().zip(verdicts).filter_map(|(pair, keep)| keep.then_some(pair)).collect()
     }
 
+    /// [`Translation::classify_cx`] fanned out through the work-stealing
+    /// scheduler ([`crate::par::fan_out_cx`]). Returns the derived pairs
+    /// (identical set and order to the sequential run when uninterrupted)
+    /// plus the scheduler's counters; pairs skipped after an interrupt
+    /// are simply omitted, and no shard records an entry for them.
+    pub fn classify_par_cx(
+        &self,
+        schema: &Schema,
+        cx: &ExecCx,
+        threads: usize,
+    ) -> (Vec<(ObjectTypeId, ObjectTypeId)>, SchedStats) {
+        let pairs = self.classify_pairs(schema);
+        let batch = fan_out_cx(&pairs, threads, cx, |_, &(sub, sup)| {
+            self.type_subsumed_by_cx(sub, sup, cx) == Ok(Some(true))
+        });
+        let derived = pairs
+            .into_iter()
+            .zip(batch.results)
+            .filter_map(|(pair, keep)| (keep == Some(true)).then_some(pair))
+            .collect();
+        (derived, batch.stats)
+    }
+
     /// The per-role satisfiability sweep: `∃dir(r).⊤` proved for every
     /// role of the schema, in `schema.roles()` order — the battery a
     /// whole-schema check runs.
@@ -369,10 +478,29 @@ impl Translation {
         schema.roles().map(|(role, _)| (role, self.role_satisfiable(role, budget))).collect()
     }
 
+    /// [`Translation::role_sweep`] under an execution context. Once the
+    /// context trips, the remaining roles report the interrupt variant
+    /// immediately (no proof attempted, nothing cached) — the sweep
+    /// stays full-length so callers can see exactly which roles got a
+    /// verdict.
+    pub fn role_sweep_cx(&self, schema: &Schema, cx: &ExecCx) -> Vec<(RoleId, SearchOutcome)> {
+        schema.roles().map(|(role, _)| (role, self.role_satisfiable_cx(role, cx))).collect()
+    }
+
     /// The per-type satisfiability sweep, in `schema.object_types()`
     /// order — the sibling battery to [`Translation::role_sweep`].
     pub fn type_sweep(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, DlOutcome)> {
         schema.object_types().map(|(ty, _)| (ty, self.type_satisfiable(ty, budget))).collect()
+    }
+
+    /// [`Translation::type_sweep`] under an execution context (see
+    /// [`Translation::role_sweep_cx`] for interrupt semantics).
+    pub fn type_sweep_cx(
+        &self,
+        schema: &Schema,
+        cx: &ExecCx,
+    ) -> Vec<(ObjectTypeId, SearchOutcome)> {
+        schema.object_types().map(|(ty, _)| (ty, self.type_satisfiable_cx(ty, cx))).collect()
     }
 
     /// [`Translation::role_sweep`] fanned out over up to `threads` scoped
@@ -386,6 +514,31 @@ impl Translation {
         let roles: Vec<RoleId> = schema.roles().map(|(role, _)| role).collect();
         let verdicts = fan_out(&roles, threads, |_, &role| self.role_satisfiable(role, budget));
         roles.into_iter().zip(verdicts).collect()
+    }
+
+    /// [`Translation::role_sweep_cx`] fanned out through the
+    /// work-stealing scheduler. Roles skipped after an interrupt report
+    /// the interrupt's [`SearchOutcome`] variant (the same one a
+    /// sequential sweep would give them), keeping the sweep full-length;
+    /// the returned [`SchedStats`] says how many were skipped vs stolen.
+    pub fn role_sweep_par_cx(
+        &self,
+        schema: &Schema,
+        cx: &ExecCx,
+        threads: usize,
+    ) -> (Vec<(RoleId, SearchOutcome)>, SchedStats) {
+        let roles: Vec<RoleId> = schema.roles().map(|(role, _)| role).collect();
+        let batch = fan_out_cx(&roles, threads, cx, |_, &role| self.role_satisfiable_cx(role, cx));
+        let skipped_as = match batch.interrupt {
+            Some(Interrupt::Cancelled) | None => SearchOutcome::Cancelled,
+            Some(Interrupt::DeadlineExceeded) => SearchOutcome::DeadlineExceeded,
+        };
+        let sweep = roles
+            .into_iter()
+            .zip(batch.results)
+            .map(|(role, verdict)| (role, verdict.unwrap_or(skipped_as)))
+            .collect();
+        (sweep, batch.stats)
     }
 
     /// Begin an interactive edit session: constraint additions applied

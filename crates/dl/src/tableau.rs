@@ -66,6 +66,7 @@
 
 use crate::arena::{invert_role_expr, Arena, CKind, ConceptId, RoleExprId};
 use crate::concept::Concept;
+use crate::exec::{ExecCx, Interrupt, CHECK_INTERVAL};
 use crate::tbox::{AxiomId, AxiomKind, RoleClosure, TBox};
 
 /// Verdict of a satisfiability check.
@@ -77,6 +78,69 @@ pub enum DlOutcome {
     Unsat,
     /// The rule budget was exhausted before an answer was certain.
     ResourceLimit,
+}
+
+/// Verdict of a context-driven search ([`satisfiable_cx`] and friends):
+/// the two certain answers plus the three *distinct* ways a run can stop
+/// without one. The legacy [`DlOutcome`] collapses all three resource
+/// variants into `ResourceLimit`; context-aware callers need to tell
+/// them apart — a `BudgetExhausted` is a per-proof policy outcome worth
+/// caching (stamped with the budget it starved at), while `Cancelled`
+/// and `DeadlineExceeded` are external interruptions that say nothing
+/// about the proof and must never produce a cache entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SearchOutcome {
+    /// A clash-free, fully expanded completion forest exists.
+    Sat,
+    /// Every branch clashes.
+    Unsat,
+    /// The context's per-proof step budget ran out mid-search.
+    BudgetExhausted,
+    /// The context's wall-clock deadline passed mid-search.
+    DeadlineExceeded,
+    /// The context's cancellation token was tripped mid-search.
+    Cancelled,
+}
+
+impl SearchOutcome {
+    /// The external interruption behind this outcome, if any.
+    #[must_use]
+    pub fn interrupt(self) -> Option<Interrupt> {
+        match self {
+            SearchOutcome::Cancelled => Some(Interrupt::Cancelled),
+            SearchOutcome::DeadlineExceeded => Some(Interrupt::DeadlineExceeded),
+            _ => None,
+        }
+    }
+
+    /// Whether the search reached a certain verdict (`Sat` or `Unsat`).
+    #[must_use]
+    pub fn is_verdict(self) -> bool {
+        matches!(self, SearchOutcome::Sat | SearchOutcome::Unsat)
+    }
+}
+
+impl From<Interrupt> for SearchOutcome {
+    fn from(interrupt: Interrupt) -> Self {
+        match interrupt {
+            Interrupt::Cancelled => SearchOutcome::Cancelled,
+            Interrupt::DeadlineExceeded => SearchOutcome::DeadlineExceeded,
+        }
+    }
+}
+
+impl From<SearchOutcome> for DlOutcome {
+    /// Collapse to the legacy three-way verdict: every way of stopping
+    /// without an answer is a `ResourceLimit` — never a wrong verdict.
+    fn from(outcome: SearchOutcome) -> Self {
+        match outcome {
+            SearchOutcome::Sat => DlOutcome::Sat,
+            SearchOutcome::Unsat => DlOutcome::Unsat,
+            SearchOutcome::BudgetExhausted
+            | SearchOutcome::DeadlineExceeded
+            | SearchOutcome::Cancelled => DlOutcome::ResourceLimit,
+        }
+    }
 }
 
 /// Whether `sub ⊑ sup` follows from the TBox: the standard reduction to
@@ -142,6 +206,116 @@ pub fn satisfiable(tbox: &TBox, query: &Concept, budget: u64) -> DlOutcome {
         SResult::Sat => DlOutcome::Sat,
         SResult::Unsat(_) => DlOutcome::Unsat,
         SResult::Limit => DlOutcome::ResourceLimit,
+    }
+}
+
+/// [`satisfiable`] under an execution context: the per-proof step budget
+/// comes from [`ExecCx::steps`], the deadline and cancellation token are
+/// checked cooperatively at every worklist pop and choice point, and the
+/// run's step count is flushed into the context's [`crate::exec::Meter`].
+/// An interrupted run reports the *distinct* [`SearchOutcome`] variant —
+/// never a wrong verdict.
+///
+/// ```
+/// use orm_dl::concept::Concept;
+/// use orm_dl::exec::ExecCx;
+/// use orm_dl::tableau::{satisfiable_cx, SearchOutcome};
+/// use orm_dl::tbox::TBox;
+///
+/// let mut tbox = TBox::new();
+/// let a = Concept::Atomic(tbox.atom("A"));
+/// tbox.gci(a.clone(), Concept::Bottom);
+/// let cx = ExecCx::with_steps(100_000);
+/// assert_eq!(satisfiable_cx(&tbox, &a, &cx), SearchOutcome::Unsat);
+/// // A pre-cancelled context stops before proving anything.
+/// let cancelled = ExecCx::unlimited();
+/// cancelled.cancel();
+/// assert_eq!(satisfiable_cx(&tbox, &a, &cancelled), SearchOutcome::Cancelled);
+/// ```
+pub fn satisfiable_cx(tbox: &TBox, query: &Concept, cx: &ExecCx) -> SearchOutcome {
+    // Already-interrupted contexts fail deterministically before any
+    // search — a short proof must not slip past an expired deadline.
+    if let Err(interrupt) = cx.check() {
+        return interrupt.into();
+    }
+    cx.note_proof();
+    let mut engine = Engine::new_cx(tbox, query, cx);
+    if engine.clash.is_some() {
+        engine.finish_metering();
+        return SearchOutcome::Unsat;
+    }
+    let result = engine.search();
+    engine.finish_metering();
+    engine.outcome(result)
+}
+
+/// [`satisfiable_with_witness`] under an execution context; the witness
+/// is extracted only on a certain `Sat` verdict.
+pub fn satisfiable_with_witness_cx(
+    tbox: &TBox,
+    query: &Concept,
+    cx: &ExecCx,
+) -> (SearchOutcome, Option<Witness>) {
+    if let Err(interrupt) = cx.check() {
+        return (interrupt.into(), None);
+    }
+    cx.note_proof();
+    let mut engine = Engine::new_cx(tbox, query, cx);
+    if engine.clash.is_some() {
+        engine.finish_metering();
+        return (SearchOutcome::Unsat, None);
+    }
+    let result = engine.search();
+    engine.finish_metering();
+    match engine.outcome(result) {
+        SearchOutcome::Sat => (SearchOutcome::Sat, Some(engine.into_witness())),
+        other => (other, None),
+    }
+}
+
+/// [`satisfiable_with_conflict`] under an execution context; the
+/// conflict seed is reported only on a certain `Unsat` verdict.
+pub fn satisfiable_with_conflict_cx(
+    tbox: &TBox,
+    query: &Concept,
+    cx: &ExecCx,
+) -> (SearchOutcome, Option<Vec<AxiomId>>) {
+    if let Err(interrupt) = cx.check() {
+        return (interrupt.into(), None);
+    }
+    cx.note_proof();
+    let mut engine = Engine::new_tracking_cx(tbox, query, cx);
+    if let Some(conflict) = engine.clash {
+        engine.finish_metering();
+        return (SearchOutcome::Unsat, Some(resolve_axioms(tbox, conflict.axs)));
+    }
+    let result = engine.search();
+    engine.finish_metering();
+    match result {
+        SResult::Sat => (SearchOutcome::Sat, None),
+        SResult::Unsat(conflict) => {
+            (SearchOutcome::Unsat, Some(resolve_axioms(tbox, conflict.axs)))
+        }
+        SResult::Limit => (engine.outcome(SResult::Limit), None),
+    }
+}
+
+/// [`subsumes`] under an execution context: `Ok(Some(..))` on a certain
+/// answer, `Ok(None)` when the step budget ran out, `Err` when the
+/// context was cancelled or its deadline passed.
+pub fn subsumes_cx(
+    tbox: &TBox,
+    sup: &Concept,
+    sub: &Concept,
+    cx: &ExecCx,
+) -> Result<Option<bool>, Interrupt> {
+    let query = Concept::and([sub.clone(), Concept::not(sup.clone())]);
+    match satisfiable_cx(tbox, &query, cx) {
+        SearchOutcome::Unsat => Ok(Some(true)),
+        SearchOutcome::Sat => Ok(Some(false)),
+        SearchOutcome::BudgetExhausted => Ok(None),
+        SearchOutcome::Cancelled => Err(Interrupt::Cancelled),
+        SearchOutcome::DeadlineExceeded => Err(Interrupt::DeadlineExceeded),
     }
 }
 
@@ -540,13 +714,24 @@ struct Engine {
     /// Current decision level: number of open `⊔`/`≤` choice points.
     level: u32,
     budget: u64,
+    /// The owning execution context, if any. `None` on the legacy `u64`
+    /// entry points — those pay zero per-step overhead beyond the budget
+    /// countdown they always had.
+    cx: Option<ExecCx>,
+    /// Steps spent since the last meter flush (flushed every
+    /// [`CHECK_INTERVAL`] steps and at search exit).
+    pending_steps: u64,
+    /// The interrupt that stopped the search, when one did — this is
+    /// what distinguishes [`SearchOutcome::Cancelled`] and
+    /// [`SearchOutcome::DeadlineExceeded`] from plain budget exhaustion.
+    tripped: Option<Interrupt>,
     /// Scratch buffer for neighbour collection (no per-call allocation).
     scratch: Vec<u32>,
 }
 
 impl Engine {
     fn new(tbox: &TBox, query: &Concept, budget: u64) -> Engine {
-        Engine::build(tbox, query, budget, false)
+        Engine::build(tbox, query, budget, false, None)
     }
 
     /// An engine whose facts carry axiom-usage sets, for unsat-core
@@ -556,10 +741,18 @@ impl Engine {
     /// axiom's bit — one `implies` clone per GCI per construction, the
     /// price the explanation path pays and the hot query paths do not.
     fn new_tracking(tbox: &TBox, query: &Concept, budget: u64) -> Engine {
-        Engine::build(tbox, query, budget, true)
+        Engine::build(tbox, query, budget, true, None)
     }
 
-    fn build(tbox: &TBox, query: &Concept, budget: u64, track: bool) -> Engine {
+    fn new_cx(tbox: &TBox, query: &Concept, cx: &ExecCx) -> Engine {
+        Engine::build(tbox, query, cx.steps().unwrap_or(u64::MAX), false, Some(cx.clone()))
+    }
+
+    fn new_tracking_cx(tbox: &TBox, query: &Concept, cx: &ExecCx) -> Engine {
+        Engine::build(tbox, query, cx.steps().unwrap_or(u64::MAX), true, Some(cx.clone()))
+    }
+
+    fn build(tbox: &TBox, query: &Concept, budget: u64, track: bool, cx: Option<ExecCx>) -> Engine {
         let mut arena = Arena::new();
         let mut internal = Vec::new();
         let mut internal_ax = Vec::new();
@@ -634,6 +827,9 @@ impl Engine {
             clash: None,
             level: 0,
             budget,
+            cx,
+            pending_steps: 0,
+            tripped: None,
             scratch: Vec::new(),
         };
         engine.add_concept(0, query_id, Just::default());
@@ -661,6 +857,65 @@ impl Engine {
             }
         }
         Witness { arena: self.arena, labels, edges }
+    }
+
+    /// Spend one budget unit after a cooperative context check. Returns
+    /// `false` when the search must stop: the context was interrupted
+    /// (recorded in `self.tripped`) or the step budget is exhausted
+    /// (`tripped` stays `None`). The cancellation flag is a relaxed
+    /// atomic load checked on *every* call — i.e. at every worklist pop,
+    /// choice point, generator, and quiescence certification; the
+    /// expensive checks (clock read, meter flush, auto-cancel trigger)
+    /// are amortized over [`CHECK_INTERVAL`] steps.
+    fn spend(&mut self) -> bool {
+        if self.tripped.is_some() {
+            // Already interrupted: the unwinding alternatives must not
+            // burn further steps before the Limit reaches the top.
+            return false;
+        }
+        if let Some(cx) = &self.cx {
+            if cx.is_cancelled() {
+                self.tripped = Some(Interrupt::Cancelled);
+                return false;
+            }
+            self.pending_steps += 1;
+            if self.pending_steps >= CHECK_INTERVAL {
+                let pending = std::mem::take(&mut self.pending_steps);
+                if let Err(interrupt) = cx.check_after(pending) {
+                    self.tripped = Some(interrupt);
+                    return false;
+                }
+            }
+        }
+        if self.budget == 0 {
+            return false;
+        }
+        self.budget -= 1;
+        true
+    }
+
+    /// Flush the unflushed step count into the context's meter (a no-op
+    /// without a context). Called once per public entry point after the
+    /// search returns.
+    fn finish_metering(&mut self) {
+        if let Some(cx) = &self.cx {
+            cx.meter().add_steps(std::mem::take(&mut self.pending_steps));
+        }
+    }
+
+    /// Map an internal search result to the public five-way outcome,
+    /// consulting `tripped` to distinguish external interruptions from
+    /// the per-proof step budget running out.
+    fn outcome(&self, result: SResult) -> SearchOutcome {
+        match result {
+            SResult::Sat => SearchOutcome::Sat,
+            SResult::Unsat(_) => SearchOutcome::Unsat,
+            SResult::Limit => match self.tripped {
+                Some(Interrupt::Cancelled) => SearchOutcome::Cancelled,
+                Some(Interrupt::DeadlineExceeded) => SearchOutcome::DeadlineExceeded,
+                None => SearchOutcome::BudgetExhausted,
+            },
+        }
     }
 
     fn role_mix(role: RoleExprId) -> u64 {
@@ -1278,10 +1533,9 @@ impl Engine {
             // Drain the dirty worklist (∀-propagation and clash checks).
             while let Some(x) = self.dirty.pop() {
                 self.in_dirty[x as usize] = false;
-                if self.budget == 0 {
+                if !self.spend() {
                     return SResult::Limit;
                 }
-                self.budget -= 1;
                 self.process_node(x);
                 if let Some(conflict) = self.clash {
                     return SResult::Unsat(conflict);
@@ -1301,10 +1555,9 @@ impl Engine {
                     self.or_cursor += 1;
                     continue;
                 }
-                if self.budget == 0 {
+                if !self.spend() {
                     return SResult::Limit;
                 }
-                self.budget -= 1;
                 let CKind::Or(ids) = self.arena.kind(cid) else { unreachable!() };
                 let disjuncts = ids.clone().into_vec();
                 // The choice exists because the disjunction label does:
@@ -1348,10 +1601,9 @@ impl Engine {
             }
             self.scratch = scratch;
             if let Some((via, cid, neighbors)) = le_choice {
-                if self.budget == 0 {
+                if !self.spend() {
                     return SResult::Limit;
                 }
-                self.budget -= 1;
                 // The merge obligation rests on the ≤ label, the node and
                 // the links to every surplus neighbour.
                 let mut base = self.label_dep(via, cid) | self.nodes[via as usize].deps;
@@ -1409,13 +1661,12 @@ impl Engine {
                 None => return SResult::Limit,
                 Some(false) => {}
             }
-            if self.budget == 0 {
+            if !self.spend() {
                 // Out of budget exactly at quiescence: certifying
                 // completeness costs the final unit, as in the original
                 // engine's per-iteration accounting.
                 return SResult::Limit;
             }
-            self.budget -= 1;
 
             // No rule applies: complete and clash-free.
             return SResult::Sat;
@@ -1456,10 +1707,9 @@ impl Engine {
                         continue;
                     }
                     self.scratch = scratch;
-                    if self.budget == 0 {
+                    if !self.spend() {
                         return None;
                     }
-                    self.budget -= 1;
                     let deps = self.label_dep(node, cid) | self.nodes[node as usize].deps;
                     self.add_child(node, role, Some(body), deps);
                     self.gen_done[idx] = true;
@@ -1485,10 +1735,9 @@ impl Engine {
                         continue;
                     }
                     self.scratch = scratch;
-                    if self.budget == 0 {
+                    if !self.spend() {
                         return None;
                     }
-                    self.budget -= 1;
                     let deps = self.label_dep(node, cid) | self.nodes[node as usize].deps;
                     let fresh: Vec<u32> =
                         (0..n).map(|_| self.add_child(node, role, None, deps)).collect();

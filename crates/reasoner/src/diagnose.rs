@@ -31,7 +31,8 @@
 //! constraint is usually the mistake.
 
 use orm_dl::{
-    AxiomOrigin, DlOutcome, MusEnumeration, MusFamily, RepairSet, Translation, UnsatCore,
+    AxiomOrigin, ExecCx, MusEnumeration, MusFamily, RepairSet, SearchOutcome, Translation,
+    UnsatCore,
 };
 use orm_model::{ObjectTypeId, RoleId, Schema};
 use orm_syntax::{
@@ -212,15 +213,32 @@ pub fn diagnose(schema: &Schema, budget: u64) -> Vec<Diagnosis> {
 /// translation's shards, so re-diagnosing after unrelated edits replays
 /// retained entries instead of re-proving.
 pub fn diagnose_with(schema: &Schema, translation: &Translation, budget: u64) -> Vec<Diagnosis> {
+    diagnose_with_cx(schema, translation, &ExecCx::with_steps(budget))
+}
+
+/// [`diagnose`] under an execution context: every sweep verdict, core
+/// enumeration, and repair verification inherits `cx`'s budget, deadline,
+/// and cancellation token. On an interrupt the pipeline stops cleanly —
+/// already-certified diagnoses are returned (each core and repair is
+/// individually re-proved, so partial output is still sound), nothing
+/// half-proved is cached, and re-running under a richer context finishes
+/// the job against warm shards.
+pub fn diagnose_cx(schema: &Schema, cx: &ExecCx) -> Vec<Diagnosis> {
+    diagnose_with_cx(schema, &orm_dl::translate(schema), cx)
+}
+
+/// [`diagnose_cx`] against an existing translation (the warm-cache
+/// variant, see [`diagnose_with`]).
+pub fn diagnose_with_cx(schema: &Schema, translation: &Translation, cx: &ExecCx) -> Vec<Diagnosis> {
     let mut out = Vec::new();
     let mut diagnose_element = |element: DiagnosedElement, label: String| {
         let (query, enumeration) = match element {
             DiagnosedElement::Type(ty) => {
-                (translation.type_concept(ty), translation.enumerate_type(ty, budget, FAMILY_LIMIT))
+                (translation.type_concept(ty), translation.enumerate_type_cx(ty, cx, FAMILY_LIMIT))
             }
             DiagnosedElement::Role(role) => (
                 translation.role_concept(role),
-                translation.enumerate_role(role, budget, FAMILY_LIMIT),
+                translation.enumerate_role_cx(role, cx, FAMILY_LIMIT),
             ),
         };
         if let MusEnumeration::Unsat(family) = enumeration {
@@ -233,7 +251,7 @@ pub fn diagnose_with(schema: &Schema, translation: &Translation, budget: u64) ->
             };
             let alternatives: Vec<Vec<String>> = family.cores.iter().map(verbalize_core).collect();
             let repairs = translation
-                .repairs_for(&query, budget, &family)
+                .repairs_for_cx(&query, cx, &family)
                 .into_iter()
                 .map(|set| {
                     let statements = translation
@@ -250,12 +268,12 @@ pub fn diagnose_with(schema: &Schema, translation: &Translation, budget: u64) ->
         }
     };
     for (ty, _) in schema.object_types() {
-        if translation.type_satisfiable(ty, budget) == DlOutcome::Unsat {
+        if translation.type_satisfiable_cx(ty, cx) == SearchOutcome::Unsat {
             diagnose_element(DiagnosedElement::Type(ty), schema.object_type(ty).name().to_owned());
         }
     }
     for (role, _) in schema.roles() {
-        if translation.role_satisfiable(role, budget) == DlOutcome::Unsat {
+        if translation.role_satisfiable_cx(role, cx) == SearchOutcome::Unsat {
             diagnose_element(DiagnosedElement::Role(role), schema.role_label(role).to_owned());
         }
     }

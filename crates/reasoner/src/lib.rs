@@ -49,10 +49,13 @@
 mod diagnose;
 mod search;
 
-pub use diagnose::{diagnose, diagnose_with, DiagnosedElement, Diagnosis, Repair, FAMILY_LIMIT};
+pub use diagnose::{
+    diagnose, diagnose_cx, diagnose_with, diagnose_with_cx, DiagnosedElement, Diagnosis, Repair,
+    FAMILY_LIMIT,
+};
 pub use search::{find_model, Bounds, Outcome, Target};
 
-use orm_dl::{DlOutcome, Translation};
+use orm_dl::{DlOutcome, ExecCx, SearchOutcome, Translation};
 use orm_model::{ObjectTypeId, RoleId, Schema};
 use orm_population::{CheckOptions, CheckPlan, Population, Violation};
 
@@ -210,9 +213,29 @@ impl InteractiveSession {
         self.translation.role_sweep(schema, budget)
     }
 
+    /// [`InteractiveSession::role_sweep`] under an execution context —
+    /// the deadline-and-cancel-aware entry point an editor binds to a
+    /// keystroke. Once the context trips, the remaining roles report the
+    /// interrupt's [`SearchOutcome`] variant immediately and nothing
+    /// half-proved is cached, so the *next* keystroke's sweep re-proves
+    /// them against the same warm shards.
+    pub fn role_sweep_cx(&self, schema: &Schema, cx: &ExecCx) -> Vec<(RoleId, SearchOutcome)> {
+        self.translation.role_sweep_cx(schema, cx)
+    }
+
     /// The per-type DL sweep against the warm shards.
     pub fn type_sweep(&self, schema: &Schema, budget: u64) -> Vec<(ObjectTypeId, DlOutcome)> {
         self.translation.type_sweep(schema, budget)
+    }
+
+    /// [`InteractiveSession::type_sweep`] under an execution context
+    /// (see [`InteractiveSession::role_sweep_cx`]).
+    pub fn type_sweep_cx(
+        &self,
+        schema: &Schema,
+        cx: &ExecCx,
+    ) -> Vec<(ObjectTypeId, SearchOutcome)> {
+        self.translation.type_sweep_cx(schema, cx)
     }
 
     /// Aggregated cache counters — `retained`/`revalidated` show how much
@@ -262,7 +285,7 @@ pub struct BulkChecker {
     translation: Translation,
     plan: Option<CheckPlan>,
     options: CheckOptions,
-    budget: u64,
+    cx: ExecCx,
 }
 
 impl BulkChecker {
@@ -274,7 +297,20 @@ impl BulkChecker {
 
     /// A checker with explicit semantic options.
     pub fn with_options(schema: &Schema, budget: u64, options: CheckOptions) -> BulkChecker {
-        BulkChecker { translation: orm_dl::translate(schema), plan: None, options, budget }
+        BulkChecker::with_context(schema, &ExecCx::with_steps(budget), options)
+    }
+
+    /// A checker bound to an execution context: the context's step
+    /// budget bounds each certification proof, and its meter aggregates
+    /// every (re)compile the checker performs over its lifetime. The
+    /// checker keeps a clone — the caller's handle still cancels it.
+    pub fn with_context(schema: &Schema, cx: &ExecCx, options: CheckOptions) -> BulkChecker {
+        BulkChecker { translation: orm_dl::translate(schema), plan: None, options, cx: cx.clone() }
+    }
+
+    /// The execution context the certification sweeps run under.
+    pub fn context(&self) -> &ExecCx {
+        &self.cx
     }
 
     /// Validate `pop`, compiling (or recompiling) the plan if the cached
@@ -291,8 +327,8 @@ impl BulkChecker {
     pub fn plan_for(&mut self, schema: &Schema) -> &CheckPlan {
         let stale = !self.plan.as_ref().is_some_and(|p| p.is_current(schema, &self.translation));
         if stale {
-            self.plan =
-                Some(CheckPlan::compile(schema, &self.translation, self.budget, self.options));
+            let budget = self.cx.steps().unwrap_or(u64::MAX);
+            self.plan = Some(CheckPlan::compile(schema, &self.translation, budget, self.options));
         }
         self.plan.as_ref().expect("plan was just compiled")
     }
