@@ -829,6 +829,124 @@ fn tableau_bench(out_path: &str, budget: u64) {
         if large_within_budget { "yes" } else { "NO" }
     );
 
+    // Fault-tolerant service battery (PR 9): the chaos harness storms a
+    // `ReasonerService` with concurrent sessions mixing full-budget
+    // queries, deadline storms, starved budgets, metered cancellations
+    // and mid-storm edits, then injects worker panics, sabotages
+    // snapshot blobs and performs a clean warm restart — every decided
+    // verdict checked against a fresh sequential reference. The
+    // contract gates are deterministic (the harness forces each fault
+    // class to fire); only the warm-restart timing bar lives outside
+    // the exit gate.
+    let chaos_cfg = orm_gen::chaos::ChaosConfig {
+        sessions: if reduced_budget { 16 } else { 64 },
+        steps_per_session: if reduced_budget { 3 } else { 6 },
+        gen: if reduced_budget { GenConfig::small(0xC0A5) } else { GenConfig::medium(0xC0A5) },
+        ..Default::default()
+    };
+    let t0 = Instant::now();
+    let chaos = orm_gen::chaos::run_chaos(&chaos_cfg);
+    let chaos_secs = t0.elapsed().as_secs_f64();
+    let chaos_throughput = chaos.served as f64 / chaos_secs.max(1e-9);
+    let chaos_shed_rate = chaos.shed as f64 / (chaos.queries.max(1)) as f64;
+    let chaos_stats_json = chaos.stats.to_json();
+    let service_contract = chaos.disagreements == 0
+        && chaos.shed >= 1
+        && chaos.stats.downgrades >= 1
+        && chaos.panics_isolated >= 1
+        && chaos.corrupt_rejected >= 1
+        && chaos.restores >= 1
+        && chaos.restored_entries >= 1
+        && chaos.post_restore_checked >= 1;
+
+    // Warm restart vs cold re-prove, measured on the diagnosis
+    // battery (always at the full budget, like the explain section):
+    // the expensive part of a restart is re-deriving the doomed
+    // elements' minimal unsat cores — each cold extraction re-runs the
+    // deletion-minimization probes, while the snapshot stores the
+    // certified cores beside the Unsat verdicts and replays them as
+    // hits. "Cold" is a fresh translation proving the type + role
+    // sweeps and extracting every core from scratch; "warm" restores
+    // the snapshot first and must answer the same workload from hits
+    // alone (zero misses), verdict for verdict and core for core.
+    let persist = translate(&exp.schema);
+    persist.type_sweep(&exp.schema, explain_budget);
+    persist.role_sweep(&exp.schema, explain_budget);
+    extract(&persist);
+    let blob = persist.snapshot();
+    let snapshot_bytes = blob.len();
+    let core_shape =
+        |runs: &[(orm_dl::Concept, orm_dl::Explanation)]| -> Vec<Option<Vec<orm_dl::AxiomId>>> {
+            runs.iter().map(|(_, e)| e.core().map(|c| c.axioms.clone())).collect()
+        };
+    let mut cold_reprove_secs = f64::MAX;
+    let mut warm_restart_secs = f64::MAX;
+    let mut warm_misses = u64::MAX;
+    let mut restored_entries = 0usize;
+    let mut restart_agrees = true;
+    for _ in 0..3 {
+        let cold = translate(&exp.schema);
+        let t0 = Instant::now();
+        let cold_types = cold.type_sweep(&exp.schema, explain_budget);
+        let cold_roles = cold.role_sweep(&exp.schema, explain_budget);
+        let cold_cores = extract(&cold);
+        cold_reprove_secs = cold_reprove_secs.min(t0.elapsed().as_secs_f64());
+        let warm = translate(&exp.schema);
+        let t0 = Instant::now();
+        let report = warm.restore(&blob).expect("clean snapshot restores");
+        let warm_types = warm.type_sweep(&exp.schema, explain_budget);
+        let warm_roles = warm.role_sweep(&exp.schema, explain_budget);
+        let warm_cores = extract(&warm);
+        warm_restart_secs = warm_restart_secs.min(t0.elapsed().as_secs_f64());
+        restored_entries = report.entries;
+        warm_misses = warm.cache_stats().misses;
+        restart_agrees &= warm_types == cold_types
+            && warm_roles == cold_roles
+            && core_shape(&warm_cores) == core_shape(&cold_cores);
+    }
+    let warm_no_misses = warm_misses == 0;
+    let warm_restart_gain = cold_reprove_secs / warm_restart_secs.max(1e-9);
+    let warm_restart_met = warm_restart_gain >= 5.0;
+    let service_ok = service_contract && restart_agrees && warm_no_misses && restored_entries > 0;
+    all_agree &= service_ok;
+    println!(
+        "\nservice_battery: {} sessions × {} steps — {} queries ({} served / {} shed, \
+         shed rate {:.2}), {} downgraded, {} decided vs reference with {} disagreements; \
+         {} panics isolated, {} corrupt snapshots rejected, {} restores \
+         ({} entries, {} verdicts re-checked); {:.0} served/s over {:.1} s",
+        chaos.sessions,
+        chaos_cfg.steps_per_session,
+        chaos.queries,
+        chaos.served,
+        chaos.shed,
+        chaos_shed_rate,
+        chaos.downgraded,
+        chaos.decided,
+        chaos.disagreements,
+        chaos.panics_isolated,
+        chaos.corrupt_rejected,
+        chaos.restores,
+        chaos.restored_entries,
+        chaos.post_restore_checked,
+        chaos_throughput,
+        chaos_secs
+    );
+    println!(
+        "  warm restart: snapshot {} bytes, {} entries restored — cold re-prove {:.3} ms, \
+         warm restart {:.3} ms ({:.1}x, bar 5x: {}), warm misses {} (none: {}), \
+         verdicts agree: {}",
+        snapshot_bytes,
+        restored_entries,
+        cold_reprove_secs * 1e3,
+        warm_restart_secs * 1e3,
+        warm_restart_gain,
+        if warm_restart_met { "yes" } else { "NO" },
+        warm_misses,
+        if warm_no_misses { "yes" } else { "NO" },
+        if restart_agrees { "yes" } else { "NO" }
+    );
+    println!("  service_stats: {chaos_stats_json}");
+
     // The parallel-speedup bar (2× at 4 threads) is only *applicable* on
     // hardware that can actually run 2+ threads at once; on a single-core
     // machine the honest measurement is ≈1× and says nothing about the
@@ -845,11 +963,33 @@ fn tableau_bench(out_path: &str, budget: u64) {
         && large_within_budget
         && enum_within_2x
         && enum_warm_fast
+        && warm_restart_met
         && all_agree;
     let unix_time = std::time::SystemTime::now()
         .duration_since(std::time::UNIX_EPOCH)
         .map_or(0, |d| d.as_secs());
     let merge_gain_json = merge_gain_min.map_or("null".to_owned(), |g| format!("{g:.2}"));
+    // Field accesses can't interpolate inline; bind the chaos report's
+    // numbers to locals for the JSON block below.
+    let chaos_sessions = chaos.sessions;
+    let chaos_steps = chaos_cfg.steps_per_session;
+    let chaos_queries = chaos.queries;
+    let chaos_served = chaos.served;
+    let chaos_shed = chaos.shed;
+    let chaos_downgrades = chaos.stats.downgrades;
+    let chaos_decided = chaos.decided;
+    let chaos_interrupted = chaos.interrupted;
+    let chaos_edits = chaos.edits;
+    let chaos_disagreements = chaos.disagreements;
+    let chaos_zero_disagreements = chaos.disagreements == 0;
+    let chaos_panics = chaos.panics_isolated;
+    let chaos_corrupt = chaos.corrupt_rejected;
+    let chaos_restores = chaos.restores;
+    let chaos_restored = chaos.restored_entries;
+    let chaos_post_restore = chaos.post_restore_checked;
+    let chaos_ms = chaos_secs * 1e3;
+    let cold_reprove_ms = cold_reprove_secs * 1e3;
+    let warm_restart_ms = warm_restart_secs * 1e3;
     let new_run = format!(
         "    {{\n      \"unix_time\": {unix_time},\n      \"budget\": {budget},\n      \
          \"scenarios\": [\n{rows}\n      ],\n      \
@@ -905,6 +1045,32 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"cancel_agrees\": {cancel_agrees}, \
          \"deadline_noop\": {deadline_noop}, \
          \"pairs_agree\": {sched_pairs_agree}}},\n      \
+         \"service_battery\": {{\"name\": \"service_battery\", \
+         \"sessions\": {chaos_sessions}, \"steps_per_session\": {chaos_steps}, \
+         \"queries\": {chaos_queries}, \"served\": {chaos_served}, \
+         \"shed\": {chaos_shed}, \"shed_rate\": {chaos_shed_rate:.4}, \
+         \"downgrades\": {chaos_downgrades}, \"decided\": {chaos_decided}, \
+         \"interrupted\": {chaos_interrupted}, \"edits\": {chaos_edits}, \
+         \"disagreements\": {chaos_disagreements}, \
+         \"zero_disagreements\": {chaos_zero_disagreements}, \
+         \"panics_isolated\": {chaos_panics}, \
+         \"corrupt_rejected\": {chaos_corrupt}, \
+         \"restores\": {chaos_restores}, \
+         \"restored_entries\": {chaos_restored}, \
+         \"post_restore_checked\": {chaos_post_restore}, \
+         \"throughput_per_s\": {chaos_throughput:.1}, \
+         \"elapsed_ms\": {chaos_ms:.1}, \
+         \"service_contract_met\": {service_contract}, \
+         \"snapshot_bytes\": {snapshot_bytes}, \
+         \"restart_restored_entries\": {restored_entries}, \
+         \"cold_reprove_ms\": {cold_reprove_ms:.4}, \
+         \"warm_restart_ms\": {warm_restart_ms:.4}, \
+         \"warm_restart_speedup\": {warm_restart_gain:.2}, \
+         \"warm_restart_threshold\": 5.0, \
+         \"warm_restart_met\": {warm_restart_met}, \
+         \"warm_misses\": {warm_misses}, \"warm_no_misses\": {warm_no_misses}, \
+         \"restart_agrees\": {restart_agrees}, \
+         \"service_stats\": {chaos_stats_json}}},\n      \
          \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
          \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
          \"acceptance_threshold\": 5.0,\n      \

@@ -130,6 +130,10 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::fmt;
 
+mod snapshot;
+
+pub use snapshot::{RestoreReport, SnapshotError};
+
 /// Hit/miss/invalidation/retention counters, for benches and acceptance
 /// checks.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -165,6 +169,21 @@ pub struct CacheStats {
     /// Tableau runs cut short by an expired wall-clock deadline. Like
     /// `cancelled`, these leave no entry.
     pub deadlined: u64,
+    /// Requests refused outright by a service admission layer
+    /// ([`SatShards::note_shed`] — the cache itself never sheds).
+    pub sheds: u64,
+    /// Requests admitted with a tightened step budget
+    /// ([`SatShards::note_downgrade`]).
+    pub downgrades: u64,
+    /// Successful [`SatShards::snapshot`] serializations.
+    pub snapshots: u64,
+    /// Successful [`SatShards::restore`] installs.
+    pub restores: u64,
+    /// Snapshot blobs rejected by [`SatShards::restore`] — corrupt bytes
+    /// (truncation, bit-flips, checksum mismatch) or a TBox
+    /// stamp/fingerprint mismatch. Each rejection degrades to a cold
+    /// shard, never a panic or a stale verdict.
+    pub corrupt_rejected: u64,
 }
 
 impl fmt::Display for CacheStats {
@@ -175,7 +194,8 @@ impl fmt::Display for CacheStats {
         write!(
             f,
             "hits {} / misses {} / retained {} / revalidated {} / evicted {} / \
-             invalidations {} / clears {} / cancelled {} / deadlined {}",
+             invalidations {} / clears {} / cancelled {} / deadlined {} / sheds {} / \
+             downgrades {} / snapshots {} / restores {} / corrupt_rejected {}",
             self.hits,
             self.misses,
             self.retained,
@@ -184,7 +204,12 @@ impl fmt::Display for CacheStats {
             self.invalidations,
             self.clears,
             self.cancelled,
-            self.deadlined
+            self.deadlined,
+            self.sheds,
+            self.downgrades,
+            self.snapshots,
+            self.restores,
+            self.corrupt_rejected
         )
     }
 }
@@ -203,6 +228,11 @@ impl CacheStats {
             evicted: self.evicted + other.evicted,
             cancelled: self.cancelled + other.cancelled,
             deadlined: self.deadlined + other.deadlined,
+            sheds: self.sheds + other.sheds,
+            downgrades: self.downgrades + other.downgrades,
+            snapshots: self.snapshots + other.snapshots,
+            restores: self.restores + other.restores,
+            corrupt_rejected: self.corrupt_rejected + other.corrupt_rejected,
         }
     }
 
@@ -217,12 +247,14 @@ impl CacheStats {
     /// let json = CacheStats::default().to_json();
     /// assert!(json.starts_with("{\"hits\": 0, \"misses\": 0"));
     /// assert!(json.contains("\"cancelled\": 0"));
+    /// assert!(json.contains("\"corrupt_rejected\": 0"));
     /// ```
     pub fn to_json(&self) -> String {
         format!(
             "{{\"hits\": {}, \"misses\": {}, \"invalidations\": {}, \"clears\": {}, \
              \"retained\": {}, \"revalidated\": {}, \"evicted\": {}, \"cancelled\": {}, \
-             \"deadlined\": {}}}",
+             \"deadlined\": {}, \"sheds\": {}, \"downgrades\": {}, \"snapshots\": {}, \
+             \"restores\": {}, \"corrupt_rejected\": {}}}",
             self.hits,
             self.misses,
             self.invalidations,
@@ -231,7 +263,12 @@ impl CacheStats {
             self.revalidated,
             self.evicted,
             self.cancelled,
-            self.deadlined
+            self.deadlined,
+            self.sheds,
+            self.downgrades,
+            self.snapshots,
+            self.restores,
+            self.corrupt_rejected
         )
     }
 }
@@ -433,12 +470,32 @@ impl SatCache {
         budget: u64,
         witness: Option<Witness>,
     ) {
-        let entry = match verdict {
-            DlOutcome::Sat => Entry::Sat { witness },
-            DlOutcome::Unsat => Entry::Unsat { core: None, family: None },
-            DlOutcome::ResourceLimit => Entry::Unknown { budget },
-        };
-        self.entries.insert(key, entry);
+        match verdict {
+            DlOutcome::Sat => {
+                self.entries.insert(key, Entry::Sat { witness });
+            }
+            DlOutcome::Unsat => {
+                self.entries.insert(key, Entry::Unsat { core: None, family: None });
+            }
+            DlOutcome::ResourceLimit => self.record_unknown(key, budget),
+        }
+    }
+
+    /// Remember a budget starvation at `budget` — monotonically. An
+    /// `Unknown` is a fact about *how much* budget failed, so a starved
+    /// run may only ever raise the recorded stamp: a deadline-starved
+    /// request that admission control downgraded to a tiny budget must
+    /// not overwrite a richer cached `Unknown { budget }` (the richer
+    /// stamp short-circuits more future callers), and no starvation may
+    /// shadow a certified `Sat`/`Unsat` verdict.
+    fn record_unknown(&mut self, key: Box<[ConceptId]>, budget: u64) {
+        match self.entries.get(&key) {
+            Some(Entry::Sat { .. } | Entry::Unsat { .. }) => {}
+            Some(Entry::Unknown { budget: tried }) if *tried >= budget => {}
+            _ => {
+                self.entries.insert(key, Entry::Unknown { budget });
+            }
+        }
     }
 
     /// Cached [`crate::tableau::satisfiable`]: consult the verdict cache,
@@ -575,14 +632,11 @@ impl SatCache {
                 self.entries.insert(key, Entry::Sat { witness: None });
             }
             // A failed extraction must never *downgrade* a certified
-            // verdict: an `Unsat { core: None }` entry (proved by a
-            // plain query, possibly under a larger budget) stays — only
-            // the explanation attempt failed, not the verdict.
-            Explanation::ResourceLimit => {
-                if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
-                    self.entries.insert(key, Entry::Unknown { budget });
-                }
-            }
+            // verdict or a richer-budget Unknown: `record_unknown` keeps
+            // an `Unsat { core: None }` entry (proved by a plain query,
+            // possibly under a larger budget) — only the explanation
+            // attempt failed, not the verdict.
+            Explanation::ResourceLimit => self.record_unknown(key, budget),
         }
         explanation
     }
@@ -639,11 +693,7 @@ impl SatCache {
             Explanation::ResourceLimit => match cx.check() {
                 Err(Interrupt::Cancelled) => self.stats.cancelled += 1,
                 Err(Interrupt::DeadlineExceeded) => self.stats.deadlined += 1,
-                Ok(()) => {
-                    if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
-                        self.entries.insert(key, Entry::Unknown { budget });
-                    }
-                }
+                Ok(()) => self.record_unknown(key, budget),
             },
         }
         explanation
@@ -746,13 +796,10 @@ impl SatCache {
             MusEnumeration::Satisfiable => {
                 self.entries.insert(key, Entry::Sat { witness: None });
             }
-            // Never downgrade a certified Unsat verdict because one
-            // enumeration attempt starved.
-            MusEnumeration::ResourceLimit => {
-                if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
-                    self.entries.insert(key, Entry::Unknown { budget });
-                }
-            }
+            // Never downgrade a certified Unsat verdict (or a
+            // richer-budget Unknown) because one enumeration attempt
+            // starved.
+            MusEnumeration::ResourceLimit => self.record_unknown(key, budget),
         }
         enumeration
     }
@@ -833,11 +880,7 @@ impl SatCache {
             MusEnumeration::ResourceLimit => match cx.check() {
                 Err(Interrupt::Cancelled) => self.stats.cancelled += 1,
                 Err(Interrupt::DeadlineExceeded) => self.stats.deadlined += 1,
-                Ok(()) => {
-                    if !matches!(self.entries.get(&key), Some(Entry::Unsat { .. })) {
-                        self.entries.insert(key, Entry::Unknown { budget });
-                    }
-                }
+                Ok(()) => self.record_unknown(key, budget),
             },
         }
         enumeration
@@ -1229,6 +1272,20 @@ impl SatShards {
         for shard in self.shards.iter() {
             shard.lock().clear();
         }
+    }
+
+    /// Record one shed request in [`CacheStats::sheds`]. Admission
+    /// control lives above this crate (in `orm-serve`); the counter
+    /// lives here so one `stats()` call reports the whole service story.
+    /// Booked against shard 0 — the aggregate is what bench runs assert.
+    pub fn note_shed(&self) {
+        self.shards[0].lock().stats.sheds += 1;
+    }
+
+    /// Record one downgraded request in [`CacheStats::downgrades`]
+    /// (see [`SatShards::note_shed`]).
+    pub fn note_downgrade(&self) {
+        self.shards[0].lock().stats.downgrades += 1;
     }
 }
 
@@ -1898,6 +1955,79 @@ mod tests {
         // The provable verdict is still reachable — nothing masked it.
         assert_eq!(cache.satisfiable_cx(&t, &a, &ExecCx::with_steps(100_000)), SearchOutcome::Sat);
         assert_eq!(cache.len(), 1);
+    }
+
+    /// The `Unknown` budget stamp is monotone: it records the *hardest*
+    /// failed attempt, so a downgraded (tighter-budget) retry — the
+    /// admission layer's overload response — can never weaken it, while
+    /// a richer failure upgrades it.
+    #[test]
+    fn record_unknown_is_monotone_in_budget() {
+        let mut cache = SatCache::new();
+        let k = cache.key(&Concept::Atomic(0));
+        fn stamp(cache: &SatCache, k: &[ConceptId]) -> u64 {
+            match cache.entries.get(k) {
+                Some(Entry::Unknown { budget }) => *budget,
+                other => panic!("expected Unknown, got {:?}", other.is_some()),
+            }
+        }
+        cache.record(k.clone(), DlOutcome::ResourceLimit, 100, None);
+        assert_eq!(stamp(&cache, &k), 100);
+        // Downgraded retry fails at a tighter budget — stamp unchanged.
+        cache.record(k.clone(), DlOutcome::ResourceLimit, 10, None);
+        assert_eq!(stamp(&cache, &k), 100, "downgraded run weakened the Unknown stamp");
+        // A richer failure upgrades it.
+        cache.record(k.clone(), DlOutcome::ResourceLimit, 500, None);
+        assert_eq!(stamp(&cache, &k), 500);
+        cache.record(k.clone(), DlOutcome::ResourceLimit, 500, None);
+        assert_eq!(stamp(&cache, &k), 500);
+    }
+
+    /// An `Unknown` must never displace a definitive verdict already in
+    /// the cache — not even one claiming an unlimited budget.
+    #[test]
+    fn unknown_never_replaces_a_definitive_verdict() {
+        let mut cache = SatCache::new();
+        let k_sat = cache.key(&Concept::Atomic(0));
+        let k_unsat = cache.key(&Concept::Atomic(1));
+        cache.record(k_sat.clone(), DlOutcome::Sat, 1000, None);
+        cache.record(k_unsat.clone(), DlOutcome::Unsat, 1000, None);
+        cache.record(k_sat.clone(), DlOutcome::ResourceLimit, u64::MAX, None);
+        cache.record(k_unsat.clone(), DlOutcome::ResourceLimit, u64::MAX, None);
+        assert!(
+            matches!(cache.entries.get(&k_sat), Some(Entry::Sat { .. })),
+            "Unknown clobbered a Sat verdict"
+        );
+        assert!(
+            matches!(cache.entries.get(&k_unsat), Some(Entry::Unsat { .. })),
+            "Unknown clobbered an Unsat verdict"
+        );
+    }
+
+    /// Public-API shape of the monotonicity invariant: with `Unknown{50}`
+    /// cached, a downgraded 10-step caller short-circuits (hit) and does
+    /// not shrink the stamp — a later 50-step caller still hits instead
+    /// of re-proving — while a caller above the stamp re-proves and
+    /// upgrades the entry to the real verdict for everyone.
+    #[test]
+    fn downgraded_probe_neither_reproves_nor_weakens() {
+        let (t, a) = starving_tbox();
+        let mut cache = SatCache::new();
+        cache.validate(&t);
+        let k = cache.key(&a);
+        cache.record(k, DlOutcome::ResourceLimit, 50, None);
+
+        assert_eq!(cache.satisfiable(&t, &a, 10), DlOutcome::ResourceLimit);
+        assert_eq!((cache.stats().hits, cache.stats().misses), (1, 0));
+        assert_eq!(cache.satisfiable(&t, &a, 50), DlOutcome::ResourceLimit);
+        assert_eq!(
+            (cache.stats().hits, cache.stats().misses),
+            (2, 0),
+            "downgraded probe shrank the stamp: the 50-step caller re-proved"
+        );
+        assert_eq!(cache.satisfiable(&t, &a, 100_000), DlOutcome::Sat);
+        assert_eq!(cache.stats().misses, 1);
+        assert_eq!(cache.satisfiable(&t, &a, 1), DlOutcome::Sat);
     }
 
     /// The explain/enumerate cx paths obey the same recording rule:

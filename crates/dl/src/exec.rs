@@ -124,6 +124,11 @@ pub struct Meter {
     tasks: AtomicU64,
     /// Batch items a worker stole from another worker's queue.
     steals: AtomicU64,
+    /// Requests refused outright by a service admission layer.
+    sheds: AtomicU64,
+    /// Requests admitted with a tightened step budget by a service
+    /// admission layer.
+    downgrades: AtomicU64,
 }
 
 impl Meter {
@@ -149,6 +154,29 @@ impl Meter {
     #[must_use]
     pub fn steals(&self) -> u64 {
         self.steals.load(Ordering::Relaxed)
+    }
+
+    /// Requests refused outright by a service admission layer.
+    #[must_use]
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
+    /// Requests admitted with a tightened step budget.
+    #[must_use]
+    pub fn downgrades(&self) -> u64 {
+        self.downgrades.load(Ordering::Relaxed)
+    }
+
+    /// Record one shed request. Public because admission control lives
+    /// above this crate (in `orm-serve`), not inside the engine.
+    pub fn add_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record one downgraded request.
+    pub fn add_downgrade(&self) {
+        self.downgrades.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn add_steps(&self, n: u64) {
@@ -239,6 +267,28 @@ impl ExecCx {
     #[must_use]
     pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
         self.cancel = cancel;
+        self
+    }
+
+    /// Share metering with a caller-held [`Meter`] — the service layer
+    /// uses this so every admitted request, whatever its budget or
+    /// deadline, aggregates into one service-lifetime meter that the
+    /// admission policy reads for load.
+    #[must_use]
+    pub fn with_meter(mut self, meter: Arc<Meter>) -> Self {
+        self.meter = meter;
+        self
+    }
+
+    /// Replace the per-proof step budget on an existing context, keeping
+    /// its deadline, token, meter and auto-cancel trigger — the
+    /// admission layer's *downgrade* primitive: an overloaded service
+    /// re-issues a request's context with a tighter budget, so the run
+    /// ends in an honest `BudgetExhausted` instead of holding a slot.
+    /// `u64::MAX` clears the budget (unmetered).
+    #[must_use]
+    pub fn with_step_budget(mut self, steps: u64) -> Self {
+        self.steps = (steps != u64::MAX).then_some(steps);
         self
     }
 
@@ -397,6 +447,21 @@ mod tests {
         assert_eq!(cx.check_after(50), Err(Interrupt::Cancelled));
         // Once tripped, stays tripped.
         assert_eq!(cx.check(), Err(Interrupt::Cancelled));
+    }
+
+    #[test]
+    fn with_meter_shares_a_caller_held_meter() {
+        let meter = Arc::new(Meter::default());
+        let a = ExecCx::unlimited().with_meter(Arc::clone(&meter));
+        let b = ExecCx::with_steps(10).with_meter(Arc::clone(&meter));
+        let _ = a.check_after(7);
+        let _ = b.check_after(5);
+        meter.add_shed();
+        meter.add_downgrade();
+        meter.add_downgrade();
+        assert_eq!(meter.steps(), 12);
+        assert_eq!(meter.sheds(), 1);
+        assert_eq!(meter.downgrades(), 2);
     }
 
     #[test]

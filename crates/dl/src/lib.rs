@@ -91,7 +91,7 @@ pub mod tbox;
 mod test_scenarios;
 
 pub use arena::{Arena, ConceptId};
-pub use cache::{CacheStats, SatCache, SatShards};
+pub use cache::{CacheStats, RestoreReport, SatCache, SatShards, SnapshotError};
 pub use concept::{Concept, RoleExpr};
 pub use exec::{CancelToken, ExecCx, Interrupt, Meter};
 pub use explain::{

@@ -30,7 +30,7 @@
 //! invisible to the DL comparator and need the patterns or the bounded
 //! model finder.
 
-use crate::cache::{CacheStats, SatShards};
+use crate::cache::{CacheStats, RestoreReport, SatShards, SnapshotError};
 use crate::concept::{Concept, RoleExpr};
 use crate::exec::{ExecCx, Interrupt};
 use crate::explain::{
@@ -169,6 +169,28 @@ impl Translation {
     /// its shards.
     pub fn cache_stats(&self) -> CacheStats {
         self.cache.stats()
+    }
+
+    /// The sharded verdict cache itself — for layers above the
+    /// translation (the reasoning service) that meter it directly, e.g.
+    /// to book admission-control sheds and downgrades against its stats.
+    pub fn shards(&self) -> &SatShards {
+        &self.cache
+    }
+
+    /// Serialize the warm verdict cache into the versioned, checksummed
+    /// snapshot format, keyed on this translation's current TBox
+    /// revision — see [`SatShards::snapshot`].
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.cache.snapshot(&self.tbox)
+    }
+
+    /// Install a snapshot taken by [`Translation::snapshot`] into this
+    /// translation's (cold) cache. Corrupt bytes or a snapshot of a
+    /// different/destructively-edited terminology are rejected with the
+    /// cache untouched — see [`SatShards::restore`] for the gates.
+    pub fn restore(&self, bytes: &[u8]) -> Result<RestoreReport, SnapshotError> {
+        self.cache.restore(&self.tbox, bytes)
     }
 
     /// The ORM construct an emitted axiom came from, or `None` for axioms

@@ -66,40 +66,45 @@ pub fn default_threads() -> usize {
 
 /// How a [`fan_out_cx`] battery was actually scheduled.
 ///
-/// `executed + skipped == items.len()` always holds: every index is
-/// either claimed and run by some worker or left behind after an
-/// interrupt. `stolen ≤ executed` counts the executed items that ran on
-/// a worker other than the one whose deque they were seeded into.
+/// `executed + skipped + panicked == items.len()` always holds: every
+/// index is either claimed and run to completion by some worker, left
+/// behind after an interrupt, or claimed but lost to a panic in the
+/// caller's closure. `stolen ≤ executed` counts the executed items that
+/// ran on a worker other than the one whose deque they were seeded into.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SchedStats {
     /// Worker threads the battery actually used (1 = ran inline).
     pub workers: usize,
-    /// Items claimed and executed.
+    /// Items claimed and executed to completion.
     pub executed: u64,
     /// Executed items that were stolen from another worker's deque.
     pub stolen: u64,
     /// Items never claimed because the context was interrupted.
     pub skipped: u64,
+    /// Items whose closure panicked — caught per item, so one poisoned
+    /// item never kills its siblings (see [`Batch::panics`]).
+    pub panicked: u64,
 }
 
 impl SchedStats {
     /// Stable serialized form: one JSON object with fixed key order
-    /// `workers, executed, stolen, skipped`. Consumed by the bench
-    /// harness and CI asserts — extend it, never reorder it.
+    /// `workers, executed, stolen, skipped, panicked`. Consumed by the
+    /// bench harness and CI asserts — extend it, never reorder it.
     ///
     /// ```
     /// use orm_dl::par::SchedStats;
     ///
-    /// let stats = SchedStats { workers: 4, executed: 10, stolen: 3, skipped: 0 };
+    /// let stats =
+    ///     SchedStats { workers: 4, executed: 10, stolen: 3, skipped: 0, panicked: 0 };
     /// assert_eq!(
     ///     stats.to_json(),
-    ///     r#"{"workers":4,"executed":10,"stolen":3,"skipped":0}"#
+    ///     r#"{"workers":4,"executed":10,"stolen":3,"skipped":0,"panicked":0}"#
     /// );
     /// ```
     pub fn to_json(&self) -> String {
         format!(
-            r#"{{"workers":{},"executed":{},"stolen":{},"skipped":{}}}"#,
-            self.workers, self.executed, self.stolen, self.skipped
+            r#"{{"workers":{},"executed":{},"stolen":{},"skipped":{},"panicked":{}}}"#,
+            self.workers, self.executed, self.stolen, self.skipped, self.panicked
         )
     }
 }
@@ -108,29 +113,47 @@ impl std::fmt::Display for SchedStats {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(
             f,
-            "workers {} / executed {} / stolen {} / skipped {}",
-            self.workers, self.executed, self.stolen, self.skipped
+            "workers {} / executed {} / stolen {} / skipped {} / panicked {}",
+            self.workers, self.executed, self.stolen, self.skipped, self.panicked
         )
     }
 }
 
 /// The outcome of a [`fan_out_cx`] battery: per-item results in input
-/// order (`None` for items skipped after an interrupt) plus the
-/// scheduling counters.
+/// order (`None` for items skipped after an interrupt or lost to a
+/// panic) plus the scheduling counters.
 #[derive(Debug)]
 pub struct Batch<R> {
-    /// `results[i]` is `Some` iff item `i` was executed.
+    /// `results[i]` is `Some` iff item `i` was executed to completion.
     pub results: Vec<Option<R>>,
     /// How the battery was scheduled.
     pub stats: SchedStats,
     /// Why items were skipped, if any were — `None` for a complete run.
     pub interrupt: Option<crate::exec::Interrupt>,
+    /// `(index, message)` for every item whose closure panicked, in
+    /// ascending index order. The panic is caught per item
+    /// (`catch_unwind`), so sibling items keep their verdicts; callers
+    /// that must not swallow failures inspect this and re-raise.
+    pub panics: Vec<(usize, String)>,
 }
 
 impl<R> Batch<R> {
     /// Whether every item ran to completion.
     pub fn is_complete(&self) -> bool {
-        self.stats.skipped == 0
+        self.stats.skipped == 0 && self.stats.panicked == 0
+    }
+}
+
+/// Render a caught panic payload for [`Batch::panics`]. The standard
+/// `panic!` macros carry `&str` or `String`; anything else gets a fixed
+/// placeholder rather than a `Debug` dump of an opaque box.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
     }
 }
 
@@ -141,7 +164,11 @@ impl<R> Batch<R> {
 ///
 /// `threads <= 1` (or a battery of at most one item) runs inline on the
 /// calling thread — zero spawn overhead, same per-item interrupt checks.
-/// Worker panics propagate to the caller when the scope joins.
+/// A panic inside `f` is caught **per item** (`catch_unwind`): the
+/// panicking item's slot stays `None`, the payload is recorded in
+/// [`Batch::panics`], and every other item — including the rest of the
+/// panicking worker's stripe — still runs. The battery itself never
+/// unwinds.
 ///
 /// Executed and stolen items are also metered into `cx`'s
 /// [`Meter`](crate::exec::Meter) (as tasks and steals), so nested
@@ -174,21 +201,32 @@ where
     let workers = threads.min(items.len()).max(1);
     if workers <= 1 {
         let mut results: Vec<Option<R>> = Vec::with_capacity(items.len());
+        let mut panics: Vec<(usize, String)> = Vec::new();
         let mut executed = 0u64;
         for (i, item) in items.iter().enumerate() {
             if cx.check().is_err() {
                 break;
             }
-            results.push(Some(f(i, item)));
-            executed += 1;
-            cx.meter().add_task();
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, item))) {
+                Ok(result) => {
+                    results.push(Some(result));
+                    executed += 1;
+                    cx.meter().add_task();
+                }
+                Err(payload) => {
+                    results.push(None);
+                    panics.push((i, panic_message(payload.as_ref())));
+                }
+            }
         }
         results.resize_with(items.len(), || None);
-        let skipped = items.len() as u64 - executed;
+        let panicked = panics.len() as u64;
+        let skipped = items.len() as u64 - executed - panicked;
         return Batch {
             results,
-            stats: SchedStats { workers: 1, executed, stolen: 0, skipped },
+            stats: SchedStats { workers: 1, executed, stolen: 0, skipped, panicked },
             interrupt: if skipped > 0 { cx.check().err() } else { None },
+            panics,
         };
     }
 
@@ -200,12 +238,14 @@ where
     let slots: Vec<Mutex<Option<R>>> = items.iter().map(|_| Mutex::new(None)).collect();
     let executed = AtomicU64::new(0);
     let stolen = AtomicU64::new(0);
+    let panics: Mutex<Vec<(usize, String)>> = Mutex::new(Vec::new());
     std::thread::scope(|scope| {
         for w in 0..workers {
             let queues = &queues;
             let slots = &slots;
             let executed = &executed;
             let stolen = &stolen;
+            let panics = &panics;
             let f = &f;
             scope.spawn(move || loop {
                 if cx.check().is_err() {
@@ -228,20 +268,33 @@ where
                     stolen.fetch_add(1, Ordering::Relaxed);
                     cx.meter().add_steal();
                 }
-                let result = f(i, &items[i]);
-                *slots[i].lock() = Some(result);
-                executed.fetch_add(1, Ordering::Relaxed);
-                cx.meter().add_task();
+                // Catch the panic *outside* any slot lock, so a poisoned
+                // item can neither kill the worker (stranding its stripe)
+                // nor wedge a lock a sibling needs.
+                match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| f(i, &items[i]))) {
+                    Ok(result) => {
+                        *slots[i].lock() = Some(result);
+                        executed.fetch_add(1, Ordering::Relaxed);
+                        cx.meter().add_task();
+                    }
+                    Err(payload) => {
+                        panics.lock().push((i, panic_message(payload.as_ref())));
+                    }
+                }
             });
         }
     });
     let results: Vec<Option<R>> = slots.into_iter().map(Mutex::into_inner).collect();
     let executed = executed.into_inner();
-    let skipped = items.len() as u64 - executed;
+    let mut panics = panics.into_inner();
+    panics.sort_unstable_by_key(|&(i, _)| i);
+    let panicked = panics.len() as u64;
+    let skipped = items.len() as u64 - executed - panicked;
     Batch {
         results,
-        stats: SchedStats { workers, executed, stolen: stolen.into_inner(), skipped },
+        stats: SchedStats { workers, executed, stolen: stolen.into_inner(), skipped, panicked },
         interrupt: if skipped > 0 { cx.check().err() } else { None },
+        panics,
     }
 }
 
@@ -250,14 +303,22 @@ where
 /// the item's index alongside the item.
 ///
 /// Back-compat wrapper over [`fan_out_cx`] under an unlimited context —
-/// nothing can interrupt it, so every slot is guaranteed filled.
+/// nothing can interrupt it, so every slot is guaranteed filled. A panic
+/// inside `f` is re-raised here after the rest of the battery finishes:
+/// this wrapper returns bare `R`s, so it has no honest way to report a
+/// lost slot (context-aware callers use [`fan_out_cx`] and read
+/// [`Batch::panics`] instead).
 pub fn fan_out<T, R, F>(items: &[T], threads: usize, f: F) -> Vec<R>
 where
     T: Sync,
     R: Send,
     F: Fn(usize, &T) -> R + Sync,
 {
-    fan_out_cx(items, threads, &ExecCx::unlimited(), f)
+    let batch = fan_out_cx(items, threads, &ExecCx::unlimited(), f);
+    if let Some((i, message)) = batch.panics.into_iter().next() {
+        panic!("fan_out item {i} panicked: {message}");
+    }
+    batch
         .results
         .into_iter()
         .map(|slot| slot.expect("an unlimited context never skips items"))
@@ -401,6 +462,64 @@ mod tests {
         assert!(batch.is_complete());
         assert_eq!(batch.stats.executed, 32);
         assert!(!cx.is_cancelled());
+    }
+
+    #[test]
+    fn panicking_item_does_not_kill_siblings() {
+        // Regression: one poisoned item among healthy siblings. Before
+        // per-item catch_unwind the panic unwound through the scoped
+        // worker and aborted the whole batch at scope join.
+        let items: Vec<usize> = (0..64).collect();
+        for threads in [1, 4] {
+            let cx = ExecCx::unlimited();
+            let batch = fan_out_cx(&items, threads, &cx, |_, &x| {
+                assert!(x != 13, "poisoned item {x}");
+                x * 2
+            });
+            assert!(!batch.is_complete());
+            assert!(batch.interrupt.is_none(), "a panic is not an interrupt");
+            assert_eq!(batch.stats.panicked, 1);
+            assert_eq!(batch.stats.executed, 63);
+            assert_eq!(batch.stats.skipped, 0);
+            assert_eq!(batch.panics.len(), 1);
+            assert_eq!(batch.panics[0].0, 13);
+            assert!(batch.panics[0].1.contains("poisoned item 13"), "{:?}", batch.panics);
+            assert_eq!(batch.results[13], None);
+            for (i, slot) in batch.results.iter().enumerate() {
+                if i != 13 {
+                    assert_eq!(*slot, Some(i * 2), "sibling {i} lost at {threads} threads");
+                }
+            }
+            // Panicked items are not metered as executed tasks.
+            assert_eq!(cx.meter().tasks(), 63);
+        }
+    }
+
+    #[test]
+    fn many_panics_are_all_isolated_and_ordered() {
+        let items: Vec<usize> = (0..40).collect();
+        let cx = ExecCx::unlimited();
+        let batch = fan_out_cx(&items, 4, &cx, |_, &x| {
+            assert!(x % 10 != 7, "bad {x}");
+            x
+        });
+        assert_eq!(batch.stats.panicked, 4);
+        assert_eq!(batch.stats.executed, 36);
+        let indices: Vec<usize> = batch.panics.iter().map(|&(i, _)| i).collect();
+        assert_eq!(indices, vec![7, 17, 27, 37]);
+    }
+
+    #[test]
+    fn fan_out_repropagates_a_caught_panic() {
+        let items: Vec<usize> = (0..8).collect();
+        let err = std::panic::catch_unwind(|| {
+            fan_out(&items, 2, |_, &x| {
+                assert!(x != 3, "exploding item");
+                x
+            })
+        });
+        let message = panic_message(err.expect_err("panic must propagate").as_ref());
+        assert!(message.contains("exploding item"), "{message}");
     }
 
     #[test]

@@ -480,6 +480,42 @@ impl Witness {
             !closure.edge_violates_disjointness(&acc)
         })
     }
+
+    /// Arena-independent serialization parts: per-node label sets
+    /// resolved to concept trees, plus the edge role labels (already
+    /// global — [`RoleExprId`] encodes `2·name + inverse` with no arena
+    /// involved). The snapshot machinery stores these; the arena itself
+    /// (process-local interning state) never leaves the process.
+    pub(crate) fn snapshot_parts(&self) -> (Vec<Vec<Concept>>, Vec<Vec<RoleExprId>>) {
+        let labels = self
+            .labels
+            .iter()
+            .map(|ids| ids.iter().map(|&id| self.arena.resolve(id)).collect())
+            .collect();
+        (labels, self.edges.clone())
+    }
+
+    /// Rebuild a witness from [`Witness::snapshot_parts`] output: each
+    /// label is re-interned into a fresh arena and the per-node id sets
+    /// re-sorted (interning is content-addressed, so `holds`'s binary
+    /// searches and `confirms_gci`'s id comparisons behave exactly as in
+    /// the original witness).
+    pub(crate) fn from_snapshot_parts(
+        labels: Vec<Vec<Concept>>,
+        edges: Vec<Vec<RoleExprId>>,
+    ) -> Witness {
+        let mut arena = Arena::new();
+        let labels = labels
+            .into_iter()
+            .map(|concepts| {
+                let mut ids: Vec<ConceptId> = concepts.iter().map(|c| arena.intern(c)).collect();
+                ids.sort_unstable();
+                ids.dedup();
+                ids
+            })
+            .collect();
+        Witness { arena, labels, edges }
+    }
 }
 
 /// Internal search verdict: `Unsat` carries the conflict's justification

@@ -456,6 +456,16 @@ impl TBox {
         &self.gcis
     }
 
+    /// The role inclusions `sub ⊑ sup`, in insertion order.
+    pub fn role_inclusion_axioms(&self) -> &[(RoleExpr, RoleExpr)] {
+        &self.role_inclusions
+    }
+
+    /// The disjoint role pairs, in insertion order.
+    pub fn disjoint_role_axioms(&self) -> &[(RoleExpr, RoleExpr)] {
+        &self.disjoint_roles
+    }
+
     /// Number of interned atoms.
     pub fn atom_count(&self) -> usize {
         self.atom_names.len()

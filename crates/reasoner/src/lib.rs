@@ -243,6 +243,24 @@ impl InteractiveSession {
     pub fn cache_stats(&self) -> orm_dl::CacheStats {
         self.translation.cache_stats()
     }
+
+    /// Serialize the session's warm verdict cache into the versioned,
+    /// checksummed snapshot format (see [`orm_dl::SatShards::snapshot`]).
+    /// Persist the bytes beside the schema and hand them to
+    /// [`InteractiveSession::restore`] after a restart to skip the cold
+    /// re-prove.
+    pub fn snapshot(&self) -> Vec<u8> {
+        self.translation.snapshot()
+    }
+
+    /// Install a snapshot taken by [`InteractiveSession::snapshot`] into
+    /// this freshly started session. Corrupt bytes or a snapshot of a
+    /// different terminology are rejected with the cache untouched and
+    /// the session degrades to a cold start — never a panic or a stale
+    /// verdict (see [`orm_dl::SatShards::restore`]).
+    pub fn restore(&self, bytes: &[u8]) -> Result<orm_dl::RestoreReport, orm_dl::SnapshotError> {
+        self.translation.restore(bytes)
+    }
 }
 
 /// A reusable bulk-conformance checker: the schema is certified and its

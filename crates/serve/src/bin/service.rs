@@ -1,0 +1,71 @@
+//! A minimal host for [`orm_serve::ReasonerService`]: serve the paper's
+//! Fig. 1 university schema, answer a satisfiability sweep, and persist
+//! the warm verdict cache across runs.
+//!
+//! ```text
+//! cargo run --release -p orm-serve --bin service -- /tmp/orm-cache.snap
+//! ```
+//!
+//! The first run proves everything cold and writes the snapshot; later
+//! runs restore it and answer from the warm cache (watch `misses` drop
+//! to zero). Delete or corrupt the snapshot file and the service simply
+//! starts cold again — corruption is detected and rejected, never
+//! trusted.
+
+use orm_dl::ExecCx;
+use orm_model::{Schema, SchemaBuilder};
+use orm_serve::{ReasonerService, ServiceConfig};
+
+/// Fig. 1 of the paper, plus a doomed PhD student: Student and Employee
+/// are exclusive, yet PhdStudent must be both.
+fn university() -> Schema {
+    let mut b = SchemaBuilder::new("university");
+    let person = b.entity_type("Person").expect("fresh name");
+    let student = b.entity_type("Student").expect("fresh name");
+    let employee = b.entity_type("Employee").expect("fresh name");
+    let phd = b.entity_type("PhdStudent").expect("fresh name");
+    let course = b.entity_type("Course").expect("fresh name");
+    b.subtype(student, person).expect("valid subtype");
+    b.subtype(employee, person).expect("valid subtype");
+    b.subtype(phd, student).expect("valid subtype");
+    b.subtype(phd, employee).expect("valid subtype");
+    b.exclusive_types([student, employee]).expect("valid exclusion");
+    let enrolls = b.fact_type("Enrolls", student, course).expect("valid fact type");
+    let [enrollee, _] = b.schema().fact_type(enrolls).roles();
+    b.mandatory(enrollee).expect("valid mandatory");
+    b.finish()
+}
+
+fn main() {
+    let snapshot_path = std::env::args().nth(1);
+    let schema = university();
+    let service = ReasonerService::new(&schema, ServiceConfig::default());
+
+    if let Some(path) = snapshot_path.as_deref() {
+        match std::fs::read(path) {
+            Ok(bytes) => match service.restore(&bytes) {
+                Ok(report) => println!(
+                    "restored {} cached verdicts ({} witnesses, {} cores) from {path}",
+                    report.entries, report.witnesses, report.cores
+                ),
+                Err(err) => println!("snapshot rejected ({err}); starting cold"),
+            },
+            Err(_) => println!("no snapshot at {path}; starting cold"),
+        }
+    }
+
+    let cx = ExecCx::unlimited();
+    let verdicts = service.type_sweep(&schema, &cx).expect("admitted: service is idle");
+    for (ty, verdict) in &verdicts {
+        println!("  {:30} {verdict:?}", schema.object_type(*ty).name());
+    }
+    println!("cache: {}", service.stats());
+
+    if let Some(path) = snapshot_path.as_deref() {
+        let blob = service.snapshot();
+        match std::fs::write(path, &blob) {
+            Ok(()) => println!("snapshot ({} bytes) written to {path}", blob.len()),
+            Err(err) => println!("could not write snapshot to {path}: {err}"),
+        }
+    }
+}
