@@ -947,6 +947,199 @@ fn tableau_bench(out_path: &str, budget: u64) {
     );
     println!("  service_stats: {chaos_stats_json}");
 
+    // Saturation battery (PR 10): the graph-saturation model finder — the
+    // third engine — swept over a fault-injected schema whose dooms lie
+    // beyond the DL translation. Records sequential vs fan-out sweep
+    // times, cold extraction vs cache-served replay, tableau agreement on
+    // the shared fragment, external certification of every Sat witness
+    // through `orm_population::check`, and the pinned ring scenarios only
+    // the saturation engine can refute (the tableau's translation drops
+    // the rings). Always at full strength: the saturation engine carries
+    // its own internal caps, so the smoke budget knob does not apply.
+    use orm_dl::{SaturationEngine, SaturationOutcome};
+    let sat_base = generate_clean(&GenConfig::sized(0x5A70, 8));
+    let sat_schema = faults::inject_all(&sat_base, &faults::FaultKind::BEYOND_DL);
+    let sat_cx = orm_dl::ExecCx::unlimited();
+    let sat_translation = translate(&sat_schema);
+    let verdicts_match = |a: &[SaturationOutcome], b: &[SaturationOutcome]| {
+        a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.verdict() == y.verdict())
+    };
+    let mut sat_seq_secs = f64::MAX;
+    let mut sat_cached_secs = f64::MAX;
+    let mut sat_cached_agree = true;
+    let mut seq_type_outcomes: Vec<(orm_model::ObjectTypeId, SaturationOutcome)> = Vec::new();
+    let mut seq_role_outcomes: Vec<(orm_model::RoleId, SaturationOutcome)> = Vec::new();
+    for _ in 0..3 {
+        let cold = SaturationEngine::new(&sat_schema);
+        let t0 = Instant::now();
+        let t_sweep = cold.type_sweep(&sat_cx);
+        let r_sweep = cold.role_sweep(&sat_cx);
+        sat_seq_secs = sat_seq_secs.min(t0.elapsed().as_secs_f64());
+        let t0 = Instant::now();
+        let t_replay = cold.type_sweep(&sat_cx);
+        let r_replay = cold.role_sweep(&sat_cx);
+        sat_cached_secs = sat_cached_secs.min(t0.elapsed().as_secs_f64());
+        let outcomes =
+            |v: &[(orm_model::ObjectTypeId, SaturationOutcome)]| -> Vec<SaturationOutcome> {
+                v.iter().map(|(_, o)| o.clone()).collect()
+            };
+        let role_outcomes =
+            |v: &[(orm_model::RoleId, SaturationOutcome)]| -> Vec<SaturationOutcome> {
+                v.iter().map(|(_, o)| o.clone()).collect()
+            };
+        sat_cached_agree &= verdicts_match(&outcomes(&t_sweep), &outcomes(&t_replay))
+            && verdicts_match(&role_outcomes(&r_sweep), &role_outcomes(&r_replay));
+        seq_type_outcomes = t_sweep;
+        seq_role_outcomes = r_sweep;
+    }
+    let mut sat_par_secs = f64::MAX;
+    let mut sat_par_agree = true;
+    for _ in 0..3 {
+        let par = SaturationEngine::new(&sat_schema);
+        let t0 = Instant::now();
+        let t_batch = par.type_sweep_par(par_threads, &sat_cx);
+        let r_batch = par.role_sweep_par(par_threads, &sat_cx);
+        sat_par_secs = sat_par_secs.min(t0.elapsed().as_secs_f64());
+        sat_par_agree &= t_batch.is_complete()
+            && r_batch.is_complete()
+            && t_batch.results.iter().zip(&seq_type_outcomes).all(|(got, (_, want))| {
+                got.as_ref().is_some_and(|g| g.verdict() == want.verdict())
+            })
+            && r_batch.results.iter().zip(&seq_role_outcomes).all(|(got, (_, want))| {
+                got.as_ref().is_some_and(|g| g.verdict() == want.verdict())
+            });
+    }
+    // Judge the sequential outcomes: tableau agreement on the shared
+    // fragment, external witness certification, coverage closure.
+    let certify_witness = |model: &orm_dl::ModelGraph| -> bool {
+        let mut pop = orm_population::Population::new();
+        for (ty, values) in &model.extents {
+            for v in values {
+                pop.add_instance(*ty, v.clone());
+            }
+        }
+        for (fact, tuples) in &model.facts {
+            for (a, b) in tuples {
+                pop.add_fact(*fact, a.clone(), b.clone());
+            }
+        }
+        orm_population::check(&sat_schema, &pop, orm_population::CheckOptions::default()).is_empty()
+    };
+    let (mut sat_sat, mut sat_unsat, mut sat_unknown, mut sat_beyond) = (0usize, 0, 0, 0);
+    let mut sat_certified = true;
+    let mut sat_tableau_agree = true;
+    for (ty, outcome) in &seq_type_outcomes {
+        match outcome {
+            SaturationOutcome::Sat(model) => {
+                sat_sat += 1;
+                sat_certified &= certify_witness(model);
+                sat_tableau_agree &= sat_translation.type_satisfiable(*ty, explain_budget)
+                    != orm_dl::DlOutcome::Unsat;
+            }
+            SaturationOutcome::Unsat(refutation) => {
+                sat_unsat += 1;
+                if refutation.beyond_dl {
+                    sat_beyond += 1;
+                } else {
+                    sat_tableau_agree &= sat_translation.type_satisfiable(*ty, explain_budget)
+                        != orm_dl::DlOutcome::Sat;
+                }
+            }
+            _ => sat_unknown += 1,
+        }
+    }
+    for (role, outcome) in &seq_role_outcomes {
+        match outcome {
+            SaturationOutcome::Sat(model) => {
+                sat_sat += 1;
+                sat_certified &= certify_witness(model);
+                sat_tableau_agree &= sat_translation.role_satisfiable(*role, explain_budget)
+                    != orm_dl::DlOutcome::Unsat;
+            }
+            SaturationOutcome::Unsat(refutation) => {
+                sat_unsat += 1;
+                if refutation.beyond_dl {
+                    sat_beyond += 1;
+                } else {
+                    sat_tableau_agree &= sat_translation.role_satisfiable(*role, explain_budget)
+                        != orm_dl::DlOutcome::Sat;
+                }
+            }
+            _ => sat_unknown += 1,
+        }
+    }
+    // The pinned ring scenarios: each must be refuted beyond the DL while
+    // the tableau cannot refute the same roles (its translation drops the
+    // ring). Three incompatible-kind combinations plus the
+    // acyclic+mandatory trap.
+    let ring_pin_schemas: Vec<orm_model::Schema> = {
+        use RingKind::*;
+        let mut pins = vec![
+            orm_gen::ring_scenario(&[Acyclic, Symmetric]),
+            orm_gen::ring_scenario(&[Asymmetric, Symmetric]),
+            orm_gen::ring_scenario(&[Antisymmetric, Symmetric, Intransitive]),
+        ];
+        let mut trap = orm_gen::ring_scenario(&[Acyclic]);
+        let r1 = trap.fact_types().next().map(|(_, ft)| ft.first()).expect("one fact");
+        trap.add_constraint(orm_model::Constraint::Mandatory(orm_model::Mandatory {
+            roles: vec![r1],
+        }));
+        pins.push(trap);
+        pins
+    };
+    let mut ring_unsat_beyond_dl = 0usize;
+    for pin_schema in &ring_pin_schemas {
+        let engine = SaturationEngine::new(pin_schema);
+        let pin_translation = translate(pin_schema);
+        let mut ok = !pin_translation.unmapped.is_empty();
+        let mut refuted = false;
+        for (role, _) in pin_schema.roles() {
+            match engine.check_role(role, &sat_cx) {
+                SaturationOutcome::Unsat(refutation) => {
+                    refuted = true;
+                    ok &= refutation.beyond_dl
+                        && pin_translation.role_satisfiable(role, explain_budget)
+                            != orm_dl::DlOutcome::Unsat;
+                }
+                _ => ok = false,
+            }
+        }
+        ring_unsat_beyond_dl += usize::from(ok && refuted);
+    }
+    let sat_elements = seq_type_outcomes.len() + seq_role_outcomes.len();
+    let sat_decided = sat_sat + sat_unsat;
+    let sat_agreement = sat_tableau_agree && sat_par_agree && sat_cached_agree;
+    let sat_coverage_closed = sat_unknown == 0;
+    let saturation_ok = sat_agreement
+        && sat_coverage_closed
+        && sat_certified
+        && sat_beyond >= 1
+        && ring_unsat_beyond_dl >= 3;
+    all_agree &= saturation_ok;
+    let sat_seq_ms = sat_seq_secs * 1e3;
+    let sat_par_ms = sat_par_secs * 1e3;
+    let sat_cached_ms = sat_cached_secs * 1e3;
+    println!(
+        "\nsaturation_battery: {} elements — {} Sat / {} Unsat ({} beyond DL) / {} unknown; \
+         sequential {:.3} ms, fan-out({} threads) {:.3} ms, cache-served replay {:.3} ms; \
+         ring pins beyond the DL: {} of {} (bar 3); \
+         agreement {} / coverage closed {} / witnesses certified {}",
+        sat_elements,
+        sat_sat,
+        sat_unsat,
+        sat_beyond,
+        sat_unknown,
+        sat_seq_ms,
+        par_threads,
+        sat_par_ms,
+        sat_cached_ms,
+        ring_unsat_beyond_dl,
+        ring_pin_schemas.len(),
+        if sat_agreement { "yes" } else { "NO" },
+        if sat_coverage_closed { "yes" } else { "NO" },
+        if sat_certified { "yes" } else { "NO" }
+    );
+
     // The parallel-speedup bar (2× at 4 threads) is only *applicable* on
     // hardware that can actually run 2+ threads at once; on a single-core
     // machine the honest measurement is ≈1× and says nothing about the
@@ -987,6 +1180,9 @@ fn tableau_bench(out_path: &str, budget: u64) {
     let chaos_restores = chaos.restores;
     let chaos_restored = chaos.restored_entries;
     let chaos_post_restore = chaos.post_restore_checked;
+    let chaos_sat_runs = chaos.saturation_runs;
+    let chaos_sat_interrupted = chaos.saturation_interrupted;
+    let chaos_sat_disagreements = chaos.saturation_disagreements;
     let chaos_ms = chaos_secs * 1e3;
     let cold_reprove_ms = cold_reprove_secs * 1e3;
     let warm_restart_ms = warm_restart_secs * 1e3;
@@ -1070,7 +1266,23 @@ fn tableau_bench(out_path: &str, budget: u64) {
          \"warm_restart_met\": {warm_restart_met}, \
          \"warm_misses\": {warm_misses}, \"warm_no_misses\": {warm_no_misses}, \
          \"restart_agrees\": {restart_agrees}, \
+         \"saturation_runs\": {chaos_sat_runs}, \
+         \"saturation_interrupted\": {chaos_sat_interrupted}, \
+         \"saturation_disagreements\": {chaos_sat_disagreements}, \
          \"service_stats\": {chaos_stats_json}}},\n      \
+         \"saturation_battery\": {{\"name\": \"saturation_battery\", \
+         \"elements\": {sat_elements}, \"decided\": {sat_decided}, \
+         \"sat\": {sat_sat}, \"unsat\": {sat_unsat}, \"unknown\": {sat_unknown}, \
+         \"beyond_dl_unsat\": {sat_beyond}, \
+         \"ring_unsat_beyond_dl\": {ring_unsat_beyond_dl}, \
+         \"ring_unsat_beyond_dl_bar\": 3, \
+         \"threads\": {par_threads}, \
+         \"seq_ms\": {sat_seq_ms:.4}, \"par_ms\": {sat_par_ms:.4}, \
+         \"uncached_ms\": {sat_seq_ms:.4}, \"cached_ms\": {sat_cached_ms:.4}, \
+         \"agreement\": {sat_agreement}, \
+         \"coverage_closed\": {sat_coverage_closed}, \
+         \"certified\": {sat_certified}, \
+         \"saturation_ok\": {saturation_ok}}},\n      \
          \"or_heavy_speedup_min\": {or_heavy_min_speedup:.2},\n      \
          \"merge_heavy_trail_gain_min\": {merge_gain_json},\n      \
          \"acceptance_threshold\": 5.0,\n      \

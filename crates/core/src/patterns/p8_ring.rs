@@ -8,11 +8,48 @@
 
 use super::{Check, Trigger};
 use crate::diagnostics::{CheckCode, Finding, Severity};
-use crate::ring::table::{compatible, incompatible_culprit};
+use crate::ring::ctl::{RingCtl, RingInterrupt, Unbounded};
+use crate::ring::table::{compatible_ctl, incompatible_culprit_ctl};
 use orm_model::{ConstraintKind, Element, Schema, SchemaIndex};
 
 /// Pattern 8 check.
 pub struct P8;
+
+/// Interruptible Pattern 8 scan: the compatibility decision and the
+/// minimal-culprit search for every ring-constrained fact type run under
+/// `ctl`, so a service session's budget/deadline/cancellation aborts the
+/// bounded search with an interrupt — never a partial finding list.
+/// [`P8::run`] is this scan with [`Unbounded`].
+pub fn scan_ctl(
+    schema: &Schema,
+    idx: &SchemaIndex,
+    ctl: &mut dyn RingCtl,
+) -> Result<Vec<Finding>, RingInterrupt> {
+    let mut out = Vec::new();
+    for (fact, kinds, cids) in idx.ring_kinds_by_fact(schema) {
+        ctl.on_step(1)?;
+        if compatible_ctl(kinds, ctl)? {
+            continue;
+        }
+        let culprit_kinds = incompatible_culprit_ctl(kinds, ctl)?
+            .expect("incompatible combination has a minimal incompatible subset");
+        let ft = schema.fact_type(fact);
+        out.push(Finding {
+            code: CheckCode::P8,
+            severity: Severity::Unsatisfiable,
+            unsat_roles: vec![ft.first(), ft.second()],
+            joint_unsat_roles: Vec::new(),
+            unsat_types: vec![],
+            culprits: cids.iter().map(|c| Element::Constraint(*c)).collect(),
+            message: format!(
+                "the ring constraints {kinds} on `{}` cannot be satisfied by any \
+                 non-empty relation (incompatible core: {culprit_kinds})",
+                ft.name()
+            ),
+        });
+    }
+    Ok(out)
+}
 
 impl Check for P8 {
     fn code(&self) -> CheckCode {
@@ -24,27 +61,9 @@ impl Check for P8 {
     }
 
     fn run(&self, schema: &Schema, idx: &SchemaIndex, out: &mut Vec<Finding>) {
-        for (fact, kinds, cids) in idx.ring_kinds_by_fact(schema) {
-            if compatible(kinds) {
-                continue;
-            }
-            let culprit_kinds = incompatible_culprit(kinds)
-                .expect("incompatible combination has a minimal incompatible subset");
-            let ft = schema.fact_type(fact);
-            out.push(Finding {
-                code: CheckCode::P8,
-                severity: Severity::Unsatisfiable,
-                unsat_roles: vec![ft.first(), ft.second()],
-                joint_unsat_roles: Vec::new(),
-                unsat_types: vec![],
-                culprits: cids.iter().map(|c| Element::Constraint(*c)).collect(),
-                message: format!(
-                    "the ring constraints {kinds} on `{}` cannot be satisfied by any \
-                     non-empty relation (incompatible core: {culprit_kinds})",
-                    ft.name()
-                ),
-            });
-        }
+        let findings =
+            scan_ctl(schema, idx, &mut Unbounded).expect("Unbounded control never interrupts");
+        out.extend(findings);
     }
 }
 
@@ -122,6 +141,27 @@ mod tests {
         let findings = run(&s);
         assert_eq!(findings.len(), 1);
         assert_eq!(findings[0].culprits.len(), 2);
+    }
+
+    /// A pre-expired control interrupts the scan before any verdict.
+    #[test]
+    fn pre_expired_control_interrupts_without_findings() {
+        use crate::ring::ctl::{RingInterrupt, StepBudget};
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let mut zero = StepBudget::new(0);
+        assert_eq!(scan_ctl(&s, &s.index(), &mut zero), Err(RingInterrupt::BudgetExhausted));
+    }
+
+    /// With budget to spare, the interruptible scan matches the legacy run.
+    #[test]
+    fn budgeted_scan_matches_unbounded_run() {
+        use crate::ring::ctl::StepBudget;
+        let s =
+            ring_schema(&[RingKind::Symmetric, RingKind::Intransitive, RingKind::Antisymmetric]);
+        let mut plenty = StepBudget::new(100_000);
+        let scanned = scan_ctl(&s, &s.index(), &mut plenty).unwrap();
+        assert_eq!(scanned, run(&s));
+        assert!(plenty.remaining() < 100_000, "scan must charge the control");
     }
 
     /// Different fact types do not interfere.

@@ -1,0 +1,104 @@
+//! Cooperative interruption for the bounded ring searches.
+//!
+//! The ring decision procedures ([`super::euler::implies`],
+//! [`super::table::compatible`]) enumerate relations over small domains.
+//! The domains are small, but the enumeration is still a search loop, and
+//! inside a service session nothing may run unbounded: every loop must be
+//! able to stop on a step budget, a cancellation or an expired deadline.
+//!
+//! `orm-core` cannot depend on the execution context of `orm-dl` (the
+//! dependency points the other way), so this module defines the minimal
+//! control surface the searches need — a [`RingCtl`] callback charged once
+//! per examined relation — and lets callers adapt their own context onto
+//! it. The saturation engine in `orm-dl` adapts its `ExecCx`; plain
+//! callers use [`Unbounded`]; tests use [`StepBudget`].
+
+/// Why a ring search stopped early. Mirrors the interrupt vocabulary of
+/// the execution context in `orm-dl` without depending on it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum RingInterrupt {
+    /// The step budget ran out.
+    BudgetExhausted,
+    /// The caller cancelled the search.
+    Cancelled,
+    /// The caller's wall-clock deadline passed.
+    DeadlineExceeded,
+}
+
+/// A cooperative control hook: the search calls [`RingCtl::on_step`] with
+/// the number of units of work it is about to perform; an `Err` aborts the
+/// search with that interrupt (and no verdict).
+pub trait RingCtl {
+    /// Charge `steps` units of work; `Err` stops the search.
+    fn on_step(&mut self, steps: u64) -> Result<(), RingInterrupt>;
+}
+
+/// The no-op control: never interrupts. This is what the legacy
+/// uninterruptible entry points pass.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Unbounded;
+
+impl RingCtl for Unbounded {
+    fn on_step(&mut self, _steps: u64) -> Result<(), RingInterrupt> {
+        Ok(())
+    }
+}
+
+/// A plain step budget: interrupts with [`RingInterrupt::BudgetExhausted`]
+/// once the configured number of steps has been charged. A budget of `0`
+/// interrupts before any work happens — the pre-expired regression case.
+#[derive(Clone, Copy, Debug)]
+pub struct StepBudget {
+    remaining: u64,
+}
+
+impl StepBudget {
+    /// A budget of `steps` units.
+    pub fn new(steps: u64) -> StepBudget {
+        StepBudget { remaining: steps }
+    }
+
+    /// Steps left before the budget interrupts.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+}
+
+impl RingCtl for StepBudget {
+    fn on_step(&mut self, steps: u64) -> Result<(), RingInterrupt> {
+        if self.remaining < steps {
+            self.remaining = 0;
+            return Err(RingInterrupt::BudgetExhausted);
+        }
+        self.remaining -= steps;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unbounded_never_interrupts() {
+        let mut ctl = Unbounded;
+        for _ in 0..1000 {
+            assert_eq!(ctl.on_step(u64::MAX / 2), Ok(()));
+        }
+    }
+
+    #[test]
+    fn step_budget_counts_down_and_trips() {
+        let mut ctl = StepBudget::new(10);
+        assert_eq!(ctl.on_step(4), Ok(()));
+        assert_eq!(ctl.on_step(6), Ok(()));
+        assert_eq!(ctl.remaining(), 0);
+        assert_eq!(ctl.on_step(1), Err(RingInterrupt::BudgetExhausted));
+    }
+
+    #[test]
+    fn zero_budget_is_pre_expired() {
+        let mut ctl = StepBudget::new(0);
+        assert_eq!(ctl.on_step(1), Err(RingInterrupt::BudgetExhausted));
+    }
+}

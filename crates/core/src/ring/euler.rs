@@ -1,6 +1,7 @@
 //! Logical semantics of the six ring constraints and their implication
 //! lattice (the content of the paper's Fig. 12).
 
+use super::ctl::{RingCtl, RingInterrupt, Unbounded};
 use orm_model::{RingKind, RingKinds};
 
 /// A concrete binary relation over a small domain `{0, .., n-1}`, used to
@@ -149,14 +150,28 @@ pub fn implied_closure(kinds: RingKinds) -> RingKinds {
 /// kinds — the counterexamples (e.g. symmetric-irreflexive vs intransitive)
 /// need three elements.
 pub fn implies(premise: RingKinds, conclusion: RingKinds, max_domain: usize) -> bool {
+    implies_ctl(premise, conclusion, max_domain, &mut Unbounded)
+        .expect("Unbounded control never interrupts")
+}
+
+/// Interruptible form of [`implies`]: charges one [`RingCtl`] step per
+/// examined relation and aborts with the control's interrupt instead of a
+/// verdict. `implies` is this with [`Unbounded`].
+pub fn implies_ctl(
+    premise: RingKinds,
+    conclusion: RingKinds,
+    max_domain: usize,
+    ctl: &mut dyn RingCtl,
+) -> Result<bool, RingInterrupt> {
     for n in 1..=max_domain {
         for rel in Relation::enumerate(n) {
+            ctl.on_step(1)?;
             if rel.satisfies_all(premise) && !rel.satisfies_all(conclusion) {
-                return false;
+                return Ok(false);
             }
         }
     }
-    true
+    Ok(true)
 }
 
 #[cfg(test)]
@@ -276,6 +291,23 @@ mod tests {
         assert!(ac.contains(Irreflexive));
         let ans_ir = implied_closure(RingKinds::from_iter([Antisymmetric, Irreflexive]));
         assert!(ans_ir.contains(Asymmetric));
+    }
+
+    #[test]
+    fn implies_ctl_respects_budgets() {
+        use crate::ring::ctl::{RingInterrupt, StepBudget};
+        // A pre-expired budget interrupts before any relation is examined.
+        let mut zero = StepBudget::new(0);
+        assert_eq!(
+            implies_ctl(RingKinds::only(Acyclic), RingKinds::only(Asymmetric), 3, &mut zero),
+            Err(RingInterrupt::BudgetExhausted)
+        );
+        // A generous budget reproduces the unbounded verdict.
+        let mut plenty = StepBudget::new(1_000_000);
+        assert_eq!(
+            implies_ctl(RingKinds::only(Acyclic), RingKinds::only(Asymmetric), 3, &mut plenty),
+            Ok(true)
+        );
     }
 
     #[test]

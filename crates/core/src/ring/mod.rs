@@ -19,8 +19,13 @@
 //! `table::tests` cross-check the two-element verdicts against domains of
 //! size three and four.
 
+pub mod ctl;
 pub mod euler;
 pub mod table;
 
-pub use euler::{implied_closure, implies, Relation};
-pub use table::{all_compatible, compatible, incompatible_culprit, maximal_compatible};
+pub use ctl::{RingCtl, RingInterrupt, StepBudget, Unbounded};
+pub use euler::{implied_closure, implies, implies_ctl, Relation};
+pub use table::{
+    all_compatible, compatible, compatible_ctl, incompatible_culprit, incompatible_culprit_ctl,
+    maximal_compatible,
+};

@@ -10,12 +10,14 @@
 //! Deciding compatibility over two-element domains is complete; see the
 //! module docs of [`crate::ring`].
 
+use super::ctl::{RingCtl, RingInterrupt};
 use super::euler::Relation;
 use orm_model::{RingKind, RingKinds};
 use std::sync::OnceLock;
 
+static LUT: OnceLock<[bool; 64]> = OnceLock::new();
+
 fn lut() -> &'static [bool; 64] {
-    static LUT: OnceLock<[bool; 64]> = OnceLock::new();
     LUT.get_or_init(|| {
         let mut table = [false; 64];
         let relations: Vec<Relation> = Relation::enumerate(2).filter(|r| !r.is_empty()).collect();
@@ -33,6 +35,57 @@ fn lut_index(kinds: RingKinds) -> usize {
 /// Whether a combination of ring kinds admits a non-empty relation.
 pub fn compatible(kinds: RingKinds) -> bool {
     lut()[lut_index(kinds)]
+}
+
+/// Interruptible form of [`compatible`].
+///
+/// Once the process-wide lookup table has been built this costs a single
+/// control step; before that it decides the one queried combination by a
+/// metered scan of the 15 non-empty two-element relations (one step each)
+/// *without* committing to the full 64-entry build, so a tight budget or an
+/// already-expired context interrupts instead of paying the table cost.
+pub fn compatible_ctl(kinds: RingKinds, ctl: &mut dyn RingCtl) -> Result<bool, RingInterrupt> {
+    if let Some(table) = LUT.get() {
+        ctl.on_step(1)?;
+        return Ok(table[lut_index(kinds)]);
+    }
+    for rel in Relation::enumerate(2).filter(|r| !r.is_empty()) {
+        ctl.on_step(1)?;
+        if rel.satisfies_all(kinds) {
+            return Ok(true);
+        }
+    }
+    Ok(false)
+}
+
+/// Interruptible form of [`incompatible_culprit`]: decides each candidate
+/// subset through [`compatible_ctl`], so the search charges the control and
+/// aborts with an interrupt instead of a verdict when the budget runs out.
+pub fn incompatible_culprit_ctl(
+    kinds: RingKinds,
+    ctl: &mut dyn RingCtl,
+) -> Result<Option<RingKinds>, RingInterrupt> {
+    if compatible_ctl(kinds, ctl)? {
+        return Ok(None);
+    }
+    let members: Vec<RingKind> = kinds.iter().collect();
+    let mut subsets: Vec<RingKinds> = (0u32..(1 << members.len()))
+        .map(|mask| {
+            members
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| mask & (1 << i) != 0)
+                .map(|(_, k)| *k)
+                .collect()
+        })
+        .collect();
+    subsets.sort_by_key(|s| s.len());
+    for s in subsets {
+        if !s.is_empty() && !compatible_ctl(s, ctl)? {
+            return Ok(Some(s));
+        }
+    }
+    Ok(None)
 }
 
 /// All compatible combinations (including the empty combination), in subset
@@ -238,6 +291,31 @@ mod tests {
             assert!(compatible(smaller));
         }
         assert!(incompatible_culprit(RingKinds::only(Symmetric)).is_none());
+    }
+
+    #[test]
+    fn ctl_variants_agree_with_unbounded_and_respect_budgets() {
+        use crate::ring::ctl::{RingInterrupt, StepBudget, Unbounded};
+        // Whether the LUT is warm or cold, a pre-expired budget never
+        // produces a verdict.
+        let mut zero = StepBudget::new(0);
+        assert_eq!(
+            compatible_ctl(RingKinds::from_iter([Acyclic, Symmetric]), &mut zero),
+            Err(RingInterrupt::BudgetExhausted)
+        );
+        let mut zero = StepBudget::new(0);
+        assert_eq!(
+            incompatible_culprit_ctl(RingKinds::from_iter([Acyclic, Symmetric]), &mut zero),
+            Err(RingInterrupt::BudgetExhausted)
+        );
+        // With room to run, every subset's verdict matches the LUT path.
+        for kinds in RingKinds::all_subsets() {
+            assert_eq!(compatible_ctl(kinds, &mut Unbounded), Ok(compatible(kinds)));
+            assert_eq!(
+                incompatible_culprit_ctl(kinds, &mut Unbounded),
+                Ok(incompatible_culprit(kinds))
+            );
+        }
     }
 
     #[test]

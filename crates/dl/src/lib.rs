@@ -50,6 +50,14 @@
 //!   [`Translation::classify_par`] and [`Translation::role_sweep_par`]:
 //!   per-worker deques, steal-on-empty, and cooperative cancellation
 //!   between items;
+//! * [`saturation`] — a third engine beside the tableau and the bounded
+//!   model finder: a graph-saturation **model finder**
+//!   ([`SaturationEngine`]) that saturates a small candidate graph to
+//!   fixpoint under ring/value/frequency semantics, verifies every `Sat`
+//!   witness against the population conformance rules, and attributes
+//!   every `Unsat` to refuting [`NonDlOrigin`]s — flagging the verdicts
+//!   the DL translation could not have produced (`beyond_dl`); verdicts
+//!   are memoized in revision-stamped [`SaturationShards`];
 //! * [`orm_to_dl`] — the schema translation, recording an
 //!   [`AxiomOrigin`] per emitted axiom so unsat cores map back to the
 //!   ORM constructs that caused them ([`Translation::explain_unsat`] /
@@ -84,6 +92,7 @@ pub mod exec;
 pub mod explain;
 pub mod orm_to_dl;
 pub mod par;
+pub mod saturation;
 pub mod tableau;
 pub mod tbox;
 
@@ -100,6 +109,10 @@ pub use explain::{
     MusEnumeration, MusFamily, RepairSet, UnsatCore,
 };
 pub use orm_to_dl::{translate, AxiomOrigin, EditSession, Translation};
+pub use saturation::{
+    ModelGraph, NonDlOrigin, Refutation, SaturationCacheStats, SaturationEngine, SaturationOutcome,
+    SaturationShards, SaturationTarget,
+};
 pub use tableau::{
     satisfiable, satisfiable_cx, satisfiable_with_conflict, satisfiable_with_conflict_cx,
     satisfiable_with_witness, satisfiable_with_witness_cx, subsumes, subsumes_cx, DlOutcome,

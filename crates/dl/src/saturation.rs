@@ -1,0 +1,1921 @@
+//! A graph-saturation model finder for the non-DL fragment.
+//!
+//! The DL translation ([`crate::orm_to_dl`]) concedes the same expressivity
+//! gap the paper does (footnote 10): ring constraints, value constraints and
+//! spanning frequency constraints are reported as *unmapped*, so the tableau
+//! can never attribute an unsatisfiability that originates in them. This
+//! module adds a third engine beside the trail tableau and the clone-based
+//! [`crate::classic`] baseline, in the graph-saturation style of Joosten's
+//! model finder (arXiv:1806.09392): grow a small **candidate model graph**
+//! by applying saturation rules until fixpoint, then certify the candidate
+//! against the full ORM population semantics.
+//!
+//! The engine decides a query in one of two sound ways — and reports
+//! *honest ignorance* otherwise:
+//!
+//! * **Unsat** comes only from the doom analysis: a closed set of
+//!   refutation rules (ring-table incompatibility, acyclic-plus-mandatory
+//!   traps, value-cardinality starvation, frequency/uniqueness clashes,
+//!   exclusion/mandatory clashes, subtype cycles, …) plus a propagation
+//!   closure mirroring the paper's §3 propagation. Every refutation carries
+//!   [`NonDlOrigin`] provenance — the `AxiomOrigin`-style attribution for
+//!   constraints living outside the DL fragment — and a
+//!   [`Refutation::beyond_dl`] flag that is `true` exactly when the deciding
+//!   constraints are unmapped in the DL translation.
+//! * **Sat** comes only from a fully constructed and *verified*
+//!   [`ModelGraph`]: the saturation loop seeds the target, discharges
+//!   mandatory/frequency/subset/totality obligations with ring-aware
+//!   partner policies (self-loops, symmetric mates, three-cycles, sinks),
+//!   pads proper subtypes, assigns distinct values from the effective
+//!   value-constraint intersections, and finally re-checks the candidate
+//!   against a faithful mirror of `orm_population::check`. A candidate that
+//!   fails verification is never reported as a verdict.
+//! * Everything else — node caps, round caps, exhausted value domains —
+//!   surfaces as [`SaturationOutcome::BudgetExhausted`], and an interrupted
+//!   run surfaces as `Cancelled`/`DeadlineExceeded`, never as a verdict.
+//!
+//! Execution control threads the PR 8 [`ExecCx`] end to end: the engine
+//! adapts the context onto the `orm_core::ring::ctl` hook, so the reused
+//! ring-table searches, the doom analysis, the saturation loop and the
+//! verifier all charge the same meter and observe the same budget,
+//! deadline and cancellation token. Decided verdicts are cached in
+//! [`SaturationShards`] — sharded, stamped with [`Schema::revision`], and
+//! never populated by interrupted runs — the same stamp discipline as
+//! [`crate::cache::SatShards`].
+
+use crate::exec::{ExecCx, Interrupt, CHECK_INTERVAL};
+use crate::tableau::SearchOutcome;
+use orm_core::effective_value_cardinality;
+use orm_core::ring::ctl::{RingCtl, RingInterrupt};
+use orm_core::ring::euler::implied_closure;
+use orm_core::ring::table::compatible_ctl;
+use orm_model::{
+    Constraint, ConstraintId, FactTypeId, ObjectTypeId, RingKind, RingKinds, RoleId, Schema,
+    SchemaIndex, SetComparisonKind, Value, ValueConstraint,
+};
+use parking_lot::Mutex;
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+/// Node budget for one candidate model. The saturation rules create at most
+/// a handful of structural nodes per fact type (sinks, mates, cycle
+/// triples, padding), so hitting this cap means the schema's obligations
+/// spiral (e.g. large frequency minima) — the engine then answers
+/// `BudgetExhausted` rather than guessing.
+const MAX_NODES: usize = 64;
+
+/// Fixpoint-round budget for one candidate model.
+const MAX_ROUNDS: usize = 48;
+
+// ---------------------------------------------------------------------------
+// ExecCx → RingCtl adapter
+// ---------------------------------------------------------------------------
+
+/// Adapts an [`ExecCx`] onto the `orm-core` ring-control hook: steps are
+/// batched into the shared meter every [`CHECK_INTERVAL`] units, the
+/// cancellation flag is observed on every charge, and the context's
+/// per-proof step budget maps to [`RingInterrupt::BudgetExhausted`].
+struct CxCtl<'a> {
+    cx: &'a ExecCx,
+    budget: Option<u64>,
+    used: u64,
+    pending: u64,
+}
+
+impl<'a> CxCtl<'a> {
+    fn new(cx: &'a ExecCx) -> Self {
+        CxCtl { cx, budget: cx.steps(), used: 0, pending: 0 }
+    }
+
+    fn map(i: Interrupt) -> RingInterrupt {
+        match i {
+            Interrupt::Cancelled => RingInterrupt::Cancelled,
+            Interrupt::DeadlineExceeded => RingInterrupt::DeadlineExceeded,
+        }
+    }
+}
+
+impl RingCtl for CxCtl<'_> {
+    fn on_step(&mut self, steps: u64) -> Result<(), RingInterrupt> {
+        self.used = self.used.saturating_add(steps);
+        self.pending = self.pending.saturating_add(steps);
+        if let Some(budget) = self.budget {
+            if self.used > budget {
+                return Err(RingInterrupt::BudgetExhausted);
+            }
+        }
+        if self.pending >= CHECK_INTERVAL {
+            let flushed = std::mem::take(&mut self.pending);
+            self.cx.check_after(flushed).map_err(Self::map)
+        } else {
+            self.cx.check().map_err(Self::map)
+        }
+    }
+}
+
+fn interrupted(i: RingInterrupt) -> SaturationOutcome {
+    match i {
+        RingInterrupt::BudgetExhausted => SaturationOutcome::BudgetExhausted,
+        RingInterrupt::Cancelled => SaturationOutcome::Cancelled,
+        RingInterrupt::DeadlineExceeded => SaturationOutcome::DeadlineExceeded,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Provenance for refutations outside the DL fragment
+// ---------------------------------------------------------------------------
+
+/// Why the saturation engine refuted a candidate — the `AxiomOrigin`-style
+/// provenance for constraints the DL translation cannot express (and for
+/// the DL-expressible dooms the analysis also closes over, so one verdict
+/// always names its causes).
+#[derive(Clone, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub enum NonDlOrigin {
+    /// A ring constraint contributes to an incompatible kind combination
+    /// (Pattern 8 / Table 1).
+    Ring {
+        /// The contributing ring constraint.
+        constraint: ConstraintId,
+    },
+    /// An acyclic ring constraint traps a mandatory role whose co-player
+    /// cannot escape the player's subtree (Extension 5).
+    RingMandatory {
+        /// The acyclic ring constraint.
+        ring: ConstraintId,
+        /// The trapped mandatory constraint.
+        mandatory: ConstraintId,
+    },
+    /// The effective value-constraint intersection of a type is too small
+    /// (Extensions 1–2: empty, or a single value under an implied-irreflexive
+    /// ring).
+    ValueCardinality {
+        /// The type holding the binding value constraint.
+        ty: ObjectTypeId,
+    },
+    /// A single-role frequency constraint is unsatisfiable on its own
+    /// (inverted bounds).
+    Frequency {
+        /// The offending frequency constraint.
+        constraint: ConstraintId,
+    },
+    /// A spanning (two-role) frequency constraint can never be met: under
+    /// set semantics each whole tuple occurs exactly once, so any spanning
+    /// window other than exactly `1..1` starves or overflows. Spanning
+    /// frequencies are unmapped in the DL translation.
+    SpanningFrequency {
+        /// The spanning frequency constraint.
+        constraint: ConstraintId,
+    },
+    /// A frequency minimum exceeds the partner type's effective value
+    /// cardinality (Pattern 4).
+    FrequencyValue {
+        /// The frequency constraint demanding the partners.
+        frequency: ConstraintId,
+        /// The type whose value constraint starves them.
+        ty: ObjectTypeId,
+    },
+    /// A uniqueness constraint caps a column a frequency minimum wants
+    /// repeated (Pattern 7).
+    UniquenessFrequency {
+        /// The uniqueness constraint.
+        uniqueness: ConstraintId,
+        /// The conflicting frequency constraint.
+        frequency: ConstraintId,
+    },
+    /// An exclusion argument is forced into a mandatory sibling role
+    /// (Pattern 3).
+    ExclusionMandatory {
+        /// The exclusion constraint.
+        exclusion: ConstraintId,
+        /// The mandatory constraint on the super-side role.
+        mandatory: ConstraintId,
+    },
+    /// A subset argument is excluded from its own superset (Pattern 6).
+    SubsetExclusion {
+        /// The subset constraint.
+        subset: ConstraintId,
+        /// The exclusion constraint over the same roles.
+        exclusion: ConstraintId,
+    },
+    /// A set-comparison constraint spans players that may never share
+    /// instances (Extension 4).
+    SetIncompatible {
+        /// The set-comparison constraint.
+        constraint: ConstraintId,
+    },
+    /// Two supertypes of the element are implicitly mutually exclusive
+    /// (Pattern 1).
+    TypeExclusion {
+        /// First supertype.
+        a: ObjectTypeId,
+        /// Second supertype.
+        b: ObjectTypeId,
+    },
+    /// An explicit exclusive-types constraint covers two supertypes of the
+    /// element (Pattern 2).
+    ExclusiveTypes {
+        /// The exclusive-types constraint.
+        constraint: ConstraintId,
+    },
+    /// The type lies on a subtype cycle; ORM's proper-subtype semantics
+    /// (not expressible in the DL) forces its extent empty (Pattern 9).
+    SubtypeCycle {
+        /// A type on the cycle.
+        ty: ObjectTypeId,
+    },
+}
+
+impl NonDlOrigin {
+    /// The constraints this origin points at (empty for implicit clashes).
+    pub fn constraints(&self) -> Vec<ConstraintId> {
+        match self {
+            NonDlOrigin::Ring { constraint }
+            | NonDlOrigin::Frequency { constraint }
+            | NonDlOrigin::SpanningFrequency { constraint }
+            | NonDlOrigin::SetIncompatible { constraint }
+            | NonDlOrigin::ExclusiveTypes { constraint } => vec![*constraint],
+            NonDlOrigin::RingMandatory { ring, mandatory } => vec![*ring, *mandatory],
+            NonDlOrigin::FrequencyValue { frequency, .. } => vec![*frequency],
+            NonDlOrigin::UniquenessFrequency { uniqueness, frequency } => {
+                vec![*uniqueness, *frequency]
+            }
+            NonDlOrigin::ExclusionMandatory { exclusion, mandatory } => {
+                vec![*exclusion, *mandatory]
+            }
+            NonDlOrigin::SubsetExclusion { subset, exclusion } => vec![*subset, *exclusion],
+            NonDlOrigin::ValueCardinality { .. }
+            | NonDlOrigin::TypeExclusion { .. }
+            | NonDlOrigin::SubtypeCycle { .. } => Vec::new(),
+        }
+    }
+
+    /// Whether this origin involves a construct the DL translation reports
+    /// as unmapped (rings, value constraints, spanning frequencies,
+    /// proper-subtype cycle semantics).
+    pub fn beyond_dl(&self) -> bool {
+        matches!(
+            self,
+            NonDlOrigin::Ring { .. }
+                | NonDlOrigin::RingMandatory { .. }
+                | NonDlOrigin::ValueCardinality { .. }
+                | NonDlOrigin::FrequencyValue { .. }
+                | NonDlOrigin::SpanningFrequency { .. }
+                | NonDlOrigin::SubtypeCycle { .. }
+        )
+    }
+}
+
+/// A refuted candidate: which constraints killed it, and whether the
+/// argument needed constructs outside the DL fragment.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Refutation {
+    /// The refuting origins, deduplicated, in deterministic order.
+    pub origins: Vec<NonDlOrigin>,
+    /// `true` when at least one deciding origin is unmapped in the DL
+    /// translation — i.e. the tableau alone could not have produced this
+    /// `Unsat`.
+    pub beyond_dl: bool,
+}
+
+impl Refutation {
+    /// All constraints named by the refutation's origins, deduplicated.
+    pub fn constraints(&self) -> Vec<ConstraintId> {
+        let mut out: Vec<ConstraintId> =
+            self.origins.iter().flat_map(|o| o.constraints()).collect();
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The candidate model
+// ---------------------------------------------------------------------------
+
+/// A concrete finite model produced by saturation: value extents per object
+/// type and value-tuple sets per fact type — deliberately the same shape as
+/// `orm_population::Population`, so tests can certify a witness with the
+/// real conformance checker.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct ModelGraph {
+    /// Extent of each populated object type.
+    pub extents: BTreeMap<ObjectTypeId, BTreeSet<Value>>,
+    /// Tuple set of each populated fact type.
+    pub facts: BTreeMap<FactTypeId, BTreeSet<(Value, Value)>>,
+}
+
+impl ModelGraph {
+    /// The extent of `ty` (empty if unpopulated).
+    pub fn extent(&self, ty: ObjectTypeId) -> impl Iterator<Item = &Value> {
+        self.extents.get(&ty).into_iter().flatten()
+    }
+
+    /// Whether `ty` has at least one instance.
+    pub fn type_populated(&self, ty: ObjectTypeId) -> bool {
+        self.extents.get(&ty).is_some_and(|e| !e.is_empty())
+    }
+
+    /// Whether `role`'s column has at least one entry.
+    pub fn role_populated(&self, schema: &Schema, role: RoleId) -> bool {
+        let fact = schema.role(role).fact_type();
+        self.facts.get(&fact).is_some_and(|t| !t.is_empty())
+    }
+
+    /// Total number of instances across all extents.
+    pub fn instance_count(&self) -> usize {
+        self.extents.values().map(BTreeSet::len).sum()
+    }
+
+    /// Total number of tuples across all fact types.
+    pub fn tuple_count(&self) -> usize {
+        self.facts.values().map(BTreeSet::len).sum()
+    }
+}
+
+/// Outcome of one saturation query.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum SaturationOutcome {
+    /// A verified finite model populating the target.
+    Sat(ModelGraph),
+    /// The target is provably unpopulatable; the refutation names the
+    /// responsible constraints.
+    Unsat(Refutation),
+    /// The engine ran out of budget (steps, nodes, rounds, or value domain)
+    /// before deciding — honest ignorance, never a verdict.
+    BudgetExhausted,
+    /// The context's cancellation token tripped mid-run.
+    Cancelled,
+    /// The context's wall-clock deadline passed mid-run.
+    DeadlineExceeded,
+}
+
+impl SaturationOutcome {
+    /// Collapse to the engine-agnostic [`SearchOutcome`] vocabulary.
+    pub fn verdict(&self) -> SearchOutcome {
+        match self {
+            SaturationOutcome::Sat(_) => SearchOutcome::Sat,
+            SaturationOutcome::Unsat(_) => SearchOutcome::Unsat,
+            SaturationOutcome::BudgetExhausted => SearchOutcome::BudgetExhausted,
+            SaturationOutcome::Cancelled => SearchOutcome::Cancelled,
+            SaturationOutcome::DeadlineExceeded => SearchOutcome::DeadlineExceeded,
+        }
+    }
+
+    /// Whether the outcome is a genuine verdict (`Sat` or `Unsat`).
+    pub fn is_decided(&self) -> bool {
+        matches!(self, SaturationOutcome::Sat(_) | SaturationOutcome::Unsat(_))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Doom analysis (the Unsat side)
+// ---------------------------------------------------------------------------
+
+#[derive(Clone, Debug)]
+struct Doom {
+    origins: Vec<NonDlOrigin>,
+    beyond_dl: bool,
+}
+
+impl Doom {
+    fn new(origins: Vec<NonDlOrigin>) -> Doom {
+        let mut origins = origins;
+        origins.sort();
+        origins.dedup();
+        let beyond_dl = origins.iter().any(NonDlOrigin::beyond_dl);
+        Doom { origins, beyond_dl }
+    }
+
+    fn refutation(&self) -> Refutation {
+        Refutation { origins: self.origins.clone(), beyond_dl: self.beyond_dl }
+    }
+}
+
+#[derive(Debug, Default)]
+struct DoomAnalysis {
+    types: BTreeMap<ObjectTypeId, Doom>,
+    roles: BTreeMap<RoleId, Doom>,
+}
+
+impl DoomAnalysis {
+    fn doom_type(&mut self, ty: ObjectTypeId, doom: Doom) {
+        self.types.entry(ty).or_insert(doom);
+    }
+
+    fn doom_role(&mut self, role: RoleId, doom: Doom) {
+        self.roles.entry(role).or_insert(doom);
+    }
+}
+
+/// Run every seed doom rule, then the propagation closure. Sound: each rule
+/// is an argument that the element's population must be empty in every
+/// conforming population (set semantics, proper subtypes, implicit type
+/// exclusion — the defaults of `orm_population::check`).
+fn analyze(
+    schema: &Schema,
+    idx: &SchemaIndex,
+    ctl: &mut dyn RingCtl,
+) -> Result<DoomAnalysis, RingInterrupt> {
+    let mut doom = DoomAnalysis::default();
+
+    // --- type-level seeds -------------------------------------------------
+    for (ty, _) in schema.object_types() {
+        ctl.on_step(1)?;
+        // Pattern 9: subtype cycles are unsatisfiable under proper-subtype
+        // semantics (sub ⊆ sup both ways forces equality; proper forbids it).
+        if idx.on_subtype_cycle(ty) {
+            doom.doom_type(ty, Doom::new(vec![NonDlOrigin::SubtypeCycle { ty }]));
+            continue;
+        }
+        let closure = idx.supers_refl(ty);
+        // Pattern 1: two supertypes without a common ancestor are implicitly
+        // exclusive, so nothing can inhabit both.
+        let supers: Vec<ObjectTypeId> = closure.iter().copied().collect();
+        'clash: for (i, &a) in supers.iter().enumerate() {
+            for &b in supers.iter().skip(i + 1) {
+                ctl.on_step(1)?;
+                if !idx.may_overlap(a, b) {
+                    doom.doom_type(ty, Doom::new(vec![NonDlOrigin::TypeExclusion { a, b }]));
+                    break 'clash;
+                }
+            }
+        }
+        // Pattern 2: an explicit exclusive-types constraint covering two
+        // supertypes.
+        for (cid, c) in schema.constraints() {
+            if let Constraint::ExclusiveTypes(e) = c {
+                ctl.on_step(1)?;
+                let covered = e.types.iter().filter(|t| closure.contains(t)).count();
+                if covered >= 2 {
+                    doom.doom_type(
+                        ty,
+                        Doom::new(vec![NonDlOrigin::ExclusiveTypes { constraint: cid }]),
+                    );
+                }
+            }
+        }
+        // Extension 1: the effective value-constraint intersection along the
+        // supertype chain admits no value at all.
+        if let Some((0, holder)) = effective_value_cardinality(schema, idx, ty) {
+            doom.doom_type(ty, Doom::new(vec![NonDlOrigin::ValueCardinality { ty: holder }]));
+        }
+    }
+
+    // --- ring-fact seeds --------------------------------------------------
+    for (fact, kinds, cids) in idx.ring_kinds_by_fact(schema) {
+        ctl.on_step(1)?;
+        let ft = schema.fact_type(fact);
+        let (first, second) = (ft.first(), ft.second());
+        // Pattern 8: an incompatible kind combination admits only the empty
+        // relation.
+        if !compatible_ctl(kinds, ctl)? {
+            let origins: Vec<NonDlOrigin> =
+                cids.iter().map(|&constraint| NonDlOrigin::Ring { constraint }).collect();
+            doom.doom_role(first, Doom::new(origins.clone()));
+            doom.doom_role(second, Doom::new(origins));
+        }
+        let closure = implied_closure(kinds);
+        // Extension 2: an (implied-)irreflexive ring needs two distinct
+        // values, but a common ancestor's effective value cardinality caps
+        // both players below that.
+        if closure.contains(RingKind::Irreflexive) {
+            let (p0, p1) = (schema.player(first), schema.player(second));
+            let common: Vec<ObjectTypeId> =
+                idx.supers_refl(p0).intersection(&idx.supers_refl(p1)).copied().collect();
+            for c in common {
+                ctl.on_step(1)?;
+                if let Some((card, holder)) = effective_value_cardinality(schema, idx, c) {
+                    if card < 2 {
+                        let mut origins: Vec<NonDlOrigin> = cids
+                            .iter()
+                            .map(|&constraint| NonDlOrigin::Ring { constraint })
+                            .collect();
+                        origins.push(NonDlOrigin::ValueCardinality { ty: holder });
+                        doom.doom_role(first, Doom::new(origins.clone()));
+                        doom.doom_role(second, Doom::new(origins));
+                        break;
+                    }
+                }
+            }
+        }
+        // Extension 5: an acyclic ring with a mandatory role whose partner
+        // type cannot escape the player's subtree — every instance needs a
+        // successor inside the relation, so some cycle must close.
+        if kinds.contains(RingKind::Acyclic) {
+            let acyclic_cid = cids
+                .iter()
+                .copied()
+                .find(|&c| {
+                    matches!(schema.constraint(c), Some(Constraint::Ring(r)) if r.kinds.contains(RingKind::Acyclic))
+                })
+                .unwrap_or(cids[0]);
+            for role in [first, second] {
+                ctl.on_step(1)?;
+                let co = schema.co_role(role);
+                if let Some(mandatory) = idx.mandatory_on(role) {
+                    if idx.is_subtype_of_or_eq(schema.player(co), schema.player(role)) {
+                        let d = Doom::new(vec![NonDlOrigin::RingMandatory {
+                            ring: acyclic_cid,
+                            mandatory,
+                        }]);
+                        doom.doom_type(schema.player(role), d.clone());
+                        doom.doom_role(first, d.clone());
+                        doom.doom_role(second, d);
+                    }
+                }
+            }
+        }
+    }
+
+    // --- frequency seeds --------------------------------------------------
+    for (cid, f) in &idx.frequencies {
+        ctl.on_step(1)?;
+        let fact = schema.role(f.roles[0]).fact_type();
+        let ft = schema.fact_type(fact);
+        let inverted = f.max.is_some_and(|max| f.min > max);
+        // A spanning minimum above 1 (or inverted bounds) can never be met
+        // under set semantics: each tuple is its own group and occurs
+        // exactly once. Spanning frequencies are unmapped in the DL
+        // translation, so this doom is beyond the tableau's reach.
+        if f.roles.len() == 2 && (inverted || f.min > 1) {
+            let d = Doom::new(vec![NonDlOrigin::SpanningFrequency { constraint: *cid }]);
+            doom.doom_role(ft.first(), d.clone());
+            doom.doom_role(ft.second(), d);
+            continue;
+        }
+        // Inverted bounds on a single role are equally hopeless, but the DL
+        // translation does express them.
+        if inverted {
+            let d = Doom::new(vec![NonDlOrigin::Frequency { constraint: *cid }]);
+            doom.doom_role(ft.first(), d.clone());
+            doom.doom_role(ft.second(), d);
+            continue;
+        }
+        if f.roles.len() == 1 && f.min >= 2 {
+            let role = f.roles[0];
+            // Pattern 7: a uniqueness constraint on the same single role caps
+            // the column at one occurrence per value.
+            if let Some(&ucid) = idx.uniqueness_on(&[role]).first() {
+                let d = Doom::new(vec![NonDlOrigin::UniquenessFrequency {
+                    uniqueness: ucid,
+                    frequency: *cid,
+                }]);
+                doom.doom_role(ft.first(), d.clone());
+                doom.doom_role(ft.second(), d);
+            }
+            // Pattern 4: the partner type cannot supply `min` distinct
+            // values.
+            let co = schema.co_role(role);
+            if let Some((card, holder)) =
+                effective_value_cardinality(schema, idx, schema.player(co))
+            {
+                if card < u64::from(f.min) {
+                    let d = Doom::new(vec![NonDlOrigin::FrequencyValue {
+                        frequency: *cid,
+                        ty: holder,
+                    }]);
+                    doom.doom_role(ft.first(), d.clone());
+                    doom.doom_role(ft.second(), d);
+                }
+            }
+        }
+    }
+
+    // --- set-comparison seeds ---------------------------------------------
+    for (cid, c) in schema.constraints() {
+        let Constraint::SetComparison(sc) = c else { continue };
+        ctl.on_step(1)?;
+        match sc.kind {
+            SetComparisonKind::Exclusion if sc.over_single_roles() => {
+                // Pattern 3: an excluded role whose player is forced (by
+                // subtyping + a mandatory constraint) into the other column.
+                for a in &sc.args {
+                    for b in &sc.args {
+                        let (ra, rb) = (a.roles()[0], b.roles()[0]);
+                        if ra == rb {
+                            continue;
+                        }
+                        if let Some(mandatory) = idx.mandatory_on(rb) {
+                            if idx.is_subtype_of_or_eq(schema.player(ra), schema.player(rb)) {
+                                doom.doom_role(
+                                    ra,
+                                    Doom::new(vec![NonDlOrigin::ExclusionMandatory {
+                                        exclusion: cid,
+                                        mandatory,
+                                    }]),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            SetComparisonKind::Subset | SetComparisonKind::Equality => {
+                // Extension 4: arguments whose positionwise players may never
+                // overlap force the sub side (both sides for equality) empty.
+                let pairs: Vec<(usize, usize)> = match sc.kind {
+                    SetComparisonKind::Subset => vec![(0, 1)],
+                    _ => (0..sc.args.len())
+                        .flat_map(|i| (i + 1..sc.args.len()).map(move |j| (i, j)))
+                        .collect(),
+                };
+                for (i, j) in pairs {
+                    let (a, b) = (&sc.args[i], &sc.args[j]);
+                    let incompatible =
+                        a.roles().iter().zip(b.roles()).any(|(ra, rb)| {
+                            !idx.may_overlap(schema.player(*ra), schema.player(*rb))
+                        });
+                    if incompatible {
+                        let d = Doom::new(vec![NonDlOrigin::SetIncompatible { constraint: cid }]);
+                        for r in a.roles() {
+                            doom.doom_role(*r, d.clone());
+                        }
+                        if sc.kind == SetComparisonKind::Equality {
+                            for r in b.roles() {
+                                doom.doom_role(*r, d.clone());
+                            }
+                        }
+                    }
+                }
+                // Pattern 6: a subset argument excluded from its own
+                // superset.
+                if sc.kind == SetComparisonKind::Subset && sc.over_single_roles() {
+                    let (sub, sup) = (sc.args[0].roles()[0], sc.args[1].roles()[0]);
+                    for (ecid, ec) in schema.constraints() {
+                        if let Constraint::SetComparison(e) = ec {
+                            if e.kind == SetComparisonKind::Exclusion
+                                && e.over_single_roles()
+                                && e.args.iter().any(|s| s.roles()[0] == sub)
+                                && e.args.iter().any(|s| s.roles()[0] == sup)
+                            {
+                                doom.doom_role(
+                                    sub,
+                                    Doom::new(vec![NonDlOrigin::SubsetExclusion {
+                                        subset: cid,
+                                        exclusion: ecid,
+                                    }]),
+                                );
+                            }
+                        }
+                    }
+                }
+            }
+            _ => {}
+        }
+    }
+
+    propagate(schema, idx, &mut doom, ctl)?;
+    Ok(doom)
+}
+
+/// The §3-style propagation closure: dead types kill their subtypes and
+/// roles, dead roles kill co-roles and subset feeders, all-dead mandatory
+/// alternatives kill the player, all-dead subtypes of a totality kill the
+/// supertype.
+fn propagate(
+    schema: &Schema,
+    idx: &SchemaIndex,
+    doom: &mut DoomAnalysis,
+    ctl: &mut dyn RingCtl,
+) -> Result<(), RingInterrupt> {
+    loop {
+        ctl.on_step(1)?;
+        let before = (doom.types.len(), doom.roles.len());
+
+        let dead_types: Vec<(ObjectTypeId, Doom)> =
+            doom.types.iter().map(|(t, d)| (*t, d.clone())).collect();
+        for (t, d) in dead_types {
+            // Subtypes inherit emptiness (their extents are subsets).
+            for sub in idx.subs(t).clone() {
+                doom.doom_type(sub, d.clone());
+            }
+            // Roles played by a dead type stay empty; so do their co-roles.
+            for &r in &idx.roles_of_type[t.index()] {
+                doom.doom_role(r, d.clone());
+            }
+        }
+
+        let dead_roles: Vec<(RoleId, Doom)> =
+            doom.roles.iter().map(|(r, d)| (*r, d.clone())).collect();
+        for (r, d) in &dead_roles {
+            // Tuples populate both columns at once.
+            doom.doom_role(schema.co_role(*r), d.clone());
+        }
+
+        for (_, c) in schema.constraints() {
+            ctl.on_step(1)?;
+            match c {
+                // A mandatory disjunction with every alternative dead kills
+                // the player.
+                Constraint::Mandatory(m)
+                    if m.roles.iter().all(|r| doom.roles.contains_key(r)) =>
+                {
+                    let mut origins = Vec::new();
+                    for r in &m.roles {
+                        origins.extend(doom.roles[r].origins.clone());
+                    }
+                    doom.doom_type(schema.player(m.roles[0]), Doom::new(origins));
+                }
+                // A totality whose subtypes are all dead kills the supertype.
+                Constraint::TotalSubtypes(t)
+                    if !t.subtypes.is_empty()
+                        && t.subtypes.iter().all(|s| doom.types.contains_key(s)) =>
+                {
+                    let mut origins = Vec::new();
+                    for s in &t.subtypes {
+                        origins.extend(doom.types[s].origins.clone());
+                    }
+                    doom.doom_type(t.supertype, Doom::new(origins));
+                }
+                // A subset/equality path into a dead role keeps the feeder
+                // empty too.
+                Constraint::SetComparison(sc) => match sc.kind {
+                    SetComparisonKind::Subset => {
+                        let (sub, sup) = (&sc.args[0], &sc.args[1]);
+                        if sup.roles().iter().any(|r| doom.roles.contains_key(r)) {
+                            let mut origins = Vec::new();
+                            for r in sup.roles() {
+                                if let Some(d) = doom.roles.get(r) {
+                                    origins.extend(d.origins.clone());
+                                }
+                            }
+                            let d = Doom::new(origins);
+                            for r in sub.roles() {
+                                doom.doom_role(*r, d.clone());
+                            }
+                        }
+                    }
+                    SetComparisonKind::Equality => {
+                        if let Some(dead) = sc
+                            .args
+                            .iter()
+                            .find(|a| a.roles().iter().any(|r| doom.roles.contains_key(r)))
+                        {
+                            let mut origins = Vec::new();
+                            for r in dead.roles() {
+                                if let Some(d) = doom.roles.get(r) {
+                                    origins.extend(d.origins.clone());
+                                }
+                            }
+                            let d = Doom::new(origins);
+                            for a in &sc.args {
+                                for r in a.roles() {
+                                    doom.doom_role(*r, d.clone());
+                                }
+                            }
+                        }
+                    }
+                    SetComparisonKind::Exclusion => {}
+                },
+                _ => {}
+            }
+        }
+
+        if (doom.types.len(), doom.roles.len()) == before {
+            return Ok(());
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Candidate construction (the Sat side)
+// ---------------------------------------------------------------------------
+
+/// What a saturation query asks to populate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SaturationTarget {
+    /// Populate an object type.
+    Type(ObjectTypeId),
+    /// Populate a role (hence its whole fact type).
+    Role(RoleId),
+}
+
+/// The in-progress candidate: anonymous nodes with type-label sets, and
+/// node-pair edges per fact type. Values are assigned only once the graph
+/// reaches fixpoint, so label growth never invalidates earlier choices.
+struct Candidate<'a> {
+    schema: &'a Schema,
+    idx: &'a SchemaIndex,
+    labels: Vec<BTreeSet<ObjectTypeId>>,
+    edges: BTreeMap<FactTypeId, BTreeSet<(usize, usize)>>,
+    sinks: HashMap<(FactTypeId, u8), usize>,
+    mates: HashMap<FactTypeId, usize>,
+    cycles: HashMap<FactTypeId, [usize; 3]>,
+    padded: BTreeSet<(ObjectTypeId, ObjectTypeId)>,
+    ring_decl: HashMap<FactTypeId, RingKinds>,
+    ring_clo: HashMap<FactTypeId, RingKinds>,
+    stuck: bool,
+}
+
+impl<'a> Candidate<'a> {
+    fn new(schema: &'a Schema, idx: &'a SchemaIndex) -> Candidate<'a> {
+        let mut ring_decl = HashMap::new();
+        let mut ring_clo = HashMap::new();
+        for (fact, kinds, _) in idx.ring_kinds_by_fact(schema) {
+            ring_decl.insert(fact, kinds);
+            ring_clo.insert(fact, implied_closure(kinds));
+        }
+        Candidate {
+            schema,
+            idx,
+            labels: Vec::new(),
+            edges: BTreeMap::new(),
+            sinks: HashMap::new(),
+            mates: HashMap::new(),
+            cycles: HashMap::new(),
+            padded: BTreeSet::new(),
+            ring_decl,
+            ring_clo,
+            stuck: false,
+        }
+    }
+
+    fn add_node(&mut self, seed: impl IntoIterator<Item = ObjectTypeId>) -> usize {
+        let mut labels = BTreeSet::new();
+        for t in seed {
+            labels.extend(self.idx.supers_refl(t));
+        }
+        self.labels.push(labels);
+        if self.labels.len() > MAX_NODES {
+            self.stuck = true;
+        }
+        self.labels.len() - 1
+    }
+
+    fn extend_labels(&mut self, n: usize, ty: ObjectTypeId) {
+        let closure = self.idx.supers_refl(ty);
+        self.labels[n].extend(closure);
+    }
+
+    fn edge(&mut self, fact: FactTypeId, a: usize, b: usize) {
+        self.edges.entry(fact).or_default().insert((a, b));
+    }
+
+    fn plays(&self, n: usize, role: RoleId) -> bool {
+        let r = self.schema.role(role);
+        let Some(tuples) = self.edges.get(&r.fact_type()) else { return false };
+        tuples.iter().any(|&(a, b)| if r.position() == 0 { a == n } else { b == n })
+    }
+
+    fn fingerprint(&self) -> (usize, usize, usize, usize) {
+        (
+            self.labels.len(),
+            self.labels.iter().map(BTreeSet::len).sum(),
+            self.edges.values().map(BTreeSet::len).sum(),
+            self.padded.len(),
+        )
+    }
+
+    /// The shared structural partner at one position of a fact type,
+    /// created on first use. Only for facts whose partner column carries no
+    /// per-value cap (no single-role uniqueness or frequency maximum).
+    fn sink(&mut self, fact: FactTypeId, position: u8) -> usize {
+        if let Some(&n) = self.sinks.get(&(fact, position)) {
+            return n;
+        }
+        let player = self.schema.player(self.schema.fact_type(fact).role_at(position));
+        let n = self.add_node([player]);
+        self.sinks.insert((fact, position), n);
+        n
+    }
+
+    /// Whether the column of `role` may receive repeated entries without a
+    /// verifier complaint (drives sink sharing vs fresh partners).
+    fn column_capped(&self, role: RoleId) -> bool {
+        !self.idx.uniqueness_on(&[role]).is_empty()
+            || self.idx.frequencies.iter().any(|(_, f)| f.roles.len() == 1 && f.roles[0] == role)
+    }
+
+    /// The symmetric mate of a ring fact, distinct from `not` (so a node is
+    /// never its own partner).
+    fn mate(&mut self, fact: FactTypeId, not: usize) -> usize {
+        if let Some(&m) = self.mates.get(&fact) {
+            if m != not {
+                return m;
+            }
+        }
+        let ft = self.schema.fact_type(fact);
+        let (p0, p1) = (self.schema.player(ft.first()), self.schema.player(ft.second()));
+        let m = self.add_node([p0, p1]);
+        self.mates.insert(fact, m);
+        m
+    }
+
+    /// The three-node directed cycle of a ring fact (for trapped mandatory
+    /// roles on non-acyclic rings), created on first use.
+    fn cycle(&mut self, fact: FactTypeId) -> [usize; 3] {
+        if let Some(&c) = self.cycles.get(&fact) {
+            return c;
+        }
+        let ft = self.schema.fact_type(fact);
+        let (p0, p1) = (self.schema.player(ft.first()), self.schema.player(ft.second()));
+        let c = [self.add_node([p0, p1]), self.add_node([p0, p1]), self.add_node([p0, p1])];
+        self.edge(fact, c[0], c[1]);
+        self.edge(fact, c[1], c[2]);
+        self.edge(fact, c[2], c[0]);
+        self.cycles.insert(fact, c);
+        c
+    }
+
+    /// Make node `n` play `role`, choosing a ring-aware partner policy.
+    fn ensure_plays(
+        &mut self,
+        n: usize,
+        role: RoleId,
+        ctl: &mut dyn RingCtl,
+    ) -> Result<(), RingInterrupt> {
+        ctl.on_step(1)?;
+        if self.stuck || self.plays(n, role) {
+            return Ok(());
+        }
+        let r = self.schema.role(role);
+        let fact = r.fact_type();
+        let pos = r.position();
+        let player = self.schema.player(role);
+        let co = self.schema.co_role(role);
+        let co_player = self.schema.player(co);
+        let clo = self.ring_clo.get(&fact).copied().unwrap_or(RingKinds::EMPTY);
+        let trapped = self.idx.is_subtype_of_or_eq(co_player, player);
+
+        let oriented = |this: &mut Self, a: usize| {
+            if pos == 0 {
+                this.edge(fact, n, a);
+            } else {
+                this.edge(fact, a, n);
+            }
+        };
+
+        if clo.is_empty() {
+            if trapped {
+                // No ring semantics forbid a self-loop, and a partner of the
+                // same subtree would just re-raise the obligation.
+                self.extend_labels(n, co_player);
+                self.edge(fact, n, n);
+            } else if self.column_capped(co) {
+                let partner = self.add_node([co_player]);
+                oriented(self, partner);
+            } else {
+                let partner = self.sink(fact, self.schema.role(co).position());
+                oriented(self, partner);
+            }
+            return Ok(());
+        }
+
+        // Ring fact: the closure decides which shapes stay legal.
+        let self_loop_ok = !clo.contains(RingKind::Irreflexive)
+            && !clo.contains(RingKind::Asymmetric)
+            && !clo.contains(RingKind::Acyclic)
+            && !clo.contains(RingKind::Intransitive);
+        if self_loop_ok {
+            // kinds ⊆ {antisymmetric, symmetric}: a loop satisfies both.
+            self.extend_labels(n, player);
+            self.extend_labels(n, co_player);
+            self.edge(fact, n, n);
+        } else if clo.contains(RingKind::Symmetric) {
+            // Mutual pair with a dedicated mate; legal for the remaining
+            // compatible symmetric combinations (sym+ir, sym+it, …).
+            let m = self.mate(fact, n);
+            self.extend_labels(n, player);
+            self.extend_labels(n, co_player);
+            self.edge(fact, n, m);
+            self.edge(fact, m, n);
+        } else if !trapped {
+            // A one-directional edge to a partner outside the player's
+            // subtree satisfies every non-symmetric kind.
+            if self.column_capped(co) {
+                let partner = self.add_node([co_player]);
+                oriented(self, partner);
+            } else {
+                let partner = self.sink(fact, self.schema.role(co).position());
+                oriented(self, partner);
+            }
+        } else {
+            // Trapped (partner drawn from the player's own subtree) and no
+            // self-loop or mutual pair available. A fresh partner works as
+            // long as nothing forces that partner to play in turn.
+            let forced =
+                self.idx.mandatory_on(role).is_some() || self.idx.mandatory_on(co).is_some();
+            if !forced {
+                let partner = self.add_node([co_player]);
+                oriented(self, partner);
+            } else if clo.contains(RingKind::Acyclic) {
+                // Trapped acyclic mandatory: Extension 5 territory — the
+                // doom analysis normally catches this; a disjunctive variant
+                // that slips through is honestly undecidable here.
+                self.stuck = true;
+            } else {
+                // Forced, non-symmetric, non-acyclic: attach to a shared
+                // three-cycle (legal for ir/ans/as/it).
+                let c = self.cycle(fact);
+                self.extend_labels(n, player);
+                self.extend_labels(n, co_player);
+                if c.contains(&n) {
+                    return Ok(());
+                }
+                if pos == 0 {
+                    self.edge(fact, n, c[0]);
+                } else {
+                    self.edge(fact, c[2], n);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_totality(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        for (_, c) in self.schema.constraints() {
+            let Constraint::TotalSubtypes(t) = c else { continue };
+            ctl.on_step(1)?;
+            if t.subtypes.is_empty() {
+                continue;
+            }
+            for n in 0..self.labels.len() {
+                if self.labels[n].contains(&t.supertype)
+                    && !t.subtypes.iter().any(|s| self.labels[n].contains(s))
+                {
+                    self.extend_labels(n, t.subtypes[0]);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_mandatory(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        for (_, c) in self.schema.constraints() {
+            let Constraint::Mandatory(m) = c else { continue };
+            ctl.on_step(1)?;
+            let player = self.schema.player(m.roles[0]);
+            for n in 0..self.labels.len() {
+                if !self.labels[n].contains(&player) {
+                    continue;
+                }
+                if m.roles.iter().any(|r| self.plays(n, *r)) {
+                    continue;
+                }
+                self.ensure_plays(n, m.roles[0], ctl)?;
+                if self.stuck {
+                    return Ok(());
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_symmetry(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        let facts: Vec<FactTypeId> = self
+            .ring_decl
+            .iter()
+            .filter(|(_, k)| k.contains(RingKind::Symmetric))
+            .map(|(f, _)| *f)
+            .collect();
+        for fact in facts {
+            ctl.on_step(1)?;
+            let Some(tuples) = self.edges.get(&fact) else { continue };
+            let missing: Vec<(usize, usize)> =
+                tuples.iter().filter(|(a, b)| !tuples.contains(&(*b, *a))).copied().collect();
+            let ft = self.schema.fact_type(fact);
+            let (p0, p1) = (self.schema.player(ft.first()), self.schema.player(ft.second()));
+            for (a, b) in missing {
+                self.extend_labels(b, p0);
+                self.extend_labels(a, p1);
+                self.edge(fact, b, a);
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_frequency(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        let frequencies = self.idx.frequencies.clone();
+        for (_, f) in &frequencies {
+            if f.roles.len() != 1 || f.min <= 1 {
+                continue;
+            }
+            ctl.on_step(1)?;
+            let role = f.roles[0];
+            let r = self.schema.role(role);
+            let (fact, pos) = (r.fact_type(), r.position());
+            let co_player = self.schema.player(self.schema.co_role(role));
+            let participants: Vec<usize> =
+                (0..self.labels.len()).filter(|&n| self.plays(n, role)).collect();
+            for n in participants {
+                loop {
+                    ctl.on_step(1)?;
+                    let count = self
+                        .edges
+                        .get(&fact)
+                        .map(|t| {
+                            t.iter()
+                                .filter(|&&(a, b)| if pos == 0 { a == n } else { b == n })
+                                .count()
+                        })
+                        .unwrap_or(0);
+                    if count >= f.min as usize {
+                        break;
+                    }
+                    if self.labels.len() >= MAX_NODES {
+                        self.stuck = true;
+                        return Ok(());
+                    }
+                    let partner = self.add_node([co_player]);
+                    if pos == 0 {
+                        self.edge(fact, n, partner);
+                    } else {
+                        self.edge(fact, partner, n);
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_set_comparisons(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        let constraints: Vec<orm_model::SetComparison> = self
+            .schema
+            .constraints()
+            .filter_map(|(_, c)| match c {
+                Constraint::SetComparison(sc) if sc.kind != SetComparisonKind::Exclusion => {
+                    Some(sc.clone())
+                }
+                _ => None,
+            })
+            .collect();
+        for sc in &constraints {
+            ctl.on_step(1)?;
+            let pairs: Vec<(usize, usize)> = match sc.kind {
+                SetComparisonKind::Subset => vec![(0, 1)],
+                SetComparisonKind::Equality => (0..sc.args.len())
+                    .flat_map(|i| (0..sc.args.len()).filter(move |&j| j != i).map(move |j| (i, j)))
+                    .collect(),
+                SetComparisonKind::Exclusion => Vec::new(),
+            };
+            for (si, ti) in pairs {
+                let (sub, sup) = (&sc.args[si], &sc.args[ti]);
+                if sub.is_single() {
+                    let (ra, rb) = (sub.roles()[0], sup.roles()[0]);
+                    let pb = self.schema.player(rb);
+                    for n in 0..self.labels.len() {
+                        if self.plays(n, ra) && !self.plays(n, rb) {
+                            self.extend_labels(n, pb);
+                            self.ensure_plays(n, rb, ctl)?;
+                            if self.stuck {
+                                return Ok(());
+                            }
+                        }
+                    }
+                } else {
+                    // Whole-predicate inclusion: copy each oriented tuple.
+                    let read = |this: &Self, seq: &orm_model::RoleSeq| -> Vec<(usize, usize)> {
+                        let first = this.schema.role(seq.roles()[0]);
+                        let tuples = this.edges.get(&first.fact_type());
+                        tuples
+                            .into_iter()
+                            .flatten()
+                            .map(|&(a, b)| if first.position() == 0 { (a, b) } else { (b, a) })
+                            .collect()
+                    };
+                    let have: BTreeSet<(usize, usize)> = read(self, sup).into_iter().collect();
+                    let want: Vec<(usize, usize)> =
+                        read(self, sub).into_iter().filter(|t| !have.contains(t)).collect();
+                    let first = self.schema.role(sup.roles()[0]);
+                    let (fact, pos) = (first.fact_type(), first.position());
+                    let (q0, q1) =
+                        (self.schema.player(sup.roles()[0]), self.schema.player(sup.roles()[1]));
+                    for (x, y) in want {
+                        ctl.on_step(1)?;
+                        self.extend_labels(x, q0);
+                        self.extend_labels(y, q1);
+                        if pos == 0 {
+                            self.edge(fact, x, y);
+                        } else {
+                            self.edge(fact, y, x);
+                        }
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    fn apply_padding(&mut self, ctl: &mut dyn RingCtl) -> Result<(), RingInterrupt> {
+        let links: Vec<(ObjectTypeId, ObjectTypeId)> =
+            self.schema.subtype_links().map(|l| (l.sub, l.sup)).collect();
+        for (sub, sup) in links {
+            ctl.on_step(1)?;
+            if self.padded.contains(&(sub, sup)) {
+                continue;
+            }
+            let sub_nodes: BTreeSet<usize> =
+                (0..self.labels.len()).filter(|&n| self.labels[n].contains(&sub)).collect();
+            let sup_nodes: BTreeSet<usize> =
+                (0..self.labels.len()).filter(|&n| self.labels[n].contains(&sup)).collect();
+            if !sub_nodes.is_empty() && sub_nodes == sup_nodes {
+                // Proper-subtype semantics needs a supertype-only witness.
+                self.add_node([sup]);
+                self.padded.insert((sub, sup));
+            }
+        }
+        Ok(())
+    }
+
+    /// Assign one distinct value per node: drawn from the effective
+    /// value-constraint intersection of its labels when one exists, synthetic
+    /// otherwise. Returns `None` when a value domain is exhausted.
+    fn assign_values(&self) -> Option<ModelGraph> {
+        let mut used: BTreeSet<Value> = BTreeSet::new();
+        let mut values: Vec<Value> = Vec::with_capacity(self.labels.len());
+        for (i, labels) in self.labels.iter().enumerate() {
+            let mut merged: Option<ValueConstraint> = None;
+            for t in labels {
+                if let Some(vc) = self.schema.object_type(*t).value_constraint() {
+                    merged = Some(match merged {
+                        None => vc.clone(),
+                        Some(acc) => acc.intersect(vc),
+                    });
+                }
+            }
+            let value = match merged {
+                Some(vc) => vc.iter_values().find(|v| !used.contains(v))?,
+                None => Value::str(format!("~e{i}")),
+            };
+            used.insert(value.clone());
+            values.push(value);
+        }
+        let mut graph = ModelGraph::default();
+        for (n, labels) in self.labels.iter().enumerate() {
+            for t in labels {
+                graph.extents.entry(*t).or_default().insert(values[n].clone());
+            }
+        }
+        for (fact, tuples) in &self.edges {
+            let entry = graph.facts.entry(*fact).or_default();
+            for &(a, b) in tuples {
+                entry.insert((values[a].clone(), values[b].clone()));
+            }
+        }
+        Some(graph)
+    }
+
+    /// Run the saturation loop to fixpoint and hand back the valued graph.
+    fn saturate(&mut self, ctl: &mut dyn RingCtl) -> Result<Option<ModelGraph>, RingInterrupt> {
+        for _round in 0..MAX_ROUNDS {
+            ctl.on_step(1)?;
+            let before = self.fingerprint();
+            self.apply_totality(ctl)?;
+            self.apply_mandatory(ctl)?;
+            self.apply_symmetry(ctl)?;
+            self.apply_frequency(ctl)?;
+            self.apply_set_comparisons(ctl)?;
+            self.apply_padding(ctl)?;
+            if self.stuck {
+                return Ok(None);
+            }
+            if self.fingerprint() == before {
+                return Ok(self.assign_values());
+            }
+        }
+        Ok(None)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Verification — an independent mirror of the population conformance rules
+// ---------------------------------------------------------------------------
+
+fn column<'g>(
+    graph: &'g ModelGraph,
+    schema: &Schema,
+    role: RoleId,
+) -> impl Iterator<Item = &'g Value> + 'g {
+    let r = schema.role(role);
+    let pos = r.position();
+    graph
+        .facts
+        .get(&r.fact_type())
+        .into_iter()
+        .flatten()
+        .map(move |(a, b)| if pos == 0 { a } else { b })
+}
+
+fn oriented<'g>(
+    graph: &'g ModelGraph,
+    schema: &Schema,
+    seq: &orm_model::RoleSeq,
+) -> BTreeSet<(&'g Value, &'g Value)> {
+    let first = schema.role(seq.roles()[0]);
+    graph
+        .facts
+        .get(&first.fact_type())
+        .into_iter()
+        .flatten()
+        .map(|(a, b)| if first.position() == 0 { (a, b) } else { (b, a) })
+        .collect()
+}
+
+fn tuples_satisfy_ring(tuples: &BTreeSet<(Value, Value)>, kind: RingKind) -> bool {
+    let holds = |x: &Value, y: &Value| tuples.contains(&(x.clone(), y.clone()));
+    let nodes: BTreeSet<&Value> = tuples.iter().flat_map(|(a, b)| [a, b]).collect();
+    match kind {
+        RingKind::Irreflexive => tuples.iter().all(|(a, b)| a != b),
+        RingKind::Antisymmetric => tuples.iter().all(|(a, b)| a == b || !holds(b, a)),
+        RingKind::Asymmetric => tuples.iter().all(|(a, b)| !holds(b, a)),
+        RingKind::Symmetric => tuples.iter().all(|(a, b)| holds(b, a)),
+        RingKind::Intransitive => {
+            tuples.iter().all(|(a, b)| nodes.iter().all(|c| !(holds(b, c) && holds(a, c))))
+        }
+        RingKind::Acyclic => {
+            // Iterative DFS with an explicit on-stack set.
+            let mut done: BTreeSet<&Value> = BTreeSet::new();
+            for start in &nodes {
+                if done.contains(*start) {
+                    continue;
+                }
+                let mut stack: Vec<(&Value, Vec<&Value>)> = vec![(
+                    start,
+                    tuples.iter().filter(|(a, _)| a == *start).map(|(_, b)| b).collect(),
+                )];
+                let mut on_path: BTreeSet<&Value> = BTreeSet::new();
+                on_path.insert(start);
+                while let Some((node, succs)) = stack.last_mut() {
+                    match succs.pop() {
+                        Some(next) => {
+                            if on_path.contains(next) {
+                                return false;
+                            }
+                            if done.contains(next) {
+                                continue;
+                            }
+                            on_path.insert(next);
+                            let next_succs =
+                                tuples.iter().filter(|(a, _)| a == next).map(|(_, b)| b).collect();
+                            stack.push((next, next_succs));
+                        }
+                        None => {
+                            on_path.remove(*node);
+                            done.insert(node);
+                            stack.pop();
+                        }
+                    }
+                }
+            }
+            true
+        }
+    }
+}
+
+/// Check a candidate graph against the full population conformance rules
+/// (set semantics, proper subtypes, implicit type exclusion — the defaults
+/// of the population checker). Returns `Ok(false)` on any violation; the
+/// engine treats that as "no verdict", never as `Unsat`.
+fn verify(
+    graph: &ModelGraph,
+    schema: &Schema,
+    idx: &SchemaIndex,
+    ctl: &mut dyn RingCtl,
+) -> Result<bool, RingInterrupt> {
+    // Fact conformity: tuple entries instance their role players.
+    for (fact, tuples) in &graph.facts {
+        ctl.on_step(1)?;
+        let ft = schema.fact_type(*fact);
+        let (p0, p1) = (schema.player(ft.first()), schema.player(ft.second()));
+        for (a, b) in tuples {
+            if !graph.extents.get(&p0).is_some_and(|e| e.contains(a))
+                || !graph.extents.get(&p1).is_some_and(|e| e.contains(b))
+            {
+                return Ok(false);
+            }
+        }
+    }
+    // Own value constraints.
+    for (ty, extent) in &graph.extents {
+        ctl.on_step(1)?;
+        if let Some(vc) = schema.object_type(*ty).value_constraint() {
+            if extent.iter().any(|v| !vc.admits(v)) {
+                return Ok(false);
+            }
+        }
+    }
+    // Subtyping (proper) and implicit type exclusion.
+    let extent_of = |t: ObjectTypeId| graph.extents.get(&t).cloned().unwrap_or_default();
+    for link in schema.subtype_links() {
+        ctl.on_step(1)?;
+        let (sub, sup) = (extent_of(link.sub), extent_of(link.sup));
+        if !sub.is_subset(&sup) {
+            return Ok(false);
+        }
+        if !sub.is_empty() && sub == sup {
+            return Ok(false);
+        }
+    }
+    let types: Vec<ObjectTypeId> = graph.extents.keys().copied().collect();
+    for (i, a) in types.iter().enumerate() {
+        for b in &types[i + 1..] {
+            ctl.on_step(1)?;
+            if !idx.may_overlap(*a, *b) && extent_of(*a).intersection(&extent_of(*b)).count() > 0 {
+                return Ok(false);
+            }
+        }
+    }
+    // Explicit constraints.
+    for (_, c) in schema.constraints() {
+        ctl.on_step(1)?;
+        match c {
+            Constraint::Mandatory(m) => {
+                let player = schema.player(m.roles[0]);
+                for v in graph.extent(player) {
+                    let covered = m.roles.iter().any(|r| column(graph, schema, *r).any(|x| x == v));
+                    if !covered {
+                        return Ok(false);
+                    }
+                }
+            }
+            Constraint::Uniqueness(u) => {
+                if u.roles.len() == 1 {
+                    let values: Vec<&Value> = column(graph, schema, u.roles[0]).collect();
+                    let distinct: BTreeSet<&Value> = values.iter().copied().collect();
+                    if values.len() != distinct.len() {
+                        return Ok(false);
+                    }
+                }
+                // A spanning uniqueness is tuple-level identity — free under
+                // set semantics.
+            }
+            Constraint::Frequency(f) => {
+                if f.roles.len() == 1 {
+                    let values: Vec<&Value> = column(graph, schema, f.roles[0]).collect();
+                    let distinct: BTreeSet<&Value> = values.iter().copied().collect();
+                    for v in distinct {
+                        let count = values.iter().filter(|x| **x == v).count() as u32;
+                        if count < f.min || f.max.is_some_and(|m| count > m) {
+                            return Ok(false);
+                        }
+                    }
+                } else {
+                    // Spanning frequency: each tuple is its own group of 1.
+                    let fact = schema.role(f.roles[0]).fact_type();
+                    let populated = graph.facts.get(&fact).is_some_and(|t| !t.is_empty());
+                    if populated && (f.min > 1 || f.max == Some(0)) {
+                        return Ok(false);
+                    }
+                }
+            }
+            Constraint::SetComparison(sc) => {
+                let sets: Vec<BTreeSet<(&Value, &Value)>> = if sc.over_single_roles() {
+                    sc.args
+                        .iter()
+                        .map(|seq| column(graph, schema, seq.roles()[0]).map(|v| (v, v)).collect())
+                        .collect()
+                } else {
+                    sc.args.iter().map(|seq| oriented(graph, schema, seq)).collect()
+                };
+                match sc.kind {
+                    SetComparisonKind::Subset => {
+                        if !sets[0].is_subset(&sets[1]) {
+                            return Ok(false);
+                        }
+                    }
+                    SetComparisonKind::Equality => {
+                        if sets.windows(2).any(|w| w[0] != w[1]) {
+                            return Ok(false);
+                        }
+                    }
+                    SetComparisonKind::Exclusion => {
+                        for (i, a) in sets.iter().enumerate() {
+                            for b in &sets[i + 1..] {
+                                if a.intersection(b).count() > 0 {
+                                    return Ok(false);
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+            Constraint::ExclusiveTypes(e) => {
+                for (i, a) in e.types.iter().enumerate() {
+                    for b in &e.types[i + 1..] {
+                        if extent_of(*a).intersection(&extent_of(*b)).count() > 0 {
+                            return Ok(false);
+                        }
+                    }
+                }
+            }
+            Constraint::TotalSubtypes(t) => {
+                let mut union: BTreeSet<Value> = BTreeSet::new();
+                for s in &t.subtypes {
+                    union.extend(extent_of(*s));
+                }
+                if !extent_of(t.supertype).is_subset(&union) {
+                    return Ok(false);
+                }
+            }
+            Constraint::Ring(r) => {
+                let Some(tuples) = graph.facts.get(&r.fact_type) else { continue };
+                for kind in r.kinds.iter() {
+                    ctl.on_step(1)?;
+                    if !tuples_satisfy_ring(tuples, kind) {
+                        return Ok(false);
+                    }
+                }
+            }
+        }
+    }
+    Ok(true)
+}
+
+// ---------------------------------------------------------------------------
+// Verdict cache — sharded, stamped on the schema revision
+// ---------------------------------------------------------------------------
+
+const SHARD_COUNT: usize = 8;
+
+#[derive(Clone)]
+enum Decided {
+    Sat(ModelGraph),
+    Unsat(Refutation),
+}
+
+/// Cache counters, mirroring the tableau cache's vocabulary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SaturationCacheStats {
+    /// Queries answered from a shard.
+    pub hits: u64,
+    /// Queries that had to run the engine.
+    pub misses: u64,
+    /// Whole-cache clears forced by a schema-revision change.
+    pub invalidations: u64,
+}
+
+/// Sharded verdict cache for saturation queries, keyed on
+/// [`SaturationTarget`] and stamped with the schema revision: a query
+/// against a different revision clears every shard before probing, so a
+/// stale verdict can never leak across schema edits. Only genuine verdicts
+/// are stored — interrupted or unknown runs record nothing.
+pub struct SaturationShards {
+    shards: [Mutex<HashMap<SaturationTarget, Decided>>; SHARD_COUNT],
+    stamp: Mutex<Option<u64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    invalidations: AtomicU64,
+}
+
+impl Default for SaturationShards {
+    fn default() -> Self {
+        SaturationShards {
+            shards: std::array::from_fn(|_| Mutex::new(HashMap::new())),
+            stamp: Mutex::new(None),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            invalidations: AtomicU64::new(0),
+        }
+    }
+}
+
+impl SaturationShards {
+    /// An empty cache.
+    pub fn new() -> SaturationShards {
+        SaturationShards::default()
+    }
+
+    fn shard(&self, target: SaturationTarget) -> &Mutex<HashMap<SaturationTarget, Decided>> {
+        let slot = match target {
+            SaturationTarget::Type(t) => t.index(),
+            SaturationTarget::Role(r) => r.index().wrapping_add(0x9e37),
+        };
+        &self.shards[slot % SHARD_COUNT]
+    }
+
+    /// Align the cache with a schema revision, clearing all shards when the
+    /// stamp moved.
+    fn validate(&self, revision: u64) {
+        let mut stamp = self.stamp.lock();
+        if *stamp == Some(revision) {
+            return;
+        }
+        if stamp.is_some() {
+            self.invalidations.fetch_add(1, Ordering::Relaxed);
+        }
+        for shard in &self.shards {
+            shard.lock().clear();
+        }
+        *stamp = Some(revision);
+    }
+
+    fn probe(&self, target: SaturationTarget) -> Option<Decided> {
+        let found = self.shard(target).lock().get(&target).cloned();
+        match &found {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        found
+    }
+
+    fn record(&self, target: SaturationTarget, decided: Decided) {
+        self.shard(target).lock().insert(target, decided);
+    }
+
+    /// Current counters.
+    pub fn stats(&self) -> SaturationCacheStats {
+        SaturationCacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            invalidations: self.invalidations.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The engine
+// ---------------------------------------------------------------------------
+
+/// The graph-saturation model finder.
+///
+/// Construction is cheap; the doom analysis runs lazily on the first query
+/// and is shared by every later one (including parallel sweeps — the engine
+/// is `Sync`). See the module docs for the soundness contract.
+pub struct SaturationEngine<'s> {
+    schema: &'s Schema,
+    idx: SchemaIndex,
+    doom: OnceLock<DoomAnalysis>,
+    cache: Arc<SaturationShards>,
+}
+
+impl<'s> SaturationEngine<'s> {
+    /// An engine with a private cache.
+    pub fn new(schema: &'s Schema) -> SaturationEngine<'s> {
+        SaturationEngine::with_cache(schema, Arc::new(SaturationShards::new()))
+    }
+
+    /// An engine sharing `cache` with other engines (the shards re-validate
+    /// against this schema's revision on first use).
+    pub fn with_cache(schema: &'s Schema, cache: Arc<SaturationShards>) -> SaturationEngine<'s> {
+        SaturationEngine { schema, idx: schema.index(), doom: OnceLock::new(), cache }
+    }
+
+    /// The schema index the engine operates on.
+    pub fn index(&self) -> &SchemaIndex {
+        &self.idx
+    }
+
+    /// Cache counters of the underlying shards.
+    pub fn cache_stats(&self) -> SaturationCacheStats {
+        self.cache.stats()
+    }
+
+    /// Decide whether `target` can be populated, under `cx` control.
+    pub fn check(&self, target: SaturationTarget, cx: &ExecCx) -> SaturationOutcome {
+        // An expired or cancelled context returns its interrupt before the
+        // cache is even probed: interrupted runs never produce a verdict.
+        if let Err(i) = cx.check() {
+            return match i {
+                Interrupt::Cancelled => SaturationOutcome::Cancelled,
+                Interrupt::DeadlineExceeded => SaturationOutcome::DeadlineExceeded,
+            };
+        }
+        self.cache.validate(self.schema.revision());
+        if let Some(decided) = self.cache.probe(target) {
+            return match decided {
+                Decided::Sat(graph) => SaturationOutcome::Sat(graph),
+                Decided::Unsat(refutation) => SaturationOutcome::Unsat(refutation),
+            };
+        }
+        let mut ctl = CxCtl::new(cx);
+        let doom = if let Some(d) = self.doom.get() {
+            d
+        } else {
+            match analyze(self.schema, &self.idx, &mut ctl) {
+                Ok(d) => self.doom.get_or_init(|| d),
+                Err(i) => return interrupted(i),
+            }
+        };
+        let doomed = match target {
+            SaturationTarget::Type(t) => doom.types.get(&t),
+            SaturationTarget::Role(r) => doom.roles.get(&r),
+        };
+        if let Some(d) = doomed {
+            let refutation = d.refutation();
+            self.cache.record(target, Decided::Unsat(refutation.clone()));
+            cx.note_proof();
+            return SaturationOutcome::Unsat(refutation);
+        }
+        let mut candidate = Candidate::new(self.schema, &self.idx);
+        match target {
+            SaturationTarget::Type(t) => {
+                candidate.add_node([t]);
+            }
+            SaturationTarget::Role(r) => {
+                let n = candidate.add_node([self.schema.player(r)]);
+                if let Err(i) = candidate.ensure_plays(n, r, &mut ctl) {
+                    return interrupted(i);
+                }
+            }
+        }
+        match candidate.saturate(&mut ctl) {
+            Err(i) => interrupted(i),
+            Ok(None) => SaturationOutcome::BudgetExhausted,
+            Ok(Some(graph)) => match verify(&graph, self.schema, &self.idx, &mut ctl) {
+                Err(i) => interrupted(i),
+                // A candidate that fails its own verification is no verdict
+                // at all: Sat needs a certified witness, Unsat a refutation.
+                Ok(false) => SaturationOutcome::BudgetExhausted,
+                Ok(true) => {
+                    self.cache.record(target, Decided::Sat(graph.clone()));
+                    cx.note_proof();
+                    SaturationOutcome::Sat(graph)
+                }
+            },
+        }
+    }
+
+    /// [`check`](Self::check) for an object type.
+    pub fn check_type(&self, ty: ObjectTypeId, cx: &ExecCx) -> SaturationOutcome {
+        self.check(SaturationTarget::Type(ty), cx)
+    }
+
+    /// [`check`](Self::check) for a role.
+    pub fn check_role(&self, role: RoleId, cx: &ExecCx) -> SaturationOutcome {
+        self.check(SaturationTarget::Role(role), cx)
+    }
+
+    /// Sequentially decide every object type.
+    pub fn type_sweep(&self, cx: &ExecCx) -> Vec<(ObjectTypeId, SaturationOutcome)> {
+        self.schema.object_types().map(|(id, _)| (id, self.check_type(id, cx))).collect()
+    }
+
+    /// Sequentially decide every role.
+    pub fn role_sweep(&self, cx: &ExecCx) -> Vec<(RoleId, SaturationOutcome)> {
+        self.schema.roles().map(|(id, _)| (id, self.check_role(id, cx))).collect()
+    }
+
+    /// Decide every object type on a work-stealing fan-out under `cx`.
+    pub fn type_sweep_par(
+        &self,
+        threads: usize,
+        cx: &ExecCx,
+    ) -> crate::par::Batch<SaturationOutcome> {
+        let ids: Vec<ObjectTypeId> = self.schema.object_types().map(|(id, _)| id).collect();
+        crate::par::fan_out_cx(&ids, threads, cx, |_, id| self.check_type(*id, cx))
+    }
+
+    /// Decide every role on a work-stealing fan-out under `cx`.
+    pub fn role_sweep_par(
+        &self,
+        threads: usize,
+        cx: &ExecCx,
+    ) -> crate::par::Batch<SaturationOutcome> {
+        let ids: Vec<RoleId> = self.schema.roles().map(|(id, _)| id).collect();
+        crate::par::fan_out_cx(&ids, threads, cx, |_, id| self.check_role(*id, cx))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use orm_model::{RingKind, SchemaBuilder};
+    use std::time::Duration;
+
+    fn ring_schema(kinds: &[RingKind]) -> Schema {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("Woman").unwrap();
+        let f = b
+            .fact_type_full("sister_of", (w, Some("r1")), (w, Some("r2")), Some("is sister of"))
+            .unwrap();
+        b.ring(f, kinds.iter().copied()).unwrap();
+        b.finish()
+    }
+
+    fn first_role(schema: &Schema) -> RoleId {
+        schema.roles().next().unwrap().0
+    }
+
+    #[test]
+    fn pre_cancelled_context_interrupts_before_any_verdict() {
+        let s = ring_schema(&[RingKind::Irreflexive]);
+        let engine = SaturationEngine::new(&s);
+        let cx = ExecCx::unlimited();
+        cx.cancel();
+        let out = engine.check_role(first_role(&s), &cx);
+        assert!(matches!(out, SaturationOutcome::Cancelled), "{out:?}");
+        // Nothing was probed, nothing recorded.
+        assert_eq!(engine.cache_stats().hits + engine.cache_stats().misses, 0);
+    }
+
+    #[test]
+    fn pre_expired_deadline_interrupts_before_any_verdict() {
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let engine = SaturationEngine::new(&s);
+        let cx = ExecCx::unlimited().with_timeout(Duration::ZERO);
+        std::thread::sleep(Duration::from_millis(2));
+        let out = engine.check_role(first_role(&s), &cx);
+        assert!(matches!(out, SaturationOutcome::DeadlineExceeded), "{out:?}");
+    }
+
+    #[test]
+    fn tiny_step_budget_exhausts_instead_of_deciding() {
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let engine = SaturationEngine::new(&s);
+        let out = engine.check_role(first_role(&s), &ExecCx::with_steps(1));
+        assert!(matches!(out, SaturationOutcome::BudgetExhausted), "{out:?}");
+    }
+
+    #[test]
+    fn incompatible_ring_is_unsat_beyond_dl() {
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let engine = SaturationEngine::new(&s);
+        let out = engine.check_role(first_role(&s), &ExecCx::unlimited());
+        let SaturationOutcome::Unsat(refutation) = out else {
+            panic!("expected Unsat, got {out:?}");
+        };
+        assert!(refutation.beyond_dl);
+        assert!(refutation.origins.iter().any(|o| matches!(o, NonDlOrigin::Ring { .. })));
+        assert!(!refutation.constraints().is_empty());
+        // The type itself survives — only the roles are doomed.
+        let ty = s.object_types().next().unwrap().0;
+        assert!(matches!(engine.check_type(ty, &ExecCx::unlimited()), SaturationOutcome::Sat(_)));
+    }
+
+    #[test]
+    fn single_ring_kinds_are_sat_with_verified_witness() {
+        for kind in RingKind::ALL {
+            let s = ring_schema(&[kind]);
+            let engine = SaturationEngine::new(&s);
+            let out = engine.check_role(first_role(&s), &ExecCx::unlimited());
+            let SaturationOutcome::Sat(graph) = out else {
+                panic!("{kind}: expected Sat, got {out:?}");
+            };
+            assert!(graph.role_populated(&s, first_role(&s)), "{kind}: witness unpopulated");
+            assert!(
+                verify(&graph, &s, &engine.idx, &mut CxCtl::new(&ExecCx::unlimited())).unwrap(),
+                "{kind}: witness fails verification"
+            );
+        }
+    }
+
+    #[test]
+    fn acyclic_mandatory_trap_is_unsat_with_ring_mandatory_origin() {
+        // Extension 5: acyclic ring + mandatory role over the same subtree.
+        let mut b = SchemaBuilder::new("s");
+        let e = b.entity_type("Employee").unwrap();
+        let f = b
+            .fact_type_full("reports_to", (e, Some("r1")), (e, Some("r2")), Some("reports to"))
+            .unwrap();
+        b.ring(f, [RingKind::Acyclic]).unwrap();
+        let r1 = b.schema().fact_type(f).first();
+        b.mandatory(r1).unwrap();
+        let s = b.finish();
+        let engine = SaturationEngine::new(&s);
+        let out = engine.check_type(e, &ExecCx::unlimited());
+        let SaturationOutcome::Unsat(refutation) = out else {
+            panic!("expected Unsat, got {out:?}");
+        };
+        assert!(refutation.beyond_dl);
+        assert!(refutation.origins.iter().any(|o| matches!(o, NonDlOrigin::RingMandatory { .. })));
+    }
+
+    #[test]
+    fn plain_schema_is_sat_and_verdicts_are_cached() {
+        let s = ring_schema(&[RingKind::Asymmetric]);
+        let engine = SaturationEngine::new(&s);
+        let role = first_role(&s);
+        let cx = ExecCx::unlimited();
+        let first = engine.check_role(role, &cx);
+        assert!(first.is_decided());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        let second = engine.check_role(role, &cx);
+        assert_eq!(first.verdict(), second.verdict());
+        let stats = engine.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+    }
+
+    #[test]
+    fn shared_cache_invalidates_on_revision_change() {
+        let s1 = ring_schema(&[RingKind::Irreflexive]);
+        let cache = Arc::new(SaturationShards::new());
+        {
+            let engine = SaturationEngine::with_cache(&s1, Arc::clone(&cache));
+            engine.check_role(first_role(&s1), &ExecCx::unlimited());
+        }
+        // A different schema revision must clear the shards.
+        let mut b = SchemaBuilder::new("other");
+        let w = b.entity_type("W").unwrap();
+        b.fact_type("f", w, w).unwrap();
+        let s2 = b.finish();
+        if s2.revision() != s1.revision() {
+            let engine = SaturationEngine::with_cache(&s2, Arc::clone(&cache));
+            engine.check_role(first_role(&s2), &ExecCx::unlimited());
+            assert!(cache.stats().invalidations >= 1);
+        }
+    }
+
+    #[test]
+    fn sweeps_sequential_and_parallel_agree() {
+        let s = ring_schema(&[RingKind::Acyclic, RingKind::Symmetric]);
+        let engine = SaturationEngine::new(&s);
+        let cx = ExecCx::unlimited();
+        let seq = engine.role_sweep(&cx);
+        let par = engine.role_sweep_par(2, &cx);
+        assert!(par.is_complete());
+        for ((_, a), b) in seq.iter().zip(par.results.iter()) {
+            assert_eq!(a.verdict(), b.as_ref().unwrap().verdict());
+        }
+    }
+}

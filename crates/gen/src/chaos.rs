@@ -13,7 +13,10 @@
 //! * **worker panics** (poisoned items inside the parallel fan-out, and
 //!   poisoned sessions inside the service's lock-critical sections),
 //! * **snapshot sabotage** (mid-write truncations and bit-flips of the
-//!   persisted cache blob).
+//!   persisted cache blob),
+//! * **saturation-engine storms** (the graph-saturation engine re-checked
+//!   under pre-cancelled, pre-expired and starved contexts, warm- and
+//!   cold-cache, against its own sequential unlimited reference).
 //!
 //! After the storm, every *decided* verdict the service ever returned is
 //! compared against a fresh sequential reference pass over the same
@@ -37,12 +40,15 @@
 use crate::GenConfig;
 use orm_dl::par::fan_out_cx;
 use orm_dl::tableau::DlOutcome;
-use orm_dl::{CacheStats, ExecCx, SearchOutcome};
+use orm_dl::{
+    CacheStats, ExecCx, SaturationEngine, SaturationOutcome, SaturationShards, SearchOutcome,
+};
 use orm_model::{ObjectTypeId, RoleId, Schema};
 use orm_serve::{Overloaded, ReasonerService, ServiceConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Shape of a chaos run.
@@ -116,6 +122,15 @@ pub struct ChaosReport {
     /// Decided verdicts re-checked against the reference *after* the
     /// clean restore (all must agree; disagreements count above).
     pub post_restore_checked: usize,
+    /// Saturation-engine checks run in the saturation storm phase.
+    pub saturation_runs: usize,
+    /// Saturation checks that ended in an honest interrupt
+    /// (`Cancelled` / `DeadlineExceeded` / `BudgetExhausted`).
+    pub saturation_interrupted: usize,
+    /// Saturation verdicts contradicting the sequential unlimited
+    /// saturation reference — like [`disagreements`](Self::disagreements),
+    /// anything nonzero is a soundness bug.
+    pub saturation_disagreements: usize,
     /// Cache counters merged across every service the harness touched.
     pub stats: CacheStats,
 }
@@ -142,6 +157,25 @@ impl Reference {
             (DlOutcome::Sat, SearchOutcome::Unsat) | (DlOutcome::Unsat, SearchOutcome::Sat)
         )
     }
+}
+
+/// Saturation-engine analogue of [`Reference::contradicts`]: only a
+/// `Sat`/`Unsat` pair on the same target can disagree; an undecided
+/// reference (`BudgetExhausted` on a graph past its node cap) vouches
+/// for nothing.
+/// One target of the saturation storm: a type or a role probe.
+#[derive(Clone, Copy)]
+enum SaturationProbe {
+    Type(ObjectTypeId),
+    Role(RoleId),
+}
+
+fn saturation_contradicts(expected: &SaturationOutcome, got: &SaturationOutcome) -> bool {
+    matches!(
+        (expected, got),
+        (SaturationOutcome::Sat(_), SaturationOutcome::Unsat(_))
+            | (SaturationOutcome::Unsat(_), SaturationOutcome::Sat(_))
+    )
 }
 
 /// One session's verdict observations, judged after the storm.
@@ -434,6 +468,70 @@ pub fn run_chaos(cfg: &ChaosConfig) -> ChaosReport {
         "a post-restore addition cleared the restored shards"
     );
 
+    // -- Phase 6: saturation-engine storm ---------------------------------
+    // The third engine gets its own storm over the same schema. The DL
+    // reference above is useless here — `generate` schemas carry ring,
+    // value and frequency constructs the translation reports as unmapped —
+    // so decided verdicts are judged against a fresh sequential unlimited
+    // saturation pass instead. Two storm engines: one sharing the
+    // reference's cache (every hit must reproduce the recorded verdict)
+    // and one cold (every verdict recomputed from scratch). All injected
+    // interrupts are metered or pre-expired, never wall-clock races, so
+    // the storm's counters are exactly reproducible from the seed.
+    let sat_cache = Arc::new(SaturationShards::new());
+    let sat_ref_engine = SaturationEngine::with_cache(&schema, Arc::clone(&sat_cache));
+    let unlimited = ExecCx::unlimited();
+    let sat_ref_types = sat_ref_engine.type_sweep(&unlimited);
+    let sat_ref_roles = sat_ref_engine.role_sweep(&unlimited);
+    let warm = SaturationEngine::with_cache(&schema, Arc::clone(&sat_cache));
+    let cold = SaturationEngine::new(&schema);
+    let mut rng = StdRng::seed_from_u64(cfg.seed.wrapping_add(0x5A70));
+    for (pass, engine) in [&warm, &cold].into_iter().enumerate() {
+        let typed = sat_ref_types.iter().map(|(ty, e)| (SaturationProbe::Type(*ty), e));
+        let roled = sat_ref_roles.iter().map(|(r, e)| (SaturationProbe::Role(*r), e));
+        for (i, (probe, expected)) in typed.chain(roled).enumerate() {
+            let flavor = (i + pass) % 4;
+            let cx = match flavor {
+                // Already-cancelled context: must interrupt before any
+                // cache probe or verdict.
+                0 => {
+                    let cx = ExecCx::unlimited();
+                    cx.cancel();
+                    cx
+                }
+                // Pre-expired deadline: ditto, deterministically.
+                1 => ExecCx::unlimited().with_timeout(Duration::ZERO),
+                // Starved metered budget: an honest BudgetExhausted at
+                // worst.
+                2 => ExecCx::with_steps(rng.gen_range(1..24)),
+                _ => ExecCx::unlimited(),
+            };
+            let got = match probe {
+                SaturationProbe::Type(ty) => engine.check_type(ty, &cx),
+                SaturationProbe::Role(r) => engine.check_role(r, &cx),
+            };
+            report.saturation_runs += 1;
+            match flavor {
+                0 => assert!(
+                    matches!(got, SaturationOutcome::Cancelled),
+                    "pre-cancelled saturation check returned {got:?}"
+                ),
+                1 => assert!(
+                    matches!(got, SaturationOutcome::DeadlineExceeded),
+                    "pre-expired saturation check returned {got:?}"
+                ),
+                _ => {}
+            }
+            match &got {
+                SaturationOutcome::Sat(_) | SaturationOutcome::Unsat(_) => {
+                    report.saturation_disagreements +=
+                        usize::from(saturation_contradicts(expected, &got));
+                }
+                _ => report.saturation_interrupted += 1,
+            }
+        }
+    }
+
     // Merge every service's counters into the report.
     report.stats = service
         .stats()
@@ -462,6 +560,12 @@ mod tests {
         };
         let report = run_chaos(&cfg);
         assert_eq!(report.disagreements, 0, "wrong verdict under fault injection: {report:?}");
+        assert_eq!(
+            report.saturation_disagreements, 0,
+            "wrong saturation verdict under fault injection: {report:?}"
+        );
+        assert!(report.saturation_runs >= 1, "the saturation storm never ran");
+        assert!(report.saturation_interrupted >= 1, "no saturation check was interrupted");
         assert!(report.shed >= 1, "no request was ever shed");
         assert!(report.downgraded >= 1, "no request was ever downgraded");
         assert!(report.panics_isolated >= 1, "no panic was injected");
@@ -494,5 +598,8 @@ mod tests {
         assert_eq!(a.panics_isolated, b.panics_isolated);
         assert_eq!(a.corrupt_rejected, b.corrupt_rejected);
         assert_eq!(a.restored_entries, b.restored_entries);
+        assert_eq!(a.saturation_runs, b.saturation_runs);
+        assert_eq!(a.saturation_interrupted, b.saturation_interrupted);
+        assert_eq!(a.saturation_disagreements, b.saturation_disagreements);
     }
 }

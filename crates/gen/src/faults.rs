@@ -30,6 +30,16 @@ pub enum FaultKind {
     P8,
     /// Pattern 9: subtype loop.
     P9,
+    /// Extension 5 (beyond DL): acyclic ring with a mandatory role on a
+    /// reflexive fact — every instance needs a successor, so some cycle
+    /// must close.
+    E5Trap,
+    /// Beyond DL: incompatible ring kinds split across *two* ring
+    /// constraints on the same fact (merged at check time).
+    RingSplit,
+    /// Beyond DL: spanning frequency whose window can never be met under
+    /// set semantics (each tuple occurs exactly once).
+    SpanFreq,
 }
 
 impl FaultKind {
@@ -44,6 +54,18 @@ impl FaultKind {
         FaultKind::P7,
         FaultKind::P8,
         FaultKind::P9,
+    ];
+
+    /// Faults whose contradiction the DL translation cannot express: the
+    /// tableau reports the offending constructs as unmapped, so only the
+    /// saturation engine decides these. (`P8` rings and `P9` proper-subtype
+    /// cycles are in both lists.)
+    pub const BEYOND_DL: [FaultKind; 5] = [
+        FaultKind::P8,
+        FaultKind::P9,
+        FaultKind::E5Trap,
+        FaultKind::RingSplit,
+        FaultKind::SpanFreq,
     ];
 }
 
@@ -155,6 +177,30 @@ pub fn inject(schema: &Schema, fault: FaultKind, tag: usize) -> Schema {
             frag.subtype(b, c);
             frag.subtype(c, a);
         }
+        FaultKind::E5Trap => {
+            let mut frag = FragmentWriter::new(&mut schema);
+            let w = frag.entity(&t("e5_w"));
+            let f = frag.fact(&t("e5_f"), w, w);
+            let r1 = frag.schema.fact_type(f).first();
+            frag.ring(f, &[RingKind::Acyclic]);
+            frag.mandatory(r1);
+        }
+        FaultKind::RingSplit => {
+            let mut frag = FragmentWriter::new(&mut schema);
+            let w = frag.entity(&t("rs_w"));
+            let f = frag.fact(&t("rs_f"), w, w);
+            frag.ring(f, &[RingKind::Symmetric]);
+            frag.ring(f, &[RingKind::Acyclic]);
+        }
+        FaultKind::SpanFreq => {
+            let mut frag = FragmentWriter::new(&mut schema);
+            let a = frag.entity(&t("sf_a"));
+            let x = frag.entity(&t("sf_x"));
+            let f = frag.fact(&t("sf_f"), a, x);
+            let ft = frag.schema.fact_type(f);
+            let (r1, r2) = (ft.first(), ft.second());
+            frag.frequency_span(&[r1, r2], 2, Some(4));
+        }
     }
     schema
 }
@@ -218,8 +264,12 @@ impl<'a> FragmentWriter<'a> {
     }
 
     fn frequency(&mut self, r: orm_model::RoleId, min: u32, max: Option<u32>) {
+        self.frequency_span(&[r], min, max);
+    }
+
+    fn frequency_span(&mut self, roles: &[orm_model::RoleId], min: u32, max: Option<u32>) {
         self.schema.add_constraint(orm_model::Constraint::Frequency(orm_model::Frequency {
-            roles: vec![r],
+            roles: roles.to_vec(),
             min,
             max,
         }));
@@ -276,6 +326,15 @@ mod tests {
         let base = crate::generate_clean(&GenConfig::small(3));
         for (i, kind) in FaultKind::ALL.iter().enumerate() {
             let faulty = inject(&base, *kind, i);
+            assert!(faulty.size() > base.size(), "{kind:?} did not grow the schema");
+        }
+    }
+
+    #[test]
+    fn beyond_dl_faults_add_elements() {
+        let base = crate::generate_clean(&GenConfig::small(4));
+        for (i, kind) in FaultKind::BEYOND_DL.iter().enumerate() {
+            let faulty = inject(&base, *kind, 100 + i);
             assert!(faulty.size() > base.size(), "{kind:?} did not grow the schema");
         }
     }

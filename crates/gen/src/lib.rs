@@ -344,6 +344,94 @@ pub fn generate(config: &GenConfig) -> Schema {
     b.finish()
 }
 
+/// Generate a schema that stresses the constructs the DL translation
+/// reports as *unmapped*: reflexive facts with random ring combinations
+/// (compatible and incompatible alike), tight value constraints, and
+/// frequency minima above one. The saturation-engine differential tests
+/// feed on these — the tableau alone cannot decide most of what is doomed
+/// here, so verdict attribution must come from the saturation side.
+pub fn generate_beyond_dl(config: &GenConfig) -> Schema {
+    let mut rng = StdRng::seed_from_u64(config.seed.wrapping_add(0xBD1));
+    let mut b = SchemaBuilder::new(format!("beyond_{}", config.seed));
+
+    let mut types: Vec<ObjectTypeId> = Vec::new();
+    for i in 0..config.n_types.max(2) {
+        let ty = if flip(&mut rng, config.value_density.max(0.4)) {
+            let card = rng.gen_range(1..5);
+            let values: Vec<String> = (0..card).map(|j| format!("v{i}_{j}")).collect();
+            b.value_type(
+                &format!("T{i}"),
+                Some(ValueConstraint::enumeration(values.iter().map(String::as_str))),
+            )
+            .expect("fresh name")
+        } else {
+            b.entity_type(&format!("T{i}")).expect("fresh name")
+        };
+        types.push(ty);
+    }
+
+    for i in 0..config.n_facts.max(1) {
+        // Mostly reflexive facts, so ring constraints always have targets.
+        let p0 = *types.choose(&mut rng).expect("non-empty");
+        let p1 = if flip(&mut rng, 0.7) { p0 } else { *types.choose(&mut rng).expect("non-empty") };
+        let fid = b.fact_type(&format!("f{i}"), p0, p1).expect("fresh name");
+        let ft = b.schema().fact_type(fid);
+        let (r0, r1) = (ft.first(), ft.second());
+        if p0 == p1 && flip(&mut rng, config.ring_density.max(0.6)) {
+            // Any subset of kinds, incompatible combinations included.
+            let n_kinds = rng.gen_range(1..4);
+            let kinds: Vec<RingKind> =
+                RingKind::ALL.choose_multiple(&mut rng, n_kinds).copied().collect();
+            let _ = b.ring(fid, kinds);
+        }
+        if flip(&mut rng, config.frequency_density.max(0.4)) {
+            // Minima above one collide with tight value constraints (P4)
+            // and single-role uniqueness (P7).
+            let min = rng.gen_range(2..5);
+            let max = min + rng.gen_range(0..3);
+            let _ = b.frequency([if flip(&mut rng, 0.5) { r0 } else { r1 }], min, Some(max));
+        }
+        if flip(&mut rng, config.mandatory_density) {
+            let _ = b.mandatory(r0);
+        }
+        if flip(&mut rng, config.uniqueness_density * 0.5) {
+            let _ = b.unique([r0]);
+        }
+    }
+
+    b.finish()
+}
+
+/// The canonical single-ring-fact scenario the paper's Fig. 11/12 examples
+/// use: one entity type `Woman`, one reflexive fact `sister_of` read
+/// *"is sister of"*, with `kinds` declared on it. Ground truth for the
+/// per-kind verdict pins of the saturation differential suite.
+pub fn ring_scenario(kinds: &[RingKind]) -> Schema {
+    let mut b = SchemaBuilder::new("ring_scenario");
+    let w = b.entity_type("Woman").expect("fresh name");
+    let f = b
+        .fact_type_full("sister_of", (w, Some("r1")), (w, Some("r2")), Some("is sister of"))
+        .expect("fresh name");
+    b.ring(f, kinds.iter().copied()).expect("reflexive fact");
+    b.finish()
+}
+
+/// A frequency-starvation scenario (Pattern 4 shape): a value type with
+/// `card` admissible values played against a frequency constraint
+/// `FC(min..max)` on the co-role. Unsatisfiable iff `card < min as usize`.
+pub fn frequency_value_scenario(card: usize, min: u32, max: Option<u32>) -> Schema {
+    let mut b = SchemaBuilder::new("freq_value");
+    let a = b.entity_type("A").expect("fresh name");
+    let values: Vec<String> = (0..card).map(|j| format!("x{j}")).collect();
+    let v = b
+        .value_type("V", Some(ValueConstraint::enumeration(values.iter().map(String::as_str))))
+        .expect("fresh name");
+    let f = b.fact_type("f", a, v).expect("fresh name");
+    let r = b.schema().fact_type(f).first();
+    b.frequency([r], min, max).expect("valid fc");
+    b.finish()
+}
+
 /// A deterministic schema whose single doomed type `Doomed` sits under
 /// exactly `k` **independent** contradictions: for each `i < k`, `Doomed`
 /// is a subtype of both `A{i}` and `B{i}`, which are declared exclusive.

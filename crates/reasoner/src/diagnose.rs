@@ -31,14 +31,15 @@
 //! constraint is usually the mistake.
 
 use orm_dl::{
-    AxiomOrigin, ExecCx, MusEnumeration, MusFamily, RepairSet, SearchOutcome, Translation,
-    UnsatCore,
+    AxiomOrigin, ExecCx, MusEnumeration, MusFamily, NonDlOrigin, Refutation, RepairSet,
+    SaturationEngine, SaturationOutcome, SearchOutcome, Translation, UnsatCore,
 };
-use orm_model::{ObjectTypeId, RoleId, Schema};
+use orm_model::{Constraint, ConstraintId, FactTypeId, ObjectTypeId, RingKinds, RoleId, Schema};
 use orm_syntax::{
     verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion,
-    verbalize_repair_alternatives, verbalize_subtype,
+    verbalize_repair_alternatives, verbalize_ring_declaration, verbalize_subtype,
 };
+use std::collections::BTreeMap;
 
 /// Per-element cap on enumerated cores ([`Translation::enumerate_unsat`]'s
 /// `limit`): real doomed elements carry a handful of independent
@@ -280,12 +281,212 @@ pub fn diagnose_with_cx(schema: &Schema, translation: &Translation, cx: &ExecCx)
     out
 }
 
+/// One unsatisfiable element as decided by the **saturation engine**, with
+/// the refuting constraints verbalized. This is the attribution path for
+/// verdicts the DL pipeline cannot produce at all — ring incompatibilities,
+/// value-starved frequencies, acyclic-plus-mandatory traps — where no DL
+/// unsat core exists to map back ([`Refutation::beyond_dl`] marks them).
+#[derive(Clone, Debug)]
+pub struct SaturationDiagnosis {
+    /// The doomed element.
+    pub element: DiagnosedElement,
+    /// Its display label (type name or role label).
+    pub label: String,
+    /// The saturation engine's refutation: the origins that killed every
+    /// candidate, and whether the argument needed non-DL constructs.
+    pub refutation: Refutation,
+    /// One verbalized statement per distinct origin, in origin order (ring
+    /// origins of one fact type are merged into a single declaration
+    /// statement).
+    pub statements: Vec<String>,
+}
+
+impl std::fmt::Display for SaturationDiagnosis {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(f, "`{}` can never be populated because:", self.label)?;
+        for s in &self.statements {
+            writeln!(f, "  - {s}")?;
+        }
+        if self.refutation.beyond_dl {
+            write!(f, "  (outside the DL fragment — decided by the saturation engine)")
+        } else {
+            write!(f, "  (decided by the saturation engine)")
+        }
+    }
+}
+
+/// Render a saturation refutation's origins as statements: ring origins
+/// are grouped per fact type into one declaration sentence; every other
+/// origin verbalizes the constraint(s) or implicit rule it names.
+fn saturation_statements(schema: &Schema, refutation: &Refutation) -> Vec<String> {
+    let ring_fact = |cid: ConstraintId| -> Option<(FactTypeId, RingKinds)> {
+        match schema.constraint(cid) {
+            Some(Constraint::Ring(r)) => Some((r.fact_type, r.kinds)),
+            _ => None,
+        }
+    };
+    let mut ring_by_fact: BTreeMap<FactTypeId, RingKinds> = BTreeMap::new();
+    for origin in &refutation.origins {
+        let cids: Vec<ConstraintId> = match origin {
+            NonDlOrigin::Ring { constraint } => vec![*constraint],
+            NonDlOrigin::RingMandatory { ring, .. } => vec![*ring],
+            _ => continue,
+        };
+        for cid in cids {
+            if let Some((fact, kinds)) = ring_fact(cid) {
+                let entry = ring_by_fact.entry(fact).or_insert(RingKinds::EMPTY);
+                *entry = entry.union(kinds);
+            }
+        }
+    }
+    let constraint_statement = |cid: ConstraintId| -> String {
+        match schema.constraint(cid) {
+            Some(c) => verbalize_constraint(schema, c),
+            None => format!("A since-removed constraint ({cid:?})."),
+        }
+    };
+    let value_statement = |ty: ObjectTypeId| -> String {
+        let ot = schema.object_type(ty);
+        match ot.value_constraint() {
+            Some(vc) => format!("The possible values of {} are {}.", ot.name(), vc),
+            None => format!("The effective value set of {} is too small.", ot.name()),
+        }
+    };
+    let mut out: Vec<String> =
+        ring_by_fact.iter().map(|(f, k)| verbalize_ring_declaration(schema, *f, *k)).collect();
+    for origin in &refutation.origins {
+        match origin {
+            NonDlOrigin::Ring { .. } => {}
+            NonDlOrigin::RingMandatory { mandatory, .. } => {
+                out.push(constraint_statement(*mandatory));
+            }
+            NonDlOrigin::ValueCardinality { ty } => out.push(value_statement(*ty)),
+            NonDlOrigin::Frequency { constraint }
+            | NonDlOrigin::SpanningFrequency { constraint }
+            | NonDlOrigin::SetIncompatible { constraint }
+            | NonDlOrigin::ExclusiveTypes { constraint } => {
+                out.push(constraint_statement(*constraint));
+            }
+            NonDlOrigin::FrequencyValue { frequency, ty } => {
+                out.push(constraint_statement(*frequency));
+                out.push(value_statement(*ty));
+            }
+            NonDlOrigin::UniquenessFrequency { uniqueness, frequency } => {
+                out.push(constraint_statement(*uniqueness));
+                out.push(constraint_statement(*frequency));
+            }
+            NonDlOrigin::ExclusionMandatory { exclusion, mandatory } => {
+                out.push(constraint_statement(*exclusion));
+                out.push(constraint_statement(*mandatory));
+            }
+            NonDlOrigin::SubsetExclusion { subset, exclusion } => {
+                out.push(constraint_statement(*subset));
+                out.push(constraint_statement(*exclusion));
+            }
+            NonDlOrigin::TypeExclusion { a, b } => {
+                out.push(verbalize_implicit_exclusion(schema, *a, *b));
+            }
+            NonDlOrigin::SubtypeCycle { ty } => out.push(format!(
+                "{} sits on a subtype cycle, and subtypes are proper subsets.",
+                schema.object_type(*ty).name()
+            )),
+        }
+    }
+    let mut seen = std::collections::BTreeSet::new();
+    out.retain(|s| seen.insert(s.clone()));
+    out
+}
+
+/// Diagnose every element the **saturation engine** refutes, under `cx`:
+/// one sweep over all object types and roles, each `Unsat` turned into a
+/// verbalized [`SaturationDiagnosis`]. Interrupted or undecided queries
+/// produce no diagnosis — like [`diagnose`], this reports *certified*
+/// refutations only, in sweep order (types first).
+///
+/// The DL pipeline's [`diagnose`] and this function are complementary:
+/// where both engines refute an element, the DL diagnosis carries the
+/// minimal-core machinery (families, repairs); where only the saturation
+/// engine can decide (`refutation.beyond_dl`), this is the sole source of
+/// attribution.
+pub fn diagnose_saturation(schema: &Schema, cx: &ExecCx) -> Vec<SaturationDiagnosis> {
+    let engine = SaturationEngine::new(schema);
+    let mut out = Vec::new();
+    for (ty, ot) in schema.object_types() {
+        if let SaturationOutcome::Unsat(refutation) = engine.check_type(ty, cx) {
+            let statements = saturation_statements(schema, &refutation);
+            out.push(SaturationDiagnosis {
+                element: DiagnosedElement::Type(ty),
+                label: ot.name().to_owned(),
+                refutation,
+                statements,
+            });
+        }
+    }
+    for (role, _) in schema.roles() {
+        if let SaturationOutcome::Unsat(refutation) = engine.check_role(role, cx) {
+            let statements = saturation_statements(schema, &refutation);
+            out.push(SaturationDiagnosis {
+                element: DiagnosedElement::Role(role),
+                label: schema.role_label(role).to_owned(),
+                refutation,
+                statements,
+            });
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use orm_model::SchemaBuilder;
 
     const BUDGET: u64 = 200_000;
+
+    #[test]
+    fn saturation_diagnosis_names_ring_declaration() {
+        let mut b = SchemaBuilder::new("s");
+        let e = b.entity_type("Employee").unwrap();
+        let f = b
+            .fact_type_full("reports_to", (e, Some("r1")), (e, Some("r2")), Some("reports to"))
+            .unwrap();
+        b.ring(f, [orm_model::RingKind::Acyclic, orm_model::RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        let ds = diagnose_saturation(&s, &ExecCx::unlimited());
+        // Both roles of the ring fact are doomed; the type itself is fine.
+        assert_eq!(ds.len(), 2, "{ds:?}");
+        for d in &ds {
+            assert!(matches!(d.element, DiagnosedElement::Role(_)));
+            assert!(d.refutation.beyond_dl);
+            assert_eq!(
+                d.statements,
+                vec!["*reports to* is declared acyclic and symmetric.".to_owned()]
+            );
+            assert!(d.to_string().contains("outside the DL fragment"));
+        }
+    }
+
+    #[test]
+    fn saturation_diagnosis_empty_on_clean_schema() {
+        let mut b = SchemaBuilder::new("clean");
+        let person = b.entity_type("Person").unwrap();
+        let student = b.entity_type("Student").unwrap();
+        b.subtype(student, person).unwrap();
+        let s = b.finish();
+        assert!(diagnose_saturation(&s, &ExecCx::unlimited()).is_empty());
+    }
+
+    #[test]
+    fn saturation_diagnosis_interrupt_yields_nothing() {
+        let mut b = SchemaBuilder::new("s");
+        let w = b.entity_type("W").unwrap();
+        let f = b.fact_type("f", w, w).unwrap();
+        b.ring(f, [orm_model::RingKind::Acyclic, orm_model::RingKind::Symmetric]).unwrap();
+        let s = b.finish();
+        let cx = ExecCx::unlimited();
+        cx.cancel();
+        assert!(diagnose_saturation(&s, &cx).is_empty());
+    }
 
     #[test]
     fn exclusion_mandatory_diagnosed_at_role_level() {

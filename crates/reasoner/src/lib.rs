@@ -50,8 +50,8 @@ mod diagnose;
 mod search;
 
 pub use diagnose::{
-    diagnose, diagnose_cx, diagnose_with, diagnose_with_cx, DiagnosedElement, Diagnosis, Repair,
-    FAMILY_LIMIT,
+    diagnose, diagnose_cx, diagnose_saturation, diagnose_with, diagnose_with_cx, DiagnosedElement,
+    Diagnosis, Repair, SaturationDiagnosis, FAMILY_LIMIT,
 };
 pub use search::{find_model, Bounds, Outcome, Target};
 

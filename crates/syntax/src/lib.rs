@@ -60,8 +60,9 @@ pub use ast::{AstConstraint, AstDecl, AstSchema, AstSeq};
 pub use error::ParseError;
 pub use printer::print;
 pub use verbalize::{
-    verbalize, verbalize_constraint, verbalize_fact_typing, verbalize_implicit_exclusion,
-    verbalize_repair_alternatives, verbalize_subtype,
+    ring_kind_name, verbalize, verbalize_constraint, verbalize_fact_typing,
+    verbalize_implicit_exclusion, verbalize_repair_alternatives, verbalize_ring_declaration,
+    verbalize_subtype,
 };
 
 use orm_model::Schema;

@@ -11,7 +11,10 @@
 //! *single* statement — the sentences `orm_reasoner::diagnose` assembles
 //! when it turns an unsat core's ORM origins into a readable diagnosis.
 
-use orm_model::{Constraint, ObjectTypeId, RingKind, RoleId, RoleSeq, Schema, SetComparisonKind};
+use orm_model::{
+    Constraint, FactTypeId, ObjectTypeId, RingKind, RingKinds, RoleId, RoleSeq, Schema,
+    SetComparisonKind,
+};
 
 /// Verbalize the whole schema, one statement per line.
 pub fn verbalize(schema: &Schema) -> String {
@@ -193,6 +196,48 @@ pub fn verbalize_constraint(schema: &Schema, c: &Constraint) -> String {
             format!("{sentence}.")
         }
     }
+}
+
+/// The full (unabbreviated) English name of a ring-constraint kind, as
+/// used in declaration statements.
+pub fn ring_kind_name(kind: RingKind) -> &'static str {
+    match kind {
+        RingKind::Irreflexive => "irreflexive",
+        RingKind::Antisymmetric => "antisymmetric",
+        RingKind::Asymmetric => "asymmetric",
+        RingKind::Acyclic => "acyclic",
+        RingKind::Intransitive => "intransitive",
+        RingKind::Symmetric => "symmetric",
+    }
+}
+
+/// A ring *declaration* as one statement naming the constrained predicate
+/// and the declared kinds in full: `*reports to* is declared acyclic and
+/// symmetric.` This is the attribution sentence the saturation-side
+/// diagnosis uses for verdicts outside the DL fragment, where no unsat
+/// core exists to verbalize per-axiom.
+///
+/// ```
+/// use orm_model::{RingKind, SchemaBuilder};
+///
+/// let mut b = SchemaBuilder::new("s");
+/// let e = b.entity_type("Employee").unwrap();
+/// let f = b
+///     .fact_type_full("reports_to", (e, Some("r1")), (e, Some("r2")), Some("reports to"))
+///     .unwrap();
+/// b.ring(f, [RingKind::Acyclic, RingKind::Symmetric]).unwrap();
+/// let s = b.finish();
+/// let kinds = s.index().ring_kinds_by_fact(&s)[0].1;
+/// assert_eq!(
+///     orm_syntax::verbalize_ring_declaration(&s, f, kinds),
+///     "*reports to* is declared acyclic and symmetric."
+/// );
+/// ```
+pub fn verbalize_ring_declaration(schema: &Schema, fact: FactTypeId, kinds: RingKinds) -> String {
+    let ft = schema.fact_type(fact);
+    let reading = ft.reading().unwrap_or(ft.name());
+    let names: Vec<&str> = kinds.iter().map(ring_kind_name).collect();
+    format!("*{reading}* is declared {}.", names.join(" and "))
 }
 
 /// Render ranked repair alternatives as one "drop one of: …" sentence —

@@ -130,6 +130,44 @@ fn two_contradiction_diagnosis_is_pinned() {
     assert_eq!(format!("{d}"), expected);
 }
 
+/// A non-DL refutation verbalized end to end, pinned byte for byte: the
+/// saturation engine refutes the roles of an acyclic+symmetric `reports to`
+/// fact — a verdict the tableau cannot reach, since its translation drops
+/// ring constraints — and the diagnosis names the ring declaration in the
+/// paper's pseudo-NL register. Any drift in the verbalizer, the ring-kind
+/// enumeration order, or the beyond-DL attribution footer shows up here.
+#[test]
+fn saturation_ring_diagnosis_is_pinned() {
+    let schema = parse(
+        r#"
+        schema org {
+          entity Employee;
+          fact reports_to (Employee as r1, Employee as r2) reading "reports to";
+          ring reports_to { acyclic, symmetric };
+        }
+        "#,
+    )
+    .expect("valid text");
+    let cx = orm_dl::ExecCx::unlimited();
+    let diagnoses = orm_reasoner::diagnose_saturation(&schema, &cx);
+    assert_eq!(diagnoses.len(), 2, "both roles of the doomed ring fact: {diagnoses:?}");
+    let expected = "`r1` can never be populated because:\n  \
+         - *reports to* is declared acyclic and symmetric.\n  \
+         (outside the DL fragment — decided by the saturation engine)";
+    assert_eq!(format!("{}", diagnoses[0]), expected);
+    // The tableau, blind to the unmapped ring, cannot refute the same role.
+    let translation = orm_dl::translate(&schema);
+    assert!(!translation.unmapped.is_empty());
+    for (role, _) in schema.roles() {
+        assert_ne!(
+            translation.role_satisfiable(role, 500_000),
+            orm_dl::DlOutcome::Unsat,
+            "the tableau refuted {} without the ring",
+            schema.role_label(role)
+        );
+    }
+}
+
 /// The appendix algorithms attach explanations; every unsatisfiable finding
 /// must name at least one culprit element (except pure propagation).
 #[test]

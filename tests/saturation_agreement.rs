@@ -1,0 +1,351 @@
+//! Three-way agreement for the graph-saturation engine: saturation vs the
+//! trail tableau vs the classic bounded model finder.
+//!
+//! On the **DL-expressible overlap** (no rings, no value constraints, no
+//! subtype cycles) every decided saturation verdict must agree with the
+//! tableau's — 100%, no exceptions; a tableau `ResourceLimit` vouches for
+//! nothing and is skipped. Every saturation `Unsat` must additionally be
+//! confirmed by the bounded finder, and every saturation `Sat` ships a
+//! concrete witness that is re-certified here through
+//! [`orm_population::check`] under the default strict semantics.
+//!
+//! **Beyond the overlap**, the suite pins known-verdict ground truths per
+//! ring-constraint kind: every single ring kind admits a verified model,
+//! and a battery of incompatible combinations (plus the acyclic+mandatory
+//! trap and a value-starved frequency) is `Unsat` *with a `beyond_dl`
+//! refutation* while the tableau — whose translation reports the deciding
+//! constructs as unmapped — cannot refute them. These are exactly the
+//! cases the saturation engine exists for.
+//!
+//! The cached query path (shared [`SaturationShards`]) and the parallel
+//! sweeps (`type_sweep_par` / `role_sweep_par` over `fan_out_cx`) are
+//! differentially pinned against the uncached sequential drivers.
+
+use orm_dl::{
+    translate, DlOutcome, ExecCx, ModelGraph, SaturationEngine, SaturationOutcome, SaturationShards,
+};
+use orm_gen::{frequency_value_scenario, generate, ring_scenario};
+use orm_model::{Constraint, Mandatory, RingKind, Schema};
+use orm_population::{check, CheckOptions, Population};
+use orm_reasoner::{role_satisfiability, type_satisfiability, Bounds};
+use orm_tests::{mappable_config, tiny_config};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+const DL_BUDGET: u64 = 120_000;
+
+/// Convert a saturation witness into a population and certify it against
+/// the checker the engine's internal verifier mirrors. A `Sat` whose
+/// witness fails here would be a soundness bug in the engine.
+fn certify(schema: &Schema, model: &ModelGraph) {
+    let mut pop = Population::new();
+    for (ty, values) in &model.extents {
+        for v in values {
+            pop.add_instance(*ty, v.clone());
+        }
+    }
+    for (fact, tuples) in &model.facts {
+        for (a, b) in tuples {
+            pop.add_fact(*fact, a.clone(), b.clone());
+        }
+    }
+    let violations = check(schema, &pop, CheckOptions::default());
+    assert!(violations.is_empty(), "saturation witness is not conformant: {violations:?}");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// DL-expressible overlap: decided saturation verdicts agree with the
+    /// tableau on every role and type, refutations never claim to be
+    /// beyond the DL, `Unsat` is confirmed by the bounded finder, and
+    /// `Sat` witnesses certify.
+    #[test]
+    fn saturation_and_tableau_agree_on_mappable(seed in any::<u64>()) {
+        let schema = generate(&mappable_config(seed));
+        let idx = schema.index();
+        if schema.object_types().any(|(t, _)| idx.on_subtype_cycle(t)) {
+            // Subtype loops are outside the mappable fragment.
+            return Ok(());
+        }
+        let translation = translate(&schema);
+        prop_assert!(translation.unmapped.is_empty(), "{:?}", translation.unmapped);
+        let engine = SaturationEngine::new(&schema);
+        let cx = ExecCx::unlimited();
+
+        for (role, _) in schema.roles() {
+            match engine.check_role(role, &cx) {
+                SaturationOutcome::Sat(model) => {
+                    certify(&schema, &model);
+                    prop_assert!(model.role_populated(&schema, role));
+                    prop_assert!(
+                        translation.role_satisfiable(role, DL_BUDGET) != DlOutcome::Unsat,
+                        "tableau refuted role {} but saturation certified a model",
+                        schema.role_label(role)
+                    );
+                }
+                SaturationOutcome::Unsat(refutation) => {
+                    prop_assert!(
+                        !refutation.beyond_dl,
+                        "mappable-fragment refutation claims beyond-DL: {refutation:?}"
+                    );
+                    prop_assert!(
+                        translation.role_satisfiable(role, DL_BUDGET) != DlOutcome::Sat,
+                        "saturation refuted role {} but the tableau says Sat",
+                        schema.role_label(role)
+                    );
+                    prop_assert!(
+                        !role_satisfiability(&schema, role, Bounds::small()).is_sat(),
+                        "saturation refuted role {} but the finder found a model",
+                        schema.role_label(role)
+                    );
+                }
+                _ => {}
+            }
+        }
+        for (ty, _) in schema.object_types() {
+            match engine.check_type(ty, &cx) {
+                SaturationOutcome::Sat(model) => {
+                    certify(&schema, &model);
+                    prop_assert!(model.type_populated(ty));
+                    prop_assert!(
+                        translation.type_satisfiable(ty, DL_BUDGET) != DlOutcome::Unsat,
+                        "tableau refuted type {} but saturation certified a model",
+                        schema.object_type(ty).name()
+                    );
+                }
+                SaturationOutcome::Unsat(refutation) => {
+                    prop_assert!(!refutation.beyond_dl);
+                    prop_assert!(
+                        translation.type_satisfiable(ty, DL_BUDGET) != DlOutcome::Sat,
+                        "saturation refuted type {} but the tableau says Sat",
+                        schema.object_type(ty).name()
+                    );
+                    prop_assert!(
+                        !type_satisfiability(&schema, ty, Bounds::small()).is_sat(),
+                        "saturation refuted type {} but the finder found a model",
+                        schema.object_type(ty).name()
+                    );
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Full construct mix (rings, values, frequencies included): every
+    /// saturation `Unsat` is confirmed by the bounded finder, and every
+    /// `Sat` witness certifies. The finder knows nothing of the DL
+    /// translation, so this covers exactly the fragment the tableau
+    /// cannot see.
+    #[test]
+    fn finder_confirms_saturation_on_full_mix(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let engine = SaturationEngine::new(&schema);
+        let cx = ExecCx::unlimited();
+        for (role, _) in schema.roles() {
+            match engine.check_role(role, &cx) {
+                SaturationOutcome::Sat(model) => certify(&schema, &model),
+                SaturationOutcome::Unsat(_) => prop_assert!(
+                    !role_satisfiability(&schema, role, Bounds::small()).is_sat(),
+                    "saturation refuted role {} but the finder found a model (seed {seed})",
+                    schema.role_label(role)
+                ),
+                _ => {}
+            }
+        }
+        for (ty, _) in schema.object_types() {
+            match engine.check_type(ty, &cx) {
+                SaturationOutcome::Sat(model) => certify(&schema, &model),
+                SaturationOutcome::Unsat(_) => prop_assert!(
+                    !type_satisfiability(&schema, ty, Bounds::small()).is_sat(),
+                    "saturation refuted type {} but the finder found a model (seed {seed})",
+                    schema.object_type(ty).name()
+                ),
+                _ => {}
+            }
+        }
+    }
+
+    /// Cached vs uncached: engines sharing [`SaturationShards`] answer
+    /// exactly like a cold engine, on the miss pass and on the pass served
+    /// from memory.
+    #[test]
+    fn cached_and_uncached_saturation_agree(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let cache = Arc::new(SaturationShards::new());
+        let cx = ExecCx::unlimited();
+        let mut decided = 0usize;
+        for pass in 0..2 {
+            let warm = SaturationEngine::with_cache(&schema, Arc::clone(&cache));
+            let cold = SaturationEngine::new(&schema);
+            for (role, _) in schema.roles() {
+                let outcome = warm.check_role(role, &cx);
+                decided += usize::from(pass == 0 && outcome.is_decided());
+                prop_assert_eq!(
+                    outcome.verdict(),
+                    cold.check_role(role, &cx).verdict(),
+                    "cache diverged on role {} (seed {seed}, pass {pass})",
+                    schema.role_label(role)
+                );
+            }
+            for (ty, _) in schema.object_types() {
+                let outcome = warm.check_type(ty, &cx);
+                decided += usize::from(pass == 0 && outcome.is_decided());
+                prop_assert_eq!(
+                    outcome.verdict(),
+                    cold.check_type(ty, &cx).verdict(),
+                    "cache diverged on type {} (seed {seed}, pass {pass})",
+                    schema.object_type(ty).name()
+                );
+            }
+        }
+        // Only genuine verdicts are cached; each decided target of the
+        // first pass must be served from memory on the second.
+        let stats = cache.stats();
+        prop_assert!(
+            stats.hits >= decided as u64,
+            "second pass was not served from the shards ({decided} decided): {stats:?}"
+        );
+    }
+
+    /// Sequential vs `fan_out_cx` sweeps: verdict for verdict, order for
+    /// order, at several thread counts, from cold caches each time.
+    #[test]
+    fn sequential_and_parallel_sweeps_agree(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let cx = ExecCx::unlimited();
+        let sequential = SaturationEngine::new(&schema);
+        let seq_types = sequential.type_sweep(&cx);
+        let seq_roles = sequential.role_sweep(&cx);
+        for threads in [1usize, 2, 8] {
+            let par = SaturationEngine::new(&schema);
+            let types = par.type_sweep_par(threads, &cx);
+            prop_assert!(types.is_complete(), "type sweep incomplete at {threads} threads");
+            for (i, got) in types.results.iter().enumerate() {
+                let got = got.as_ref().expect("complete batch");
+                prop_assert_eq!(
+                    got.verdict(),
+                    seq_types[i].1.verdict(),
+                    "parallel type sweep diverged at {} threads (seed {seed})",
+                    threads
+                );
+            }
+            let roles = par.role_sweep_par(threads, &cx);
+            prop_assert!(roles.is_complete(), "role sweep incomplete at {threads} threads");
+            for (i, got) in roles.results.iter().enumerate() {
+                let got = got.as_ref().expect("complete batch");
+                prop_assert_eq!(
+                    got.verdict(),
+                    seq_roles[i].1.verdict(),
+                    "parallel role sweep diverged at {} threads (seed {seed})",
+                    threads
+                );
+            }
+        }
+    }
+
+    /// An interrupted run returns the interrupt, never a verdict — and
+    /// never touches the cache, so it cannot launder a stale answer.
+    #[test]
+    fn interrupted_runs_never_vouch(seed in any::<u64>()) {
+        let schema = generate(&tiny_config(seed));
+        let engine = SaturationEngine::new(&schema);
+        let cx = ExecCx::unlimited();
+        cx.cancel();
+        for (role, _) in schema.roles() {
+            prop_assert!(matches!(engine.check_role(role, &cx), SaturationOutcome::Cancelled));
+        }
+        for (ty, _) in schema.object_types() {
+            prop_assert!(matches!(engine.check_type(ty, &cx), SaturationOutcome::Cancelled));
+        }
+        let stats = engine.cache_stats();
+        prop_assert_eq!(stats.hits + stats.misses, 0, "cancelled runs probed the cache");
+    }
+}
+
+/// Every single ring kind admits a verified model on the canonical
+/// reflexive-fact scenario: `Sat` with a certifying witness for the fact
+/// type's roles and the player type, even though the translation reports
+/// the ring as unmapped.
+#[test]
+fn single_ring_kinds_have_verified_models() {
+    for kind in RingKind::ALL {
+        let schema = ring_scenario(&[kind]);
+        let translation = translate(&schema);
+        assert!(!translation.unmapped.is_empty(), "{kind:?}: ring unexpectedly mapped");
+        let engine = SaturationEngine::new(&schema);
+        let cx = ExecCx::unlimited();
+        for (role, _) in schema.roles() {
+            match engine.check_role(role, &cx) {
+                SaturationOutcome::Sat(model) => {
+                    certify(&schema, &model);
+                    assert!(model.role_populated(&schema, role));
+                }
+                other => panic!("{kind:?}: expected Sat for a lone ring kind, got {other:?}"),
+            }
+        }
+    }
+}
+
+/// The headline gap the saturation engine closes: ring-constraint
+/// unsatisfiability the DL translation cannot express. Five pinned
+/// scenarios (four ring, one value-starved frequency), each `Unsat` with
+/// a `beyond_dl` refutation while the tableau — blind to the unmapped
+/// constructs — cannot refute the same element.
+#[test]
+fn beyond_dl_unsat_pins_saturation_decides_where_tableau_cannot() {
+    let mut scenarios: Vec<(&str, Schema)> = vec![
+        ("acyclic+symmetric", ring_scenario(&[RingKind::Acyclic, RingKind::Symmetric])),
+        ("asymmetric+symmetric", ring_scenario(&[RingKind::Asymmetric, RingKind::Symmetric])),
+        (
+            "antisymmetric+symmetric+intransitive",
+            ring_scenario(&[RingKind::Antisymmetric, RingKind::Symmetric, RingKind::Intransitive]),
+        ),
+    ];
+    // The acyclic+mandatory trap (Extension 5): not an incompatible kind
+    // table entry — the constraint *pair* is what dooms the roles.
+    let mut trap = ring_scenario(&[RingKind::Acyclic]);
+    let r1 = {
+        let (_, ft) = trap.fact_types().next().expect("one fact");
+        ft.first()
+    };
+    trap.add_constraint(Constraint::Mandatory(Mandatory { roles: vec![r1] }));
+    scenarios.push(("acyclic+mandatory trap", trap));
+    // Value starvation (Pattern 4 shape): two admissible values, minimum
+    // of three partners — unsat only through the unmapped value constraint.
+    scenarios.push(("value-starved frequency", frequency_value_scenario(2, 3, Some(5))));
+
+    let mut ring_unsat_beyond_dl = 0usize;
+    for (name, schema) in &scenarios {
+        let translation = translate(schema);
+        assert!(!translation.unmapped.is_empty(), "{name}: nothing unmapped");
+        let engine = SaturationEngine::new(schema);
+        let cx = ExecCx::unlimited();
+        let mut saw_unsat = false;
+        for (role, _) in schema.roles() {
+            match engine.check_role(role, &cx) {
+                SaturationOutcome::Unsat(refutation) => {
+                    saw_unsat = true;
+                    assert!(refutation.beyond_dl, "{name}: refutation not beyond DL");
+                    assert!(!refutation.origins.is_empty(), "{name}: refutation names no origin");
+                    assert_ne!(
+                        translation.role_satisfiable(role, DL_BUDGET),
+                        DlOutcome::Unsat,
+                        "{name}: the tableau refuted role {} on its own",
+                        schema.role_label(role)
+                    );
+                }
+                SaturationOutcome::Sat(model) => certify(schema, &model),
+                other => panic!("{name}: undecided outcome {other:?}"),
+            }
+        }
+        assert!(saw_unsat, "{name}: no role was refuted");
+        if name.contains("acyclic") || name.contains("symmetric") {
+            ring_unsat_beyond_dl += 1;
+        }
+    }
+    assert!(
+        ring_unsat_beyond_dl >= 3,
+        "fewer than three ring-unsat scenarios decided beyond the DL"
+    );
+}
